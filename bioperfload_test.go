@@ -1,0 +1,128 @@
+package bioperfload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProgramsRegistry(t *testing.T) {
+	all := Programs()
+	if len(all) != 9 {
+		t.Fatalf("got %d programs, want 9", len(all))
+	}
+	if len(TransformedPrograms()) != 6 {
+		t.Fatal("want 6 transformable programs")
+	}
+	for _, p := range all {
+		got, err := Program(p.Name)
+		if err != nil || got.Name != p.Name {
+			t.Errorf("Program(%q) = %v, %v", p.Name, got, err)
+		}
+	}
+	if _, err := Program("doom"); err == nil {
+		t.Error("unknown program accepted")
+	}
+	if len(SPECAnalogs()) != 3 {
+		t.Error("want 3 SPEC analogs")
+	}
+}
+
+func TestPlatformsRegistry(t *testing.T) {
+	if len(Platforms()) != 4 {
+		t.Fatal("want 4 platforms")
+	}
+	p, err := PlatformByName("alpha21264")
+	if err != nil || p.Name != "alpha21264" {
+		t.Fatal(err)
+	}
+	if _, err := PlatformByName("sparc"); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}
+
+func TestCompileMiniCPublicAPI(t *testing.T) {
+	prog, err := CompileMiniC("t.mc", `
+int main() {
+	int i; int s = 0;
+	for (i = 1; i <= 100; i++) s += i;
+	print(s);
+	return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IntOutput) != 1 || res.IntOutput[0] != 5050 {
+		t.Fatalf("output = %v", res.IntOutput)
+	}
+
+	if _, err := CompileMiniC("bad.mc", "int main( {"); err == nil {
+		t.Error("syntax error not surfaced")
+	}
+	if _, err := CompileMiniC("bad.mc", "int f() { return 1; }"); err == nil ||
+		!strings.Contains(err.Error(), "main") {
+		t.Errorf("missing main not surfaced: %v", err)
+	}
+}
+
+func TestCharacterizePublicAPI(t *testing.T) {
+	p, err := Program("predator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Characterize(p, SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mix().Total == 0 {
+		t.Fatal("empty analysis")
+	}
+	if a.Mix().FPFraction <= 0 {
+		t.Error("predator should execute floating-point code")
+	}
+}
+
+func TestEvaluateAndSpeedupPublicAPI(t *testing.T) {
+	p, err := Program("dnapenny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha, _ := PlatformByName("alpha21264")
+	st, err := Evaluate(p, alpha, SizeTest, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles == 0 || st.Instructions == 0 {
+		t.Fatal("empty stats")
+	}
+	sp, err := Speedup(p, alpha, SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp < -0.5 || sp > 3 {
+		t.Errorf("implausible speedup %.2f", sp)
+	}
+
+	blast, _ := Program("blast")
+	if _, err := Speedup(blast, alpha, SizeTest); err == nil {
+		t.Error("Speedup must reject non-transformable programs")
+	}
+}
+
+func TestCompilerOptionConstructors(t *testing.T) {
+	d := DefaultCompiler()
+	if !d.Opt.IfConvert || !d.Opt.Schedule {
+		t.Error("default compiler should enable the paper's passes")
+	}
+	u := UnoptimizedCompiler()
+	if u.Opt.IfConvert || u.Opt.Fold {
+		t.Error("unoptimized compiler should disable passes")
+	}
+}

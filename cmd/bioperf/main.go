@@ -1,0 +1,137 @@
+// Command bioperf runs and characterizes individual BioPerf
+// applications on the simulated machine.
+//
+//	bioperf -list
+//	bioperf -program hmmsearch -size classB -profile
+//	bioperf -program hmmsearch -size classB -platform alpha21264 -transformed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"bioperfload"
+)
+
+func main() {
+	log.SetFlags(0)
+	list := flag.Bool("list", false, "list the applications and platforms")
+	name := flag.String("program", "hmmsearch", "application to run")
+	sizeFlag := flag.String("size", "test", "input size (test|classB|classC)")
+	profile := flag.Bool("profile", false, "run the load characterization")
+	platName := flag.String("platform", "", "run the timing model for this platform")
+	transformed := flag.Bool("transformed", false, "use the load-transformed sources")
+	hot := flag.Int("hot", 6, "hot loads to print with -profile")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("applications:")
+		for _, p := range bioperfload.Programs() {
+			tr := " "
+			if p.Transformable {
+				tr = "T"
+			}
+			fmt.Printf("  [%s] %-13s %s\n", tr, p.Name, p.Area)
+		}
+		fmt.Println("platforms:")
+		for _, pl := range bioperfload.Platforms() {
+			fmt.Printf("      %-11s %s\n", pl.Name, pl.Description)
+		}
+		return
+	}
+
+	var sz bioperfload.Size
+	switch *sizeFlag {
+	case "test":
+		sz = bioperfload.SizeTest
+	case "classB", "b", "B":
+		sz = bioperfload.SizeB
+	case "classC", "c", "C":
+		sz = bioperfload.SizeC
+	default:
+		log.Fatalf("unknown size %q", *sizeFlag)
+	}
+
+	p, err := bioperfload.Program(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch {
+	case *profile:
+		a, err := bioperfload.Characterize(p, sz)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := a.Mix()
+		fmt.Printf("%s (%s inputs)\n", p.Name, sz)
+		fmt.Printf("  instructions: %d\n", m.Total)
+		fmt.Printf("  mix: %.1f%% loads, %.1f%% stores, %.1f%% cond branches, %.1f%% other (FP %.2f%%)\n",
+			m.LoadPct, m.StorePct, m.BranchPct, m.OtherPct, 100*m.FPFraction)
+		fmt.Printf("  static loads executed: %d, top-80 coverage %.1f%%\n",
+			a.StaticLoadCount(), 100*a.CoverageAt(80))
+		c := a.CacheReport()
+		fmt.Printf("  cache: L1 %.2f%%, L2 %.2f%%, overall %.3f%%, AMAT %.2f\n",
+			100*c.L1Local, 100*c.L2Local, 100*c.Overall, c.AMAT)
+		s := a.Sequences()
+		fmt.Printf("  load-to-branch: %.1f%% of loads (fed-branch mispredict %.1f%%)\n",
+			s.LoadToBranchPct, 100*s.FedBranchMispredictRate)
+		fmt.Printf("  loads after hard branches: %.1f%%\n", s.LoadAfterHardBranchPct)
+		fmt.Printf("  hottest loads:\n")
+		for _, h := range a.HotLoads(*hot) {
+			fmt.Printf("    pc=%-6d freq=%5.2f%% L1miss=%5.2f%% brMispred=%5.2f%% %s:%d (%s)\n",
+				h.PC, 100*h.Frequency, 100*h.L1MissRate, 100*h.BranchMispred,
+				h.File, h.Line, h.Func)
+		}
+
+	case *platName != "":
+		plat, err := bioperfload.PlatformByName(*platName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := bioperfload.Evaluate(p, plat, sz, *transformed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kind := "original"
+		if *transformed {
+			kind = "load-transformed"
+		}
+		fmt.Printf("%s (%s, %s) on %s:\n", p.Name, kind, sz, plat.Name)
+		fmt.Printf("  %d instructions, %d cycles (IPC %.2f)\n", st.Instructions, st.Cycles, st.IPC())
+		fmt.Printf("  %d cond branches, %.2f%% mispredicted\n", st.CondBranches, 100*st.MispredictRate())
+		fmt.Printf("  %d loads, AMAT %.2f cycles (L1 %d / L2 %d / mem %d)\n",
+			st.Loads, st.AMAT(), st.L1Hits, st.L2Hits, st.MemHits)
+		if p.Transformable && !*transformed {
+			sp, err := bioperfload.Speedup(p, plat, sz)
+			if err == nil {
+				fmt.Printf("  load transformation speedup on this platform: %.1f%%\n", 100*sp)
+			}
+		}
+
+	default:
+		prog, err := p.Compile(*transformed, bioperfload.DefaultCompiler())
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := bioperfload.NewMachine(prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := p.Bind(m, sz); err != nil {
+			log.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := p.Validate(res, sz); err != nil {
+			fmt.Fprintf(os.Stderr, "VALIDATION FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d instructions, output %v (validated)\n",
+			p.Name, res.Instructions, res.IntOutput)
+	}
+}

@@ -1,0 +1,135 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation and prints them in order. The -size flag selects
+// the characterization input scale and -timing the Table 8/Figure 9
+// scale (the paper profiles with class-B inputs and times with
+// class-C).
+//
+//	go run ./cmd/experiments -size classB -timing classB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"bioperfload/internal/bio"
+	"bioperfload/internal/experiments"
+)
+
+func parseSize(s string) (bio.Size, error) {
+	switch s {
+	case "test":
+		return bio.SizeTest, nil
+	case "classB", "b", "B":
+		return bio.SizeB, nil
+	case "classC", "c", "C":
+		return bio.SizeC, nil
+	}
+	return 0, fmt.Errorf("unknown size %q (test|classB|classC)", s)
+}
+
+func main() {
+	log.SetFlags(0)
+	sizeFlag := flag.String("size", "classB", "characterization input size (test|classB|classC)")
+	timingFlag := flag.String("timing", "classB", "Table 8 / Figure 9 input size")
+	only := flag.String("only", "", "run a single experiment (fig1|tab1|fig2|tab2|tab4|tab5|tab6|tab7|tab8|fig9|ablations)")
+	ablations := flag.Bool("ablations", false, "also run the causal ablations (L1 latency, predictor, passes, restrict)")
+	flag.Parse()
+
+	sz, err := parseSize(*sizeFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tsz, err := parseSize(*timingFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	want := func(name string) bool { return *only == "" || *only == name }
+	start := time.Now()
+
+	var profiles []experiments.ProgramProfile
+	needProfiles := want("fig1") || want("tab1") || want("tab2") || want("tab4")
+	if needProfiles {
+		log.Printf("characterizing the nine applications at %s...", sz)
+		profiles, err = experiments.Characterize(sz)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	out := os.Stdout
+	if want("fig1") {
+		fmt.Fprintln(out, experiments.RenderFig1(experiments.Fig1(profiles)))
+	}
+	if want("tab1") {
+		fmt.Fprintln(out, experiments.RenderTable1(experiments.Table1(profiles)))
+	}
+	if want("fig2") {
+		series, err := experiments.Fig2(sz)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out, experiments.RenderFig2(series))
+	}
+	if want("tab2") {
+		fmt.Fprintln(out, experiments.RenderTable2(experiments.Table2(profiles)))
+	}
+	if want("tab4") {
+		fmt.Fprintln(out, experiments.RenderTable4(experiments.Table4(profiles)))
+	}
+	if want("tab5") {
+		rows, err := experiments.Table5(sz, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out, experiments.RenderTable5(rows))
+	}
+	if want("tab6") {
+		fmt.Fprintln(out, experiments.RenderTable6(experiments.Table6()))
+	}
+	if want("tab7") {
+		fmt.Fprintln(out, experiments.RenderTable7())
+	}
+	if want("tab8") || want("fig9") {
+		log.Printf("timing the six transformed applications at %s on four platforms...", tsz)
+		cells, err := experiments.Table8(tsz)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if want("tab8") {
+			fmt.Fprintln(out, experiments.RenderTable8(cells))
+		}
+		if want("fig9") {
+			fmt.Fprintln(out, experiments.RenderFig9(experiments.Fig9(cells)))
+		}
+	}
+	if *ablations || *only == "ablations" {
+		log.Printf("running ablations on hmmsearch at %s...", tsz)
+		if rows, err := experiments.AblateL1Latency("hmmsearch", tsz, []int{1, 2, 3, 4, 5}); err != nil {
+			log.Fatal(err)
+		} else {
+			fmt.Fprintln(out, experiments.RenderAblation("L1 hit latency sweep (Alpha model)", rows))
+		}
+		if rows, err := experiments.AblatePredictor("hmmsearch", tsz); err != nil {
+			log.Fatal(err)
+		} else {
+			fmt.Fprintln(out, experiments.RenderAblation("branch predictor (Alpha model)", rows))
+		}
+		if rows, err := experiments.AblatePasses("hmmsearch", tsz); err != nil {
+			log.Fatal(err)
+		} else {
+			fmt.Fprintln(out, experiments.RenderAblation("compiler passes (Alpha model)", rows))
+		}
+		for _, plat := range []string{"itanium2", "alpha21264"} {
+			if rows, err := experiments.AblateRestrict("hmmsearch", plat, tsz); err != nil {
+				log.Fatal(err)
+			} else {
+				fmt.Fprintln(out, experiments.RenderAblation("restrict parameters ("+plat+")", rows))
+			}
+		}
+	}
+	log.Printf("done in %v", time.Since(start).Round(time.Millisecond))
+}

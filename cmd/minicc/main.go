@@ -1,0 +1,74 @@
+// Command minicc compiles and runs MiniC source files on the
+// simulated machine — the toolchain's standalone driver.
+//
+//	minicc prog.mc            # compile and run
+//	minicc -S prog.mc         # print the generated VRISC64 assembly
+//	minicc -O0 -regs 8 prog.mc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"bioperfload"
+)
+
+func main() {
+	log.SetFlags(0)
+	dump := flag.Bool("S", false, "print the generated assembly instead of running")
+	o0 := flag.Bool("O0", false, "disable optimization")
+	regs := flag.Int("regs", 0, "restrict the allocatable registers per class (0 = default)")
+	fuel := flag.Uint64("fuel", 0, "instruction budget (0 = default)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		log.Fatal("usage: minicc [-S] [-O0] [-regs n] file.mc")
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := bioperfload.DefaultCompiler()
+	if *o0 {
+		opts = bioperfload.UnoptimizedCompiler()
+	}
+	opts.AllocIntRegs = *regs
+	opts.AllocFPRegs = *regs
+
+	prog, err := bioperfload.CompileMiniCWith(path, string(src), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *dump {
+		for _, f := range prog.Funcs {
+			fmt.Printf("%s:\n", f.Name)
+			for pc := f.Entry; pc < f.End; pc++ {
+				fmt.Printf("  %5d: %s\n", pc, prog.Insts[pc])
+			}
+		}
+		return
+	}
+
+	m, err := bioperfload.NewMachine(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *fuel > 0 {
+		m.Fuel = *fuel
+	}
+	res, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range res.IntOutput {
+		fmt.Println(v)
+	}
+	for _, v := range res.FPOutput {
+		fmt.Println(v)
+	}
+	fmt.Fprintf(os.Stderr, "[%d instructions, exit %d]\n", res.Instructions, res.ExitCode)
+}

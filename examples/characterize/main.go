@@ -1,0 +1,51 @@
+// Characterize reproduces the paper's Section 2 study for one
+// application: instruction mix, static-load coverage, cache behaviour,
+// load-to-branch sequences, and the hot-load profile with source
+// attribution (the paper's Figures 1-2 and Tables 2/4/5 for
+// hmmsearch).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bioperfload"
+)
+
+func main() {
+	p, err := bioperfload.Program("hmmsearch")
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := bioperfload.Characterize(p, bioperfload.SizeTest)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := a.Mix()
+	fmt.Printf("== %s ==\n", p.Name)
+	fmt.Printf("instruction mix: %.1f%% loads, %.1f%% stores, %.1f%% branches, %.1f%% other\n",
+		m.LoadPct, m.StorePct, m.BranchPct, m.OtherPct)
+
+	fmt.Printf("\nstatic-load coverage (the paper's key observation):\n")
+	for _, n := range []int{1, 10, 20, 40, 80} {
+		fmt.Printf("  top %3d static loads cover %5.1f%% of dynamic loads\n",
+			n, 100*a.CoverageAt(n))
+	}
+
+	c := a.CacheReport()
+	fmt.Printf("\ncache: L1 miss %.2f%%, overall to memory %.3f%%, AMAT %.2f cycles\n",
+		100*c.L1Local, 100*c.Overall, c.AMAT)
+	fmt.Println("=> the loads almost always hit; the bottleneck is the L1 HIT latency")
+
+	s := a.Sequences()
+	fmt.Printf("\nload-to-branch sequences: %.1f%% of loads (fed branches mispredict %.1f%%)\n",
+		s.LoadToBranchPct, 100*s.FedBranchMispredictRate)
+	fmt.Printf("loads right after hard-to-predict branches: %.1f%%\n", s.LoadAfterHardBranchPct)
+
+	fmt.Printf("\nhottest loads (Table 5):\n")
+	for _, h := range a.HotLoads(5) {
+		fmt.Printf("  freq %5.2f%%  L1 miss %5.2f%%  branch mispredict %5.2f%%  %s line %d\n",
+			100*h.Frequency, 100*h.L1MissRate, 100*h.BranchMispred, h.Func, h.Line)
+	}
+}

@@ -1,0 +1,48 @@
+// Quickstart: compile a MiniC program with the toolchain, run it on
+// the simulated Alpha-like machine, and print its output — the
+// shortest path through the library's public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bioperfload"
+)
+
+const source = `
+int fib[32];
+
+int main() {
+	int i;
+	fib[0] = 0;
+	fib[1] = 1;
+	for (i = 2; i < 32; i++) {
+		fib[i] = fib[i-1] + fib[i-2];
+	}
+	print(fib[10]);
+	print(fib[31]);
+	double golden = (double)fib[31] / (double)fib[30];
+	print(golden);
+	return 0;
+}
+`
+
+func main() {
+	prog, err := bioperfload.CompileMiniC("fib.mc", source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := bioperfload.NewMachine(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fib(10) = %d\n", res.IntOutput[0])
+	fmt.Printf("fib(31) = %d\n", res.IntOutput[1])
+	fmt.Printf("ratio   = %.6f (golden ratio)\n", res.FPOutput[0])
+	fmt.Printf("executed %d simulated instructions\n", res.Instructions)
+}

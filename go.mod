@@ -1,0 +1,3 @@
+module bioperfload
+
+go 1.24

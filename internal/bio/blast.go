@@ -1,0 +1,219 @@
+package bio
+
+import (
+	"bioperfload/internal/workload"
+)
+
+// blast implements the BLAST seed-and-extend heuristic: protein
+// 3-mers of the query populate a chained word table; every database
+// word probes it, and hits are extended in both directions under an
+// X-drop rule. The extension loop's loads feed the drop-off branch —
+// blast has the paper's highest load-to-branch fraction (75.7%, Table
+// 4a) and highest overall miss rate. It is characterized but not
+// load-transformed.
+
+const (
+	blastMaxQ  = 256
+	blastMaxDB = 262144
+)
+
+const blastSource = `
+int QL = 0;
+int DL = 0;
+int xdrop = 12;
+int cutoff2 = 35;
+char q[256];
+char db[262144];
+int wfirst[8000];
+int wnext[256];
+int smat[400];
+
+int extend(int qp, int dp) {
+	int sc; int best2; int k;
+	/* seed word scores */
+	sc = smat[q[qp] * 20 + db[dp]]
+	   + smat[q[qp+1] * 20 + db[dp+1]]
+	   + smat[q[qp+2] * 20 + db[dp+2]];
+	best2 = sc;
+	/* extend right */
+	k = 3;
+	while (qp + k < QL) {
+		if (dp + k >= DL) break;
+		sc = sc + smat[q[qp+k] * 20 + db[dp+k]];
+		if (sc > best2) best2 = sc;
+		if (best2 - sc > xdrop) break;
+		k = k + 1;
+	}
+	/* extend left */
+	k = 1;
+	while (qp - k >= 0) {
+		if (dp - k < 0) break;
+		sc = best2;
+		sc = sc + smat[q[qp-k] * 20 + db[dp-k]];
+		if (sc > best2) best2 = sc;
+		if (best2 - sc > xdrop) break;
+		k = k + 1;
+	}
+	return best2;
+}
+
+int main() {
+	int i; int w; int p; int sc;
+	int nhsp = 0; int total = 0; int best = 0;
+	for (i = 0; i < 8000; i++) wfirst[i] = -1;
+	for (i = 0; i + 3 <= QL; i++) {
+		w = q[i] * 400 + q[i+1] * 20 + q[i+2];
+		wnext[i] = wfirst[w];
+		wfirst[w] = i;
+	}
+	for (i = 0; i + 3 <= DL; i++) {
+		w = db[i] * 400 + db[i+1] * 20 + db[i+2];
+		for (p = wfirst[w]; p != -1; p = wnext[p]) {
+			sc = extend(p, i);
+			if (sc >= cutoff2) {
+				nhsp = nhsp + 1;
+				total = total + sc;
+				if (sc > best) best = sc;
+			}
+		}
+	}
+	print(nhsp);
+	print(total);
+	print(best);
+	return 0;
+}
+`
+
+type blastInputs struct {
+	q, db []byte
+	smat  []int64
+}
+
+func blastDims(sz Size) (ql, dl int) {
+	switch sz {
+	case SizeTest:
+		return 40, 600
+	case SizeB:
+		return 150, 140000
+	default:
+		return 220, 260000
+	}
+}
+
+func blastInputs2(sz Size) *blastInputs {
+	ql, dl := blastDims(sz)
+	r := workload.NewRNG(0xB1A570)
+	in := &blastInputs{
+		q:    workload.ProteinSeq(r, ql),
+		db:   workload.ProteinSeq(r, dl),
+		smat: workload.SubstMatrix(r, 20, 6, -2),
+	}
+	// Plant fragments of the query around the database so extensions
+	// fire.
+	for i := 0; i < dl/800+2; i++ {
+		frag := ql / 2
+		start := r.Intn(maxInt(1, ql-frag))
+		workload.PlantMotif(r, in.db, in.q[start:start+frag],
+			r.Intn(maxInt(1, dl-frag)), 20, 120)
+	}
+	return in
+}
+
+func blastRef(in *blastInputs) Expected {
+	QL, DL := len(in.q), len(in.db)
+	xdrop, cutoff := int64(12), int64(35)
+	extend := func(qp, dp int) int64 {
+		sc := in.smat[int64(in.q[qp])*20+int64(in.db[dp])] +
+			in.smat[int64(in.q[qp+1])*20+int64(in.db[dp+1])] +
+			in.smat[int64(in.q[qp+2])*20+int64(in.db[dp+2])]
+		best2 := sc
+		k := 3
+		for qp+k < QL {
+			if dp+k >= DL {
+				break
+			}
+			sc = sc + in.smat[int64(in.q[qp+k])*20+int64(in.db[dp+k])]
+			if sc > best2 {
+				best2 = sc
+			}
+			if best2-sc > xdrop {
+				break
+			}
+			k++
+		}
+		k = 1
+		for qp-k >= 0 {
+			if dp-k < 0 {
+				break
+			}
+			sc = best2
+			sc = sc + in.smat[int64(in.q[qp-k])*20+int64(in.db[dp-k])]
+			if sc > best2 {
+				best2 = sc
+			}
+			if best2-sc > xdrop {
+				break
+			}
+			k++
+		}
+		return best2
+	}
+	wfirst := make([]int64, 8000)
+	for i := range wfirst {
+		wfirst[i] = -1
+	}
+	wnext := make([]int64, 256)
+	for i := 0; i+3 <= QL; i++ {
+		w := int64(in.q[i])*400 + int64(in.q[i+1])*20 + int64(in.q[i+2])
+		wnext[i] = wfirst[w]
+		wfirst[w] = int64(i)
+	}
+	var nhsp, total, best int64
+	for i := 0; i+3 <= DL; i++ {
+		w := int64(in.db[i])*400 + int64(in.db[i+1])*20 + int64(in.db[i+2])
+		for p := wfirst[w]; p != -1; p = wnext[p] {
+			sc := extend(int(p), i)
+			if sc >= cutoff {
+				nhsp++
+				total += sc
+				if sc > best {
+					best = sc
+				}
+			}
+		}
+	}
+	return Expected{Ints: []int64{nhsp, total, best}}
+}
+
+// Blast builds the blast program.
+func Blast() *Program {
+	return &Program{
+		Name:          "blast",
+		Area:          "sequence analysis (seed-and-extend search)",
+		Transformable: false,
+		source:        blastSource,
+		Bind: func(m Binder, sz Size) error {
+			in := blastInputs2(sz)
+			steps := []struct {
+				name string
+				vals []int64
+			}{
+				{"QL", []int64{int64(len(in.q))}},
+				{"DL", []int64{int64(len(in.db))}},
+				{"smat", in.smat},
+			}
+			for _, st := range steps {
+				if err := m.WriteSymbolInt64s(st.name, st.vals); err != nil {
+					return err
+				}
+			}
+			if err := m.WriteSymbol("q", in.q); err != nil {
+				return err
+			}
+			return m.WriteSymbol("db", in.db)
+		},
+		Reference: func(sz Size) Expected {
+			return blastRef(blastInputs2(sz))
+		},
+	}
+}

@@ -1,0 +1,279 @@
+package bio
+
+import (
+	"bioperfload/internal/workload"
+)
+
+// clustalw performs progressive multiple sequence alignment. The hot
+// code is the affine-gap forward pass (Gotoh recurrence) run over all
+// sequence pairs, whose short IF statements load row arrays through
+// pointers — the pattern the paper transforms (Table 6: 4 loads, 10
+// lines of C). Both variants below compute identical results.
+
+const clustalwMaxSeqs = 16
+const clustalwMaxLen = 256
+
+const clustalwDecls = `
+int nseq2 = 0;
+int go2 = 10;
+int ge2 = 1;
+int lens[16];
+char sq[4096];
+int smat[400];
+int hh[257];
+int ff[257];
+int pairsc[256];
+`
+
+// clustalwForwardOriginal: the IF conditions load hh/ff through
+// pointer parameters and their THEN clauses store, so neither load
+// hoisting nor if-conversion is possible for the compiler.
+const clustalwForwardOriginal = `
+int forward_pass(int *hh2, int *ff2, char *s2, int *sm,
+                 int offa, int la, int offb, int lb, int gop, int gep) {
+	int i; int j; int t; int e2; int prev; int best; int ai;
+	for (j = 0; j <= lb; j++) { hh2[j] = 0; ff2[j] = -10000; }
+	best = 0;
+	for (i = 1; i <= la; i++) {
+		ai = s2[offa + i - 1];
+		prev = hh2[0];
+		hh2[0] = 0;
+		e2 = -10000;
+		for (j = 1; j <= lb; j++) {
+			e2 = e2 - gep;
+			if ((t = hh2[j-1] - gop) > e2) e2 = t;
+			ff2[j] = ff2[j] - gep;
+			if ((t = hh2[j] - gop) > ff2[j]) ff2[j] = t;
+			t = prev + sm[ai * 20 + s2[offb + j - 1]];
+			if (e2 > t) t = e2;
+			if (ff2[j] > t) t = ff2[j];
+			if (t < 0) t = 0;
+			prev = hh2[j];
+			hh2[j] = t;
+			if (t > best) best = t;
+		}
+	}
+	return best;
+}
+`
+
+// clustalwForwardTransformed hoists the four loads of the recurrence
+// into temporaries at the top of the body; the guarded updates become
+// register moves the compiler if-converts.
+const clustalwForwardTransformed = `
+int forward_pass(int *hh2, int *ff2, char *s2, int *sm,
+                 int offa, int la, int offb, int lb, int gop, int gep) {
+	int i; int j; int t; int e2; int prev; int best; int ai;
+	int temp1; int temp2; int temp3; int temp4;
+	for (j = 0; j <= lb; j++) { hh2[j] = 0; ff2[j] = -10000; }
+	best = 0;
+	for (i = 1; i <= la; i++) {
+		ai = s2[offa + i - 1];
+		prev = hh2[0];
+		hh2[0] = 0;
+		e2 = -10000;
+		for (j = 1; j <= lb; j++) {
+			temp1 = hh2[j-1] - gop;
+			temp2 = ff2[j] - gep;
+			temp3 = hh2[j] - gop;
+			temp4 = prev + sm[ai * 20 + s2[offb + j - 1]];
+			e2 = e2 - gep;
+			if (temp1 > e2) e2 = temp1;
+			if (temp3 > temp2) temp2 = temp3;
+			ff2[j] = temp2;
+			t = temp4;
+			if (e2 > t) t = e2;
+			if (temp2 > t) t = temp2;
+			if (t < 0) t = 0;
+			prev = hh2[j];
+			hh2[j] = t;
+			if (t > best) best = t;
+		}
+	}
+	return best;
+}
+`
+
+const clustalwMain = `
+int main() {
+	int a; int b; int np = 0; int total = 0; int best = 0; int sc;
+	for (a = 0; a < nseq2; a++) {
+		for (b = a + 1; b < nseq2; b++) {
+			sc = forward_pass(hh, ff, sq, smat,
+			                  a * 256, lens[a], b * 256, lens[b], go2, ge2);
+			pairsc[np] = sc;
+			np = np + 1;
+			total = total + sc;
+			if (sc > best) best = sc;
+		}
+	}
+	/* Guide-tree order: selection sort of pair scores (descending),
+	   checksummed, standing in for the neighbor-joining stage. */
+	int i2; int j2; int m2; int tmp;
+	for (i2 = 0; i2 < np; i2++) {
+		m2 = i2;
+		for (j2 = i2 + 1; j2 < np; j2++) {
+			if (pairsc[j2] > pairsc[m2]) m2 = j2;
+		}
+		tmp = pairsc[i2]; pairsc[i2] = pairsc[m2]; pairsc[m2] = tmp;
+	}
+	int chk = 0;
+	for (i2 = 0; i2 < np; i2++) chk = chk * 31 + pairsc[i2] % 1000;
+	/* Progressive stage: re-align everything against the first
+	   sequence (profile stand-in). */
+	int prog = 0;
+	for (a = 1; a < nseq2; a++) {
+		prog = prog + forward_pass(hh, ff, sq, smat,
+		                           0, lens[0], a * 256, lens[a], go2, ge2);
+	}
+	print(total);
+	print(best);
+	print(chk);
+	print(prog);
+	return 0;
+}
+`
+
+type clustalwInputs struct {
+	seqs [][]byte
+	smat []int64
+}
+
+func clustalwDims(sz Size) (nseq, l int) {
+	switch sz {
+	case SizeTest:
+		return 3, 24
+	case SizeB:
+		return 8, 110
+	default:
+		return 12, 150
+	}
+}
+
+func clustalwInputs2(sz Size) *clustalwInputs {
+	nseq, l := clustalwDims(sz)
+	r := workload.NewRNG(0xC1057A)
+	in := &clustalwInputs{smat: workload.SubstMatrix(r, 20, 5, -2)}
+	base := workload.ProteinSeq(r, l)
+	for i := 0; i < nseq; i++ {
+		// Related sequences: mutated copies of a common ancestor,
+		// which is what clustalw aligns in practice.
+		s := workload.MutatedCopy(r, base, 20, 200, 30)
+		if len(s) > l {
+			s = s[:l]
+		}
+		in.seqs = append(in.seqs, s)
+	}
+	return in
+}
+
+func clustalwRef(in *clustalwInputs) Expected {
+	gop, gep := int64(10), int64(1)
+	forward := func(a, b []byte) int64 {
+		la, lb := len(a), len(b)
+		hh := make([]int64, lb+1)
+		ff := make([]int64, lb+1)
+		for j := 0; j <= lb; j++ {
+			hh[j] = 0
+			ff[j] = -10000
+		}
+		best := int64(0)
+		for i := 1; i <= la; i++ {
+			ai := int64(a[i-1])
+			prev := hh[0]
+			hh[0] = 0
+			e2 := int64(-10000)
+			for j := 1; j <= lb; j++ {
+				e2 = e2 - gep
+				if t := hh[j-1] - gop; t > e2 {
+					e2 = t
+				}
+				ff[j] = ff[j] - gep
+				if t := hh[j] - gop; t > ff[j] {
+					ff[j] = t
+				}
+				t := prev + in.smat[ai*20+int64(b[j-1])]
+				if e2 > t {
+					t = e2
+				}
+				if ff[j] > t {
+					t = ff[j]
+				}
+				if t < 0 {
+					t = 0
+				}
+				prev = hh[j]
+				hh[j] = t
+				if t > best {
+					best = t
+				}
+			}
+		}
+		return best
+	}
+	var pairsc []int64
+	var total, best int64
+	for a := 0; a < len(in.seqs); a++ {
+		for b := a + 1; b < len(in.seqs); b++ {
+			sc := forward(in.seqs[a], in.seqs[b])
+			pairsc = append(pairsc, sc)
+			total += sc
+			if sc > best {
+				best = sc
+			}
+		}
+	}
+	for i := 0; i < len(pairsc); i++ {
+		m := i
+		for j := i + 1; j < len(pairsc); j++ {
+			if pairsc[j] > pairsc[m] {
+				m = j
+			}
+		}
+		pairsc[i], pairsc[m] = pairsc[m], pairsc[i]
+	}
+	var chk int64
+	for _, v := range pairsc {
+		chk = chk*31 + v%1000
+	}
+	var prog int64
+	for a := 1; a < len(in.seqs); a++ {
+		prog += forward(in.seqs[0], in.seqs[a])
+	}
+	return Expected{Ints: []int64{total, best, chk, prog}}
+}
+
+// Clustalw builds the clustalw program.
+func Clustalw() *Program {
+	return &Program{
+		Name:            "clustalw",
+		Area:            "sequence analysis (progressive multiple alignment)",
+		Transformable:   true,
+		LoadsConsidered: 4,
+		LinesInvolved:   10,
+		source:          clustalwDecls + clustalwForwardOriginal + clustalwMain,
+		transformed:     clustalwDecls + clustalwForwardTransformed + clustalwMain,
+		Bind: func(m Binder, sz Size) error {
+			in := clustalwInputs2(sz)
+			if err := m.WriteSymbolInt64s("nseq2", []int64{int64(len(in.seqs))}); err != nil {
+				return err
+			}
+			lens := make([]int64, len(in.seqs))
+			buf := make([]byte, len(in.seqs)*clustalwMaxLen)
+			for i, s := range in.seqs {
+				lens[i] = int64(len(s))
+				copy(buf[i*clustalwMaxLen:], s)
+			}
+			if err := m.WriteSymbolInt64s("lens", lens); err != nil {
+				return err
+			}
+			if err := m.WriteSymbol("sq", buf); err != nil {
+				return err
+			}
+			return m.WriteSymbolInt64s("smat", in.smat)
+		},
+		Reference: func(sz Size) Expected {
+			return clustalwRef(clustalwInputs2(sz))
+		},
+	}
+}

@@ -1,0 +1,264 @@
+package bio
+
+import (
+	"bioperfload/internal/workload"
+)
+
+// dnapenny searches for most-parsimonious phylogenies by
+// branch-and-bound. Our port enumerates leaf assignments of eight taxa
+// onto a fixed tree shape recursively, pruning with a cherry-distance
+// bound, and scores candidates with Fitch parsimony over bitmask site
+// states with an early-exit bound check — the loads of the site
+// patterns feed the branchy set-intersection tests, the paper's
+// load-to-branch pattern. The transformed variant (Table 6: 3 loads,
+// 10 lines) hoists the child-state loads into temporaries and turns
+// the intersection test into conditional moves.
+
+const dnapennyMaxSites = 128
+
+const dnapennyDecls = `
+int nsites = 0;
+char pat[1024];
+int used[8];
+int perm[8];
+int best = 99999999;
+int nevals = 0;
+int npruned = 0;
+int diffs[64];
+int stv[15];
+`
+
+// dnapennyFitchOriginal: Fitch with guarded stores inside the node
+// loop (the intersection-empty branch is data-dependent).
+const dnapennyFitchOriginal = `
+int fitch_cost(int bound) {
+	int cost = 0;
+	int s2; int l2; int n2; int a2; int b2; int u2;
+	for (s2 = 0; s2 < nsites; s2++) {
+		for (l2 = 0; l2 < 8; l2++) {
+			stv[7 + l2] = pat[s2 * 8 + perm[l2]];
+		}
+		for (n2 = 6; n2 >= 0; n2--) {
+			a2 = stv[2 * n2 + 1];
+			b2 = stv[2 * n2 + 2];
+			u2 = a2 & b2;
+			if (u2 == 0) {
+				cost = cost + 1;
+				stv[n2] = a2 | b2;
+			} else {
+				stv[n2] = u2;
+			}
+		}
+		if (cost >= bound) return cost;
+	}
+	return cost;
+}
+`
+
+// dnapennyFitchTransformed: both candidate states and the incremented
+// cost are computed unconditionally into temporaries; the guards
+// become register selects (CMOVs), and the store is unconditional.
+const dnapennyFitchTransformed = `
+int fitch_cost(int bound) {
+	int cost = 0;
+	int s2; int l2; int n2; int a2; int b2; int u2;
+	int temp1; int temp2;
+	for (s2 = 0; s2 < nsites; s2++) {
+		for (l2 = 0; l2 < 8; l2++) {
+			stv[7 + l2] = pat[s2 * 8 + perm[l2]];
+		}
+		for (n2 = 6; n2 >= 0; n2--) {
+			a2 = stv[2 * n2 + 1];
+			b2 = stv[2 * n2 + 2];
+			u2 = a2 & b2;
+			temp1 = a2 | b2;
+			temp2 = cost + 1;
+			if (u2 != 0) temp1 = u2;
+			if (u2 == 0) cost = temp2;
+			stv[n2] = temp1;
+		}
+		if (cost >= bound) return cost;
+	}
+	return cost;
+}
+`
+
+const dnapennyMain = `
+void search(int depth, int partial) {
+	int t2; int c2; int p2;
+	if (depth == 8) {
+		nevals = nevals + 1;
+		c2 = fitch_cost(best);
+		if (c2 < best) best = c2;
+		return;
+	}
+	for (t2 = 0; t2 < 8; t2++) {
+		if (used[t2]) continue;
+		if (depth == 0) {
+			if (t2 != 0) continue;
+		}
+		p2 = partial;
+		if (depth % 2 == 1) {
+			p2 = p2 + diffs[perm[depth-1] * 8 + t2];
+		}
+		if (p2 >= best) {
+			npruned = npruned + 1;
+			continue;
+		}
+		used[t2] = 1;
+		perm[depth] = t2;
+		search(depth + 1, p2);
+		used[t2] = 0;
+	}
+}
+
+int main() {
+	int a; int b; int s2; int d;
+	for (a = 0; a < 8; a++) {
+		for (b = 0; b < 8; b++) {
+			d = 0;
+			for (s2 = 0; s2 < nsites; s2++) {
+				if (pat[s2 * 8 + a] != pat[s2 * 8 + b]) d = d + 1;
+			}
+			diffs[a * 8 + b] = d;
+		}
+	}
+	/* Seed the bound with the identity assignment (stepwise-addition
+	   starting tree), as dnapenny does. */
+	for (a = 0; a < 8; a++) perm[a] = a;
+	best = fitch_cost(99999999);
+	search(0, 0);
+	print(best);
+	print(nevals);
+	print(npruned);
+	return 0;
+}
+`
+
+func dnapennyDims(sz Size) int {
+	switch sz {
+	case SizeTest:
+		return 12
+	case SizeB:
+		return 48
+	default:
+		return 96
+	}
+}
+
+func dnapennyPatterns(sz Size) []byte {
+	nsites := dnapennyDims(sz)
+	r := workload.NewRNG(0xD4A9E0)
+	raw := workload.SitePatterns(r, 8, nsites)
+	// Convert base indices 0..3 to Fitch bitmasks 1,2,4,8, stored
+	// site-major to match pat[s*8+t].
+	out := make([]byte, len(raw))
+	for i, b := range raw {
+		out[i] = 1 << b
+	}
+	return out
+}
+
+func dnapennyRef(sz Size) Expected {
+	pat := dnapennyPatterns(sz)
+	nsites := dnapennyDims(sz)
+	var perm [8]int
+	var used [8]bool
+	best := int64(99999999)
+	var nevals, npruned int64
+
+	var diffs [64]int64
+	for a := 0; a < 8; a++ {
+		for b := 0; b < 8; b++ {
+			var d int64
+			for s := 0; s < nsites; s++ {
+				if pat[s*8+a] != pat[s*8+b] {
+					d++
+				}
+			}
+			diffs[a*8+b] = d
+		}
+	}
+
+	fitch := func(bound int64) int64 {
+		var cost int64
+		var stv [15]int64
+		for s := 0; s < nsites; s++ {
+			for l := 0; l < 8; l++ {
+				stv[7+l] = int64(pat[s*8+perm[l]])
+			}
+			for n := 6; n >= 0; n-- {
+				a2 := stv[2*n+1]
+				b2 := stv[2*n+2]
+				u := a2 & b2
+				if u == 0 {
+					cost++
+					stv[n] = a2 | b2
+				} else {
+					stv[n] = u
+				}
+			}
+			if cost >= bound {
+				return cost
+			}
+		}
+		return cost
+	}
+
+	for a := 0; a < 8; a++ {
+		perm[a] = a
+	}
+	best = fitch(99999999)
+	var search func(depth int, partial int64)
+	search = func(depth int, partial int64) {
+		if depth == 8 {
+			nevals++
+			if c := fitch(best); c < best {
+				best = c
+			}
+			return
+		}
+		for t := 0; t < 8; t++ {
+			if used[t] {
+				continue
+			}
+			if depth == 0 && t != 0 {
+				continue
+			}
+			p := partial
+			if depth%2 == 1 {
+				p += diffs[perm[depth-1]*8+t]
+			}
+			if p >= best {
+				npruned++
+				continue
+			}
+			used[t] = true
+			perm[depth] = t
+			search(depth+1, p)
+			used[t] = false
+		}
+	}
+	search(0, 0)
+	return Expected{Ints: []int64{best, nevals, npruned}}
+}
+
+// Dnapenny builds the dnapenny program.
+func Dnapenny() *Program {
+	return &Program{
+		Name:            "dnapenny",
+		Area:            "molecular phylogeny (branch-and-bound parsimony)",
+		Transformable:   true,
+		LoadsConsidered: 3,
+		LinesInvolved:   10,
+		source:          dnapennyDecls + dnapennyFitchOriginal + dnapennyMain,
+		transformed:     dnapennyDecls + dnapennyFitchTransformed + dnapennyMain,
+		Bind: func(m Binder, sz Size) error {
+			if err := m.WriteSymbolInt64s("nsites", []int64{int64(dnapennyDims(sz))}); err != nil {
+				return err
+			}
+			return m.WriteSymbol("pat", dnapennyPatterns(sz))
+		},
+		Reference: dnapennyRef,
+	}
+}

@@ -1,0 +1,242 @@
+package bio
+
+import (
+	"bioperfload/internal/workload"
+)
+
+// fasta implements the FASTA k-tuple heuristic: hash the query's
+// 4-mers into chained lookup tables, scan the database accumulating
+// diagonal hit counts (the chain walk is a load-to-branch sequence),
+// pick the best diagonal, and rescore it with a banded Smith-Waterman
+// pass. fasta is characterized but not load-transformed in the paper.
+
+const (
+	fastaMaxQ  = 512
+	fastaMaxDB = 131072
+)
+
+const fastaSource = `
+int QL = 0;
+int DL = 0;
+int NQ = 0;
+char q[2048];
+char db[131072];
+int first2[256];
+int nextp[512];
+int diag[132096];
+int hh[513];
+int smat2[16];
+
+int scan_diagonals(int qoff) {
+	int i; int w; int p; int bestd; int bestv;
+	for (i = 0; i < DL + QL; i++) diag[i] = 0;
+	for (i = 0; i < 256; i++) first2[i] = -1;
+	for (i = 0; i + 4 <= QL; i++) {
+		w = q[qoff+i] * 64 + q[qoff+i+1] * 16 + q[qoff+i+2] * 4 + q[qoff+i+3];
+		nextp[i] = first2[w];
+		first2[w] = i;
+	}
+	for (i = 0; i + 4 <= DL; i++) {
+		w = db[i] * 64 + db[i+1] * 16 + db[i+2] * 4 + db[i+3];
+		for (p = first2[w]; p != -1; p = nextp[p]) {
+			diag[i - p + QL] = diag[i - p + QL] + 1;
+		}
+	}
+	bestd = 0;
+	bestv = -1;
+	for (i = 0; i < DL + QL; i++) {
+		if (diag[i] > bestv) { bestv = diag[i]; bestd = i; }
+	}
+	print(bestv);
+	return bestd;
+}
+
+int band_sw(int qoff, int bestd) {
+	/* Banded Smith-Waterman of width 2*BW+1 around the diagonal:
+	   column j of the band at query row i maps to db position
+	   i + (bestd - QL) + (j - BW). */
+	int i; int j; int t; int prevdiag; int tmp; int best;
+	int d0 = bestd - QL;
+	for (j = 0; j <= 16; j++) hh[j] = 0;
+	best = 0;
+	for (i = 0; i < QL; i++) {
+		prevdiag = hh[0];
+		hh[0] = 0;
+		for (j = 1; j <= 16; j++) {
+			int dbpos = i + d0 + j - 8;
+			t = 0;
+			if (dbpos >= 0) {
+				if (dbpos < DL) {
+					t = prevdiag + smat2[q[qoff+i] * 4 + db[dbpos]];
+				}
+			}
+			if (hh[j] - 3 > t) t = hh[j] - 3;
+			if (hh[j-1] - 3 > t) t = hh[j-1] - 3;
+			if (t < 0) t = 0;
+			prevdiag = hh[j];
+			hh[j] = t;
+			if (t > best) best = t;
+		}
+	}
+	return best;
+}
+
+int main() {
+	int k; int total = 0; int best = 0; int sc; int bd;
+	for (k = 0; k < NQ; k++) {
+		bd = scan_diagonals(k * 512);
+		sc = band_sw(k * 512, bd);
+		total = total + sc;
+		if (sc > best) best = sc;
+		print(sc);
+	}
+	print(total);
+	print(best);
+	return 0;
+}
+`
+
+type fastaInputs struct {
+	queries [][]byte
+	db      []byte
+	smat    []int64
+}
+
+func fastaDims(sz Size) (nq, ql, dl int) {
+	switch sz {
+	case SizeTest:
+		return 1, 48, 512
+	case SizeB:
+		return 3, 200, 90000
+	default:
+		return 4, 320, 130000
+	}
+}
+
+func fastaInputs2(sz Size) *fastaInputs {
+	nq, ql, dl := fastaDims(sz)
+	r := workload.NewRNG(0xFA57A0)
+	in := &fastaInputs{db: workload.DNASeq(r, dl)}
+	in.smat = []int64{5, -4, -4, -4, -4, 5, -4, -4, -4, -4, 5, -4, -4, -4, -4, 5}
+	for i := 0; i < nq; i++ {
+		qs := workload.DNASeq(r, ql)
+		in.queries = append(in.queries, qs)
+		// Plant each query (noisily) into the database so the
+		// diagonal scan finds real signals.
+		workload.PlantMotif(r, in.db, qs, r.Intn(maxInt(1, dl-ql)), 4, 100)
+	}
+	return in
+}
+
+// Fasta builds the fasta program.
+func Fasta() *Program {
+	return &Program{
+		Name:          "fasta",
+		Area:          "sequence analysis (k-tuple heuristic search)",
+		Transformable: false,
+		source:        fastaSource,
+		Bind: func(m Binder, sz Size) error {
+			in := fastaInputs2(sz)
+			steps := []struct {
+				name string
+				vals []int64
+			}{
+				{"NQ", []int64{int64(len(in.queries))}},
+				{"QL", []int64{int64(len(in.queries[0]))}},
+				{"DL", []int64{int64(len(in.db))}},
+				{"smat2", in.smat},
+			}
+			for _, st := range steps {
+				if err := m.WriteSymbolInt64s(st.name, st.vals); err != nil {
+					return err
+				}
+			}
+			qbuf := make([]byte, len(in.queries)*512)
+			for i, q := range in.queries {
+				copy(qbuf[i*512:], q)
+			}
+			if err := m.WriteSymbol("q", qbuf); err != nil {
+				return err
+			}
+			return m.WriteSymbol("db", in.db)
+		},
+		Reference: func(sz Size) Expected {
+			return fastaRefFull(fastaInputs2(sz))
+		},
+	}
+}
+
+// fastaRefFull mirrors the MiniC main exactly.
+func fastaRefFull(in *fastaInputs) Expected {
+	var out []int64
+	var total, best int64
+	QL := len(in.queries[0])
+	DL := len(in.db)
+	for _, q := range in.queries {
+		// scan_diagonals
+		diag := make([]int64, DL+QL)
+		first := make([]int64, 256)
+		for i := range first {
+			first[i] = -1
+		}
+		next := make([]int64, 512)
+		for i := 0; i+4 <= QL; i++ {
+			w := int64(q[i])*64 + int64(q[i+1])*16 + int64(q[i+2])*4 + int64(q[i+3])
+			next[i] = first[w]
+			first[w] = int64(i)
+		}
+		for i := 0; i+4 <= DL; i++ {
+			w := int64(in.db[i])*64 + int64(in.db[i+1])*16 + int64(in.db[i+2])*4 + int64(in.db[i+3])
+			for p := first[w]; p != -1; p = next[p] {
+				diag[int64(i)-p+int64(QL)]++
+			}
+		}
+		bestd, bestv := int64(0), int64(-1)
+		for i := 0; i < DL+QL; i++ {
+			if diag[i] > bestv {
+				bestv = diag[i]
+				bestd = int64(i)
+			}
+		}
+		out = append(out, bestv)
+
+		// band_sw
+		d0 := bestd - int64(QL)
+		hh := make([]int64, 17)
+		sc := int64(0)
+		for i := 0; i < QL; i++ {
+			prevdiag := hh[0]
+			hh[0] = 0
+			for j := 1; j <= 16; j++ {
+				dbpos := int64(i) + d0 + int64(j) - 8
+				t := int64(0)
+				if dbpos >= 0 {
+					if dbpos < int64(DL) {
+						t = prevdiag + in.smat[int64(q[i])*4+int64(in.db[dbpos])]
+					}
+				}
+				if hh[j]-3 > t {
+					t = hh[j] - 3
+				}
+				if hh[j-1]-3 > t {
+					t = hh[j-1] - 3
+				}
+				if t < 0 {
+					t = 0
+				}
+				prevdiag = hh[j]
+				hh[j] = t
+				if t > sc {
+					sc = t
+				}
+			}
+		}
+		total += sc
+		if sc > best {
+			best = sc
+		}
+		out = append(out, sc)
+	}
+	out = append(out, total, best)
+	return Expected{Ints: out}
+}

@@ -1,0 +1,383 @@
+package bio
+
+import (
+	"bioperfload/internal/workload"
+)
+
+// The three HMMER programs (hmmsearch, hmmpfam, hmmcalibrate) share
+// the Plan7 Viterbi inner loop that is the paper's centerpiece. The
+// original row kernel below is the paper's Figure 6(a); the
+// transformed kernel is Figure 6(c): the IF-condition loads are
+// hoisted into temporaries, the three boxes hide each other's load
+// latencies, and the loop is shortened by one iteration with the
+// box-3-free tail duplicated after the exit.
+
+// hmmNINF mirrors HMMER2's -INFTY score clamp.
+const hmmNINF = -987654321
+
+// Capacity limits for the MiniC globals (inputs are bound underneath).
+const (
+	hmmMaxM    = 64
+	hmmMaxSeqs = 256
+	hmmMaxLen  = 256
+	hmmAl      = 20
+)
+
+// hmmDecls declares the model, sequence, and DP-row globals shared by
+// the three drivers.
+const hmmDecls = `
+int M = 0;
+int nseq = 0;
+int thresh = 0;
+int tnb = -20;
+int tnn = -2;
+int slen[256];
+char seqs[65536];
+int tpmm[64]; int tpim[64]; int tpdm[64];
+int tpmi[64]; int tpii[64];
+int tpdd[64]; int tpmd[64];
+int mat[1280]; int insv[1280];
+int bsc[64]; int esc[64];
+int xm0[65]; int xi0[65]; int xd0[65];
+int xm1[65]; int xi1[65]; int xd1[65];
+int msr[65]; int isr[65];
+`
+
+// hmmVrowOriginal is the paper's Figure 6(a) loop, verbatim module
+// pointer-parameter spelling (fast_algorithms.c's P7Viterbi core).
+const hmmVrowOriginal = `
+void vrow(int *mpp, int *ip, int *dpp, int *mc, int *dc, int *ic,
+          int *tpmmv, int *tpimv, int *tpdmv, int *tpmiv, int *tpiiv,
+          int *tpddv, int *tpmdv, int *bp, int *ms, int *is, int xmb, int m) {
+	int k; int sc;
+	for (k = 1; k <= m; k++) {
+		mc[k] = mpp[k-1] + tpmmv[k-1];
+		if ((sc = ip[k-1] + tpimv[k-1]) > mc[k]) mc[k] = sc;
+		if ((sc = dpp[k-1] + tpdmv[k-1]) > mc[k]) mc[k] = sc;
+		if ((sc = xmb + bp[k]) > mc[k]) mc[k] = sc;
+		mc[k] += ms[k];
+		if (mc[k] < -987654321) mc[k] = -987654321;
+
+		dc[k] = dc[k-1] + tpddv[k-1];
+		if ((sc = mc[k-1] + tpmdv[k-1]) > dc[k]) dc[k] = sc;
+		if (dc[k] < -987654321) dc[k] = -987654321;
+
+		if (k < m) {
+			ic[k] = mpp[k] + tpmiv[k];
+			if ((sc = ip[k] + tpiiv[k]) > ic[k]) ic[k] = sc;
+			ic[k] += is[k];
+			if (ic[k] < -987654321) ic[k] = -987654321;
+		}
+	}
+}
+`
+
+// hmmVrowTransformed is the paper's Figure 6(c): all loads hoisted
+// into temp1..temp8 at the top of the body (independent, so the
+// out-of-order core overlaps their latencies), the guarded stores
+// replaced by guarded register moves (which the compiler if-converts
+// to CMOVs), and the final iteration peeled so box 3's guard
+// disappears from the loop.
+const hmmVrowTransformed = `
+void vrow(int *mpp, int *ip, int *dpp, int *mc, int *dc, int *ic,
+          int *tpmmv, int *tpimv, int *tpdmv, int *tpmiv, int *tpiiv,
+          int *tpddv, int *tpmdv, int *bp, int *ms, int *is, int xmb, int m) {
+	int k;
+	int temp1; int temp2; int temp3; int temp4;
+	int temp5; int temp6; int temp7; int temp8;
+	for (k = 1; k <= m - 1; k++) {
+		temp1 = mpp[k-1] + tpmmv[k-1];
+		temp2 = ip[k-1] + tpimv[k-1];
+		temp3 = dpp[k-1] + tpdmv[k-1];
+		temp4 = xmb + bp[k];
+		temp5 = dc[k-1] + tpddv[k-1];
+		temp6 = mc[k-1] + tpmdv[k-1];
+		temp7 = mpp[k] + tpmiv[k];
+		temp8 = ip[k] + tpiiv[k];
+
+		if (temp2 > temp1) temp1 = temp2;
+		if (temp3 > temp1) temp1 = temp3;
+		if (temp4 > temp1) temp1 = temp4;
+		if (temp6 > temp5) temp5 = temp6;
+		if (temp8 > temp7) temp7 = temp8;
+
+		temp1 = ms[k] + temp1;
+		if (temp1 < -987654321) temp1 = -987654321;
+		mc[k] = temp1;
+
+		if (temp5 < -987654321) temp5 = -987654321;
+		dc[k] = temp5;
+
+		temp7 = is[k] + temp7;
+		if (temp7 < -987654321) temp7 = -987654321;
+		ic[k] = temp7;
+	}
+
+	temp1 = mpp[m-1] + tpmmv[m-1];
+	temp2 = ip[m-1] + tpimv[m-1];
+	temp3 = dpp[m-1] + tpdmv[m-1];
+	temp4 = xmb + bp[m];
+	temp5 = dc[m-1] + tpddv[m-1];
+	temp6 = mc[m-1] + tpmdv[m-1];
+	if (temp2 > temp1) temp1 = temp2;
+	if (temp3 > temp1) temp1 = temp3;
+	if (temp4 > temp1) temp1 = temp4;
+	if (temp6 > temp5) temp5 = temp6;
+	temp1 = ms[m] + temp1;
+	if (temp1 < -987654321) temp1 = -987654321;
+	mc[m] = temp1;
+	if (temp5 < -987654321) temp5 = -987654321;
+	dc[m] = temp5;
+}
+`
+
+// hmmScoreSeq drives vrow over one sequence, alternating the row
+// buffers (MiniC has no pointer variables, so the swap happens at the
+// call).
+const hmmScoreSeq = `
+int score_seq(int off, int len) {
+	int i; int k; int best; int xmb; int xme; int t;
+	best = -987654321;
+	for (k = 0; k <= M; k++) {
+		xm0[k] = -987654321; xi0[k] = -987654321; xd0[k] = -987654321;
+		xm1[k] = -987654321; xi1[k] = -987654321; xd1[k] = -987654321;
+	}
+	for (i = 0; i < len; i++) {
+		int res = seqs[off + i];
+		for (k = 1; k <= M; k++) {
+			msr[k] = mat[(k - 1) * 20 + res];
+			isr[k] = insv[(k - 1) * 20 + res];
+		}
+		xmb = tnb + i * tnn;
+		xme = -987654321;
+		if (i % 2 == 0) {
+			xm1[0] = -987654321; xi1[0] = -987654321; xd1[0] = -987654321;
+			vrow(xm0, xi0, xd0, xm1, xd1, xi1,
+			     tpmm, tpim, tpdm, tpmi, tpii, tpdd, tpmd,
+			     bsc, msr, isr, xmb, M);
+			for (k = 1; k <= M; k++) {
+				t = xm1[k] + esc[k-1];
+				if (t > xme) xme = t;
+			}
+		} else {
+			xm0[0] = -987654321; xi0[0] = -987654321; xd0[0] = -987654321;
+			vrow(xm1, xi1, xd1, xm0, xd0, xi0,
+			     tpmm, tpim, tpdm, tpmi, tpii, tpdd, tpmd,
+			     bsc, msr, isr, xmb, M);
+			for (k = 1; k <= M; k++) {
+				t = xm0[k] + esc[k-1];
+				if (t > xme) xme = t;
+			}
+		}
+		if (xme > best) best = xme;
+	}
+	return best;
+}
+`
+
+// hmmInputs is one bound dataset.
+type hmmInputs struct {
+	h      *workload.HMM
+	seqs   [][]byte
+	thresh int64
+}
+
+// hmmSizes returns (M, nseq, L) per size for hmmsearch.
+func hmmsearchDims(sz Size) (m, nseq, l int) {
+	switch sz {
+	case SizeTest:
+		return 16, 4, 32
+	case SizeB:
+		return 40, 32, 120
+	default:
+		return 48, 72, 160
+	}
+}
+
+func hmmsearchInputs(sz Size) *hmmInputs {
+	m, nseq, l := hmmsearchDims(sz)
+	r := workload.NewRNG(0xBEEF01)
+	h := workload.NewHMM(r, m, hmmAl)
+	cons := h.Consensus()
+	seqs := make([][]byte, nseq)
+	for i := range seqs {
+		s := workload.ProteinSeq(r, l)
+		if i%2 == 0 {
+			// Half the database contains a noisy copy of the
+			// model's consensus: these are the true hits.
+			workload.PlantMotif(r, s, cons, r.Intn(maxInt(1, l-m)), hmmAl, 150)
+		}
+		seqs[i] = s
+	}
+	return &hmmInputs{h: h, seqs: seqs, thresh: int64(40 * m)}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// bindHMM writes the model and sequences into the machine.
+func bindHMM(m Binder, in *hmmInputs) error {
+	h := in.h
+	steps := []struct {
+		name string
+		vals []int64
+	}{
+		{"tpmm", h.TPMM}, {"tpim", h.TPIM}, {"tpdm", h.TPDM},
+		{"tpmi", h.TPMI}, {"tpii", h.TPII}, {"tpdd", h.TPDD},
+		{"tpmd", h.TPMD}, {"mat", h.Mat}, {"insv", h.Ins},
+		// bp is indexed 1..M in the paper's loop (HMMER's bsc is
+		// 1-based), so shift it by one element.
+		{"bsc", append([]int64{hmmNINF}, h.BSC...)},
+		{"esc", h.ESC},
+		{"M", []int64{int64(h.M)}},
+		{"nseq", []int64{int64(len(in.seqs))}},
+		{"thresh", []int64{in.thresh}},
+	}
+	for _, s := range steps {
+		if err := m.WriteSymbolInt64s(s.name, s.vals); err != nil {
+			return err
+		}
+	}
+	lens := make([]int64, len(in.seqs))
+	buf := make([]byte, len(in.seqs)*hmmMaxLen)
+	for i, s := range in.seqs {
+		lens[i] = int64(len(s))
+		copy(buf[i*hmmMaxLen:], s)
+	}
+	if err := m.WriteSymbolInt64s("slen", lens); err != nil {
+		return err
+	}
+	return m.WriteSymbol("seqs", buf)
+}
+
+// viterbiRef is the Go ground truth for the shared kernel, computing
+// the identical arithmetic (including the -INFTY clamps and the xmb
+// schedule).
+func viterbiRef(h *workload.HMM, seq []byte, tnb, tnn int64) int64 {
+	m := h.M
+	mpp := make([]int64, m+1)
+	ipp := make([]int64, m+1)
+	dpp := make([]int64, m+1)
+	mc := make([]int64, m+1)
+	ic := make([]int64, m+1)
+	dc := make([]int64, m+1)
+	for k := 0; k <= m; k++ {
+		mpp[k], ipp[k], dpp[k] = hmmNINF, hmmNINF, hmmNINF
+	}
+	best := int64(hmmNINF)
+	for i, res := range seq {
+		xmb := tnb + int64(i)*tnn
+		mc[0], ic[0], dc[0] = hmmNINF, hmmNINF, hmmNINF
+		for k := 1; k <= m; k++ {
+			ms := h.Mat[(k-1)*h.A+int(res)]
+			is := h.Ins[(k-1)*h.A+int(res)]
+			v := mpp[k-1] + h.TPMM[k-1]
+			if sc := ipp[k-1] + h.TPIM[k-1]; sc > v {
+				v = sc
+			}
+			if sc := dpp[k-1] + h.TPDM[k-1]; sc > v {
+				v = sc
+			}
+			if sc := xmb + h.BSC[k-1]; sc > v {
+				v = sc
+			}
+			v += ms
+			if v < hmmNINF {
+				v = hmmNINF
+			}
+			mc[k] = v
+
+			d := dc[k-1] + h.TPDD[k-1]
+			if sc := mc[k-1] + h.TPMD[k-1]; sc > d {
+				d = sc
+			}
+			if d < hmmNINF {
+				d = hmmNINF
+			}
+			dc[k] = d
+
+			if k < m {
+				c := mpp[k] + h.TPMI[k-1+1]
+				if sc := ipp[k] + h.TPII[k-1+1]; sc > c {
+					c = sc
+				}
+				c += is
+				if c < hmmNINF {
+					c = hmmNINF
+				}
+				ic[k] = c
+			}
+		}
+		xme := int64(hmmNINF)
+		for k := 1; k <= m; k++ {
+			if t := mc[k] + h.ESC[k-1]; t > xme {
+				xme = t
+			}
+		}
+		if xme > best {
+			best = xme
+		}
+		mpp, mc = mc, mpp
+		ipp, ic = ic, ipp
+		dpp, dc = dc, dpp
+	}
+	return best
+}
+
+// Hmmsearch builds the hmmsearch program: one profile HMM searched
+// against a sequence database, reporting the best score, the number
+// of hits above threshold, and a checksum of all scores.
+func Hmmsearch() *Program {
+	driver := hmmDecls + hmmVrowOriginal + hmmScoreSeq + hmmsearchMain
+	driverT := hmmDecls + hmmVrowTransformed + hmmScoreSeq + hmmsearchMain
+	return &Program{
+		Name:            "hmmsearch",
+		Area:            "sequence analysis (profile HMM search)",
+		Transformable:   true,
+		LoadsConsidered: 19,
+		LinesInvolved:   30,
+		source:          driver,
+		transformed:     driverT,
+		Bind: func(m Binder, sz Size) error {
+			return bindHMM(m, hmmsearchInputs(sz))
+		},
+		Reference: func(sz Size) Expected {
+			in := hmmsearchInputs(sz)
+			best, nhits, chk := int64(hmmNINF), int64(0), int64(0)
+			for _, s := range in.seqs {
+				sc := viterbiRef(in.h, s, -20, -2)
+				if sc > best {
+					best = sc
+				}
+				if sc > in.thresh {
+					nhits++
+				}
+				chk += sc
+			}
+			return Expected{Ints: []int64{best, nhits, chk}}
+		},
+	}
+}
+
+const hmmsearchMain = `
+int main() {
+	int s; int sc;
+	int best = -987654321;
+	int nhits = 0;
+	int chk = 0;
+	for (s = 0; s < nseq; s++) {
+		sc = score_seq(s * 256, slen[s]);
+		if (sc > best) best = sc;
+		if (sc > thresh) nhits = nhits + 1;
+		chk = chk + sc;
+	}
+	print(best);
+	print(nhits);
+	print(chk);
+	return 0;
+}
+`

@@ -1,0 +1,372 @@
+package bio
+
+import (
+	"bioperfload/internal/workload"
+)
+
+// hmmpfam and hmmcalibrate reuse the shared Viterbi row kernel from
+// hmm.go with different drivers: hmmpfam scores a few sequences
+// against a library of models (plus a floating-point statistics pass,
+// which is where its Table 1 FP fraction comes from); hmmcalibrate
+// generates random sequences on the simulated machine itself and fits
+// an extreme-value distribution to the scores.
+
+const hmmMaxModels = 8
+
+// hmmpfamDecls adds the model-library storage.
+const hmmpfamDecls = `
+int nmod = 0;
+int mlen[8];
+int all_tpmm[512]; int all_tpim[512]; int all_tpdm[512];
+int all_tpmi[512]; int all_tpii[512];
+int all_tpdd[512]; int all_tpmd[512];
+int all_mat[10240]; int all_insv[10240];
+int all_bsc[512]; int all_esc[512];
+`
+
+const hmmpfamMain = `
+double expx(double x) {
+	if (x < -30.0) return 0.0;
+	if (x > 30.0) x = 30.0;
+	double term = 1.0;
+	double sum2 = 1.0;
+	int n;
+	for (n = 1; n <= 18; n++) {
+		term = term * x / (double)n;
+		sum2 = sum2 + term;
+	}
+	return sum2;
+}
+
+int main() {
+	int md; int s; int k; int sc;
+	int best = -987654321;
+	int nhits = 0;
+	int chk = 0;
+	double facc = 0.0;
+	for (md = 0; md < nmod; md++) {
+		M = mlen[md];
+		for (k = 0; k < M; k++) {
+			tpmm[k] = all_tpmm[md*64 + k];
+			tpim[k] = all_tpim[md*64 + k];
+			tpdm[k] = all_tpdm[md*64 + k];
+			tpmi[k] = all_tpmi[md*64 + k];
+			tpii[k] = all_tpii[md*64 + k];
+			tpdd[k] = all_tpdd[md*64 + k];
+			tpmd[k] = all_tpmd[md*64 + k];
+			bsc[k+1] = all_bsc[md*64 + k];
+			esc[k] = all_esc[md*64 + k];
+		}
+		for (k = 0; k < M*20; k++) {
+			mat[k] = all_mat[md*1280 + k];
+			insv[k] = all_insv[md*1280 + k];
+		}
+		for (s = 0; s < nseq; s++) {
+			sc = score_seq(s * 256, slen[s]);
+			chk = chk + sc;
+			if (sc > best) best = sc;
+
+			/* Forward-lite statistics pass (floating point): a
+			   damped accumulation over the emission scores, like
+			   hmmpfam's trace-score correction. */
+			double acc = 0.0;
+			int i2; int kk;
+			for (i2 = 0; i2 < slen[s]; i2++) {
+				int res2 = seqs[s*256 + i2];
+				for (kk = 1; kk <= M; kk += 2) {
+					acc = acc * 0.999 + (double)mat[(kk-1)*20 + res2];
+				}
+			}
+			double bits = ((double)sc + acc * 0.001) / 100.0;
+			double ev = (double)nmod * expx(0.0 - 0.6931 * bits);
+			if (ev < 0.01) nhits = nhits + 1;
+			facc = facc + bits;
+		}
+	}
+	print(best);
+	print(nhits);
+	print(chk);
+	print(facc);
+	return 0;
+}
+`
+
+type hmmpfamInputs struct {
+	models []*workload.HMM
+	seqs   [][]byte
+}
+
+func hmmpfamDims(sz Size) (nmod, baseM, nseq, l int) {
+	switch sz {
+	case SizeTest:
+		return 2, 14, 2, 32
+	case SizeB:
+		return 6, 36, 3, 100
+	default:
+		return 8, 44, 5, 128
+	}
+}
+
+func hmmpfamInputs2(sz Size) *hmmpfamInputs {
+	nmod, baseM, nseq, l := hmmpfamDims(sz)
+	r := workload.NewRNG(0xFA4701)
+	in := &hmmpfamInputs{}
+	for i := 0; i < nmod; i++ {
+		in.models = append(in.models, workload.NewHMM(r, baseM+(i%3)*2, hmmAl))
+	}
+	for i := 0; i < nseq; i++ {
+		s := workload.ProteinSeq(r, l)
+		// Each sequence contains the consensus of one model.
+		m := in.models[i%nmod]
+		workload.PlantMotif(r, s, m.Consensus(), r.Intn(maxInt(1, l-m.M)), hmmAl, 120)
+		in.seqs = append(in.seqs, s)
+	}
+	return in
+}
+
+// expxRef mirrors the MiniC series exactly.
+func expxRef(x float64) float64 {
+	if x < -30.0 {
+		return 0.0
+	}
+	if x > 30.0 {
+		x = 30.0
+	}
+	term, sum2 := 1.0, 1.0
+	for n := 1; n <= 18; n++ {
+		term = term * x / float64(n)
+		sum2 = sum2 + term
+	}
+	return sum2
+}
+
+// Hmmpfam builds the hmmpfam program: a model library searched with a
+// few query sequences.
+func Hmmpfam() *Program {
+	decls := hmmDecls + hmmpfamDecls
+	return &Program{
+		Name:            "hmmpfam",
+		Area:            "sequence analysis (profile HMM library search)",
+		Transformable:   true,
+		LoadsConsidered: 16,
+		LinesInvolved:   25,
+		source:          decls + hmmVrowOriginal + hmmScoreSeq + hmmpfamMain,
+		transformed:     decls + hmmVrowTransformed + hmmScoreSeq + hmmpfamMain,
+		Bind: func(m Binder, sz Size) error {
+			in := hmmpfamInputs2(sz)
+			nmod := len(in.models)
+			pack := func(get func(h *workload.HMM) []int64, stride int) []int64 {
+				out := make([]int64, nmod*stride)
+				for i, h := range in.models {
+					copy(out[i*stride:], get(h))
+				}
+				return out
+			}
+			steps := []struct {
+				name string
+				vals []int64
+			}{
+				{"nmod", []int64{int64(nmod)}},
+				{"nseq", []int64{int64(len(in.seqs))}},
+				{"all_tpmm", pack(func(h *workload.HMM) []int64 { return h.TPMM }, 64)},
+				{"all_tpim", pack(func(h *workload.HMM) []int64 { return h.TPIM }, 64)},
+				{"all_tpdm", pack(func(h *workload.HMM) []int64 { return h.TPDM }, 64)},
+				{"all_tpmi", pack(func(h *workload.HMM) []int64 { return h.TPMI }, 64)},
+				{"all_tpii", pack(func(h *workload.HMM) []int64 { return h.TPII }, 64)},
+				{"all_tpdd", pack(func(h *workload.HMM) []int64 { return h.TPDD }, 64)},
+				{"all_tpmd", pack(func(h *workload.HMM) []int64 { return h.TPMD }, 64)},
+				{"all_bsc", pack(func(h *workload.HMM) []int64 { return h.BSC }, 64)},
+				{"all_esc", pack(func(h *workload.HMM) []int64 { return h.ESC }, 64)},
+				{"all_mat", pack(func(h *workload.HMM) []int64 { return h.Mat }, 1280)},
+				{"all_insv", pack(func(h *workload.HMM) []int64 { return h.Ins }, 1280)},
+			}
+			for _, st := range steps {
+				if err := m.WriteSymbolInt64s(st.name, st.vals); err != nil {
+					return err
+				}
+			}
+			mlens := make([]int64, nmod)
+			for i, h := range in.models {
+				mlens[i] = int64(h.M)
+			}
+			if err := m.WriteSymbolInt64s("mlen", mlens); err != nil {
+				return err
+			}
+			lens := make([]int64, len(in.seqs))
+			buf := make([]byte, len(in.seqs)*hmmMaxLen)
+			for i, s := range in.seqs {
+				lens[i] = int64(len(s))
+				copy(buf[i*hmmMaxLen:], s)
+			}
+			if err := m.WriteSymbolInt64s("slen", lens); err != nil {
+				return err
+			}
+			return m.WriteSymbol("seqs", buf)
+		},
+		Reference: func(sz Size) Expected {
+			in := hmmpfamInputs2(sz)
+			best, nhits, chk := int64(hmmNINF), int64(0), int64(0)
+			facc := 0.0
+			for _, h := range in.models {
+				for _, s := range in.seqs {
+					sc := viterbiRef(h, s, -20, -2)
+					chk += sc
+					if sc > best {
+						best = sc
+					}
+					acc := 0.0
+					for _, res := range s {
+						for kk := 1; kk <= h.M; kk += 2 {
+							acc = acc*0.999 + float64(h.Mat[(kk-1)*hmmAl+int(res)])
+						}
+					}
+					bits := (float64(sc) + acc*0.001) / 100.0
+					ev := float64(len(in.models)) * expxRef(0.0-0.6931*bits)
+					if ev < 0.01 {
+						nhits++
+					}
+					facc += bits
+				}
+			}
+			return Expected{Ints: []int64{best, nhits, chk}, Floats: []float64{facc}}
+		},
+	}
+}
+
+// --- hmmcalibrate ---
+
+const hmmcalibrateMain = `
+int scores[512];
+
+double msqrt(double x) {
+	if (x <= 0.0) return 0.0;
+	double g = x;
+	if (g > 1.0) g = x / 2.0;
+	if (g < 1.0) g = 1.0;
+	int it;
+	for (it = 0; it < 30; it++) g = 0.5 * (g + x / g);
+	return g;
+}
+
+int main() {
+	int s; int i; int sc;
+	int seed = 987643;
+	int sum = 0;
+	int best = -987654321;
+	int len = slen[0];
+	for (s = 0; s < nseq; s++) {
+		for (i = 0; i < len; i++) {
+			seed = seed * 6364136223846793005 + 1442695040888963407;
+			seqs[i] = ((seed >> 33) & 65535) % 20;
+		}
+		sc = score_seq(0, len);
+		scores[s] = sc;
+		sum = sum + sc;
+		if (sc > best) best = sc;
+	}
+	double mean = (double)sum / (double)nseq;
+	double varsum = 0.0;
+	for (s = 0; s < nseq; s++) {
+		double d = (double)scores[s] - mean;
+		varsum = varsum + d * d;
+	}
+	double variance = varsum / (double)nseq;
+	double sd = msqrt(variance);
+	double lambda = 1.28255 / sd;
+	double mu = mean - 0.57722 / lambda;
+	print(best);
+	print(sum);
+	print(mu);
+	print(lambda);
+	return 0;
+}
+`
+
+func hmmcalibrateDims(sz Size) (m, nsample, l int) {
+	switch sz {
+	case SizeTest:
+		return 16, 5, 32
+	case SizeB:
+		return 40, 36, 110
+	default:
+		return 48, 80, 150
+	}
+}
+
+func hmmcalibrateInputs(sz Size) (*workload.HMM, int, int) {
+	m, nsample, l := hmmcalibrateDims(sz)
+	r := workload.NewRNG(0xCA11B4)
+	return workload.NewHMM(r, m, hmmAl), nsample, l
+}
+
+// msqrtRef mirrors the MiniC Newton iteration exactly.
+func msqrtRef(x float64) float64 {
+	if x <= 0.0 {
+		return 0.0
+	}
+	g := x
+	if g > 1.0 {
+		g = x / 2.0
+	}
+	if g < 1.0 {
+		g = 1.0
+	}
+	for it := 0; it < 30; it++ {
+		g = 0.5 * (g + x/g)
+	}
+	return g
+}
+
+// Hmmcalibrate builds the hmmcalibrate program: score random
+// sequences against the model and fit an EVD.
+func Hmmcalibrate() *Program {
+	return &Program{
+		Name:            "hmmcalibrate",
+		Area:            "sequence analysis (HMM score calibration)",
+		Transformable:   true,
+		LoadsConsidered: 14,
+		LinesInvolved:   25,
+		source:          hmmDecls + hmmVrowOriginal + hmmScoreSeq + hmmcalibrateMain,
+		transformed:     hmmDecls + hmmVrowTransformed + hmmScoreSeq + hmmcalibrateMain,
+		Bind: func(m Binder, sz Size) error {
+			h, nsample, l := hmmcalibrateInputs(sz)
+			if err := bindHMM(m, &hmmInputs{h: h, seqs: nil}); err != nil {
+				return err
+			}
+			if err := m.WriteSymbolInt64s("nseq", []int64{int64(nsample)}); err != nil {
+				return err
+			}
+			return m.WriteSymbolInt64s("slen", []int64{int64(l)})
+		},
+		Reference: func(sz Size) Expected {
+			h, nsample, l := hmmcalibrateInputs(sz)
+			seed := int64(987643)
+			seq := make([]byte, l)
+			scores := make([]int64, nsample)
+			sum, best := int64(0), int64(hmmNINF)
+			for s := 0; s < nsample; s++ {
+				for i := 0; i < l; i++ {
+					seed = seed*6364136223846793005 + 1442695040888963407
+					seq[i] = byte(((seed >> 33) & 65535) % 20)
+				}
+				sc := viterbiRef(h, seq, -20, -2)
+				scores[s] = sc
+				sum += sc
+				if sc > best {
+					best = sc
+				}
+			}
+			mean := float64(sum) / float64(nsample)
+			varsum := 0.0
+			for s := 0; s < nsample; s++ {
+				d := float64(scores[s]) - mean
+				varsum = varsum + d*d
+			}
+			variance := varsum / float64(nsample)
+			sd := msqrtRef(variance)
+			lambda := 1.28255 / sd
+			mu := mean - 0.57722/lambda
+			return Expected{Ints: []int64{best, sum}, Floats: []float64{mu, lambda}}
+		},
+	}
+}

@@ -1,0 +1,64 @@
+package bio
+
+import (
+	"math"
+	"testing"
+
+	"bioperfload/internal/minic"
+)
+
+// TestInterpreterAgreesWithReference runs every BioPerf program's
+// MiniC sources (original and transformed) through the AST
+// interpreter and compares the output with the pure-Go reference.
+// Together with TestProgramsValidate (compiled + simulated vs the
+// same reference) this gives three independent implementations of
+// each kernel that must agree.
+func TestInterpreterAgreesWithReference(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			variants := []bool{false}
+			if p.Transformable {
+				variants = append(variants, true)
+			}
+			want := p.Reference(SizeTest)
+			for _, transformed := range variants {
+				f, err := minic.Parse(p.Name+".mc", p.Source(transformed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				info, err := minic.Check(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				in := minic.NewInterp(f, info)
+				if err := p.Bind(in, SizeTest); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := in.Run(); err != nil {
+					t.Fatalf("transformed=%v: %v", transformed, err)
+				}
+				if len(in.IntOutput) != len(want.Ints) {
+					t.Fatalf("transformed=%v: %d int outputs, want %d (%v vs %v)",
+						transformed, len(in.IntOutput), len(want.Ints), in.IntOutput, want.Ints)
+				}
+				for i := range want.Ints {
+					if in.IntOutput[i] != want.Ints[i] {
+						t.Fatalf("transformed=%v: int[%d] = %d, want %d",
+							transformed, i, in.IntOutput[i], want.Ints[i])
+					}
+				}
+				if len(in.FPOutput) != len(want.Floats) {
+					t.Fatalf("transformed=%v: %d fp outputs, want %d",
+						transformed, len(in.FPOutput), len(want.Floats))
+				}
+				for i := range want.Floats {
+					if math.Abs(in.FPOutput[i]-want.Floats[i]) > 1e-9*(1+math.Abs(want.Floats[i])) {
+						t.Fatalf("transformed=%v: fp[%d] = %v, want %v",
+							transformed, i, in.FPOutput[i], want.Floats[i])
+					}
+				}
+			}
+		})
+	}
+}

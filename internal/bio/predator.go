@@ -1,0 +1,306 @@
+package bio
+
+import (
+	"bioperfload/internal/workload"
+)
+
+// predator predicts protein secondary structure. Our port has the two
+// phases that give the real program its character: a floating-point
+// propensity-window pass (predator is 13.85% FP in Table 1) and the
+// integer aligned-pair scoring loop from prdfali.c whose load the
+// paper hoists in Figure 8. The Figure 8(a)/(b) code appears verbatim
+// below, modulo MiniC's index-chained lists replacing the z->NEXT
+// pointer walk.
+
+const predatorMaxN = 8192
+const predatorMaxAlign = 256
+const predatorMaxPairs = 2048
+
+const predatorDecls = `
+int N = 0;
+int n_align = 0;
+int npass = 0;
+char seq[8192];
+double ph[512]; double ps[512]; double pc2[512];
+int struct_[8192];
+int rowh[256];
+int colz[2048]; int nxt[2048];
+int va[256];
+`
+
+// predatorPropensity is the FP phase: window-summed propensities and
+// an argmax classification per residue.
+const predatorPropensity = `
+int classify() {
+	int i; int w; int res;
+	int nh = 0; int ns = 0; int nc = 0;
+	double eh; double es; double ec;
+	for (i = 8; i < N - 8; i++) {
+		eh = 0.0; es = 0.0; ec = 0.0;
+		for (w = -8; w <= 8; w++) {
+			res = seq[i + w];
+			eh = eh + ph[res * 17 + w + 8];
+			es = es + ps[res * 17 + w + 8];
+			ec = ec + pc2[res * 17 + w + 8];
+		}
+		if (eh >= es) {
+			if (eh >= ec) { struct_[i] = 2; nh = nh + 1; }
+			else { struct_[i] = 0; nc = nc + 1; }
+		} else {
+			if (es >= ec) { struct_[i] = 1; ns = ns + 1; }
+			else { struct_[i] = 0; nc = nc + 1; }
+		}
+	}
+	print(nh);
+	print(ns);
+	print(nc);
+	return nh * 3 + ns * 2 + nc;
+}
+`
+
+// predatorAlignOriginal embeds the paper's Figure 8(a): the load of
+// va[j] sits in the shadow of the hard-to-predict tt branch.
+const predatorAlignOriginal = `
+int align_pass(int n) {
+	int i; int j; int c; int tt; int z;
+	int ci = 0; int cj = 0; int pi = 0; int pj = 0;
+	int k2; int m2; int total = 0;
+	for (i = 0; i < n; i++) {
+		for (j = 0; j < n; j++) {
+			k2 = struct_[i] + 1;
+			m2 = struct_[j] - 1;
+			c = k2 * m2;
+			tt = 1;
+			for (z = rowh[i]; z != -1; z = nxt[z]) {
+				if (colz[z] == j) { tt = 0; break; }
+			}
+			if (tt != 0)
+				c = va[j];
+			if (c <= 0) { c = 0; ci = i; cj = j; }
+			else { ci = pi; cj = pj; }
+			pi = ci; pj = cj;
+			total = total + c + ci - cj;
+			va[j] = (va[j] * 13 + i * 7 + j) % 1000 - 300;
+		}
+	}
+	return total;
+}
+`
+
+// predatorAlignTransformed is Figure 8(b): va[j] is hoisted above the
+// list walk (the walk hides its latency) and the guard is inverted so
+// the fixup is a register move.
+const predatorAlignTransformed = `
+int align_pass(int n) {
+	int i; int j; int c; int tt; int z;
+	int ci = 0; int cj = 0; int pi = 0; int pj = 0;
+	int k2; int m2; int temp1; int total = 0;
+	for (i = 0; i < n; i++) {
+		for (j = 0; j < n; j++) {
+			k2 = struct_[i] + 1;
+			m2 = struct_[j] - 1;
+			temp1 = k2 * m2;
+			c = va[j];
+			tt = 1;
+			for (z = rowh[i]; z != -1; z = nxt[z]) {
+				if (colz[z] == j) { tt = 0; break; }
+			}
+			if (tt == 0)
+				c = temp1;
+			if (c <= 0) { c = 0; ci = i; cj = j; }
+			else { ci = pi; cj = pj; }
+			pi = ci; pj = cj;
+			total = total + c + ci - cj;
+			va[j] = (va[j] * 13 + i * 7 + j) % 1000 - 300;
+		}
+	}
+	return total;
+}
+`
+
+const predatorMain = `
+int main() {
+	int chk = classify();
+	int p2; int total = 0;
+	for (p2 = 0; p2 < npass; p2++) {
+		total = total + align_pass(n_align);
+	}
+	print(chk);
+	print(total);
+	return 0;
+}
+`
+
+type predatorInputs struct {
+	seq        []byte
+	ph, ps, pc []float64
+	rowh       []int64
+	colz, nxt  []int64
+	va         []int64
+	nAlign     int
+	npass      int
+}
+
+func predatorDims(sz Size) (n, nAlign, npass int) {
+	switch sz {
+	case SizeTest:
+		return 80, 20, 2
+	case SizeB:
+		return 2600, 100, 5
+	default:
+		return 5200, 160, 9
+	}
+}
+
+func predatorInputs2(sz Size) *predatorInputs {
+	n, nAlign, npass := predatorDims(sz)
+	r := workload.NewRNG(0x9BED47)
+	in := &predatorInputs{
+		seq:    workload.ProteinSeq(r, n),
+		nAlign: nAlign,
+		npass:  npass,
+	}
+	mk := func() []float64 {
+		t := make([]float64, 20*17)
+		for i := range t {
+			t[i] = r.Float64()*2 - 1
+		}
+		return t
+	}
+	in.ph, in.ps, in.pc = mk(), mk(), mk()
+	// Sparse pair lists: each row has 0-5 column entries.
+	in.rowh = make([]int64, predatorMaxAlign)
+	for i := range in.rowh {
+		in.rowh[i] = -1
+	}
+	var pool int64
+	for i := 0; i < nAlign; i++ {
+		cnt := r.Intn(6)
+		for k := 0; k < cnt && pool < predatorMaxPairs; k++ {
+			in.colz = append(in.colz, int64(r.Intn(nAlign)))
+			in.nxt = append(in.nxt, in.rowh[i])
+			in.rowh[i] = pool
+			pool++
+		}
+	}
+	in.va = make([]int64, predatorMaxAlign)
+	for i := range in.va {
+		in.va[i] = int64(r.Intn(600) - 250)
+	}
+	return in
+}
+
+// predatorRef mirrors the two MiniC phases exactly.
+func predatorRef(in *predatorInputs) Expected {
+	n := len(in.seq)
+	structv := make([]int64, n)
+	var nh, ns, nc int64
+	for i := 8; i < n-8; i++ {
+		eh, es, ec := 0.0, 0.0, 0.0
+		for w := -8; w <= 8; w++ {
+			res := int(in.seq[i+w])
+			eh = eh + in.ph[res*17+w+8]
+			es = es + in.ps[res*17+w+8]
+			ec = ec + in.pc[res*17+w+8]
+		}
+		if eh >= es {
+			if eh >= ec {
+				structv[i] = 2
+				nh++
+			} else {
+				structv[i] = 0
+				nc++
+			}
+		} else {
+			if es >= ec {
+				structv[i] = 1
+				ns++
+			} else {
+				structv[i] = 0
+				nc++
+			}
+		}
+	}
+	chk := nh*3 + ns*2 + nc
+
+	va := append([]int64(nil), in.va...)
+	var total int64
+	var ci, cj, pi, pj int64
+	for pass := 0; pass < in.npass; pass++ {
+		for i := 0; i < in.nAlign; i++ {
+			for j := 0; j < in.nAlign; j++ {
+				k2 := structv[i] + 1
+				m2 := structv[j] - 1
+				c := k2 * m2
+				tt := int64(1)
+				for z := in.rowh[i]; z != -1; z = in.nxt[z] {
+					if in.colz[z] == int64(j) {
+						tt = 0
+						break
+					}
+				}
+				if tt != 0 {
+					c = va[j]
+				}
+				if c <= 0 {
+					c = 0
+					ci, cj = int64(i), int64(j)
+				} else {
+					ci, cj = pi, pj
+				}
+				pi, pj = ci, cj
+				total = total + c + ci - cj
+				va[j] = (va[j]*13+int64(i)*7+int64(j))%1000 - 300
+			}
+		}
+	}
+	return Expected{Ints: []int64{nh, ns, nc, chk, total}}
+}
+
+// Predator builds the predator program.
+func Predator() *Program {
+	return &Program{
+		Name:            "predator",
+		Area:            "protein structure (secondary structure prediction)",
+		Transformable:   true,
+		LoadsConsidered: 1,
+		LinesInvolved:   5,
+		source:          predatorDecls + predatorPropensity + predatorAlignOriginal + predatorMain,
+		transformed:     predatorDecls + predatorPropensity + predatorAlignTransformed + predatorMain,
+		Bind: func(m Binder, sz Size) error {
+			in := predatorInputs2(sz)
+			if err := m.WriteSymbol("seq", in.seq); err != nil {
+				return err
+			}
+			steps := []struct {
+				name string
+				vals []int64
+			}{
+				{"N", []int64{int64(len(in.seq))}},
+				{"n_align", []int64{int64(in.nAlign)}},
+				{"npass", []int64{int64(in.npass)}},
+				{"rowh", in.rowh},
+				{"colz", in.colz},
+				{"nxt", in.nxt},
+				{"va", in.va},
+			}
+			for _, st := range steps {
+				if err := m.WriteSymbolInt64s(st.name, st.vals); err != nil {
+					return err
+				}
+			}
+			for _, fp := range []struct {
+				name string
+				vals []float64
+			}{{"ph", in.ph}, {"ps", in.ps}, {"pc2", in.pc}} {
+				if err := m.WriteSymbolFloat64s(fp.name, fp.vals); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Reference: func(sz Size) Expected {
+			return predatorRef(predatorInputs2(sz))
+		},
+	}
+}

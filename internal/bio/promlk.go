@@ -1,0 +1,198 @@
+package bio
+
+import (
+	"bioperfload/internal/workload"
+)
+
+// promlk computes maximum-likelihood phylogenies. Our port evaluates
+// the likelihood of a fixed eight-taxon tree under a two-branch-class
+// substitution model using Felsenstein's pruning algorithm:
+// conditional likelihood vectors propagate bottom-up with
+// matrix-vector products per site. The program is 65% floating-point
+// (Table 1's outlier) and is characterized but not transformed.
+
+const promlkMaxSites = 4096
+
+const promlkSource = `
+int nsites = 0;
+int nrounds = 0;
+char pat[32768];
+double pmat[16];
+double pmat2[16];
+double freq[4];
+double clv[60];
+
+int main() {
+	int s; int l; int n2; int x; int rr;
+	int scale = 0;
+	int chk = 0;
+	double prod = 1.0;
+	double loglike = 0.0;
+	for (rr = 0; rr < nrounds; rr++) {
+		for (s = 0; s < nsites; s++) {
+			for (l = 0; l < 8; l++) {
+				int t2 = pat[s * 8 + l];
+				chk = chk * 5 + t2;
+				for (x = 0; x < 4; x++) clv[(7 + l) * 4 + x] = 0.05;
+				clv[(7 + l) * 4 + t2] = 1.0;
+			}
+			/* The 4-state inner loops are fully unrolled, as in the
+			   original promlk sources. */
+			for (n2 = 6; n2 >= 0; n2--) {
+				int lb = (2 * n2 + 1) * 4;
+				int rb = (2 * n2 + 2) * 4;
+				double l0 = clv[lb]; double l1 = clv[lb+1];
+				double l2 = clv[lb+2]; double l3 = clv[lb+3];
+				double r0 = clv[rb]; double r1 = clv[rb+1];
+				double r2 = clv[rb+2]; double r3 = clv[rb+3];
+				double sl0 = pmat[0]*l0 + pmat[1]*l1 + pmat[2]*l2 + pmat[3]*l3;
+				double sl1 = pmat[4]*l0 + pmat[5]*l1 + pmat[6]*l2 + pmat[7]*l3;
+				double sl2 = pmat[8]*l0 + pmat[9]*l1 + pmat[10]*l2 + pmat[11]*l3;
+				double sl3 = pmat[12]*l0 + pmat[13]*l1 + pmat[14]*l2 + pmat[15]*l3;
+				double sr0 = pmat2[0]*r0 + pmat2[1]*r1 + pmat2[2]*r2 + pmat2[3]*r3;
+				double sr1 = pmat2[4]*r0 + pmat2[5]*r1 + pmat2[6]*r2 + pmat2[7]*r3;
+				double sr2 = pmat2[8]*r0 + pmat2[9]*r1 + pmat2[10]*r2 + pmat2[11]*r3;
+				double sr3 = pmat2[12]*r0 + pmat2[13]*r1 + pmat2[14]*r2 + pmat2[15]*r3;
+				clv[n2 * 4] = sl0 * sr0;
+				clv[n2 * 4 + 1] = sl1 * sr1;
+				clv[n2 * 4 + 2] = sl2 * sr2;
+				clv[n2 * 4 + 3] = sl3 * sr3;
+			}
+			double like = freq[0]*clv[0] + freq[1]*clv[1] + freq[2]*clv[2] + freq[3]*clv[3];
+			prod = prod * like;
+			if (prod < 0.000000000000000000001) {
+				prod = prod * 1000000000000000000000.0;
+				scale = scale + 1;
+			}
+		}
+	}
+	print(scale);
+	print(chk);
+	print(prod);
+	return 0;
+}
+`
+
+type promlkInputs struct {
+	pat         []byte
+	pmat, pmat2 []float64
+	freq        []float64
+	nsites      int
+	nrounds     int
+}
+
+func promlkDims(sz Size) (nsites, nrounds int) {
+	switch sz {
+	case SizeTest:
+		return 48, 1
+	case SizeB:
+		return 2400, 2
+	default:
+		return 4000, 4
+	}
+}
+
+func promlkInputs2(sz Size) *promlkInputs {
+	nsites, nrounds := promlkDims(sz)
+	r := workload.NewRNG(0x98071C)
+	in := &promlkInputs{
+		pat:     workload.SitePatterns(r, 8, nsites),
+		nsites:  nsites,
+		nrounds: nrounds,
+	}
+	mk := func(stay float64) []float64 {
+		p := make([]float64, 16)
+		for x := 0; x < 4; x++ {
+			for y := 0; y < 4; y++ {
+				if x == y {
+					p[x*4+y] = stay
+				} else {
+					p[x*4+y] = (1 - stay) / 3
+				}
+			}
+		}
+		return p
+	}
+	in.pmat = mk(0.85)
+	in.pmat2 = mk(0.70)
+	in.freq = []float64{0.28, 0.22, 0.24, 0.26}
+	return in
+}
+
+func promlkRef(in *promlkInputs) Expected {
+	var scale, chk int64
+	prod := 1.0
+	clv := make([]float64, 60)
+	for rr := 0; rr < in.nrounds; rr++ {
+		for s := 0; s < in.nsites; s++ {
+			for l := 0; l < 8; l++ {
+				t2 := int(in.pat[s*8+l])
+				chk = chk*5 + int64(t2)
+				for x := 0; x < 4; x++ {
+					clv[(7+l)*4+x] = 0.05
+				}
+				clv[(7+l)*4+t2] = 1.0
+			}
+			for n2 := 6; n2 >= 0; n2-- {
+				lb := (2*n2 + 1) * 4
+				rb := (2*n2 + 2) * 4
+				l0, l1, l2, l3 := clv[lb], clv[lb+1], clv[lb+2], clv[lb+3]
+				r0, r1, r2, r3 := clv[rb], clv[rb+1], clv[rb+2], clv[rb+3]
+				pm, pm2 := in.pmat, in.pmat2
+				sl0 := pm[0]*l0 + pm[1]*l1 + pm[2]*l2 + pm[3]*l3
+				sl1 := pm[4]*l0 + pm[5]*l1 + pm[6]*l2 + pm[7]*l3
+				sl2 := pm[8]*l0 + pm[9]*l1 + pm[10]*l2 + pm[11]*l3
+				sl3 := pm[12]*l0 + pm[13]*l1 + pm[14]*l2 + pm[15]*l3
+				sr0 := pm2[0]*r0 + pm2[1]*r1 + pm2[2]*r2 + pm2[3]*r3
+				sr1 := pm2[4]*r0 + pm2[5]*r1 + pm2[6]*r2 + pm2[7]*r3
+				sr2 := pm2[8]*r0 + pm2[9]*r1 + pm2[10]*r2 + pm2[11]*r3
+				sr3 := pm2[12]*r0 + pm2[13]*r1 + pm2[14]*r2 + pm2[15]*r3
+				clv[n2*4] = sl0 * sr0
+				clv[n2*4+1] = sl1 * sr1
+				clv[n2*4+2] = sl2 * sr2
+				clv[n2*4+3] = sl3 * sr3
+			}
+			like := in.freq[0]*clv[0] + in.freq[1]*clv[1] + in.freq[2]*clv[2] + in.freq[3]*clv[3]
+			prod = prod * like
+			if prod < 1e-21 {
+				prod = prod * 1e21
+				scale++
+			}
+		}
+	}
+	return Expected{Ints: []int64{scale, chk}, Floats: []float64{prod}}
+}
+
+// Promlk builds the promlk program.
+func Promlk() *Program {
+	return &Program{
+		Name:          "promlk",
+		Area:          "molecular phylogeny (maximum likelihood)",
+		Transformable: false,
+		source:        promlkSource,
+		Bind: func(m Binder, sz Size) error {
+			in := promlkInputs2(sz)
+			if err := m.WriteSymbolInt64s("nsites", []int64{int64(in.nsites)}); err != nil {
+				return err
+			}
+			if err := m.WriteSymbolInt64s("nrounds", []int64{int64(in.nrounds)}); err != nil {
+				return err
+			}
+			if err := m.WriteSymbol("pat", in.pat); err != nil {
+				return err
+			}
+			for _, fp := range []struct {
+				name string
+				vals []float64
+			}{{"pmat", in.pmat}, {"pmat2", in.pmat2}, {"freq", in.freq}} {
+				if err := m.WriteSymbolFloat64s(fp.name, fp.vals); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Reference: func(sz Size) Expected {
+			return promlkRef(promlkInputs2(sz))
+		},
+	}
+}

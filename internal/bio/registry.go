@@ -1,0 +1,191 @@
+// Package bio contains the nine BioPerf benchmark programs the paper
+// studies, re-implemented twice each: a pure-Go reference (the ground
+// truth the simulated runs are validated against) and MiniC sources
+// compiled onto the simulated machine. The six programs the paper
+// load-transforms (Section 3.3, Table 6) additionally carry a
+// transformed MiniC source whose hot loops apply the paper's
+// source-level load scheduling — hmmsearch and hmmcalibrate use the
+// paper's Figure 6(c) code verbatim, predator uses Figure 8(b), and
+// dnapenny/hmmpfam/clustalw follow the same recipe on their own hot
+// loops.
+package bio
+
+import (
+	"fmt"
+	"math"
+
+	"bioperfload/internal/compiler"
+	"bioperfload/internal/isa"
+	"bioperfload/internal/sim"
+)
+
+// Size selects the input scale. The paper profiles with class-B and
+// times with class-C inputs; our sizes are scaled-down equivalents
+// (millions rather than billions of dynamic instructions), applied
+// identically to original and transformed code.
+type Size int
+
+// Input sizes.
+const (
+	// SizeTest is for unit tests (well under a million instructions).
+	SizeTest Size = iota
+	// SizeB is the characterization input (class-B analog).
+	SizeB
+	// SizeC is the timing input (class-C analog).
+	SizeC
+)
+
+func (s Size) String() string {
+	switch s {
+	case SizeTest:
+		return "test"
+	case SizeB:
+		return "classB"
+	default:
+		return "classC"
+	}
+}
+
+// Binder receives a program's input dataset. Both the functional
+// simulator's machine and the MiniC AST interpreter implement it, so
+// the same Bind function can feed either execution engine.
+type Binder interface {
+	WriteSymbolInt64s(name string, vals []int64) error
+	WriteSymbolFloat64s(name string, vals []float64) error
+	WriteSymbol(name string, b []byte) error
+}
+
+// Expected is a program's reference output, computed in Go.
+type Expected struct {
+	Ints   []int64
+	Floats []float64
+}
+
+// Program describes one BioPerf application.
+type Program struct {
+	Name string
+	// Area is the bioinformatics domain (sequence analysis,
+	// molecular phylogeny, protein structure — Section 2).
+	Area string
+	// Transformable marks the six applications amenable to
+	// source-level load scheduling (Section 3.3).
+	Transformable bool
+	// LoadsConsidered and LinesInvolved reproduce Table 6.
+	LoadsConsidered int
+	LinesInvolved   int
+
+	// Source holds the MiniC code: Source[false] original,
+	// Source[true] load-transformed (empty if !Transformable).
+	source      string
+	transformed string
+
+	// Bind injects the input dataset for the given size into an
+	// execution engine's global symbols.
+	Bind func(m Binder, sz Size) error
+	// Reference computes the expected printed output in Go.
+	Reference func(sz Size) Expected
+}
+
+// Source returns the MiniC source; transformed selects the
+// load-scheduled variant.
+func (p *Program) Source(transformed bool) string {
+	if transformed {
+		if !p.Transformable {
+			return p.source
+		}
+		return p.transformed
+	}
+	return p.source
+}
+
+// Compile builds the program with the given compiler options.
+func (p *Program) Compile(transformed bool, opts compiler.Options) (*isa.Program, error) {
+	suffix := ""
+	if transformed && p.Transformable {
+		suffix = "-lt" // load-transformed
+	}
+	return compiler.Compile(p.Name+suffix+".mc", p.Source(transformed), opts)
+}
+
+// Run compiles, binds inputs, executes, and validates the output
+// against the Go reference. Observers are attached before execution.
+func (p *Program) Run(transformed bool, sz Size, opts compiler.Options, obs ...sim.Observer) (*sim.Result, error) {
+	prog, err := p.Compile(transformed, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	m, err := sim.New(prog)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Bind(m, sz); err != nil {
+		return nil, fmt.Errorf("%s: bind: %w", p.Name, err)
+	}
+	for _, o := range obs {
+		m.AddObserver(o)
+	}
+	res, err := m.Run()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	if err := p.Validate(res, sz); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Validate compares simulated output with the Go reference.
+func (p *Program) Validate(res *sim.Result, sz Size) error {
+	want := p.Reference(sz)
+	if len(res.IntOutput) != len(want.Ints) {
+		return fmt.Errorf("%s/%s: %d int outputs, want %d (%v vs %v)",
+			p.Name, sz, len(res.IntOutput), len(want.Ints), res.IntOutput, want.Ints)
+	}
+	for i := range want.Ints {
+		if res.IntOutput[i] != want.Ints[i] {
+			return fmt.Errorf("%s/%s: int[%d] = %d, want %d",
+				p.Name, sz, i, res.IntOutput[i], want.Ints[i])
+		}
+	}
+	if len(res.FPOutput) != len(want.Floats) {
+		return fmt.Errorf("%s/%s: %d fp outputs, want %d",
+			p.Name, sz, len(res.FPOutput), len(want.Floats))
+	}
+	for i := range want.Floats {
+		got, exp := res.FPOutput[i], want.Floats[i]
+		if math.Abs(got-exp) > 1e-9*(1+math.Abs(exp)) {
+			return fmt.Errorf("%s/%s: fp[%d] = %v, want %v", p.Name, sz, i, got, exp)
+		}
+	}
+	return nil
+}
+
+// All returns the nine programs in the paper's order (Table 1).
+func All() []*Program {
+	return []*Program{
+		Blast(), Clustalw(), Dnapenny(), Fasta(),
+		Hmmcalibrate(), Hmmpfam(), Hmmsearch(),
+		Predator(), Promlk(),
+	}
+}
+
+// ByName returns the named program.
+func ByName(name string) (*Program, error) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("bio: unknown program %q", name)
+}
+
+// Transformed returns the six programs the paper load-transforms.
+func Transformed() []*Program {
+	var out []*Program
+	for _, p := range All() {
+		if p.Transformable {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,539 @@
+package codegen
+
+import (
+	"fmt"
+
+	"bioperfload/internal/ir"
+	"bioperfload/internal/isa"
+)
+
+// immLimit keeps folded immediates within a realistic displacement
+// range (Alpha literal fields are small; we allow 16 bits).
+const immLimit = 32767
+
+// foldableImmOp reports whether the op's B operand may become an
+// immediate.
+func foldableImmOp(op ir.Op) bool {
+	switch op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr,
+		ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE:
+		return true
+	}
+	return false
+}
+
+func fitsImm(v int64) bool { return v >= -immLimit-1 && v <= immLimit }
+
+// --- operand helpers ---
+
+func (g *gen) scratchInt() uint8 {
+	s := g.scratchRegs[g.scratchN%len(g.scratchRegs)]
+	g.scratchN++
+	return s
+}
+
+func (g *gen) useInt(v ir.Value, line int32) uint8 {
+	if r := g.as.Reg[v]; r >= 0 {
+		return uint8(r)
+	}
+	// A spilled single-def constant is rematerialized instead of
+	// reloaded: an LDIQ costs the same as the stack load and removes
+	// the spill-slot traffic entirely.
+	if c, ok := g.constOf[v]; ok {
+		sr := g.scratchInt()
+		g.emitPos(isa.Inst{Op: isa.OpLdiq, Rd: sr, HasImm: true, Imm: c}, line)
+		return sr
+	}
+	if s := g.as.SpillSlot[v]; s >= 0 {
+		sr := g.scratchInt()
+		g.emitPos(isa.Inst{Op: isa.OpLdq, Rd: sr, Ra: isa.RegSP, HasImm: true, Imm: g.spillAddr(s)}, line)
+		return sr
+	}
+	// A value with neither register nor slot is never live; reading
+	// it is a compiler bug, but emit the zero register to stay safe.
+	return isa.RZero
+}
+
+func (g *gen) useFP(v ir.Value, line int32, slot int) uint8 {
+	if r := g.as.Reg[v]; r >= 0 {
+		return uint8(r)
+	}
+	if s := g.as.SpillSlot[v]; s >= 0 {
+		sr := uint8(fscratch0)
+		if slot == 1 {
+			sr = fscratch1
+		}
+		g.emitPos(isa.Inst{Op: isa.OpLdt, Rd: sr, Ra: isa.RegSP, HasImm: true, Imm: g.spillAddr(s)}, line)
+		return sr
+	}
+	return isa.FZero
+}
+
+// defInt returns the register to compute v into plus a completion
+// function that stores it back if v is spilled.
+func (g *gen) defInt(v ir.Value, line int32) (uint8, func()) {
+	if r := g.as.Reg[v]; r >= 0 {
+		return uint8(r), func() {}
+	}
+	if s := g.as.SpillSlot[v]; s >= 0 {
+		sr := g.scratchInt()
+		return sr, func() {
+			g.emitPos(isa.Inst{Op: isa.OpStq, Rb: sr, Ra: isa.RegSP, HasImm: true, Imm: g.spillAddr(s)}, line)
+		}
+	}
+	return isa.RZero, func() {} // dead value
+}
+
+func (g *gen) defFP(v ir.Value, line int32) (uint8, func()) {
+	if r := g.as.Reg[v]; r >= 0 {
+		return uint8(r), func() {}
+	}
+	if s := g.as.SpillSlot[v]; s >= 0 {
+		sr := uint8(fscratch0)
+		return sr, func() {
+			g.emitPos(isa.Inst{Op: isa.OpStt, Rb: sr, Ra: isa.RegSP, HasImm: true, Imm: g.spillAddr(s)}, line)
+		}
+	}
+	return isa.FZero, func() {}
+}
+
+var intALUMap = map[ir.Op]isa.Op{
+	ir.OpAdd: isa.OpAdd, ir.OpSub: isa.OpSub, ir.OpMul: isa.OpMul,
+	ir.OpDiv: isa.OpDiv, ir.OpRem: isa.OpRem, ir.OpAnd: isa.OpAnd,
+	ir.OpOr: isa.OpOr, ir.OpXor: isa.OpXor, ir.OpShl: isa.OpSll,
+	ir.OpShr: isa.OpSra, ir.OpS8Add: isa.OpS8Add,
+}
+
+var fpALUMap = map[ir.Op]isa.Op{
+	ir.OpFAdd: isa.OpAddt, ir.OpFSub: isa.OpSubt,
+	ir.OpFMul: isa.OpMult, ir.OpFDiv: isa.OpDivt,
+}
+
+func (g *gen) genInstr(in *ir.Instr) error {
+	g.scratchN = 0
+	line := in.Line
+	switch in.Op {
+	case ir.OpNop:
+		return nil
+
+	case ir.OpConstI:
+		if g.regUses[in.Dst] == 0 && g.as.SpillSlot[in.Dst] < 0 {
+			return nil // every use folded into an immediate
+		}
+		if _, remat := g.constOf[in.Dst]; remat && g.as.Reg[in.Dst] < 0 {
+			return nil // spilled constant: rematerialized at each use
+		}
+		rd, done := g.defInt(in.Dst, line)
+		g.emitPos(isa.Inst{Op: isa.OpLdiq, Rd: rd, HasImm: true, Imm: in.Imm}, line)
+		done()
+
+	case ir.OpConstF:
+		fd, done := g.defFP(in.Dst, line)
+		if float64(int64(in.FImm)) == in.FImm && in.FImm >= -1e15 && in.FImm <= 1e15 {
+			sr := g.scratchInt()
+			g.emitPos(isa.Inst{Op: isa.OpLdiq, Rd: sr, HasImm: true, Imm: int64(in.FImm)}, line)
+			g.emitPos(isa.Inst{Op: isa.OpCvtQT, Rd: fd, Ra: sr}, line)
+		} else {
+			addr := g.fpoolAddr(in.FImm)
+			sr := g.scratchInt()
+			g.emitPos(isa.Inst{Op: isa.OpLdiq, Rd: sr, HasImm: true, Imm: int64(addr)}, line)
+			g.emitPos(isa.Inst{Op: isa.OpLdt, Rd: fd, Ra: sr, HasImm: true}, line)
+		}
+		done()
+
+	case ir.OpMove:
+		if g.f.IsFloat[in.Dst] {
+			ra := g.useFP(in.A, line, 0)
+			fd, done := g.defFP(in.Dst, line)
+			if fd != ra {
+				g.emitPos(isa.Inst{Op: isa.OpFMov, Rd: fd, Ra: ra}, line)
+			}
+			done()
+		} else {
+			ra := g.useInt(in.A, line)
+			rd, done := g.defInt(in.Dst, line)
+			if rd != ra {
+				g.emitPos(isa.Inst{Op: isa.OpAdd, Rd: rd, Ra: ra, HasImm: true, Imm: 0}, line)
+			}
+			done()
+		}
+
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr, ir.OpS8Add:
+		ra := g.useInt(in.A, line)
+		op := intALUMap[in.Op]
+		if c, ok := g.immOf(in.B); ok && fitsImm(c) {
+			rd, done := g.defInt(in.Dst, line)
+			g.emitPos(isa.Inst{Op: op, Rd: rd, Ra: ra, HasImm: true, Imm: c}, line)
+			done()
+			break
+		}
+		rb := g.useInt(in.B, line)
+		rd, done := g.defInt(in.Dst, line)
+		g.emitPos(isa.Inst{Op: op, Rd: rd, Ra: ra, Rb: rb}, line)
+		done()
+
+	case ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE:
+		g.genIntCmp(in)
+
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv:
+		fa := g.useFP(in.A, line, 0)
+		fb := g.useFP(in.B, line, 1)
+		fd, done := g.defFP(in.Dst, line)
+		g.emitPos(isa.Inst{Op: fpALUMap[in.Op], Rd: fd, Ra: fa, Rb: fb}, line)
+		done()
+
+	case ir.OpFNeg:
+		fa := g.useFP(in.A, line, 0)
+		fd, done := g.defFP(in.Dst, line)
+		g.emitPos(isa.Inst{Op: isa.OpFNeg, Rd: fd, Ra: fa}, line)
+		done()
+
+	case ir.OpFCmpEQ, ir.OpFCmpNE, ir.OpFCmpLT, ir.OpFCmpLE, ir.OpFCmpGT, ir.OpFCmpGE:
+		g.genFPCmp(in)
+
+	case ir.OpCvtIF:
+		ra := g.useInt(in.A, line)
+		fd, done := g.defFP(in.Dst, line)
+		g.emitPos(isa.Inst{Op: isa.OpCvtQT, Rd: fd, Ra: ra}, line)
+		done()
+
+	case ir.OpCvtFI:
+		fa := g.useFP(in.A, line, 0)
+		rd, done := g.defInt(in.Dst, line)
+		g.emitPos(isa.Inst{Op: isa.OpCvtTQ, Rd: rd, Ra: fa}, line)
+		done()
+
+	case ir.OpLoad:
+		ra := g.useInt(in.A, line)
+		if in.FloatMem {
+			fd, done := g.defFP(in.Dst, line)
+			g.emitPos(isa.Inst{Op: isa.OpLdt, Rd: fd, Ra: ra, HasImm: true, Imm: in.Off}, line)
+			done()
+		} else {
+			rd, done := g.defInt(in.Dst, line)
+			op := isa.OpLdq
+			if in.Width == 1 {
+				op = isa.OpLdbu
+			}
+			g.emitPos(isa.Inst{Op: op, Rd: rd, Ra: ra, HasImm: true, Imm: in.Off}, line)
+			done()
+		}
+
+	case ir.OpStore:
+		ra := g.useInt(in.A, line)
+		if in.FloatMem {
+			fb := g.useFP(in.B, line, 0)
+			g.emitPos(isa.Inst{Op: isa.OpStt, Rb: fb, Ra: ra, HasImm: true, Imm: in.Off}, line)
+		} else {
+			rb := g.useInt(in.B, line)
+			op := isa.OpStq
+			if in.Width == 1 {
+				op = isa.OpStb
+			}
+			g.emitPos(isa.Inst{Op: op, Rb: rb, Ra: ra, HasImm: true, Imm: in.Off}, line)
+		}
+
+	case ir.OpFrameAddr:
+		rd, done := g.defInt(in.Dst, line)
+		g.emitPos(isa.Inst{Op: isa.OpLda, Rd: rd, Ra: isa.RegSP, HasImm: true, Imm: g.slotOff[in.Sym]}, line)
+		done()
+
+	case ir.OpCMov:
+		// CMov reads its destination, so load it first if spilled.
+		var rd uint8
+		var done func()
+		if r := g.as.Reg[in.Dst]; r >= 0 {
+			rd, done = uint8(r), func() {}
+		} else if s := g.as.SpillSlot[in.Dst]; s >= 0 {
+			sr := g.scratchInt()
+			g.emitPos(isa.Inst{Op: isa.OpLdq, Rd: sr, Ra: isa.RegSP, HasImm: true, Imm: g.spillAddr(s)}, line)
+			rd = sr
+			done = func() {
+				g.emitPos(isa.Inst{Op: isa.OpStq, Rb: sr, Ra: isa.RegSP, HasImm: true, Imm: g.spillAddr(s)}, line)
+			}
+		} else {
+			return nil // dead
+		}
+		ra := g.useInt(in.A, line)
+		rb := g.useInt(in.B, line)
+		g.emitPos(isa.Inst{Op: isa.OpCmovNe, Rd: rd, Ra: ra, Rb: rb}, line)
+		done()
+
+	case ir.OpPrint:
+		if g.f.IsFloat[in.A] {
+			fa := g.useFP(in.A, line, 0)
+			g.emitPos(isa.Inst{Op: isa.OpPrintF, Ra: fa}, line)
+		} else {
+			ra := g.useInt(in.A, line)
+			g.emitPos(isa.Inst{Op: isa.OpPrint, Ra: ra}, line)
+		}
+
+	case ir.OpCall:
+		g.genCall(in)
+
+	default:
+		return fmt.Errorf("codegen: unhandled IR op %s", in.Op)
+	}
+	return nil
+}
+
+// genIntCmp lowers the six comparisons onto cmpeq/cmplt/cmple,
+// swapping operands for GT/GE and inverting for NE (Alpha style).
+func (g *gen) genIntCmp(in *ir.Instr) {
+	line := in.Line
+	switch in.Op {
+	case ir.OpCmpEQ, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpNE:
+		op := isa.OpCmpEq
+		switch in.Op {
+		case ir.OpCmpLT:
+			op = isa.OpCmpLt
+		case ir.OpCmpLE:
+			op = isa.OpCmpLe
+		}
+		ra := g.useInt(in.A, line)
+		var tmp uint8
+		var done func()
+		if in.Op == ir.OpCmpNE {
+			tmp = g.scratchInt()
+			done = func() {}
+		} else {
+			tmp, done = g.defInt(in.Dst, line)
+		}
+		if c, ok := g.immOf(in.B); ok && fitsImm(c) {
+			g.emitPos(isa.Inst{Op: op, Rd: tmp, Ra: ra, HasImm: true, Imm: c}, line)
+		} else {
+			rb := g.useInt(in.B, line)
+			g.emitPos(isa.Inst{Op: op, Rd: tmp, Ra: ra, Rb: rb}, line)
+		}
+		if in.Op == ir.OpCmpNE {
+			rd, dd := g.defInt(in.Dst, line)
+			g.emitPos(isa.Inst{Op: isa.OpCmpEq, Rd: rd, Ra: tmp, HasImm: true, Imm: 0}, line)
+			dd()
+		}
+		done()
+	case ir.OpCmpGT, ir.OpCmpGE:
+		// a > b  ==  b < a;  a >= b  ==  b <= a.
+		op := isa.OpCmpLt
+		if in.Op == ir.OpCmpGE {
+			op = isa.OpCmpLe
+		}
+		rb := g.useInt(in.B, line)
+		ra := g.useInt(in.A, line)
+		rd, done := g.defInt(in.Dst, line)
+		g.emitPos(isa.Inst{Op: op, Rd: rd, Ra: rb, Rb: ra}, line)
+		done()
+	}
+}
+
+func (g *gen) genFPCmp(in *ir.Instr) {
+	line := in.Line
+	var op isa.Op
+	a, b := in.A, in.B
+	invert := false
+	switch in.Op {
+	case ir.OpFCmpEQ:
+		op = isa.OpCmpTeq
+	case ir.OpFCmpNE:
+		op = isa.OpCmpTeq
+		invert = true
+	case ir.OpFCmpLT:
+		op = isa.OpCmpTlt
+	case ir.OpFCmpLE:
+		op = isa.OpCmpTle
+	case ir.OpFCmpGT:
+		op = isa.OpCmpTlt
+		a, b = b, a
+	case ir.OpFCmpGE:
+		op = isa.OpCmpTle
+		a, b = b, a
+	}
+	fa := g.useFP(a, line, 0)
+	fb := g.useFP(b, line, 1)
+	if invert {
+		tmp := g.scratchInt()
+		g.emitPos(isa.Inst{Op: op, Rd: tmp, Ra: fa, Rb: fb}, line)
+		rd, done := g.defInt(in.Dst, line)
+		g.emitPos(isa.Inst{Op: isa.OpCmpEq, Rd: rd, Ra: tmp, HasImm: true, Imm: 0}, line)
+		done()
+		return
+	}
+	rd, done := g.defInt(in.Dst, line)
+	g.emitPos(isa.Inst{Op: op, Rd: rd, Ra: fa, Rb: fb}, line)
+	done()
+}
+
+func (g *gen) genCall(in *ir.Instr) {
+	line := in.Line
+	callee := g.irp.Funcs[in.Sym]
+	intIdx, fpIdx, ov := 0, 0, 0
+	for i, pm := range callee.Params {
+		g.scratchN = 0
+		arg := in.Args[i]
+		if pm.IsFloat {
+			if fpIdx < isa.NumArgs {
+				src := g.useFP(arg, line, 0)
+				g.emitPos(isa.Inst{Op: isa.OpFMov, Rd: uint8(isa.FRegA0 + fpIdx), Ra: src}, line)
+			} else {
+				src := g.useFP(arg, line, 0)
+				g.emitPos(isa.Inst{Op: isa.OpStt, Rb: src, Ra: isa.RegSP, HasImm: true, Imm: int64(ov) * 8}, line)
+				ov++
+			}
+			fpIdx++
+		} else {
+			if intIdx < isa.NumArgs {
+				src := g.useInt(arg, line)
+				g.emitPos(isa.Inst{Op: isa.OpAdd, Rd: uint8(isa.RegA0 + intIdx), Ra: src, HasImm: true, Imm: 0}, line)
+			} else {
+				src := g.useInt(arg, line)
+				g.emitPos(isa.Inst{Op: isa.OpStq, Rb: src, Ra: isa.RegSP, HasImm: true, Imm: int64(ov) * 8}, line)
+				ov++
+			}
+			intIdx++
+		}
+	}
+	at := g.emitPos(isa.Inst{Op: isa.OpJsr, Rd: isa.RegRA, Target: -1}, line)
+	g.callFixups = append(g.callFixups, fixup{at: at, fn: in.Sym})
+	if in.Dst != ir.NoValue {
+		g.scratchN = 0
+		if g.f.IsFloat[in.Dst] {
+			fd, done := g.defFP(in.Dst, line)
+			g.emitPos(isa.Inst{Op: isa.OpFMov, Rd: fd, Ra: isa.FRegV0}, line)
+			done()
+		} else {
+			rd, done := g.defInt(in.Dst, line)
+			g.emitPos(isa.Inst{Op: isa.OpAdd, Rd: rd, Ra: isa.RegV0, HasImm: true, Imm: 0}, line)
+			done()
+		}
+	}
+}
+
+func (g *gen) genEpilogue(line int32) {
+	so := g.saveOff
+	if g.makesCalls {
+		g.emitPos(isa.Inst{Op: isa.OpLdq, Rd: isa.RegRA, Ra: isa.RegSP, HasImm: true, Imm: so}, line)
+		so += 8
+	}
+	for _, r := range g.savedInt {
+		g.emitPos(isa.Inst{Op: isa.OpLdq, Rd: r, Ra: isa.RegSP, HasImm: true, Imm: so}, line)
+		so += 8
+	}
+	for _, r := range g.savedFP {
+		g.emitPos(isa.Inst{Op: isa.OpLdt, Rd: r, Ra: isa.RegSP, HasImm: true, Imm: so}, line)
+		so += 8
+	}
+	if g.frameSize > 0 {
+		g.emitPos(isa.Inst{Op: isa.OpLda, Rd: isa.RegSP, Ra: isa.RegSP, HasImm: true, Imm: g.frameSize}, line)
+	}
+	g.emitPos(isa.Inst{Op: isa.OpRet, Ra: isa.RegRA}, line)
+}
+
+// nextLive returns the id of the next reachable block after index i,
+// or -1.
+func nextLive(f *ir.Func, live []bool, i int) int32 {
+	for j := i + 1; j < len(f.Blocks); j++ {
+		if live[j] {
+			return int32(j)
+		}
+	}
+	return -1
+}
+
+func (g *gen) genTerm(b *ir.Block, live []bool) error {
+	g.scratchN = 0
+	t := &b.Term
+	line := t.Line
+	next := nextLive(g.f, live, int(b.ID))
+	switch t.Op {
+	case ir.OpJump:
+		if t.True != next {
+			at := g.emitPos(isa.Inst{Op: isa.OpBr, Target: -1}, line)
+			g.brFixups = append(g.brFixups, brFixup{at: at, block: t.True})
+		}
+	case ir.OpBranch:
+		ra := g.useInt(t.A, line)
+		at := g.emitPos(isa.Inst{Op: isa.OpBne, Ra: ra, Target: -1}, line)
+		g.brFixups = append(g.brFixups, brFixup{at: at, block: t.True})
+		if t.False != next {
+			at2 := g.emitPos(isa.Inst{Op: isa.OpBr, Target: -1}, line)
+			g.brFixups = append(g.brFixups, brFixup{at: at2, block: t.False})
+		}
+	case ir.OpRet:
+		if t.A != ir.NoValue {
+			if g.f.IsFloat[t.A] {
+				src := g.useFP(t.A, line, 0)
+				if src != isa.FRegV0 {
+					g.emitPos(isa.Inst{Op: isa.OpFMov, Rd: isa.FRegV0, Ra: src}, line)
+				}
+			} else {
+				src := g.useInt(t.A, line)
+				if src != isa.RegV0 {
+					g.emitPos(isa.Inst{Op: isa.OpAdd, Rd: isa.RegV0, Ra: src, HasImm: true, Imm: 0}, line)
+				}
+			}
+		}
+		g.genEpilogue(line)
+	default:
+		return fmt.Errorf("codegen: bad terminator %s", t.Op)
+	}
+	return nil
+}
+
+// paramMove is a pending register-to-register parameter-binding move.
+type paramMove = struct {
+	src, dst uint8
+	isFP     bool
+}
+
+// emitParallelMoves resolves parameter-binding moves whose
+// destinations may overlap other moves' sources (leaf functions can
+// allocate argument registers as homes). Moves whose destination is
+// not a pending source go first; a cycle is broken by parking one
+// source in a scratch register.
+func (g *gen) emitParallelMoves(moves []paramMove, line int32) {
+	pending := append([]paramMove(nil), moves...)
+	for len(pending) > 0 {
+		progress := false
+		for i := 0; i < len(pending); i++ {
+			mv := pending[i]
+			blocked := false
+			for j, other := range pending {
+				if j != i && other.isFP == mv.isFP && other.src == mv.dst {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				continue
+			}
+			if mv.isFP {
+				g.emitPos(isa.Inst{Op: isa.OpFMov, Rd: mv.dst, Ra: mv.src}, line)
+			} else {
+				g.emitPos(isa.Inst{Op: isa.OpAdd, Rd: mv.dst, Ra: mv.src, HasImm: true, Imm: 0}, line)
+			}
+			pending = append(pending[:i], pending[i+1:]...)
+			progress = true
+			i--
+		}
+		if !progress {
+			// Cycle: park the first move's source in a scratch and
+			// retarget every reader of that source.
+			mv := pending[0]
+			if mv.isFP {
+				g.emitPos(isa.Inst{Op: isa.OpFMov, Rd: fscratch0, Ra: mv.src}, line)
+			} else {
+				g.emitPos(isa.Inst{Op: isa.OpAdd, Rd: scratch0, Ra: mv.src, HasImm: true, Imm: 0}, line)
+			}
+			for i := range pending {
+				if pending[i].isFP == mv.isFP && pending[i].src == mv.src {
+					if mv.isFP {
+						pending[i].src = fscratch0
+					} else {
+						pending[i].src = scratch0
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,576 @@
+package compiler
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"bioperfload/internal/ir"
+	"bioperfload/internal/sim"
+)
+
+// runSrc compiles and runs a program, returning its printed output.
+func runSrc(t *testing.T, src string, opts Options) ([]int64, []float64) {
+	t.Helper()
+	prog, err := Compile("test.mc", src, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m, err := sim.New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Fuel = 200_000_000
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res.IntOutput, res.FPOutput
+}
+
+// allConfigs runs a program under every interesting compiler
+// configuration and requires identical output — the core correctness
+// property: optimization and register pressure never change results.
+func allConfigs(t *testing.T, src string, wantInt []int64, wantFP []float64) {
+	t.Helper()
+	configs := []struct {
+		name string
+		opts Options
+	}{
+		{"O0", Options{Opt: ir.O0()}},
+		{"O2", Options{Opt: ir.O2()}},
+		{"O2-fold-only", Options{Opt: ir.OptOptions{Fold: true, DCE: true}}},
+		{"O2-sched-only", Options{Opt: ir.OptOptions{Schedule: true}}},
+		{"O2-ifconv-only", Options{Opt: ir.OptOptions{IfConvert: true, MaxIfConvert: 4}}},
+		{"O2-8regs", Options{Opt: ir.O2(), AllocIntRegs: 8, AllocFPRegs: 8}},
+		{"O0-8regs", Options{Opt: ir.O0(), AllocIntRegs: 8, AllocFPRegs: 8}},
+		{"O2-4regs", Options{Opt: ir.O2(), AllocIntRegs: 4, AllocFPRegs: 4}},
+	}
+	for _, cfg := range configs {
+		gotInt, gotFP := runSrc(t, src, cfg.opts)
+		if fmt.Sprint(gotInt) != fmt.Sprint(wantInt) {
+			t.Errorf("%s: int output = %v, want %v", cfg.name, gotInt, wantInt)
+		}
+		if len(wantFP) != len(gotFP) {
+			t.Errorf("%s: fp output = %v, want %v", cfg.name, gotFP, wantFP)
+			continue
+		}
+		for i := range wantFP {
+			if math.Abs(gotFP[i]-wantFP[i]) > 1e-9*(1+math.Abs(wantFP[i])) {
+				t.Errorf("%s: fp[%d] = %v, want %v", cfg.name, i, gotFP[i], wantFP[i])
+			}
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	allConfigs(t, `
+int main() {
+	print(2 + 3 * 4);
+	print((2 + 3) * 4);
+	print(17 / 5);
+	print(17 % 5);
+	print(-17 / 5);
+	print(1 << 10);
+	print(-64 >> 3);
+	print(12 & 10);
+	print(12 | 10);
+	print(12 ^ 10);
+	print(~0);
+	print(-(5));
+	return 0;
+}`, []int64{14, 20, 3, 2, -3, 1024, -8, 8, 14, 6, -1, -5}, nil)
+}
+
+func TestComparisons(t *testing.T) {
+	allConfigs(t, `
+int main() {
+	int a = 5; int b = 7;
+	print(a == b); print(a != b);
+	print(a < b); print(a <= b);
+	print(a > b); print(a >= b);
+	print(b > a); print(a == 5);
+	return 0;
+}`, []int64{0, 1, 1, 1, 0, 0, 1, 1}, nil)
+}
+
+func TestControlFlow(t *testing.T) {
+	allConfigs(t, `
+int main() {
+	int i; int s = 0;
+	for (i = 0; i < 10; i++) {
+		if (i % 2 == 0) continue;
+		if (i == 9) break;
+		s += i;
+	}
+	print(s);
+	int n = 0;
+	while (n < 5) n++;
+	print(n);
+	if (s > 100) print(111); else print(222);
+	return 0;
+}`, []int64{1 + 3 + 5 + 7, 5, 222}, nil)
+}
+
+func TestShortCircuit(t *testing.T) {
+	allConfigs(t, `
+int trace[8];
+int calls = 0;
+int probe(int idx, int val) { trace[idx] = 1; calls++; return val; }
+int main() {
+	int r1 = probe(0, 0) && probe(1, 1);
+	int r2 = probe(2, 1) || probe(3, 1);
+	int r3 = probe(4, 1) && probe(5, 7);
+	print(r1); print(r2); print(r3);
+	print(calls);
+	print(trace[1]); print(trace[3]);
+	return 0;
+}`, []int64{0, 1, 1, 4, 0, 0}, nil)
+}
+
+func TestTernary(t *testing.T) {
+	allConfigs(t, `
+int main() {
+	int a = 3; int b = 9;
+	print(a > b ? a : b);
+	print(a < b ? a : b);
+	print(1 ? 2 : 3 ? 4 : 5);
+	double d = a > b ? 1.5 : 2.5;
+	print(d);
+	return 0;
+}`, []int64{9, 3, 2}, []float64{2.5})
+}
+
+func TestArraysAndChars(t *testing.T) {
+	allConfigs(t, `
+int nums[16];
+char text[16];
+int main() {
+	int i;
+	for (i = 0; i < 16; i++) {
+		nums[i] = i * i;
+		text[i] = 'a' + i;
+	}
+	print(nums[0] + nums[3] + nums[15]);
+	print(text[0]);
+	print(text[15]);
+	text[2] = 300; /* truncates to byte */
+	print(text[2]);
+	nums[4] += 10;
+	print(nums[4]);
+	nums[5]++;
+	print(nums[5]);
+	return 0;
+}`, []int64{0 + 9 + 225, 'a', 'a' + 15, 300 & 0xFF, 26, 26}, nil)
+}
+
+func TestLocalArrays(t *testing.T) {
+	allConfigs(t, `
+int main() {
+	int buf[8];
+	char small[4];
+	int i;
+	for (i = 0; i < 8; i++) buf[i] = i + 1;
+	small[0] = 'x';
+	int s = 0;
+	for (i = 0; i < 8; i++) s += buf[i];
+	print(s);
+	print(small[0]);
+	return 0;
+}`, []int64{36, 'x'}, nil)
+}
+
+func TestPointerParams(t *testing.T) {
+	allConfigs(t, `
+int a[8];
+int b[8];
+void fill(int *p, int n, int base) {
+	int i;
+	for (i = 0; i < n; i++) p[i] = base + i;
+}
+int total(int p[], int n) {
+	int s = 0; int i;
+	for (i = 0; i < n; i++) s += p[i];
+	return s;
+}
+int main() {
+	fill(a, 8, 10);
+	fill(b, 8, 100);
+	print(total(a, 8));
+	print(total(b, 8));
+	int local[4];
+	fill(local, 4, 1);
+	print(total(local, 4));
+	return 0;
+}`, []int64{10*8 + 28, 100*8 + 28, 10}, nil)
+}
+
+func TestRecursion(t *testing.T) {
+	allConfigs(t, `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}
+int fact(int n) {
+	if (n <= 1) return 1;
+	return n * fact(n - 1);
+}
+int main() {
+	print(fib(15));
+	print(fact(10));
+	return 0;
+}`, []int64{610, 3628800}, nil)
+}
+
+func TestManyArgsOverflowToStack(t *testing.T) {
+	allConfigs(t, `
+int sum9(int a, int b, int c, int d, int e, int f, int g, int h, int i) {
+	return a + 2*b + 3*c + 4*d + 5*e + 6*f + 7*g + 8*h + 9*i;
+}
+int deep(int a, int b, int c, int d, int e, int f, int g, int h) {
+	return sum9(a, b, c, d, e, f, g, h, a + h);
+}
+int main() {
+	print(sum9(1, 2, 3, 4, 5, 6, 7, 8, 9));
+	print(deep(1, 1, 1, 1, 1, 1, 1, 1));
+	return 0;
+}`, []int64{285, 1 + 2 + 3 + 4 + 5 + 6 + 7 + 8 + 9*2}, nil)
+}
+
+func TestDoubleArithmetic(t *testing.T) {
+	allConfigs(t, `
+double gd = 2.5;
+double arr[4];
+double half(double x) { return x / 2.0; }
+int main() {
+	double a = 1.5;
+	double b = a * gd;     /* 3.75 */
+	arr[0] = b + 0.25;     /* 4.0 */
+	arr[1] = -arr[0];
+	print(b);
+	print(arr[0]);
+	print(arr[1]);
+	print(half(arr[0]));
+	print(a < b);
+	print(a > b);
+	int i = (int)(b + 0.5);
+	print(i);
+	double c = (double)7 / 2;
+	print(c);
+	return 0;
+}`, []int64{1, 0, 4}, []float64{3.75, 4.0, -4.0, 2.0, 3.5})
+}
+
+func TestMixedIntDouble(t *testing.T) {
+	allConfigs(t, `
+int main() {
+	double d = 3;
+	int i = 2;
+	d += i;        /* 5.0 */
+	print(d);
+	d = i * 1.5 + 1;
+	print(d);
+	i = (int)d;    /* 4 */
+	print(i);
+	if (d >= i) print(1); else print(0);
+	if (d > i) print(1); else print(0);
+	return 0;
+}`, []int64{4, 1, 0}, []float64{5.0, 4.0})
+}
+
+func TestGlobalScalars(t *testing.T) {
+	allConfigs(t, `
+int counter = 5;
+double rate = 0.5;
+char flag = 'y';
+int bump() { counter++; return counter; }
+int main() {
+	print(counter);
+	print(bump());
+	print(bump());
+	counter += 10;
+	print(counter);
+	print(flag);
+	print(rate * 4.0);
+	return 0;
+}`, []int64{5, 6, 7, 17, 'y'}, []float64{2.0})
+}
+
+func TestIncDecSemantics(t *testing.T) {
+	allConfigs(t, `
+int a[4];
+int main() {
+	int i = 0;
+	a[i++] = 7;     /* a[0] = 7, i = 1 */
+	print(i); print(a[0]);
+	print(i++);     /* prints 1, i = 2 */
+	print(i);
+	print(++i);     /* prints 3 */
+	print(i--);     /* prints 3, i = 2 */
+	print(--i);     /* prints 1 */
+	a[1] = 5;
+	a[1]--;
+	++a[1];
+	print(a[1]);
+	return 0;
+}`, []int64{1, 7, 1, 2, 3, 3, 1, 5}, nil)
+}
+
+func TestHmmsearchStyleLoop(t *testing.T) {
+	// The exact shape of the paper's Figure 6(a) hot loop: short IFs
+	// whose conditions load from arrays and whose bodies store.
+	src := `
+int mpp[64]; int tpmm[64]; int ip[64]; int tpim[64];
+int dpp[64]; int tpdm[64]; int bp[64]; int ms[64];
+int mc[64]; int dc[64]; int ic[64];
+int tpdd[64]; int tpmd[64]; int tpmi[64]; int tpii[64]; int is[64];
+
+int viterbi_row(int *mppv, int *tpmmv, int *ipv, int *tpimv, int *dppv,
+                int *tpdmv, int *bpv, int *msv, int *mcv, int *dcv,
+                int *icv, int *tpddv, int *tpmdv, int *tpmiv,
+                int *tpiiv, int *isv, int xmb, int M) {
+	int k; int sc;
+	for (k = 1; k <= M; k++) {
+		mcv[k] = mppv[k-1] + tpmmv[k-1];
+		if ((sc = ipv[k-1] + tpimv[k-1]) > mcv[k]) mcv[k] = sc;
+		if ((sc = dppv[k-1] + tpdmv[k-1]) > mcv[k]) mcv[k] = sc;
+		if ((sc = xmb + bpv[k]) > mcv[k]) mcv[k] = sc;
+		mcv[k] += msv[k];
+		if (mcv[k] < -987654321) mcv[k] = -987654321;
+
+		dcv[k] = dcv[k-1] + tpddv[k-1];
+		if ((sc = mcv[k-1] + tpmdv[k-1]) > dcv[k]) dcv[k] = sc;
+		if (dcv[k] < -987654321) dcv[k] = -987654321;
+
+		if (k < M) {
+			icv[k] = mppv[k] + tpmiv[k];
+			if ((sc = ipv[k] + tpiiv[k]) > icv[k]) icv[k] = sc;
+			icv[k] += isv[k];
+			if (icv[k] < -987654321) icv[k] = -987654321;
+		}
+	}
+	return mcv[M];
+}
+
+int main() {
+	int i;
+	for (i = 0; i < 64; i++) {
+		mpp[i] = i * 3 - 20; tpmm[i] = 7 - i; ip[i] = i * 2;
+		tpim[i] = -i; dpp[i] = 5 - i * 2; tpdm[i] = i;
+		bp[i] = i % 7; ms[i] = i % 5 - 2; dc[i] = 0;
+		tpdd[i] = -2; tpmd[i] = 1; tpmi[i] = i % 3; tpii[i] = -1;
+		is[i] = 2 - i % 4;
+	}
+	print(viterbi_row(mpp, tpmm, ip, tpim, dpp, tpdm, bp, ms, mc, dc,
+	                  ic, tpdd, tpmd, tpmi, tpii, is, 4, 63));
+	int s = 0;
+	for (i = 1; i <= 63; i++) s += mc[i] + dc[i] + ic[i];
+	print(s);
+	return 0;
+}`
+	// Compute the expected values with the reference in Go.
+	mpp := make([]int64, 64)
+	tpmm := make([]int64, 64)
+	ip := make([]int64, 64)
+	tpim := make([]int64, 64)
+	dpp := make([]int64, 64)
+	tpdm := make([]int64, 64)
+	bp := make([]int64, 64)
+	ms := make([]int64, 64)
+	mc := make([]int64, 64)
+	dc := make([]int64, 64)
+	ic := make([]int64, 64)
+	tpdd := make([]int64, 64)
+	tpmd := make([]int64, 64)
+	tpmi := make([]int64, 64)
+	tpii := make([]int64, 64)
+	isv := make([]int64, 64)
+	for i := int64(0); i < 64; i++ {
+		mpp[i] = i*3 - 20
+		tpmm[i] = 7 - i
+		ip[i] = i * 2
+		tpim[i] = -i
+		dpp[i] = 5 - i*2
+		tpdm[i] = i
+		bp[i] = i % 7
+		ms[i] = i%5 - 2
+		tpdd[i] = -2
+		tpmd[i] = 1
+		tpmi[i] = i % 3
+		tpii[i] = -1
+		isv[i] = 2 - i%4
+	}
+	const inf = int64(-987654321)
+	const M, xmb = int64(63), int64(4)
+	for k := int64(1); k <= M; k++ {
+		mc[k] = mpp[k-1] + tpmm[k-1]
+		if sc := ip[k-1] + tpim[k-1]; sc > mc[k] {
+			mc[k] = sc
+		}
+		if sc := dpp[k-1] + tpdm[k-1]; sc > mc[k] {
+			mc[k] = sc
+		}
+		if sc := xmb + bp[k]; sc > mc[k] {
+			mc[k] = sc
+		}
+		mc[k] += ms[k]
+		if mc[k] < inf {
+			mc[k] = inf
+		}
+		dc[k] = dc[k-1] + tpdd[k-1]
+		if sc := mc[k-1] + tpmd[k-1]; sc > dc[k] {
+			dc[k] = sc
+		}
+		if dc[k] < inf {
+			dc[k] = inf
+		}
+		if k < M {
+			ic[k] = mpp[k] + tpmi[k]
+			if sc := ip[k] + tpii[k]; sc > ic[k] {
+				ic[k] = sc
+			}
+			ic[k] += isv[k]
+			if ic[k] < inf {
+				ic[k] = inf
+			}
+		}
+	}
+	var s int64
+	for i := 1; i <= 63; i++ {
+		s += mc[i] + dc[i] + ic[i]
+	}
+	allConfigs(t, src, []int64{mc[M], s}, nil)
+}
+
+func TestAliasingThroughPointers(t *testing.T) {
+	// Passing the SAME array through two pointer parameters: the
+	// scheduler must not reorder the store through one against the
+	// load through the other.
+	allConfigs(t, `
+int data[8];
+int overlap(int *p, int *q, int n) {
+	int i; int s = 0;
+	for (i = 0; i < n; i++) {
+		p[i] = i + 1;
+		s += q[i];  /* q == p: must observe the store */
+	}
+	return s;
+}
+int main() {
+	print(overlap(data, data, 8));
+	return 0;
+}`, []int64{36}, nil)
+}
+
+func TestCompileErrorsPropagate(t *testing.T) {
+	if _, err := Compile("x.mc", "int main() { returnx; }", Default()); err == nil {
+		t.Error("parse error not propagated")
+	}
+	if _, err := Compile("x.mc", "int main() { return y; }", Default()); err == nil {
+		t.Error("check error not propagated")
+	}
+	if _, err := Compile("x.mc", "int f() { return 0; }", Default()); err == nil {
+		t.Error("missing main not caught")
+	}
+}
+
+func TestNestedLoopsMatrix(t *testing.T) {
+	allConfigs(t, `
+int a[64];
+int b[64];
+int c[64];
+int main() {
+	int i; int j; int k;
+	for (i = 0; i < 8; i++)
+		for (j = 0; j < 8; j++) {
+			a[i*8+j] = i + j;
+			b[i*8+j] = i - j;
+		}
+	for (i = 0; i < 8; i++)
+		for (j = 0; j < 8; j++) {
+			int s = 0;
+			for (k = 0; k < 8; k++)
+				s += a[i*8+k] * b[k*8+j];
+			c[i*8+j] = s;
+		}
+	print(c[0]); print(c[9]); print(c[63]);
+	return 0;
+}`, []int64{matref(0, 0), matref(1, 1), matref(7, 7)}, nil)
+}
+
+func matref(i, j int64) int64 {
+	var s int64
+	for k := int64(0); k < 8; k++ {
+		s += (i + k) * (k - j)
+	}
+	return s
+}
+
+func TestDeadCodeEliminated(t *testing.T) {
+	srcDead := `
+int main() {
+	int unused1 = 3 * 7;
+	int unused2 = unused1 + 4;
+	int live = 5;
+	print(live);
+	return 0;
+}`
+	p2, err := Compile("d.mc", srcDead, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, err := Compile("d.mc", srcDead, Options{Opt: ir.O0()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.Insts) >= len(p0.Insts) {
+		t.Errorf("O2 (%d insts) not smaller than O0 (%d insts)", len(p2.Insts), len(p0.Insts))
+	}
+}
+
+func TestLineTables(t *testing.T) {
+	src := `int g[4];
+int main() {
+	g[0] = 1;
+	g[1] = g[0] + 2;
+	print(g[1]);
+	return 0;
+}`
+	p, err := Compile("lines.mc", src, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every load/store must carry a plausible source line.
+	for _, in := range p.Insts {
+		if in.Pos.Line < 0 || in.Pos.Line > 6 {
+			t.Fatalf("instruction %s has line %d", in, in.Pos.Line)
+		}
+	}
+	if len(p.Funcs) != 1 || p.Funcs[0].Name != "main" {
+		t.Errorf("func table: %+v", p.Funcs)
+	}
+	if _, ok := p.Symbol("g"); !ok {
+		t.Error("symbol g missing")
+	}
+}
+
+func BenchmarkCompileViterbiLoop(b *testing.B) {
+	src := `
+int a[64]; int bb[64]; int c[64];
+int main() {
+	int i;
+	for (i = 0; i < 64; i++) { a[i] = i; bb[i] = 64 - i; }
+	int s = 0;
+	for (i = 0; i < 64; i++) {
+		c[i] = a[i] + bb[i];
+		if (c[i] > s) s = c[i];
+	}
+	print(s);
+	return 0;
+}`
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile("bench.mc", src, Default()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

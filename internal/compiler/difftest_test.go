@@ -1,0 +1,254 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"bioperfload/internal/ir"
+	"bioperfload/internal/minic"
+	"bioperfload/internal/sim"
+	"bioperfload/internal/workload"
+)
+
+// Differential testing: a seeded generator produces random (but
+// always-terminating, trap-free) MiniC programs; every program must
+// print identical output at O0, at O2, and under an 8-register budget.
+// Any divergence is an optimizer or register-allocator bug.
+
+type progGen struct {
+	r       *workload.RNG
+	b       strings.Builder
+	intVars []string
+	fpVars  []string
+	arrays  []string // int arrays, each 16 elements
+	depth   int
+}
+
+func (g *progGen) pick(vs []string) string { return vs[g.r.Intn(len(vs))] }
+
+// intExpr emits a side-effect-free int expression.
+func (g *progGen) intExpr(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%d", g.r.Intn(200)-100)
+		case 1:
+			return g.pick(g.intVars)
+		default:
+			return fmt.Sprintf("%s[%s & 15]", g.pick(g.arrays), g.pick(g.intVars))
+		}
+	}
+	a := g.intExpr(depth - 1)
+	b := g.intExpr(depth - 1)
+	switch g.r.Intn(9) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", a, b)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", a, b)
+	case 2:
+		return fmt.Sprintf("(%s * %s)", a, b)
+	case 3:
+		// Guarded division: the divisor is forced nonzero.
+		return fmt.Sprintf("(%s / ((%s & 7) + 1))", a, b)
+	case 4:
+		return fmt.Sprintf("(%s %% ((%s & 7) + 1))", a, b)
+	case 5:
+		return fmt.Sprintf("(%s ^ %s)", a, b)
+	case 6:
+		return fmt.Sprintf("(%s & %s)", a, b)
+	case 7:
+		return fmt.Sprintf("(%s < %s ? %s : %s)", a, b, g.intExpr(depth-1), g.intExpr(depth-1))
+	default:
+		return fmt.Sprintf("(%s << (%s & 7))", a, b)
+	}
+}
+
+func (g *progGen) cond() string {
+	a := g.intExpr(1)
+	b := g.intExpr(1)
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	c := fmt.Sprintf("%s %s %s", a, ops[g.r.Intn(len(ops))], b)
+	switch g.r.Intn(4) {
+	case 0:
+		return fmt.Sprintf("%s && %s != 0", c, g.pick(g.intVars))
+	case 1:
+		return fmt.Sprintf("%s || %s > 3", c, g.pick(g.intVars))
+	}
+	return c
+}
+
+func (g *progGen) stmt(indent string, depth int) {
+	switch g.r.Intn(8) {
+	case 0, 1:
+		fmt.Fprintf(&g.b, "%s%s = %s;\n", indent, g.pick(g.intVars), g.intExpr(2))
+	case 2:
+		fmt.Fprintf(&g.b, "%s%s[%s & 15] = %s;\n", indent,
+			g.pick(g.arrays), g.pick(g.intVars), g.intExpr(2))
+	case 3:
+		if depth > 0 {
+			fmt.Fprintf(&g.b, "%sif (%s) {\n", indent, g.cond())
+			g.stmt(indent+"\t", depth-1)
+			if g.r.Intn(2) == 0 {
+				fmt.Fprintf(&g.b, "%s} else {\n", indent)
+				g.stmt(indent+"\t", depth-1)
+			}
+			fmt.Fprintf(&g.b, "%s}\n", indent)
+		} else {
+			fmt.Fprintf(&g.b, "%s%s += %s;\n", indent, g.pick(g.intVars), g.intExpr(1))
+		}
+	case 4:
+		// Bounded loop over a fresh counter (always terminates).
+		// The counter is never added to intVars: generated statements
+		// write arbitrary intVars, and a write to the counter could
+		// make the loop unbounded.
+		v := fmt.Sprintf("q%d", g.r.Intn(1000000))
+		n := g.r.Intn(6) + 2
+		fmt.Fprintf(&g.b, "%sfor (int %s = 0; %s < %d; %s++) {\n", indent, v, v, n, v)
+		fmt.Fprintf(&g.b, "%s\t%s += %s & 63;\n", indent, g.pick(g.intVars), v)
+		g.stmt(indent+"\t", depth-1)
+		fmt.Fprintf(&g.b, "%s}\n", indent)
+	case 5:
+		fmt.Fprintf(&g.b, "%s%s = %s + (int)%s;\n", indent,
+			g.pick(g.intVars), g.intExpr(1), g.pick(g.fpVars))
+	case 6:
+		fmt.Fprintf(&g.b, "%s%s = %s * 0.5 + (double)(%s);\n", indent,
+			g.pick(g.fpVars), g.pick(g.fpVars), g.intExpr(1))
+	default:
+		fmt.Fprintf(&g.b, "%s%s++;\n", indent, g.pick(g.intVars))
+	}
+}
+
+// generate emits one random program that prints a digest of all its
+// state.
+func generate(seed uint64) string {
+	g := &progGen{r: workload.NewRNG(seed)}
+	g.intVars = []string{"v0", "v1", "v2", "v3"}
+	g.fpVars = []string{"f0", "f1"}
+	g.arrays = []string{"ga", "gb"}
+	g.b.WriteString("int ga[16];\nint gb[16];\n")
+	g.b.WriteString("int helper(int x, int y) { return x * 3 - y + (x > y ? 7 : -7); }\n")
+	g.b.WriteString("int main() {\n")
+	for i, v := range g.intVars {
+		fmt.Fprintf(&g.b, "\tint %s = %d;\n", v, i*13+1)
+	}
+	for i, v := range g.fpVars {
+		fmt.Fprintf(&g.b, "\tdouble %s = %d.5;\n", v, i+1)
+	}
+	g.b.WriteString("\tint ii;\n\tfor (ii = 0; ii < 16; ii++) { ga[ii] = ii * 3 - 9; gb[ii] = 40 - ii; }\n")
+	nstmt := g.r.Intn(12) + 6
+	for i := 0; i < nstmt; i++ {
+		g.stmt("\t", 3)
+		if g.r.Intn(4) == 0 {
+			fmt.Fprintf(&g.b, "\tv%d = helper(%s, %s);\n",
+				g.r.Intn(4), g.intExpr(1), g.intExpr(1))
+		}
+	}
+	// Digest: print everything so any divergence is observable.
+	g.b.WriteString("\tint dig = 0;\n")
+	g.b.WriteString("\tfor (ii = 0; ii < 16; ii++) dig = dig * 31 + ga[ii] + gb[ii] * 7;\n")
+	for _, v := range g.intVars {
+		fmt.Fprintf(&g.b, "\tprint(%s);\n", v)
+	}
+	for _, v := range g.fpVars {
+		fmt.Fprintf(&g.b, "\tprint(%s);\n", v)
+	}
+	g.b.WriteString("\tprint(dig);\n\treturn 0;\n}\n")
+	return g.b.String()
+}
+
+func runOnce(t *testing.T, src string, opts Options) (string, error) {
+	t.Helper()
+	prog, err := Compile("fuzz.mc", src, opts)
+	if err != nil {
+		return "", fmt.Errorf("compile: %w", err)
+	}
+	m, err := sim.New(prog)
+	if err != nil {
+		return "", err
+	}
+	m.Fuel = 50_000_000
+	res, err := m.Run()
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprint(res.IntOutput, res.FPOutput), nil
+}
+
+func TestDifferentialRandomPrograms(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 10
+	}
+	configs := []Options{
+		{Opt: ir.O0()},
+		{Opt: ir.O2()},
+		{Opt: ir.O2(), AllocIntRegs: 8, AllocFPRegs: 8},
+		{Opt: ir.OptOptions{Fold: true, IfConvert: true, MaxIfConvert: 4}},
+		{Opt: ir.OptOptions{Schedule: true, DCE: true}},
+	}
+	for seed := uint64(1); seed <= uint64(n); seed++ {
+		src := generate(seed * 7919)
+		var want string
+		for ci, opts := range configs {
+			got, err := runOnce(t, src, opts)
+			if err != nil {
+				t.Fatalf("seed %d config %d: %v\nprogram:\n%s", seed, ci, err, src)
+			}
+			if ci == 0 {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Fatalf("seed %d config %d diverged:\n O0: %s\n got: %s\nprogram:\n%s",
+					seed, ci, want, got, src)
+			}
+		}
+	}
+}
+
+// interpOnce runs the program through the AST interpreter (a second,
+// independent implementation of MiniC semantics).
+func interpOnce(t *testing.T, src string) (string, error) {
+	t.Helper()
+	f, err := minic.Parse("fuzz.mc", src)
+	if err != nil {
+		return "", err
+	}
+	info, err := minic.Check(f)
+	if err != nil {
+		return "", err
+	}
+	in := minic.NewInterp(f, info)
+	if _, err := in.Run(); err != nil {
+		return "", err
+	}
+	return fmt.Sprint(in.IntOutput, in.FPOutput), nil
+}
+
+// TestThreeWayDifferential compares the AST interpreter against the
+// compiled program at O0 and O2: three independent executions of the
+// same semantics must agree exactly.
+func TestThreeWayDifferential(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 10
+	}
+	for seed := uint64(1); seed <= uint64(n); seed++ {
+		src := generate(seed*104729 + 17)
+		ref, err := interpOnce(t, src)
+		if err != nil {
+			t.Fatalf("seed %d interp: %v\nprogram:\n%s", seed, err, src)
+		}
+		for _, opts := range []Options{{Opt: ir.O0()}, {Opt: ir.O2()}} {
+			got, err := runOnce(t, src, opts)
+			if err != nil {
+				t.Fatalf("seed %d: %v\nprogram:\n%s", seed, err, src)
+			}
+			if got != ref {
+				t.Fatalf("seed %d: interpreter and compiled code diverge:\ninterp:   %s\ncompiled: %s\nprogram:\n%s",
+					seed, ref, got, src)
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package ir
+
+import "testing"
+
+// The Figure 5 scenario: a guarded store in the THEN block, loads in
+// the join block. Hoisting the join's loads into the branch block is
+// legal only if they cannot alias the store.
+const triangleParamSrc = `
+int kernel(int *mc, int *dpp, int k, int sc) {
+	if (sc > mc[k]) mc[k] = sc;     /* store through param in THEN */
+	int x = dpp[k];                 /* join-block load */
+	return x * 2;
+}
+int main() { int a[8]; int b[8]; return kernel(a, b, 1, 5); }
+`
+
+const triangleGlobalSrc = `
+int mc[8]; int dpp[8];
+int kernel(int k, int sc) {
+	if (sc > mc[k]) mc[k] = sc;
+	int x = dpp[k];
+	return x * 2;
+}
+int main() { return kernel(1, 5); }
+`
+
+// loadsInBlockWithBranch counts loads in blocks that end with a
+// conditional branch (i.e., hoisted above the branch).
+func loadsAboveBranch(f *Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		if b.Term.Op != OpBranch {
+			continue
+		}
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == OpLoad {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func optimizeWith(t *testing.T, src, fn string, opts OptOptions) *Func {
+	t.Helper()
+	p := lowerSrc(t, src)
+	f := findFunc(t, p, fn)
+	Optimize(f, opts)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("invalid after optimize: %v", err)
+	}
+	return f
+}
+
+func TestHoistBlockedByParamStore(t *testing.T) {
+	// Conservative aliasing: dpp[k] may alias mc[k] (both pointer
+	// params), so the load must NOT move above the branch. This is
+	// the paper's compiler limitation.
+	before := optimizeWith(t, triangleParamSrc, "kernel", OptOptions{})
+	base := loadsAboveBranch(before)
+	f := optimizeWith(t, triangleParamSrc, "kernel", O2())
+	if got := loadsAboveBranch(f); got > base {
+		t.Errorf("load hoisted across a may-alias param store (before=%d after=%d)\n%s",
+			base, got, f)
+	}
+}
+
+func TestHoistFiresForDistinctGlobals(t *testing.T) {
+	// mc and dpp are distinct globals: the hoist is provably safe and
+	// must fire (the paper's Figure 5(b)).
+	noHoist := O2()
+	noHoist.GlobalHoist = false
+	base := loadsAboveBranch(optimizeWith(t, triangleGlobalSrc, "kernel", noHoist))
+	f := optimizeWith(t, triangleGlobalSrc, "kernel", O2())
+	if got := loadsAboveBranch(f); got <= base {
+		t.Errorf("load not hoisted despite provable no-alias (base=%d got=%d)\n%s",
+			base, got, f)
+	}
+}
+
+func TestHoistFiresUnderRestrict(t *testing.T) {
+	// With restrict-qualified parameters the paper's Itanium
+	// observation applies: the compiler may hoist.
+	opts := O2()
+	opts.RestrictParams = true
+	noHoist := O2()
+	noHoist.GlobalHoist = false
+	base := loadsAboveBranch(optimizeWith(t, triangleParamSrc, "kernel", noHoist))
+	f := optimizeWith(t, triangleParamSrc, "kernel", opts)
+	if got := loadsAboveBranch(f); got <= base {
+		t.Errorf("restrict did not unblock the hoist (base=%d got=%d)\n%s", base, got, f)
+	}
+}
+
+func TestNoAliasRestrictRules(t *testing.T) {
+	p0 := Region{Kind: RegionParam, ID: 0}
+	p1 := Region{Kind: RegionParam, ID: 1}
+	g0 := Region{Kind: RegionGlobal, ID: 0}
+	if noAliasR(p0, p1, false) {
+		t.Error("params must alias without restrict")
+	}
+	if !noAliasR(p0, p1, true) {
+		t.Error("distinct params must not alias under restrict")
+	}
+	if noAliasR(p0, p0, true) {
+		t.Error("a param always aliases itself")
+	}
+	if !noAliasR(p0, g0, true) || !noAliasR(g0, p0, true) {
+		t.Error("param vs global must not alias under restrict")
+	}
+}
+
+func TestHoistPreservesSemanticsViaScheduleCheck(t *testing.T) {
+	// Structural check: hoisting must not duplicate or drop
+	// instructions.
+	count := func(f *Func) int {
+		n := 0
+		for _, b := range f.Blocks {
+			n += len(b.Instrs)
+		}
+		return n
+	}
+	p := lowerSrc(t, triangleGlobalSrc)
+	f := findFunc(t, p, "kernel")
+	opts := OptOptions{GlobalHoist: true}
+	before := count(f)
+	moved := globalHoistLoads(f, false)
+	if count(f) != before {
+		t.Fatalf("hoist changed instruction count: %d -> %d", before, count(f))
+	}
+	if moved == 0 {
+		t.Error("expected at least one hoisted instruction")
+	}
+	_ = opts
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHoistSkipsLoopHeads(t *testing.T) {
+	// A join block that is also a loop head has more than two preds
+	// (or a backedge); hoisting must not fire and must not corrupt
+	// the CFG.
+	src := `
+int a[8];
+int kernel(int n) {
+	int s = 0; int i;
+	for (i = 0; i < n; i++) {
+		if (s > 10) s = 0;
+		s += a[i & 7];
+	}
+	return s;
+}
+int main() { return kernel(20); }`
+	f := optimizeWith(t, src, "kernel", O2())
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,446 @@
+package ir
+
+import (
+	"fmt"
+
+	"bioperfload/internal/minic"
+)
+
+// GlobalLayout gives the lowering pass the data-segment address and
+// alias-region id of one global.
+type GlobalLayout struct {
+	Addr  uint64
+	Index int32 // region id
+	Ty    minic.Type
+}
+
+// LowerError reports a lowering failure (always a compiler bug or an
+// unsupported construct, since sema ran first).
+type LowerError struct {
+	File string
+	Line int32
+	Msg  string
+}
+
+func (e *LowerError) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+type lowerer struct {
+	file    *minic.File
+	info    *minic.Info
+	globals map[string]GlobalLayout
+	prog    *Program
+
+	fn     *Func
+	cur    *Block
+	breaks []int32 // innermost-loop break target block ids
+	conts  []int32 // innermost-loop continue target block ids
+
+	// Per-function symbol bindings, keyed by sema's per-function
+	// local index / parameter position.
+	paramVals  []Value
+	localVals  map[int]Value
+	localSlots map[int]int32
+	localTypes map[int]minic.Type
+	nextLocal  int
+}
+
+// Lower converts a checked MiniC file to IR. globals must contain a
+// layout for every global in the file.
+func Lower(f *minic.File, info *minic.Info, globals map[string]GlobalLayout) (*Program, error) {
+	l := &lowerer{
+		file: f, info: info, globals: globals,
+		prog: &Program{
+			Name:      f.Name,
+			FuncIndex: make(map[string]int32),
+		},
+	}
+	for _, g := range f.Globals {
+		if _, ok := globals[g.Name]; !ok {
+			return nil, &LowerError{File: f.Name, Line: g.Line, Msg: "no layout for global " + g.Name}
+		}
+		l.prog.GlobalNames = append(l.prog.GlobalNames, g.Name)
+	}
+	for i, fd := range f.Funcs {
+		l.prog.FuncIndex[fd.Name] = int32(i)
+	}
+	for _, fd := range f.Funcs {
+		fn, err := l.lowerFunc(fd)
+		if err != nil {
+			return nil, err
+		}
+		l.prog.Funcs = append(l.prog.Funcs, fn)
+	}
+	return l.prog, nil
+}
+
+func (l *lowerer) bug(line int32, format string, args ...any) error {
+	panic(&LowerError{File: l.file.Name, Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *lowerer) emit(in Instr) Value {
+	l.cur.Instrs = append(l.cur.Instrs, in)
+	return in.Dst
+}
+
+func (l *lowerer) setTerm(in Instr) {
+	l.cur.Term = in
+}
+
+func (l *lowerer) constI(v int64, line int32) Value {
+	dst := l.fn.NewValue(false)
+	l.emit(Instr{Op: OpConstI, Dst: dst, A: NoValue, B: NoValue, Imm: v, Line: line})
+	return dst
+}
+
+func (l *lowerer) constF(v float64, line int32) Value {
+	dst := l.fn.NewValue(true)
+	l.emit(Instr{Op: OpConstF, Dst: dst, A: NoValue, B: NoValue, FImm: v, Line: line})
+	return dst
+}
+
+func (l *lowerer) op2(op Op, a, b Value, isFloat bool, line int32) Value {
+	dst := l.fn.NewValue(isFloat)
+	l.emit(Instr{Op: op, Dst: dst, A: a, B: b, Line: line})
+	return dst
+}
+
+func (l *lowerer) move(dst, src Value, line int32) {
+	l.emit(Instr{Op: OpMove, Dst: dst, A: src, B: NoValue, Line: line})
+}
+
+func (l *lowerer) lowerFunc(fd *minic.FuncDecl) (fn *Func, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if le, ok := r.(*LowerError); ok {
+				err = le
+				return
+			}
+			panic(r)
+		}
+	}()
+	l.fn = &Func{
+		Name:     fd.Name,
+		RetFloat: fd.Ret == minic.TypeDouble,
+		HasRet:   fd.Ret != minic.TypeVoid,
+		Line:     fd.Line,
+	}
+	l.cur = l.fn.NewBlock()
+	l.nextLocal = 0
+	l.breaks = l.breaks[:0]
+	l.conts = l.conts[:0]
+
+	// Parameters get values bound by the code generator.
+	for _, p := range fd.Params {
+		isF := p.Ty.Base == minic.TypeDouble && !p.Ty.IsPtr
+		v := l.fn.NewValue(isF)
+		l.fn.Params = append(l.fn.Params, ParamInfo{
+			Val: v, IsFloat: isF, IsPtr: p.Ty.IsPtr, Name: p.Name,
+		})
+	}
+	// Bind the sema Syms for parameters: sema assigned Index =
+	// position. We need the actual *Sym pointers; they are reachable
+	// through info.Refs when used. Instead of chasing them, we keep
+	// a name->Value map per function for params and locals via Sym
+	// pointers discovered lazily.
+	l.paramVals = make([]Value, len(fd.Params))
+	for i := range fd.Params {
+		l.paramVals[i] = l.fn.Params[i].Val
+	}
+	l.localVals = make(map[int]Value)
+	l.localSlots = make(map[int]int32)
+	l.localTypes = make(map[int]minic.Type)
+
+	l.lowerBlockStmt(fd.Body)
+
+	// Fall-off-the-end: synthesize a return.
+	if !l.cur.Term.IsTerm() {
+		if l.fn.HasRet {
+			var zero Value
+			if l.fn.RetFloat {
+				zero = l.constF(0, fd.Line)
+			} else {
+				zero = l.constI(0, fd.Line)
+			}
+			l.setTerm(Instr{Op: OpRet, Dst: NoValue, A: zero, B: NoValue, Line: fd.Line})
+		} else {
+			l.setTerm(Instr{Op: OpRet, Dst: NoValue, A: NoValue, B: NoValue, Line: fd.Line})
+		}
+	}
+	// Terminate any dangling (unreachable) blocks.
+	for _, b := range l.fn.Blocks {
+		if !b.Term.IsTerm() {
+			b.Term = Instr{Op: OpRet, Dst: NoValue, A: NoValue, B: NoValue, Line: fd.Line}
+		}
+	}
+	if err := l.fn.Validate(); err != nil {
+		return nil, err
+	}
+	return l.fn, nil
+}
+
+// symValue returns the virtual register bound to a scalar local or
+// parameter. Sema assigns local indices in source order, which is also
+// lowering order, so the two numberings agree.
+func (l *lowerer) symValue(sym *minic.Sym, line int32) Value {
+	switch sym.Kind {
+	case minic.SymParam:
+		return l.paramVals[sym.Index]
+	case minic.SymLocal:
+		v, ok := l.localVals[sym.Index]
+		if !ok {
+			l.bug(line, "local %s used before its declaration was lowered", sym.Name)
+		}
+		return v
+	default:
+		l.bug(line, "symValue of global %s", sym.Name)
+		return NoValue
+	}
+}
+
+// memTarget describes a resolved memory object base.
+type memTarget struct {
+	base   Value
+	region Region
+	elem   minic.BaseType
+}
+
+// arrayBase resolves the base address and alias region for an array or
+// pointer symbol.
+func (l *lowerer) arrayBase(sym *minic.Sym, line int32) memTarget {
+	switch sym.Kind {
+	case minic.SymGlobal:
+		g := l.globals[sym.Name]
+		base := l.constI(int64(g.Addr), line)
+		return memTarget{base: base, region: Region{Kind: RegionGlobal, ID: g.Index}, elem: sym.Ty.Base}
+	case minic.SymParam:
+		return memTarget{
+			base:   l.paramVals[sym.Index],
+			region: Region{Kind: RegionParam, ID: int32(sym.Index)},
+			elem:   sym.Ty.Base,
+		}
+	default: // local array
+		slot, ok := l.localSlots[sym.Index]
+		if !ok {
+			l.bug(line, "local array %s used before declaration lowering", sym.Name)
+		}
+		dst := l.fn.NewValue(false)
+		l.emit(Instr{Op: OpFrameAddr, Dst: dst, A: NoValue, B: NoValue, Sym: slot, Line: line})
+		return memTarget{base: dst, region: Region{Kind: RegionStack, ID: slot}, elem: sym.Ty.Base}
+	}
+}
+
+// --- statements ---
+
+func (l *lowerer) lowerBlockStmt(b *minic.Block) {
+	for _, s := range b.Stmts {
+		l.lowerStmt(s)
+	}
+}
+
+func (l *lowerer) afterTerm(line int32) {
+	// Statements after a terminator go to an unreachable block.
+	l.cur = l.fn.NewBlock()
+	_ = line
+}
+
+func (l *lowerer) lowerStmt(s minic.Stmt) {
+	switch st := s.(type) {
+	case *minic.DeclStmt:
+		l.lowerDecl(st)
+	case *minic.ExprStmt:
+		l.lowerExpr(st.X)
+	case *minic.Block:
+		l.lowerBlockStmt(st)
+	case *minic.If:
+		l.lowerIf(st)
+	case *minic.While:
+		l.lowerWhile(st)
+	case *minic.For:
+		l.lowerFor(st)
+	case *minic.Return:
+		if st.X != nil {
+			v, isF := l.lowerExpr(st.X)
+			v = l.convert(v, isF, l.fn.RetFloat, st.Line)
+			l.setTerm(Instr{Op: OpRet, Dst: NoValue, A: v, B: NoValue, Line: st.Line})
+		} else {
+			l.setTerm(Instr{Op: OpRet, Dst: NoValue, A: NoValue, B: NoValue, Line: st.Line})
+		}
+		l.afterTerm(st.Line)
+	case *minic.Break:
+		l.setTerm(Instr{Op: OpJump, Dst: NoValue, A: NoValue, B: NoValue,
+			True: l.breaks[len(l.breaks)-1], Line: st.Line})
+		l.afterTerm(st.Line)
+	case *minic.Continue:
+		l.setTerm(Instr{Op: OpJump, Dst: NoValue, A: NoValue, B: NoValue,
+			True: l.conts[len(l.conts)-1], Line: st.Line})
+		l.afterTerm(st.Line)
+	default:
+		l.bug(0, "unknown statement %T", s)
+	}
+}
+
+func (l *lowerer) lowerDecl(st *minic.DeclStmt) {
+	idx := l.nextLocal
+	l.nextLocal++
+	l.localTypes[idx] = st.Ty
+	if st.Ty.IsArray {
+		slot := int32(len(l.fn.Frame))
+		l.fn.Frame = append(l.fn.Frame, FrameSlot{
+			Size: st.Ty.ArrayN * int64(st.Ty.Base.ElemSize()),
+			Name: st.Name,
+		})
+		l.localSlots[idx] = slot
+		return
+	}
+	v := l.fn.NewValue(st.Ty.Base == minic.TypeDouble)
+	l.localVals[idx] = v
+	if st.Init != nil {
+		rv, isF := l.lowerExpr(st.Init)
+		rv = l.convert(rv, isF, st.Ty.Base == minic.TypeDouble, st.Line)
+		l.move(v, rv, st.Line)
+	} else {
+		// Deterministic zero initialization (MiniC semantics).
+		if st.Ty.Base == minic.TypeDouble {
+			l.move(v, l.constF(0, st.Line), st.Line)
+		} else {
+			l.move(v, l.constI(0, st.Line), st.Line)
+		}
+	}
+}
+
+func (l *lowerer) lowerIf(st *minic.If) {
+	cond := l.lowerCond(st.Cond)
+	thenB := l.fn.NewBlock()
+	var elseB *Block
+	joinB := l.fn.NewBlock()
+	if st.Else != nil {
+		elseB = l.fn.NewBlock()
+		l.setTerm(Instr{Op: OpBranch, Dst: NoValue, A: cond, B: NoValue,
+			True: thenB.ID, False: elseB.ID, Line: st.Line})
+	} else {
+		l.setTerm(Instr{Op: OpBranch, Dst: NoValue, A: cond, B: NoValue,
+			True: thenB.ID, False: joinB.ID, Line: st.Line})
+	}
+	l.cur = thenB
+	l.lowerStmt(st.Then)
+	if !l.cur.Term.IsTerm() {
+		l.setTerm(Instr{Op: OpJump, Dst: NoValue, A: NoValue, B: NoValue, True: joinB.ID, Line: st.Line})
+	}
+	if st.Else != nil {
+		l.cur = elseB
+		l.lowerStmt(st.Else)
+		if !l.cur.Term.IsTerm() {
+			l.setTerm(Instr{Op: OpJump, Dst: NoValue, A: NoValue, B: NoValue, True: joinB.ID, Line: st.Line})
+		}
+	}
+	l.cur = joinB
+}
+
+func (l *lowerer) lowerWhile(st *minic.While) {
+	headB := l.fn.NewBlock()
+	bodyB := l.fn.NewBlock()
+	exitB := l.fn.NewBlock()
+	l.setTerm(Instr{Op: OpJump, Dst: NoValue, A: NoValue, B: NoValue, True: headB.ID, Line: st.Line})
+	l.cur = headB
+	cond := l.lowerCond(st.Cond)
+	l.setTerm(Instr{Op: OpBranch, Dst: NoValue, A: cond, B: NoValue,
+		True: bodyB.ID, False: exitB.ID, Line: st.Line})
+	l.breaks = append(l.breaks, exitB.ID)
+	l.conts = append(l.conts, headB.ID)
+	l.cur = bodyB
+	l.lowerStmt(st.Body)
+	if !l.cur.Term.IsTerm() {
+		l.setTerm(Instr{Op: OpJump, Dst: NoValue, A: NoValue, B: NoValue, True: headB.ID, Line: st.Line})
+	}
+	l.breaks = l.breaks[:len(l.breaks)-1]
+	l.conts = l.conts[:len(l.conts)-1]
+	l.cur = exitB
+}
+
+func (l *lowerer) lowerFor(st *minic.For) {
+	if st.Init != nil {
+		l.lowerStmt(st.Init)
+	}
+	headB := l.fn.NewBlock()
+	bodyB := l.fn.NewBlock()
+	postB := l.fn.NewBlock()
+	exitB := l.fn.NewBlock()
+	l.setTerm(Instr{Op: OpJump, Dst: NoValue, A: NoValue, B: NoValue, True: headB.ID, Line: st.Line})
+	l.cur = headB
+	if st.Cond != nil {
+		cond := l.lowerCond(st.Cond)
+		l.setTerm(Instr{Op: OpBranch, Dst: NoValue, A: cond, B: NoValue,
+			True: bodyB.ID, False: exitB.ID, Line: st.Line})
+	} else {
+		l.setTerm(Instr{Op: OpJump, Dst: NoValue, A: NoValue, B: NoValue, True: bodyB.ID, Line: st.Line})
+	}
+	l.breaks = append(l.breaks, exitB.ID)
+	l.conts = append(l.conts, postB.ID)
+	l.cur = bodyB
+	l.lowerStmt(st.Body)
+	if !l.cur.Term.IsTerm() {
+		l.setTerm(Instr{Op: OpJump, Dst: NoValue, A: NoValue, B: NoValue, True: postB.ID, Line: st.Line})
+	}
+	l.cur = postB
+	if st.Post != nil {
+		l.lowerExpr(st.Post)
+	}
+	l.setTerm(Instr{Op: OpJump, Dst: NoValue, A: NoValue, B: NoValue, True: headB.ID, Line: st.Line})
+	l.breaks = l.breaks[:len(l.breaks)-1]
+	l.conts = l.conts[:len(l.conts)-1]
+	l.cur = exitB
+}
+
+// lowerCond lowers an expression used as a truth value to an int
+// value (nonzero = true).
+func (l *lowerer) lowerCond(e minic.Expr) Value {
+	v, isF := l.lowerExpr(e)
+	if isF {
+		z := l.constF(0, lineOf(e))
+		return l.op2(OpFCmpNE, v, z, false, lineOf(e))
+	}
+	return v
+}
+
+// convert coerces v between register classes.
+func (l *lowerer) convert(v Value, isFloat, wantFloat bool, line int32) Value {
+	if isFloat == wantFloat {
+		return v
+	}
+	if wantFloat {
+		return l.op2(OpCvtIF, v, NoValue, true, line)
+	}
+	return l.op2(OpCvtFI, v, NoValue, false, line)
+}
+
+func lineOf(e minic.Expr) int32 {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		return x.Line
+	case *minic.FloatLit:
+		return x.Line
+	case *minic.VarRef:
+		return x.Line
+	case *minic.Index:
+		return x.Line
+	case *minic.Unary:
+		return x.Line
+	case *minic.Cast:
+		return x.Line
+	case *minic.Binary:
+		return x.Line
+	case *minic.Logical:
+		return x.Line
+	case *minic.Cond:
+		return x.Line
+	case *minic.Assign2:
+		return x.Line
+	case *minic.IncDec:
+		return x.Line
+	case *minic.Call:
+		return x.Line
+	}
+	return 0
+}

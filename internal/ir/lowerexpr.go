@@ -1,0 +1,419 @@
+package ir
+
+import "bioperfload/internal/minic"
+
+// lowerExpr lowers an expression and returns the value holding the
+// result together with its register class.
+func (l *lowerer) lowerExpr(e minic.Expr) (Value, bool) {
+	switch ex := e.(type) {
+	case *minic.IntLit:
+		return l.constI(ex.Val, ex.Line), false
+	case *minic.FloatLit:
+		return l.constF(ex.Val, ex.Line), true
+	case *minic.VarRef:
+		return l.lowerVarRead(ex)
+	case *minic.Index:
+		return l.lowerIndexRead(ex)
+	case *minic.Unary:
+		return l.lowerUnary(ex)
+	case *minic.Cast:
+		v, isF := l.lowerExpr(ex.X)
+		want := ex.To == minic.TypeDouble
+		return l.convert(v, isF, want, ex.Line), want
+	case *minic.Binary:
+		return l.lowerBinary(ex)
+	case *minic.Logical:
+		return l.lowerLogical(ex)
+	case *minic.Cond:
+		return l.lowerTernary(ex)
+	case *minic.Assign2:
+		return l.lowerAssign(ex)
+	case *minic.IncDec:
+		return l.lowerIncDec(ex)
+	case *minic.Call:
+		return l.lowerCall(ex)
+	}
+	l.bug(lineOf(e), "unknown expression %T", e)
+	return NoValue, false
+}
+
+func (l *lowerer) lowerVarRead(ex *minic.VarRef) (Value, bool) {
+	sym := l.info.Refs[ex]
+	if sym == nil {
+		l.bug(ex.Line, "unresolved variable %s", ex.Name)
+	}
+	if sym.Ty.IsMemory() {
+		// Array used as a value: its base address (for call args).
+		t := l.arrayBase(sym, ex.Line)
+		return t.base, false
+	}
+	if sym.Kind == minic.SymGlobal {
+		// Scalar globals live in memory.
+		g := l.globals[sym.Name]
+		base := l.constI(int64(g.Addr), ex.Line)
+		isF := sym.Ty.Base == minic.TypeDouble
+		dst := l.fn.NewValue(isF)
+		l.emit(Instr{
+			Op: OpLoad, Dst: dst, A: base, B: NoValue,
+			Width: uint8(sym.Ty.Base.ElemSize()), FloatMem: isF,
+			Region: Region{Kind: RegionGlobal, ID: g.Index}, Line: ex.Line,
+		})
+		return dst, isF
+	}
+	v := l.symValue(sym, ex.Line)
+	return v, l.fn.IsFloat[v]
+}
+
+// addrOf computes the address value and constant offset for arr[idx].
+func (l *lowerer) addrOf(ex *minic.Index) (base Value, off int64, t memTarget) {
+	sym := l.info.Refs[ex.Arr]
+	if sym == nil {
+		l.bug(ex.Line, "unresolved array %s", ex.Arr.Name)
+	}
+	t = l.arrayBase(sym, ex.Line)
+	elem := int64(t.elem.ElemSize())
+	if lit, ok := ex.Idx.(*minic.IntLit); ok {
+		return t.base, lit.Val * elem, t
+	}
+	idx, isF := l.lowerExpr(ex.Idx)
+	idx = l.convert(idx, isF, false, ex.Line)
+	var addr Value
+	if elem == 8 {
+		// One scaled-index add, as Alpha's s8addq.
+		addr = l.op2(OpS8Add, idx, t.base, false, ex.Line)
+	} else {
+		addr = l.op2(OpAdd, t.base, idx, false, ex.Line)
+	}
+	return addr, 0, t
+}
+
+func (l *lowerer) lowerIndexRead(ex *minic.Index) (Value, bool) {
+	addr, off, t := l.addrOf(ex)
+	isF := t.elem == minic.TypeDouble
+	dst := l.fn.NewValue(isF)
+	l.emit(Instr{
+		Op: OpLoad, Dst: dst, A: addr, B: NoValue, Off: off,
+		Width: uint8(t.elem.ElemSize()), FloatMem: isF,
+		Region: t.region, Line: ex.Line,
+	})
+	return dst, isF
+}
+
+func (l *lowerer) lowerUnary(ex *minic.Unary) (Value, bool) {
+	v, isF := l.lowerExpr(ex.X)
+	switch ex.Op {
+	case minic.Minus:
+		if isF {
+			return l.op2(OpFNeg, v, NoValue, true, ex.Line), true
+		}
+		zero := l.constI(0, ex.Line)
+		return l.op2(OpSub, zero, v, false, ex.Line), false
+	case minic.Not:
+		if isF {
+			z := l.constF(0, ex.Line)
+			return l.op2(OpFCmpEQ, v, z, false, ex.Line), false
+		}
+		zero := l.constI(0, ex.Line)
+		return l.op2(OpCmpEQ, v, zero, false, ex.Line), false
+	case minic.Tilde:
+		m1 := l.constI(-1, ex.Line)
+		return l.op2(OpXor, v, m1, false, ex.Line), false
+	}
+	l.bug(ex.Line, "unknown unary %s", ex.Op)
+	return NoValue, false
+}
+
+var intBinOps = map[minic.Kind]Op{
+	minic.Plus: OpAdd, minic.Minus: OpSub, minic.Star: OpMul,
+	minic.Slash: OpDiv, minic.Percent: OpRem,
+	minic.And: OpAnd, minic.Or: OpOr, minic.Xor: OpXor,
+	minic.Shl: OpShl, minic.Shr: OpShr,
+	minic.EqEq: OpCmpEQ, minic.NotEq: OpCmpNE,
+	minic.Lt: OpCmpLT, minic.Le: OpCmpLE,
+	minic.Gt: OpCmpGT, minic.Ge: OpCmpGE,
+}
+
+var floatBinOps = map[minic.Kind]Op{
+	minic.Plus: OpFAdd, minic.Minus: OpFSub, minic.Star: OpFMul,
+	minic.Slash: OpFDiv,
+	minic.EqEq:  OpFCmpEQ, minic.NotEq: OpFCmpNE,
+	minic.Lt: OpFCmpLT, minic.Le: OpFCmpLE,
+	minic.Gt: OpFCmpGT, minic.Ge: OpFCmpGE,
+}
+
+func isCmpKind(k minic.Kind) bool {
+	switch k {
+	case minic.EqEq, minic.NotEq, minic.Lt, minic.Le, minic.Gt, minic.Ge:
+		return true
+	}
+	return false
+}
+
+func (l *lowerer) lowerBinary(ex *minic.Binary) (Value, bool) {
+	x, xf := l.lowerExpr(ex.X)
+	y, yf := l.lowerExpr(ex.Y)
+	useFloat := xf || yf
+	if useFloat {
+		x = l.convert(x, xf, true, ex.Line)
+		y = l.convert(y, yf, true, ex.Line)
+		op, ok := floatBinOps[ex.Op]
+		if !ok {
+			l.bug(ex.Line, "float operands for %s", ex.Op)
+		}
+		if isCmpKind(ex.Op) {
+			return l.op2(op, x, y, false, ex.Line), false
+		}
+		return l.op2(op, x, y, true, ex.Line), true
+	}
+	op := intBinOps[ex.Op]
+	return l.op2(op, x, y, false, ex.Line), false
+}
+
+func (l *lowerer) lowerLogical(ex *minic.Logical) (Value, bool) {
+	res := l.fn.NewValue(false)
+	rhsB := l.fn.NewBlock()
+	shortB := l.fn.NewBlock()
+	joinB := l.fn.NewBlock()
+
+	cond := l.lowerCond(ex.X)
+	if ex.Op == minic.AndAnd {
+		// x true -> evaluate y; x false -> result 0.
+		l.setTerm(Instr{Op: OpBranch, Dst: NoValue, A: cond, B: NoValue,
+			True: rhsB.ID, False: shortB.ID, Line: ex.Line})
+	} else {
+		// x true -> result 1; x false -> evaluate y.
+		l.setTerm(Instr{Op: OpBranch, Dst: NoValue, A: cond, B: NoValue,
+			True: shortB.ID, False: rhsB.ID, Line: ex.Line})
+	}
+
+	l.cur = shortB
+	var shortVal int64
+	if ex.Op == minic.OrOr {
+		shortVal = 1
+	}
+	sv := l.constI(shortVal, ex.Line)
+	l.move(res, sv, ex.Line)
+	l.setTerm(Instr{Op: OpJump, Dst: NoValue, A: NoValue, B: NoValue, True: joinB.ID, Line: ex.Line})
+
+	l.cur = rhsB
+	y := l.lowerCond(ex.Y)
+	zero := l.constI(0, ex.Line)
+	norm := l.op2(OpCmpNE, y, zero, false, ex.Line)
+	l.move(res, norm, ex.Line)
+	l.setTerm(Instr{Op: OpJump, Dst: NoValue, A: NoValue, B: NoValue, True: joinB.ID, Line: ex.Line})
+
+	l.cur = joinB
+	return res, false
+}
+
+func (l *lowerer) lowerTernary(ex *minic.Cond) (Value, bool) {
+	tyA := l.info.Types[ex.A]
+	tyB := l.info.Types[ex.B]
+	isF := tyA.Base == minic.TypeDouble || tyB.Base == minic.TypeDouble
+	res := l.fn.NewValue(isF)
+
+	cond := l.lowerCond(ex.C)
+	thenB := l.fn.NewBlock()
+	elseB := l.fn.NewBlock()
+	joinB := l.fn.NewBlock()
+	l.setTerm(Instr{Op: OpBranch, Dst: NoValue, A: cond, B: NoValue,
+		True: thenB.ID, False: elseB.ID, Line: ex.Line})
+
+	l.cur = thenB
+	av, af := l.lowerExpr(ex.A)
+	av = l.convert(av, af, isF, ex.Line)
+	l.move(res, av, ex.Line)
+	l.setTerm(Instr{Op: OpJump, Dst: NoValue, A: NoValue, B: NoValue, True: joinB.ID, Line: ex.Line})
+
+	l.cur = elseB
+	bv, bf := l.lowerExpr(ex.B)
+	bv = l.convert(bv, bf, isF, ex.Line)
+	l.move(res, bv, ex.Line)
+	l.setTerm(Instr{Op: OpJump, Dst: NoValue, A: NoValue, B: NoValue, True: joinB.ID, Line: ex.Line})
+
+	l.cur = joinB
+	return res, isF
+}
+
+// binOpFor maps a compound-assignment operator to its binary kind.
+func binOpFor(k minic.Kind) minic.Kind {
+	switch k {
+	case minic.PlusEq:
+		return minic.Plus
+	case minic.MinusEq:
+		return minic.Minus
+	case minic.StarEq:
+		return minic.Star
+	case minic.SlashEq:
+		return minic.Slash
+	case minic.PercentEq:
+		return minic.Percent
+	}
+	return k
+}
+
+func (l *lowerer) lowerAssign(ex *minic.Assign2) (Value, bool) {
+	switch lhs := ex.Lhs.(type) {
+	case *minic.VarRef:
+		sym := l.info.Refs[lhs]
+		if sym == nil {
+			l.bug(ex.Line, "unresolved variable %s", lhs.Name)
+		}
+		lhsFloat := sym.Ty.Base == minic.TypeDouble
+		if sym.Kind == minic.SymGlobal {
+			return l.lowerGlobalScalarAssign(ex, sym, lhsFloat)
+		}
+		dst := l.symValue(sym, ex.Line)
+		var rv Value
+		if ex.Op == minic.Assign {
+			v, isF := l.lowerExpr(ex.Rhs)
+			rv = l.convert(v, isF, lhsFloat, ex.Line)
+		} else {
+			cur := dst
+			v, isF := l.lowerExpr(ex.Rhs)
+			rv = l.applyCompound(ex.Op, cur, lhsFloat, v, isF, ex.Line)
+		}
+		l.move(dst, rv, ex.Line)
+		return dst, lhsFloat
+
+	case *minic.Index:
+		addr, off, t := l.addrOf(lhs)
+		isF := t.elem == minic.TypeDouble
+		var rv Value
+		if ex.Op == minic.Assign {
+			v, vf := l.lowerExpr(ex.Rhs)
+			rv = l.convert(v, vf, isF, ex.Line)
+		} else {
+			cur := l.fn.NewValue(isF)
+			l.emit(Instr{Op: OpLoad, Dst: cur, A: addr, B: NoValue, Off: off,
+				Width: uint8(t.elem.ElemSize()), FloatMem: isF,
+				Region: t.region, Line: ex.Line})
+			v, vf := l.lowerExpr(ex.Rhs)
+			rv = l.applyCompound(ex.Op, cur, isF, v, vf, ex.Line)
+		}
+		l.emit(Instr{Op: OpStore, Dst: NoValue, A: addr, B: rv, Off: off,
+			Width: uint8(t.elem.ElemSize()), FloatMem: isF,
+			Region: t.region, Line: ex.Line})
+		return rv, isF
+	}
+	l.bug(ex.Line, "bad assignment target %T", ex.Lhs)
+	return NoValue, false
+}
+
+func (l *lowerer) lowerGlobalScalarAssign(ex *minic.Assign2, sym *minic.Sym, isF bool) (Value, bool) {
+	g := l.globals[sym.Name]
+	base := l.constI(int64(g.Addr), ex.Line)
+	region := Region{Kind: RegionGlobal, ID: g.Index}
+	width := uint8(sym.Ty.Base.ElemSize())
+	var rv Value
+	if ex.Op == minic.Assign {
+		v, vf := l.lowerExpr(ex.Rhs)
+		rv = l.convert(v, vf, isF, ex.Line)
+	} else {
+		cur := l.fn.NewValue(isF)
+		l.emit(Instr{Op: OpLoad, Dst: cur, A: base, B: NoValue,
+			Width: width, FloatMem: isF, Region: region, Line: ex.Line})
+		v, vf := l.lowerExpr(ex.Rhs)
+		rv = l.applyCompound(ex.Op, cur, isF, v, vf, ex.Line)
+	}
+	l.emit(Instr{Op: OpStore, Dst: NoValue, A: base, B: rv,
+		Width: width, FloatMem: isF, Region: region, Line: ex.Line})
+	return rv, isF
+}
+
+// applyCompound computes cur op rhs with conversions, returning a
+// value of the lhs class.
+func (l *lowerer) applyCompound(op minic.Kind, cur Value, curF bool, rhs Value, rhsF bool, line int32) Value {
+	bk := binOpFor(op)
+	if curF || rhsF {
+		a := l.convert(cur, curF, true, line)
+		b := l.convert(rhs, rhsF, true, line)
+		res := l.op2(floatBinOps[bk], a, b, true, line)
+		return l.convert(res, true, curF, line)
+	}
+	return l.op2(intBinOps[bk], cur, rhs, false, line)
+}
+
+func (l *lowerer) lowerIncDec(ex *minic.IncDec) (Value, bool) {
+	one := func() Value { return l.constI(1, ex.Line) }
+	opk := minic.Plus
+	if ex.Op == minic.Dec {
+		opk = minic.Minus
+	}
+	switch lhs := ex.X.(type) {
+	case *minic.VarRef:
+		sym := l.info.Refs[lhs]
+		if sym == nil {
+			l.bug(ex.Line, "unresolved variable %s", lhs.Name)
+		}
+		if sym.Kind == minic.SymGlobal {
+			g := l.globals[sym.Name]
+			base := l.constI(int64(g.Addr), ex.Line)
+			region := Region{Kind: RegionGlobal, ID: g.Index}
+			old := l.fn.NewValue(false)
+			l.emit(Instr{Op: OpLoad, Dst: old, A: base, B: NoValue,
+				Width: uint8(sym.Ty.Base.ElemSize()), Region: region, Line: ex.Line})
+			nv := l.op2(intBinOps[opk], old, one(), false, ex.Line)
+			l.emit(Instr{Op: OpStore, Dst: NoValue, A: base, B: nv,
+				Width: uint8(sym.Ty.Base.ElemSize()), Region: region, Line: ex.Line})
+			if ex.Postfix {
+				return old, false
+			}
+			return nv, false
+		}
+		dst := l.symValue(sym, ex.Line)
+		if ex.Postfix {
+			old := l.fn.NewValue(false)
+			l.move(old, dst, ex.Line)
+			nv := l.op2(intBinOps[opk], dst, one(), false, ex.Line)
+			l.move(dst, nv, ex.Line)
+			return old, false
+		}
+		nv := l.op2(intBinOps[opk], dst, one(), false, ex.Line)
+		l.move(dst, nv, ex.Line)
+		return dst, false
+
+	case *minic.Index:
+		addr, off, t := l.addrOf(lhs)
+		old := l.fn.NewValue(false)
+		l.emit(Instr{Op: OpLoad, Dst: old, A: addr, B: NoValue, Off: off,
+			Width: uint8(t.elem.ElemSize()), Region: t.region, Line: ex.Line})
+		nv := l.op2(intBinOps[opk], old, one(), false, ex.Line)
+		l.emit(Instr{Op: OpStore, Dst: NoValue, A: addr, B: nv, Off: off,
+			Width: uint8(t.elem.ElemSize()), Region: t.region, Line: ex.Line})
+		if ex.Postfix {
+			return old, false
+		}
+		return nv, false
+	}
+	l.bug(ex.Line, "bad ++/-- target %T", ex.X)
+	return NoValue, false
+}
+
+func (l *lowerer) lowerCall(ex *minic.Call) (Value, bool) {
+	if ex.Name == "print" {
+		v, _ := l.lowerExpr(ex.Args[0])
+		l.emit(Instr{Op: OpPrint, Dst: NoValue, A: v, B: NoValue, Line: ex.Line})
+		return NoValue, false
+	}
+	sig := l.info.Calls[ex]
+	if sig == nil {
+		l.bug(ex.Line, "unresolved call %s", ex.Name)
+	}
+	args := make([]Value, len(ex.Args))
+	for i, a := range ex.Args {
+		v, isF := l.lowerExpr(a)
+		if i < len(sig.Params) && !sig.Params[i].Ty.IsPtr {
+			v = l.convert(v, isF, sig.Params[i].Ty.Base == minic.TypeDouble, ex.Line)
+		}
+		args[i] = v
+	}
+	idx := l.prog.FuncIndex[ex.Name]
+	var dst Value = NoValue
+	isF := sig.Ret == minic.TypeDouble
+	if sig.Ret != minic.TypeVoid {
+		dst = l.fn.NewValue(isF)
+	}
+	l.emit(Instr{Op: OpCall, Dst: dst, A: NoValue, B: NoValue, Sym: idx, Args: args, Line: ex.Line})
+	return dst, isF
+}

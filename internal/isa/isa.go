@@ -1,0 +1,347 @@
+// Package isa defines VRISC64, the Alpha-flavored 64-bit RISC
+// instruction set executed by the functional simulator and modeled by
+// the timing simulators.
+//
+// VRISC64 deliberately mirrors the Alpha 21264 programming model used
+// by the paper: 32 integer registers with R31 hard-wired to zero, 32
+// floating-point registers with F31 hard-wired to zero, compare
+// instructions that produce 0/1 in an integer register, conditional
+// branches that test a single register against zero, and conditional
+// move (CMOV) instructions that the compiler's if-conversion pass
+// emits in place of short branches.
+package isa
+
+import "fmt"
+
+// Register conventions. The functional simulator enforces RZero and
+// FZero reading as zero; writes to them are discarded.
+const (
+	// NumIntRegs/NumFPRegs size the architectural register files.
+	// Registers 0..31 follow the Alpha-like conventions below and are
+	// all any 32-register target (Alpha, PowerPC, Pentium 4 budget)
+	// ever touches; registers 32..63 exist to model the Itanium 2's
+	// large register file (128 architectural; we model 64) and are
+	// only allocated when a platform's register budget asks for them.
+	NumIntRegs = 64
+	NumFPRegs  = 64
+
+	RegV0   = 0  // integer function result
+	RegA0   = 16 // first integer argument register
+	RegA1   = 17
+	RegA2   = 18
+	RegA3   = 19
+	RegA4   = 20
+	RegA5   = 21
+	RegRA   = 26 // return address
+	RegGP   = 29 // global pointer (reserved, unused)
+	RegSP   = 30 // stack pointer
+	RZero   = 31 // always reads as zero
+	FRegV0  = 0  // floating-point function result
+	FRegA0  = 16 // first floating-point argument register
+	FZero   = 31 // always reads as 0.0
+	NumArgs = 6  // register arguments per class (int and fp)
+)
+
+// Op enumerates every VRISC64 opcode.
+type Op uint8
+
+const (
+	// OpNop does nothing. The zero value of Inst is a NOP.
+	OpNop Op = iota
+
+	// Integer ALU, register or immediate second operand
+	// (Inst.HasImm). Rd <- Ra op (Rb | Imm).
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv // signed; divide by zero traps
+	OpRem // signed remainder; zero divisor traps
+	OpAnd
+	OpOr
+	OpXor
+	OpSll
+	OpSrl
+	OpSra
+	OpCmpEq  // Rd <- (Ra == src2) ? 1 : 0
+	OpCmpLt  // signed <
+	OpCmpLe  // signed <=
+	OpCmpUlt // unsigned <
+
+	// OpS8Add computes Rd <- Ra*8 + Rb (Alpha's s8addq), the array
+	// indexing workhorse.
+	OpS8Add
+
+	// OpLda computes Rd <- Ra + Imm (address/constant arithmetic).
+	OpLda
+	// OpLdiq loads the 64-bit immediate into Rd.
+	OpLdiq
+
+	// Conditional moves: Rd <- src2 if cond(Ra) else Rd. Note Rd is
+	// also a source (the timing model honors this dependence).
+	OpCmovEq // if Ra == 0
+	OpCmovNe // if Ra != 0
+	OpCmovLt // if Ra < 0
+	OpCmovLe // if Ra <= 0
+	OpCmovGt // if Ra > 0
+	OpCmovGe // if Ra >= 0
+
+	// Integer memory. Effective address is Ra + Imm.
+	OpLdq  // Rd <- mem64[Ra+Imm]
+	OpLdbu // Rd <- zero-extended mem8[Ra+Imm]
+	OpStq  // mem64[Ra+Imm] <- Rb
+	OpStb  // mem8[Ra+Imm] <- low byte of Rb
+
+	// Floating-point memory. Effective address is Ra + Imm (integer
+	// base register).
+	OpLdt // Fd <- mem-float64[Ra+Imm]
+	OpStt // mem-float64[Ra+Imm] <- Fb
+
+	// Floating-point ALU. Fd <- Fa op Fb.
+	OpAddt
+	OpSubt
+	OpMult
+	OpDivt
+	// FP compares write 0/1 into an INTEGER register Rd so the
+	// ordinary branches can test them.
+	OpCmpTeq
+	OpCmpTlt
+	OpCmpTle
+	// Conversions.
+	OpCvtQT // Fd <- float64(Ra)
+	OpCvtTQ // Rd <- int64(Fa), truncating toward zero
+	// FP register move / negate.
+	OpFMov // Fd <- Fa
+	OpFNeg // Fd <- -Fa
+
+	// Control transfer. Target is an absolute instruction index.
+	OpBr  // unconditional PC-relative branch to Target
+	OpBeq // branch to Target if Ra == 0
+	OpBne // if Ra != 0
+	OpBlt // if Ra < 0
+	OpBle // if Ra <= 0
+	OpBgt // if Ra > 0
+	OpBge // if Ra >= 0
+	OpJsr // Rd <- return PC; jump to Target (direct call)
+	OpRet // jump to address in Ra (returns; also indirect jumps)
+
+	// Environment.
+	OpPrint  // print integer Ra (captured by the simulator)
+	OpPrintF // print float Fa
+	OpHalt   // stop execution
+
+	numOps
+)
+
+// NumOps is the number of defined opcodes (useful for table sizing).
+const NumOps = int(numOps)
+
+var opNames = [...]string{
+	OpNop: "nop", OpAdd: "add", OpSub: "sub", OpMul: "mul",
+	OpDiv: "div", OpRem: "rem", OpAnd: "and", OpOr: "or",
+	OpXor: "xor", OpSll: "sll", OpSrl: "srl", OpSra: "sra",
+	OpCmpEq: "cmpeq", OpCmpLt: "cmplt", OpCmpLe: "cmple",
+	OpCmpUlt: "cmpult", OpS8Add: "s8addq", OpLda: "lda", OpLdiq: "ldiq",
+	OpCmovEq: "cmoveq", OpCmovNe: "cmovne", OpCmovLt: "cmovlt",
+	OpCmovLe: "cmovle", OpCmovGt: "cmovgt", OpCmovGe: "cmovge",
+	OpLdq: "ldq", OpLdbu: "ldbu", OpStq: "stq", OpStb: "stb",
+	OpLdt: "ldt", OpStt: "stt", OpAddt: "addt", OpSubt: "subt",
+	OpMult: "mult", OpDivt: "divt", OpCmpTeq: "cmpteq",
+	OpCmpTlt: "cmptlt", OpCmpTle: "cmptle", OpCvtQT: "cvtqt",
+	OpCvtTQ: "cvttq", OpFMov: "fmov", OpFNeg: "fneg",
+	OpBr: "br", OpBeq: "beq", OpBne: "bne", OpBlt: "blt",
+	OpBle: "ble", OpBgt: "bgt", OpBge: "bge", OpJsr: "jsr",
+	OpRet: "ret", OpPrint: "print", OpPrintF: "printf",
+	OpHalt: "halt",
+}
+
+// String returns the mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Class is the coarse instruction category used by the paper's
+// characterization (Figure 1 groups instructions into loads, stores,
+// conditional branches, and other).
+type Class uint8
+
+const (
+	ClassOther Class = iota
+	ClassLoad
+	ClassStore
+	ClassCondBranch
+	ClassUncondBranch // BR/JSR/RET: control but unconditional
+	numClasses
+)
+
+// NumClasses is the number of instruction classes.
+const NumClasses = int(numClasses)
+
+var classNames = [...]string{
+	ClassOther: "other", ClassLoad: "load", ClassStore: "store",
+	ClassCondBranch: "cond-branch", ClassUncondBranch: "uncond-branch",
+}
+
+func (c Class) String() string { return classNames[c] }
+
+var opClass [numOps]Class
+
+var opFloat [numOps]bool
+
+func init() {
+	for _, o := range []Op{OpLdq, OpLdbu, OpLdt} {
+		opClass[o] = ClassLoad
+	}
+	for _, o := range []Op{OpStq, OpStb, OpStt} {
+		opClass[o] = ClassStore
+	}
+	for _, o := range []Op{OpBeq, OpBne, OpBlt, OpBle, OpBgt, OpBge} {
+		opClass[o] = ClassCondBranch
+	}
+	for _, o := range []Op{OpBr, OpJsr, OpRet} {
+		opClass[o] = ClassUncondBranch
+	}
+	for _, o := range []Op{
+		OpLdt, OpStt, OpAddt, OpSubt, OpMult, OpDivt,
+		OpCmpTeq, OpCmpTlt, OpCmpTle, OpCvtQT, OpCvtTQ, OpFMov,
+		OpFNeg, OpPrintF,
+	} {
+		opFloat[o] = true
+	}
+}
+
+// ClassOf returns the instruction class of op.
+func ClassOf(op Op) Class { return opClass[op] }
+
+// IsLoad reports whether op reads data memory.
+func IsLoad(op Op) bool { return opClass[op] == ClassLoad }
+
+// IsStore reports whether op writes data memory.
+func IsStore(op Op) bool { return opClass[op] == ClassStore }
+
+// IsCondBranch reports whether op is a conditional branch.
+func IsCondBranch(op Op) bool { return opClass[op] == ClassCondBranch }
+
+// IsBranch reports whether op transfers control (conditionally or not).
+func IsBranch(op Op) bool {
+	c := opClass[op]
+	return c == ClassCondBranch || c == ClassUncondBranch
+}
+
+// IsFloat reports whether op is a floating-point instruction (the
+// paper's Table 1 reports the FP fraction; FP loads count as both
+// loads and FP instructions there).
+func IsFloat(op Op) bool { return opFloat[op] }
+
+// IsCmov reports whether op is a conditional move.
+func IsCmov(op Op) bool { return op >= OpCmovEq && op <= OpCmovGe }
+
+// SrcPos identifies the source location an instruction was compiled
+// from. File and Func index into the Program's tables; Line is the
+// 1-based source line (0 when unknown, e.g. hand-assembled code).
+type SrcPos struct {
+	File int32
+	Func int32
+	Line int32
+}
+
+// Inst is one VRISC64 instruction.
+//
+// Field usage by format:
+//
+//	ALU reg:  Rd <- Ra op Rb
+//	ALU imm:  Rd <- Ra op Imm            (HasImm)
+//	LDA:      Rd <- Ra + Imm
+//	LDIQ:     Rd <- Imm
+//	CMOVxx:   Rd <- (cond Ra) ? Rb : Rd
+//	Load:     Rd <- mem[Ra + Imm]
+//	Store:    mem[Ra + Imm] <- Rb
+//	Branch:   if cond(Ra) goto Target
+//	JSR:      Rd <- pc+1; goto Target
+//	RET:      goto Ra
+//
+// FP instructions use the same fields; register numbers then refer to
+// the FP register file, except the base register of LDT/STT and the
+// destination of CMPT*/CVTTQ (integer) and the source of CVTQT
+// (integer).
+type Inst struct {
+	Op     Op
+	Rd     uint8
+	Ra     uint8
+	Rb     uint8
+	HasImm bool
+	Imm    int64
+	Target int32 // absolute instruction index for BR/Bxx/JSR
+	Pos    SrcPos
+}
+
+// String disassembles the instruction.
+func (in Inst) String() string {
+	switch {
+	case in.Op == OpNop || in.Op == OpHalt:
+		return in.Op.String()
+	case in.Op == OpLdiq:
+		return fmt.Sprintf("%s r%d, %d", in.Op, in.Rd, in.Imm)
+	case in.Op == OpLda:
+		return fmt.Sprintf("%s r%d, %d(r%d)", in.Op, in.Rd, in.Imm, in.Ra)
+	case IsLoad(in.Op):
+		return fmt.Sprintf("%s %s%d, %d(r%d)", in.Op, destPrefix(in.Op), in.Rd, in.Imm, in.Ra)
+	case IsStore(in.Op):
+		p := "r"
+		if in.Op == OpStt {
+			p = "f"
+		}
+		return fmt.Sprintf("%s %s%d, %d(r%d)", in.Op, p, in.Rb, in.Imm, in.Ra)
+	case in.Op == OpBr:
+		return fmt.Sprintf("br %d", in.Target)
+	case IsCondBranch(in.Op):
+		return fmt.Sprintf("%s r%d, %d", in.Op, in.Ra, in.Target)
+	case in.Op == OpJsr:
+		return fmt.Sprintf("jsr r%d, %d", in.Rd, in.Target)
+	case in.Op == OpRet:
+		return fmt.Sprintf("ret (r%d)", in.Ra)
+	case in.Op == OpPrint:
+		return fmt.Sprintf("print r%d", in.Ra)
+	case in.Op == OpPrintF:
+		return fmt.Sprintf("printf f%d", in.Ra)
+	case in.Op == OpCvtQT:
+		return fmt.Sprintf("cvtqt f%d, r%d", in.Rd, in.Ra)
+	case in.Op == OpCvtTQ:
+		return fmt.Sprintf("cvttq r%d, f%d", in.Rd, in.Ra)
+	case in.Op == OpFMov || in.Op == OpFNeg:
+		return fmt.Sprintf("%s f%d, f%d", in.Op, in.Rd, in.Ra)
+	case IsFloat(in.Op) && !isFPCmp(in.Op):
+		return fmt.Sprintf("%s f%d, f%d, f%d", in.Op, in.Rd, in.Ra, in.Rb)
+	case isFPCmp(in.Op):
+		return fmt.Sprintf("%s r%d, f%d, f%d", in.Op, in.Rd, in.Ra, in.Rb)
+	case in.HasImm:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Ra, in.Imm)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Ra, in.Rb)
+	}
+}
+
+func destPrefix(op Op) string {
+	if op == OpLdt {
+		return "f"
+	}
+	return "r"
+}
+
+func isFPCmp(op Op) bool {
+	return op == OpCmpTeq || op == OpCmpTlt || op == OpCmpTle
+}
+
+// MemWidth returns the access width in bytes for memory instructions
+// and 0 for all others.
+func MemWidth(op Op) int {
+	switch op {
+	case OpLdq, OpStq, OpLdt, OpStt:
+		return 8
+	case OpLdbu, OpStb:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,253 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpStrings(t *testing.T) {
+	for op := OpNop; op < Op(NumOps); op++ {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+	}
+	if got := Op(200).String(); !strings.HasPrefix(got, "op(") {
+		t.Errorf("unknown opcode String = %q", got)
+	}
+}
+
+func TestClassification(t *testing.T) {
+	cases := []struct {
+		op    Op
+		class Class
+		fp    bool
+	}{
+		{OpLdq, ClassLoad, false},
+		{OpLdbu, ClassLoad, false},
+		{OpLdt, ClassLoad, true},
+		{OpStq, ClassStore, false},
+		{OpStb, ClassStore, false},
+		{OpStt, ClassStore, true},
+		{OpBeq, ClassCondBranch, false},
+		{OpBge, ClassCondBranch, false},
+		{OpBr, ClassUncondBranch, false},
+		{OpJsr, ClassUncondBranch, false},
+		{OpRet, ClassUncondBranch, false},
+		{OpAdd, ClassOther, false},
+		{OpCmovGt, ClassOther, false},
+		{OpAddt, ClassOther, true},
+		{OpCmpTlt, ClassOther, true},
+		{OpCvtQT, ClassOther, true},
+		{OpHalt, ClassOther, false},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.op); got != c.class {
+			t.Errorf("ClassOf(%s) = %s, want %s", c.op, got, c.class)
+		}
+		if got := IsFloat(c.op); got != c.fp {
+			t.Errorf("IsFloat(%s) = %v, want %v", c.op, got, c.fp)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !IsLoad(OpLdbu) || IsLoad(OpStb) {
+		t.Error("IsLoad misclassifies byte ops")
+	}
+	if !IsStore(OpStt) || IsStore(OpLdt) {
+		t.Error("IsStore misclassifies FP memory ops")
+	}
+	if !IsBranch(OpRet) || !IsBranch(OpBne) || IsBranch(OpAdd) {
+		t.Error("IsBranch wrong")
+	}
+	if !IsCondBranch(OpBlt) || IsCondBranch(OpBr) {
+		t.Error("IsCondBranch wrong")
+	}
+	if !IsCmov(OpCmovEq) || !IsCmov(OpCmovGe) || IsCmov(OpAdd) || IsCmov(OpBeq) {
+		t.Error("IsCmov wrong")
+	}
+}
+
+func TestMemWidth(t *testing.T) {
+	if MemWidth(OpLdq) != 8 || MemWidth(OpStt) != 8 || MemWidth(OpLdbu) != 1 ||
+		MemWidth(OpStb) != 1 || MemWidth(OpAdd) != 0 {
+		t.Error("MemWidth wrong")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpAdd, Rd: 1, Ra: 2, Rb: 3}, "add r1, r2, r3"},
+		{Inst{Op: OpAdd, Rd: 1, Ra: 2, HasImm: true, Imm: 8}, "add r1, r2, 8"},
+		{Inst{Op: OpLdq, Rd: 4, Ra: 30, HasImm: true, Imm: -16}, "ldq r4, -16(r30)"},
+		{Inst{Op: OpLdt, Rd: 2, Ra: 5, HasImm: true, Imm: 0}, "ldt f2, 0(r5)"},
+		{Inst{Op: OpStq, Rb: 7, Ra: 30, HasImm: true, Imm: 8}, "stq r7, 8(r30)"},
+		{Inst{Op: OpStt, Rb: 3, Ra: 9, HasImm: true, Imm: 24}, "stt f3, 24(r9)"},
+		{Inst{Op: OpBne, Ra: 6, Target: 42}, "bne r6, 42"},
+		{Inst{Op: OpBr, Target: 7}, "br 7"},
+		{Inst{Op: OpJsr, Rd: 26, Target: 100}, "jsr r26, 100"},
+		{Inst{Op: OpRet, Ra: 26}, "ret (r26)"},
+		{Inst{Op: OpLdiq, Rd: 3, HasImm: true, Imm: 99}, "ldiq r3, 99"},
+		{Inst{Op: OpLda, Rd: 3, Ra: 4, HasImm: true, Imm: 5}, "lda r3, 5(r4)"},
+		{Inst{Op: OpHalt}, "halt"},
+		{Inst{Op: OpNop}, "nop"},
+		{Inst{Op: OpPrint, Ra: 9}, "print r9"},
+		{Inst{Op: OpPrintF, Ra: 2}, "printf f2"},
+		{Inst{Op: OpAddt, Rd: 1, Ra: 2, Rb: 3}, "addt f1, f2, f3"},
+		{Inst{Op: OpCmpTlt, Rd: 4, Ra: 2, Rb: 3}, "cmptlt r4, f2, f3"},
+		{Inst{Op: OpCvtQT, Rd: 1, Ra: 5}, "cvtqt f1, r5"},
+		{Inst{Op: OpCvtTQ, Rd: 5, Ra: 1}, "cvttq r5, f1"},
+		{Inst{Op: OpFMov, Rd: 2, Ra: 3}, "fmov f2, f3"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	good := &Program{Insts: []Inst{{Op: OpHalt}}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+	badEntry := &Program{Insts: []Inst{{Op: OpHalt}}, Entry: 5}
+	if err := badEntry.Validate(); err == nil {
+		t.Error("entry out of range not caught")
+	}
+	badTarget := &Program{Insts: []Inst{{Op: OpBr, Target: 9}, {Op: OpHalt}}}
+	if err := badTarget.Validate(); err == nil {
+		t.Error("branch target out of range not caught")
+	}
+	badReg := &Program{Insts: []Inst{{Op: OpAdd, Rd: 70}, {Op: OpHalt}}}
+	if err := badReg.Validate(); err == nil {
+		t.Error("register out of range not caught")
+	}
+}
+
+func TestSymbolLookup(t *testing.T) {
+	p := &Program{
+		Insts:   []Inst{{Op: OpHalt}},
+		Symbols: []Symbol{{Name: "a", Addr: DataBase, Size: 64, Elem: 8}},
+	}
+	s, ok := p.Symbol("a")
+	if !ok || s.Addr != DataBase || s.Size != 64 {
+		t.Fatalf("Symbol(a) = %+v, %v", s, ok)
+	}
+	if _, ok := p.Symbol("missing"); ok {
+		t.Error("missing symbol found")
+	}
+}
+
+func TestFuncAt(t *testing.T) {
+	p := &Program{
+		Insts: make([]Inst, 30),
+		Funcs: []FuncInfo{
+			{Name: "f", Entry: 0, End: 10},
+			{Name: "g", Entry: 10, End: 25},
+			{Name: "h", Entry: 25, End: 30},
+		},
+	}
+	for i := range p.Insts {
+		p.Insts[i] = Inst{Op: OpNop}
+	}
+	cases := []struct {
+		pc   int32
+		want string
+	}{{0, "f"}, {9, "f"}, {10, "g"}, {24, "g"}, {25, "h"}, {29, "h"}}
+	for _, c := range cases {
+		f := p.FuncAt(c.pc)
+		if f == nil || f.Name != c.want {
+			t.Errorf("FuncAt(%d) = %v, want %s", c.pc, f, c.want)
+		}
+	}
+	if p.FuncAt(30) != nil {
+		t.Error("FuncAt past end should be nil")
+	}
+}
+
+func TestStaticLoads(t *testing.T) {
+	p := &Program{Insts: []Inst{
+		{Op: OpAdd}, {Op: OpLdq}, {Op: OpStq}, {Op: OpLdbu}, {Op: OpLdt}, {Op: OpHalt},
+	}}
+	loads := p.StaticLoads()
+	want := []int32{1, 3, 4}
+	if len(loads) != len(want) {
+		t.Fatalf("StaticLoads = %v, want %v", loads, want)
+	}
+	for i := range want {
+		if loads[i] != want[i] {
+			t.Fatalf("StaticLoads = %v, want %v", loads, want)
+		}
+	}
+}
+
+func TestBuilderLabels(t *testing.T) {
+	b := NewBuilder("t")
+	b.Ldiq(1, 3)
+	b.Branch(OpBr, 0, "skip") // forward reference
+	b.Ldiq(1, 99)
+	b.Label("skip")
+	b.Print(1)
+	b.Halt()
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[1].Target != 3 {
+		t.Errorf("forward label resolved to %d, want 3", p.Insts[1].Target)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Branch(OpBr, 0, "nowhere")
+	b.Halt()
+	if _, err := b.Program(); err == nil {
+		t.Error("undefined label not reported")
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("x")
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Program(); err == nil {
+		t.Error("duplicate label not reported")
+	}
+}
+
+func TestBuilderGlobals(t *testing.T) {
+	b := NewBuilder("t")
+	a1 := b.Global("a", 10, 1, false) // odd size forces alignment next time
+	a2 := b.Global("b", 8, 8, false)
+	if a1%8 != 0 || a2%8 != 0 {
+		t.Errorf("globals not 8-aligned: %#x %#x", a1, a2)
+	}
+	if a2 < a1+10 {
+		t.Errorf("globals overlap: a=%#x..%#x b=%#x", a1, a1+10, a2)
+	}
+	b.Halt()
+	p := b.MustProgram()
+	if len(p.Symbols) != 2 {
+		t.Fatalf("symbols = %d, want 2", len(p.Symbols))
+	}
+}
+
+// Property: ClassOf is total and stable for all opcodes.
+func TestClassTotal(t *testing.T) {
+	f := func(raw uint8) bool {
+		op := Op(raw % uint8(NumOps))
+		c := ClassOf(op)
+		return int(c) < NumClasses
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

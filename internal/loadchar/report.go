@@ -1,0 +1,257 @@
+package loadchar
+
+import (
+	"sort"
+
+	"bioperfload/internal/cache"
+	"bioperfload/internal/isa"
+)
+
+// Mix is one Figure 1 / Table 1 row.
+type Mix struct {
+	Total        uint64
+	Loads        uint64
+	Stores       uint64
+	CondBranches uint64
+	Other        uint64
+	FPFraction   float64 // of all instructions (Table 1)
+	LoadPct      float64
+	StorePct     float64
+	BranchPct    float64
+	OtherPct     float64
+}
+
+// Mix returns the instruction-mix report.
+func (a *Analysis) Mix() Mix {
+	m := Mix{
+		Total:        a.total,
+		Loads:        a.classCounts[isa.ClassLoad],
+		Stores:       a.classCounts[isa.ClassStore],
+		CondBranches: a.classCounts[isa.ClassCondBranch],
+	}
+	m.Other = m.Total - m.Loads - m.Stores - m.CondBranches
+	if m.Total > 0 {
+		t := float64(m.Total)
+		m.FPFraction = float64(a.fpCount) / t
+		m.LoadPct = 100 * float64(m.Loads) / t
+		m.StorePct = 100 * float64(m.Stores) / t
+		m.BranchPct = 100 * float64(m.CondBranches) / t
+		m.OtherPct = 100 * float64(m.Other) / t
+	}
+	return m
+}
+
+// TotalLoads returns the dynamic load count.
+func (a *Analysis) TotalLoads() uint64 { return a.classCounts[isa.ClassLoad] }
+
+// Coverage returns the cumulative fraction of dynamic loads covered
+// by the top-k static loads for every k (Figure 2): Coverage()[0] is
+// the hottest load's share, and the curve is non-decreasing to 1.
+func (a *Analysis) Coverage() []float64 {
+	counts := make([]uint64, 0, len(a.loads))
+	var total uint64
+	for _, ls := range a.loads {
+		counts = append(counts, ls.Count)
+		total += ls.Count
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	out := make([]float64, len(counts))
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		out[i] = float64(cum) / float64(total)
+	}
+	return out
+}
+
+// CoverageAt returns the fraction of dynamic loads covered by the top
+// n static loads.
+func (a *Analysis) CoverageAt(n int) float64 {
+	cov := a.Coverage()
+	if len(cov) == 0 {
+		return 0
+	}
+	if n > len(cov) {
+		n = len(cov)
+	}
+	if n <= 0 {
+		return 0
+	}
+	return cov[n-1]
+}
+
+// StaticLoadCount returns how many distinct static loads executed.
+func (a *Analysis) StaticLoadCount() int { return len(a.loads) }
+
+// CacheReport returns the Table 2 row.
+func (a *Analysis) CacheReport() cache.Report { return a.hier.LoadReport() }
+
+// Sequences is one Table 4 row pair.
+type Sequences struct {
+	// LoadToBranchPct is the percentage of executed loads that feed
+	// a conditional branch through a tight dependence chain (4a).
+	LoadToBranchPct float64
+	// FedBranchMispredictRate is the average misprediction rate of
+	// those branches, weighted by dynamic execution (4a).
+	FedBranchMispredictRate float64
+	// LoadAfterHardBranchPct is the percentage of executed loads
+	// with tight consumers appearing right after a branch whose
+	// misprediction rate is at least 5% (4b).
+	LoadAfterHardBranchPct float64
+	// OverallMispredictRate is the program's total conditional
+	// branch misprediction rate.
+	OverallMispredictRate float64
+}
+
+// Sequences computes the Table 4 metrics.
+func (a *Analysis) Sequences() Sequences {
+	var s Sequences
+	totalLoads := a.TotalLoads()
+	if totalLoads == 0 {
+		return s
+	}
+	var toBranch uint64
+	var afterHard uint64
+	hard := a.bp.HardToPredict(0.05, 16)
+	for _, ls := range a.loads {
+		toBranch += ls.ToBranch
+		for brPC, n := range ls.afterBranch {
+			if hard[brPC] {
+				afterHard += n
+			}
+		}
+	}
+	// A load can feed several branches; clamp to the load count so
+	// the metric stays a percentage of loads, like the paper's.
+	if toBranch > totalLoads {
+		toBranch = totalLoads
+	}
+	s.LoadToBranchPct = 100 * float64(toBranch) / float64(totalLoads)
+	s.LoadAfterHardBranchPct = 100 * float64(afterHard) / float64(totalLoads)
+	if a.fedBranchExec > 0 {
+		s.FedBranchMispredictRate = float64(a.fedBranchMiss) / float64(a.fedBranchExec)
+	}
+	s.OverallMispredictRate = a.bp.Total().MispredictRate()
+	return s
+}
+
+// HotLoad is one Table 5 row: a frequently executed static load with
+// its behaviour and source attribution.
+type HotLoad struct {
+	PC             int32
+	Frequency      float64 // share of all dynamic loads
+	L1MissRate     float64
+	BranchMispred  float64 // misprediction rate of the branches it feeds
+	FeedsBranchPct float64 // share of its executions that feed a branch
+	Func           string
+	File           string
+	Line           int32
+}
+
+// HotLoads returns the n most frequently executed static loads with
+// their profile, the paper's Table 5.
+func (a *Analysis) HotLoads(n int) []HotLoad {
+	type kv struct {
+		pc int32
+		ls *loadStats
+	}
+	all := make([]kv, 0, len(a.loads))
+	for pc, ls := range a.loads {
+		all = append(all, kv{pc, ls})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].ls.Count != all[j].ls.Count {
+			return all[i].ls.Count > all[j].ls.Count
+		}
+		return all[i].pc < all[j].pc
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	total := a.TotalLoads()
+	out := make([]HotLoad, 0, n)
+	perBranch := a.bp.PerBranch()
+	for _, e := range all[:n] {
+		h := HotLoad{PC: e.pc, Line: a.prog.Insts[e.pc].Pos.Line}
+		if total > 0 {
+			h.Frequency = float64(e.ls.Count) / float64(total)
+		}
+		if e.ls.Count > 0 {
+			h.L1MissRate = float64(e.ls.L1Miss) / float64(e.ls.Count)
+			h.FeedsBranchPct = 100 * float64(e.ls.ToBranch) / float64(e.ls.Count)
+		}
+		// Weighted misprediction rate of the branches this load feeds.
+		var exec, mis float64
+		for brPC, cnt := range e.ls.fedBranch {
+			bs := perBranch[brPC]
+			if bs.Executed == 0 {
+				continue
+			}
+			exec += float64(cnt)
+			mis += float64(cnt) * bs.MispredictRate()
+		}
+		if exec > 0 {
+			h.BranchMispred = mis / exec
+		}
+		if f := a.prog.FuncAt(e.pc); f != nil {
+			h.Func = f.Name
+		}
+		h.File = a.prog.FileName(a.prog.Insts[e.pc].Pos.File)
+		out = append(out, h)
+	}
+	return out
+}
+
+// Candidate is a Section 3 optimization candidate: a frequently
+// executed static load that leads to or follows a hard-to-predict
+// branch and almost always hits in L1 (so the opportunity is hit
+// latency, not misses).
+type Candidate struct {
+	HotLoad
+	Reason string
+}
+
+// Candidates applies the paper's Section 3 selection: loads covering
+// at least minFreq of dynamic loads whose fed branches mispredict at
+// least minMispred of the time (or that follow such branches), with
+// an L1 miss rate below maxMiss.
+func (a *Analysis) Candidates(minFreq, minMispred, maxMiss float64) []Candidate {
+	var out []Candidate
+	hard := a.bp.HardToPredict(minMispred, 16)
+	for _, h := range a.HotLoads(len(a.loads)) {
+		if h.Frequency < minFreq || h.L1MissRate > maxMiss {
+			continue
+		}
+		ls := a.loads[h.PC]
+		switch {
+		case h.BranchMispred >= minMispred && h.FeedsBranchPct > 10:
+			out = append(out, Candidate{HotLoad: h, Reason: "load-to-branch with hard branch"})
+		default:
+			for brPC := range ls.afterBranch {
+				if hard[brPC] {
+					out = append(out, Candidate{HotLoad: h, Reason: "load after hard-to-predict branch"})
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Branches exposes the underlying per-branch statistics.
+func (a *Analysis) Branches() map[int32]struct {
+	Executed    uint64
+	Mispredicts uint64
+} {
+	out := make(map[int32]struct {
+		Executed    uint64
+		Mispredicts uint64
+	})
+	for pc, s := range a.bp.PerBranch() {
+		out[pc] = struct {
+			Executed    uint64
+			Mispredicts uint64
+		}{s.Executed, s.Mispredicts}
+	}
+	return out
+}

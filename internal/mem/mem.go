@@ -1,0 +1,142 @@
+// Package mem provides the sparse, byte-addressable memory used by the
+// VRISC64 functional simulator. Pages are allocated on first touch so
+// the data segment and the stack can live gigabytes apart without
+// cost, mirroring a real 64-bit address space.
+package mem
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+const (
+	pageShift = 12
+	// PageSize is the allocation granule in bytes.
+	PageSize = 1 << pageShift
+	pageMask = PageSize - 1
+)
+
+type page [PageSize]byte
+
+// Memory is a sparse little-endian byte-addressable memory. The zero
+// value is ready to use. Memory is not safe for concurrent use.
+type Memory struct {
+	pages map[uint64]*page
+
+	// One-entry translation cache: simulated programs overwhelmingly
+	// touch the same page repeatedly (the paper's chunked-access
+	// observation), so this removes most map lookups.
+	lastBase uint64
+	lastPage *page
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+func (m *Memory) pageFor(addr uint64) *page {
+	base := addr &^ pageMask
+	if m.lastPage != nil && m.lastBase == base {
+		return m.lastPage
+	}
+	if m.pages == nil {
+		m.pages = make(map[uint64]*page)
+	}
+	p := m.pages[base]
+	if p == nil {
+		p = new(page)
+		m.pages[base] = p
+	}
+	m.lastBase = base
+	m.lastPage = p
+	return p
+}
+
+// LoadByte returns the byte at addr.
+func (m *Memory) LoadByte(addr uint64) byte {
+	return m.pageFor(addr)[addr&pageMask]
+}
+
+// StoreByte stores b at addr.
+func (m *Memory) StoreByte(addr uint64, b byte) {
+	m.pageFor(addr)[addr&pageMask] = b
+}
+
+// ReadUint64 returns the little-endian 64-bit word at addr. Accesses
+// may straddle a page boundary.
+func (m *Memory) ReadUint64(addr uint64) uint64 {
+	off := addr & pageMask
+	p := m.pageFor(addr)
+	if off <= PageSize-8 {
+		return binary.LittleEndian.Uint64(p[off:])
+	}
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		v |= uint64(m.LoadByte(addr+i)) << (8 * i)
+	}
+	return v
+}
+
+// WriteUint64 stores v at addr in little-endian order.
+func (m *Memory) WriteUint64(addr uint64, v uint64) {
+	off := addr & pageMask
+	p := m.pageFor(addr)
+	if off <= PageSize-8 {
+		binary.LittleEndian.PutUint64(p[off:], v)
+		return
+	}
+	for i := uint64(0); i < 8; i++ {
+		m.StoreByte(addr+i, byte(v>>(8*i)))
+	}
+}
+
+// ReadInt64 returns the two's-complement 64-bit integer at addr.
+func (m *Memory) ReadInt64(addr uint64) int64 { return int64(m.ReadUint64(addr)) }
+
+// WriteInt64 stores v at addr.
+func (m *Memory) WriteInt64(addr uint64, v int64) { m.WriteUint64(addr, uint64(v)) }
+
+// ReadFloat64 returns the IEEE-754 float64 at addr.
+func (m *Memory) ReadFloat64(addr uint64) float64 {
+	return math.Float64frombits(m.ReadUint64(addr))
+}
+
+// WriteFloat64 stores v at addr.
+func (m *Memory) WriteFloat64(addr uint64, v float64) {
+	m.WriteUint64(addr, math.Float64bits(v))
+}
+
+// StoreBytes copies b into memory starting at addr.
+func (m *Memory) StoreBytes(addr uint64, b []byte) {
+	for len(b) > 0 {
+		off := addr & pageMask
+		p := m.pageFor(addr)
+		n := copy(p[off:], b)
+		b = b[n:]
+		addr += uint64(n)
+	}
+}
+
+// LoadBytes copies n bytes starting at addr into a fresh slice.
+func (m *Memory) LoadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; {
+		off := addr & pageMask
+		p := m.pageFor(addr)
+		c := copy(out[i:], p[off:])
+		i += c
+		addr += uint64(c)
+	}
+	return out
+}
+
+// Pages returns the number of resident pages (for tests and stats).
+func (m *Memory) Pages() int { return len(m.pages) }
+
+// Reset drops all contents.
+func (m *Memory) Reset() {
+	m.pages = make(map[uint64]*page)
+	m.lastPage = nil
+	m.lastBase = 0
+}

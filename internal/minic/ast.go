@@ -1,0 +1,277 @@
+package minic
+
+// BaseType is a MiniC scalar type.
+type BaseType uint8
+
+// Scalar types.
+const (
+	TypeVoid BaseType = iota
+	TypeInt           // 64-bit signed
+	TypeChar          // 8-bit unsigned storage, int when loaded
+	TypeDouble
+)
+
+func (t BaseType) String() string {
+	switch t {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeChar:
+		return "char"
+	case TypeDouble:
+		return "double"
+	}
+	return "?"
+}
+
+// ElemSize returns the in-memory element size in bytes.
+func (t BaseType) ElemSize() int {
+	if t == TypeChar {
+		return 1
+	}
+	return 8
+}
+
+// Type is a MiniC type: a scalar, an array of a scalar, or a pointer
+// to a scalar (parameters only).
+type Type struct {
+	Base    BaseType
+	IsArray bool
+	IsPtr   bool
+	ArrayN  int64 // elements, for IsArray
+}
+
+// Scalar returns a plain scalar type.
+func Scalar(b BaseType) Type { return Type{Base: b} }
+
+// ArrayOf returns an array type of n elements.
+func ArrayOf(b BaseType, n int64) Type { return Type{Base: b, IsArray: true, ArrayN: n} }
+
+// PtrTo returns a pointer-to-scalar type.
+func PtrTo(b BaseType) Type { return Type{Base: b, IsPtr: true} }
+
+// IsMemory reports whether the value lives in memory and is indexed
+// (arrays and pointers).
+func (t Type) IsMemory() bool { return t.IsArray || t.IsPtr }
+
+func (t Type) String() string {
+	switch {
+	case t.IsArray:
+		return t.Base.String() + "[]"
+	case t.IsPtr:
+		return t.Base.String() + "*"
+	default:
+		return t.Base.String()
+	}
+}
+
+// --- Expressions ---
+
+// Expr is a MiniC expression node.
+type Expr interface{ exprNode() }
+
+// IntLit is an integer (or char) literal.
+type IntLit struct {
+	Val  int64
+	Line int32
+}
+
+// FloatLit is a double literal.
+type FloatLit struct {
+	Val  float64
+	Line int32
+}
+
+// VarRef names a variable (global, local, or parameter).
+type VarRef struct {
+	Name string
+	Line int32
+}
+
+// Index is arr[idx].
+type Index struct {
+	Arr  *VarRef
+	Idx  Expr
+	Line int32
+}
+
+// Unary is -x, !x, ~x.
+type Unary struct {
+	Op   Kind
+	X    Expr
+	Line int32
+}
+
+// Cast is (int)x or (double)x.
+type Cast struct {
+	To   BaseType
+	X    Expr
+	Line int32
+}
+
+// Binary is x op y for arithmetic/comparison/bitwise operators.
+type Binary struct {
+	Op   Kind
+	X, Y Expr
+	Line int32
+}
+
+// Logical is x && y or x || y (short-circuit).
+type Logical struct {
+	Op   Kind
+	X, Y Expr
+	Line int32
+}
+
+// Cond is c ? a : b.
+type Cond struct {
+	C, A, B Expr
+	Line    int32
+}
+
+// Assign2 is lhs = rhs or compound lhs op= rhs. Lhs is a VarRef or
+// Index.
+type Assign2 struct {
+	Op   Kind // Assign, PlusEq, ...
+	Lhs  Expr
+	Rhs  Expr
+	Line int32
+}
+
+// IncDec is ++x, --x, x++, x--.
+type IncDec struct {
+	Op      Kind // Inc or Dec
+	Postfix bool
+	X       Expr // VarRef or Index
+	Line    int32
+}
+
+// Call is f(args). The builtin print is represented as a Call with
+// Name "print".
+type Call struct {
+	Name string
+	Args []Expr
+	Line int32
+}
+
+func (*IntLit) exprNode()   {}
+func (*FloatLit) exprNode() {}
+func (*VarRef) exprNode()   {}
+func (*Index) exprNode()    {}
+func (*Unary) exprNode()    {}
+func (*Cast) exprNode()     {}
+func (*Binary) exprNode()   {}
+func (*Logical) exprNode()  {}
+func (*Cond) exprNode()     {}
+func (*Assign2) exprNode()  {}
+func (*IncDec) exprNode()   {}
+func (*Call) exprNode()     {}
+
+// --- Statements ---
+
+// Stmt is a MiniC statement node.
+type Stmt interface{ stmtNode() }
+
+// DeclStmt declares a local variable or array, optionally initialized.
+type DeclStmt struct {
+	Name string
+	Ty   Type
+	Init Expr // nil if none; scalars only
+	Line int32
+}
+
+// ExprStmt evaluates an expression for side effects.
+type ExprStmt struct {
+	X    Expr
+	Line int32
+}
+
+// Block is { stmts }.
+type Block struct {
+	Stmts []Stmt
+	Line  int32
+}
+
+// If is if (c) then else els.
+type If struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // nil if absent
+	Line int32
+}
+
+// While is while (c) body.
+type While struct {
+	Cond Expr
+	Body Stmt
+	Line int32
+}
+
+// For is for (init; cond; post) body. Init/Cond/Post may be nil; Init
+// may be a DeclStmt or ExprStmt.
+type For struct {
+	Init Stmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+	Line int32
+}
+
+// Return is return [x].
+type Return struct {
+	X    Expr // nil for void
+	Line int32
+}
+
+// Break exits the innermost loop.
+type Break struct{ Line int32 }
+
+// Continue jumps to the innermost loop's post/condition.
+type Continue struct{ Line int32 }
+
+func (*DeclStmt) stmtNode() {}
+func (*ExprStmt) stmtNode() {}
+func (*Block) stmtNode()    {}
+func (*If) stmtNode()       {}
+func (*While) stmtNode()    {}
+func (*For) stmtNode()      {}
+func (*Return) stmtNode()   {}
+func (*Break) stmtNode()    {}
+func (*Continue) stmtNode() {}
+
+// --- Declarations ---
+
+// Param is one function parameter.
+type Param struct {
+	Name string
+	Ty   Type
+	Line int32
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    BaseType
+	Params []Param
+	Body   *Block
+	Line   int32
+}
+
+// GlobalDecl is a global variable or array.
+type GlobalDecl struct {
+	Name string
+	Ty   Type
+	// InitInt/InitFloat hold a constant scalar initializer.
+	HasInit   bool
+	InitInt   int64
+	InitFloat float64
+	Line      int32
+}
+
+// File is one parsed source file.
+type File struct {
+	Name    string
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}

@@ -1,0 +1,448 @@
+package minic
+
+import "fmt"
+
+// Interp is a direct AST interpreter for MiniC: a second, independent
+// implementation of the language semantics. The toolchain tests run
+// programs through the interpreter AND through the compiler +
+// simulator at several optimization levels and require identical
+// output, so a divergence pinpoints a bug in one of the three
+// implementations.
+//
+// Semantics mirror the compiled code exactly: int is a wrapping
+// 64-bit two's-complement integer, shifts mask their count to 6 bits,
+// division truncates toward zero and traps on a zero divisor, char
+// array elements store the low byte, and scalar locals are
+// zero-initialized at their declaration.
+type Interp struct {
+	file  *File
+	info  *Info
+	funcs map[string]*FuncDecl
+	// declIdx mirrors the checker's per-function local numbering.
+	declIdx map[*DeclStmt]int
+
+	globals map[string]*storage
+
+	// IntOutput and FPOutput collect print() results.
+	IntOutput []int64
+	FPOutput  []float64
+
+	// Steps bounds execution; a RuntimeError with ErrFuel is
+	// returned when exhausted.
+	Steps int64
+}
+
+// storage is one variable's backing store. Scalars use len-1 slices.
+type storage struct {
+	ty   Type
+	ints []int64
+	fps  []float64
+}
+
+func newStorage(ty Type) *storage {
+	n := int64(1)
+	if ty.IsArray {
+		n = ty.ArrayN
+	}
+	s := &storage{ty: ty}
+	if ty.Base == TypeDouble {
+		s.fps = make([]float64, n)
+	} else {
+		s.ints = make([]int64, n)
+	}
+	return s
+}
+
+// RuntimeError reports a trap during interpretation.
+type RuntimeError struct {
+	Line int32
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("minic interp: line %d: %s", e.Line, e.Msg)
+}
+
+// ErrFuel is the step-budget trap message.
+const ErrFuel = "step budget exhausted"
+
+// NewInterp prepares an interpreter for a checked file.
+func NewInterp(f *File, info *Info) *Interp {
+	in := &Interp{
+		file:    f,
+		info:    info,
+		funcs:   make(map[string]*FuncDecl),
+		declIdx: make(map[*DeclStmt]int),
+		globals: make(map[string]*storage),
+		Steps:   500_000_000,
+	}
+	for _, fn := range f.Funcs {
+		in.funcs[fn.Name] = fn
+		n := 0
+		in.assignLocals(fn.Body, &n)
+	}
+	for _, g := range f.Globals {
+		st := newStorage(g.Ty)
+		if g.HasInit {
+			if g.Ty.Base == TypeDouble {
+				st.fps[0] = g.InitFloat
+			} else {
+				st.ints[0] = g.InitInt
+				if g.Ty.Base == TypeChar {
+					st.ints[0] &= 0xFF
+				}
+			}
+		}
+		in.globals[g.Name] = st
+	}
+	return in
+}
+
+// assignLocals numbers DeclStmts in the checker's traversal order
+// (source order), so sym.Index matches.
+func (in *Interp) assignLocals(s Stmt, n *int) {
+	switch st := s.(type) {
+	case *DeclStmt:
+		in.declIdx[st] = *n
+		*n++
+	case *Block:
+		for _, x := range st.Stmts {
+			in.assignLocals(x, n)
+		}
+	case *If:
+		in.assignLocals(st.Then, n)
+		if st.Else != nil {
+			in.assignLocals(st.Else, n)
+		}
+	case *While:
+		in.assignLocals(st.Body, n)
+	case *For:
+		if st.Init != nil {
+			in.assignLocals(st.Init, n)
+		}
+		in.assignLocals(st.Body, n)
+	}
+}
+
+// SetGlobalInts fills an int/char global's storage (test-input
+// injection, mirroring sim.Machine's symbol writes).
+func (in *Interp) SetGlobalInts(name string, vals []int64) error {
+	st, ok := in.globals[name]
+	if !ok || st.ints == nil {
+		return fmt.Errorf("minic interp: no int global %q", name)
+	}
+	copy(st.ints, vals)
+	if st.ty.Base == TypeChar {
+		for i := range st.ints {
+			st.ints[i] &= 0xFF
+		}
+	}
+	return nil
+}
+
+// SetGlobalFloats fills a double global's storage.
+func (in *Interp) SetGlobalFloats(name string, vals []float64) error {
+	st, ok := in.globals[name]
+	if !ok || st.fps == nil {
+		return fmt.Errorf("minic interp: no double global %q", name)
+	}
+	copy(st.fps, vals)
+	return nil
+}
+
+// value is a runtime scalar.
+type value struct {
+	i  int64
+	f  float64
+	fp bool
+}
+
+func intVal(v int64) value  { return value{i: v} }
+func fpVal(v float64) value { return value{f: v, fp: true} }
+
+func (v value) asInt() int64 {
+	if v.fp {
+		return int64(v.f)
+	}
+	return v.i
+}
+
+func (v value) asFP() float64 {
+	if v.fp {
+		return v.f
+	}
+	return float64(v.i)
+}
+
+func (v value) truthy() bool {
+	if v.fp {
+		return v.f != 0
+	}
+	return v.i != 0
+}
+
+// frame is one function activation.
+type frame struct {
+	fn     *FuncDecl
+	locals []*storage       // by checker local index
+	params map[int]*value   // scalar params by position
+	ptrs   map[int]*storage // pointer params by position
+}
+
+// control is the statement-level control-flow signal.
+type control int
+
+const (
+	ctlNormal control = iota
+	ctlBreak
+	ctlContinue
+	ctlReturn
+)
+
+// Run executes main and returns the exit code.
+func (in *Interp) Run() (int64, error) {
+	main, ok := in.funcs["main"]
+	if !ok {
+		return 0, &RuntimeError{Msg: "no main"}
+	}
+	v, err := in.call(main, nil)
+	if err != nil {
+		return 0, err
+	}
+	return v.asInt(), nil
+}
+
+func (in *Interp) tick(line int32) error {
+	in.Steps--
+	if in.Steps < 0 {
+		return &RuntimeError{Line: line, Msg: ErrFuel}
+	}
+	return nil
+}
+
+// callArg is an evaluated argument: a scalar or an array reference.
+type callArg struct {
+	val value
+	arr *storage
+}
+
+func (in *Interp) call(fn *FuncDecl, args []callArg) (value, error) {
+	nloc := in.info.LocalCount[fn.Name]
+	fr := &frame{
+		fn:     fn,
+		locals: make([]*storage, nloc),
+		params: make(map[int]*value),
+		ptrs:   make(map[int]*storage),
+	}
+	for i, p := range fn.Params {
+		switch {
+		case p.Ty.IsPtr:
+			fr.ptrs[i] = args[i].arr
+		case p.Ty.Base == TypeDouble:
+			v := fpVal(args[i].val.asFP())
+			fr.params[i] = &v
+		default:
+			v := intVal(args[i].val.asInt())
+			fr.params[i] = &v
+		}
+	}
+	ret, ctl, err := in.execBlock(fn.Body, fr)
+	if err != nil {
+		return value{}, err
+	}
+	if ctl != ctlReturn {
+		ret = intVal(0)
+	}
+	switch fn.Ret {
+	case TypeDouble:
+		return fpVal(ret.asFP()), nil
+	case TypeVoid:
+		return intVal(0), nil
+	default:
+		return intVal(ret.asInt()), nil
+	}
+}
+
+func (in *Interp) execBlock(b *Block, fr *frame) (value, control, error) {
+	for _, s := range b.Stmts {
+		v, ctl, err := in.execStmt(s, fr)
+		if err != nil || ctl != ctlNormal {
+			return v, ctl, err
+		}
+	}
+	return value{}, ctlNormal, nil
+}
+
+func (in *Interp) execStmt(s Stmt, fr *frame) (value, control, error) {
+	switch st := s.(type) {
+	case *DeclStmt:
+		if err := in.tick(st.Line); err != nil {
+			return value{}, ctlNormal, err
+		}
+		idx := in.declIdx[st]
+		// Arrays keep their storage across re-executions (compiled
+		// code reuses the frame slot); scalars are re-initialized.
+		if st.Ty.IsArray {
+			if fr.locals[idx] == nil {
+				fr.locals[idx] = newStorage(st.Ty)
+			}
+			return value{}, ctlNormal, nil
+		}
+		store := fr.locals[idx]
+		if store == nil {
+			store = newStorage(st.Ty)
+			fr.locals[idx] = store
+		}
+		if st.Init != nil {
+			v, err := in.eval(st.Init, fr)
+			if err != nil {
+				return value{}, ctlNormal, err
+			}
+			if st.Ty.Base == TypeDouble {
+				store.fps[0] = v.asFP()
+			} else {
+				store.ints[0] = v.asInt()
+			}
+		} else if st.Ty.Base == TypeDouble {
+			store.fps[0] = 0
+		} else {
+			store.ints[0] = 0
+		}
+		return value{}, ctlNormal, nil
+
+	case *ExprStmt:
+		_, err := in.eval(st.X, fr)
+		return value{}, ctlNormal, err
+	case *Block:
+		return in.execBlock(st, fr)
+	case *If:
+		c, err := in.eval(st.Cond, fr)
+		if err != nil {
+			return value{}, ctlNormal, err
+		}
+		if c.truthy() {
+			return in.execStmt(st.Then, fr)
+		}
+		if st.Else != nil {
+			return in.execStmt(st.Else, fr)
+		}
+		return value{}, ctlNormal, nil
+	case *While:
+		for {
+			if err := in.tick(st.Line); err != nil {
+				return value{}, ctlNormal, err
+			}
+			c, err := in.eval(st.Cond, fr)
+			if err != nil {
+				return value{}, ctlNormal, err
+			}
+			if !c.truthy() {
+				return value{}, ctlNormal, nil
+			}
+			v, ctl, err := in.execStmt(st.Body, fr)
+			if err != nil {
+				return value{}, ctlNormal, err
+			}
+			if ctl == ctlReturn {
+				return v, ctl, nil
+			}
+			if ctl == ctlBreak {
+				return value{}, ctlNormal, nil
+			}
+		}
+	case *For:
+		if st.Init != nil {
+			if v, ctl, err := in.execStmt(st.Init, fr); err != nil || ctl == ctlReturn {
+				return v, ctl, err
+			}
+		}
+		for {
+			if err := in.tick(st.Line); err != nil {
+				return value{}, ctlNormal, err
+			}
+			if st.Cond != nil {
+				c, err := in.eval(st.Cond, fr)
+				if err != nil {
+					return value{}, ctlNormal, err
+				}
+				if !c.truthy() {
+					return value{}, ctlNormal, nil
+				}
+			}
+			v, ctl, err := in.execStmt(st.Body, fr)
+			if err != nil {
+				return value{}, ctlNormal, err
+			}
+			if ctl == ctlReturn {
+				return v, ctl, nil
+			}
+			if ctl == ctlBreak {
+				return value{}, ctlNormal, nil
+			}
+			if st.Post != nil {
+				if _, err := in.eval(st.Post, fr); err != nil {
+					return value{}, ctlNormal, err
+				}
+			}
+		}
+	case *Return:
+		if st.X == nil {
+			return value{}, ctlReturn, nil
+		}
+		v, err := in.eval(st.X, fr)
+		return v, ctlReturn, err
+	case *Break:
+		return value{}, ctlBreak, nil
+	case *Continue:
+		return value{}, ctlContinue, nil
+	}
+	return value{}, ctlNormal, &RuntimeError{Msg: fmt.Sprintf("unknown statement %T", s)}
+}
+
+// storageFor resolves a variable symbol to its backing store.
+func (in *Interp) storageFor(sym *Sym, fr *frame) (*storage, error) {
+	switch sym.Kind {
+	case SymGlobal:
+		return in.globals[sym.Name], nil
+	case SymParam:
+		if st, ok := fr.ptrs[sym.Index]; ok {
+			return st, nil
+		}
+		return nil, &RuntimeError{Msg: "scalar parameter used as array: " + sym.Name}
+	default:
+		st := fr.locals[sym.Index]
+		if st == nil {
+			// A use before the declaration executed cannot happen in
+			// checked code, but be defensive.
+			st = newStorage(sym.Ty)
+			fr.locals[sym.Index] = st
+		}
+		return st, nil
+	}
+}
+
+// WriteSymbolInt64s makes Interp satisfy the same input-binding
+// interface as the functional simulator's machine.
+func (in *Interp) WriteSymbolInt64s(name string, vals []int64) error {
+	return in.SetGlobalInts(name, vals)
+}
+
+// WriteSymbolFloat64s mirrors the simulator's binding method.
+func (in *Interp) WriteSymbolFloat64s(name string, vals []float64) error {
+	return in.SetGlobalFloats(name, vals)
+}
+
+// WriteSymbol fills a char array from raw bytes.
+func (in *Interp) WriteSymbol(name string, b []byte) error {
+	st, ok := in.globals[name]
+	if !ok || st.ints == nil || st.ty.Base != TypeChar {
+		return fmt.Errorf("minic interp: no char global %q", name)
+	}
+	if len(b) > len(st.ints) {
+		return fmt.Errorf("minic interp: %d bytes exceed %q size %d", len(b), name, len(st.ints))
+	}
+	for i, c := range b {
+		st.ints[i] = int64(c)
+	}
+	return nil
+}

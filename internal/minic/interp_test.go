@@ -1,0 +1,208 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func interpRun(t *testing.T, src string) *Interp {
+	t.Helper()
+	f, err := Parse("t.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInterp(f, info)
+	if _, err := in.Run(); err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	return in
+}
+
+func TestInterpBasics(t *testing.T) {
+	in := interpRun(t, `
+int g = 5;
+int a[4];
+int add(int x, int y) { return x + y; }
+int main() {
+	int i;
+	for (i = 0; i < 4; i++) a[i] = i * i;
+	print(add(g, a[3]));
+	print(a[0] - 7);
+	double d = 2.5 * 2.0;
+	print(d);
+	return 0;
+}`)
+	if len(in.IntOutput) != 2 || in.IntOutput[0] != 14 || in.IntOutput[1] != -7 {
+		t.Fatalf("int output = %v", in.IntOutput)
+	}
+	if len(in.FPOutput) != 1 || in.FPOutput[0] != 5.0 {
+		t.Fatalf("fp output = %v", in.FPOutput)
+	}
+}
+
+func TestInterpControlFlow(t *testing.T) {
+	in := interpRun(t, `
+int main() {
+	int s = 0; int i;
+	for (i = 0; i < 10; i++) {
+		if (i == 3) continue;
+		if (i == 8) break;
+		s += i;
+	}
+	print(s);
+	while (s > 20) s -= 7;
+	print(s);
+	print(s > 10 ? 1 : 2);
+	print(s > 10 && s < 20 ? 3 : 4);
+	return 0;
+}`)
+	want := []int64{0 + 1 + 2 + 4 + 5 + 6 + 7, 25 - 7, 1, 3}
+	for i, w := range want {
+		if in.IntOutput[i] != w {
+			t.Fatalf("output = %v, want %v", in.IntOutput, want)
+		}
+	}
+}
+
+func TestInterpPointerParams(t *testing.T) {
+	in := interpRun(t, `
+int data[8];
+void fill(int *p, int n) {
+	int i;
+	for (i = 0; i < n; i++) p[i] = i * 10;
+}
+int total(int *p, int n) {
+	int s = 0; int i;
+	for (i = 0; i < n; i++) s += p[i];
+	return s;
+}
+int main() {
+	fill(data, 8);
+	print(total(data, 8));
+	int local[4];
+	fill(local, 4);
+	print(total(local, 4));
+	return 0;
+}`)
+	if in.IntOutput[0] != 280 || in.IntOutput[1] != 60 {
+		t.Fatalf("output = %v", in.IntOutput)
+	}
+}
+
+func TestInterpRecursion(t *testing.T) {
+	in := interpRun(t, `
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main() { print(fib(12)); return 0; }`)
+	if in.IntOutput[0] != 144 {
+		t.Fatalf("fib(12) = %v", in.IntOutput)
+	}
+}
+
+func TestInterpCharSemantics(t *testing.T) {
+	in := interpRun(t, `
+char buf[4];
+int main() {
+	buf[0] = 300;
+	print(buf[0]);
+	buf[1] = 'A';
+	buf[1]++;
+	print(buf[1]);
+	return 0;
+}`)
+	if in.IntOutput[0] != 300&0xFF || in.IntOutput[1] != 'B' {
+		t.Fatalf("output = %v", in.IntOutput)
+	}
+}
+
+func TestInterpTraps(t *testing.T) {
+	run := func(src string) error {
+		f, err := Parse("t.mc", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, err := Check(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := NewInterp(f, info)
+		_, err = in.Run()
+		return err
+	}
+	if err := run(`int main() { int z = 0; return 5 / z; }`); err == nil {
+		t.Error("divide by zero not trapped")
+	}
+	if err := run(`int a[4]; int main() { int i = 9; return a[i]; }`); err == nil {
+		t.Error("out-of-bounds index not trapped")
+	}
+	if err := run(`int main() { while (1) {} return 0; }`); err == nil ||
+		!strings.Contains(err.Error(), ErrFuel) {
+		t.Errorf("fuel not enforced: %v", err)
+	}
+}
+
+func TestInterpGlobalInjection(t *testing.T) {
+	f, err := Parse("t.mc", `
+int n = 0;
+int vals[8];
+double w[2];
+int main() {
+	int s = 0; int i;
+	for (i = 0; i < n; i++) s += vals[i];
+	print(s);
+	print(w[0] + w[1]);
+	return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInterp(f, info)
+	if err := in.SetGlobalInts("n", []int64{3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.SetGlobalInts("vals", []int64{10, 20, 30}); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.SetGlobalFloats("w", []float64{1.25, 2.5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if in.IntOutput[0] != 60 || in.FPOutput[0] != 3.75 {
+		t.Fatalf("output = %v %v", in.IntOutput, in.FPOutput)
+	}
+	if err := in.SetGlobalInts("nope", nil); err == nil {
+		t.Error("missing global accepted")
+	}
+	if err := in.SetGlobalFloats("vals", nil); err == nil {
+		t.Error("type mismatch accepted")
+	}
+}
+
+func TestInterpLocalArrayPersistence(t *testing.T) {
+	// A local array declared in a loop keeps its storage across
+	// iterations (matching the compiled frame slot).
+	in := interpRun(t, `
+int main() {
+	int i; int s = 0;
+	for (i = 0; i < 3; i++) {
+		int buf[2];
+		buf[i % 2] = buf[i % 2] + 1;
+		s = s * 10 + buf[0] + buf[1];
+	}
+	print(s);
+	return 0;
+}`)
+	// iter0: buf[0]=1 -> s=1; iter1: buf[1]=1 -> s=12; iter2: buf[0]=2 -> s=123.
+	if in.IntOutput[0] != 123 {
+		t.Fatalf("output = %v, want [123]", in.IntOutput)
+	}
+}

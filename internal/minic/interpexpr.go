@@ -1,0 +1,488 @@
+package minic
+
+import "fmt"
+
+// eval evaluates one expression.
+func (in *Interp) eval(e Expr, fr *frame) (value, error) {
+	if err := in.tick(lineOfExpr(e)); err != nil {
+		return value{}, err
+	}
+	switch ex := e.(type) {
+	case *IntLit:
+		return intVal(ex.Val), nil
+	case *FloatLit:
+		return fpVal(ex.Val), nil
+
+	case *VarRef:
+		sym := in.info.Refs[ex]
+		if sym == nil {
+			return value{}, &RuntimeError{Line: ex.Line, Msg: "unresolved " + ex.Name}
+		}
+		if sym.Ty.IsMemory() {
+			return value{}, &RuntimeError{Line: ex.Line, Msg: "array read as scalar: " + ex.Name}
+		}
+		if sym.Kind == SymParam {
+			return *fr.params[sym.Index], nil
+		}
+		st, err := in.storageFor(sym, fr)
+		if err != nil {
+			return value{}, err
+		}
+		if st.ty.Base == TypeDouble {
+			return fpVal(st.fps[0]), nil
+		}
+		return intVal(st.ints[0]), nil
+
+	case *Index:
+		st, idx, err := in.element(ex, fr)
+		if err != nil {
+			return value{}, err
+		}
+		if st.ty.Base == TypeDouble {
+			return fpVal(st.fps[idx]), nil
+		}
+		return intVal(st.ints[idx]), nil
+
+	case *Unary:
+		v, err := in.eval(ex.X, fr)
+		if err != nil {
+			return value{}, err
+		}
+		switch ex.Op {
+		case Minus:
+			if v.fp {
+				return fpVal(-v.f), nil
+			}
+			return intVal(-v.i), nil
+		case Not:
+			if v.truthy() {
+				return intVal(0), nil
+			}
+			return intVal(1), nil
+		case Tilde:
+			return intVal(^v.asInt()), nil
+		}
+		return value{}, &RuntimeError{Line: ex.Line, Msg: "bad unary"}
+
+	case *Cast:
+		v, err := in.eval(ex.X, fr)
+		if err != nil {
+			return value{}, err
+		}
+		if ex.To == TypeDouble {
+			return fpVal(v.asFP()), nil
+		}
+		return intVal(v.asInt()), nil
+
+	case *Binary:
+		x, err := in.eval(ex.X, fr)
+		if err != nil {
+			return value{}, err
+		}
+		y, err := in.eval(ex.Y, fr)
+		if err != nil {
+			return value{}, err
+		}
+		return in.binop(ex.Op, x, y, ex.Line)
+
+	case *Logical:
+		x, err := in.eval(ex.X, fr)
+		if err != nil {
+			return value{}, err
+		}
+		if ex.Op == AndAnd {
+			if !x.truthy() {
+				return intVal(0), nil
+			}
+		} else if x.truthy() {
+			return intVal(1), nil
+		}
+		y, err := in.eval(ex.Y, fr)
+		if err != nil {
+			return value{}, err
+		}
+		if y.truthy() {
+			return intVal(1), nil
+		}
+		return intVal(0), nil
+
+	case *Cond:
+		c, err := in.eval(ex.C, fr)
+		if err != nil {
+			return value{}, err
+		}
+		isFP := in.info.Types[ex.A].Base == TypeDouble || in.info.Types[ex.B].Base == TypeDouble
+		var v value
+		if c.truthy() {
+			v, err = in.eval(ex.A, fr)
+		} else {
+			v, err = in.eval(ex.B, fr)
+		}
+		if err != nil {
+			return value{}, err
+		}
+		if isFP {
+			return fpVal(v.asFP()), nil
+		}
+		return intVal(v.asInt()), nil
+
+	case *Assign2:
+		return in.assign(ex, fr)
+
+	case *IncDec:
+		return in.incdec(ex, fr)
+
+	case *Call:
+		return in.callExpr(ex, fr)
+	}
+	return value{}, &RuntimeError{Msg: fmt.Sprintf("unknown expression %T", e)}
+}
+
+func (in *Interp) binop(op Kind, x, y value, line int32) (value, error) {
+	if x.fp || y.fp {
+		a, b := x.asFP(), y.asFP()
+		switch op {
+		case Plus:
+			return fpVal(a + b), nil
+		case Minus:
+			return fpVal(a - b), nil
+		case Star:
+			return fpVal(a * b), nil
+		case Slash:
+			return fpVal(a / b), nil
+		case EqEq:
+			return boolVal(a == b), nil
+		case NotEq:
+			return boolVal(a != b), nil
+		case Lt:
+			return boolVal(a < b), nil
+		case Le:
+			return boolVal(a <= b), nil
+		case Gt:
+			return boolVal(a > b), nil
+		case Ge:
+			return boolVal(a >= b), nil
+		}
+		return value{}, &RuntimeError{Line: line, Msg: "float operands for " + op.String()}
+	}
+	a, b := x.i, y.i
+	switch op {
+	case Plus:
+		return intVal(a + b), nil
+	case Minus:
+		return intVal(a - b), nil
+	case Star:
+		return intVal(a * b), nil
+	case Slash:
+		if b == 0 {
+			return value{}, &RuntimeError{Line: line, Msg: "integer divide by zero"}
+		}
+		return intVal(a / b), nil
+	case Percent:
+		if b == 0 {
+			return value{}, &RuntimeError{Line: line, Msg: "integer remainder by zero"}
+		}
+		return intVal(a % b), nil
+	case And:
+		return intVal(a & b), nil
+	case Or:
+		return intVal(a | b), nil
+	case Xor:
+		return intVal(a ^ b), nil
+	case Shl:
+		return intVal(a << (uint64(b) & 63)), nil
+	case Shr:
+		return intVal(a >> (uint64(b) & 63)), nil
+	case EqEq:
+		return boolVal(a == b), nil
+	case NotEq:
+		return boolVal(a != b), nil
+	case Lt:
+		return boolVal(a < b), nil
+	case Le:
+		return boolVal(a <= b), nil
+	case Gt:
+		return boolVal(a > b), nil
+	case Ge:
+		return boolVal(a >= b), nil
+	}
+	return value{}, &RuntimeError{Line: line, Msg: "bad operator " + op.String()}
+}
+
+func boolVal(b bool) value {
+	if b {
+		return intVal(1)
+	}
+	return intVal(0)
+}
+
+// element resolves arr[idx] to (storage, index).
+func (in *Interp) element(ex *Index, fr *frame) (*storage, int64, error) {
+	sym := in.info.Refs[ex.Arr]
+	if sym == nil {
+		return nil, 0, &RuntimeError{Line: ex.Line, Msg: "unresolved array " + ex.Arr.Name}
+	}
+	st, err := in.storageFor(sym, fr)
+	if err != nil {
+		return nil, 0, err
+	}
+	if st == nil {
+		return nil, 0, &RuntimeError{Line: ex.Line, Msg: "nil storage for " + ex.Arr.Name}
+	}
+	iv, err := in.eval(ex.Idx, fr)
+	if err != nil {
+		return nil, 0, err
+	}
+	idx := iv.asInt()
+	n := int64(len(st.ints))
+	if st.ty.Base == TypeDouble {
+		n = int64(len(st.fps))
+	}
+	if idx < 0 || idx >= n {
+		return nil, 0, &RuntimeError{Line: ex.Line,
+			Msg: fmt.Sprintf("index %d out of range [0,%d) for %s", idx, n, ex.Arr.Name)}
+	}
+	return st, idx, nil
+}
+
+// storeElem writes v into st[idx] honoring the element type.
+func storeElem(st *storage, idx int64, v value) {
+	switch st.ty.Base {
+	case TypeDouble:
+		st.fps[idx] = v.asFP()
+	case TypeChar:
+		st.ints[idx] = v.asInt() & 0xFF
+	default:
+		st.ints[idx] = v.asInt()
+	}
+}
+
+func loadElem(st *storage, idx int64) value {
+	if st.ty.Base == TypeDouble {
+		return fpVal(st.fps[idx])
+	}
+	return intVal(st.ints[idx])
+}
+
+func (in *Interp) assign(ex *Assign2, fr *frame) (value, error) {
+	// Evaluate the target location first, then the RHS — matching
+	// the compiler's lowering order.
+	switch lhs := ex.Lhs.(type) {
+	case *VarRef:
+		sym := in.info.Refs[lhs]
+		if sym == nil {
+			return value{}, &RuntimeError{Line: ex.Line, Msg: "unresolved " + lhs.Name}
+		}
+		cur, err := in.readScalar(sym, fr)
+		if err != nil {
+			return value{}, err
+		}
+		rhs, err := in.eval(ex.Rhs, fr)
+		if err != nil {
+			return value{}, err
+		}
+		nv, err := in.combine(ex.Op, cur, rhs, sym.Ty.Base, ex.Line)
+		if err != nil {
+			return value{}, err
+		}
+		if err := in.writeScalar(sym, fr, nv); err != nil {
+			return value{}, err
+		}
+		return nv, nil
+
+	case *Index:
+		st, idx, err := in.element(lhs, fr)
+		if err != nil {
+			return value{}, err
+		}
+		cur := loadElem(st, idx)
+		rhs, err := in.eval(ex.Rhs, fr)
+		if err != nil {
+			return value{}, err
+		}
+		nv, err := in.combine(ex.Op, cur, rhs, st.ty.Base, ex.Line)
+		if err != nil {
+			return value{}, err
+		}
+		storeElem(st, idx, nv)
+		return nv, nil
+	}
+	return value{}, &RuntimeError{Line: ex.Line, Msg: "bad assignment target"}
+}
+
+// combine applies a (possibly compound) assignment operator.
+func (in *Interp) combine(op Kind, cur, rhs value, base BaseType, line int32) (value, error) {
+	var v value
+	if op == Assign {
+		v = rhs
+	} else {
+		var err error
+		v, err = in.binop(binKindOf(op), cur, rhs, line)
+		if err != nil {
+			return value{}, err
+		}
+	}
+	if base == TypeDouble {
+		return fpVal(v.asFP()), nil
+	}
+	return intVal(v.asInt()), nil
+}
+
+func binKindOf(op Kind) Kind {
+	switch op {
+	case PlusEq:
+		return Plus
+	case MinusEq:
+		return Minus
+	case StarEq:
+		return Star
+	case SlashEq:
+		return Slash
+	case PercentEq:
+		return Percent
+	}
+	return op
+}
+
+func (in *Interp) readScalar(sym *Sym, fr *frame) (value, error) {
+	if sym.Kind == SymParam {
+		return *fr.params[sym.Index], nil
+	}
+	st, err := in.storageFor(sym, fr)
+	if err != nil {
+		return value{}, err
+	}
+	if st.ty.Base == TypeDouble {
+		return fpVal(st.fps[0]), nil
+	}
+	return intVal(st.ints[0]), nil
+}
+
+func (in *Interp) writeScalar(sym *Sym, fr *frame, v value) error {
+	if sym.Kind == SymParam {
+		*fr.params[sym.Index] = v
+		return nil
+	}
+	st, err := in.storageFor(sym, fr)
+	if err != nil {
+		return err
+	}
+	if st.ty.Base == TypeDouble {
+		st.fps[0] = v.asFP()
+	} else if st.ty.Base == TypeChar && sym.Kind == SymGlobal && !st.ty.IsArray {
+		st.ints[0] = v.asInt() & 0xFF
+	} else {
+		st.ints[0] = v.asInt()
+	}
+	return nil
+}
+
+func (in *Interp) incdec(ex *IncDec, fr *frame) (value, error) {
+	delta := int64(1)
+	if ex.Op == Dec {
+		delta = -1
+	}
+	switch lhs := ex.X.(type) {
+	case *VarRef:
+		sym := in.info.Refs[lhs]
+		cur, err := in.readScalar(sym, fr)
+		if err != nil {
+			return value{}, err
+		}
+		nv := intVal(cur.asInt() + delta)
+		if sym.Ty.Base == TypeChar && sym.Kind == SymGlobal {
+			nv = intVal(nv.i & 0xFF)
+		}
+		if err := in.writeScalar(sym, fr, nv); err != nil {
+			return value{}, err
+		}
+		if ex.Postfix {
+			return cur, nil
+		}
+		return nv, nil
+	case *Index:
+		st, idx, err := in.element(lhs, fr)
+		if err != nil {
+			return value{}, err
+		}
+		cur := loadElem(st, idx)
+		nv := intVal(cur.asInt() + delta)
+		storeElem(st, idx, nv)
+		if ex.Postfix {
+			return cur, nil
+		}
+		return loadElem(st, idx), nil
+	}
+	return value{}, &RuntimeError{Line: ex.Line, Msg: "bad ++/-- target"}
+}
+
+func (in *Interp) callExpr(ex *Call, fr *frame) (value, error) {
+	if ex.Name == "print" {
+		v, err := in.eval(ex.Args[0], fr)
+		if err != nil {
+			return value{}, err
+		}
+		if v.fp {
+			in.FPOutput = append(in.FPOutput, v.f)
+		} else {
+			in.IntOutput = append(in.IntOutput, v.i)
+		}
+		return intVal(0), nil
+	}
+	fn := in.funcs[ex.Name]
+	if fn == nil {
+		return value{}, &RuntimeError{Line: ex.Line, Msg: "unknown function " + ex.Name}
+	}
+	args := make([]callArg, len(ex.Args))
+	for i, a := range ex.Args {
+		if i < len(fn.Params) && fn.Params[i].Ty.IsPtr {
+			vr, ok := a.(*VarRef)
+			if !ok {
+				return value{}, &RuntimeError{Line: ex.Line, Msg: "array argument must be a name"}
+			}
+			sym := in.info.Refs[vr]
+			st, err := in.storageFor(sym, fr)
+			if err != nil {
+				return value{}, err
+			}
+			args[i] = callArg{arr: st}
+			continue
+		}
+		v, err := in.eval(a, fr)
+		if err != nil {
+			return value{}, err
+		}
+		args[i] = callArg{val: v}
+	}
+	return in.call(fn, args)
+}
+
+func lineOfExpr(e Expr) int32 {
+	switch x := e.(type) {
+	case *IntLit:
+		return x.Line
+	case *FloatLit:
+		return x.Line
+	case *VarRef:
+		return x.Line
+	case *Index:
+		return x.Line
+	case *Unary:
+		return x.Line
+	case *Cast:
+		return x.Line
+	case *Binary:
+		return x.Line
+	case *Logical:
+		return x.Line
+	case *Cond:
+		return x.Line
+	case *Assign2:
+		return x.Line
+	case *IncDec:
+		return x.Line
+	case *Call:
+		return x.Line
+	}
+	return 0
+}

@@ -1,0 +1,352 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := LexAll("t.mc", `int x = 42; // comment
+double d = 3.5; /* block
+comment */ char c;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []Kind{KwInt, IDENT, Assign, INTLIT, Semi, KwDouble, IDENT,
+		Assign, FLOATLIT, Semi, KwChar, IDENT, Semi, EOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+	if toks[3].Int != 42 || toks[8].F != 3.5 {
+		t.Error("literal values wrong")
+	}
+	if toks[10].Line != 3 {
+		t.Errorf("line tracking wrong: %d", toks[10].Line)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := LexAll("t.mc", "a += b && c || d == e != f <= g >= h << i >> j ++ -- ? : % ^ ~")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []Kind
+	for _, tk := range toks {
+		if tk.Kind != IDENT && tk.Kind != EOF {
+			kinds = append(kinds, tk.Kind)
+		}
+	}
+	want := []Kind{PlusEq, AndAnd, OrOr, EqEq, NotEq, Le, Ge, Shl, Shr,
+		Inc, Dec, Question, Colon, Percent, Xor, Tilde}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("op %d = %s, want %s", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexLiterals(t *testing.T) {
+	toks, err := LexAll("t.mc", "0x1F 'a' '\\n' '\\0' 1e3 2.5e-2 077")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Int != 31 {
+		t.Errorf("hex = %d", toks[0].Int)
+	}
+	if toks[1].Int != 'a' || toks[2].Int != '\n' || toks[3].Int != 0 {
+		t.Error("char literals wrong")
+	}
+	if toks[4].Kind != FLOATLIT || toks[4].F != 1000 {
+		t.Errorf("1e3 = %v", toks[4])
+	}
+	if toks[5].F != 0.025 {
+		t.Errorf("2.5e-2 = %v", toks[5].F)
+	}
+	if toks[6].Int != 63 { // octal via strconv base 0
+		t.Errorf("077 = %d", toks[6].Int)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"@", "'x", "/* unterminated", "'\\q'"} {
+		if _, err := LexAll("t.mc", src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+const goodProgram = `
+int n = 10;
+int table[100];
+char seq[256];
+double weights[32];
+
+int max2(int a, int b) {
+	if (a > b) return a;
+	return b;
+}
+
+int sum(int *arr, int len) {
+	int s = 0;
+	int i;
+	for (i = 0; i < len; i++) s += arr[i];
+	return s;
+}
+
+double scale(double x) {
+	return x * 2.5 + (double)n;
+}
+
+int main() {
+	int i;
+	int acc = 0;
+	for (i = 0; i < n; i++) {
+		table[i] = i * i;
+		seq[i] = 'A' + i % 4;
+	}
+	while (acc < 100) {
+		acc += max2(3, 4);
+		if (acc == 50) continue;
+		if (acc > 90) break;
+	}
+	acc = acc > 10 ? acc : -acc;
+	print(sum(table, n));
+	print(acc);
+	print((int)scale(2.0));
+	return 0;
+}
+`
+
+func TestParseAndCheckGoodProgram(t *testing.T) {
+	f, err := Parse("good.mc", goodProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Globals) != 4 || len(f.Funcs) != 4 {
+		t.Fatalf("globals=%d funcs=%d", len(f.Globals), len(f.Funcs))
+	}
+	if f.Globals[1].Ty.ArrayN != 100 || f.Globals[2].Ty.Base != TypeChar {
+		t.Error("global types wrong")
+	}
+	info, err := Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Funcs["sum"].Params[0].Ty != PtrTo(TypeInt) {
+		t.Error("pointer parameter type wrong")
+	}
+	if info.LocalCount["main"] < 2 {
+		t.Errorf("main locals = %d", info.LocalCount["main"])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"int main() { return 0 }",          // missing semi
+		"int main() { if (1) }",            // missing stmt
+		"int x[0]; int main() {return 0;}", // zero-size array
+		"int main() { 3 = x; return 0; }",  // non-lvalue assign
+		"int main() { int a[3] = 1; return 0; }",
+		"void x; int main() { return 0; }",
+		"int main() { for (;; }",
+		"int f(void v) { return 0; }",
+		"int main() { return (1; }",
+	}
+	for _, src := range bad {
+		if _, err := Parse("bad.mc", src); err == nil {
+			t.Errorf("parse accepted %q", src)
+		}
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	bad := map[string]string{
+		"undefined var":      "int main() { return x; }",
+		"undefined func":     "int main() { return f(); }",
+		"no main":            "int f() { return 0; }",
+		"bad main sig":       "int main(int x) { return 0; }",
+		"dup global":         "int x; int x; int main() { return 0; }",
+		"dup func":           "int f() {return 0;} int f() {return 0;} int main() { return 0; }",
+		"dup param":          "int f(int a, int a) { return 0; } int main() { return f(1,1); }",
+		"index non-array":    "int main() { int x; return x[0]; }",
+		"array as scalar":    "int a[4]; int main() { return a + 1; }",
+		"arg count":          "int f(int a) { return a; } int main() { return f(); }",
+		"scalar to ptr":      "int f(int *p) { return p[0]; } int main() { return f(3); }",
+		"array to scalar":    "int a[4]; int f(int x) { return x; } int main() { return f(a); }",
+		"ptr elem mismatch":  "char a[4]; int f(int *p) { return p[0]; } int main() { return f(a); }",
+		"break outside loop": "int main() { break; return 0; }",
+		"cont outside loop":  "int main() { continue; return 0; }",
+		"void return value":  "void f() { return 3; } int main() { f(); return 0; }",
+		"missing return val": "int f() { return; } int main() { return f(); }",
+		"mod double":         "int main() { double d; d = 1.0 % 2.0; return 0; }",
+		"shift double":       "int main() { double d = 1.0 << 2; return 0; }",
+		"incdec double":      "int main() { double d; d++; return 0; }",
+		"assign ptr param":   "int f(int *p) { p = p; return 0; } int main() { int a[2]; return f(a); }",
+		"print arity":        "int main() { print(1, 2); return 0; }",
+		"redefine print":     "int print(int x) { return x; } int main() { return 0; }",
+		"redecl in scope":    "int main() { int x; int x; return 0; }",
+		"float init for int": "int g = 2.5; int main() { return 0; }",
+		"array initializer":  "int a[3] = 5; int main() { return 0; }",
+	}
+	for name, src := range bad {
+		f, err := Parse("bad.mc", src)
+		if err != nil {
+			continue // some are parse errors; also fine
+		}
+		if _, err := Check(f); err == nil {
+			t.Errorf("%s: checker accepted %q", name, src)
+		}
+	}
+}
+
+func TestScopes(t *testing.T) {
+	src := `
+int x = 1;
+int main() {
+	int x = 2;
+	{
+		int x = 3;
+		print(x);
+	}
+	print(x);
+	for (int x = 0; x < 1; x++) print(x);
+	return x;
+}`
+	f, err := Parse("scope.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypePromotion(t *testing.T) {
+	src := `
+double d;
+int main() {
+	int i = 3;
+	d = i * 2.5;
+	i = (int)(d + 0.5);
+	if (d > 1) return 1;
+	return i;
+}`
+	f, err := Parse("promo.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the Binary i * 2.5 and confirm it typed as double.
+	found := false
+	for e, ty := range info.Types {
+		if b, ok := e.(*Binary); ok && b.Op == Star {
+			if ty.Base != TypeDouble {
+				t.Errorf("i * 2.5 typed as %s", ty)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("multiply expression not found in type table")
+	}
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	src := `
+int a = -5;
+double pi = 3.25;
+double negint = -2;
+char c = 'x';
+int main() { return a; }`
+	f, err := Parse("init.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Globals[0].InitInt != -5 {
+		t.Error("negative int init")
+	}
+	if f.Globals[1].InitFloat != 3.25 {
+		t.Error("float init")
+	}
+	if f.Globals[2].InitFloat != -2 {
+		t.Error("int literal into double global")
+	}
+	if f.Globals[3].InitInt != 'x' {
+		t.Error("char init")
+	}
+	if _, err := Check(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyntaxErrorFormat(t *testing.T) {
+	_, err := Parse("file.mc", "int main() { $ }")
+	if err == nil || !strings.Contains(err.Error(), "file.mc:1") {
+		t.Errorf("error %v lacks position", err)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	// 2+3*4 parses as 2+(3*4); check shape.
+	f, err := Parse("prec.mc", "int main() { return 2 + 3 * 4 == 14 && 1; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := f.Funcs[0].Body.Stmts[0].(*Return)
+	log, ok := ret.X.(*Logical)
+	if !ok || log.Op != AndAnd {
+		t.Fatalf("top is %T, want &&", ret.X)
+	}
+	cmp, ok := log.X.(*Binary)
+	if !ok || cmp.Op != EqEq {
+		t.Fatalf("lhs is %T/%v, want ==", log.X, cmp)
+	}
+	add, ok := cmp.X.(*Binary)
+	if !ok || add.Op != Plus {
+		t.Fatalf("cmp lhs not +")
+	}
+	if mul, ok := add.Y.(*Binary); !ok || mul.Op != Star {
+		t.Fatal("* not nested under +")
+	}
+}
+
+func TestTernaryRightAssoc(t *testing.T) {
+	f, err := Parse("tern.mc", "int main() { return 1 ? 2 : 3 ? 4 : 5; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := f.Funcs[0].Body.Stmts[0].(*Return)
+	c := ret.X.(*Cond)
+	if _, ok := c.B.(*Cond); !ok {
+		t.Error("?: should nest in the else arm")
+	}
+}
+
+func TestCastVsParen(t *testing.T) {
+	f, err := Parse("cast.mc", "int main() { double d; d = (double)3; return (int)(d) + (1); }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPostfixIncDec(t *testing.T) {
+	src := `int a[4]; int main() { int i = 0; a[i++] = 5; a[2]--; ++i; return i; }`
+	f, err := Parse("inc.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(f); err != nil {
+		t.Fatal(err)
+	}
+}

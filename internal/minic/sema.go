@@ -1,0 +1,432 @@
+package minic
+
+import "fmt"
+
+// SymKind classifies resolved names.
+type SymKind uint8
+
+// Symbol kinds.
+const (
+	SymGlobal SymKind = iota
+	SymLocal
+	SymParam
+)
+
+// Sym is a resolved variable.
+type Sym struct {
+	Name string
+	Kind SymKind
+	Ty   Type
+	// Index is the global index (SymGlobal), parameter position
+	// (SymParam), or local slot id unique within the function
+	// (SymLocal).
+	Index int
+}
+
+// FuncSig is a function signature for call checking.
+type FuncSig struct {
+	Name   string
+	Ret    BaseType
+	Params []Param
+	Decl   *FuncDecl
+}
+
+// Info carries the results of semantic analysis: every expression's
+// type and every name's resolution, in side tables keyed by AST node.
+type Info struct {
+	Types map[Expr]Type
+	Refs  map[*VarRef]*Sym
+	Calls map[*Call]*FuncSig
+	// Funcs maps function name to signature, including "main".
+	Funcs map[string]*FuncSig
+	// GlobalList is the declared order of globals.
+	GlobalList []*GlobalDecl
+	// LocalCount maps function name to number of local symbols.
+	LocalCount map[string]int
+}
+
+type checker struct {
+	file   string
+	info   *Info
+	scopes []map[string]*Sym
+	fn     *FuncDecl
+	nlocal int
+	errs   []error
+	loop   int
+}
+
+// Check performs semantic analysis on the file.
+func Check(f *File) (*Info, error) {
+	c := &checker{
+		file: f.Name,
+		info: &Info{
+			Types:      make(map[Expr]Type),
+			Refs:       make(map[*VarRef]*Sym),
+			Calls:      make(map[*Call]*FuncSig),
+			Funcs:      make(map[string]*FuncSig),
+			LocalCount: make(map[string]int),
+		},
+	}
+	// Globals first.
+	c.pushScope()
+	for i, g := range f.Globals {
+		if c.lookupShallow(g.Name) != nil {
+			c.errf(g.Line, "redefinition of global %q", g.Name)
+			continue
+		}
+		c.define(&Sym{Name: g.Name, Kind: SymGlobal, Ty: g.Ty, Index: i})
+		c.info.GlobalList = append(c.info.GlobalList, g)
+	}
+	// Function signatures (allow forward calls and recursion).
+	for _, fn := range f.Funcs {
+		if _, dup := c.info.Funcs[fn.Name]; dup {
+			c.errf(fn.Line, "redefinition of function %q", fn.Name)
+			continue
+		}
+		if fn.Name == "print" {
+			c.errf(fn.Line, "cannot redefine builtin print")
+			continue
+		}
+		c.info.Funcs[fn.Name] = &FuncSig{Name: fn.Name, Ret: fn.Ret, Params: fn.Params, Decl: fn}
+	}
+	if main, ok := c.info.Funcs["main"]; !ok {
+		c.errs = append(c.errs, fmt.Errorf("%s: no main function", f.Name))
+	} else if len(main.Params) != 0 || main.Ret != TypeInt {
+		c.errf(main.Decl.Line, "main must be int main()")
+	}
+	// Bodies.
+	for _, fn := range f.Funcs {
+		c.checkFunc(fn)
+	}
+	c.popScope()
+	if len(c.errs) > 0 {
+		return nil, c.errs[0]
+	}
+	return c.info, nil
+}
+
+func (c *checker) errf(line int32, format string, args ...any) {
+	c.errs = append(c.errs, &SyntaxError{File: c.file, Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, make(map[string]*Sym)) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) define(s *Sym) { c.scopes[len(c.scopes)-1][s.Name] = s }
+
+func (c *checker) lookupShallow(name string) *Sym {
+	return c.scopes[len(c.scopes)-1][name]
+}
+
+func (c *checker) lookup(name string) *Sym {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) {
+	c.fn = fn
+	c.nlocal = 0
+	c.pushScope()
+	for i, p := range fn.Params {
+		if c.lookupShallow(p.Name) != nil {
+			c.errf(p.Line, "duplicate parameter %q", p.Name)
+			continue
+		}
+		c.define(&Sym{Name: p.Name, Kind: SymParam, Ty: p.Ty, Index: i})
+	}
+	c.checkBlock(fn.Body)
+	c.popScope()
+	c.info.LocalCount[fn.Name] = c.nlocal
+}
+
+func (c *checker) checkBlock(b *Block) {
+	c.pushScope()
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+	c.popScope()
+}
+
+func (c *checker) checkStmt(s Stmt) {
+	switch st := s.(type) {
+	case *DeclStmt:
+		if c.lookupShallow(st.Name) != nil {
+			c.errf(st.Line, "redefinition of %q in this scope", st.Name)
+			return
+		}
+		sym := &Sym{Name: st.Name, Kind: SymLocal, Ty: st.Ty, Index: c.nlocal}
+		c.nlocal++
+		if st.Init != nil {
+			if st.Ty.IsArray {
+				c.errf(st.Line, "array initializer")
+			} else {
+				t := c.checkExpr(st.Init)
+				c.requireScalarConvertible(st.Line, t, st.Ty.Base)
+			}
+		}
+		c.define(sym)
+	case *ExprStmt:
+		c.checkExpr(st.X)
+	case *Block:
+		c.checkBlock(st)
+	case *If:
+		c.requireScalarCond(st.Line, c.checkExpr(st.Cond))
+		c.checkStmt(st.Then)
+		if st.Else != nil {
+			c.checkStmt(st.Else)
+		}
+	case *While:
+		c.requireScalarCond(st.Line, c.checkExpr(st.Cond))
+		c.loop++
+		c.checkStmt(st.Body)
+		c.loop--
+	case *For:
+		c.pushScope() // for-init scope
+		if st.Init != nil {
+			c.checkStmt(st.Init)
+		}
+		if st.Cond != nil {
+			c.requireScalarCond(st.Line, c.checkExpr(st.Cond))
+		}
+		if st.Post != nil {
+			c.checkExpr(st.Post)
+		}
+		c.loop++
+		c.checkStmt(st.Body)
+		c.loop--
+		c.popScope()
+	case *Return:
+		if st.X == nil {
+			if c.fn.Ret != TypeVoid {
+				c.errf(st.Line, "return without value in %s function", c.fn.Ret)
+			}
+			return
+		}
+		if c.fn.Ret == TypeVoid {
+			c.errf(st.Line, "return with value in void function")
+			return
+		}
+		t := c.checkExpr(st.X)
+		c.requireScalarConvertible(st.Line, t, c.fn.Ret)
+	case *Break:
+		if c.loop == 0 {
+			c.errf(st.Line, "break outside loop")
+		}
+	case *Continue:
+		if c.loop == 0 {
+			c.errf(st.Line, "continue outside loop")
+		}
+	}
+}
+
+func (c *checker) requireScalarCond(line int32, t Type) {
+	if t.IsMemory() {
+		c.errf(line, "array used as condition")
+	}
+}
+
+func (c *checker) requireScalarConvertible(line int32, from Type, to BaseType) {
+	if from.IsMemory() {
+		c.errf(line, "array used as scalar value")
+		return
+	}
+	// int <-> double convert implicitly; char behaves as int.
+	_ = to
+}
+
+// numeric returns the value category of a scalar type for arithmetic:
+// double, or int (char promotes to int).
+func numeric(t Type) BaseType {
+	if t.Base == TypeDouble {
+		return TypeDouble
+	}
+	return TypeInt
+}
+
+func (c *checker) checkExpr(e Expr) Type {
+	t := c.checkExprInner(e)
+	c.info.Types[e] = t
+	return t
+}
+
+func (c *checker) checkExprInner(e Expr) Type {
+	switch ex := e.(type) {
+	case *IntLit:
+		return Scalar(TypeInt)
+	case *FloatLit:
+		return Scalar(TypeDouble)
+	case *VarRef:
+		sym := c.lookup(ex.Name)
+		if sym == nil {
+			c.errf(ex.Line, "undefined variable %q", ex.Name)
+			return Scalar(TypeInt)
+		}
+		c.info.Refs[ex] = sym
+		return sym.Ty
+	case *Index:
+		at := c.checkExpr(exprOf(ex.Arr))
+		if !at.IsMemory() {
+			c.errf(ex.Line, "indexing non-array %q", ex.Arr.Name)
+			return Scalar(TypeInt)
+		}
+		it := c.checkExpr(ex.Idx)
+		if numeric(it) != TypeInt {
+			c.errf(ex.Line, "array index must be an integer")
+		}
+		if it.IsMemory() {
+			c.errf(ex.Line, "array used as index")
+		}
+		return Scalar(at.Base)
+	case *Unary:
+		t := c.checkExpr(ex.X)
+		if t.IsMemory() {
+			c.errf(ex.Line, "array operand of unary %s", ex.Op)
+			return Scalar(TypeInt)
+		}
+		switch ex.Op {
+		case Not:
+			return Scalar(TypeInt)
+		case Tilde:
+			if numeric(t) == TypeDouble {
+				c.errf(ex.Line, "~ of double")
+			}
+			return Scalar(TypeInt)
+		default: // Minus
+			return Scalar(numeric(t))
+		}
+	case *Cast:
+		t := c.checkExpr(ex.X)
+		if t.IsMemory() {
+			c.errf(ex.Line, "cast of array")
+		}
+		if ex.To == TypeChar || ex.To == TypeVoid {
+			c.errf(ex.Line, "cast to %s not supported", ex.To)
+			return Scalar(TypeInt)
+		}
+		return Scalar(ex.To)
+	case *Binary:
+		xt := c.checkExpr(ex.X)
+		yt := c.checkExpr(ex.Y)
+		if xt.IsMemory() || yt.IsMemory() {
+			c.errf(ex.Line, "array operand of %s", ex.Op)
+			return Scalar(TypeInt)
+		}
+		isCmp := ex.Op == EqEq || ex.Op == NotEq || ex.Op == Lt ||
+			ex.Op == Le || ex.Op == Gt || ex.Op == Ge
+		resBase := TypeInt
+		if numeric(xt) == TypeDouble || numeric(yt) == TypeDouble {
+			resBase = TypeDouble
+			switch ex.Op {
+			case Percent, And, Or, Xor, Shl, Shr:
+				c.errf(ex.Line, "%s requires integer operands", ex.Op)
+				resBase = TypeInt
+			}
+		}
+		if isCmp {
+			return Scalar(TypeInt)
+		}
+		return Scalar(resBase)
+	case *Logical:
+		xt := c.checkExpr(ex.X)
+		yt := c.checkExpr(ex.Y)
+		if xt.IsMemory() || yt.IsMemory() {
+			c.errf(ex.Line, "array operand of %s", ex.Op)
+		}
+		return Scalar(TypeInt)
+	case *Cond:
+		ct := c.checkExpr(ex.C)
+		if ct.IsMemory() {
+			c.errf(ex.Line, "array used as condition")
+		}
+		at := c.checkExpr(ex.A)
+		bt := c.checkExpr(ex.B)
+		if at.IsMemory() || bt.IsMemory() {
+			c.errf(ex.Line, "array arm of ?:")
+			return Scalar(TypeInt)
+		}
+		if numeric(at) == TypeDouble || numeric(bt) == TypeDouble {
+			return Scalar(TypeDouble)
+		}
+		return Scalar(TypeInt)
+	case *Assign2:
+		lt := c.checkExpr(ex.Lhs)
+		rt := c.checkExpr(ex.Rhs)
+		if lt.IsMemory() {
+			c.errf(ex.Line, "assignment to array")
+			return Scalar(TypeInt)
+		}
+		if rt.IsMemory() {
+			c.errf(ex.Line, "array used as assigned value")
+		}
+		if ex.Op == PercentEq && (numeric(lt) == TypeDouble || numeric(rt) == TypeDouble) {
+			c.errf(ex.Line, "%%= requires integer operands")
+		}
+		if vr, ok := ex.Lhs.(*VarRef); ok {
+			if sym := c.info.Refs[vr]; sym != nil && sym.Kind == SymParam && sym.Ty.IsPtr {
+				c.errf(ex.Line, "assignment to pointer parameter %q", vr.Name)
+			}
+		}
+		return Scalar(lt.Base)
+	case *IncDec:
+		t := c.checkExpr(ex.X)
+		if t.IsMemory() {
+			c.errf(ex.Line, "++/-- of array")
+			return Scalar(TypeInt)
+		}
+		if numeric(t) == TypeDouble {
+			c.errf(ex.Line, "++/-- of double")
+		}
+		return Scalar(TypeInt)
+	case *Call:
+		if ex.Name == "print" {
+			if len(ex.Args) != 1 {
+				c.errf(ex.Line, "print takes exactly one argument")
+			}
+			for _, a := range ex.Args {
+				at := c.checkExpr(a)
+				if at.IsMemory() {
+					c.errf(ex.Line, "print of array")
+				}
+			}
+			return Scalar(TypeVoid)
+		}
+		sig, ok := c.info.Funcs[ex.Name]
+		if !ok {
+			c.errf(ex.Line, "call to undefined function %q", ex.Name)
+			for _, a := range ex.Args {
+				c.checkExpr(a)
+			}
+			return Scalar(TypeInt)
+		}
+		c.info.Calls[ex] = sig
+		if len(ex.Args) != len(sig.Params) {
+			c.errf(ex.Line, "%s expects %d arguments, got %d", ex.Name, len(sig.Params), len(ex.Args))
+		}
+		for i, a := range ex.Args {
+			at := c.checkExpr(a)
+			if i >= len(sig.Params) {
+				continue
+			}
+			pt := sig.Params[i].Ty
+			if pt.IsPtr {
+				if !at.IsMemory() {
+					c.errf(ex.Line, "argument %d of %s must be an array", i+1, ex.Name)
+				} else if at.Base != pt.Base {
+					c.errf(ex.Line, "argument %d of %s: %s array passed to %s pointer",
+						i+1, ex.Name, at.Base, pt.Base)
+				}
+			} else if at.IsMemory() {
+				c.errf(ex.Line, "array passed to scalar parameter %d of %s", i+1, ex.Name)
+			}
+		}
+		return Scalar(sig.Ret)
+	}
+	return Scalar(TypeInt)
+}
+
+// exprOf exists because checkExpr takes an Expr; VarRef is one.
+func exprOf(v *VarRef) Expr { return v }

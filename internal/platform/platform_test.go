@@ -1,0 +1,89 @@
+package platform
+
+import "testing"
+
+func TestAllPlatformsWellFormed(t *testing.T) {
+	all := All()
+	if len(all) != 4 {
+		t.Fatalf("want 4 platforms, got %d", len(all))
+	}
+	for _, p := range all {
+		if p.Name == "" || p.Description == "" {
+			t.Errorf("platform missing name/description: %+v", p)
+		}
+		if err := p.Pipeline.Cache.L1.Validate(); err != nil {
+			t.Errorf("%s L1: %v", p.Name, err)
+		}
+		if err := p.Pipeline.Cache.L2.Validate(); err != nil {
+			t.Errorf("%s L2: %v", p.Name, err)
+		}
+		if p.IntRegs < 8 || p.FPRegs < 8 {
+			t.Errorf("%s: implausible register budget", p.Name)
+		}
+		if p.Pipeline.IssueWidth <= 0 || p.Pipeline.WindowSize <= 0 {
+			t.Errorf("%s: zero pipeline parameters", p.Name)
+		}
+	}
+}
+
+func TestTable7Parameters(t *testing.T) {
+	a := Alpha21264()
+	if a.Pipeline.Cache.L1.Size != 64<<10 || a.Pipeline.Cache.L1.Assoc != 2 {
+		t.Error("Alpha L1 geometry wrong (Table 7: 64KB 2-way)")
+	}
+	if a.Pipeline.Cache.Lat.L1 != 3 {
+		t.Error("Alpha integer L1 latency must be 3 cycles")
+	}
+	if a.Pipeline.Cache.L2.Size != 4<<20 || a.Pipeline.Cache.L2.Assoc != 1 {
+		t.Error("Alpha L2 geometry wrong (Table 7: 4MB direct-mapped)")
+	}
+
+	g5 := PowerPCG5()
+	if g5.Pipeline.Cache.L1.Size != 32<<10 || g5.Pipeline.Cache.Lat.L1 != 3 {
+		t.Error("G5 L1 wrong (Table 7: 32KB, 3-cycle int)")
+	}
+
+	p4 := Pentium4()
+	if p4.Pipeline.Cache.L1.Size != 8<<10 || p4.Pipeline.Cache.L1.Assoc != 4 {
+		t.Error("P4 L1 wrong (Table 7: 8KB 4-way)")
+	}
+	if p4.Pipeline.Cache.Lat.L1 != 2 {
+		t.Error("P4 integer L1 latency must be 2 cycles")
+	}
+	if p4.IntRegs != 8 {
+		t.Error("P4 must restrict the allocator to 8 integer registers")
+	}
+
+	it := Itanium2()
+	if !it.Pipeline.InOrder {
+		t.Error("Itanium 2 must be in-order")
+	}
+	if it.Pipeline.Cache.Lat.L1 != 1 {
+		t.Error("Itanium integer L1 latency must be 1 cycle")
+	}
+	if it.Pipeline.IssueWidth != 6 {
+		t.Error("Itanium issues 6 per cycle (two bundles)")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		p, err := ByName(name)
+		if err != nil || p.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, p.Name, err)
+		}
+	}
+	if _, err := ByName("vax"); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}
+
+func TestOrderMatchesPaper(t *testing.T) {
+	want := []string{"alpha21264", "ppcg5", "pentium4", "itanium2"}
+	got := Names()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}

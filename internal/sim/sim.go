@@ -1,0 +1,389 @@
+// Package sim is the VRISC64 functional simulator. It plays the role
+// ATOM played in the paper: it executes a compiled program and hands
+// every committed instruction to observer hooks (instruction pointer,
+// opcode, effective address, branch outcome), from which the
+// characterization framework builds instruction mixes, load-coverage
+// curves, cache and branch-predictor simulations, and dependence-chain
+// analyses.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"bioperfload/internal/isa"
+	"bioperfload/internal/mem"
+)
+
+// Event describes one committed dynamic instruction. The same Event
+// value is reused across calls; observers must not retain it.
+type Event struct {
+	Seq    uint64 // dynamic instruction number, starting at 0
+	PC     int32  // static instruction index
+	Inst   *isa.Inst
+	Addr   uint64 // effective address for loads/stores, else 0
+	Taken  bool   // for conditional branches
+	Target int32  // next PC actually executed
+}
+
+// Observer receives committed-instruction events.
+type Observer interface {
+	Observe(ev *Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(ev *Event)
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(ev *Event) { f(ev) }
+
+// ErrFuelExhausted is returned when the instruction budget runs out
+// before the program halts.
+var ErrFuelExhausted = errors.New("sim: instruction budget exhausted")
+
+// Trap describes a runtime fault (divide by zero, bad PC).
+type Trap struct {
+	PC  int32
+	Msg string
+}
+
+func (t *Trap) Error() string { return fmt.Sprintf("sim: trap at pc=%d: %s", t.PC, t.Msg) }
+
+// Result summarizes a completed run.
+type Result struct {
+	Instructions uint64
+	IntOutput    []int64   // values emitted by PRINT
+	FPOutput     []float64 // values emitted by PRINTF
+	ExitCode     int64     // r0 at HALT
+}
+
+// Machine executes one program. Create with New, then Run.
+type Machine struct {
+	prog *isa.Program
+	Mem  *mem.Memory
+	R    [isa.NumIntRegs]int64
+	F    [isa.NumFPRegs]float64
+	PC   int32
+
+	// Fuel is the maximum number of instructions to execute; 0 means
+	// DefaultFuel. Run returns ErrFuelExhausted when it is consumed.
+	Fuel uint64
+
+	observers []Observer
+}
+
+// DefaultFuel bounds runaway programs (10 billion instructions).
+const DefaultFuel = 10_000_000_000
+
+// New creates a machine with the program loaded: data initializers are
+// applied, the stack pointer is set, and the PC is at the entry point.
+func New(p *isa.Program) (*Machine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{prog: p, Mem: mem.New(), PC: p.Entry}
+	for _, di := range p.Init {
+		m.Mem.StoreBytes(di.Addr, di.Bytes)
+	}
+	m.R[isa.RegSP] = isa.StackTop
+	// The entry's return address points at a HALT we rely on the
+	// compiler to place; hand-built programs must HALT explicitly.
+	return m, nil
+}
+
+// Program returns the loaded program.
+func (m *Machine) Program() *isa.Program { return m.prog }
+
+// AddObserver registers an observer for every committed instruction.
+func (m *Machine) AddObserver(o Observer) { m.observers = append(m.observers, o) }
+
+// WriteSymbol copies raw bytes into the named global. It is how Go
+// test harnesses inject input datasets (sequences, HMM parameters)
+// into the simulated address space before Run.
+func (m *Machine) WriteSymbol(name string, b []byte) error {
+	s, ok := m.prog.Symbol(name)
+	if !ok {
+		return fmt.Errorf("sim: no symbol %q in %s", name, m.prog.Name)
+	}
+	if uint64(len(b)) > s.Size {
+		return fmt.Errorf("sim: %d bytes exceed symbol %q size %d", len(b), name, s.Size)
+	}
+	m.Mem.StoreBytes(s.Addr, b)
+	return nil
+}
+
+// WriteSymbolInt64s stores vs into the named int64-element global.
+func (m *Machine) WriteSymbolInt64s(name string, vs []int64) error {
+	s, ok := m.prog.Symbol(name)
+	if !ok {
+		return fmt.Errorf("sim: no symbol %q in %s", name, m.prog.Name)
+	}
+	if uint64(len(vs))*8 > s.Size {
+		return fmt.Errorf("sim: %d int64s exceed symbol %q size %d", len(vs), name, s.Size)
+	}
+	for i, v := range vs {
+		m.Mem.WriteInt64(s.Addr+uint64(i)*8, v)
+	}
+	return nil
+}
+
+// WriteSymbolFloat64s stores vs into the named float64-element global.
+func (m *Machine) WriteSymbolFloat64s(name string, vs []float64) error {
+	s, ok := m.prog.Symbol(name)
+	if !ok {
+		return fmt.Errorf("sim: no symbol %q in %s", name, m.prog.Name)
+	}
+	if uint64(len(vs))*8 > s.Size {
+		return fmt.Errorf("sim: %d float64s exceed symbol %q size %d", len(vs), name, s.Size)
+	}
+	for i, v := range vs {
+		m.Mem.WriteFloat64(s.Addr+uint64(i)*8, v)
+	}
+	return nil
+}
+
+// ReadSymbolInt64s reads n int64 elements from the named global.
+func (m *Machine) ReadSymbolInt64s(name string, n int) ([]int64, error) {
+	s, ok := m.prog.Symbol(name)
+	if !ok {
+		return nil, fmt.Errorf("sim: no symbol %q in %s", name, m.prog.Name)
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = m.Mem.ReadInt64(s.Addr + uint64(i)*8)
+	}
+	return out, nil
+}
+
+// Run executes until HALT, a trap, or fuel exhaustion.
+func (m *Machine) Run() (*Result, error) {
+	fuel := m.Fuel
+	if fuel == 0 {
+		fuel = DefaultFuel
+	}
+	res := &Result{}
+	insts := m.prog.Insts
+	n := int32(len(insts))
+	var ev Event
+	hasObs := len(m.observers) > 0
+
+	for res.Instructions < fuel {
+		pc := m.PC
+		if pc < 0 || pc >= n {
+			return res, &Trap{PC: pc, Msg: "pc out of range"}
+		}
+		in := &insts[pc]
+		next := pc + 1
+		var addr uint64
+		taken := false
+
+		switch in.Op {
+		case isa.OpNop:
+		case isa.OpAdd:
+			m.setR(in.Rd, m.R[in.Ra]+m.src2(in))
+		case isa.OpSub:
+			m.setR(in.Rd, m.R[in.Ra]-m.src2(in))
+		case isa.OpMul:
+			m.setR(in.Rd, m.R[in.Ra]*m.src2(in))
+		case isa.OpDiv:
+			d := m.src2(in)
+			if d == 0 {
+				return res, &Trap{PC: pc, Msg: "integer divide by zero"}
+			}
+			m.setR(in.Rd, m.R[in.Ra]/d)
+		case isa.OpRem:
+			d := m.src2(in)
+			if d == 0 {
+				return res, &Trap{PC: pc, Msg: "integer remainder by zero"}
+			}
+			m.setR(in.Rd, m.R[in.Ra]%d)
+		case isa.OpAnd:
+			m.setR(in.Rd, m.R[in.Ra]&m.src2(in))
+		case isa.OpOr:
+			m.setR(in.Rd, m.R[in.Ra]|m.src2(in))
+		case isa.OpXor:
+			m.setR(in.Rd, m.R[in.Ra]^m.src2(in))
+		case isa.OpSll:
+			m.setR(in.Rd, m.R[in.Ra]<<(uint64(m.src2(in))&63))
+		case isa.OpSrl:
+			m.setR(in.Rd, int64(uint64(m.R[in.Ra])>>(uint64(m.src2(in))&63)))
+		case isa.OpSra:
+			m.setR(in.Rd, m.R[in.Ra]>>(uint64(m.src2(in))&63))
+		case isa.OpCmpEq:
+			m.setR(in.Rd, b2i(m.R[in.Ra] == m.src2(in)))
+		case isa.OpCmpLt:
+			m.setR(in.Rd, b2i(m.R[in.Ra] < m.src2(in)))
+		case isa.OpCmpLe:
+			m.setR(in.Rd, b2i(m.R[in.Ra] <= m.src2(in)))
+		case isa.OpCmpUlt:
+			m.setR(in.Rd, b2i(uint64(m.R[in.Ra]) < uint64(m.src2(in))))
+		case isa.OpS8Add:
+			m.setR(in.Rd, m.R[in.Ra]*8+m.src2(in))
+		case isa.OpLda:
+			m.setR(in.Rd, m.R[in.Ra]+in.Imm)
+		case isa.OpLdiq:
+			m.setR(in.Rd, in.Imm)
+		case isa.OpCmovEq:
+			if m.R[in.Ra] == 0 {
+				m.setR(in.Rd, m.R[in.Rb])
+			}
+		case isa.OpCmovNe:
+			if m.R[in.Ra] != 0 {
+				m.setR(in.Rd, m.R[in.Rb])
+			}
+		case isa.OpCmovLt:
+			if m.R[in.Ra] < 0 {
+				m.setR(in.Rd, m.R[in.Rb])
+			}
+		case isa.OpCmovLe:
+			if m.R[in.Ra] <= 0 {
+				m.setR(in.Rd, m.R[in.Rb])
+			}
+		case isa.OpCmovGt:
+			if m.R[in.Ra] > 0 {
+				m.setR(in.Rd, m.R[in.Rb])
+			}
+		case isa.OpCmovGe:
+			if m.R[in.Ra] >= 0 {
+				m.setR(in.Rd, m.R[in.Rb])
+			}
+		case isa.OpLdq:
+			addr = uint64(m.R[in.Ra] + in.Imm)
+			m.setR(in.Rd, m.Mem.ReadInt64(addr))
+		case isa.OpLdbu:
+			addr = uint64(m.R[in.Ra] + in.Imm)
+			m.setR(in.Rd, int64(m.Mem.LoadByte(addr)))
+		case isa.OpStq:
+			addr = uint64(m.R[in.Ra] + in.Imm)
+			m.Mem.WriteInt64(addr, m.R[in.Rb])
+		case isa.OpStb:
+			addr = uint64(m.R[in.Ra] + in.Imm)
+			m.Mem.StoreByte(addr, byte(m.R[in.Rb]))
+		case isa.OpLdt:
+			addr = uint64(m.R[in.Ra] + in.Imm)
+			m.setF(in.Rd, m.Mem.ReadFloat64(addr))
+		case isa.OpStt:
+			addr = uint64(m.R[in.Ra] + in.Imm)
+			m.Mem.WriteFloat64(addr, m.F[in.Rb])
+		case isa.OpAddt:
+			m.setF(in.Rd, m.F[in.Ra]+m.F[in.Rb])
+		case isa.OpSubt:
+			m.setF(in.Rd, m.F[in.Ra]-m.F[in.Rb])
+		case isa.OpMult:
+			m.setF(in.Rd, m.F[in.Ra]*m.F[in.Rb])
+		case isa.OpDivt:
+			m.setF(in.Rd, m.F[in.Ra]/m.F[in.Rb])
+		case isa.OpCmpTeq:
+			m.setR(in.Rd, b2i(m.F[in.Ra] == m.F[in.Rb]))
+		case isa.OpCmpTlt:
+			m.setR(in.Rd, b2i(m.F[in.Ra] < m.F[in.Rb]))
+		case isa.OpCmpTle:
+			m.setR(in.Rd, b2i(m.F[in.Ra] <= m.F[in.Rb]))
+		case isa.OpCvtQT:
+			m.setF(in.Rd, float64(m.R[in.Ra]))
+		case isa.OpCvtTQ:
+			m.setR(in.Rd, int64(m.F[in.Ra]))
+		case isa.OpFMov:
+			m.setF(in.Rd, m.F[in.Ra])
+		case isa.OpFNeg:
+			m.setF(in.Rd, -m.F[in.Ra])
+		case isa.OpBr:
+			next = in.Target
+			taken = true
+		case isa.OpBeq:
+			taken = m.R[in.Ra] == 0
+			if taken {
+				next = in.Target
+			}
+		case isa.OpBne:
+			taken = m.R[in.Ra] != 0
+			if taken {
+				next = in.Target
+			}
+		case isa.OpBlt:
+			taken = m.R[in.Ra] < 0
+			if taken {
+				next = in.Target
+			}
+		case isa.OpBle:
+			taken = m.R[in.Ra] <= 0
+			if taken {
+				next = in.Target
+			}
+		case isa.OpBgt:
+			taken = m.R[in.Ra] > 0
+			if taken {
+				next = in.Target
+			}
+		case isa.OpBge:
+			taken = m.R[in.Ra] >= 0
+			if taken {
+				next = in.Target
+			}
+		case isa.OpJsr:
+			m.setR(in.Rd, int64(pc+1))
+			next = in.Target
+			taken = true
+		case isa.OpRet:
+			next = int32(m.R[in.Ra])
+			taken = true
+		case isa.OpPrint:
+			res.IntOutput = append(res.IntOutput, m.R[in.Ra])
+		case isa.OpPrintF:
+			res.FPOutput = append(res.FPOutput, m.F[in.Ra])
+		case isa.OpHalt:
+			res.Instructions++
+			res.ExitCode = m.R[0]
+			if hasObs {
+				ev = Event{Seq: res.Instructions - 1, PC: pc, Inst: in, Target: next}
+				for _, o := range m.observers {
+					o.Observe(&ev)
+				}
+			}
+			return res, nil
+		default:
+			return res, &Trap{PC: pc, Msg: "illegal opcode " + in.Op.String()}
+		}
+
+		if hasObs {
+			ev = Event{
+				Seq: res.Instructions, PC: pc, Inst: in,
+				Addr: addr, Taken: taken, Target: next,
+			}
+			for _, o := range m.observers {
+				o.Observe(&ev)
+			}
+		}
+		res.Instructions++
+		m.PC = next
+	}
+	return res, ErrFuelExhausted
+}
+
+func (m *Machine) setR(rd uint8, v int64) {
+	if rd != isa.RZero {
+		m.R[rd] = v
+	}
+	m.R[isa.RZero] = 0
+}
+
+func (m *Machine) setF(rd uint8, v float64) {
+	if rd != isa.FZero {
+		m.F[rd] = v
+	}
+	m.F[isa.FZero] = 0
+}
+
+func (m *Machine) src2(in *isa.Inst) int64 {
+	if in.HasImm {
+		return in.Imm
+	}
+	return m.R[in.Rb]
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

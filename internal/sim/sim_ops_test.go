@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"testing"
+
+	"bioperfload/internal/isa"
+)
+
+// TestCmovVariantsAll exercises every conditional-move opcode against
+// its definition.
+func TestCmovVariantsAll(t *testing.T) {
+	cases := []struct {
+		op   isa.Op
+		cond func(int64) bool
+	}{
+		{isa.OpCmovEq, func(a int64) bool { return a == 0 }},
+		{isa.OpCmovNe, func(a int64) bool { return a != 0 }},
+		{isa.OpCmovLt, func(a int64) bool { return a < 0 }},
+		{isa.OpCmovLe, func(a int64) bool { return a <= 0 }},
+		{isa.OpCmovGt, func(a int64) bool { return a > 0 }},
+		{isa.OpCmovGe, func(a int64) bool { return a >= 0 }},
+	}
+	for _, c := range cases {
+		for _, a := range []int64{-5, -1, 0, 1, 9} {
+			b := isa.NewBuilder("cm")
+			b.Ldiq(1, a)   // condition
+			b.Ldiq(2, 111) // new value
+			b.Ldiq(3, 222) // old value
+			b.Op3(c.op, 3, 1, 2)
+			b.Print(3)
+			b.Halt()
+			m, _ := New(b.MustProgram())
+			res, err := m.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := int64(222)
+			if c.cond(a) {
+				want = 111
+			}
+			if res.IntOutput[0] != want {
+				t.Errorf("%s with a=%d: got %d, want %d", c.op, a, res.IntOutput[0], want)
+			}
+		}
+	}
+}
+
+// TestBranchVariantsAll exercises every conditional-branch opcode.
+func TestBranchVariantsAll(t *testing.T) {
+	cases := []struct {
+		op   isa.Op
+		cond func(int64) bool
+	}{
+		{isa.OpBeq, func(a int64) bool { return a == 0 }},
+		{isa.OpBne, func(a int64) bool { return a != 0 }},
+		{isa.OpBlt, func(a int64) bool { return a < 0 }},
+		{isa.OpBle, func(a int64) bool { return a <= 0 }},
+		{isa.OpBgt, func(a int64) bool { return a > 0 }},
+		{isa.OpBge, func(a int64) bool { return a >= 0 }},
+	}
+	for _, c := range cases {
+		for _, a := range []int64{-3, 0, 3} {
+			b := isa.NewBuilder("br")
+			b.Ldiq(1, a)
+			b.Branch(c.op, 1, "taken")
+			b.Ldiq(2, 0)
+			b.Branch(isa.OpBr, 0, "out")
+			b.Label("taken")
+			b.Ldiq(2, 1)
+			b.Label("out")
+			b.Print(2)
+			b.Halt()
+			m, _ := New(b.MustProgram())
+			res, err := m.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := int64(0)
+			if c.cond(a) {
+				want = 1
+			}
+			if res.IntOutput[0] != want {
+				t.Errorf("%s with a=%d: got %d, want %d", c.op, a, res.IntOutput[0], want)
+			}
+		}
+	}
+}
+
+func TestS8AddSemantics(t *testing.T) {
+	b := isa.NewBuilder("s8")
+	b.Ldiq(1, 5)
+	b.Ldiq(2, 1000)
+	b.Op3(isa.OpS8Add, 3, 1, 2) // 5*8 + 1000
+	b.Print(3)
+	b.OpI(isa.OpS8Add, 4, 1, -8) // 5*8 - 8
+	b.Print(4)
+	b.Halt()
+	m, _ := New(b.MustProgram())
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IntOutput[0] != 1040 || res.IntOutput[1] != 32 {
+		t.Errorf("s8addq: %v", res.IntOutput)
+	}
+}
+
+func TestFPNegZeroAndSubt(t *testing.T) {
+	b := isa.NewBuilder("fp2")
+	b.Ldiq(1, 3)
+	b.Emit(isa.Inst{Op: isa.OpCvtQT, Rd: 1, Ra: 1})
+	b.Ldiq(2, 5)
+	b.Emit(isa.Inst{Op: isa.OpCvtQT, Rd: 2, Ra: 2})
+	b.Emit(isa.Inst{Op: isa.OpSubt, Rd: 3, Ra: 1, Rb: 2}) // -2.0
+	b.Emit(isa.Inst{Op: isa.OpPrintF, Ra: 3})
+	b.Emit(isa.Inst{Op: isa.OpMult, Rd: 4, Ra: 3, Rb: 3}) // 4.0
+	b.Emit(isa.Inst{Op: isa.OpPrintF, Ra: 4})
+	b.Emit(isa.Inst{Op: isa.OpCmpTle, Rd: 5, Ra: 3, Rb: 4}) // -2 <= 4
+	b.Print(5)
+	b.Emit(isa.Inst{Op: isa.OpCmpTeq, Rd: 6, Ra: 4, Rb: 4})
+	b.Print(6)
+	b.Halt()
+	m, _ := New(b.MustProgram())
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FPOutput[0] != -2.0 || res.FPOutput[1] != 4.0 {
+		t.Errorf("fp: %v", res.FPOutput)
+	}
+	if res.IntOutput[0] != 1 || res.IntOutput[1] != 1 {
+		t.Errorf("fp compares: %v", res.IntOutput)
+	}
+}
+
+func TestFPZeroRegister(t *testing.T) {
+	b := isa.NewBuilder("fz")
+	b.Ldiq(1, 7)
+	b.Emit(isa.Inst{Op: isa.OpCvtQT, Rd: isa.FZero, Ra: 1}) // discarded
+	b.Emit(isa.Inst{Op: isa.OpAddt, Rd: 2, Ra: isa.FZero, Rb: isa.FZero})
+	b.Emit(isa.Inst{Op: isa.OpPrintF, Ra: 2})
+	b.Halt()
+	m, _ := New(b.MustProgram())
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FPOutput[0] != 0 {
+		t.Errorf("f31 not hard-wired: %v", res.FPOutput)
+	}
+}
+
+func TestUpperRegisterFile(t *testing.T) {
+	// Registers 32..63 (the Itanium extension) behave as ordinary
+	// registers.
+	b := isa.NewBuilder("hi")
+	b.Ldiq(40, 123)
+	b.Ldiq(63, 7)
+	b.Op3(isa.OpAdd, 50, 40, 63)
+	b.Print(50)
+	b.Halt()
+	m, _ := New(b.MustProgram())
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IntOutput[0] != 130 {
+		t.Errorf("upper registers: %v", res.IntOutput)
+	}
+}
+
+func TestRemSemantics(t *testing.T) {
+	cases := [][3]int64{{7, 3, 1}, {-7, 3, -1}, {7, -3, 1}, {-7, -3, -1}}
+	for _, c := range cases {
+		b := isa.NewBuilder("rem")
+		b.Ldiq(1, c[0])
+		b.Ldiq(2, c[1])
+		b.Op3(isa.OpRem, 3, 1, 2)
+		b.Print(3)
+		b.Halt()
+		m, _ := New(b.MustProgram())
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.IntOutput[0] != c[2] {
+			t.Errorf("%d %% %d = %d, want %d", c[0], c[1], res.IntOutput[0], c[2])
+		}
+	}
+}
+
+func TestBadPCTraps(t *testing.T) {
+	b := isa.NewBuilder("badpc")
+	b.Ldiq(1, 9999)
+	b.Ret(1) // jump far out of range
+	b.Halt()
+	m, _ := New(b.MustProgram())
+	if _, err := m.Run(); err == nil {
+		t.Error("out-of-range PC not trapped")
+	}
+}

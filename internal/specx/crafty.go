@@ -1,0 +1,212 @@
+// Package specx provides the SPEC CPU2000 integer comparison points
+// the paper's Figure 2 contrasts with BioPerf: programs whose dynamic
+// loads are spread over many static loads, so the cumulative coverage
+// of the top-80 static loads is far below the bioinformatics codes'
+// >90%. craftyx is a hand-written chess-evaluation analog, vortexx an
+// in-memory object-store analog, and gccx is produced by a program
+// synthesizer that spreads load sites across many functions with a
+// near-uniform profile (the real gcc's distribution).
+//
+// These programs have no Go reference implementation; their
+// correctness check is cross-configuration output equivalence (O0 and
+// O2 with different register budgets must print identical values),
+// which exercises the whole toolchain.
+package specx
+
+// CraftySource is a chess-flavored integer program: piece-square
+// evaluation, mobility scans, a pawn-structure pass, and a shallow
+// negamax search over a pseudo-random move stream, with the loads
+// spread across per-piece tables and a dozen functions.
+const CraftySource = `
+int board[64];
+int pstPawn[64]; int pstKnight[64]; int pstBishop[64];
+int pstRook[64]; int pstQueen[64]; int pstKing[64];
+int mobKnight[16]; int mobBishop[16]; int mobRook[16]; int mobQueen[32];
+int pawnFile[8]; int passedBonus[8]; int kingShield[8];
+int history[1024];
+int killer[64];
+int moves[256];
+int undo[64];
+int seedg = 0;
+int nodes = 0;
+
+int rnd(int lim) {
+	seedg = seedg * 6364136223846793005 + 1442695040888963407;
+	int v = (seedg >> 33) & 1048575;
+	return v % lim;
+}
+
+int evalMaterial() {
+	int s = 0; int i; int p;
+	for (i = 0; i < 64; i++) {
+		p = board[i];
+		if (p == 1) s = s + 100;
+		if (p == 2) s = s + 320;
+		if (p == 3) s = s + 330;
+		if (p == 4) s = s + 500;
+		if (p == 5) s = s + 900;
+		if (p == -1) s = s - 100;
+		if (p == -2) s = s - 320;
+		if (p == -3) s = s - 330;
+		if (p == -4) s = s - 500;
+		if (p == -5) s = s - 900;
+	}
+	return s;
+}
+
+int evalPST() {
+	int s = 0; int i; int p;
+	for (i = 0; i < 64; i++) {
+		p = board[i];
+		if (p == 1) s = s + pstPawn[i];
+		if (p == 2) s = s + pstKnight[i];
+		if (p == 3) s = s + pstBishop[i];
+		if (p == 4) s = s + pstRook[i];
+		if (p == 5) s = s + pstQueen[i];
+		if (p == 6) s = s + pstKing[i];
+		if (p == -1) s = s - pstPawn[63 - i];
+		if (p == -2) s = s - pstKnight[63 - i];
+		if (p == -3) s = s - pstBishop[63 - i];
+		if (p == -4) s = s - pstRook[63 - i];
+		if (p == -5) s = s - pstQueen[63 - i];
+		if (p == -6) s = s - pstKing[63 - i];
+	}
+	return s;
+}
+
+int evalPawns() {
+	int s = 0; int i; int f;
+	for (f = 0; f < 8; f++) pawnFile[f] = 0;
+	for (i = 0; i < 64; i++) {
+		if (board[i] == 1) pawnFile[i % 8] = pawnFile[i % 8] + 1;
+	}
+	for (f = 0; f < 8; f++) {
+		if (pawnFile[f] > 1) s = s - 12 * (pawnFile[f] - 1);
+		if (pawnFile[f] == 1) s = s + passedBonus[f];
+		if (pawnFile[f] == 0) {
+			if (f < 3) s = s - kingShield[f];
+		}
+	}
+	return s;
+}
+
+int evalMobility() {
+	int s = 0; int i; int p; int m;
+	for (i = 0; i < 64; i++) {
+		p = board[i];
+		if (p == 2) {
+			m = (i % 8 + i / 8) % 9;
+			s = s + mobKnight[m];
+		}
+		if (p == 3) {
+			m = (i * 3 + 5) % 13;
+			s = s + mobBishop[m];
+		}
+		if (p == 4) {
+			m = (i * 5 + 1) % 14;
+			s = s + mobRook[m];
+		}
+		if (p == 5) {
+			m = (i * 7 + 3) % 27;
+			s = s + mobQueen[m];
+		}
+	}
+	return s;
+}
+
+int evaluate() {
+	nodes = nodes + 1;
+	return evalMaterial() + evalPST() + evalPawns() + evalMobility();
+}
+
+int genMoves() {
+	int n = 0; int i;
+	for (i = 0; i < 64; i++) {
+		if (board[i] > 0) {
+			if (n < 250) {
+				moves[n] = i * 64 + (i * 13 + board[i] * 7 + 11) % 64;
+				n = n + 1;
+			}
+		}
+	}
+	return n;
+}
+
+int search(int depth, int alpha, int beta) {
+	if (depth == 0) return evaluate();
+	int n = genMoves();
+	if (n == 0) return evaluate();
+	int best = -999999; int k; int sc;
+	int tried = 0;
+	for (k = 0; k < n; k++) {
+		if (tried >= 4) break;
+		int mv = moves[k % 256];
+		int from = mv / 64;
+		int to = mv % 64;
+		int cap = board[to];
+		int pc = board[from];
+		int hist = history[(mv + depth) % 1024];
+		if (hist < -50) continue;
+		tried = tried + 1;
+		board[to] = pc;
+		board[from] = 0;
+		sc = 0 - search(depth - 1, 0 - beta, 0 - alpha);
+		board[from] = pc;
+		board[to] = cap;
+		history[(mv + depth) % 1024] = hist + (sc > alpha ? 1 : -1);
+		if (sc > best) best = sc;
+		if (best > alpha) alpha = best;
+		if (alpha >= beta) {
+			killer[depth % 64] = mv;
+			break;
+		}
+	}
+	return best;
+}
+
+int positions = 0;
+
+int main() {
+	int g; int i; int total = 0;
+	seedg = 20260706;
+	for (i = 0; i < 64; i++) {
+		pstPawn[i] = (i % 8) * 2 - 4;
+		pstKnight[i] = 12 - (i % 11);
+		pstBishop[i] = (i % 7) * 3 - 6;
+		pstRook[i] = (i % 5) - 2;
+		pstQueen[i] = (i % 9) - 4;
+		pstKing[i] = 8 - (i % 16);
+	}
+	for (i = 0; i < 16; i++) {
+		mobKnight[i] = i * 4 - 8;
+		mobBishop[i] = i * 3 - 6;
+		mobRook[i] = i * 2 - 4;
+	}
+	for (i = 0; i < 32; i++) mobQueen[i] = i - 8;
+	for (i = 0; i < 8; i++) {
+		passedBonus[i] = i * 5;
+		kingShield[i] = 10 - i;
+	}
+	for (g = 0; g < positions; g++) {
+		for (i = 0; i < 64; i++) {
+			int r = rnd(24);
+			if (r < 6) board[i] = r - 6; /* negative pieces */
+			else if (r < 13) board[i] = r - 6;
+			else board[i] = 0;
+		}
+		total = total + search(3, -999999, 999999);
+	}
+	print(total);
+	print(nodes);
+	return 0;
+}
+`
+
+// CraftyPositions returns the driver iteration count for a target
+// dynamic size.
+func CraftyPositions(small bool) int64 {
+	if small {
+		return 12
+	}
+	return 300
+}

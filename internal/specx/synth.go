@@ -1,0 +1,157 @@
+package specx
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SynthConfig parameterizes the workload synthesizer, which produces
+// a MiniC program with a controlled static-load profile: NumFuncs
+// functions, each reading LoadsPerFunc distinct arrays, driven by a
+// schedule whose function-call frequencies follow a power law with
+// exponent Skew (0 = uniform, larger = more concentrated). The
+// synthesizer exists for two jobs: the gcc-scale Figure 2 comparison
+// point (hundreds of near-uniformly exercised static loads) and
+// controlled ablations of the coverage metric.
+type SynthConfig struct {
+	Name         string
+	NumFuncs     int
+	LoadsPerFunc int
+	ArraySize    int // elements per array
+	Iters        int // driver iterations
+	Skew         float64
+}
+
+// GccConfig returns the gcc-analog configuration: many functions,
+// near-uniform call profile.
+func GccConfig(small bool) SynthConfig {
+	iters := 4000
+	if small {
+		iters = 400
+	}
+	return SynthConfig{
+		Name: "gccx", NumFuncs: 48, LoadsPerFunc: 8,
+		ArraySize: 64, Iters: iters, Skew: 0.3,
+	}
+}
+
+// Synthesize generates the MiniC source for cfg.
+func Synthesize(cfg SynthConfig) string {
+	if cfg.NumFuncs <= 0 {
+		cfg.NumFuncs = 8
+	}
+	if cfg.LoadsPerFunc <= 0 {
+		cfg.LoadsPerFunc = 4
+	}
+	if cfg.ArraySize <= 0 {
+		cfg.ArraySize = 64
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "int iters = %d;\nint seedz = 31415926;\n", cfg.Iters)
+	for f := 0; f < cfg.NumFuncs; f++ {
+		for l := 0; l < cfg.LoadsPerFunc; l++ {
+			fmt.Fprintf(&b, "int tab_%d_%d[%d];\n", f, l, cfg.ArraySize)
+		}
+	}
+	b.WriteString(`
+int rndz(int lim) {
+	seedz = seedz * 6364136223846793005 + 1442695040888963407;
+	int v = (seedz >> 33) & 1048575;
+	return v % lim;
+}
+`)
+	// Each function folds its arrays with a mix of stride patterns
+	// and data-dependent branches.
+	for f := 0; f < cfg.NumFuncs; f++ {
+		fmt.Fprintf(&b, "int work_%d(int x) {\n\tint s = x; int i;\n", f)
+		fmt.Fprintf(&b, "\tfor (i = 0; i < %d; i++) {\n", cfg.ArraySize/2)
+		for l := 0; l < cfg.LoadsPerFunc; l++ {
+			switch l % 4 {
+			case 0:
+				fmt.Fprintf(&b, "\t\ts = s + tab_%d_%d[i];\n", f, l)
+			case 1:
+				fmt.Fprintf(&b, "\t\tif (tab_%d_%d[i * 2 %% %d] > s %% 97) s = s - %d;\n",
+					f, l, cfg.ArraySize, l+1)
+			case 2:
+				fmt.Fprintf(&b, "\t\ts = s ^ tab_%d_%d[(i + x) %% %d];\n", f, l, cfg.ArraySize)
+			default:
+				fmt.Fprintf(&b, "\t\tif (s %% 3 == 0) s = s + tab_%d_%d[i %% %d];\n",
+					f, l, cfg.ArraySize)
+			}
+		}
+		b.WriteString("\t}\n\treturn s;\n}\n")
+	}
+	// Initialization plus a power-law driver: function k is called
+	// when the random draw falls in its weight bucket. We encode the
+	// cumulative weights as compile-time constants.
+	b.WriteString("\nint main() {\n\tint k; int f2; int s = 1; int i;\n")
+	for f := 0; f < cfg.NumFuncs; f++ {
+		for l := 0; l < cfg.LoadsPerFunc; l++ {
+			fmt.Fprintf(&b, "\tfor (i = 0; i < %d; i++) tab_%d_%d[i] = (i * %d + %d) %% 201 - 100;\n",
+				cfg.ArraySize, f, l, 7+f, 3+l)
+		}
+	}
+	// Cumulative weight thresholds scaled to 1<<20.
+	total := 0.0
+	w := make([]float64, cfg.NumFuncs)
+	for f := 0; f < cfg.NumFuncs; f++ {
+		w[f] = 1.0 / pow(float64(f+1), cfg.Skew)
+		total += w[f]
+	}
+	fmt.Fprintf(&b, "\tfor (k = 0; k < iters; k++) {\n\t\tf2 = rndz(1048576);\n")
+	cum := 0.0
+	for f := 0; f < cfg.NumFuncs; f++ {
+		cum += w[f]
+		thr := int(cum / total * 1048576)
+		if f == cfg.NumFuncs-1 {
+			thr = 1048576
+		}
+		if f == 0 {
+			fmt.Fprintf(&b, "\t\tif (f2 < %d) s = s + work_%d(s);\n", thr, f)
+		} else {
+			fmt.Fprintf(&b, "\t\telse if (f2 < %d) s = s + work_%d(s);\n", thr, f)
+		}
+	}
+	b.WriteString("\t}\n\tprint(s);\n\treturn 0;\n}\n")
+	return b.String()
+}
+
+func pow(x, y float64) float64 {
+	// Small positive powers via exp/log-free iteration: y in [0, 4]
+	// with 0.1 resolution is plenty for skew control.
+	if y == 0 {
+		return 1
+	}
+	// Integer part.
+	r := 1.0
+	for y >= 1 {
+		r *= x
+		y--
+	}
+	if y > 0 {
+		// Square-root based fractional approximation: x^y ~
+		// successive halvings of the exponent.
+		frac := 1.0
+		base := x
+		for e := 0.5; e > 1.0/64; e /= 2 {
+			base = sqrt(base)
+			if y >= e {
+				frac *= base
+				y -= e
+			}
+		}
+		r *= frac
+	}
+	return r
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	g := x
+	for i := 0; i < 40; i++ {
+		g = 0.5 * (g + x/g)
+	}
+	return g
+}

@@ -1,0 +1,220 @@
+package specx
+
+// VortexSource is an object-database analog: typed records in
+// parallel arrays, hash-chained indices, link traversals, and a mixed
+// transaction stream — the pointer-chasing, many-site load profile of
+// SPEC's vortex.
+const VortexSource = `
+int nops = 0;
+int seedv = 0;
+
+int recId[2048]; int recType[2048]; int recA[2048]; int recB[2048];
+int recC[2048]; int recLink[2048]; int recLive[2048];
+int hashHead[256]; int hashNext[2048];
+int typeCount[8];
+int freeTop = 0;
+int auditFail = 0;
+
+int rndv(int lim) {
+	seedv = seedv * 6364136223846793005 + 1442695040888963407;
+	int v = (seedv >> 33) & 1048575;
+	return v % lim;
+}
+
+int hashOf(int id) { return (id * 2654435761) % 256 < 0 ? 0 - ((id * 2654435761) % 256) : (id * 2654435761) % 256; }
+
+int insert(int id, int ty, int a, int b) {
+	if (freeTop >= 2048) return -1;
+	int slot = freeTop;
+	freeTop = freeTop + 1;
+	recId[slot] = id;
+	recType[slot] = ty;
+	recA[slot] = a;
+	recB[slot] = b;
+	recC[slot] = a ^ b;
+	recLive[slot] = 1;
+	recLink[slot] = -1;
+	int h = hashOf(id);
+	hashNext[slot] = hashHead[h];
+	hashHead[h] = slot;
+	typeCount[ty % 8] = typeCount[ty % 8] + 1;
+	return slot;
+}
+
+int lookup(int id) {
+	int h = hashOf(id);
+	int p;
+	for (p = hashHead[h]; p != -1; p = hashNext[p]) {
+		if (recId[p] == id) {
+			if (recLive[p]) return p;
+		}
+	}
+	return -1;
+}
+
+int lookup2(int id) {
+	int h = hashOf(id);
+	int p;
+	for (p = hashHead[h]; p != -1; p = hashNext[p]) {
+		if (recId[p] == id) {
+			if (recLive[p]) {
+				if (recType[p] % 2 == 0) return p;
+				return p;
+			}
+		}
+	}
+	return -1;
+}
+
+int lookup3(int id) {
+	int h = hashOf(id);
+	int p;
+	for (p = hashHead[h]; p != -1; p = hashNext[p]) {
+		if (recLive[p]) {
+			if (recId[p] == id) return p;
+		}
+	}
+	return -1;
+}
+
+int lookup4(int id) {
+	int h = hashOf(id);
+	int p; int depth = 0;
+	for (p = hashHead[h]; p != -1; p = hashNext[p]) {
+		depth = depth + 1;
+		if (recId[p] == id) {
+			if (recLive[p]) return p;
+		}
+		if (depth > 64) return -1;
+	}
+	return -1;
+}
+
+int linkRecords(int ida, int idb) {
+	int a = lookup2(ida);
+	int b = lookup3(idb);
+	if (a < 0) return 0;
+	if (b < 0) return 0;
+	recLink[a] = b;
+	return 1;
+}
+
+int chase(int id, int maxhops) {
+	int p = lookup2(id);
+	int hops = 0;
+	int acc = 0;
+	while (p != -1) {
+		if (hops >= maxhops) break;
+		acc = acc + recA[p] - recB[p] + recC[p] % 7;
+		p = recLink[p];
+		hops = hops + 1;
+	}
+	return acc;
+}
+
+int updateFields(int id, int delta) {
+	int p = lookup3(id);
+	if (p < 0) return 0;
+	recA[p] = recA[p] + delta;
+	recB[p] = recB[p] - delta / 2;
+	recC[p] = recA[p] ^ recB[p];
+	return 1;
+}
+
+int eraseRecord(int id) {
+	int p = lookup4(id);
+	if (p < 0) return 0;
+	recLive[p] = 0;
+	typeCount[recType[p] % 8] = typeCount[recType[p] % 8] - 1;
+	return 1;
+}
+
+int reportA() {
+	int i; int s = 0;
+	for (i = 0; i < freeTop; i++) if (recLive[i]) s = s + recA[i];
+	return s;
+}
+int reportB() {
+	int i; int s = 0;
+	for (i = 0; i < freeTop; i++) if (recLive[i]) s = s ^ recB[i];
+	return s;
+}
+int reportC() {
+	int i; int s = 0;
+	for (i = 0; i < freeTop; i++) {
+		if (recType[i] % 3 == 1) s = s + recC[i] % 13;
+	}
+	return s;
+}
+int deepest() {
+	int h; int best = 0;
+	for (h = 0; h < 256; h++) {
+		int d = 0; int p;
+		for (p = hashHead[h]; p != -1; p = hashNext[p]) d = d + 1;
+		if (d > best) best = d;
+	}
+	return best;
+}
+
+int audit() {
+	int i; int bad = 0;
+	for (i = 0; i < freeTop; i++) {
+		if (recLive[i]) {
+			if (recC[i] != (recA[i] ^ recB[i])) bad = bad + 1;
+			if (recLink[i] >= 0) {
+				if (recLive[recLink[i]] == 0) bad = bad + 1;
+			}
+		}
+	}
+	return bad;
+}
+
+int main() {
+	int op; int k; int acc = 0; int ok = 0;
+	seedv = 77777;
+	for (k = 0; k < 256; k++) hashHead[k] = -1;
+	for (k = 0; k < nops; k++) {
+		op = rndv(100);
+		int id = rndv(4000);
+		if (op < 35) {
+			ok = ok + insert(id, rndv(8), rndv(1000), rndv(1000));
+		} else if (op < 60) {
+			int p = lookup(id);
+			if (p >= 0) acc = acc + recA[p];
+		} else if (op < 72) {
+			ok = ok + updateFields(id, rndv(50) - 25);
+		} else if (op < 84) {
+			ok = ok + linkRecords(id, rndv(4000));
+		} else if (op < 89) {
+			acc = acc + chase(id, 6);
+		} else if (op < 92) {
+			ok = ok + eraseRecord(id);
+		} else if (op < 94) {
+			acc = acc + reportA();
+		} else if (op < 96) {
+			acc = acc + reportB();
+		} else if (op < 97) {
+			acc = acc + reportC();
+		} else if (op < 98) {
+			acc = acc + deepest();
+		} else {
+			auditFail = auditFail + audit();
+		}
+	}
+	int t; int tsum = 0;
+	for (t = 0; t < 8; t++) tsum = tsum * 7 + typeCount[t];
+	print(acc);
+	print(ok);
+	print(tsum);
+	print(auditFail);
+	return 0;
+}
+`
+
+// VortexOps returns the transaction count per size.
+func VortexOps(small bool) int64 {
+	if small {
+		return 800
+	}
+	return 30000
+}

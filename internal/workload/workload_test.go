@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collide %d/100 times", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	if NewRNG(1).Intn(0) != 0 || NewRNG(1).Intn(-3) != 0 {
+		t.Error("degenerate limits should return 0")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	var sum float64
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / 10000; mean < 0.45 || mean > 0.55 {
+		t.Errorf("Float64 mean %.3f, want ~0.5", mean)
+	}
+}
+
+func TestSequenceAlphabets(t *testing.T) {
+	r := NewRNG(3)
+	for _, c := range DNASeq(r, 2000) {
+		if c >= 4 {
+			t.Fatalf("DNA residue %d out of range", c)
+		}
+	}
+	counts := make([]int, 20)
+	for _, c := range ProteinSeq(r, 20000) {
+		if c >= 20 {
+			t.Fatalf("protein residue %d out of range", c)
+		}
+		counts[c]++
+	}
+	for a, n := range counts {
+		if n == 0 {
+			t.Errorf("residue %d never generated", a)
+		}
+	}
+	// The composition bias enriches the first half of the alphabet.
+	var lo, hi int
+	for a := 0; a < 10; a++ {
+		lo += counts[a]
+	}
+	for a := 10; a < 20; a++ {
+		hi += counts[a]
+	}
+	if lo <= hi {
+		t.Errorf("composition bias missing: low half %d, high half %d", lo, hi)
+	}
+}
+
+func TestMutatedCopy(t *testing.T) {
+	r := NewRNG(5)
+	base := ProteinSeq(r, 500)
+	ident := MutatedCopy(r, base, 20, 0, 0)
+	if len(ident) != len(base) {
+		t.Fatal("zero-rate copy changed length")
+	}
+	for i := range base {
+		if ident[i] != base[i] {
+			t.Fatal("zero-rate copy changed content")
+		}
+	}
+	mut := MutatedCopy(r, base, 20, 500, 0)
+	diff := 0
+	for i := range base {
+		if i < len(mut) && mut[i] != base[i] {
+			diff++
+		}
+	}
+	if diff < 100 {
+		t.Errorf("50%% mutation changed only %d/500 residues", diff)
+	}
+	if out := MutatedCopy(r, nil, 20, 0, 0); len(out) != 1 {
+		t.Error("empty input should yield the sentinel residue")
+	}
+}
+
+func TestPlantMotif(t *testing.T) {
+	r := NewRNG(8)
+	seq := make([]byte, 100)
+	motif := []byte{1, 2, 3, 1, 2, 3, 1, 2}
+	PlantMotif(r, seq, motif, 50, 4, 0)
+	for i, c := range motif {
+		if seq[50+i] != c {
+			t.Fatalf("motif not planted at %d", 50+i)
+		}
+	}
+	// Planting past the end must not panic.
+	PlantMotif(r, seq, motif, 97, 4, 0)
+}
+
+func TestHMMShape(t *testing.T) {
+	r := NewRNG(11)
+	h := NewHMM(r, 32, 20)
+	if h.M != 32 || len(h.Mat) != 32*20 || len(h.TPMM) != 32 {
+		t.Fatal("dimensions wrong")
+	}
+	for k := 0; k < h.M; k++ {
+		if h.TPMM[k] >= 0 || h.TPMI[k] >= 0 || h.TPDD[k] >= 0 {
+			t.Fatal("transition scores must be negative log-odds")
+		}
+	}
+	cons := h.Consensus()
+	if len(cons) != h.M {
+		t.Fatal("consensus length")
+	}
+	// The consensus residue scores at least as high as any other.
+	for k := 0; k < h.M; k++ {
+		best := h.Mat[k*h.A+int(cons[k])]
+		for a := 0; a < h.A; a++ {
+			if h.Mat[k*h.A+a] > best {
+				t.Fatalf("consensus not the argmax at state %d", k)
+			}
+		}
+	}
+}
+
+func TestSitePatterns(t *testing.T) {
+	r := NewRNG(13)
+	pat := SitePatterns(r, 8, 200)
+	if len(pat) != 8*200 {
+		t.Fatal("size wrong")
+	}
+	for _, b := range pat {
+		if b >= 4 {
+			t.Fatalf("state %d out of range", b)
+		}
+	}
+	// Clade structure: taxa in the same clade agree more often than
+	// taxa across clades.
+	agree := func(a, b int) int {
+		n := 0
+		for s := 0; s < 200; s++ {
+			if pat[s*8+a] == pat[s*8+b] {
+				n++
+			}
+		}
+		return n
+	}
+	within := agree(0, 1) + agree(4, 5)
+	across := agree(0, 4) + agree(1, 5)
+	if within <= across {
+		t.Errorf("no clade signal: within=%d across=%d", within, across)
+	}
+}
+
+func TestSubstMatrixSymmetry(t *testing.T) {
+	r := NewRNG(17)
+	m := SubstMatrix(r, 20, 6, -2)
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			if m[i*20+j] != m[j*20+i] {
+				t.Fatal("matrix not symmetric")
+			}
+		}
+		if m[i*20+i] < 3 {
+			t.Errorf("diagonal %d = %d, want positive match score", i, m[i*20+i])
+		}
+	}
+}
+
+// Property: Intn(n) is always within range for positive n.
+func TestIntnProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
