@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: check vet build test race smoke experiments bench
+
+# check is the full gate: static analysis, build, the race-enabled
+# test suite, and an end-to-end experiments smoke run.
+check: vet build race smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# smoke regenerates every table and figure at test size through the
+# parallel session, proving the whole pipeline end to end.
+smoke:
+	$(GO) run ./cmd/experiments -size test -timing test > /dev/null
+
+# experiments reproduces the paper-scale artifacts and records the
+# perf trajectory in BENCH_experiments.json.
+experiments:
+	$(GO) run ./cmd/experiments -size classB -timing classB \
+		-bench-json BENCH_experiments.json > experiments_classB.txt
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -13,7 +13,7 @@ import (
 	"bioperfload/internal/experiments"
 )
 
-func benchProfiles(b *testing.B) []experiments.ProgramProfile {
+func benchProfiles(b *testing.B) []*experiments.ProgramProfile {
 	b.Helper()
 	profiles, err := experiments.Characterize(bio.SizeTest)
 	if err != nil {

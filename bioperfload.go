@@ -30,6 +30,7 @@ import (
 	"bioperfload/internal/loadchar"
 	"bioperfload/internal/pipeline"
 	"bioperfload/internal/platform"
+	"bioperfload/internal/runner"
 	"bioperfload/internal/sim"
 	"bioperfload/internal/specx"
 )
@@ -58,6 +59,15 @@ type (
 	CompilerOptions = compiler.Options
 	// SPECAnalog is one of the Figure 2 comparison programs.
 	SPECAnalog = specx.Analog
+	// Session is the shared-artifact analysis engine: a memoizing
+	// compile/run cache plus a bounded worker pool. All facade
+	// entry points delegate to a Session; hold one across calls to
+	// compile and functionally simulate each kernel at most once.
+	Session = runner.Session
+	// Profile is one program's shared characterization run.
+	Profile = runner.Profile
+	// SessionStats reports a session's cache counters.
+	SessionStats = runner.Stats
 )
 
 // Input sizes (class-B and class-C analogs per the paper).
@@ -107,59 +117,43 @@ func CompileMiniCWith(filename, source string, opts CompilerOptions) (*Executabl
 // NewMachine loads an executable into a fresh functional simulator.
 func NewMachine(p *Executable) (*Machine, error) { return sim.New(p) }
 
+// NewSession creates a shared-artifact analysis session whose worker
+// pool runs up to jobs simulations concurrently; jobs <= 0 selects
+// GOMAXPROCS, jobs == 1 is fully sequential.
+func NewSession(jobs int) *Session { return runner.NewSession(jobs) }
+
 // Characterize runs one application (original sources, optimizing
-// compiler) under the full load-characterization analysis.
+// compiler) under the full load-characterization analysis. One-shot
+// convenience over a fresh sequential Session; hold a Session directly
+// to characterize several programs or reuse compiled artifacts.
 func Characterize(p *BenchProgram, sz Size) (*Analysis, error) {
-	prog, err := p.Compile(false, compiler.Default())
+	prof, err := runner.NewSession(1).Characterize(p, sz)
 	if err != nil {
-		return nil, err
-	}
-	m, err := sim.New(prog)
-	if err != nil {
-		return nil, err
-	}
-	if err := p.Bind(m, sz); err != nil {
-		return nil, err
-	}
-	a := loadchar.New(prog)
-	m.AddObserver(a)
-	res, err := m.Run()
-	if err != nil {
-		return nil, err
-	}
-	if err := p.Validate(res, sz); err != nil {
 		return nil, fmt.Errorf("characterize: %w", err)
 	}
-	return a, nil
+	return prof.Analysis, nil
 }
 
 // Evaluate runs one application (original or load-transformed) on a
 // platform's timing model, compiling with that platform's register
 // budget, and returns the cycle-level statistics.
 func Evaluate(p *BenchProgram, plat Platform, sz Size, transformed bool) (PipelineStats, error) {
-	opts := CompilerOptions{
-		Opt:          compiler.Default().Opt,
-		AllocIntRegs: plat.AllocIntRegs,
-		AllocFPRegs:  plat.AllocFPRegs,
-	}
-	model := pipeline.NewModel(plat.Pipeline)
-	if _, err := p.Run(transformed, sz, opts, model); err != nil {
-		return PipelineStats{}, err
-	}
-	return model.Stats(), nil
+	return runner.NewSession(1).Evaluate(p, plat, sz, transformed)
 }
 
 // Speedup measures the load transformation's gain for one application
-// on one platform: (original cycles / transformed cycles) - 1.
+// on one platform: (original cycles / transformed cycles) - 1. The
+// two timing runs share one session's compile cache.
 func Speedup(p *BenchProgram, plat Platform, sz Size) (float64, error) {
 	if !p.Transformable {
 		return 0, fmt.Errorf("bioperfload: %s is not load-transformed in the paper", p.Name)
 	}
-	orig, err := Evaluate(p, plat, sz, false)
+	s := runner.NewSession(1)
+	orig, err := s.Evaluate(p, plat, sz, false)
 	if err != nil {
 		return 0, err
 	}
-	trans, err := Evaluate(p, plat, sz, true)
+	trans, err := s.Evaluate(p, plat, sz, true)
 	if err != nil {
 		return 0, err
 	}

@@ -2,12 +2,17 @@
 // paper's evaluation and prints them in order. The -size flag selects
 // the characterization input scale and -timing the Table 8/Figure 9
 // scale (the paper profiles with class-B inputs and times with
-// class-C).
+// class-C). All experiments share one analysis session: each kernel
+// is compiled once and functionally simulated once, every analyzer
+// reads from that shared run, and independent simulations fan out
+// across -j worker goroutines with deterministic output.
 //
-//	go run ./cmd/experiments -size classB -timing classB
+//	go run ./cmd/experiments -size classB -timing classB -j 8 \
+//	    -bench-json BENCH_experiments.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -16,6 +21,7 @@ import (
 
 	"bioperfload/internal/bio"
 	"bioperfload/internal/experiments"
+	"bioperfload/internal/runner"
 )
 
 func parseSize(s string) (bio.Size, error) {
@@ -30,12 +36,33 @@ func parseSize(s string) (bio.Size, error) {
 	return 0, fmt.Errorf("unknown size %q (test|classB|classC)", s)
 }
 
+// benchEntry is one experiment's perf record in the -bench-json file.
+type benchEntry struct {
+	Experiment          string  `json:"experiment"`
+	WallSeconds         float64 `json:"wall_seconds"`
+	DynamicInstructions uint64  `json:"dynamic_instructions,omitempty"`
+}
+
+// benchFile is the -bench-json document: per-experiment wall time and
+// dynamic instruction counts plus the session's cache counters, the
+// perf trajectory record for future optimization PRs.
+type benchFile struct {
+	Size         string       `json:"size"`
+	Timing       string       `json:"timing"`
+	Jobs         int          `json:"jobs"`
+	TotalSeconds float64      `json:"total_seconds"`
+	Session      runner.Stats `json:"session"`
+	Experiments  []benchEntry `json:"experiments"`
+}
+
 func main() {
 	log.SetFlags(0)
 	sizeFlag := flag.String("size", "classB", "characterization input size (test|classB|classC)")
 	timingFlag := flag.String("timing", "classB", "Table 8 / Figure 9 input size")
 	only := flag.String("only", "", "run a single experiment (fig1|tab1|fig2|tab2|tab4|tab5|tab6|tab7|tab8|fig9|ablations)")
 	ablations := flag.Bool("ablations", false, "also run the causal ablations (L1 latency, predictor, passes, restrict)")
+	jobs := flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = sequential)")
+	benchJSON := flag.String("bench-json", "", "write per-experiment wall-time and instruction counts to this file")
 	flag.Parse()
 
 	sz, err := parseSize(*sizeFlag)
@@ -47,17 +74,33 @@ func main() {
 		log.Fatal(err)
 	}
 
+	s := runner.NewSession(*jobs)
 	want := func(name string) bool { return *only == "" || *only == name }
 	start := time.Now()
 
-	var profiles []experiments.ProgramProfile
+	var bench []benchEntry
+	timed := func(name string, insts uint64, began time.Time) {
+		bench = append(bench, benchEntry{
+			Experiment:          name,
+			WallSeconds:         time.Since(began).Seconds(),
+			DynamicInstructions: insts,
+		})
+	}
+
+	var profiles []*experiments.ProgramProfile
 	needProfiles := want("fig1") || want("tab1") || want("tab2") || want("tab4")
 	if needProfiles {
-		log.Printf("characterizing the nine applications at %s...", sz)
-		profiles, err = experiments.Characterize(sz)
+		log.Printf("characterizing the nine applications at %s (j=%d)...", sz, s.Jobs())
+		began := time.Now()
+		profiles, err = experiments.CharacterizeSession(s, sz)
 		if err != nil {
 			log.Fatal(err)
 		}
+		var insts uint64
+		for _, p := range profiles {
+			insts += p.Instructions
+		}
+		timed("characterize", insts, began)
 	}
 
 	out := os.Stdout
@@ -68,10 +111,12 @@ func main() {
 		fmt.Fprintln(out, experiments.RenderTable1(experiments.Table1(profiles)))
 	}
 	if want("fig2") {
-		series, err := experiments.Fig2(sz)
+		began := time.Now()
+		series, err := experiments.Fig2Session(s, sz)
 		if err != nil {
 			log.Fatal(err)
 		}
+		timed("fig2", 0, began)
 		fmt.Fprintln(out, experiments.RenderFig2(series))
 	}
 	if want("tab2") {
@@ -81,10 +126,12 @@ func main() {
 		fmt.Fprintln(out, experiments.RenderTable4(experiments.Table4(profiles)))
 	}
 	if want("tab5") {
-		rows, err := experiments.Table5(sz, 8)
+		began := time.Now()
+		rows, err := experiments.Table5Session(s, sz, 8)
 		if err != nil {
 			log.Fatal(err)
 		}
+		timed("tab5", 0, began)
 		fmt.Fprintln(out, experiments.RenderTable5(rows))
 	}
 	if want("tab6") {
@@ -94,11 +141,17 @@ func main() {
 		fmt.Fprintln(out, experiments.RenderTable7())
 	}
 	if want("tab8") || want("fig9") {
-		log.Printf("timing the six transformed applications at %s on four platforms...", tsz)
-		cells, err := experiments.Table8(tsz)
+		log.Printf("timing the six transformed applications at %s on four platforms (j=%d)...", tsz, s.Jobs())
+		began := time.Now()
+		cells, err := experiments.Table8Session(s, tsz)
 		if err != nil {
 			log.Fatal(err)
 		}
+		var insts uint64
+		for _, c := range cells {
+			insts += c.StatsOrig.Instructions + c.StatsTrans.Instructions
+		}
+		timed("tab8", insts, began)
 		if want("tab8") {
 			fmt.Fprintln(out, experiments.RenderTable8(cells))
 		}
@@ -108,28 +161,50 @@ func main() {
 	}
 	if *ablations || *only == "ablations" {
 		log.Printf("running ablations on hmmsearch at %s...", tsz)
-		if rows, err := experiments.AblateL1Latency("hmmsearch", tsz, []int{1, 2, 3, 4, 5}); err != nil {
+		began := time.Now()
+		if rows, err := experiments.AblateL1Latency(s, "hmmsearch", tsz, []int{1, 2, 3, 4, 5}); err != nil {
 			log.Fatal(err)
 		} else {
 			fmt.Fprintln(out, experiments.RenderAblation("L1 hit latency sweep (Alpha model)", rows))
 		}
-		if rows, err := experiments.AblatePredictor("hmmsearch", tsz); err != nil {
+		if rows, err := experiments.AblatePredictor(s, "hmmsearch", tsz); err != nil {
 			log.Fatal(err)
 		} else {
 			fmt.Fprintln(out, experiments.RenderAblation("branch predictor (Alpha model)", rows))
 		}
-		if rows, err := experiments.AblatePasses("hmmsearch", tsz); err != nil {
+		if rows, err := experiments.AblatePasses(s, "hmmsearch", tsz); err != nil {
 			log.Fatal(err)
 		} else {
 			fmt.Fprintln(out, experiments.RenderAblation("compiler passes (Alpha model)", rows))
 		}
 		for _, plat := range []string{"itanium2", "alpha21264"} {
-			if rows, err := experiments.AblateRestrict("hmmsearch", plat, tsz); err != nil {
+			if rows, err := experiments.AblateRestrict(s, "hmmsearch", plat, tsz); err != nil {
 				log.Fatal(err)
 			} else {
 				fmt.Fprintln(out, experiments.RenderAblation("restrict parameters ("+plat+")", rows))
 			}
 		}
+		timed("ablations", 0, began)
 	}
-	log.Printf("done in %v", time.Since(start).Round(time.Millisecond))
+
+	elapsed := time.Since(start)
+	if *benchJSON != "" {
+		doc := benchFile{
+			Size: sz.String(), Timing: tsz.String(), Jobs: s.Jobs(),
+			TotalSeconds: elapsed.Seconds(),
+			Session:      s.Stats(),
+			Experiments:  bench,
+		}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*benchJSON, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *benchJSON)
+	}
+	st := s.Stats()
+	log.Printf("done in %v (%d compiles, %d compile-cache hits, %d runs, %d shared-run hits)",
+		elapsed.Round(time.Millisecond), st.Compiles, st.CompileHits, st.Runs, st.CharacterizeHits)
 }

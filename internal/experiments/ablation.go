@@ -9,6 +9,7 @@ import (
 	"bioperfload/internal/compiler"
 	"bioperfload/internal/pipeline"
 	"bioperfload/internal/platform"
+	"bioperfload/internal/runner"
 )
 
 // The ablations test the paper's causal claims directly, something
@@ -41,61 +42,69 @@ func (r AblationResult) Speedup() float64 {
 	return float64(r.CyclesOrig)/float64(r.CyclesTrans) - 1
 }
 
-// runPair measures one program under a pipeline config and compiler
-// options, original and transformed.
-func runPair(p *bio.Program, cfg pipeline.Config, opts compiler.Options, sz bio.Size) (uint64, uint64, error) {
-	run := func(tr bool) (uint64, error) {
-		model := pipeline.NewModel(cfg)
-		if _, err := p.Run(tr, sz, opts, model); err != nil {
-			return 0, err
-		}
-		return model.Stats().Cycles, nil
-	}
-	o, err := run(false)
-	if err != nil {
-		return 0, 0, err
-	}
-	tr, err := run(true)
-	if err != nil {
-		return 0, 0, err
-	}
-	return o, tr, nil
+// ablationVariant is one (pipeline config, compiler options) point of
+// an ablation sweep.
+type ablationVariant struct {
+	name string
+	cfg  pipeline.Config
+	opts compiler.Options
 }
 
-// AblateL1Latency measures the program on Alpha-like machines whose
-// L1 load-to-use latency sweeps over the given values.
-func AblateL1Latency(progName string, sz bio.Size, latencies []int) ([]AblationResult, error) {
-	p, err := bio.ByName(progName)
+// runVariants measures every variant's original/transformed cycle
+// pair on the session's worker pool, preserving variant order. Each
+// variant is two independent timing runs, so a sweep of v variants
+// fans out into 2v jobs; compiles dedupe through the session cache.
+func runVariants(s *runner.Session, p *bio.Program, variants []ablationVariant, sz bio.Size) ([]AblationResult, error) {
+	out := make([]AblationResult, len(variants))
+	err := s.ForEach(len(variants)*2, func(k int) error {
+		i, transformed := k/2, k%2 == 1
+		v := variants[i]
+		st, err := s.EvaluateOpts(p, v.cfg, v.opts, sz, transformed)
+		if err != nil {
+			return err
+		}
+		out[i].Variant = v.name
+		if transformed {
+			out[i].CyclesTrans = st.Cycles
+		} else {
+			out[i].CyclesOrig = st.Cycles
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	base := platform.Alpha21264()
-	var out []AblationResult
-	for _, lat := range latencies {
-		cfg := base.Pipeline
-		cfg.Cache.Lat.L1 = lat
-		o, tr, err := runPair(p, cfg, compiler.Default(), sz)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, AblationResult{
-			Variant:     fmt.Sprintf("L1=%dcyc", lat),
-			CyclesOrig:  o,
-			CyclesTrans: tr,
-		})
 	}
 	return out, nil
 }
 
-// AblatePredictor measures the program on the Alpha model under
-// different branch predictors.
-func AblatePredictor(progName string, sz bio.Size) ([]AblationResult, error) {
+// AblateL1Latency measures the program on Alpha-like machines whose
+// L1 load-to-use latency sweeps over the given values.
+func AblateL1Latency(s *runner.Session, progName string, sz bio.Size, latencies []int) ([]AblationResult, error) {
 	p, err := bio.ByName(progName)
 	if err != nil {
 		return nil, err
 	}
 	base := platform.Alpha21264()
-	variants := []struct {
+	var variants []ablationVariant
+	for _, lat := range latencies {
+		cfg := base.Pipeline
+		cfg.Cache.Lat.L1 = lat
+		variants = append(variants, ablationVariant{
+			name: fmt.Sprintf("L1=%dcyc", lat), cfg: cfg, opts: compiler.Default(),
+		})
+	}
+	return runVariants(s, p, variants, sz)
+}
+
+// AblatePredictor measures the program on the Alpha model under
+// different branch predictors.
+func AblatePredictor(s *runner.Session, progName string, sz bio.Size) ([]AblationResult, error) {
+	p, err := bio.ByName(progName)
+	if err != nil {
+		return nil, err
+	}
+	base := platform.Alpha21264()
+	preds := []struct {
 		name string
 		mk   func() bpred.Predictor
 	}{
@@ -103,29 +112,25 @@ func AblatePredictor(progName string, sz bio.Size) ([]AblationResult, error) {
 		{"bimodal", func() bpred.Predictor { return bpred.NewBimodal() }},
 		{"always-taken", func() bpred.Predictor { return &bpred.Static{Taken: true} }},
 	}
-	var out []AblationResult
-	for _, v := range variants {
+	var variants []ablationVariant
+	for _, v := range preds {
 		cfg := base.Pipeline
 		cfg.Predictor = v.mk
-		o, tr, err := runPair(p, cfg, compiler.Default(), sz)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, AblationResult{Variant: v.name, CyclesOrig: o, CyclesTrans: tr})
+		variants = append(variants, ablationVariant{name: v.name, cfg: cfg, opts: compiler.Default()})
 	}
-	return out, nil
+	return runVariants(s, p, variants, sz)
 }
 
 // AblatePasses measures the program with compiler passes selectively
 // disabled (always on the Alpha model), isolating the contribution of
 // if-conversion and of the local scheduler.
-func AblatePasses(progName string, sz bio.Size) ([]AblationResult, error) {
+func AblatePasses(s *runner.Session, progName string, sz bio.Size) ([]AblationResult, error) {
 	p, err := bio.ByName(progName)
 	if err != nil {
 		return nil, err
 	}
 	cfg := platform.Alpha21264().Pipeline
-	variants := []struct {
+	passVariants := []struct {
 		name string
 		opts compiler.Options
 	}{
@@ -149,15 +154,11 @@ func AblatePasses(progName string, sz bio.Size) ([]AblationResult, error) {
 			return o
 		}()},
 	}
-	var out []AblationResult
-	for _, v := range variants {
-		o, tr, err := runPair(p, cfg, v.opts, sz)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, AblationResult{Variant: v.name, CyclesOrig: o, CyclesTrans: tr})
+	var variants []ablationVariant
+	for _, v := range passVariants {
+		variants = append(variants, ablationVariant{name: v.name, cfg: cfg, opts: v.opts})
 	}
-	return out, nil
+	return runVariants(s, p, variants, sz)
 }
 
 // RenderAblation renders one ablation series.
@@ -179,7 +180,7 @@ func RenderAblation(title string, rows []AblationResult) string {
 // and the hand-transformed sources. The paper reports that on the
 // Itanium the restrict baseline and the hand-transformed code perform
 // similarly.
-func AblateRestrict(progName, platName string, sz bio.Size) ([]AblationResult, error) {
+func AblateRestrict(s *runner.Session, progName, platName string, sz bio.Size) ([]AblationResult, error) {
 	p, err := bio.ByName(progName)
 	if err != nil {
 		return nil, err
@@ -196,25 +197,27 @@ func AblateRestrict(progName, platName string, sz bio.Size) ([]AblationResult, e
 	restrictOpts := opts
 	restrictOpts.Opt.RestrictParams = true
 
-	measure := func(transformed bool, o compiler.Options) (uint64, error) {
-		model := pipeline.NewModel(plat.Pipeline)
-		if _, err := p.Run(transformed, sz, o, model); err != nil {
-			return 0, err
+	jobs := []struct {
+		transformed bool
+		opts        compiler.Options
+	}{
+		{false, opts},         // baseline
+		{false, restrictOpts}, // original + restrict-qualified params
+		{true, opts},          // hand-transformed
+	}
+	cycles := make([]uint64, len(jobs))
+	err = s.ForEach(len(jobs), func(i int) error {
+		st, err := s.EvaluateOpts(p, plat.Pipeline, jobs[i].opts, sz, jobs[i].transformed)
+		if err != nil {
+			return err
 		}
-		return model.Stats().Cycles, nil
-	}
-	base, err := measure(false, opts)
+		cycles[i] = st.Cycles
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	restr, err := measure(false, restrictOpts)
-	if err != nil {
-		return nil, err
-	}
-	trans, err := measure(true, opts)
-	if err != nil {
-		return nil, err
-	}
+	base, restr, trans := cycles[0], cycles[1], cycles[2]
 	return []AblationResult{
 		{Variant: "baseline", CyclesOrig: base, CyclesTrans: base},
 		{Variant: "baseline+restrict", CyclesOrig: base, CyclesTrans: restr},

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"bioperfload/internal/bio"
+	"bioperfload/internal/runner"
 )
 
 // TestL1LatencyAblation checks the paper's causal claim directly:
@@ -12,7 +13,7 @@ import (
 // multicycle L1 hit latency, so on a hypothetical single-cycle-L1
 // machine the speedup must shrink.
 func TestL1LatencyAblation(t *testing.T) {
-	rows, err := AblateL1Latency("hmmsearch", bio.SizeTest, []int{1, 3, 5})
+	rows, err := AblateL1Latency(runner.NewSession(0), "hmmsearch", bio.SizeTest, []int{1, 3, 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestL1LatencyAblation(t *testing.T) {
 // multiply and the branchy original suffers more, so the
 // transformation gains more.
 func TestPredictorAblation(t *testing.T) {
-	rows, err := AblatePredictor("hmmsearch", bio.SizeTest)
+	rows, err := AblatePredictor(runner.NewSession(0), "hmmsearch", bio.SizeTest)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestPredictorAblation(t *testing.T) {
 // win), and the ORIGINAL code must be essentially unaffected by
 // if-conversion (its guarded stores cannot convert).
 func TestPassAblation(t *testing.T) {
-	rows, err := AblatePasses("hmmsearch", bio.SizeTest)
+	rows, err := AblatePasses(runner.NewSession(0), "hmmsearch", bio.SizeTest)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,8 +95,9 @@ func TestPassAblation(t *testing.T) {
 // both cases the hand transformation remains the strongest (it also
 // eliminates the branches, which restrict cannot).
 func TestRestrictAblation(t *testing.T) {
+	s := runner.NewSession(0)
 	measure := func(plat string) (base, restr, trans uint64) {
-		rows, err := AblateRestrict("hmmsearch", plat, bio.SizeTest)
+		rows, err := AblateRestrict(s, "hmmsearch", plat, bio.SizeTest)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -19,45 +19,27 @@ import (
 	"bioperfload/internal/loadchar"
 	"bioperfload/internal/pipeline"
 	"bioperfload/internal/platform"
-	"bioperfload/internal/sim"
+	"bioperfload/internal/runner"
 	"bioperfload/internal/specx"
 )
 
-// ProgramProfile is one program's characterization run.
-type ProgramProfile struct {
-	Name         string
-	Instructions uint64
-	Analysis     *loadchar.Analysis
-}
+// ProgramProfile is one program's characterization run, shared by
+// every table and figure that reads the same (program, size) pair.
+type ProgramProfile = runner.Profile
 
 // Characterize runs every BioPerf program (original code, default
-// optimizing compiler) under the full analysis at the given size.
-func Characterize(sz bio.Size) ([]ProgramProfile, error) {
-	var out []ProgramProfile
-	for _, p := range bio.All() {
-		prog, err := p.Compile(false, compiler.Default())
-		if err != nil {
-			return nil, err
-		}
-		m, err := sim.New(prog)
-		if err != nil {
-			return nil, err
-		}
-		if err := p.Bind(m, sz); err != nil {
-			return nil, err
-		}
-		a := loadchar.New(prog)
-		m.AddObserver(a)
-		res, err := m.Run()
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Name, err)
-		}
-		if err := p.Validate(res, sz); err != nil {
-			return nil, err
-		}
-		out = append(out, ProgramProfile{Name: p.Name, Instructions: res.Instructions, Analysis: a})
-	}
-	return out, nil
+// optimizing compiler) under the full analysis at the given size,
+// on a fresh parallel session.
+func Characterize(sz bio.Size) ([]*ProgramProfile, error) {
+	return CharacterizeSession(runner.NewSession(0), sz)
+}
+
+// CharacterizeSession characterizes the nine programs through the
+// given session: each program is compiled and functionally simulated
+// at most once per session, and the runs fan out across the session's
+// worker pool in deterministic (Table 1) order.
+func CharacterizeSession(s *runner.Session, sz bio.Size) ([]*ProgramProfile, error) {
+	return s.CharacterizeAll(sz)
 }
 
 // --- Figure 1 / Table 1 ---
@@ -69,7 +51,7 @@ type Fig1Row struct {
 }
 
 // Fig1 computes the instruction profile.
-func Fig1(profiles []ProgramProfile) []Fig1Row {
+func Fig1(profiles []*ProgramProfile) []Fig1Row {
 	var rows []Fig1Row
 	for _, p := range profiles {
 		m := p.Analysis.Mix()
@@ -110,7 +92,7 @@ type Table1Row struct {
 }
 
 // Table1 computes instruction counts and FP fractions.
-func Table1(profiles []ProgramProfile) []Table1Row {
+func Table1(profiles []*ProgramProfile) []Table1Row {
 	var rows []Table1Row
 	for _, p := range profiles {
 		rows = append(rows, Table1Row{
@@ -149,43 +131,49 @@ type Fig2Series struct {
 var Fig2Points = []int{1, 2, 5, 10, 20, 40, 80, 160, 320, 640}
 
 // Fig2 computes coverage curves for three representative BioPerf
-// programs and the three SPEC CPU2000 analogs.
+// programs and the three SPEC CPU2000 analogs on a fresh session.
 func Fig2(sz bio.Size) ([]Fig2Series, error) {
-	var out []Fig2Series
-	for _, name := range []string{"hmmsearch", "hmmpfam", "clustalw"} {
-		p, err := bio.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		prog, err := p.Compile(false, compiler.Default())
-		if err != nil {
-			return nil, err
-		}
-		m, err := sim.New(prog)
-		if err != nil {
-			return nil, err
-		}
-		if err := p.Bind(m, sz); err != nil {
-			return nil, err
-		}
-		a := loadchar.New(prog)
-		m.AddObserver(a)
-		if _, err := m.Run(); err != nil {
-			return nil, err
-		}
-		out = append(out, coverageSeries(name, "bioperf", a))
-	}
+	return Fig2Session(runner.NewSession(0), sz)
+}
+
+// Fig2BioPrograms are the three representative BioPerf curves.
+var Fig2BioPrograms = []string{"hmmsearch", "hmmpfam", "clustalw"}
+
+// Fig2Session computes the coverage curves through the session: the
+// BioPerf curves reuse the shared characterization runs (no
+// re-simulation when CharacterizeSession already ran), and the three
+// analogs execute on the worker pool.
+func Fig2Session(s *runner.Session, sz bio.Size) ([]Fig2Series, error) {
+	analogs := specx.All()
+	out := make([]Fig2Series, len(Fig2BioPrograms)+len(analogs))
 	small := sz != bio.SizeC
-	for _, an := range specx.All() {
+	err := s.ForEach(len(out), func(i int) error {
+		if i < len(Fig2BioPrograms) {
+			p, err := bio.ByName(Fig2BioPrograms[i])
+			if err != nil {
+				return err
+			}
+			prof, err := s.Characterize(p, sz)
+			if err != nil {
+				return err
+			}
+			out[i] = coverageSeries(prof.Name, "bioperf", prof.Analysis)
+			return nil
+		}
+		an := analogs[i-len(Fig2BioPrograms)]
 		prog, err := an.Compile(small, compiler.Default())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		a := loadchar.New(prog)
 		if _, err := an.Run(small, compiler.Default(), a); err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, coverageSeries(an.Name, "spec2000-analog", a))
+		out[i] = coverageSeries(an.Name, "spec2000-analog", a)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -229,7 +217,7 @@ type Table2Row struct {
 }
 
 // Table2 computes the cache rows plus arithmetic and geometric means.
-func Table2(profiles []ProgramProfile) []Table2Row {
+func Table2(profiles []*ProgramProfile) []Table2Row {
 	var rows []Table2Row
 	for _, p := range profiles {
 		r := p.Analysis.CacheReport()
@@ -272,7 +260,7 @@ type Table4Row struct {
 }
 
 // Table4 computes the sequence metrics.
-func Table4(profiles []ProgramProfile) []Table4Row {
+func Table4(profiles []*ProgramProfile) []Table4Row {
 	var rows []Table4Row
 	for _, p := range profiles {
 		rows = append(rows, Table4Row{Name: p.Name, Sequences: p.Analysis.Sequences()})
@@ -297,27 +285,22 @@ func RenderTable4(rows []Table4Row) string {
 
 // Table5 returns the hot-load profile of hmmsearch (top n loads).
 func Table5(sz bio.Size, n int) ([]loadchar.HotLoad, error) {
+	return Table5Session(runner.NewSession(0), sz, n)
+}
+
+// Table5Session reads the hot-load profile out of the session's
+// shared hmmsearch characterization run — no extra simulation when
+// the run already happened for Figure 1/2 or Tables 1/2/4.
+func Table5Session(s *runner.Session, sz bio.Size, n int) ([]loadchar.HotLoad, error) {
 	p, err := bio.ByName("hmmsearch")
 	if err != nil {
 		return nil, err
 	}
-	prog, err := p.Compile(false, compiler.Default())
+	prof, err := s.Characterize(p, sz)
 	if err != nil {
 		return nil, err
 	}
-	m, err := sim.New(prog)
-	if err != nil {
-		return nil, err
-	}
-	if err := p.Bind(m, sz); err != nil {
-		return nil, err
-	}
-	a := loadchar.New(prog)
-	m.AddObserver(a)
-	if _, err := m.Run(); err != nil {
-		return nil, err
-	}
-	return a.HotLoads(n), nil
+	return prof.Analysis.HotLoads(n), nil
 }
 
 // RenderTable5 renders the hot-load profile.
@@ -390,41 +373,52 @@ type Table8Cell struct {
 }
 
 // Table8 runs the six transformable programs, original and
-// load-transformed, on all four platform models.
+// load-transformed, on all four platform models on a fresh session.
 func Table8(sz bio.Size) ([]Table8Cell, error) {
-	var out []Table8Cell
-	for _, p := range bio.Transformed() {
-		for _, plat := range platform.All() {
-			opts := compiler.Options{
-				Opt:          compiler.Default().Opt,
-				AllocIntRegs: plat.AllocIntRegs,
-				AllocFPRegs:  plat.AllocFPRegs,
-			}
-			run := func(transformed bool) (pipeline.Stats, error) {
-				model := pipeline.NewModel(plat.Pipeline)
-				if _, err := p.Run(transformed, sz, opts, model); err != nil {
-					return pipeline.Stats{}, err
-				}
-				return model.Stats(), nil
-			}
-			so, err := run(false)
-			if err != nil {
-				return nil, err
-			}
-			st, err := run(true)
-			if err != nil {
-				return nil, err
-			}
-			cell := Table8Cell{
-				Program: p.Name, Platform: plat.Name,
-				CyclesOrig: so.Cycles, CyclesTrans: st.Cycles,
-				StatsOrig: so, StatsTrans: st,
-			}
-			if st.Cycles > 0 {
-				cell.Speedup = float64(so.Cycles)/float64(st.Cycles) - 1
-			}
-			out = append(out, cell)
+	return Table8Session(runner.NewSession(0), sz)
+}
+
+// Table8Session fans the 6 programs x 4 platforms x 2 variants = 48
+// timing simulations out across the session's worker pool. Cell order
+// (program-major, platform-minor) and cell contents are identical to
+// the sequential path; compiles are deduplicated per (program,
+// variant, register budget) by the session's compile cache.
+func Table8Session(s *runner.Session, sz bio.Size) ([]Table8Cell, error) {
+	progs := bio.Transformed()
+	plats := platform.All()
+	nCells := len(progs) * len(plats)
+	statsOrig := make([]pipeline.Stats, nCells)
+	statsTrans := make([]pipeline.Stats, nCells)
+	err := s.ForEach(nCells*2, func(k int) error {
+		i, transformed := k/2, k%2 == 1
+		p := progs[i/len(plats)]
+		plat := plats[i%len(plats)]
+		st, err := s.Evaluate(p, plat, sz, transformed)
+		if err != nil {
+			return err
 		}
+		if transformed {
+			statsTrans[i] = st
+		} else {
+			statsOrig[i] = st
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Table8Cell, 0, nCells)
+	for i := 0; i < nCells; i++ {
+		so, st := statsOrig[i], statsTrans[i]
+		cell := Table8Cell{
+			Program: progs[i/len(plats)].Name, Platform: plats[i%len(plats)].Name,
+			CyclesOrig: so.Cycles, CyclesTrans: st.Cycles,
+			StatsOrig: so, StatsTrans: st,
+		}
+		if st.Cycles > 0 {
+			cell.Speedup = float64(so.Cycles)/float64(st.Cycles) - 1
+		}
+		out = append(out, cell)
 	}
 	return out, nil
 }

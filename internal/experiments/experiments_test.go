@@ -5,13 +5,14 @@ import (
 	"testing"
 
 	"bioperfload/internal/bio"
+	"bioperfload/internal/runner"
 )
 
 // The experiment tests run at test size so the whole suite stays
 // fast; the EXPERIMENTS.md numbers come from cmd/experiments at the
 // class-B/C sizes.
 
-func characterizeOnce(t *testing.T) []ProgramProfile {
+func characterizeOnce(t *testing.T) []*ProgramProfile {
 	t.Helper()
 	profiles, err := Characterize(bio.SizeTest)
 	if err != nil {
@@ -187,6 +188,34 @@ func TestTable7Rendering(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("Table 7 missing %s", want)
 		}
+	}
+}
+
+// TestParallelMatchesSequential is the golden determinism test: a
+// parallel session's rendered tables and figures are byte-identical
+// to the jobs=1 sequential reference.
+func TestParallelMatchesSequential(t *testing.T) {
+	render := func(jobs int) string {
+		s := runner.NewSession(jobs)
+		profiles, err := CharacterizeSession(s, bio.SizeTest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fig2, err := Fig2Session(s, bio.SizeTest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		b.WriteString(RenderFig1(Fig1(profiles)))
+		b.WriteString(RenderFig2(fig2))
+		b.WriteString(RenderTable2(Table2(profiles)))
+		b.WriteString(RenderTable4(Table4(profiles)))
+		return b.String()
+	}
+	seq := render(1)
+	par := render(4)
+	if seq != par {
+		t.Error("parallel session output differs from the sequential reference")
 	}
 }
 

@@ -3,6 +3,7 @@ package isa
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Memory layout constants shared by the compiler, loader, and
@@ -48,6 +49,7 @@ type Program struct {
 	// applied by the loader before execution.
 	Init []DataInit
 
+	symOnce  sync.Once
 	symIndex map[string]int
 }
 
@@ -57,14 +59,16 @@ type DataInit struct {
 	Bytes []byte
 }
 
-// Symbol returns the named global, or false when absent.
+// Symbol returns the named global, or false when absent. The lazy
+// index is built under a sync.Once: a compiled Program is immutable
+// and may be shared by machines running on several goroutines.
 func (p *Program) Symbol(name string) (Symbol, bool) {
-	if p.symIndex == nil {
+	p.symOnce.Do(func() {
 		p.symIndex = make(map[string]int, len(p.Symbols))
 		for i, s := range p.Symbols {
 			p.symIndex[s.Name] = i
 		}
-	}
+	})
 	i, ok := p.symIndex[name]
 	if !ok {
 		return Symbol{}, false

@@ -111,7 +111,21 @@ func NewWithConfig(p *isa.Program, hc cache.HierarchyConfig, pred bpred.Predicto
 	return a
 }
 
-var _ sim.Observer = (*Analysis)(nil)
+var (
+	_ sim.Observer      = (*Analysis)(nil)
+	_ sim.BatchObserver = (*Analysis)(nil)
+)
+
+// ObserveBatch implements sim.BatchObserver: the whole slab is
+// processed with direct (non-interface) calls, so the per-instruction
+// dispatch cost of the legacy Observer path is paid once per slab.
+// The slab is recycled by the simulator after this returns; nothing
+// here retains events, as required by the sim.Event contract.
+func (a *Analysis) ObserveBatch(evs []sim.Event) {
+	for i := range evs {
+		a.Observe(&evs[i])
+	}
+}
 
 func (a *Analysis) loadStatsFor(pc int32) *loadStats {
 	ls := a.loads[pc]

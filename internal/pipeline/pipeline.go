@@ -213,7 +213,20 @@ func (m *Model) Branches() *bpred.Tracker { return m.bp }
 // Hierarchy exposes the cache state.
 func (m *Model) Hierarchy() *cache.Hierarchy { return m.hier }
 
-var _ sim.Observer = (*Model)(nil)
+var (
+	_ sim.Observer      = (*Model)(nil)
+	_ sim.BatchObserver = (*Model)(nil)
+)
+
+// ObserveBatch implements sim.BatchObserver: each slab advances the
+// timing model with direct calls, avoiding per-instruction interface
+// dispatch. No event escapes the callback (the simulator recycles the
+// slab afterwards).
+func (m *Model) ObserveBatch(evs []sim.Event) {
+	for i := range evs {
+		m.Observe(&evs[i])
+	}
+}
 
 // Observe implements sim.Observer: it advances the timing model by one
 // committed instruction.

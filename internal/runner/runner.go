@@ -1,0 +1,308 @@
+// Package runner is the shared-artifact analysis engine behind the
+// experiment generators. The paper's original apparatus (ATOM)
+// instrumented each binary once and derived every analysis from that
+// single run; the seed code instead recompiled and re-simulated each
+// kernel for every table and figure. A Session restores the
+// run-once/analyze-many discipline:
+//
+//   - a memoizing compile cache keyed by (program, variant, compiler
+//     options), so each kernel is compiled once per session;
+//   - a characterization cache keyed by (program, input size), so one
+//     functional simulation feeds the instruction mix, load-coverage,
+//     cache, branch-predictor, sequence-tracking, and hot-load
+//     analyses (they all live in one loadchar.Analysis attached to
+//     that single run);
+//   - a bounded worker pool (ForEach) that fans independent
+//     simulations out across cores with deterministic output ordering
+//     — results land in caller-indexed slots, and the reported error
+//     is always the lowest-index failure, so a parallel session is
+//     byte-identical to a sequential one.
+//
+// Timing runs (Evaluate) are deliberately not memoized: every call
+// must train a fresh pipeline model. They still share the compile
+// cache, which is where Table 8's redundancy lived.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"bioperfload/internal/bio"
+	"bioperfload/internal/compiler"
+	"bioperfload/internal/isa"
+	"bioperfload/internal/loadchar"
+	"bioperfload/internal/pipeline"
+	"bioperfload/internal/platform"
+	"bioperfload/internal/sim"
+)
+
+// CompileKey identifies one compilation artifact. compiler.Options is
+// a flat comparable struct, so the key is directly usable in a map.
+type CompileKey struct {
+	Program     string
+	Transformed bool
+	Opts        compiler.Options
+}
+
+type compileEntry struct {
+	once sync.Once
+	prog *isa.Program
+	err  error
+}
+
+type charKey struct {
+	program string
+	size    bio.Size
+}
+
+type charEntry struct {
+	once sync.Once
+	prof *Profile
+	err  error
+}
+
+// Profile is one program's shared characterization run: the dynamic
+// instruction count and the single-pass analysis every table and
+// figure reads from.
+type Profile struct {
+	Name         string
+	Instructions uint64
+	Analysis     *loadchar.Analysis
+}
+
+// Stats reports a session's cache effectiveness, for tests and for
+// the -bench-json perf record.
+type Stats struct {
+	Compiles         uint64 `json:"compiles"`           // compile-cache misses (actual compilations)
+	CompileHits      uint64 `json:"compile_hits"`       // compile-cache hits
+	Runs             uint64 `json:"runs"`               // sim.Machine.Run invocations
+	CharacterizeHits uint64 `json:"characterize_hits"`  // characterization-cache hits
+}
+
+// Session owns the caches and the worker pool. Create with
+// NewSession; a Session is safe for concurrent use.
+type Session struct {
+	jobs int
+
+	mu       sync.Mutex
+	compiled map[CompileKey]*compileEntry
+	chars    map[charKey]*charEntry
+
+	compiles    atomic.Uint64
+	compileHits atomic.Uint64
+	runs        atomic.Uint64
+	charHits    atomic.Uint64
+}
+
+// NewSession creates a session whose worker pool runs up to jobs
+// simulations concurrently; jobs <= 0 selects GOMAXPROCS. jobs == 1
+// is the fully sequential reference path the golden tests compare
+// against.
+func NewSession(jobs int) *Session {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	return &Session{
+		jobs:     jobs,
+		compiled: make(map[CompileKey]*compileEntry),
+		chars:    make(map[charKey]*charEntry),
+	}
+}
+
+// Jobs returns the worker-pool width.
+func (s *Session) Jobs() int { return s.jobs }
+
+// Stats returns the session's cache counters.
+func (s *Session) Stats() Stats {
+	return Stats{
+		Compiles:         s.compiles.Load(),
+		CompileHits:      s.compileHits.Load(),
+		Runs:             s.runs.Load(),
+		CharacterizeHits: s.charHits.Load(),
+	}
+}
+
+// Compile returns the compiled program for (p, variant, opts),
+// compiling at most once per key per session. Concurrent callers of
+// the same key block until the one compilation finishes.
+func (s *Session) Compile(p *bio.Program, transformed bool, opts compiler.Options) (*isa.Program, error) {
+	key := CompileKey{Program: p.Name, Transformed: transformed && p.Transformable, Opts: opts}
+	s.mu.Lock()
+	e, ok := s.compiled[key]
+	if !ok {
+		e = &compileEntry{}
+		s.compiled[key] = e
+	}
+	s.mu.Unlock()
+	miss := false
+	e.once.Do(func() {
+		miss = true
+		s.compiles.Add(1)
+		e.prog, e.err = p.Compile(transformed, opts)
+		if e.err == nil {
+			// Force the lazy symbol index while single-threaded; the
+			// program is then shared read-only across worker
+			// goroutines.
+			e.prog.Symbol("")
+		}
+	})
+	if !miss {
+		s.compileHits.Add(1)
+	}
+	return e.prog, e.err
+}
+
+// Characterize returns the program's shared characterization profile,
+// compiling and functionally simulating at most once per (program,
+// size) per session. Every analyzer output (mix, coverage, cache,
+// branch, sequences, hot loads) reads from this one run.
+func (s *Session) Characterize(p *bio.Program, sz bio.Size) (*Profile, error) {
+	key := charKey{program: p.Name, size: sz}
+	s.mu.Lock()
+	e, ok := s.chars[key]
+	if !ok {
+		e = &charEntry{}
+		s.chars[key] = e
+	}
+	s.mu.Unlock()
+	miss := false
+	e.once.Do(func() {
+		miss = true
+		e.prof, e.err = s.characterize(p, sz)
+	})
+	if !miss {
+		s.charHits.Add(1)
+	}
+	return e.prof, e.err
+}
+
+func (s *Session) characterize(p *bio.Program, sz bio.Size) (*Profile, error) {
+	prog, err := s.Compile(p, false, compiler.Default())
+	if err != nil {
+		return nil, err
+	}
+	m, err := sim.New(prog)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Bind(m, sz); err != nil {
+		return nil, fmt.Errorf("%s: bind: %w", p.Name, err)
+	}
+	a := loadchar.New(prog)
+	m.AddObserver(a)
+	s.runs.Add(1)
+	res, err := m.Run()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	if err := p.Validate(res, sz); err != nil {
+		return nil, err
+	}
+	return &Profile{Name: p.Name, Instructions: res.Instructions, Analysis: a}, nil
+}
+
+// CharacterizeAll characterizes the nine BioPerf programs on the
+// worker pool, in the paper's Table 1 order.
+func (s *Session) CharacterizeAll(sz bio.Size) ([]*Profile, error) {
+	progs := bio.All()
+	out := make([]*Profile, len(progs))
+	err := s.ForEach(len(progs), func(i int) error {
+		p, err := s.Characterize(progs[i], sz)
+		out[i] = p
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Evaluate runs one program (original or transformed) on a platform's
+// timing model, compiling with that platform's register budget via
+// the compile cache, and returns the cycle-level statistics. The
+// timing run itself is never cached: each call trains a fresh model.
+func (s *Session) Evaluate(p *bio.Program, plat platform.Platform, sz bio.Size, transformed bool) (pipeline.Stats, error) {
+	opts := compiler.Options{
+		Opt:          compiler.Default().Opt,
+		AllocIntRegs: plat.AllocIntRegs,
+		AllocFPRegs:  plat.AllocFPRegs,
+	}
+	return s.EvaluateOpts(p, plat.Pipeline, opts, sz, transformed)
+}
+
+// EvaluateOpts is Evaluate with an explicit pipeline configuration
+// and compiler options (the ablations sweep both).
+func (s *Session) EvaluateOpts(p *bio.Program, cfg pipeline.Config, opts compiler.Options, sz bio.Size, transformed bool) (pipeline.Stats, error) {
+	prog, err := s.Compile(p, transformed, opts)
+	if err != nil {
+		return pipeline.Stats{}, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	m, err := sim.New(prog)
+	if err != nil {
+		return pipeline.Stats{}, err
+	}
+	if err := p.Bind(m, sz); err != nil {
+		return pipeline.Stats{}, fmt.Errorf("%s: bind: %w", p.Name, err)
+	}
+	model := pipeline.NewModel(cfg)
+	m.AddObserver(model)
+	s.runs.Add(1)
+	res, err := m.Run()
+	if err != nil {
+		return pipeline.Stats{}, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	if err := p.Validate(res, sz); err != nil {
+		return pipeline.Stats{}, err
+	}
+	return model.Stats(), nil
+}
+
+// ForEach invokes fn(i) for every i in [0, n), fanning the calls out
+// across the session's worker pool. fn must write its result into a
+// caller-owned slot indexed by i, which makes output ordering
+// deterministic regardless of goroutine scheduling. When any calls
+// fail, the lowest-index error is returned — the same error a
+// sequential loop would surface first — so parallel and sequential
+// sessions report identically.
+func (s *Session) ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := s.jobs
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package runner
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"bioperfload/internal/bio"
+	"bioperfload/internal/compiler"
+	"bioperfload/internal/platform"
+)
+
+// TestCharacterizeRunsOnce is the tentpole's acceptance test: one
+// session performs exactly one functional characterization run per
+// (program, size), no matter how many analyses ask for it, and the
+// cache-hit counters prove the sharing happened.
+func TestCharacterizeRunsOnce(t *testing.T) {
+	s := NewSession(4)
+	p, err := bio.ByName("hmmsearch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Characterize(p, bio.SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ten concurrent re-requests: all must get the same shared
+	// profile without triggering another simulation.
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prof, err := s.Characterize(p, bio.SizeTest)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if prof != first {
+				t.Error("got a different profile object: run not shared")
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Runs != 1 {
+		t.Errorf("Runs = %d, want exactly 1", st.Runs)
+	}
+	if st.Compiles != 1 {
+		t.Errorf("Compiles = %d, want exactly 1", st.Compiles)
+	}
+	if st.CharacterizeHits != 10 {
+		t.Errorf("CharacterizeHits = %d, want 10", st.CharacterizeHits)
+	}
+}
+
+// TestCharacterizeAllRunsOnce: the nine-program fan-out performs nine
+// runs, and repeating it performs zero more.
+func TestCharacterizeAllRunsOnce(t *testing.T) {
+	s := NewSession(0)
+	if _, err := s.CharacterizeAll(bio.SizeTest); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Runs != 9 || st.Compiles != 9 {
+		t.Errorf("after first pass: Runs=%d Compiles=%d, want 9/9", st.Runs, st.Compiles)
+	}
+	if _, err := s.CharacterizeAll(bio.SizeTest); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Runs != 9 || st.Compiles != 9 {
+		t.Errorf("after second pass: Runs=%d Compiles=%d, want still 9/9", st.Runs, st.Compiles)
+	}
+	if st.CharacterizeHits != 9 {
+		t.Errorf("CharacterizeHits = %d, want 9", st.CharacterizeHits)
+	}
+}
+
+// TestCompileCacheSharesAcrossTimingRuns: timing runs are never
+// memoized (each trains a fresh model) but their compiles are.
+func TestCompileCacheSharesAcrossTimingRuns(t *testing.T) {
+	s := NewSession(2)
+	p, err := bio.ByName("clustalw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat, err := platform.ByName("alpha21264")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Evaluate(p, plat, bio.SizeTest, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Evaluate(p, plat, bio.SizeTest, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles {
+		t.Errorf("timing runs diverged: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+	st := s.Stats()
+	if st.Compiles != 1 || st.CompileHits != 1 {
+		t.Errorf("Compiles=%d CompileHits=%d, want 1/1", st.Compiles, st.CompileHits)
+	}
+	if st.Runs != 2 {
+		t.Errorf("Runs = %d, want 2 (timing runs are never cached)", st.Runs)
+	}
+}
+
+// TestConcurrentCompileSingleflight: many goroutines requesting the
+// same compile key trigger exactly one compilation.
+func TestConcurrentCompileSingleflight(t *testing.T) {
+	s := NewSession(8)
+	p, err := bio.ByName("blast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	progs := make([]interface{}, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			prog, err := s.Compile(p, false, compiler.Default())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			progs[i] = prog
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < 16; i++ {
+		if progs[i] != progs[0] {
+			t.Fatalf("goroutine %d got a distinct compilation artifact", i)
+		}
+	}
+	if st := s.Stats(); st.Compiles != 1 {
+		t.Errorf("Compiles = %d, want 1", st.Compiles)
+	}
+}
+
+// TestForEachDeterministicOrder: results land in caller-indexed slots
+// regardless of pool width.
+func TestForEachDeterministicOrder(t *testing.T) {
+	for _, jobs := range []int{1, 2, 8} {
+		s := NewSession(jobs)
+		out := make([]int, 100)
+		if err := s.ForEach(100, func(i int) error {
+			out[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("jobs=%d: out[%d] = %d", jobs, i, v)
+			}
+		}
+	}
+}
+
+// TestForEachLowestIndexError: a parallel session reports the same
+// error a sequential loop would surface first.
+func TestForEachLowestIndexError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, jobs := range []int{1, 4} {
+		s := NewSession(jobs)
+		err := s.ForEach(50, func(i int) error {
+			switch i {
+			case 7:
+				return errLow
+			case 40:
+				return errHigh
+			}
+			return nil
+		})
+		if err != errLow {
+			t.Errorf("jobs=%d: got %v, want the lowest-index error", jobs, err)
+		}
+	}
+}

@@ -15,8 +15,11 @@ import (
 	"bioperfload/internal/mem"
 )
 
-// Event describes one committed dynamic instruction. The same Event
-// value is reused across calls; observers must not retain it.
+// Event describes one committed dynamic instruction. Events are
+// delivered in slabs whose storage is recycled as soon as the batch
+// callback returns: observers must not retain the slab slice or any
+// *Event pointing into it past the callback — copy out whatever must
+// survive. TestBatchSlabRecycling pins this contract.
 type Event struct {
 	Seq    uint64 // dynamic instruction number, starting at 0
 	PC     int32  // static instruction index
@@ -26,7 +29,7 @@ type Event struct {
 	Target int32  // next PC actually executed
 }
 
-// Observer receives committed-instruction events.
+// Observer receives committed-instruction events one at a time.
 type Observer interface {
 	Observe(ev *Event)
 }
@@ -36,6 +39,35 @@ type ObserverFunc func(ev *Event)
 
 // Observe implements Observer.
 func (f ObserverFunc) Observe(ev *Event) { f(ev) }
+
+// BatchSize is the slab capacity: committed instructions accumulate
+// into fixed-size slabs of this many events before observers run, so
+// the per-instruction interface-dispatch cost is paid once per slab
+// rather than once per instruction.
+const BatchSize = 4096
+
+// BatchObserver receives committed-instruction events a slab at a
+// time, in commit order. The slab is reused for the next batch the
+// moment ObserveBatch returns (see Event).
+type BatchObserver interface {
+	ObserveBatch(evs []Event)
+}
+
+// BatchObserverFunc adapts a function to the BatchObserver interface.
+type BatchObserverFunc func(evs []Event)
+
+// ObserveBatch implements BatchObserver.
+func (f BatchObserverFunc) ObserveBatch(evs []Event) { f(evs) }
+
+// batchAdapter delivers a slab to a per-event Observer, preserving
+// the legacy one-call-per-instruction API on top of batched delivery.
+type batchAdapter struct{ o Observer }
+
+func (b batchAdapter) ObserveBatch(evs []Event) {
+	for i := range evs {
+		b.o.Observe(&evs[i])
+	}
+}
 
 // ErrFuelExhausted is returned when the instruction budget runs out
 // before the program halts.
@@ -69,7 +101,8 @@ type Machine struct {
 	// DefaultFuel. Run returns ErrFuelExhausted when it is consumed.
 	Fuel uint64
 
-	observers []Observer
+	observers []BatchObserver
+	slab      []Event // recycled event slab shared by all observers
 }
 
 // DefaultFuel bounds runaway programs (10 billion instructions).
@@ -95,7 +128,20 @@ func New(p *isa.Program) (*Machine, error) {
 func (m *Machine) Program() *isa.Program { return m.prog }
 
 // AddObserver registers an observer for every committed instruction.
-func (m *Machine) AddObserver(o Observer) { m.observers = append(m.observers, o) }
+// An observer that also implements BatchObserver receives slabs
+// directly, skipping the per-event adapter.
+func (m *Machine) AddObserver(o Observer) {
+	if bo, ok := o.(BatchObserver); ok {
+		m.observers = append(m.observers, bo)
+		return
+	}
+	m.observers = append(m.observers, batchAdapter{o})
+}
+
+// AddBatchObserver registers a slab-at-a-time observer.
+func (m *Machine) AddBatchObserver(o BatchObserver) {
+	m.observers = append(m.observers, o)
+}
 
 // WriteSymbol copies raw bytes into the named global. It is how Go
 // test harnesses inject input datasets (sequences, HMM parameters)
@@ -164,13 +210,33 @@ func (m *Machine) Run() (*Result, error) {
 	res := &Result{}
 	insts := m.prog.Insts
 	n := int32(len(insts))
-	var ev Event
 	hasObs := len(m.observers) > 0
+	if hasObs && m.slab == nil {
+		m.slab = make([]Event, 0, BatchSize)
+	}
+	// flush hands the accumulated slab to every observer, then
+	// truncates it for reuse: the backing array is recycled, which is
+	// why observers must not retain events past the callback.
+	flush := func() {
+		if len(m.slab) == 0 {
+			return
+		}
+		for _, o := range m.observers {
+			o.ObserveBatch(m.slab)
+		}
+		m.slab = m.slab[:0]
+	}
+	// fail flushes events committed before the fault so observers see
+	// the complete committed-instruction prefix.
+	fail := func(err error) (*Result, error) {
+		flush()
+		return res, err
+	}
 
 	for res.Instructions < fuel {
 		pc := m.PC
 		if pc < 0 || pc >= n {
-			return res, &Trap{PC: pc, Msg: "pc out of range"}
+			return fail(&Trap{PC: pc, Msg: "pc out of range"})
 		}
 		in := &insts[pc]
 		next := pc + 1
@@ -188,13 +254,13 @@ func (m *Machine) Run() (*Result, error) {
 		case isa.OpDiv:
 			d := m.src2(in)
 			if d == 0 {
-				return res, &Trap{PC: pc, Msg: "integer divide by zero"}
+				return fail(&Trap{PC: pc, Msg: "integer divide by zero"})
 			}
 			m.setR(in.Rd, m.R[in.Ra]/d)
 		case isa.OpRem:
 			d := m.src2(in)
 			if d == 0 {
-				return res, &Trap{PC: pc, Msg: "integer remainder by zero"}
+				return fail(&Trap{PC: pc, Msg: "integer remainder by zero"})
 			}
 			m.setR(in.Rd, m.R[in.Ra]%d)
 		case isa.OpAnd:
@@ -335,29 +401,27 @@ func (m *Machine) Run() (*Result, error) {
 			res.Instructions++
 			res.ExitCode = m.R[0]
 			if hasObs {
-				ev = Event{Seq: res.Instructions - 1, PC: pc, Inst: in, Target: next}
-				for _, o := range m.observers {
-					o.Observe(&ev)
-				}
+				m.slab = append(m.slab, Event{Seq: res.Instructions - 1, PC: pc, Inst: in, Target: next})
+				flush()
 			}
 			return res, nil
 		default:
-			return res, &Trap{PC: pc, Msg: "illegal opcode " + in.Op.String()}
+			return fail(&Trap{PC: pc, Msg: "illegal opcode " + in.Op.String()})
 		}
 
 		if hasObs {
-			ev = Event{
+			m.slab = append(m.slab, Event{
 				Seq: res.Instructions, PC: pc, Inst: in,
 				Addr: addr, Taken: taken, Target: next,
-			}
-			for _, o := range m.observers {
-				o.Observe(&ev)
+			})
+			if len(m.slab) == BatchSize {
+				flush()
 			}
 		}
 		res.Instructions++
 		m.PC = next
 	}
-	return res, ErrFuelExhausted
+	return fail(ErrFuelExhausted)
 }
 
 func (m *Machine) setR(rd uint8, v int64) {

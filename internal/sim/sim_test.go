@@ -369,6 +369,118 @@ func TestHaltDeliversEvent(t *testing.T) {
 	}
 }
 
+// countBatches is a native BatchObserver that tallies events and
+// batch sizes.
+type countBatches struct {
+	events  uint64
+	batches int
+	maxLen  int
+}
+
+func (c *countBatches) ObserveBatch(evs []Event) {
+	c.batches++
+	c.events += uint64(len(evs))
+	if len(evs) > c.maxLen {
+		c.maxLen = len(evs)
+	}
+}
+
+// TestBatchObserverEquivalence: a native BatchObserver and an adapted
+// per-event Observer attached to the same run see the same event
+// stream, and both see every retired instruction. sumProgram(4000)
+// retires ~16k instructions, so delivery spans multiple slabs.
+func TestBatchObserverEquivalence(t *testing.T) {
+	m, _ := New(sumProgram(4000))
+	batch := &countBatches{}
+	var perEvent uint64
+	m.AddBatchObserver(batch)
+	m.AddObserver(ObserverFunc(func(ev *Event) { perEvent++ }))
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.events != res.Instructions {
+		t.Errorf("batch observer saw %d events, result says %d", batch.events, res.Instructions)
+	}
+	if perEvent != res.Instructions {
+		t.Errorf("adapted observer saw %d events, result says %d", perEvent, res.Instructions)
+	}
+	if batch.batches < 2 {
+		t.Errorf("expected multiple batches for %d instructions, got %d", res.Instructions, batch.batches)
+	}
+	if batch.maxLen > BatchSize {
+		t.Errorf("batch of %d events exceeds BatchSize %d", batch.maxLen, BatchSize)
+	}
+}
+
+// TestBatchSeqContinuity: Seq numbers are contiguous within and
+// across batch boundaries.
+func TestBatchSeqContinuity(t *testing.T) {
+	m, _ := New(sumProgram(3000))
+	var last uint64
+	m.AddBatchObserver(BatchObserverFunc(func(evs []Event) {
+		for i := range evs {
+			if last != 0 && evs[i].Seq != last+1 {
+				t.Fatalf("seq jumped %d -> %d", last, evs[i].Seq)
+			}
+			last = evs[i].Seq
+		}
+	}))
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != res.Instructions-1 {
+		t.Errorf("final seq %d, want %d (Seq starts at 0)", last, res.Instructions-1)
+	}
+}
+
+// TestBatchFlushOnError: the partial slab is flushed before an
+// erroring run returns, so observers still see every retired
+// instruction on the trap and fuel-exhaustion paths.
+func TestBatchFlushOnError(t *testing.T) {
+	b := isa.NewBuilder("spin")
+	b.Label("loop")
+	b.Branch(isa.OpBr, 0, "loop")
+	b.Halt()
+	m, _ := New(b.MustProgram())
+	m.Fuel = BatchSize + 37 // lands mid-slab
+	batch := &countBatches{}
+	m.AddBatchObserver(batch)
+	res, err := m.Run()
+	if !errors.Is(err, ErrFuelExhausted) {
+		t.Fatalf("want fuel exhaustion, got %v", err)
+	}
+	if batch.events != res.Instructions {
+		t.Errorf("batch observer saw %d events, result says %d", batch.events, res.Instructions)
+	}
+}
+
+// TestBatchSlabRecycling pins the Event reuse contract: the slice
+// handed to ObserveBatch is recycled once the callback returns, so an
+// observer that retains it sees the data overwritten by later
+// batches. Observers must copy what they keep.
+func TestBatchSlabRecycling(t *testing.T) {
+	m, _ := New(sumProgram(4000))
+	var retained []Event
+	var firstSeq uint64
+	m.AddBatchObserver(BatchObserverFunc(func(evs []Event) {
+		if retained == nil {
+			retained = evs // MISUSE: retaining the slab past the callback
+			firstSeq = evs[0].Seq
+		}
+	}))
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if retained == nil {
+		t.Fatal("no batches delivered")
+	}
+	if retained[0].Seq == firstSeq {
+		t.Error("retained slab still holds first-batch data; recycling contract not exercised")
+	}
+}
+
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	p := sumProgram(int64(b.N))
 	m, _ := New(p)

@@ -4,6 +4,13 @@
 // matrices, profile-HMM parameter sets, and phylogeny site patterns.
 // Everything is seeded, so every run of every experiment sees
 // identical data.
+//
+// The package holds no shared state: every generator takes an
+// explicit *RNG, and each simulation binds its inputs from a freshly
+// seeded generator. Concurrent same-seed generations are therefore
+// byte-identical (TestConcurrentDeterminism), which is what lets the
+// runner package fan simulations out across goroutines without
+// perturbing any workload.
 package workload
 
 // RNG is a small splitmix64 generator: fast, deterministic, and

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"bytes"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -192,6 +194,47 @@ func TestSubstMatrixSymmetry(t *testing.T) {
 		}
 		if m[i*20+i] < 3 {
 			t.Errorf("diagonal %d = %d, want positive match score", i, m[i*20+i])
+		}
+	}
+}
+
+// TestConcurrentDeterminism pins the property the parallel runner
+// depends on: workload generation shares no state across goroutines,
+// so concurrent same-seed generations are byte-identical. Run with
+// -race this also proves the generators touch no shared memory.
+func TestConcurrentDeterminism(t *testing.T) {
+	generate := func(seed uint64) []byte {
+		r := NewRNG(seed)
+		var buf bytes.Buffer
+		buf.Write(DNASeq(r, 4096))
+		buf.Write(ProteinSeq(r, 4096))
+		base := ProteinSeq(r, 512)
+		buf.Write(MutatedCopy(r, base, 20, 50, 10))
+		for _, v := range SubstMatrix(r, 20, 6, -2) {
+			buf.WriteByte(byte(v))
+		}
+		h := NewHMM(r, 64, 20)
+		buf.Write(h.Consensus())
+		for _, v := range h.Mat {
+			buf.WriteByte(byte(v))
+		}
+		buf.Write(SitePatterns(r, 12, 512))
+		return buf.Bytes()
+	}
+	const workers = 8
+	outs := make([][]byte, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i] = generate(1234)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if !bytes.Equal(outs[i], outs[0]) {
+			t.Fatalf("goroutine %d produced different bytes for the same seed", i)
 		}
 	}
 }
