@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race smoke experiments bench
+.PHONY: check vet build test race smoke serve-smoke experiments bench bench-service
 
 # check is the full gate: static analysis, build, the race-enabled
 # test suite, and an end-to-end experiments smoke run.
@@ -31,3 +31,30 @@ experiments:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# serve-smoke proves the bioperfd daemon end to end: boot, health
+# check, one characterize over the API, graceful SIGTERM drain.
+SMOKE_ADDR ?= 127.0.0.1:18980
+serve-smoke:
+	$(GO) build -o bioperfd.smoke ./cmd/bioperfd
+	@set -e; ./bioperfd.smoke -addr $(SMOKE_ADDR) & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true; rm -f bioperfd.smoke' EXIT; \
+	ok=; for i in $$(seq 1 100); do \
+		curl -sf http://$(SMOKE_ADDR)/healthz >/dev/null 2>&1 && ok=1 && break; \
+		sleep 0.1; \
+	done; \
+	test -n "$$ok" || { echo "serve-smoke: daemon never became healthy" >&2; exit 1; }; \
+	curl -sf http://$(SMOKE_ADDR)/healthz; \
+	curl -sf -X POST http://$(SMOKE_ADDR)/v1/characterize \
+		-d '{"program":"hmmsearch","size":"test","wait":true}' \
+		| grep -q '"status": "done"' \
+		|| { echo "serve-smoke: characterize did not finish" >&2; exit 1; }; \
+	curl -sf http://$(SMOKE_ADDR)/metrics | grep -q bioperfd_http_requests_total \
+		|| { echo "serve-smoke: metrics missing" >&2; exit 1; }; \
+	kill -TERM $$pid; wait $$pid; \
+	echo "serve-smoke: OK"
+
+# bench-service records the daemon's cold vs cached characterize
+# latency over the loopback API at paper scale.
+bench-service:
+	$(GO) run ./cmd/bioperfd -bench BENCH_service.json -bench-size classB

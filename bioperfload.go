@@ -21,6 +21,7 @@
 package bioperfload
 
 import (
+	"context"
 	"fmt"
 
 	"bioperfload/internal/bio"
@@ -117,6 +118,12 @@ func CompileMiniCWith(filename, source string, opts CompilerOptions) (*Executabl
 // NewMachine loads an executable into a fresh functional simulator.
 func NewMachine(p *Executable) (*Machine, error) { return sim.New(p) }
 
+// RenderProfile renders a characterization as the canonical profile
+// text shared by `cmd/bioperf -profile` and the bioperfd service.
+func RenderProfile(name, size string, a *Analysis, hot int) string {
+	return loadchar.RenderProfile(name, size, a, hot)
+}
+
 // NewSession creates a shared-artifact analysis session whose worker
 // pool runs up to jobs simulations concurrently; jobs <= 0 selects
 // GOMAXPROCS, jobs == 1 is fully sequential.
@@ -127,7 +134,7 @@ func NewSession(jobs int) *Session { return runner.NewSession(jobs) }
 // convenience over a fresh sequential Session; hold a Session directly
 // to characterize several programs or reuse compiled artifacts.
 func Characterize(p *BenchProgram, sz Size) (*Analysis, error) {
-	prof, err := runner.NewSession(1).Characterize(p, sz)
+	prof, err := runner.NewSession(1).Characterize(context.Background(), p, sz)
 	if err != nil {
 		return nil, fmt.Errorf("characterize: %w", err)
 	}
@@ -138,7 +145,7 @@ func Characterize(p *BenchProgram, sz Size) (*Analysis, error) {
 // platform's timing model, compiling with that platform's register
 // budget, and returns the cycle-level statistics.
 func Evaluate(p *BenchProgram, plat Platform, sz Size, transformed bool) (PipelineStats, error) {
-	return runner.NewSession(1).Evaluate(p, plat, sz, transformed)
+	return runner.NewSession(1).Evaluate(context.Background(), p, plat, sz, transformed)
 }
 
 // Speedup measures the load transformation's gain for one application
@@ -149,11 +156,11 @@ func Speedup(p *BenchProgram, plat Platform, sz Size) (float64, error) {
 		return 0, fmt.Errorf("bioperfload: %s is not load-transformed in the paper", p.Name)
 	}
 	s := runner.NewSession(1)
-	orig, err := s.Evaluate(p, plat, sz, false)
+	orig, err := s.Evaluate(context.Background(), p, plat, sz, false)
 	if err != nil {
 		return 0, err
 	}
-	trans, err := s.Evaluate(p, plat, sz, true)
+	trans, err := s.Evaluate(context.Background(), p, plat, sz, true)
 	if err != nil {
 		return 0, err
 	}

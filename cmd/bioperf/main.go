@@ -65,26 +65,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		m := a.Mix()
-		fmt.Printf("%s (%s inputs)\n", p.Name, sz)
-		fmt.Printf("  instructions: %d\n", m.Total)
-		fmt.Printf("  mix: %.1f%% loads, %.1f%% stores, %.1f%% cond branches, %.1f%% other (FP %.2f%%)\n",
-			m.LoadPct, m.StorePct, m.BranchPct, m.OtherPct, 100*m.FPFraction)
-		fmt.Printf("  static loads executed: %d, top-80 coverage %.1f%%\n",
-			a.StaticLoadCount(), 100*a.CoverageAt(80))
-		c := a.CacheReport()
-		fmt.Printf("  cache: L1 %.2f%%, L2 %.2f%%, overall %.3f%%, AMAT %.2f\n",
-			100*c.L1Local, 100*c.L2Local, 100*c.Overall, c.AMAT)
-		s := a.Sequences()
-		fmt.Printf("  load-to-branch: %.1f%% of loads (fed-branch mispredict %.1f%%)\n",
-			s.LoadToBranchPct, 100*s.FedBranchMispredictRate)
-		fmt.Printf("  loads after hard branches: %.1f%%\n", s.LoadAfterHardBranchPct)
-		fmt.Printf("  hottest loads:\n")
-		for _, h := range a.HotLoads(*hot) {
-			fmt.Printf("    pc=%-6d freq=%5.2f%% L1miss=%5.2f%% brMispred=%5.2f%% %s:%d (%s)\n",
-				h.PC, 100*h.Frequency, 100*h.L1MissRate, 100*h.BranchMispred,
-				h.File, h.Line, h.Func)
-		}
+		fmt.Print(bioperfload.RenderProfile(p.Name, sz.String(), a, *hot))
 
 	case *platName != "":
 		plat, err := bioperfload.PlatformByName(*platName)

@@ -1,0 +1,237 @@
+// Command bioperfd serves the BioPerf characterization analyses over
+// HTTP: jobs are queued, deduplicated, and executed on one shared
+// runner.Session, so repeated requests answer from memoized artifacts.
+//
+//	bioperfd -addr :8080
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/characterize \
+//	    -d '{"program":"hmmsearch","size":"classB","wait":true}'
+//
+// With -bench PATH the daemon instead benchmarks itself — cold vs
+// cached characterize latency over the loopback API — and writes the
+// result as JSON (see BENCH_service.json).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"syscall"
+	"time"
+
+	"bioperfload/internal/bio"
+	"bioperfload/internal/runner"
+	"bioperfload/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bioperfd: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	jobs := flag.Int("j", 0, "session simulation workers (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue", 64, "job queue depth (full queue rejects with 429)")
+	workers := flag.Int("workers", 4, "job executor pool width")
+	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "server-wide per-job timeout cap")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
+	bench := flag.String("bench", "", "benchmark the service against itself and write JSON to this path instead of serving")
+	benchSize := flag.String("bench-size", "classB", "input size for -bench")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Session:    runner.NewSession(*jobs),
+		QueueDepth: *queueDepth,
+		Workers:    *workers,
+		JobTimeout: *jobTimeout,
+	})
+
+	if *bench != "" {
+		if err := runBench(svc, *bench, *benchSize); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s (queue=%d workers=%d session-jobs=%d)",
+		*addr, *queueDepth, *workers, svc.Session().Jobs())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("draining (budget %s)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(dctx); err != nil {
+		log.Printf("queue drain: %v", err)
+	}
+	log.Print("bye")
+}
+
+// --- self-benchmark (-bench) ---
+
+// benchPhase summarizes one latency population.
+type benchPhase struct {
+	Requests  int     `json:"requests"`
+	ReqPerSec float64 `json:"req_per_sec"`
+	P50MS     float64 `json:"p50_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	MeanMS    float64 `json:"mean_ms"`
+}
+
+type benchFile struct {
+	Tool      string       `json:"tool"`
+	Size      string       `json:"size"`
+	Programs  []string     `json:"programs"`
+	Cold      benchPhase   `json:"cold"`
+	Cached    benchPhase   `json:"cached"`
+	Session   runner.Stats `json:"session"`
+	Generated string       `json:"generated"`
+}
+
+// runBench measures cold (first-ever, simulation-bound) and cached
+// (artifact-hit) characterize latency through the real HTTP stack on
+// a loopback listener, then writes the summary JSON to path.
+func runBench(svc *service.Server, path, size string) error {
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	progs := bio.All()
+	names := make([]string, len(progs))
+	for i, p := range progs {
+		names[i] = p.Name
+	}
+
+	characterize := func(name string) (time.Duration, error) {
+		body, _ := json.Marshal(map[string]any{
+			"program": name, "size": size, "wait": true,
+		})
+		start := time.Now()
+		resp, err := http.Post(ts.URL+"/v1/characterize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		var view struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK || view.Status != "done" {
+			return 0, fmt.Errorf("characterize %s: HTTP %d status=%q error=%q",
+				name, resp.StatusCode, view.Status, view.Error)
+		}
+		return time.Since(start), nil
+	}
+
+	// Cold: every program's first characterize pays compile + simulate.
+	log.Printf("bench: cold characterize, %d programs at %s", len(progs), size)
+	coldStart := time.Now()
+	cold := make([]time.Duration, 0, len(progs))
+	for _, n := range names {
+		d, err := characterize(n)
+		if err != nil {
+			return err
+		}
+		log.Printf("bench:   %-12s %8.1f ms", n, d.Seconds()*1e3)
+		cold = append(cold, d)
+	}
+	coldWall := time.Since(coldStart)
+
+	// Cached: the same requests now answer from the Session's
+	// memoized artifacts; drive them concurrently for throughput.
+	const perProg = 25
+	total := perProg * len(names)
+	log.Printf("bench: cached characterize, %d requests", total)
+	cachedStart := time.Now()
+	cached := make([]time.Duration, total)
+	var wg sync.WaitGroup
+	var firstErr error
+	var mu sync.Mutex
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < total; i += 8 {
+				d, err := characterize(names[i%len(names)])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				cached[i] = d
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	cachedWall := time.Since(cachedStart)
+
+	out := benchFile{
+		Tool:      "bioperfd -bench",
+		Size:      size,
+		Programs:  names,
+		Cold:      summarize(cold, coldWall),
+		Cached:    summarize(cached, cachedWall),
+		Session:   svc.Session().Stats(),
+		Generated: time.Now().UTC().Format(time.RFC3339),
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	log.Printf("bench: cold   %7.2f req/s  p50 %8.1f ms  p99 %8.1f ms",
+		out.Cold.ReqPerSec, out.Cold.P50MS, out.Cold.P99MS)
+	log.Printf("bench: cached %7.2f req/s  p50 %8.3f ms  p99 %8.3f ms",
+		out.Cached.ReqPerSec, out.Cached.P50MS, out.Cached.P99MS)
+	log.Printf("bench: wrote %s", path)
+	return nil
+}
+
+func summarize(ds []time.Duration, wall time.Duration) benchPhase {
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i].Seconds() * 1e3
+	}
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	return benchPhase{
+		Requests:  len(sorted),
+		ReqPerSec: float64(len(sorted)) / wall.Seconds(),
+		P50MS:     pct(0.50),
+		P99MS:     pct(0.99),
+		MeanMS:    sum.Seconds() * 1e3 / float64(len(sorted)),
+	}
+}

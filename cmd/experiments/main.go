@@ -5,18 +5,24 @@
 // class-C). All experiments share one analysis session: each kernel
 // is compiled once and functionally simulated once, every analyzer
 // reads from that shared run, and independent simulations fan out
-// across -j worker goroutines with deterministic output.
+// across -j worker goroutines with deterministic output. SIGINT and
+// SIGTERM cancel the session's in-flight simulations.
 //
 //	go run ./cmd/experiments -size classB -timing classB -j 8 \
 //	    -bench-json BENCH_experiments.json
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"bioperfload/internal/bio"
@@ -34,6 +40,67 @@ func parseSize(s string) (bio.Size, error) {
 		return bio.SizeC, nil
 	}
 	return 0, fmt.Errorf("unknown size %q (test|classB|classC)", s)
+}
+
+// onlyNames are the -only selector values, in output order.
+var onlyNames = []string{
+	"fig1", "tab1", "fig2", "tab2", "tab4", "tab5", "tab6", "tab7",
+	"tab8", "fig9", "ablations",
+}
+
+// config is one fully validated command line.
+type config struct {
+	size      bio.Size
+	timing    bio.Size
+	only      string
+	ablations bool
+	jobs      int
+	benchJSON string
+}
+
+// parseArgs parses and validates the command line. Unknown flags,
+// unknown -size/-timing/-only values, negative -j values, and stray
+// positional arguments all return an error (main exits non-zero)
+// instead of being silently absorbed.
+func parseArgs(args []string, stderr io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	sizeFlag := fs.String("size", "classB", "characterization input size (test|classB|classC)")
+	timingFlag := fs.String("timing", "classB", "Table 8 / Figure 9 input size")
+	only := fs.String("only", "", "run a single experiment (fig1|tab1|fig2|tab2|tab4|tab5|tab6|tab7|tab8|fig9|ablations)")
+	ablations := fs.Bool("ablations", false, "also run the causal ablations (L1 latency, predictor, passes, restrict)")
+	jobs := fs.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = sequential)")
+	benchJSON := fs.String("bench-json", "", "write per-experiment wall-time and instruction counts to this file")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	cfg := &config{only: *only, ablations: *ablations, jobs: *jobs, benchJSON: *benchJSON}
+	var err error
+	if cfg.size, err = parseSize(*sizeFlag); err != nil {
+		return nil, fmt.Errorf("-size: %w", err)
+	}
+	if cfg.timing, err = parseSize(*timingFlag); err != nil {
+		return nil, fmt.Errorf("-timing: %w", err)
+	}
+	if cfg.jobs < 0 {
+		return nil, fmt.Errorf("-j: invalid worker count %d (must be >= 0; 0 = GOMAXPROCS)", cfg.jobs)
+	}
+	if cfg.only != "" {
+		ok := false
+		for _, n := range onlyNames {
+			if cfg.only == n {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("-only: unknown experiment %q (valid: %v)", cfg.only, onlyNames)
+		}
+	}
+	return cfg, nil
 }
 
 // benchEntry is one experiment's perf record in the -bench-json file.
@@ -57,25 +124,25 @@ type benchFile struct {
 
 func main() {
 	log.SetFlags(0)
-	sizeFlag := flag.String("size", "classB", "characterization input size (test|classB|classC)")
-	timingFlag := flag.String("timing", "classB", "Table 8 / Figure 9 input size")
-	only := flag.String("only", "", "run a single experiment (fig1|tab1|fig2|tab2|tab4|tab5|tab6|tab7|tab8|fig9|ablations)")
-	ablations := flag.Bool("ablations", false, "also run the causal ablations (L1 latency, predictor, passes, restrict)")
-	jobs := flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = sequential)")
-	benchJSON := flag.String("bench-json", "", "write per-experiment wall-time and instruction counts to this file")
-	flag.Parse()
-
-	sz, err := parseSize(*sizeFlag)
+	cfg, err := parseArgs(os.Args[1:], os.Stderr)
 	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	tsz, err := parseSize(*timingFlag)
-	if err != nil {
-		log.Fatal(err)
-	}
+}
 
-	s := runner.NewSession(*jobs)
-	want := func(name string) bool { return *only == "" || *only == name }
+func run(ctx context.Context, cfg *config, out io.Writer) error {
+	sz, tsz := cfg.size, cfg.timing
+	s := runner.NewSession(cfg.jobs)
+	want := func(name string) bool { return cfg.only == "" || cfg.only == name }
 	start := time.Now()
 
 	var bench []benchEntry
@@ -92,9 +159,10 @@ func main() {
 	if needProfiles {
 		log.Printf("characterizing the nine applications at %s (j=%d)...", sz, s.Jobs())
 		began := time.Now()
-		profiles, err = experiments.CharacterizeSession(s, sz)
+		var err error
+		profiles, err = experiments.CharacterizeSession(ctx, s, sz)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		var insts uint64
 		for _, p := range profiles {
@@ -103,7 +171,6 @@ func main() {
 		timed("characterize", insts, began)
 	}
 
-	out := os.Stdout
 	if want("fig1") {
 		fmt.Fprintln(out, experiments.RenderFig1(experiments.Fig1(profiles)))
 	}
@@ -112,9 +179,9 @@ func main() {
 	}
 	if want("fig2") {
 		began := time.Now()
-		series, err := experiments.Fig2Session(s, sz)
+		series, err := experiments.Fig2Session(ctx, s, sz)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		timed("fig2", 0, began)
 		fmt.Fprintln(out, experiments.RenderFig2(series))
@@ -127,9 +194,9 @@ func main() {
 	}
 	if want("tab5") {
 		began := time.Now()
-		rows, err := experiments.Table5Session(s, sz, 8)
+		rows, err := experiments.Table5Session(ctx, s, sz, 8)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		timed("tab5", 0, began)
 		fmt.Fprintln(out, experiments.RenderTable5(rows))
@@ -143,9 +210,9 @@ func main() {
 	if want("tab8") || want("fig9") {
 		log.Printf("timing the six transformed applications at %s on four platforms (j=%d)...", tsz, s.Jobs())
 		began := time.Now()
-		cells, err := experiments.Table8Session(s, tsz)
+		cells, err := experiments.Table8Session(ctx, s, tsz)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		var insts uint64
 		for _, c := range cells {
@@ -159,27 +226,27 @@ func main() {
 			fmt.Fprintln(out, experiments.RenderFig9(experiments.Fig9(cells)))
 		}
 	}
-	if *ablations || *only == "ablations" {
+	if cfg.ablations || cfg.only == "ablations" {
 		log.Printf("running ablations on hmmsearch at %s...", tsz)
 		began := time.Now()
-		if rows, err := experiments.AblateL1Latency(s, "hmmsearch", tsz, []int{1, 2, 3, 4, 5}); err != nil {
-			log.Fatal(err)
+		if rows, err := experiments.AblateL1Latency(ctx, s, "hmmsearch", tsz, []int{1, 2, 3, 4, 5}); err != nil {
+			return err
 		} else {
 			fmt.Fprintln(out, experiments.RenderAblation("L1 hit latency sweep (Alpha model)", rows))
 		}
-		if rows, err := experiments.AblatePredictor(s, "hmmsearch", tsz); err != nil {
-			log.Fatal(err)
+		if rows, err := experiments.AblatePredictor(ctx, s, "hmmsearch", tsz); err != nil {
+			return err
 		} else {
 			fmt.Fprintln(out, experiments.RenderAblation("branch predictor (Alpha model)", rows))
 		}
-		if rows, err := experiments.AblatePasses(s, "hmmsearch", tsz); err != nil {
-			log.Fatal(err)
+		if rows, err := experiments.AblatePasses(ctx, s, "hmmsearch", tsz); err != nil {
+			return err
 		} else {
 			fmt.Fprintln(out, experiments.RenderAblation("compiler passes (Alpha model)", rows))
 		}
 		for _, plat := range []string{"itanium2", "alpha21264"} {
-			if rows, err := experiments.AblateRestrict(s, "hmmsearch", plat, tsz); err != nil {
-				log.Fatal(err)
+			if rows, err := experiments.AblateRestrict(ctx, s, "hmmsearch", plat, tsz); err != nil {
+				return err
 			} else {
 				fmt.Fprintln(out, experiments.RenderAblation("restrict parameters ("+plat+")", rows))
 			}
@@ -188,7 +255,7 @@ func main() {
 	}
 
 	elapsed := time.Since(start)
-	if *benchJSON != "" {
+	if cfg.benchJSON != "" {
 		doc := benchFile{
 			Size: sz.String(), Timing: tsz.String(), Jobs: s.Jobs(),
 			TotalSeconds: elapsed.Seconds(),
@@ -197,14 +264,15 @@ func main() {
 		}
 		buf, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		if err := os.WriteFile(*benchJSON, append(buf, '\n'), 0o644); err != nil {
-			log.Fatal(err)
+		if err := os.WriteFile(cfg.benchJSON, append(buf, '\n'), 0o644); err != nil {
+			return err
 		}
-		log.Printf("wrote %s", *benchJSON)
+		log.Printf("wrote %s", cfg.benchJSON)
 	}
 	st := s.Stats()
 	log.Printf("done in %v (%d compiles, %d compile-cache hits, %d runs, %d shared-run hits)",
 		elapsed.Round(time.Millisecond), st.Compiles, st.CompileHits, st.Runs, st.CharacterizeHits)
+	return nil
 }

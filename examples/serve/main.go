@@ -1,0 +1,92 @@
+// Serve boots the bioperfd characterization service in-process on a
+// loopback listener and drives it like a client: submit a sweep,
+// stream its progress events, fetch the result, and show that a
+// repeated request answers from the shared session's cache.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"bioperfload/internal/runner"
+	"bioperfload/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	svc := service.New(service.Config{Session: runner.NewSession(0)})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("bioperfd serving on %s\n\n", base)
+
+	// Submit a characterization sweep across all nine programs.
+	resp, err := http.Post(base+"/v1/sweep", "application/json",
+		strings.NewReader(`{"kind":"characterize","size":"test"}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sub service.SubmitResponse
+	json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	fmt.Printf("submitted sweep: job=%s status=%s\n", sub.JobID, sub.Status)
+
+	// Stream its progress log (NDJSON) until the terminal event.
+	events, err := http.Get(base + "/v1/jobs/" + sub.JobID + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := bufio.NewScanner(events.Body)
+	for sc.Scan() {
+		var ev service.Event
+		if json.Unmarshal(sc.Bytes(), &ev) == nil {
+			fmt.Printf("  event[%d] %s\n", ev.Seq, ev.Message)
+		}
+	}
+	events.Body.Close()
+
+	// Fetch the finished job and summarize the per-program results.
+	resp, err = http.Get(base + "/v1/jobs/" + sub.JobID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var view struct {
+		Status service.Status      `json:"status"`
+		Result service.SweepResult `json:"result"`
+	}
+	json.NewDecoder(resp.Body).Decode(&view)
+	resp.Body.Close()
+	fmt.Printf("\nsweep %s: %d programs characterized\n", view.Status, len(view.Result.Characterize))
+	for _, r := range view.Result.Characterize {
+		fmt.Printf("  %-12s %9d insts  loads %5.2f%%  L1 miss %5.2f%%\n",
+			r.Program, r.Instructions, r.Mix.LoadPct, r.Cache.L1LocalPct)
+	}
+
+	// A repeated characterize now answers from the session cache.
+	start := time.Now()
+	resp, err = http.Post(base+"/v1/characterize", "application/json",
+		bytes.NewReader([]byte(`{"program":"hmmsearch","size":"test","wait":true}`)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("\ncached characterize answered in %s\n", time.Since(start).Round(time.Microsecond))
+	fmt.Printf("session counters: %+v\n", svc.Session().Stats())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	svc.Shutdown(ctx)
+}

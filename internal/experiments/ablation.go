@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -54,12 +55,12 @@ type ablationVariant struct {
 // pair on the session's worker pool, preserving variant order. Each
 // variant is two independent timing runs, so a sweep of v variants
 // fans out into 2v jobs; compiles dedupe through the session cache.
-func runVariants(s *runner.Session, p *bio.Program, variants []ablationVariant, sz bio.Size) ([]AblationResult, error) {
+func runVariants(ctx context.Context, s *runner.Session, p *bio.Program, variants []ablationVariant, sz bio.Size) ([]AblationResult, error) {
 	out := make([]AblationResult, len(variants))
-	err := s.ForEach(len(variants)*2, func(k int) error {
+	err := s.ForEach(ctx, len(variants)*2, func(k int) error {
 		i, transformed := k/2, k%2 == 1
 		v := variants[i]
-		st, err := s.EvaluateOpts(p, v.cfg, v.opts, sz, transformed)
+		st, err := s.EvaluateOpts(ctx, p, v.cfg, v.opts, sz, transformed)
 		if err != nil {
 			return err
 		}
@@ -79,7 +80,7 @@ func runVariants(s *runner.Session, p *bio.Program, variants []ablationVariant, 
 
 // AblateL1Latency measures the program on Alpha-like machines whose
 // L1 load-to-use latency sweeps over the given values.
-func AblateL1Latency(s *runner.Session, progName string, sz bio.Size, latencies []int) ([]AblationResult, error) {
+func AblateL1Latency(ctx context.Context, s *runner.Session, progName string, sz bio.Size, latencies []int) ([]AblationResult, error) {
 	p, err := bio.ByName(progName)
 	if err != nil {
 		return nil, err
@@ -93,12 +94,12 @@ func AblateL1Latency(s *runner.Session, progName string, sz bio.Size, latencies 
 			name: fmt.Sprintf("L1=%dcyc", lat), cfg: cfg, opts: compiler.Default(),
 		})
 	}
-	return runVariants(s, p, variants, sz)
+	return runVariants(ctx, s, p, variants, sz)
 }
 
 // AblatePredictor measures the program on the Alpha model under
 // different branch predictors.
-func AblatePredictor(s *runner.Session, progName string, sz bio.Size) ([]AblationResult, error) {
+func AblatePredictor(ctx context.Context, s *runner.Session, progName string, sz bio.Size) ([]AblationResult, error) {
 	p, err := bio.ByName(progName)
 	if err != nil {
 		return nil, err
@@ -118,13 +119,13 @@ func AblatePredictor(s *runner.Session, progName string, sz bio.Size) ([]Ablatio
 		cfg.Predictor = v.mk
 		variants = append(variants, ablationVariant{name: v.name, cfg: cfg, opts: compiler.Default()})
 	}
-	return runVariants(s, p, variants, sz)
+	return runVariants(ctx, s, p, variants, sz)
 }
 
 // AblatePasses measures the program with compiler passes selectively
 // disabled (always on the Alpha model), isolating the contribution of
 // if-conversion and of the local scheduler.
-func AblatePasses(s *runner.Session, progName string, sz bio.Size) ([]AblationResult, error) {
+func AblatePasses(ctx context.Context, s *runner.Session, progName string, sz bio.Size) ([]AblationResult, error) {
 	p, err := bio.ByName(progName)
 	if err != nil {
 		return nil, err
@@ -158,7 +159,7 @@ func AblatePasses(s *runner.Session, progName string, sz bio.Size) ([]AblationRe
 	for _, v := range passVariants {
 		variants = append(variants, ablationVariant{name: v.name, cfg: cfg, opts: v.opts})
 	}
-	return runVariants(s, p, variants, sz)
+	return runVariants(ctx, s, p, variants, sz)
 }
 
 // RenderAblation renders one ablation series.
@@ -180,7 +181,7 @@ func RenderAblation(title string, rows []AblationResult) string {
 // and the hand-transformed sources. The paper reports that on the
 // Itanium the restrict baseline and the hand-transformed code perform
 // similarly.
-func AblateRestrict(s *runner.Session, progName, platName string, sz bio.Size) ([]AblationResult, error) {
+func AblateRestrict(ctx context.Context, s *runner.Session, progName, platName string, sz bio.Size) ([]AblationResult, error) {
 	p, err := bio.ByName(progName)
 	if err != nil {
 		return nil, err
@@ -206,8 +207,8 @@ func AblateRestrict(s *runner.Session, progName, platName string, sz bio.Size) (
 		{true, opts},          // hand-transformed
 	}
 	cycles := make([]uint64, len(jobs))
-	err = s.ForEach(len(jobs), func(i int) error {
-		st, err := s.EvaluateOpts(p, plat.Pipeline, jobs[i].opts, sz, jobs[i].transformed)
+	err = s.ForEach(ctx, len(jobs), func(i int) error {
+		st, err := s.EvaluateOpts(ctx, p, plat.Pipeline, jobs[i].opts, sz, jobs[i].transformed)
 		if err != nil {
 			return err
 		}

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -31,15 +32,15 @@ type ProgramProfile = runner.Profile
 // optimizing compiler) under the full analysis at the given size,
 // on a fresh parallel session.
 func Characterize(sz bio.Size) ([]*ProgramProfile, error) {
-	return CharacterizeSession(runner.NewSession(0), sz)
+	return CharacterizeSession(context.Background(), runner.NewSession(0), sz)
 }
 
 // CharacterizeSession characterizes the nine programs through the
 // given session: each program is compiled and functionally simulated
 // at most once per session, and the runs fan out across the session's
 // worker pool in deterministic (Table 1) order.
-func CharacterizeSession(s *runner.Session, sz bio.Size) ([]*ProgramProfile, error) {
-	return s.CharacterizeAll(sz)
+func CharacterizeSession(ctx context.Context, s *runner.Session, sz bio.Size) ([]*ProgramProfile, error) {
+	return s.CharacterizeAll(ctx, sz)
 }
 
 // --- Figure 1 / Table 1 ---
@@ -133,7 +134,7 @@ var Fig2Points = []int{1, 2, 5, 10, 20, 40, 80, 160, 320, 640}
 // Fig2 computes coverage curves for three representative BioPerf
 // programs and the three SPEC CPU2000 analogs on a fresh session.
 func Fig2(sz bio.Size) ([]Fig2Series, error) {
-	return Fig2Session(runner.NewSession(0), sz)
+	return Fig2Session(context.Background(), runner.NewSession(0), sz)
 }
 
 // Fig2BioPrograms are the three representative BioPerf curves.
@@ -143,17 +144,17 @@ var Fig2BioPrograms = []string{"hmmsearch", "hmmpfam", "clustalw"}
 // BioPerf curves reuse the shared characterization runs (no
 // re-simulation when CharacterizeSession already ran), and the three
 // analogs execute on the worker pool.
-func Fig2Session(s *runner.Session, sz bio.Size) ([]Fig2Series, error) {
+func Fig2Session(ctx context.Context, s *runner.Session, sz bio.Size) ([]Fig2Series, error) {
 	analogs := specx.All()
 	out := make([]Fig2Series, len(Fig2BioPrograms)+len(analogs))
 	small := sz != bio.SizeC
-	err := s.ForEach(len(out), func(i int) error {
+	err := s.ForEach(ctx, len(out), func(i int) error {
 		if i < len(Fig2BioPrograms) {
 			p, err := bio.ByName(Fig2BioPrograms[i])
 			if err != nil {
 				return err
 			}
-			prof, err := s.Characterize(p, sz)
+			prof, err := s.Characterize(ctx, p, sz)
 			if err != nil {
 				return err
 			}
@@ -285,18 +286,18 @@ func RenderTable4(rows []Table4Row) string {
 
 // Table5 returns the hot-load profile of hmmsearch (top n loads).
 func Table5(sz bio.Size, n int) ([]loadchar.HotLoad, error) {
-	return Table5Session(runner.NewSession(0), sz, n)
+	return Table5Session(context.Background(), runner.NewSession(0), sz, n)
 }
 
 // Table5Session reads the hot-load profile out of the session's
 // shared hmmsearch characterization run — no extra simulation when
 // the run already happened for Figure 1/2 or Tables 1/2/4.
-func Table5Session(s *runner.Session, sz bio.Size, n int) ([]loadchar.HotLoad, error) {
+func Table5Session(ctx context.Context, s *runner.Session, sz bio.Size, n int) ([]loadchar.HotLoad, error) {
 	p, err := bio.ByName("hmmsearch")
 	if err != nil {
 		return nil, err
 	}
-	prof, err := s.Characterize(p, sz)
+	prof, err := s.Characterize(ctx, p, sz)
 	if err != nil {
 		return nil, err
 	}
@@ -375,7 +376,7 @@ type Table8Cell struct {
 // Table8 runs the six transformable programs, original and
 // load-transformed, on all four platform models on a fresh session.
 func Table8(sz bio.Size) ([]Table8Cell, error) {
-	return Table8Session(runner.NewSession(0), sz)
+	return Table8Session(context.Background(), runner.NewSession(0), sz)
 }
 
 // Table8Session fans the 6 programs x 4 platforms x 2 variants = 48
@@ -383,17 +384,17 @@ func Table8(sz bio.Size) ([]Table8Cell, error) {
 // (program-major, platform-minor) and cell contents are identical to
 // the sequential path; compiles are deduplicated per (program,
 // variant, register budget) by the session's compile cache.
-func Table8Session(s *runner.Session, sz bio.Size) ([]Table8Cell, error) {
+func Table8Session(ctx context.Context, s *runner.Session, sz bio.Size) ([]Table8Cell, error) {
 	progs := bio.Transformed()
 	plats := platform.All()
 	nCells := len(progs) * len(plats)
 	statsOrig := make([]pipeline.Stats, nCells)
 	statsTrans := make([]pipeline.Stats, nCells)
-	err := s.ForEach(nCells*2, func(k int) error {
+	err := s.ForEach(ctx, nCells*2, func(k int) error {
 		i, transformed := k/2, k%2 == 1
 		p := progs[i/len(plats)]
 		plat := plats[i%len(plats)]
-		st, err := s.Evaluate(p, plat, sz, transformed)
+		st, err := s.Evaluate(ctx, p, plat, sz, transformed)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -197,11 +198,11 @@ func TestTable7Rendering(t *testing.T) {
 func TestParallelMatchesSequential(t *testing.T) {
 	render := func(jobs int) string {
 		s := runner.NewSession(jobs)
-		profiles, err := CharacterizeSession(s, bio.SizeTest)
+		profiles, err := CharacterizeSession(context.Background(), s, bio.SizeTest)
 		if err != nil {
 			t.Fatal(err)
 		}
-		fig2, err := Fig2Session(s, bio.SizeTest)
+		fig2, err := Fig2Session(context.Background(), s, bio.SizeTest)
 		if err != nil {
 			t.Fatal(err)
 		}

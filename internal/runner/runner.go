@@ -24,6 +24,8 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -75,10 +77,10 @@ type Profile struct {
 // Stats reports a session's cache effectiveness, for tests and for
 // the -bench-json perf record.
 type Stats struct {
-	Compiles         uint64 `json:"compiles"`           // compile-cache misses (actual compilations)
-	CompileHits      uint64 `json:"compile_hits"`       // compile-cache hits
-	Runs             uint64 `json:"runs"`               // sim.Machine.Run invocations
-	CharacterizeHits uint64 `json:"characterize_hits"`  // characterization-cache hits
+	Compiles         uint64 `json:"compiles"`          // compile-cache misses (actual compilations)
+	CompileHits      uint64 `json:"compile_hits"`      // compile-cache hits
+	Runs             uint64 `json:"runs"`              // sim.Machine.Run invocations
+	CharacterizeHits uint64 `json:"characterize_hits"` // characterization-cache hits
 }
 
 // Session owns the caches and the worker pool. Create with
@@ -158,7 +160,13 @@ func (s *Session) Compile(p *bio.Program, transformed bool, opts compiler.Option
 // compiling and functionally simulating at most once per (program,
 // size) per session. Every analyzer output (mix, coverage, cache,
 // branch, sequences, hot loads) reads from this one run.
-func (s *Session) Characterize(p *bio.Program, sz bio.Size) (*Profile, error) {
+//
+// The run executes under the context of the caller that triggered it;
+// concurrent callers of the same key share that run (and its fate).
+// Cancellation and deadline errors are never memoized — the cache
+// entry is evicted so a later request simply retries — because a
+// caller-imposed timeout says nothing about the next caller's budget.
+func (s *Session) Characterize(ctx context.Context, p *bio.Program, sz bio.Size) (*Profile, error) {
 	key := charKey{program: p.Name, size: sz}
 	s.mu.Lock()
 	e, ok := s.chars[key]
@@ -170,15 +178,26 @@ func (s *Session) Characterize(p *bio.Program, sz bio.Size) (*Profile, error) {
 	miss := false
 	e.once.Do(func() {
 		miss = true
-		e.prof, e.err = s.characterize(p, sz)
+		e.prof, e.err = s.characterize(ctx, p, sz)
 	})
 	if !miss {
 		s.charHits.Add(1)
 	}
+	if e.err != nil && isContextErr(e.err) {
+		s.mu.Lock()
+		if s.chars[key] == e {
+			delete(s.chars, key)
+		}
+		s.mu.Unlock()
+	}
 	return e.prof, e.err
 }
 
-func (s *Session) characterize(p *bio.Program, sz bio.Size) (*Profile, error) {
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func (s *Session) characterize(ctx context.Context, p *bio.Program, sz bio.Size) (*Profile, error) {
 	prog, err := s.Compile(p, false, compiler.Default())
 	if err != nil {
 		return nil, err
@@ -193,7 +212,7 @@ func (s *Session) characterize(p *bio.Program, sz bio.Size) (*Profile, error) {
 	a := loadchar.New(prog)
 	m.AddObserver(a)
 	s.runs.Add(1)
-	res, err := m.Run()
+	res, err := m.RunContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", p.Name, err)
 	}
@@ -205,11 +224,11 @@ func (s *Session) characterize(p *bio.Program, sz bio.Size) (*Profile, error) {
 
 // CharacterizeAll characterizes the nine BioPerf programs on the
 // worker pool, in the paper's Table 1 order.
-func (s *Session) CharacterizeAll(sz bio.Size) ([]*Profile, error) {
+func (s *Session) CharacterizeAll(ctx context.Context, sz bio.Size) ([]*Profile, error) {
 	progs := bio.All()
 	out := make([]*Profile, len(progs))
-	err := s.ForEach(len(progs), func(i int) error {
-		p, err := s.Characterize(progs[i], sz)
+	err := s.ForEach(ctx, len(progs), func(i int) error {
+		p, err := s.Characterize(ctx, progs[i], sz)
 		out[i] = p
 		return err
 	})
@@ -223,18 +242,18 @@ func (s *Session) CharacterizeAll(sz bio.Size) ([]*Profile, error) {
 // timing model, compiling with that platform's register budget via
 // the compile cache, and returns the cycle-level statistics. The
 // timing run itself is never cached: each call trains a fresh model.
-func (s *Session) Evaluate(p *bio.Program, plat platform.Platform, sz bio.Size, transformed bool) (pipeline.Stats, error) {
+func (s *Session) Evaluate(ctx context.Context, p *bio.Program, plat platform.Platform, sz bio.Size, transformed bool) (pipeline.Stats, error) {
 	opts := compiler.Options{
 		Opt:          compiler.Default().Opt,
 		AllocIntRegs: plat.AllocIntRegs,
 		AllocFPRegs:  plat.AllocFPRegs,
 	}
-	return s.EvaluateOpts(p, plat.Pipeline, opts, sz, transformed)
+	return s.EvaluateOpts(ctx, p, plat.Pipeline, opts, sz, transformed)
 }
 
 // EvaluateOpts is Evaluate with an explicit pipeline configuration
 // and compiler options (the ablations sweep both).
-func (s *Session) EvaluateOpts(p *bio.Program, cfg pipeline.Config, opts compiler.Options, sz bio.Size, transformed bool) (pipeline.Stats, error) {
+func (s *Session) EvaluateOpts(ctx context.Context, p *bio.Program, cfg pipeline.Config, opts compiler.Options, sz bio.Size, transformed bool) (pipeline.Stats, error) {
 	prog, err := s.Compile(p, transformed, opts)
 	if err != nil {
 		return pipeline.Stats{}, fmt.Errorf("%s: %w", p.Name, err)
@@ -249,7 +268,7 @@ func (s *Session) EvaluateOpts(p *bio.Program, cfg pipeline.Config, opts compile
 	model := pipeline.NewModel(cfg)
 	m.AddObserver(model)
 	s.runs.Add(1)
-	res, err := m.Run()
+	res, err := m.RunContext(ctx)
 	if err != nil {
 		return pipeline.Stats{}, fmt.Errorf("%s: %w", p.Name, err)
 	}
@@ -266,7 +285,12 @@ func (s *Session) EvaluateOpts(p *bio.Program, cfg pipeline.Config, opts compile
 // fail, the lowest-index error is returned — the same error a
 // sequential loop would surface first — so parallel and sequential
 // sessions report identically.
-func (s *Session) ForEach(n int, fn func(i int) error) error {
+//
+// Once ctx is canceled no further indices are dispatched; calls
+// already in flight finish on their own (fn is expected to observe
+// the same ctx). If every dispatched call succeeded but the sweep was
+// cut short, ctx.Err() is returned.
+func (s *Session) ForEach(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -276,6 +300,9 @@ func (s *Session) ForEach(n int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -289,7 +316,7 @@ func (s *Session) ForEach(n int, fn func(i int) error) error {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -304,5 +331,5 @@ func (s *Session) ForEach(n int, fn func(i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }

@@ -1,9 +1,12 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"bioperfload/internal/bio"
 	"bioperfload/internal/compiler"
@@ -20,7 +23,7 @@ func TestCharacterizeRunsOnce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first, err := s.Characterize(p, bio.SizeTest)
+	first, err := s.Characterize(context.Background(), p, bio.SizeTest)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +34,7 @@ func TestCharacterizeRunsOnce(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			prof, err := s.Characterize(p, bio.SizeTest)
+			prof, err := s.Characterize(context.Background(), p, bio.SizeTest)
 			if err != nil {
 				t.Error(err)
 				return
@@ -58,13 +61,13 @@ func TestCharacterizeRunsOnce(t *testing.T) {
 // runs, and repeating it performs zero more.
 func TestCharacterizeAllRunsOnce(t *testing.T) {
 	s := NewSession(0)
-	if _, err := s.CharacterizeAll(bio.SizeTest); err != nil {
+	if _, err := s.CharacterizeAll(context.Background(), bio.SizeTest); err != nil {
 		t.Fatal(err)
 	}
 	if st := s.Stats(); st.Runs != 9 || st.Compiles != 9 {
 		t.Errorf("after first pass: Runs=%d Compiles=%d, want 9/9", st.Runs, st.Compiles)
 	}
-	if _, err := s.CharacterizeAll(bio.SizeTest); err != nil {
+	if _, err := s.CharacterizeAll(context.Background(), bio.SizeTest); err != nil {
 		t.Fatal(err)
 	}
 	st := s.Stats()
@@ -88,11 +91,11 @@ func TestCompileCacheSharesAcrossTimingRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := s.Evaluate(p, plat, bio.SizeTest, false)
+	a, err := s.Evaluate(context.Background(), p, plat, bio.SizeTest, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.Evaluate(p, plat, bio.SizeTest, false)
+	b, err := s.Evaluate(context.Background(), p, plat, bio.SizeTest, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +150,7 @@ func TestForEachDeterministicOrder(t *testing.T) {
 	for _, jobs := range []int{1, 2, 8} {
 		s := NewSession(jobs)
 		out := make([]int, 100)
-		if err := s.ForEach(100, func(i int) error {
+		if err := s.ForEach(context.Background(), 100, func(i int) error {
 			out[i] = i * i
 			return nil
 		}); err != nil {
@@ -168,7 +171,7 @@ func TestForEachLowestIndexError(t *testing.T) {
 	errHigh := errors.New("high")
 	for _, jobs := range []int{1, 4} {
 		s := NewSession(jobs)
-		err := s.ForEach(50, func(i int) error {
+		err := s.ForEach(context.Background(), 50, func(i int) error {
 			switch i {
 			case 7:
 				return errLow
@@ -180,5 +183,76 @@ func TestForEachLowestIndexError(t *testing.T) {
 		if err != errLow {
 			t.Errorf("jobs=%d: got %v, want the lowest-index error", jobs, err)
 		}
+	}
+}
+
+// TestCharacterizeCancellation: a canceled context stops a
+// characterization run promptly, the failure is NOT memoized (the
+// cache entry is evicted), and a later request with a live context
+// runs and succeeds.
+func TestCharacterizeCancellation(t *testing.T) {
+	s := NewSession(1)
+	p, err := bio.ByName("hmmsearch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := s.Characterize(ctx, p, bio.SizeB); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("canceled run took %v, want prompt return", elapsed)
+	}
+	// The cancellation must not poison the cache: the retry runs the
+	// simulation for real and succeeds.
+	prof, err := s.Characterize(context.Background(), p, bio.SizeTest)
+	if err != nil {
+		t.Fatalf("retry after cancellation: %v", err)
+	}
+	if prof == nil || prof.Instructions == 0 {
+		t.Fatal("retry returned an empty profile")
+	}
+}
+
+// TestEvaluateCancellation: timing runs honor cancellation too.
+func TestEvaluateCancellation(t *testing.T) {
+	s := NewSession(1)
+	p, err := bio.ByName("hmmsearch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat, err := platform.ByName("alpha21264")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Evaluate(ctx, p, plat, bio.SizeB, false); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestForEachCancellation: a canceled context stops dispatching new
+// indices and the sweep reports the cancellation.
+func TestForEachCancellation(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		s := NewSession(jobs)
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := s.ForEach(ctx, 1000, func(i int) error {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("jobs=%d: got %v, want context.Canceled", jobs, err)
+		}
+		if n := ran.Load(); n >= 1000 {
+			t.Errorf("jobs=%d: all %d indices ran despite cancellation", jobs, n)
+		}
+		cancel()
 	}
 }

@@ -1,0 +1,150 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds. The span
+// covers sub-millisecond cache hits through multi-minute class-C
+// simulations.
+var latencyBuckets = []float64{
+	0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 300,
+}
+
+// histogram is a fixed-bucket cumulative histogram (Prometheus
+// convention: counts[i] counts observations <= bucket[i]).
+type histogram struct {
+	counts []uint64
+	count  uint64
+	sum    float64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(latencyBuckets))}
+}
+
+func (h *histogram) observe(seconds float64) {
+	h.count++
+	h.sum += seconds
+	for i, ub := range latencyBuckets {
+		if seconds <= ub {
+			h.counts[i]++
+		}
+	}
+}
+
+// Metrics aggregates request and job telemetry for GET /metrics.
+// All methods are safe for concurrent use.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[string]uint64     // "route|code" -> count
+	jobs     map[string]uint64     // "kind|status" -> count
+	latency  map[string]*histogram // route -> request latency
+	jobTime  map[string]*histogram // kind -> job queue-to-finish time
+}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests: make(map[string]uint64),
+		jobs:     make(map[string]uint64),
+		latency:  make(map[string]*histogram),
+		jobTime:  make(map[string]*histogram),
+	}
+}
+
+// ObserveRequest records one HTTP request's route, status code, and
+// handler latency.
+func (m *Metrics) ObserveRequest(route string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[fmt.Sprintf("%s|%d", route, code)]++
+	h := m.latency[route]
+	if h == nil {
+		h = newHistogram()
+		m.latency[route] = h
+	}
+	h.observe(d.Seconds())
+}
+
+// ObserveJob records one finished job's kind, terminal status, and
+// queue-to-finish duration.
+func (m *Metrics) ObserveJob(kind string, status Status, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobs[kind+"|"+string(status)]++
+	h := m.jobTime[kind]
+	if h == nil {
+		h = newHistogram()
+		m.jobTime[kind] = h
+	}
+	h.observe(d.Seconds())
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format, with deterministic (sorted) series order.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP bioperfd_http_requests_total HTTP requests by route and status code.")
+	fmt.Fprintln(w, "# TYPE bioperfd_http_requests_total counter")
+	for _, k := range sortedKeys(m.requests) {
+		route, code := splitKey(k)
+		fmt.Fprintf(w, "bioperfd_http_requests_total{route=%q,code=%q} %d\n", route, code, m.requests[k])
+	}
+
+	fmt.Fprintln(w, "# HELP bioperfd_http_request_duration_seconds HTTP handler latency.")
+	fmt.Fprintln(w, "# TYPE bioperfd_http_request_duration_seconds histogram")
+	writeHistograms(w, "bioperfd_http_request_duration_seconds", "route", m.latency)
+
+	fmt.Fprintln(w, "# HELP bioperfd_jobs_total Finished jobs by kind and terminal status.")
+	fmt.Fprintln(w, "# TYPE bioperfd_jobs_total counter")
+	for _, k := range sortedKeys(m.jobs) {
+		kind, status := splitKey(k)
+		fmt.Fprintf(w, "bioperfd_jobs_total{kind=%q,status=%q} %d\n", kind, status, m.jobs[k])
+	}
+
+	fmt.Fprintln(w, "# HELP bioperfd_job_duration_seconds Job queue-to-finish time.")
+	fmt.Fprintln(w, "# TYPE bioperfd_job_duration_seconds histogram")
+	writeHistograms(w, "bioperfd_job_duration_seconds", "kind", m.jobTime)
+}
+
+func writeHistograms(w io.Writer, name, label string, hs map[string]*histogram) {
+	keys := make([]string, 0, len(hs))
+	for k := range hs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h := hs[k]
+		for i, ub := range latencyBuckets {
+			fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"%g\"} %d\n", name, label, k, ub, h.counts[i])
+		}
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, k, h.count)
+		fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", name, label, k, h.sum)
+		fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, k, h.count)
+	}
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func splitKey(k string) (string, string) {
+	for i := 0; i < len(k); i++ {
+		if k[i] == '|' {
+			return k[:i], k[i+1:]
+		}
+	}
+	return k, ""
+}

@@ -1,0 +1,158 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Queue admission errors, mapped to HTTP status codes by the
+// handlers (429 and 503 respectively).
+var (
+	ErrQueueFull    = errors.New("service: job queue full")
+	ErrShuttingDown = errors.New("service: shutting down")
+)
+
+// queue is the bounded job queue and worker pool. Admission is
+// non-blocking: when the channel is full, submit fails immediately
+// with ErrQueueFull and the client sees 429 — backpressure instead of
+// unbounded buffering. Identical in-flight requests (same canonical
+// key) are deduplicated onto one job, and the Session below that
+// deduplicates the underlying simulation artifacts, so N concurrent
+// identical characterize requests cost one compile and one run.
+type queue struct {
+	jobs    chan *Job
+	wg      sync.WaitGroup
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	timeout time.Duration // server-wide per-job cap (0 = none)
+
+	// exec runs one job's work; swapped in tests to control timing.
+	exec func(ctx context.Context, j *Job) (any, error)
+	// onDone observes finished jobs (metrics).
+	onDone func(j *Job)
+
+	mu       sync.Mutex
+	closed   bool
+	byID     map[string]*Job
+	inflight map[string]*Job // key -> queued or running job
+	nextID   uint64
+}
+
+func newQueue(depth, workers int, timeout time.Duration,
+	exec func(ctx context.Context, j *Job) (any, error), onDone func(j *Job)) *queue {
+	ctx, cancel := context.WithCancel(context.Background())
+	q := &queue{
+		jobs:     make(chan *Job, depth),
+		baseCtx:  ctx,
+		cancel:   cancel,
+		timeout:  timeout,
+		exec:     exec,
+		onDone:   onDone,
+		byID:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+	}
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+// submit enqueues a job for (kind, key, spec), or joins the existing
+// in-flight job with the same key (singleflight; deduped=true). The
+// per-request timeout rides on the job; when requests dedupe, the
+// first request's timeout governs the shared run.
+func (q *queue) submit(kind, key string, spec any, timeout time.Duration) (j *Job, deduped bool, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, false, ErrShuttingDown
+	}
+	if exist := q.inflight[key]; exist != nil {
+		return exist, true, nil
+	}
+	q.nextID++
+	j = newJob(fmt.Sprintf("j%06d", q.nextID), kind, key, spec, timeout)
+	select {
+	case q.jobs <- j:
+	default:
+		return nil, false, ErrQueueFull
+	}
+	q.byID[j.ID] = j
+	q.inflight[key] = j
+	return j, false, nil
+}
+
+// get returns a job by ID (nil if unknown).
+func (q *queue) get(id string) *Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.byID[id]
+}
+
+// depth returns the number of queued-but-not-started jobs.
+func (q *queue) depth() int { return len(q.jobs) }
+
+func (q *queue) worker() {
+	defer q.wg.Done()
+	for j := range q.jobs {
+		q.runJob(j)
+	}
+}
+
+func (q *queue) runJob(j *Job) {
+	ctx := q.baseCtx
+	timeout := j.timeout
+	if q.timeout > 0 && (timeout <= 0 || timeout > q.timeout) {
+		timeout = q.timeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	j.setRunning()
+	result, err := q.exec(ctx, j)
+	j.finish(result, err)
+	q.mu.Lock()
+	if q.inflight[j.Key] == j {
+		delete(q.inflight, j.Key)
+	}
+	q.mu.Unlock()
+	if q.onDone != nil {
+		q.onDone(j)
+	}
+}
+
+// shutdown stops admission and drains: already-queued jobs still run
+// to completion. If ctx expires first, the base context is canceled —
+// in-flight simulations abort at their next cancellation check and
+// still-queued jobs fail instantly — and shutdown waits for the
+// workers before returning ctx's error.
+func (q *queue) shutdown(ctx context.Context) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil
+	}
+	q.closed = true
+	q.mu.Unlock()
+	close(q.jobs)
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		q.cancel()
+		return nil
+	case <-ctx.Done():
+		q.cancel()
+		<-done
+		return ctx.Err()
+	}
+}

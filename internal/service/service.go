@@ -1,0 +1,727 @@
+// Package service is the characterization-as-a-service layer behind
+// cmd/bioperfd: an HTTP JSON API that turns the paper's analyses —
+// load characterization, timing evaluation, cross-program/platform
+// sweeps — into queued jobs executed over one shared runner.Session.
+//
+// The paper's apparatus instrumented each binary once and derived
+// every analysis from that single run; the Session preserved that
+// discipline for batch experiments, and this package extends it to
+// serving: every request is admitted to a bounded queue (full queue →
+// 429), deduplicated against identical in-flight requests
+// (singleflight), executed by a worker pool under a per-job timeout,
+// and answered from the Session's memoized artifacts — so a cached
+// characterize request costs microseconds, not a re-simulation.
+// Shutdown drains queued jobs and cancels in-flight simulations
+// through the context threaded down to the simulator's commit loop.
+//
+// Endpoints:
+//
+//	POST /v1/characterize   {program, size, hot?, timeout_ms?, wait?}
+//	POST /v1/evaluate       {program, platform, size, transformed?, timeout_ms?, wait?}
+//	POST /v1/sweep          {kind, programs?, platforms?, size, hot?, timeout_ms?, wait?}
+//	GET  /v1/jobs/{id}      job status + result
+//	GET  /v1/jobs/{id}/events   NDJSON progress stream
+//	GET  /healthz           liveness + queue/session snapshot
+//	GET  /metrics           Prometheus text format
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"bioperfload/internal/bio"
+	"bioperfload/internal/loadchar"
+	"bioperfload/internal/pipeline"
+	"bioperfload/internal/platform"
+	"bioperfload/internal/runner"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Session is the shared-artifact engine every job runs over. nil
+	// creates a fresh GOMAXPROCS-wide session.
+	Session *runner.Session
+	// QueueDepth bounds the number of admitted-but-not-started jobs;
+	// a full queue rejects with 429. Default 64.
+	QueueDepth int
+	// Workers is the job-executor pool width. Jobs themselves fan out
+	// further through the Session's simulation pool. Default 4.
+	Workers int
+	// JobTimeout caps any single job's run time; requests may ask for
+	// less via timeout_ms but never more. 0 = no server-wide cap.
+	JobTimeout time.Duration
+}
+
+// Server owns the queue, the metrics registry, and the HTTP routes.
+// Create with New, serve via Handler, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	session *runner.Session
+	queue   *queue
+	metrics *Metrics
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New creates a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Session == nil {
+		cfg.Session = runner.NewSession(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	s := &Server{
+		cfg:     cfg,
+		session: cfg.Session,
+		metrics: NewMetrics(),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.queue = newQueue(cfg.QueueDepth, cfg.Workers, cfg.JobTimeout, s.exec, s.jobDone)
+
+	s.mux.Handle("POST /v1/characterize", s.instrument("characterize", s.handleCharacterize))
+	s.mux.Handle("POST /v1/evaluate", s.instrument("evaluate", s.handleEvaluate))
+	s.mux.Handle("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
+	s.mux.Handle("GET /v1/jobs/{id}", s.instrument("job", s.handleJob))
+	s.mux.Handle("GET /v1/jobs/{id}/events", s.instrument("events", s.handleJobEvents))
+	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.Handle("GET /metrics", http.HandlerFunc(s.handleMetrics))
+	return s
+}
+
+// Handler returns the HTTP handler for the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Session exposes the underlying shared-artifact engine (tests read
+// its cache counters to prove deduplication).
+func (s *Server) Session() *runner.Session { return s.session }
+
+// Metrics exposes the telemetry registry.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Shutdown stops admitting jobs and drains the queue; when ctx
+// expires first, in-flight simulations are canceled. It does not stop
+// an enclosing http.Server — callers shut that down alongside.
+func (s *Server) Shutdown(ctx context.Context) error { return s.queue.shutdown(ctx) }
+
+func (s *Server) jobDone(j *Job) {
+	s.metrics.ObserveJob(j.Kind, j.Status(), j.Duration())
+}
+
+// --- request / result documents ---
+
+// CharacterizeRequest is the POST /v1/characterize body.
+type CharacterizeRequest struct {
+	Program   string `json:"program"`
+	Size      string `json:"size,omitempty"`       // test|classB|classC (default classB)
+	Hot       int    `json:"hot,omitempty"`        // hot loads in the report (default 6)
+	TimeoutMS int64  `json:"timeout_ms,omitempty"` // per-job timeout
+	Wait      bool   `json:"wait,omitempty"`       // block until the job finishes
+}
+
+// EvaluateRequest is the POST /v1/evaluate body.
+type EvaluateRequest struct {
+	Program     string `json:"program"`
+	Platform    string `json:"platform"`
+	Size        string `json:"size,omitempty"`
+	Transformed bool   `json:"transformed,omitempty"`
+	TimeoutMS   int64  `json:"timeout_ms,omitempty"`
+	Wait        bool   `json:"wait,omitempty"`
+}
+
+// SweepRequest is the POST /v1/sweep body: one job that fans a
+// characterize or evaluate request across programs (and platforms)
+// on the Session's simulation pool.
+type SweepRequest struct {
+	Kind      string   `json:"kind"`                // characterize|evaluate
+	Programs  []string `json:"programs,omitempty"`  // default: all nine (characterize) / the six transformed (evaluate)
+	Platforms []string `json:"platforms,omitempty"` // evaluate only; default: all four
+	Size      string   `json:"size,omitempty"`
+	Hot       int      `json:"hot,omitempty"`
+	TimeoutMS int64    `json:"timeout_ms,omitempty"`
+	Wait      bool     `json:"wait,omitempty"`
+}
+
+// SubmitResponse acknowledges an async job submission (202).
+type SubmitResponse struct {
+	JobID   string `json:"job_id"`
+	Status  Status `json:"status"`
+	Deduped bool   `json:"deduped"` // joined an identical in-flight job
+}
+
+// MixView is the instruction-mix slice of a characterize result.
+type MixView struct {
+	LoadPct       float64 `json:"load_pct"`
+	StorePct      float64 `json:"store_pct"`
+	CondBranchPct float64 `json:"cond_branch_pct"`
+	OtherPct      float64 `json:"other_pct"`
+	FPPct         float64 `json:"fp_pct"`
+}
+
+// CacheView is the Table 2 slice of a characterize result (load miss
+// rates through the modeled hierarchy).
+type CacheView struct {
+	L1LocalPct float64 `json:"l1_local_miss_pct"`
+	L2LocalPct float64 `json:"l2_local_miss_pct"`
+	OverallPct float64 `json:"overall_miss_pct"`
+	AMAT       float64 `json:"amat_cycles"`
+}
+
+// SequencesView is the Table 4 slice of a characterize result.
+type SequencesView struct {
+	LoadToBranchPct        float64 `json:"load_to_branch_pct"`
+	FedBranchMispredictPct float64 `json:"fed_branch_mispredict_pct"`
+	LoadAfterHardBranchPct float64 `json:"load_after_hard_branch_pct"`
+	OverallMispredictPct   float64 `json:"overall_mispredict_pct"`
+}
+
+// HotLoadView is one Table 5-style row of a characterize result.
+type HotLoadView struct {
+	PC               int32   `json:"pc"`
+	FrequencyPct     float64 `json:"frequency_pct"`
+	L1MissPct        float64 `json:"l1_miss_pct"`
+	BranchMispredPct float64 `json:"branch_mispredict_pct"`
+	Func             string  `json:"func"`
+	File             string  `json:"file"`
+	Line             int32   `json:"line"`
+}
+
+// CharacterizeResult is one program's full characterization payload.
+// Report is the canonical profile text, byte-equivalent to
+// `cmd/bioperf -profile` (both render through loadchar.RenderProfile).
+type CharacterizeResult struct {
+	Program       string        `json:"program"`
+	Size          string        `json:"size"`
+	Instructions  uint64        `json:"instructions"`
+	Mix           MixView       `json:"mix"`
+	StaticLoads   int           `json:"static_loads"`
+	CoverageTop80 float64       `json:"coverage_top80_pct"`
+	Cache         CacheView     `json:"cache"`
+	Sequences     SequencesView `json:"sequences"`
+	HotLoads      []HotLoadView `json:"hot_loads"`
+	Report        string        `json:"report"`
+}
+
+// EvaluateResult is one timing run's payload.
+type EvaluateResult struct {
+	Program       string  `json:"program"`
+	Platform      string  `json:"platform"`
+	Size          string  `json:"size"`
+	Transformed   bool    `json:"transformed"`
+	Instructions  uint64  `json:"instructions"`
+	Cycles        uint64  `json:"cycles"`
+	IPC           float64 `json:"ipc"`
+	CondBranches  uint64  `json:"cond_branches"`
+	MispredictPct float64 `json:"mispredict_pct"`
+	Loads         uint64  `json:"loads"`
+	AMAT          float64 `json:"amat_cycles"`
+	L1Hits        uint64  `json:"l1_hits"`
+	L2Hits        uint64  `json:"l2_hits"`
+	MemHits       uint64  `json:"mem_hits"`
+}
+
+// SweepEvaluateItem is one program x platform cell of an evaluate
+// sweep: both variants plus the speedup, like a Table 8 cell.
+type SweepEvaluateItem struct {
+	Program     string  `json:"program"`
+	Platform    string  `json:"platform"`
+	CyclesOrig  uint64  `json:"cycles_original"`
+	CyclesTrans uint64  `json:"cycles_transformed"`
+	SpeedupPct  float64 `json:"speedup_pct"`
+}
+
+// SweepResult is a sweep job's payload.
+type SweepResult struct {
+	Kind         string               `json:"kind"`
+	Size         string               `json:"size"`
+	Characterize []CharacterizeResult `json:"characterize,omitempty"`
+	Evaluate     []SweepEvaluateItem  `json:"evaluate,omitempty"`
+}
+
+// --- resolved job specs ---
+
+type charSpec struct {
+	prog *bio.Program
+	sz   bio.Size
+	hot  int
+}
+
+type evalSpec struct {
+	prog        *bio.Program
+	plat        platform.Platform
+	sz          bio.Size
+	transformed bool
+}
+
+type sweepSpec struct {
+	kind  string
+	progs []*bio.Program
+	plats []platform.Platform
+	sz    bio.Size
+	hot   int
+}
+
+func parseSizeDefault(s string) (bio.Size, error) {
+	switch s {
+	case "", "classB", "b", "B":
+		return bio.SizeB, nil
+	case "test":
+		return bio.SizeTest, nil
+	case "classC", "c", "C":
+		return bio.SizeC, nil
+	}
+	return 0, fmt.Errorf("unknown size %q (test|classB|classC)", s)
+}
+
+// --- executors ---
+
+func (s *Server) exec(ctx context.Context, j *Job) (any, error) {
+	switch spec := j.spec.(type) {
+	case charSpec:
+		return s.runCharacterize(ctx, j, spec)
+	case evalSpec:
+		return s.runEvaluate(ctx, j, spec)
+	case sweepSpec:
+		return s.runSweep(ctx, j, spec)
+	}
+	return nil, fmt.Errorf("service: unknown job spec %T", j.spec)
+}
+
+func (s *Server) runCharacterize(ctx context.Context, j *Job, spec charSpec) (any, error) {
+	j.Event("characterizing %s at %s", spec.prog.Name, spec.sz)
+	prof, err := s.session.Characterize(ctx, spec.prog, spec.sz)
+	if err != nil {
+		return nil, err
+	}
+	j.Event("simulated %d instructions", prof.Instructions)
+	return characterizeResult(prof, spec.sz, spec.hot), nil
+}
+
+func characterizeResult(prof *runner.Profile, sz bio.Size, hot int) CharacterizeResult {
+	a := prof.Analysis
+	m := a.Mix()
+	c := a.CacheReport()
+	sq := a.Sequences()
+	res := CharacterizeResult{
+		Program:      prof.Name,
+		Size:         sz.String(),
+		Instructions: prof.Instructions,
+		Mix: MixView{
+			LoadPct: m.LoadPct, StorePct: m.StorePct,
+			CondBranchPct: m.BranchPct, OtherPct: m.OtherPct,
+			FPPct: 100 * m.FPFraction,
+		},
+		StaticLoads:   a.StaticLoadCount(),
+		CoverageTop80: 100 * a.CoverageAt(80),
+		Cache: CacheView{
+			L1LocalPct: 100 * c.L1Local, L2LocalPct: 100 * c.L2Local,
+			OverallPct: 100 * c.Overall, AMAT: c.AMAT,
+		},
+		Sequences: SequencesView{
+			LoadToBranchPct:        sq.LoadToBranchPct,
+			FedBranchMispredictPct: 100 * sq.FedBranchMispredictRate,
+			LoadAfterHardBranchPct: sq.LoadAfterHardBranchPct,
+			OverallMispredictPct:   100 * sq.OverallMispredictRate,
+		},
+		Report: loadchar.RenderProfile(prof.Name, sz.String(), a, hot),
+	}
+	for _, h := range a.HotLoads(hot) {
+		res.HotLoads = append(res.HotLoads, HotLoadView{
+			PC: h.PC, FrequencyPct: 100 * h.Frequency,
+			L1MissPct: 100 * h.L1MissRate, BranchMispredPct: 100 * h.BranchMispred,
+			Func: h.Func, File: h.File, Line: h.Line,
+		})
+	}
+	return res
+}
+
+func (s *Server) runEvaluate(ctx context.Context, j *Job, spec evalSpec) (any, error) {
+	j.Event("timing %s (transformed=%v) on %s at %s",
+		spec.prog.Name, spec.transformed, spec.plat.Name, spec.sz)
+	st, err := s.session.Evaluate(ctx, spec.prog, spec.plat, spec.sz, spec.transformed)
+	if err != nil {
+		return nil, err
+	}
+	j.Event("retired %d instructions in %d cycles", st.Instructions, st.Cycles)
+	return evaluateResult(spec, st), nil
+}
+
+func evaluateResult(spec evalSpec, st pipeline.Stats) EvaluateResult {
+	return EvaluateResult{
+		Program: spec.prog.Name, Platform: spec.plat.Name,
+		Size: spec.sz.String(), Transformed: spec.transformed,
+		Instructions: st.Instructions, Cycles: st.Cycles, IPC: st.IPC(),
+		CondBranches: st.CondBranches, MispredictPct: 100 * st.MispredictRate(),
+		Loads: st.Loads, AMAT: st.AMAT(),
+		L1Hits: st.L1Hits, L2Hits: st.L2Hits, MemHits: st.MemHits,
+	}
+}
+
+func (s *Server) runSweep(ctx context.Context, j *Job, spec sweepSpec) (any, error) {
+	out := SweepResult{Kind: spec.kind, Size: spec.sz.String()}
+	var completed atomic.Int64
+	switch spec.kind {
+	case "characterize":
+		j.Event("sweeping characterization across %d programs at %s", len(spec.progs), spec.sz)
+		results := make([]CharacterizeResult, len(spec.progs))
+		err := s.session.ForEach(ctx, len(spec.progs), func(i int) error {
+			prof, err := s.session.Characterize(ctx, spec.progs[i], spec.sz)
+			if err != nil {
+				return err
+			}
+			results[i] = characterizeResult(prof, spec.sz, spec.hot)
+			j.Event("%d/%d: %s done", completed.Add(1), len(spec.progs), prof.Name)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Characterize = results
+	case "evaluate":
+		nCells := len(spec.progs) * len(spec.plats)
+		j.Event("sweeping %d programs x %d platforms (original and transformed) at %s",
+			len(spec.progs), len(spec.plats), spec.sz)
+		orig := make([]uint64, nCells)
+		trans := make([]uint64, nCells)
+		err := s.session.ForEach(ctx, nCells*2, func(k int) error {
+			i, transformed := k/2, k%2 == 1
+			p := spec.progs[i/len(spec.plats)]
+			plat := spec.plats[i%len(spec.plats)]
+			st, err := s.session.Evaluate(ctx, p, plat, spec.sz, transformed)
+			if err != nil {
+				return err
+			}
+			if transformed {
+				trans[i] = st.Cycles
+			} else {
+				orig[i] = st.Cycles
+			}
+			j.Event("%d/%d: %s on %s (transformed=%v) done",
+				completed.Add(1), nCells*2, p.Name, plat.Name, transformed)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < nCells; i++ {
+			item := SweepEvaluateItem{
+				Program:    spec.progs[i/len(spec.plats)].Name,
+				Platform:   spec.plats[i%len(spec.plats)].Name,
+				CyclesOrig: orig[i], CyclesTrans: trans[i],
+			}
+			if trans[i] > 0 {
+				item.SpeedupPct = 100 * (float64(orig[i])/float64(trans[i]) - 1)
+			}
+			out.Evaluate = append(out.Evaluate, item)
+		}
+	default:
+		return nil, fmt.Errorf("service: unknown sweep kind %q", spec.kind)
+	}
+	return out, nil
+}
+
+// --- HTTP handlers ---
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return nil
+}
+
+// submit runs the shared admission path: enqueue (or dedupe), then
+// either acknowledge with 202 or, for wait=true, block until the job
+// finishes and return its full document.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind, key string, spec any, timeoutMS int64, wait bool) {
+	var timeout time.Duration
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
+	}
+	job, deduped, err := s.queue.submit(kind, key, spec, timeout)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+		return
+	case errors.Is(err, ErrShuttingDown):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	if !wait {
+		writeJSON(w, http.StatusAccepted, SubmitResponse{JobID: job.ID, Status: job.Status(), Deduped: deduped})
+		return
+	}
+	select {
+	case <-job.Done():
+		writeJSON(w, http.StatusOK, job.View())
+	case <-r.Context().Done():
+		// Client went away; the job keeps running for other waiters.
+	}
+}
+
+func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
+	var req CharacterizeRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	prog, err := bio.ByName(req.Program)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	sz, err := parseSizeDefault(req.Size)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	hot := req.Hot
+	if hot <= 0 {
+		hot = 6
+	}
+	key := fmt.Sprintf("characterize|%s|%s|hot=%d", prog.Name, sz, hot)
+	s.submit(w, r, "characterize", key, charSpec{prog: prog, sz: sz, hot: hot}, req.TimeoutMS, req.Wait)
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req EvaluateRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	prog, err := bio.ByName(req.Program)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	plat, err := platform.ByName(req.Platform)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	sz, err := parseSizeDefault(req.Size)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	key := fmt.Sprintf("evaluate|%s|%s|%s|transformed=%v", prog.Name, plat.Name, sz, req.Transformed)
+	spec := evalSpec{prog: prog, plat: plat, sz: sz, transformed: req.Transformed}
+	s.submit(w, r, "evaluate", key, spec, req.TimeoutMS, req.Wait)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	sz, err := parseSizeDefault(req.Size)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	spec := sweepSpec{kind: req.Kind, sz: sz, hot: req.Hot}
+	if spec.hot <= 0 {
+		spec.hot = 6
+	}
+	switch req.Kind {
+	case "characterize":
+		spec.progs, err = resolvePrograms(req.Programs, bio.All())
+	case "evaluate":
+		spec.progs, err = resolvePrograms(req.Programs, bio.Transformed())
+		if err == nil {
+			spec.plats, err = resolvePlatforms(req.Platforms)
+		}
+	default:
+		err = fmt.Errorf("unknown sweep kind %q (characterize|evaluate)", req.Kind)
+	}
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	names := make([]string, len(spec.progs))
+	for i, p := range spec.progs {
+		names[i] = p.Name
+	}
+	platNames := make([]string, len(spec.plats))
+	for i, p := range spec.plats {
+		platNames[i] = p.Name
+	}
+	key := fmt.Sprintf("sweep|%s|%s|hot=%d|progs=%s|plats=%s",
+		req.Kind, sz, spec.hot, strings.Join(names, ","), strings.Join(platNames, ","))
+	s.submit(w, r, "sweep", key, spec, req.TimeoutMS, req.Wait)
+}
+
+// resolvePrograms maps names to programs, defaulting to def and
+// keeping the paper's canonical order for named subsets.
+func resolvePrograms(names []string, def []*bio.Program) ([]*bio.Program, error) {
+	if len(names) == 0 {
+		return def, nil
+	}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	out := make([]*bio.Program, 0, len(sorted))
+	for _, n := range sorted {
+		p, err := bio.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func resolvePlatforms(names []string) ([]platform.Platform, error) {
+	if len(names) == 0 {
+		return platform.All(), nil
+	}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	out := make([]platform.Platform, 0, len(sorted))
+	for _, n := range sorted {
+		p, err := platform.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.queue.get(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job " + r.PathValue("id")})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+// handleJobEvents streams the job's progress log as NDJSON, one Event
+// per line, ending after the terminal event once the job finishes.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.queue.get(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job " + r.PathValue("id")})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	next := 0
+	for {
+		evs, terminal, changed := j.EventsSince(next)
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		next += len(evs)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if terminal && len(evs) == 0 {
+			return
+		}
+		if terminal {
+			// Drain any events appended after the terminal one on the
+			// next loop iteration, then exit.
+			continue
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// HealthResponse is the GET /healthz document.
+type HealthResponse struct {
+	Status        string       `json:"status"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	QueueDepth    int          `json:"queue_depth"`
+	Session       runner.Stats `json:"session"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		QueueDepth:    s.queue.depth(),
+		Session:       s.session.Stats(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WritePrometheus(w)
+	st := s.session.Stats()
+	fmt.Fprintln(w, "# HELP bioperfd_queue_depth Jobs admitted but not yet started.")
+	fmt.Fprintln(w, "# TYPE bioperfd_queue_depth gauge")
+	fmt.Fprintf(w, "bioperfd_queue_depth %d\n", s.queue.depth())
+	fmt.Fprintln(w, "# HELP bioperfd_session_counters Shared-artifact session cache counters.")
+	fmt.Fprintln(w, "# TYPE bioperfd_session_compiles counter")
+	fmt.Fprintf(w, "bioperfd_session_compiles %d\n", st.Compiles)
+	fmt.Fprintln(w, "# TYPE bioperfd_session_compile_hits counter")
+	fmt.Fprintf(w, "bioperfd_session_compile_hits %d\n", st.CompileHits)
+	fmt.Fprintln(w, "# TYPE bioperfd_session_runs counter")
+	fmt.Fprintf(w, "bioperfd_session_runs %d\n", st.Runs)
+	fmt.Fprintln(w, "# TYPE bioperfd_session_characterize_hits counter")
+	fmt.Fprintf(w, "bioperfd_session_characterize_hits %d\n", st.CharacterizeHits)
+}
+
+// statusWriter captures the status code for metrics and forwards
+// Flush for streaming handlers.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.metrics.ObserveRequest(route, sw.code, time.Since(start))
+	})
+}

@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -203,6 +204,22 @@ func (m *Machine) ReadSymbolInt64s(name string, n int) ([]int64, error) {
 
 // Run executes until HALT, a trap, or fuel exhaustion.
 func (m *Machine) Run() (*Result, error) {
+	return m.RunContext(context.Background())
+}
+
+// CancelCheckInterval is how many instructions execute between
+// context-cancellation checks in RunContext. The check lives outside
+// the per-instruction hot loop — execution proceeds in chunks of this
+// many instructions — so cancellation support costs nothing per
+// instruction while a canceled run still stops within one chunk.
+const CancelCheckInterval = 1 << 16
+
+// RunContext executes until HALT, a trap, fuel exhaustion, or context
+// cancellation. Cancellation is detected within CancelCheckInterval
+// committed instructions; the returned error wraps ctx.Err(), and the
+// event slab is flushed first so observers see the full committed
+// prefix, exactly as on the trap path.
+func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 	fuel := m.Fuel
 	if fuel == 0 {
 		fuel = DefaultFuel
@@ -233,195 +250,206 @@ func (m *Machine) Run() (*Result, error) {
 		return res, err
 	}
 
-	for res.Instructions < fuel {
-		pc := m.PC
-		if pc < 0 || pc >= n {
-			return fail(&Trap{PC: pc, Msg: "pc out of range"})
+	for {
+		stop := res.Instructions + CancelCheckInterval
+		if stop > fuel {
+			stop = fuel
 		}
-		in := &insts[pc]
-		next := pc + 1
-		var addr uint64
-		taken := false
+		for res.Instructions < stop {
+			pc := m.PC
+			if pc < 0 || pc >= n {
+				return fail(&Trap{PC: pc, Msg: "pc out of range"})
+			}
+			in := &insts[pc]
+			next := pc + 1
+			var addr uint64
+			taken := false
 
-		switch in.Op {
-		case isa.OpNop:
-		case isa.OpAdd:
-			m.setR(in.Rd, m.R[in.Ra]+m.src2(in))
-		case isa.OpSub:
-			m.setR(in.Rd, m.R[in.Ra]-m.src2(in))
-		case isa.OpMul:
-			m.setR(in.Rd, m.R[in.Ra]*m.src2(in))
-		case isa.OpDiv:
-			d := m.src2(in)
-			if d == 0 {
-				return fail(&Trap{PC: pc, Msg: "integer divide by zero"})
-			}
-			m.setR(in.Rd, m.R[in.Ra]/d)
-		case isa.OpRem:
-			d := m.src2(in)
-			if d == 0 {
-				return fail(&Trap{PC: pc, Msg: "integer remainder by zero"})
-			}
-			m.setR(in.Rd, m.R[in.Ra]%d)
-		case isa.OpAnd:
-			m.setR(in.Rd, m.R[in.Ra]&m.src2(in))
-		case isa.OpOr:
-			m.setR(in.Rd, m.R[in.Ra]|m.src2(in))
-		case isa.OpXor:
-			m.setR(in.Rd, m.R[in.Ra]^m.src2(in))
-		case isa.OpSll:
-			m.setR(in.Rd, m.R[in.Ra]<<(uint64(m.src2(in))&63))
-		case isa.OpSrl:
-			m.setR(in.Rd, int64(uint64(m.R[in.Ra])>>(uint64(m.src2(in))&63)))
-		case isa.OpSra:
-			m.setR(in.Rd, m.R[in.Ra]>>(uint64(m.src2(in))&63))
-		case isa.OpCmpEq:
-			m.setR(in.Rd, b2i(m.R[in.Ra] == m.src2(in)))
-		case isa.OpCmpLt:
-			m.setR(in.Rd, b2i(m.R[in.Ra] < m.src2(in)))
-		case isa.OpCmpLe:
-			m.setR(in.Rd, b2i(m.R[in.Ra] <= m.src2(in)))
-		case isa.OpCmpUlt:
-			m.setR(in.Rd, b2i(uint64(m.R[in.Ra]) < uint64(m.src2(in))))
-		case isa.OpS8Add:
-			m.setR(in.Rd, m.R[in.Ra]*8+m.src2(in))
-		case isa.OpLda:
-			m.setR(in.Rd, m.R[in.Ra]+in.Imm)
-		case isa.OpLdiq:
-			m.setR(in.Rd, in.Imm)
-		case isa.OpCmovEq:
-			if m.R[in.Ra] == 0 {
-				m.setR(in.Rd, m.R[in.Rb])
-			}
-		case isa.OpCmovNe:
-			if m.R[in.Ra] != 0 {
-				m.setR(in.Rd, m.R[in.Rb])
-			}
-		case isa.OpCmovLt:
-			if m.R[in.Ra] < 0 {
-				m.setR(in.Rd, m.R[in.Rb])
-			}
-		case isa.OpCmovLe:
-			if m.R[in.Ra] <= 0 {
-				m.setR(in.Rd, m.R[in.Rb])
-			}
-		case isa.OpCmovGt:
-			if m.R[in.Ra] > 0 {
-				m.setR(in.Rd, m.R[in.Rb])
-			}
-		case isa.OpCmovGe:
-			if m.R[in.Ra] >= 0 {
-				m.setR(in.Rd, m.R[in.Rb])
-			}
-		case isa.OpLdq:
-			addr = uint64(m.R[in.Ra] + in.Imm)
-			m.setR(in.Rd, m.Mem.ReadInt64(addr))
-		case isa.OpLdbu:
-			addr = uint64(m.R[in.Ra] + in.Imm)
-			m.setR(in.Rd, int64(m.Mem.LoadByte(addr)))
-		case isa.OpStq:
-			addr = uint64(m.R[in.Ra] + in.Imm)
-			m.Mem.WriteInt64(addr, m.R[in.Rb])
-		case isa.OpStb:
-			addr = uint64(m.R[in.Ra] + in.Imm)
-			m.Mem.StoreByte(addr, byte(m.R[in.Rb]))
-		case isa.OpLdt:
-			addr = uint64(m.R[in.Ra] + in.Imm)
-			m.setF(in.Rd, m.Mem.ReadFloat64(addr))
-		case isa.OpStt:
-			addr = uint64(m.R[in.Ra] + in.Imm)
-			m.Mem.WriteFloat64(addr, m.F[in.Rb])
-		case isa.OpAddt:
-			m.setF(in.Rd, m.F[in.Ra]+m.F[in.Rb])
-		case isa.OpSubt:
-			m.setF(in.Rd, m.F[in.Ra]-m.F[in.Rb])
-		case isa.OpMult:
-			m.setF(in.Rd, m.F[in.Ra]*m.F[in.Rb])
-		case isa.OpDivt:
-			m.setF(in.Rd, m.F[in.Ra]/m.F[in.Rb])
-		case isa.OpCmpTeq:
-			m.setR(in.Rd, b2i(m.F[in.Ra] == m.F[in.Rb]))
-		case isa.OpCmpTlt:
-			m.setR(in.Rd, b2i(m.F[in.Ra] < m.F[in.Rb]))
-		case isa.OpCmpTle:
-			m.setR(in.Rd, b2i(m.F[in.Ra] <= m.F[in.Rb]))
-		case isa.OpCvtQT:
-			m.setF(in.Rd, float64(m.R[in.Ra]))
-		case isa.OpCvtTQ:
-			m.setR(in.Rd, int64(m.F[in.Ra]))
-		case isa.OpFMov:
-			m.setF(in.Rd, m.F[in.Ra])
-		case isa.OpFNeg:
-			m.setF(in.Rd, -m.F[in.Ra])
-		case isa.OpBr:
-			next = in.Target
-			taken = true
-		case isa.OpBeq:
-			taken = m.R[in.Ra] == 0
-			if taken {
+			switch in.Op {
+			case isa.OpNop:
+			case isa.OpAdd:
+				m.setR(in.Rd, m.R[in.Ra]+m.src2(in))
+			case isa.OpSub:
+				m.setR(in.Rd, m.R[in.Ra]-m.src2(in))
+			case isa.OpMul:
+				m.setR(in.Rd, m.R[in.Ra]*m.src2(in))
+			case isa.OpDiv:
+				d := m.src2(in)
+				if d == 0 {
+					return fail(&Trap{PC: pc, Msg: "integer divide by zero"})
+				}
+				m.setR(in.Rd, m.R[in.Ra]/d)
+			case isa.OpRem:
+				d := m.src2(in)
+				if d == 0 {
+					return fail(&Trap{PC: pc, Msg: "integer remainder by zero"})
+				}
+				m.setR(in.Rd, m.R[in.Ra]%d)
+			case isa.OpAnd:
+				m.setR(in.Rd, m.R[in.Ra]&m.src2(in))
+			case isa.OpOr:
+				m.setR(in.Rd, m.R[in.Ra]|m.src2(in))
+			case isa.OpXor:
+				m.setR(in.Rd, m.R[in.Ra]^m.src2(in))
+			case isa.OpSll:
+				m.setR(in.Rd, m.R[in.Ra]<<(uint64(m.src2(in))&63))
+			case isa.OpSrl:
+				m.setR(in.Rd, int64(uint64(m.R[in.Ra])>>(uint64(m.src2(in))&63)))
+			case isa.OpSra:
+				m.setR(in.Rd, m.R[in.Ra]>>(uint64(m.src2(in))&63))
+			case isa.OpCmpEq:
+				m.setR(in.Rd, b2i(m.R[in.Ra] == m.src2(in)))
+			case isa.OpCmpLt:
+				m.setR(in.Rd, b2i(m.R[in.Ra] < m.src2(in)))
+			case isa.OpCmpLe:
+				m.setR(in.Rd, b2i(m.R[in.Ra] <= m.src2(in)))
+			case isa.OpCmpUlt:
+				m.setR(in.Rd, b2i(uint64(m.R[in.Ra]) < uint64(m.src2(in))))
+			case isa.OpS8Add:
+				m.setR(in.Rd, m.R[in.Ra]*8+m.src2(in))
+			case isa.OpLda:
+				m.setR(in.Rd, m.R[in.Ra]+in.Imm)
+			case isa.OpLdiq:
+				m.setR(in.Rd, in.Imm)
+			case isa.OpCmovEq:
+				if m.R[in.Ra] == 0 {
+					m.setR(in.Rd, m.R[in.Rb])
+				}
+			case isa.OpCmovNe:
+				if m.R[in.Ra] != 0 {
+					m.setR(in.Rd, m.R[in.Rb])
+				}
+			case isa.OpCmovLt:
+				if m.R[in.Ra] < 0 {
+					m.setR(in.Rd, m.R[in.Rb])
+				}
+			case isa.OpCmovLe:
+				if m.R[in.Ra] <= 0 {
+					m.setR(in.Rd, m.R[in.Rb])
+				}
+			case isa.OpCmovGt:
+				if m.R[in.Ra] > 0 {
+					m.setR(in.Rd, m.R[in.Rb])
+				}
+			case isa.OpCmovGe:
+				if m.R[in.Ra] >= 0 {
+					m.setR(in.Rd, m.R[in.Rb])
+				}
+			case isa.OpLdq:
+				addr = uint64(m.R[in.Ra] + in.Imm)
+				m.setR(in.Rd, m.Mem.ReadInt64(addr))
+			case isa.OpLdbu:
+				addr = uint64(m.R[in.Ra] + in.Imm)
+				m.setR(in.Rd, int64(m.Mem.LoadByte(addr)))
+			case isa.OpStq:
+				addr = uint64(m.R[in.Ra] + in.Imm)
+				m.Mem.WriteInt64(addr, m.R[in.Rb])
+			case isa.OpStb:
+				addr = uint64(m.R[in.Ra] + in.Imm)
+				m.Mem.StoreByte(addr, byte(m.R[in.Rb]))
+			case isa.OpLdt:
+				addr = uint64(m.R[in.Ra] + in.Imm)
+				m.setF(in.Rd, m.Mem.ReadFloat64(addr))
+			case isa.OpStt:
+				addr = uint64(m.R[in.Ra] + in.Imm)
+				m.Mem.WriteFloat64(addr, m.F[in.Rb])
+			case isa.OpAddt:
+				m.setF(in.Rd, m.F[in.Ra]+m.F[in.Rb])
+			case isa.OpSubt:
+				m.setF(in.Rd, m.F[in.Ra]-m.F[in.Rb])
+			case isa.OpMult:
+				m.setF(in.Rd, m.F[in.Ra]*m.F[in.Rb])
+			case isa.OpDivt:
+				m.setF(in.Rd, m.F[in.Ra]/m.F[in.Rb])
+			case isa.OpCmpTeq:
+				m.setR(in.Rd, b2i(m.F[in.Ra] == m.F[in.Rb]))
+			case isa.OpCmpTlt:
+				m.setR(in.Rd, b2i(m.F[in.Ra] < m.F[in.Rb]))
+			case isa.OpCmpTle:
+				m.setR(in.Rd, b2i(m.F[in.Ra] <= m.F[in.Rb]))
+			case isa.OpCvtQT:
+				m.setF(in.Rd, float64(m.R[in.Ra]))
+			case isa.OpCvtTQ:
+				m.setR(in.Rd, int64(m.F[in.Ra]))
+			case isa.OpFMov:
+				m.setF(in.Rd, m.F[in.Ra])
+			case isa.OpFNeg:
+				m.setF(in.Rd, -m.F[in.Ra])
+			case isa.OpBr:
 				next = in.Target
-			}
-		case isa.OpBne:
-			taken = m.R[in.Ra] != 0
-			if taken {
+				taken = true
+			case isa.OpBeq:
+				taken = m.R[in.Ra] == 0
+				if taken {
+					next = in.Target
+				}
+			case isa.OpBne:
+				taken = m.R[in.Ra] != 0
+				if taken {
+					next = in.Target
+				}
+			case isa.OpBlt:
+				taken = m.R[in.Ra] < 0
+				if taken {
+					next = in.Target
+				}
+			case isa.OpBle:
+				taken = m.R[in.Ra] <= 0
+				if taken {
+					next = in.Target
+				}
+			case isa.OpBgt:
+				taken = m.R[in.Ra] > 0
+				if taken {
+					next = in.Target
+				}
+			case isa.OpBge:
+				taken = m.R[in.Ra] >= 0
+				if taken {
+					next = in.Target
+				}
+			case isa.OpJsr:
+				m.setR(in.Rd, int64(pc+1))
 				next = in.Target
+				taken = true
+			case isa.OpRet:
+				next = int32(m.R[in.Ra])
+				taken = true
+			case isa.OpPrint:
+				res.IntOutput = append(res.IntOutput, m.R[in.Ra])
+			case isa.OpPrintF:
+				res.FPOutput = append(res.FPOutput, m.F[in.Ra])
+			case isa.OpHalt:
+				res.Instructions++
+				res.ExitCode = m.R[0]
+				if hasObs {
+					m.slab = append(m.slab, Event{Seq: res.Instructions - 1, PC: pc, Inst: in, Target: next})
+					flush()
+				}
+				return res, nil
+			default:
+				return fail(&Trap{PC: pc, Msg: "illegal opcode " + in.Op.String()})
 			}
-		case isa.OpBlt:
-			taken = m.R[in.Ra] < 0
-			if taken {
-				next = in.Target
-			}
-		case isa.OpBle:
-			taken = m.R[in.Ra] <= 0
-			if taken {
-				next = in.Target
-			}
-		case isa.OpBgt:
-			taken = m.R[in.Ra] > 0
-			if taken {
-				next = in.Target
-			}
-		case isa.OpBge:
-			taken = m.R[in.Ra] >= 0
-			if taken {
-				next = in.Target
-			}
-		case isa.OpJsr:
-			m.setR(in.Rd, int64(pc+1))
-			next = in.Target
-			taken = true
-		case isa.OpRet:
-			next = int32(m.R[in.Ra])
-			taken = true
-		case isa.OpPrint:
-			res.IntOutput = append(res.IntOutput, m.R[in.Ra])
-		case isa.OpPrintF:
-			res.FPOutput = append(res.FPOutput, m.F[in.Ra])
-		case isa.OpHalt:
-			res.Instructions++
-			res.ExitCode = m.R[0]
+
 			if hasObs {
-				m.slab = append(m.slab, Event{Seq: res.Instructions - 1, PC: pc, Inst: in, Target: next})
-				flush()
+				m.slab = append(m.slab, Event{
+					Seq: res.Instructions, PC: pc, Inst: in,
+					Addr: addr, Taken: taken, Target: next,
+				})
+				if len(m.slab) == BatchSize {
+					flush()
+				}
 			}
-			return res, nil
-		default:
-			return fail(&Trap{PC: pc, Msg: "illegal opcode " + in.Op.String()})
+			res.Instructions++
+			m.PC = next
 		}
-
-		if hasObs {
-			m.slab = append(m.slab, Event{
-				Seq: res.Instructions, PC: pc, Inst: in,
-				Addr: addr, Taken: taken, Target: next,
-			})
-			if len(m.slab) == BatchSize {
-				flush()
-			}
+		if res.Instructions >= fuel {
+			return fail(ErrFuelExhausted)
 		}
-		res.Instructions++
-		m.PC = next
+		if err := ctx.Err(); err != nil {
+			return fail(fmt.Errorf("sim: %s: %w", m.prog.Name, err))
+		}
 	}
-	return fail(ErrFuelExhausted)
 }
 
 func (m *Machine) setR(rd uint8, v int64) {

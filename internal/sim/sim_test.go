@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"bioperfload/internal/isa"
 )
@@ -488,5 +490,63 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ResetTimer()
 	if _, err := m.Run(); err != nil && !errors.Is(err, ErrFuelExhausted) {
 		b.Fatal(err)
+	}
+}
+
+// TestRunContextCancel: a canceled context stops an unbounded run
+// promptly (within CancelCheckInterval instructions) with an error
+// wrapping context.Canceled, and the committed-instruction prefix is
+// still delivered to observers.
+func TestRunContextCancel(t *testing.T) {
+	b := isa.NewBuilder("spin")
+	b.Label("loop")
+	b.Branch(isa.OpBr, 0, "loop")
+	b.Halt()
+	m, _ := New(b.MustProgram())
+	var observed uint64
+	m.AddBatchObserver(BatchObserverFunc(func(evs []Event) {
+		observed += uint64(len(evs))
+	}))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := m.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res.Instructions > CancelCheckInterval {
+		t.Errorf("ran %d instructions after cancellation, want <= %d",
+			res.Instructions, CancelCheckInterval)
+	}
+	if observed != res.Instructions {
+		t.Errorf("observers saw %d of %d committed instructions", observed, res.Instructions)
+	}
+}
+
+// TestRunContextDeadline: an already-expired deadline behaves like the
+// cancel path and reports context.DeadlineExceeded.
+func TestRunContextDeadline(t *testing.T) {
+	b := isa.NewBuilder("spin")
+	b.Label("loop")
+	b.Branch(isa.OpBr, 0, "loop")
+	b.Halt()
+	m, _ := New(b.MustProgram())
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	if _, err := m.RunContext(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}
+
+// TestRunContextCompletesNormally: a live context does not disturb a
+// normal run.
+func TestRunContextCompletesNormally(t *testing.T) {
+	m, _ := New(sumProgram(100))
+	res, err := m.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IntOutput) != 1 || res.IntOutput[0] != 4950 {
+		t.Fatalf("output = %v, want [4950]", res.IntOutput)
 	}
 }
