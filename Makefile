@@ -1,10 +1,16 @@
 GO ?= go
 
-.PHONY: check vet build test race smoke serve-smoke experiments bench bench-service
+.PHONY: check fmt-check vet build test race smoke fuzz-smoke serve-smoke experiments bench bench-service bench-trace
 
-# check is the full gate: static analysis, build, the race-enabled
-# test suite, and an end-to-end experiments smoke run.
-check: vet build race smoke
+# check is the full gate: formatting, static analysis, build, the
+# race-enabled test suite, and an end-to-end experiments smoke run.
+check: fmt-check vet build race smoke
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +29,11 @@ race:
 smoke:
 	$(GO) run ./cmd/experiments -size test -timing test > /dev/null
 
+# fuzz-smoke gives the trace codec fuzzer a short budget on top of the
+# checked-in corpus (which always runs as part of `go test`).
+fuzz-smoke:
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzCodec -fuzztime 10s
+
 # experiments reproduces the paper-scale artifacts and records the
 # perf trajectory in BENCH_experiments.json.
 experiments:
@@ -32,13 +43,17 @@ experiments:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
-# serve-smoke proves the bioperfd daemon end to end: boot, health
-# check, one characterize over the API, graceful SIGTERM drain.
+# serve-smoke proves the bioperfd daemon end to end: boot with a
+# persistent artifact store, health check, one characterize over the
+# API, graceful SIGTERM drain — then restart on the same store and
+# show the second characterize is served from persisted artifacts
+# without re-simulating (store hits and profile hits move on /metrics).
 SMOKE_ADDR ?= 127.0.0.1:18980
 serve-smoke:
 	$(GO) build -o bioperfd.smoke ./cmd/bioperfd
-	@set -e; ./bioperfd.smoke -addr $(SMOKE_ADDR) & pid=$$!; \
-	trap 'kill $$pid 2>/dev/null || true; rm -f bioperfd.smoke' EXIT; \
+	@set -e; store=$$(mktemp -d); \
+	./bioperfd.smoke -addr $(SMOKE_ADDR) -store $$store & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf bioperfd.smoke "$$store"' EXIT; \
 	ok=; for i in $$(seq 1 100); do \
 		curl -sf http://$(SMOKE_ADDR)/healthz >/dev/null 2>&1 && ok=1 && break; \
 		sleep 0.1; \
@@ -52,9 +67,32 @@ serve-smoke:
 	curl -sf http://$(SMOKE_ADDR)/metrics | grep -q bioperfd_http_requests_total \
 		|| { echo "serve-smoke: metrics missing" >&2; exit 1; }; \
 	kill -TERM $$pid; wait $$pid; \
-	echo "serve-smoke: OK"
+	./bioperfd.smoke -addr $(SMOKE_ADDR) -store $$store & pid=$$!; \
+	ok=; for i in $$(seq 1 100); do \
+		curl -sf http://$(SMOKE_ADDR)/healthz >/dev/null 2>&1 && ok=1 && break; \
+		sleep 0.1; \
+	done; \
+	test -n "$$ok" || { echo "serve-smoke: restarted daemon never became healthy" >&2; exit 1; }; \
+	curl -sf -X POST http://$(SMOKE_ADDR)/v1/characterize \
+		-d '{"program":"hmmsearch","size":"test","wait":true}' \
+		| grep -q '"status": "done"' \
+		|| { echo "serve-smoke: warm characterize did not finish" >&2; exit 1; }; \
+	curl -sf http://$(SMOKE_ADDR)/metrics | grep -Eq 'bioperfd_store_hits [1-9]' \
+		|| { echo "serve-smoke: restart did not hit the store" >&2; exit 1; }; \
+	curl -sf http://$(SMOKE_ADDR)/metrics | grep -Eq 'bioperfd_session_(profile_hits|replay_runs) [1-9]' \
+		|| { echo "serve-smoke: warm characterize was not served from the store" >&2; exit 1; }; \
+	kill -TERM $$pid; wait $$pid; \
+	echo "serve-smoke: OK (cold boot + warm restart from store)"
 
 # bench-service records the daemon's cold vs cached characterize
 # latency over the loopback API at paper scale.
 bench-service:
 	$(GO) run ./cmd/bioperfd -bench BENCH_service.json -bench-size classB
+
+# bench-trace records cold vs store-served characterization (plus raw
+# sequential and component-parallel trace replay) and writes the
+# comparison JSON.
+TRACE_SIZE ?= classB
+TRACE_JSON ?= BENCH_trace.json
+bench-trace:
+	$(GO) run ./cmd/bioperf bench-trace -size $(TRACE_SIZE) -json $(TRACE_JSON)

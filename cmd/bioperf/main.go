@@ -4,6 +4,12 @@
 //	bioperf -list
 //	bioperf -program hmmsearch -size classB -profile
 //	bioperf -program hmmsearch -size classB -platform alpha21264 -transformed
+//
+// Subcommands record and replay committed-instruction traces:
+//
+//	bioperf trace -program hmmsearch -size classB -o hmm.trace
+//	bioperf replay -j 2 hmm.trace
+//	bioperf bench-trace -size classB -json BENCH_trace.json
 package main
 
 import (
@@ -17,6 +23,16 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "trace":
+			os.Exit(cmdTrace(os.Args[2:], os.Stderr))
+		case "replay":
+			os.Exit(cmdReplay(os.Args[2:], os.Stderr))
+		case "bench-trace":
+			os.Exit(cmdBenchTrace(os.Args[2:], os.Stderr))
+		}
+	}
 	list := flag.Bool("list", false, "list the applications and platforms")
 	name := flag.String("program", "hmmsearch", "application to run")
 	sizeFlag := flag.String("size", "test", "input size (test|classB|classC)")

@@ -1,0 +1,430 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"bioperfload/internal/bio"
+	"bioperfload/internal/compiler"
+	"bioperfload/internal/isa"
+	"bioperfload/internal/loadchar"
+	"bioperfload/internal/runner"
+	"bioperfload/internal/sim"
+	"bioperfload/internal/store"
+	"bioperfload/internal/trace"
+)
+
+func parseSize(s string) (bio.Size, error) {
+	switch s {
+	case "test":
+		return bio.SizeTest, nil
+	case "classB", "b", "B":
+		return bio.SizeB, nil
+	case "classC", "c", "C":
+		return bio.SizeC, nil
+	}
+	return 0, fmt.Errorf("unknown size %q (test|classB|classC)", s)
+}
+
+// record simulates p at sz with a trace writer attached and returns
+// the validated result. The trace is written to w and is only complete
+// (footer present) if record returns nil error.
+func record(p *bio.Program, prog *isa.Program, sz bio.Size, fp string, w io.Writer) (*sim.Result, *trace.Writer, error) {
+	m, err := sim.New(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := p.Bind(m, sz); err != nil {
+		return nil, nil, fmt.Errorf("%s: bind: %w", p.Name, err)
+	}
+	tw := trace.NewWriter(w, trace.Meta{
+		Program:     p.Name,
+		Fingerprint: fp,
+		Size:        sz.String(),
+	})
+	m.AddBatchObserver(tw)
+	res, err := m.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := p.Validate(res, sz); err != nil {
+		return nil, nil, fmt.Errorf("%s: validation: %w", p.Name, err)
+	}
+	if err := tw.Close(); err != nil {
+		return nil, nil, fmt.Errorf("%s: trace: %w", p.Name, err)
+	}
+	if tw.Events() != res.Instructions {
+		return nil, nil, fmt.Errorf("%s: trace recorded %d events for %d instructions",
+			p.Name, tw.Events(), res.Instructions)
+	}
+	return res, tw, nil
+}
+
+// cmdTrace records a committed-instruction trace of one program run to
+// a file, for later offline replay with `bioperf replay`.
+func cmdTrace(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bioperf trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	name := fs.String("program", "hmmsearch", "application to record")
+	sizeFlag := fs.String("size", "test", "input size (test|classB|classC)")
+	out := fs.String("o", "", "output path (default <program>-<size>.trace)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "bioperf trace: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	sz, err := parseSize(*sizeFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "bioperf trace: -size: %v\n", err)
+		return 2
+	}
+	p, err := bio.ByName(*name)
+	if err != nil {
+		fmt.Fprintf(stderr, "bioperf trace: %v\n", err)
+		return 2
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("%s-%s.trace", p.Name, sz)
+	}
+
+	prog, err := p.Compile(false, compiler.Default())
+	if err != nil {
+		fmt.Fprintf(stderr, "bioperf trace: %v\n", err)
+		return 1
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "bioperf trace: %v\n", err)
+		return 1
+	}
+	fp := runner.Fingerprint(p, false, compiler.Default())
+	res, tw, err := record(p, prog, sz, fp, f)
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		fmt.Fprintf(stderr, "bioperf trace: %v\n", err)
+		return 1
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(stderr, "bioperf trace: %v\n", err)
+		return 1
+	}
+	st, _ := os.Stat(path)
+	fmt.Printf("%s: %d instructions -> %s (%d bytes, %.2f bits/event)\n",
+		p.Name, res.Instructions, path, st.Size(),
+		8*float64(st.Size())/float64(tw.Events()))
+	return 0
+}
+
+// cmdReplay re-runs the load characterization from a recorded trace:
+// no compilation beyond rebinding instruction metadata, no simulation.
+func cmdReplay(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bioperf replay", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jobs := fs.Int("j", 1, "replay workers (>1 = component-parallel analysis)")
+	hot := fs.Int("hot", 6, "hot loads to print")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintf(stderr, "usage: bioperf replay [-j n] [-hot n] file.trace\n")
+		return 2
+	}
+	if *jobs < 1 {
+		fmt.Fprintf(stderr, "bioperf replay: -j: invalid worker count %d\n", *jobs)
+		return 2
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "bioperf replay: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	tr, err := trace.NewReader(f)
+	if err != nil {
+		fmt.Fprintf(stderr, "bioperf replay: %v\n", err)
+		return 1
+	}
+	meta := tr.Meta()
+	p, err := bio.ByName(meta.Program)
+	if err != nil {
+		fmt.Fprintf(stderr, "bioperf replay: trace program: %v\n", err)
+		return 1
+	}
+	if fp := runner.Fingerprint(p, false, compiler.Default()); meta.Fingerprint != fp {
+		fmt.Fprintf(stderr, "bioperf replay: fingerprint mismatch: trace %s was recorded from a different %s build\n",
+			meta.Fingerprint[:12], p.Name)
+		return 1
+	}
+	prog, err := p.Compile(false, compiler.Default())
+	if err != nil {
+		fmt.Fprintf(stderr, "bioperf replay: %v\n", err)
+		return 1
+	}
+
+	var a *loadchar.Analysis
+	if *jobs > 1 {
+		src := tr.ParallelEvents(prog, *jobs)
+		a, err = loadchar.AnalyzeParallel(context.Background(), prog, src)
+		src.Close()
+	} else {
+		a = loadchar.New(prog)
+		_, err = tr.Replay(context.Background(), prog, a)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "bioperf replay: %v\n", err)
+		return 1
+	}
+	fmt.Print(loadchar.RenderProfile(p.Name, meta.Size, a, *hot))
+	return 0
+}
+
+// benchTraceFile is the bench-trace JSON document. The headline
+// comparison is a cold store-backed characterization (compile +
+// simulate + analyze + persist) against the same request served warm
+// from the persisted artifacts by a fresh session; the raw replay
+// timings document what trace decoding and re-analysis cost on their
+// own.
+type benchTraceFile struct {
+	Tool                  string  `json:"tool"`
+	Program               string  `json:"program"`
+	Size                  string  `json:"size"`
+	Instructions          uint64  `json:"instructions"`
+	TraceBytes            int64   `json:"trace_bytes"`
+	BitsPerEvent          float64 `json:"bits_per_event"`
+	Workers               int     `json:"workers"`
+	ColdCharacterizeMS    float64 `json:"cold_characterize_ms"`
+	WarmCharacterizeMS    float64 `json:"warm_characterize_ms"`
+	CharacterizeSpeedup   float64 `json:"characterize_speedup"`
+	ColdMS                float64 `json:"cold_ms"`
+	RecordMS              float64 `json:"record_ms"`
+	ReplayMS              float64 `json:"replay_ms"`
+	ParallelReplayMS      float64 `json:"parallel_replay_ms"`
+	ReplaySpeedup         float64 `json:"replay_speedup"`
+	ParallelReplaySpeedup float64 `json:"parallel_replay_speedup"`
+	ProfilesIdentical     bool    `json:"profiles_identical"`
+	Generated             string  `json:"generated"`
+}
+
+// cmdBenchTrace measures cold vs store-served characterization (and
+// raw trace replay) and writes the comparison as JSON. With -check N
+// it exits non-zero when the characterize speedup falls below N.
+func cmdBenchTrace(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bioperf bench-trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	name := fs.String("program", "hmmsearch", "application to benchmark")
+	sizeFlag := fs.String("size", "classB", "input size (test|classB|classC)")
+	jsonPath := fs.String("json", "BENCH_trace.json", "output JSON path")
+	jobs := fs.Int("j", 2, "parallel replay workers")
+	check := fs.Float64("check", 0, "fail unless warm characterize speedup >= this (0 = no check)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "bioperf bench-trace: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	sz, err := parseSize(*sizeFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "bioperf bench-trace: -size: %v\n", err)
+		return 2
+	}
+	p, err := bio.ByName(*name)
+	if err != nil {
+		fmt.Fprintf(stderr, "bioperf bench-trace: %v\n", err)
+		return 2
+	}
+	if err := benchTrace(p, sz, *jsonPath, *jobs, *check); err != nil {
+		fmt.Fprintf(stderr, "bioperf bench-trace: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func benchTrace(p *bio.Program, sz bio.Size, jsonPath string, jobs int, check float64) error {
+	prog, err := p.Compile(false, compiler.Default())
+	if err != nil {
+		return err
+	}
+	fp := runner.Fingerprint(p, false, compiler.Default())
+	ctx := context.Background()
+
+	// Cold: simulate with the live analyzer attached — the baseline
+	// characterization path.
+	coldStart := time.Now()
+	m, err := sim.New(prog)
+	if err != nil {
+		return err
+	}
+	if err := p.Bind(m, sz); err != nil {
+		return err
+	}
+	live := loadchar.New(prog)
+	m.AddBatchObserver(live)
+	res, err := m.Run()
+	if err != nil {
+		return err
+	}
+	if err := p.Validate(res, sz); err != nil {
+		return err
+	}
+	cold := time.Since(coldStart)
+	want := loadchar.RenderProfile(p.Name, sz.String(), live, 10)
+
+	// Record: simulate again, this time writing the trace file.
+	tf, err := os.CreateTemp("", "bioperf-bench-*.trace")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tf.Name())
+	defer tf.Close()
+	recStart := time.Now()
+	if _, _, err := record(p, prog, sz, fp, tf); err != nil {
+		return err
+	}
+	recDur := time.Since(recStart)
+	traceSize, err := tf.Seek(0, io.SeekEnd)
+	if err != nil {
+		return err
+	}
+
+	reopen := func() (*trace.Reader, error) {
+		if _, err := tf.Seek(0, io.SeekStart); err != nil {
+			return nil, err
+		}
+		return trace.NewReader(tf)
+	}
+
+	// Sequential replay.
+	tr, err := reopen()
+	if err != nil {
+		return err
+	}
+	seqStart := time.Now()
+	seq := loadchar.New(prog)
+	if _, err := tr.Replay(ctx, prog, seq); err != nil {
+		return err
+	}
+	seqDur := time.Since(seqStart)
+
+	// Component-parallel replay.
+	tr, err = reopen()
+	if err != nil {
+		return err
+	}
+	parStart := time.Now()
+	src := tr.ParallelEvents(prog, jobs)
+	par, err := loadchar.AnalyzeParallel(ctx, prog, src)
+	src.Close()
+	if err != nil {
+		return err
+	}
+	parDur := time.Since(parStart)
+
+	// Store-backed serving, the path runner.Session and bioperfd use:
+	// a cold session on an empty store pays the full pipeline (compile
+	// + simulate + analyze + record + persist), then a fresh session on
+	// the same store must serve the identical profile from the
+	// persisted artifacts without simulating.
+	storeDir, err := os.MkdirTemp("", "bioperf-bench-store-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(storeDir)
+	st1, err := store.Open(storeDir, 0)
+	if err != nil {
+		return err
+	}
+	coldSess := runner.NewSessionWithStore(1, st1)
+	coldCharStart := time.Now()
+	coldProf, err := coldSess.Characterize(ctx, p, sz)
+	coldChar := time.Since(coldCharStart)
+	if err != nil {
+		return err
+	}
+	if err := st1.Close(); err != nil {
+		return err
+	}
+
+	st2, err := store.Open(storeDir, 0)
+	if err != nil {
+		return err
+	}
+	defer st2.Close()
+	warmSess := runner.NewSessionWithStore(1, st2)
+	warmCharStart := time.Now()
+	warmProf, err := warmSess.Characterize(ctx, p, sz)
+	warmChar := time.Since(warmCharStart)
+	if err != nil {
+		return err
+	}
+	if stats := warmSess.Stats(); stats.Runs != 0 {
+		return fmt.Errorf("warm characterize re-simulated: %+v", stats)
+	}
+
+	identical := loadchar.RenderProfile(p.Name, sz.String(), seq, 10) == want &&
+		loadchar.RenderProfile(p.Name, sz.String(), par, 10) == want &&
+		loadchar.RenderProfile(p.Name, sz.String(), coldProf.Analysis, 10) == want &&
+		loadchar.RenderProfile(p.Name, sz.String(), warmProf.Analysis, 10) == want
+	if !identical {
+		return fmt.Errorf("replayed profiles differ from the live profile")
+	}
+
+	out := benchTraceFile{
+		Tool:                  "bioperf bench-trace",
+		Program:               p.Name,
+		Size:                  sz.String(),
+		Instructions:          res.Instructions,
+		TraceBytes:            traceSize,
+		BitsPerEvent:          8 * float64(traceSize) / float64(res.Instructions),
+		Workers:               jobs,
+		ColdCharacterizeMS:    coldChar.Seconds() * 1e3,
+		WarmCharacterizeMS:    warmChar.Seconds() * 1e3,
+		CharacterizeSpeedup:   coldChar.Seconds() / warmChar.Seconds(),
+		ColdMS:                cold.Seconds() * 1e3,
+		RecordMS:              recDur.Seconds() * 1e3,
+		ReplayMS:              seqDur.Seconds() * 1e3,
+		ParallelReplayMS:      parDur.Seconds() * 1e3,
+		ReplaySpeedup:         cold.Seconds() / seqDur.Seconds(),
+		ParallelReplaySpeedup: cold.Seconds() / parDur.Seconds(),
+		ProfilesIdentical:     identical,
+		Generated:             time.Now().UTC().Format(time.RFC3339),
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s %s: %d instructions, trace %d bytes (%.2f bits/event)\n",
+		p.Name, sz, res.Instructions, traceSize, out.BitsPerEvent)
+	fmt.Printf("  cold characterize %8.1f ms\n", out.ColdCharacterizeMS)
+	fmt.Printf("  warm characterize %8.1f ms  (%.2fx, store-served)\n", out.WarmCharacterizeMS, out.CharacterizeSpeedup)
+	fmt.Printf("  cold simulate     %8.1f ms\n", out.ColdMS)
+	fmt.Printf("  record            %8.1f ms\n", out.RecordMS)
+	fmt.Printf("  replay            %8.1f ms  (%.2fx)\n", out.ReplayMS, out.ReplaySpeedup)
+	fmt.Printf("  parallel replay   %8.1f ms  (%.2fx, j=%d)\n", out.ParallelReplayMS, out.ParallelReplaySpeedup, jobs)
+	fmt.Printf("  wrote %s\n", jsonPath)
+	if check > 0 && out.CharacterizeSpeedup < check {
+		return fmt.Errorf("warm characterize speedup %.2fx below required %.2fx", out.CharacterizeSpeedup, check)
+	}
+	return nil
+}

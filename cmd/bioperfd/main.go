@@ -7,6 +7,12 @@
 //	curl -s -X POST localhost:8080/v1/characterize \
 //	    -d '{"program":"hmmsearch","size":"classB","wait":true}'
 //
+// With -store DIR the session is backed by a persistent artifact
+// store: cold characterizations record their event traces, and a
+// restarted daemon pointed at the same directory serves them again by
+// replay — no recompilation, no re-simulation. Store hit/miss/eviction
+// counters appear on /metrics.
+//
 // With -bench PATH the daemon instead benchmarks itself — cold vs
 // cached characterize latency over the loopback API — and writes the
 // result as JSON (see BENCH_service.json).
@@ -31,6 +37,7 @@ import (
 	"bioperfload/internal/bio"
 	"bioperfload/internal/runner"
 	"bioperfload/internal/service"
+	"bioperfload/internal/store"
 )
 
 func main() {
@@ -44,10 +51,28 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
 	bench := flag.String("bench", "", "benchmark the service against itself and write JSON to this path instead of serving")
 	benchSize := flag.String("bench-size", "classB", "input size for -bench")
+	storeDir := flag.String("store", "", "persistent artifact store directory (warm restarts replay recorded traces)")
+	storeMax := flag.Int64("store-max", 0, "artifact store size cap in bytes (0 = unlimited, LRU eviction above)")
 	flag.Parse()
 
+	var artifacts *store.Store
+	if *storeDir != "" {
+		var err error
+		artifacts, err = store.Open(*storeDir, *storeMax)
+		if err != nil {
+			log.Fatalf("open store %s: %v", *storeDir, err)
+		}
+		defer func() {
+			if err := artifacts.Close(); err != nil {
+				log.Printf("store close: %v", err)
+			}
+		}()
+		st := artifacts.Stats()
+		log.Printf("store %s: %d entries, %d bytes", *storeDir, st.Entries, st.BytesOnDisk)
+	}
+
 	svc := service.New(service.Config{
-		Session:    runner.NewSession(*jobs),
+		Session:    runner.NewSessionWithStore(*jobs, artifacts),
 		QueueDepth: *queueDepth,
 		Workers:    *workers,
 		JobTimeout: *jobTimeout,

@@ -7,68 +7,110 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
 	"bioperfload"
 )
 
+// config is one fully validated command line.
+type config struct {
+	dump bool
+	o0   bool
+	regs int
+	fuel uint64
+	path string
+}
+
+// parseArgs parses and validates the command line. Unknown flags,
+// negative -regs values, a missing input file argument, and stray
+// positional arguments all return an error (main exits non-zero)
+// instead of being silently absorbed.
+func parseArgs(args []string, stderr io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("minicc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dump := fs.Bool("S", false, "print the generated assembly instead of running")
+	o0 := fs.Bool("O0", false, "disable optimization")
+	regs := fs.Int("regs", 0, "restrict the allocatable registers per class (0 = default)")
+	fuel := fs.Uint64("fuel", 0, "instruction budget (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() == 0 {
+		return nil, fmt.Errorf("missing input file (usage: minicc [-S] [-O0] [-regs n] file.mc)")
+	}
+	if fs.NArg() > 1 {
+		return nil, fmt.Errorf("unexpected arguments after %s: %v", fs.Arg(0), fs.Args()[1:])
+	}
+	if *regs < 0 {
+		return nil, fmt.Errorf("-regs: invalid register count %d (must be >= 0; 0 = default)", *regs)
+	}
+	return &config{dump: *dump, o0: *o0, regs: *regs, fuel: *fuel, path: fs.Arg(0)}, nil
+}
+
 func main() {
 	log.SetFlags(0)
-	dump := flag.Bool("S", false, "print the generated assembly instead of running")
-	o0 := flag.Bool("O0", false, "disable optimization")
-	regs := flag.Int("regs", 0, "restrict the allocatable registers per class (0 = default)")
-	fuel := flag.Uint64("fuel", 0, "instruction budget (0 = default)")
-	flag.Parse()
-
-	if flag.NArg() != 1 {
-		log.Fatal("usage: minicc [-S] [-O0] [-regs n] file.mc")
-	}
-	path := flag.Arg(0)
-	src, err := os.ReadFile(path)
+	cfg, err := parseArgs(os.Args[1:], os.Stderr)
 	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fmt.Fprintf(os.Stderr, "minicc: %v\n", err)
+		os.Exit(2)
+	}
+	if err := run(cfg, os.Stdout, os.Stderr); err != nil {
 		log.Fatal(err)
+	}
+}
+
+func run(cfg *config, out, errOut io.Writer) error {
+	src, err := os.ReadFile(cfg.path)
+	if err != nil {
+		return err
 	}
 	opts := bioperfload.DefaultCompiler()
-	if *o0 {
+	if cfg.o0 {
 		opts = bioperfload.UnoptimizedCompiler()
 	}
-	opts.AllocIntRegs = *regs
-	opts.AllocFPRegs = *regs
+	opts.AllocIntRegs = cfg.regs
+	opts.AllocFPRegs = cfg.regs
 
-	prog, err := bioperfload.CompileMiniCWith(path, string(src), opts)
+	prog, err := bioperfload.CompileMiniCWith(cfg.path, string(src), opts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	if *dump {
+	if cfg.dump {
 		for _, f := range prog.Funcs {
-			fmt.Printf("%s:\n", f.Name)
+			fmt.Fprintf(out, "%s:\n", f.Name)
 			for pc := f.Entry; pc < f.End; pc++ {
-				fmt.Printf("  %5d: %s\n", pc, prog.Insts[pc])
+				fmt.Fprintf(out, "  %5d: %s\n", pc, prog.Insts[pc])
 			}
 		}
-		return
+		return nil
 	}
 
 	m, err := bioperfload.NewMachine(prog)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	if *fuel > 0 {
-		m.Fuel = *fuel
+	if cfg.fuel > 0 {
+		m.Fuel = cfg.fuel
 	}
 	res, err := m.Run()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for _, v := range res.IntOutput {
-		fmt.Println(v)
+		fmt.Fprintln(out, v)
 	}
 	for _, v := range res.FPOutput {
-		fmt.Println(v)
+		fmt.Fprintln(out, v)
 	}
-	fmt.Fprintf(os.Stderr, "[%d instructions, exit %d]\n", res.Instructions, res.ExitCode)
+	fmt.Fprintf(errOut, "[%d instructions, exit %d]\n", res.Instructions, res.ExitCode)
+	return nil
 }

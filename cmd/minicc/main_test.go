@@ -1,0 +1,63 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestParseArgs(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring of the error; "" means success
+	}{
+		{"plain file", []string{"prog.mc"}, ""},
+		{"all flags", []string{"-S", "-O0", "-regs", "8", "-fuel", "100", "prog.mc"}, ""},
+		{"missing file", []string{"-S"}, "missing input file"},
+		{"no args", nil, "missing input file"},
+		{"stray args", []string{"a.mc", "b.mc"}, "unexpected arguments"},
+		{"unknown flag", []string{"-frobnicate", "prog.mc"}, "flag provided but not defined"},
+		{"negative regs", []string{"-regs", "-3", "prog.mc"}, "invalid register count"},
+		{"malformed fuel", []string{"-fuel", "lots", "prog.mc"}, "invalid value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, err := parseArgs(tc.args, io.Discard)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("parseArgs(%v): %v", tc.args, err)
+				}
+				if cfg.path == "" {
+					t.Fatalf("parseArgs(%v): empty input path", tc.args)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("parseArgs(%v) accepted invalid command line: %+v", tc.args, cfg)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("parseArgs(%v) = %q, want substring %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseArgsHelp(t *testing.T) {
+	_, err := parseArgs([]string{"-h"}, io.Discard)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("parseArgs(-h) = %v, want flag.ErrHelp", err)
+	}
+}
+
+func TestParseArgsValues(t *testing.T) {
+	cfg, err := parseArgs([]string{"-O0", "-regs", "8", "-fuel", "42", "p.mc"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.o0 || cfg.dump || cfg.regs != 8 || cfg.fuel != 42 || cfg.path != "p.mc" {
+		t.Fatalf("parseArgs decoded %+v", cfg)
+	}
+}

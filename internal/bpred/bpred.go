@@ -239,6 +239,19 @@ func NewTracker(pred Predictor) *Tracker {
 	return &Tracker{pred: pred, perPC: make(map[int32]*BranchStats)}
 }
 
+// RestoreTracker rebuilds a report-only Tracker from persisted
+// per-branch statistics. The predictor state itself is not restored,
+// so Observe must not be called on the result; the query methods
+// (Stats, Total, PerBranch, HardToPredict) behave as on the original.
+func RestoreTracker(per map[int32]BranchStats, total BranchStats) *Tracker {
+	t := &Tracker{perPC: make(map[int32]*BranchStats, len(per)), total: total}
+	for pc, s := range per {
+		c := s
+		t.perPC[pc] = &c
+	}
+	return t
+}
+
 // Observe predicts, compares with the actual direction, trains, and
 // records statistics. It returns true when the branch was mispredicted.
 func (t *Tracker) Observe(pc int32, taken bool) bool {

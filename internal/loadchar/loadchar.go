@@ -8,6 +8,15 @@
 // and branch-to-load sequences (Table 4), source-line attribution of
 // hot loads (Table 5), and the Section 3 optimization-candidate
 // selection.
+//
+// The characterization is factored into five component passes — mix,
+// cache, branch prediction, dependence chains, and branch-to-load
+// sequences — each a self-contained state machine over the committed
+// stream. Live analysis (Observe/ObserveBatch) runs the passes back to
+// back over every slab; AnalyzeParallel runs each pass on its own
+// goroutine over a recorded trace, which is exact (not sampled) because
+// the passes share no state beyond the per-branch mispredict bits the
+// predictor pass hands to the dependence pass.
 package loadchar
 
 import (
@@ -34,60 +43,26 @@ type regDep struct {
 	srcB  int32 // second contributing load or -1
 }
 
-// loadStats accumulates per-static-load counters.
-type loadStats struct {
-	Count    uint64 // dynamic executions
-	L1Miss   uint64
-	ToBranch uint64 // dynamic instances feeding a conditional branch
-	// fedBranch counts, per branch PC, how often this load fed it.
-	fedBranch map[int32]uint64
-	// afterBranch counts, per branch PC, how often this load (with a
-	// tight consumer) executed right after it.
-	afterBranch map[int32]uint64
-}
-
-// Analysis is a sim.Observer that performs the full characterization
-// in a single pass. Create with New, attach to a machine, Run, then
-// query the report methods.
+// Analysis performs the full characterization. Create with New, attach
+// to a machine (or replay a trace into it), then query the report
+// methods. It implements both sim.Observer and sim.BatchObserver.
 type Analysis struct {
 	prog *isa.Program
 
-	// Instruction mix.
-	classCounts [isa.NumClasses]uint64
-	fpCount     uint64
-	fpLoads     uint64
-	total       uint64
+	mix   mixPass
+	cache cachePass
+	bp    bpredPass
+	dep   depPass
+	seq   seqPass
 
-	// Memory hierarchy.
-	hier *cache.Hierarchy
-
-	// Branch prediction.
-	bp *bpred.Tracker
-
-	// Per-static-load stats, indexed by PC.
-	loads map[int32]*loadStats
-
-	// Dependence state.
-	deps [isa.NumIntRegs + isa.NumFPRegs]regDep
-
-	// Load-to-branch accounting.
-	fedBranchExec uint64
-	fedBranchMiss uint64
-
-	// Branch-to-load: the most recent conditional branch.
-	lastBranchPC  int32
-	lastBranchSeq uint64
-	haveBranch    bool
-
-	// Pending tight-consumer checks for just-executed loads.
-	pending [isa.NumIntRegs + isa.NumFPRegs]pendingLoad
-}
-
-type pendingLoad struct {
-	active      bool
-	loadPC      int32
-	afterBranch int32 // -1 when not right after a branch
-	seq         uint64
+	// bits carries the predictor pass's per-conditional-branch
+	// mispredict outcomes to the dependence pass within one slab.
+	bits misBits
+	// one backs the legacy single-event Observe path.
+	one [1]sim.Event
+	// restored marks an analysis rebuilt from a Snapshot: reports work,
+	// observation does not (the transient pass state is gone).
+	restored bool
 }
 
 // New creates an analysis for the given program, using the paper's
@@ -99,15 +74,12 @@ func New(p *isa.Program) *Analysis {
 // NewWithConfig creates an analysis with explicit cache and predictor
 // configurations (for ablations).
 func NewWithConfig(p *isa.Program, hc cache.HierarchyConfig, pred bpred.Predictor) *Analysis {
-	a := &Analysis{
-		prog:  p,
-		hier:  cache.NewHierarchy(hc),
-		bp:    bpred.NewTracker(pred),
-		loads: make(map[int32]*loadStats),
-	}
-	for i := range a.deps {
-		a.deps[i].depth = -1
-	}
+	a := &Analysis{prog: p}
+	a.mix.init()
+	a.cache.init(hc)
+	a.bp.init(pred)
+	a.dep.init()
+	a.seq.init()
 	return a
 }
 
@@ -116,238 +88,37 @@ var (
 	_ sim.BatchObserver = (*Analysis)(nil)
 )
 
-// ObserveBatch implements sim.BatchObserver: the whole slab is
-// processed with direct (non-interface) calls, so the per-instruction
-// dispatch cost of the legacy Observer path is paid once per slab.
-// The slab is recycled by the simulator after this returns; nothing
-// here retains events, as required by the sim.Event contract.
+// ObserveBatch implements sim.BatchObserver: each component pass sweeps
+// the whole slab in turn, so per-instruction dispatch is paid once per
+// slab per pass and each pass's state stays hot in cache. The slab is
+// recycled by the simulator after this returns; nothing here retains
+// events, as required by the sim.Event contract.
 func (a *Analysis) ObserveBatch(evs []sim.Event) {
-	for i := range evs {
-		a.Observe(&evs[i])
+	if a.restored {
+		panic("loadchar: analysis restored from a snapshot cannot observe events")
 	}
+	a.mix.observe(evs)
+	a.cache.observe(evs)
+	a.bits.reset()
+	a.bp.observe(evs, &a.bits)
+	a.dep.observe(evs, &a.bits)
+	a.seq.observe(evs)
 }
 
-func (a *Analysis) loadStatsFor(pc int32) *loadStats {
-	ls := a.loads[pc]
-	if ls == nil {
-		ls = &loadStats{
-			fedBranch:   make(map[int32]uint64),
-			afterBranch: make(map[int32]uint64),
-		}
-		a.loads[pc] = ls
-	}
-	return ls
+// Observe implements sim.Observer (the legacy per-event path) by
+// wrapping the event in a one-element slab.
+func (a *Analysis) Observe(ev *sim.Event) {
+	a.one[0] = *ev
+	a.ObserveBatch(a.one[:])
 }
 
 // regIndex maps an instruction register operand to the dependence
 // table; FP registers live above the integer file.
 func fpIdx(r uint8) int { return isa.NumIntRegs + int(r) }
 
-// Observe implements sim.Observer.
-func (a *Analysis) Observe(ev *sim.Event) {
-	in := ev.Inst
-	op := in.Op
-	a.total++
-	cls := isa.ClassOf(op)
-	a.classCounts[cls]++
-	if isa.IsFloat(op) {
-		a.fpCount++
-		if cls == isa.ClassLoad {
-			a.fpLoads++
-		}
-	}
-
-	// --- consumption checks for pending tight loads ---
-	a.consume(in, ev.Seq)
-
-	switch {
-	case cls == isa.ClassLoad:
-		ls := a.loadStatsFor(ev.PC)
-		ls.Count++
-		lvl, _ := a.hier.Access(ev.Addr, false)
-		if lvl != cache.LevelL1 {
-			ls.L1Miss++
-		}
-		// Dependence: the loaded register now derives from this load.
-		dst := int(in.Rd)
-		if op == isa.OpLdt {
-			dst = fpIdx(in.Rd)
-		}
-		if !isZeroReg(in.Rd, op == isa.OpLdt) {
-			a.deps[dst] = regDep{depth: 0, srcA: ev.PC, srcB: -1}
-			after := int32(-1)
-			if a.haveBranch && ev.Seq-a.lastBranchSeq <= proximity {
-				after = a.lastBranchPC
-			}
-			a.pending[dst] = pendingLoad{active: true, loadPC: ev.PC, afterBranch: after, seq: ev.Seq}
-		}
-
-	case cls == isa.ClassStore:
-		a.hier.Access(ev.Addr, true)
-
-	case cls == isa.ClassCondBranch:
-		mis := a.bp.Observe(ev.PC, ev.Taken)
-		// Which loads feed the branch condition?
-		d := a.deps[in.Ra]
-		if in.Ra != isa.RZero && d.depth >= 0 {
-			a.fedBranchExec++
-			if mis {
-				a.fedBranchMiss++
-			}
-			a.creditLoadToBranch(d.srcA, ev.PC)
-			if d.srcB >= 0 && d.srcB != d.srcA {
-				a.creditLoadToBranch(d.srcB, ev.PC)
-			}
-		}
-		a.lastBranchPC = ev.PC
-		a.lastBranchSeq = ev.Seq
-		a.haveBranch = true
-
-	default:
-		a.propagate(in)
-	}
-}
-
-func (a *Analysis) creditLoadToBranch(loadPC, branchPC int32) {
-	ls := a.loadStatsFor(loadPC)
-	ls.ToBranch++
-	ls.fedBranch[branchPC]++
-}
-
 func isZeroReg(r uint8, isFP bool) bool {
 	if isFP {
 		return r == isa.FZero
 	}
 	return r == isa.RZero
-}
-
-// consume checks whether this instruction reads a register holding a
-// pending just-loaded value within the proximity window, completing a
-// branch-to-load sequence record.
-func (a *Analysis) consume(in *isa.Inst, seq uint64) {
-	check := func(idx int) {
-		p := &a.pending[idx]
-		if !p.active {
-			return
-		}
-		if seq-p.seq > proximity {
-			p.active = false
-			return
-		}
-		if p.afterBranch >= 0 {
-			ls := a.loadStatsFor(p.loadPC)
-			ls.afterBranch[p.afterBranch]++
-		}
-		p.active = false
-	}
-	op := in.Op
-	switch {
-	case op == isa.OpNop || op == isa.OpHalt || op == isa.OpLdiq || op == isa.OpBr || op == isa.OpJsr:
-	case op == isa.OpLdt || op == isa.OpLdq || op == isa.OpLdbu || op == isa.OpLda:
-		check(int(in.Ra))
-	case op == isa.OpStq || op == isa.OpStb:
-		check(int(in.Ra))
-		check(int(in.Rb))
-	case op == isa.OpStt:
-		check(int(in.Ra))
-		check(fpIdx(in.Rb))
-	case op == isa.OpAddt || op == isa.OpSubt || op == isa.OpMult || op == isa.OpDivt ||
-		op == isa.OpCmpTeq || op == isa.OpCmpTlt || op == isa.OpCmpTle:
-		check(fpIdx(in.Ra))
-		check(fpIdx(in.Rb))
-	case op == isa.OpCvtQT:
-		check(int(in.Ra))
-	case op == isa.OpCvtTQ, op == isa.OpFMov, op == isa.OpFNeg, op == isa.OpPrintF:
-		check(fpIdx(in.Ra))
-	case isa.IsCondBranch(op) || op == isa.OpRet || op == isa.OpPrint:
-		check(int(in.Ra))
-	case isa.IsCmov(op):
-		check(int(in.Ra))
-		check(int(in.Rb))
-		check(int(in.Rd))
-	default: // integer ALU
-		check(int(in.Ra))
-		if !in.HasImm {
-			check(int(in.Rb))
-		}
-	}
-}
-
-// propagate advances the register dependence state for non-memory,
-// non-branch instructions.
-func (a *Analysis) propagate(in *isa.Inst) {
-	op := in.Op
-	clearDst := func(idx int) { a.deps[idx] = regDep{depth: -1}; a.pending[idx].active = false }
-
-	merge := func(dst int, srcs ...int) {
-		nd := regDep{depth: -1, srcA: -1, srcB: -1}
-		for _, s := range srcs {
-			d := a.deps[s]
-			if d.depth < 0 || d.depth >= chainDepth {
-				continue
-			}
-			if nd.depth < 0 {
-				nd = regDep{depth: d.depth + 1, srcA: d.srcA, srcB: d.srcB}
-				continue
-			}
-			if d.depth+1 > nd.depth {
-				nd.depth = d.depth + 1
-			}
-			if nd.srcB < 0 && d.srcA != nd.srcA {
-				nd.srcB = d.srcA
-			}
-		}
-		a.deps[dst] = nd
-		a.pending[dst].active = false
-	}
-
-	switch {
-	case op == isa.OpLdiq || op == isa.OpLda:
-		if !isZeroReg(in.Rd, false) {
-			if op == isa.OpLda {
-				merge(int(in.Rd), int(in.Ra))
-			} else {
-				clearDst(int(in.Rd))
-			}
-		}
-	case isa.IsCmov(op):
-		if !isZeroReg(in.Rd, false) {
-			merge(int(in.Rd), int(in.Ra), int(in.Rb), int(in.Rd))
-		}
-	case op == isa.OpCmpTeq || op == isa.OpCmpTlt || op == isa.OpCmpTle:
-		if !isZeroReg(in.Rd, false) {
-			merge(int(in.Rd), fpIdx(in.Ra), fpIdx(in.Rb))
-		}
-	case op == isa.OpCvtQT:
-		if !isZeroReg(in.Rd, true) {
-			merge(fpIdx(in.Rd), int(in.Ra))
-		}
-	case op == isa.OpCvtTQ:
-		if !isZeroReg(in.Rd, false) {
-			merge(int(in.Rd), fpIdx(in.Ra))
-		}
-	case op == isa.OpFMov || op == isa.OpFNeg:
-		if !isZeroReg(in.Rd, true) {
-			merge(fpIdx(in.Rd), fpIdx(in.Ra))
-		}
-	case op == isa.OpAddt || op == isa.OpSubt || op == isa.OpMult || op == isa.OpDivt:
-		if !isZeroReg(in.Rd, true) {
-			merge(fpIdx(in.Rd), fpIdx(in.Ra), fpIdx(in.Rb))
-		}
-	case op == isa.OpPrint || op == isa.OpPrintF || op == isa.OpHalt || op == isa.OpNop:
-	case op == isa.OpJsr:
-		if !isZeroReg(in.Rd, false) {
-			clearDst(int(in.Rd))
-		}
-	case op == isa.OpRet:
-	default: // integer ALU
-		if isZeroReg(in.Rd, false) {
-			return
-		}
-		if in.HasImm {
-			merge(int(in.Rd), int(in.Ra))
-		} else {
-			merge(int(in.Rd), int(in.Ra), int(in.Rb))
-		}
-	}
 }

@@ -1,0 +1,119 @@
+package loadchar
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"bioperfload/internal/isa"
+	"bioperfload/internal/sim"
+)
+
+// EventSource is a stream of committed-instruction event slabs in
+// commit order, as produced by a trace reader. Next returns the next
+// slab and a release function that recycles it; it returns io.EOF
+// after the final slab. trace.Source satisfies this structurally, so
+// loadchar does not import the trace package.
+type EventSource interface {
+	Next() ([]sim.Event, func(), error)
+}
+
+// chunkMsg carries one slab to a pass goroutine; done is the
+// refcounted release shared by all passes.
+type chunkMsg struct {
+	evs  []sim.Event
+	done func()
+}
+
+// AnalyzeParallel runs the full characterization over src with each
+// component pass on its own goroutine: the mix, cache, predictor,
+// dependence, and sequence passes all see every slab in commit order,
+// so the result is exactly — not approximately — the analysis a live
+// simulation produces, but the critical path is the slowest single
+// pass rather than their sum. The predictor pass forwards per-chunk
+// mispredict bitmaps to the dependence pass, which is the passes' only
+// coupling.
+//
+// Slabs are released once all passes have finished with them, so src
+// may recycle buffers. ctx is checked between chunks.
+func AnalyzeParallel(ctx context.Context, prog *isa.Program, src EventSource) (*Analysis, error) {
+	a := New(prog)
+
+	const depth = 4
+	mixC := make(chan chunkMsg, depth)
+	cacheC := make(chan chunkMsg, depth)
+	bpC := make(chan chunkMsg, depth)
+	depC := make(chan chunkMsg, depth)
+	seqC := make(chan chunkMsg, depth)
+	chans := []chan chunkMsg{mixC, cacheC, bpC, depC, seqC}
+	// bitsC must outpace depC so the predictor pass never stalls on a
+	// full bitmap queue while the dependence pass waits for its chunk.
+	bitsC := make(chan *misBits, depth+2)
+
+	var wg sync.WaitGroup
+	run := func(ch chan chunkMsg, f func(chunkMsg)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for msg := range ch {
+				f(msg)
+				msg.done()
+			}
+		}()
+	}
+	run(mixC, func(m chunkMsg) { a.mix.observe(m.evs) })
+	run(cacheC, func(m chunkMsg) { a.cache.observe(m.evs) })
+	run(bpC, func(m chunkMsg) {
+		bits := &misBits{}
+		a.bp.observe(m.evs, bits)
+		bitsC <- bits
+	})
+	run(depC, func(m chunkMsg) {
+		bits := <-bitsC
+		a.dep.observe(m.evs, bits)
+	})
+	run(seqC, func(m chunkMsg) { a.seq.observe(m.evs) })
+
+	feed := func() error {
+		for {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("loadchar: parallel analysis: %w", err)
+			}
+			evs, release, err := src.Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			if release == nil {
+				release = func() {}
+			}
+			refs := int32(len(chans))
+			rel := release
+			msg := chunkMsg{evs: evs, done: func() {
+				if atomic.AddInt32(&refs, -1) == 0 {
+					rel()
+				}
+			}}
+			// Every channel must receive every chunk unconditionally:
+			// the bitmap handoff pairs the predictor and dependence
+			// passes by chunk ordinal, so a partial fan-out would
+			// desynchronize them.
+			for _, ch := range chans {
+				ch <- msg
+			}
+		}
+	}
+	err := feed()
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}

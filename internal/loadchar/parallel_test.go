@@ -1,0 +1,119 @@
+package loadchar
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	"bioperfload/internal/bio"
+	"bioperfload/internal/compiler"
+	"bioperfload/internal/isa"
+	"bioperfload/internal/sim"
+)
+
+// sliceSource feeds pre-captured slabs, satisfying EventSource.
+type sliceSource struct {
+	slabs [][]sim.Event
+	i     int
+}
+
+func (s *sliceSource) Next() ([]sim.Event, func(), error) {
+	if s.i >= len(s.slabs) {
+		return nil, nil, io.EOF
+	}
+	evs := s.slabs[s.i]
+	s.i++
+	return evs, func() {}, nil
+}
+
+// captureSlabs runs the program live, capturing the committed stream
+// into owned slabs and the reference analysis at once.
+func captureSlabs(t *testing.T, name string) (*isa.Program, *Analysis, [][]sim.Event) {
+	t.Helper()
+	p, err := bio.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := p.Compile(false, compiler.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Bind(m, bio.SizeTest); err != nil {
+		t.Fatal(err)
+	}
+	live := New(prog)
+	m.AddObserver(live)
+	var slabs [][]sim.Event
+	m.AddBatchObserver(batchFunc(func(evs []sim.Event) {
+		slabs = append(slabs, append([]sim.Event(nil), evs...))
+	}))
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return prog, live, slabs
+}
+
+type batchFunc func([]sim.Event)
+
+func (f batchFunc) ObserveBatch(evs []sim.Event) { f(evs) }
+
+// TestAnalyzeParallelMatchesLive pins the tentpole invariant: the
+// component-parallel analysis over a replayed stream is exactly the
+// live single-goroutine analysis, compared through the full rendered
+// profile (every report the CLI and service expose).
+func TestAnalyzeParallelMatchesLive(t *testing.T) {
+	for _, name := range []string{"hmmsearch", "predator", "promlk"} {
+		prog, live, slabs := captureSlabs(t, name)
+
+		par, err := AnalyzeParallel(context.Background(), prog, &sliceSource{slabs: slabs})
+		if err != nil {
+			t.Fatalf("%s: AnalyzeParallel: %v", name, err)
+		}
+		want := RenderProfile(name, "test", live, 10)
+		got := RenderProfile(name, "test", par, 10)
+		if got != want {
+			t.Errorf("%s: parallel profile differs from live:\n--- live ---\n%s\n--- parallel ---\n%s", name, want, got)
+		}
+
+		// A second sequential Analysis fed the same slabs must also
+		// match: ObserveBatch and the pass split are one code path.
+		seq := New(prog)
+		for _, evs := range slabs {
+			seq.ObserveBatch(evs)
+		}
+		if got := RenderProfile(name, "test", seq, 10); got != want {
+			t.Errorf("%s: sequential slab replay differs from live", name)
+		}
+	}
+}
+
+// TestAnalyzeParallelCancel checks a canceled context aborts the
+// fan-out without deadlocking.
+func TestAnalyzeParallelCancel(t *testing.T) {
+	prog, _, slabs := captureSlabs(t, "hmmsearch")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := AnalyzeParallel(ctx, prog, &sliceSource{slabs: slabs}); err == nil {
+		t.Fatal("AnalyzeParallel with canceled context succeeded")
+	}
+}
+
+// TestObserveLegacyPathMatchesBatch checks the per-event Observer path
+// (used by older call sites) agrees with the batch path.
+func TestObserveLegacyPathMatchesBatch(t *testing.T) {
+	prog, live, slabs := captureSlabs(t, "promlk")
+	one := New(prog)
+	for _, evs := range slabs {
+		for i := range evs {
+			one.Observe(&evs[i])
+		}
+	}
+	want := RenderProfile("promlk", "test", live, 10)
+	if got := RenderProfile("promlk", "test", one, 10); got != want {
+		t.Errorf("per-event path differs from batch path")
+	}
+}

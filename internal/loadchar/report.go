@@ -24,15 +24,15 @@ type Mix struct {
 // Mix returns the instruction-mix report.
 func (a *Analysis) Mix() Mix {
 	m := Mix{
-		Total:        a.total,
-		Loads:        a.classCounts[isa.ClassLoad],
-		Stores:       a.classCounts[isa.ClassStore],
-		CondBranches: a.classCounts[isa.ClassCondBranch],
+		Total:        a.mix.total,
+		Loads:        a.mix.classCounts[isa.ClassLoad],
+		Stores:       a.mix.classCounts[isa.ClassStore],
+		CondBranches: a.mix.classCounts[isa.ClassCondBranch],
 	}
 	m.Other = m.Total - m.Loads - m.Stores - m.CondBranches
 	if m.Total > 0 {
 		t := float64(m.Total)
-		m.FPFraction = float64(a.fpCount) / t
+		m.FPFraction = float64(a.mix.fpCount) / t
 		m.LoadPct = 100 * float64(m.Loads) / t
 		m.StorePct = 100 * float64(m.Stores) / t
 		m.BranchPct = 100 * float64(m.CondBranches) / t
@@ -42,17 +42,17 @@ func (a *Analysis) Mix() Mix {
 }
 
 // TotalLoads returns the dynamic load count.
-func (a *Analysis) TotalLoads() uint64 { return a.classCounts[isa.ClassLoad] }
+func (a *Analysis) TotalLoads() uint64 { return a.mix.classCounts[isa.ClassLoad] }
 
 // Coverage returns the cumulative fraction of dynamic loads covered
 // by the top-k static loads for every k (Figure 2): Coverage()[0] is
 // the hottest load's share, and the curve is non-decreasing to 1.
 func (a *Analysis) Coverage() []float64 {
-	counts := make([]uint64, 0, len(a.loads))
+	counts := make([]uint64, 0, len(a.mix.counts))
 	var total uint64
-	for _, ls := range a.loads {
-		counts = append(counts, ls.Count)
-		total += ls.Count
+	for _, c := range a.mix.counts {
+		counts = append(counts, c)
+		total += c
 	}
 	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
 	out := make([]float64, len(counts))
@@ -81,10 +81,10 @@ func (a *Analysis) CoverageAt(n int) float64 {
 }
 
 // StaticLoadCount returns how many distinct static loads executed.
-func (a *Analysis) StaticLoadCount() int { return len(a.loads) }
+func (a *Analysis) StaticLoadCount() int { return len(a.mix.counts) }
 
 // CacheReport returns the Table 2 row.
-func (a *Analysis) CacheReport() cache.Report { return a.hier.LoadReport() }
+func (a *Analysis) CacheReport() cache.Report { return a.cache.hier.LoadReport() }
 
 // Sequences is one Table 4 row pair.
 type Sequences struct {
@@ -112,10 +112,12 @@ func (a *Analysis) Sequences() Sequences {
 	}
 	var toBranch uint64
 	var afterHard uint64
-	hard := a.bp.HardToPredict(0.05, 16)
-	for _, ls := range a.loads {
-		toBranch += ls.ToBranch
-		for brPC, n := range ls.afterBranch {
+	hard := a.bp.bp.HardToPredict(0.05, 16)
+	for _, n := range a.dep.toBranch {
+		toBranch += n
+	}
+	for _, ab := range a.seq.afterBranch {
+		for brPC, n := range ab {
 			if hard[brPC] {
 				afterHard += n
 			}
@@ -128,10 +130,10 @@ func (a *Analysis) Sequences() Sequences {
 	}
 	s.LoadToBranchPct = 100 * float64(toBranch) / float64(totalLoads)
 	s.LoadAfterHardBranchPct = 100 * float64(afterHard) / float64(totalLoads)
-	if a.fedBranchExec > 0 {
-		s.FedBranchMispredictRate = float64(a.fedBranchMiss) / float64(a.fedBranchExec)
+	if a.dep.fedBranchExec > 0 {
+		s.FedBranchMispredictRate = float64(a.dep.fedBranchMiss) / float64(a.dep.fedBranchExec)
 	}
-	s.OverallMispredictRate = a.bp.Total().MispredictRate()
+	s.OverallMispredictRate = a.bp.bp.Total().MispredictRate()
 	return s
 }
 
@@ -152,16 +154,16 @@ type HotLoad struct {
 // their profile, the paper's Table 5.
 func (a *Analysis) HotLoads(n int) []HotLoad {
 	type kv struct {
-		pc int32
-		ls *loadStats
+		pc    int32
+		count uint64
 	}
-	all := make([]kv, 0, len(a.loads))
-	for pc, ls := range a.loads {
-		all = append(all, kv{pc, ls})
+	all := make([]kv, 0, len(a.mix.counts))
+	for pc, c := range a.mix.counts {
+		all = append(all, kv{pc, c})
 	}
 	sort.Slice(all, func(i, j int) bool {
-		if all[i].ls.Count != all[j].ls.Count {
-			return all[i].ls.Count > all[j].ls.Count
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
 		}
 		return all[i].pc < all[j].pc
 	})
@@ -170,19 +172,19 @@ func (a *Analysis) HotLoads(n int) []HotLoad {
 	}
 	total := a.TotalLoads()
 	out := make([]HotLoad, 0, n)
-	perBranch := a.bp.PerBranch()
+	perBranch := a.bp.bp.PerBranch()
 	for _, e := range all[:n] {
 		h := HotLoad{PC: e.pc, Line: a.prog.Insts[e.pc].Pos.Line}
 		if total > 0 {
-			h.Frequency = float64(e.ls.Count) / float64(total)
+			h.Frequency = float64(e.count) / float64(total)
 		}
-		if e.ls.Count > 0 {
-			h.L1MissRate = float64(e.ls.L1Miss) / float64(e.ls.Count)
-			h.FeedsBranchPct = 100 * float64(e.ls.ToBranch) / float64(e.ls.Count)
+		if e.count > 0 {
+			h.L1MissRate = float64(a.cache.l1miss[e.pc]) / float64(e.count)
+			h.FeedsBranchPct = 100 * float64(a.dep.toBranch[e.pc]) / float64(e.count)
 		}
 		// Weighted misprediction rate of the branches this load feeds.
 		var exec, mis float64
-		for brPC, cnt := range e.ls.fedBranch {
+		for brPC, cnt := range a.dep.fedBranch[e.pc] {
 			bs := perBranch[brPC]
 			if bs.Executed == 0 {
 				continue
@@ -217,17 +219,16 @@ type Candidate struct {
 // an L1 miss rate below maxMiss.
 func (a *Analysis) Candidates(minFreq, minMispred, maxMiss float64) []Candidate {
 	var out []Candidate
-	hard := a.bp.HardToPredict(minMispred, 16)
-	for _, h := range a.HotLoads(len(a.loads)) {
+	hard := a.bp.bp.HardToPredict(minMispred, 16)
+	for _, h := range a.HotLoads(len(a.mix.counts)) {
 		if h.Frequency < minFreq || h.L1MissRate > maxMiss {
 			continue
 		}
-		ls := a.loads[h.PC]
 		switch {
 		case h.BranchMispred >= minMispred && h.FeedsBranchPct > 10:
 			out = append(out, Candidate{HotLoad: h, Reason: "load-to-branch with hard branch"})
 		default:
-			for brPC := range ls.afterBranch {
+			for brPC := range a.seq.afterBranch[h.PC] {
 				if hard[brPC] {
 					out = append(out, Candidate{HotLoad: h, Reason: "load after hard-to-predict branch"})
 					break
@@ -247,7 +248,7 @@ func (a *Analysis) Branches() map[int32]struct {
 		Executed    uint64
 		Mispredicts uint64
 	})
-	for pc, s := range a.bp.PerBranch() {
+	for pc, s := range a.bp.bp.PerBranch() {
 		out[pc] = struct {
 			Executed    uint64
 			Mispredicts uint64

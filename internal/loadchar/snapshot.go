@@ -1,0 +1,124 @@
+package loadchar
+
+import (
+	"fmt"
+
+	"bioperfload/internal/bpred"
+	"bioperfload/internal/cache"
+	"bioperfload/internal/isa"
+)
+
+// SnapshotVersion guards the serialized snapshot layout; bump it when
+// Snapshot's shape or the meaning of any field changes.
+const SnapshotVersion = 1
+
+// Snapshot is the portable, serializable form of a finished Analysis:
+// every counter and table the report methods read, and nothing of the
+// transient pass machinery (predictor tables, cache contents, register
+// dependence state). A snapshot restored with FromSnapshot renders
+// byte-identical reports because the report code paths are shared; it
+// cannot observe further events.
+type Snapshot struct {
+	Version int
+
+	// Mix pass.
+	ClassCounts [isa.NumClasses]uint64
+	FPCount     uint64
+	FPLoads     uint64
+	Total       uint64
+	LoadCounts  map[int32]uint64
+
+	// Cache pass. The hierarchy config travels along because AMAT
+	// depends on the configured latencies.
+	CacheConfig cache.HierarchyConfig
+	L1Stats     cache.Stats
+	L2Stats     cache.Stats
+	L1Miss      map[int32]uint64
+
+	// Predictor pass.
+	Branches    map[int32]bpred.BranchStats
+	BranchTotal bpred.BranchStats
+
+	// Dependence pass.
+	ToBranch      map[int32]uint64
+	FedBranch     map[int32]map[int32]uint64
+	FedBranchExec uint64
+	FedBranchMiss uint64
+
+	// Sequence pass.
+	AfterBranch map[int32]map[int32]uint64
+}
+
+func copyNested(src map[int32]map[int32]uint64) map[int32]map[int32]uint64 {
+	out := make(map[int32]map[int32]uint64, len(src))
+	for k, inner := range src {
+		m := make(map[int32]uint64, len(inner))
+		for k2, v := range inner {
+			m[k2] = v
+		}
+		out[k] = m
+	}
+	return out
+}
+
+func copyFlat(src map[int32]uint64) map[int32]uint64 {
+	out := make(map[int32]uint64, len(src))
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
+}
+
+// Snapshot captures the analysis's report state. The analysis can keep
+// observing afterwards; the snapshot is an independent copy.
+func (a *Analysis) Snapshot() *Snapshot {
+	return &Snapshot{
+		Version:       SnapshotVersion,
+		ClassCounts:   a.mix.classCounts,
+		FPCount:       a.mix.fpCount,
+		FPLoads:       a.mix.fpLoads,
+		Total:         a.mix.total,
+		LoadCounts:    copyFlat(a.mix.counts),
+		CacheConfig:   a.cache.hier.Config(),
+		L1Stats:       a.cache.hier.L1().Stats(),
+		L2Stats:       a.cache.hier.L2().Stats(),
+		L1Miss:        copyFlat(a.cache.l1miss),
+		Branches:      a.bp.bp.PerBranch(),
+		BranchTotal:   a.bp.bp.Total(),
+		ToBranch:      copyFlat(a.dep.toBranch),
+		FedBranch:     copyNested(a.dep.fedBranch),
+		FedBranchExec: a.dep.fedBranchExec,
+		FedBranchMiss: a.dep.fedBranchMiss,
+		AfterBranch:   copyNested(a.seq.afterBranch),
+	}
+}
+
+// FromSnapshot rebuilds a report-only Analysis over prog from a
+// snapshot. The report methods are byte-for-byte equivalent to the
+// analysis the snapshot was taken from; Observe/ObserveBatch panic,
+// because the transient pass state needed to continue is not part of
+// a snapshot.
+func FromSnapshot(prog *isa.Program, s *Snapshot) (*Analysis, error) {
+	if s.Version != SnapshotVersion {
+		return nil, fmt.Errorf("loadchar: snapshot version %d, want %d", s.Version, SnapshotVersion)
+	}
+	a := &Analysis{prog: prog, restored: true}
+	a.mix.classCounts = s.ClassCounts
+	a.mix.fpCount = s.FPCount
+	a.mix.fpLoads = s.FPLoads
+	a.mix.total = s.Total
+	a.mix.counts = copyFlat(s.LoadCounts)
+	a.cache.hier = cache.NewHierarchy(s.CacheConfig)
+	a.cache.hier.L1().SetStats(s.L1Stats)
+	a.cache.hier.L2().SetStats(s.L2Stats)
+	a.cache.l1miss = copyFlat(s.L1Miss)
+	a.bp.bp = bpred.RestoreTracker(s.Branches, s.BranchTotal)
+	a.dep.init()
+	a.dep.toBranch = copyFlat(s.ToBranch)
+	a.dep.fedBranch = copyNested(s.FedBranch)
+	a.dep.fedBranchExec = s.FedBranchExec
+	a.dep.fedBranchMiss = s.FedBranchMiss
+	a.seq.init()
+	a.seq.afterBranch = copyNested(s.AfterBranch)
+	return a, nil
+}

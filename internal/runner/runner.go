@@ -38,6 +38,7 @@ import (
 	"bioperfload/internal/pipeline"
 	"bioperfload/internal/platform"
 	"bioperfload/internal/sim"
+	"bioperfload/internal/store"
 )
 
 // CompileKey identifies one compilation artifact. compiler.Options is
@@ -81,12 +82,15 @@ type Stats struct {
 	CompileHits      uint64 `json:"compile_hits"`      // compile-cache hits
 	Runs             uint64 `json:"runs"`              // sim.Machine.Run invocations
 	CharacterizeHits uint64 `json:"characterize_hits"` // characterization-cache hits
+	ReplayRuns       uint64 `json:"replay_runs"`       // characterizations served by trace replay
+	ProfileHits      uint64 `json:"profile_hits"`      // characterizations served from persisted snapshots
 }
 
 // Session owns the caches and the worker pool. Create with
 // NewSession; a Session is safe for concurrent use.
 type Session struct {
-	jobs int
+	jobs  int
+	store *store.Store
 
 	mu       sync.Mutex
 	compiled map[CompileKey]*compileEntry
@@ -96,6 +100,8 @@ type Session struct {
 	compileHits atomic.Uint64
 	runs        atomic.Uint64
 	charHits    atomic.Uint64
+	replayRuns  atomic.Uint64
+	profileHits atomic.Uint64
 }
 
 // NewSession creates a session whose worker pool runs up to jobs
@@ -103,11 +109,23 @@ type Session struct {
 // is the fully sequential reference path the golden tests compare
 // against.
 func NewSession(jobs int) *Session {
+	return NewSessionWithStore(jobs, nil)
+}
+
+// NewSessionWithStore creates a session backed by a persistent
+// artifact store: compiled programs, committed-instruction traces,
+// and characterization snapshots are written through to st, and later
+// sessions opening the same store serve characterizations from the
+// persisted snapshot — falling back to trace replay, then to cold
+// simulation, as artifacts are missing or damaged. st may be nil
+// (identical to NewSession). The session does not close the store.
+func NewSessionWithStore(jobs int, st *store.Store) *Session {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
 	return &Session{
 		jobs:     jobs,
+		store:    st,
 		compiled: make(map[CompileKey]*compileEntry),
 		chars:    make(map[charKey]*charEntry),
 	}
@@ -116,6 +134,9 @@ func NewSession(jobs int) *Session {
 // Jobs returns the worker-pool width.
 func (s *Session) Jobs() int { return s.jobs }
 
+// Store returns the session's artifact store, or nil.
+func (s *Session) Store() *store.Store { return s.store }
+
 // Stats returns the session's cache counters.
 func (s *Session) Stats() Stats {
 	return Stats{
@@ -123,12 +144,16 @@ func (s *Session) Stats() Stats {
 		CompileHits:      s.compileHits.Load(),
 		Runs:             s.runs.Load(),
 		CharacterizeHits: s.charHits.Load(),
+		ReplayRuns:       s.replayRuns.Load(),
+		ProfileHits:      s.profileHits.Load(),
 	}
 }
 
 // Compile returns the compiled program for (p, variant, opts),
 // compiling at most once per key per session. Concurrent callers of
-// the same key block until the one compilation finishes.
+// the same key block until the one compilation finishes. With a store
+// attached, a persisted binary with a matching fingerprint is loaded
+// instead of compiling, and fresh compilations are written through.
 func (s *Session) Compile(p *bio.Program, transformed bool, opts compiler.Options) (*isa.Program, error) {
 	key := CompileKey{Program: p.Name, Transformed: transformed && p.Transformable, Opts: opts}
 	s.mu.Lock()
@@ -141,13 +166,25 @@ func (s *Session) Compile(p *bio.Program, transformed bool, opts compiler.Option
 	miss := false
 	e.once.Do(func() {
 		miss = true
+		var fp string
+		if s.store != nil {
+			fp = Fingerprint(p, transformed, opts)
+			if prog := s.loadCompiled(fp); prog != nil {
+				// Force the lazy symbol index while single-threaded;
+				// the program is then shared read-only across worker
+				// goroutines.
+				prog.Symbol("")
+				e.prog = prog
+				return
+			}
+		}
 		s.compiles.Add(1)
 		e.prog, e.err = p.Compile(transformed, opts)
 		if e.err == nil {
-			// Force the lazy symbol index while single-threaded; the
-			// program is then shared read-only across worker
-			// goroutines.
 			e.prog.Symbol("")
+			if s.store != nil {
+				s.storeCompiled(fp, e.prog)
+			}
 		}
 	})
 	if !miss {
@@ -198,6 +235,13 @@ func isContextErr(err error) bool {
 }
 
 func (s *Session) characterize(ctx context.Context, p *bio.Program, sz bio.Size) (*Profile, error) {
+	var fp string
+	if s.store != nil {
+		fp = Fingerprint(p, false, compiler.Default())
+		if prof, err, done := s.storeCharacterize(ctx, p, sz, fp); done {
+			return prof, err
+		}
+	}
 	prog, err := s.Compile(p, false, compiler.Default())
 	if err != nil {
 		return nil, err
@@ -211,15 +255,25 @@ func (s *Session) characterize(ctx context.Context, p *bio.Program, sz bio.Size)
 	}
 	a := loadchar.New(prog)
 	m.AddObserver(a)
+	rec := s.startRecording(m, p, sz, fp)
 	s.runs.Add(1)
 	res, err := m.RunContext(ctx)
 	if err != nil {
+		rec.abort()
 		return nil, fmt.Errorf("%s: %w", p.Name, err)
 	}
 	if err := p.Validate(res, sz); err != nil {
+		rec.abort()
 		return nil, err
 	}
-	return &Profile{Name: p.Name, Instructions: res.Instructions, Analysis: a}, nil
+	// The trace is committed only for a validated, complete run, and
+	// only when the writer saw exactly the committed-instruction count.
+	rec.commit(res.Instructions)
+	prof := &Profile{Name: p.Name, Instructions: res.Instructions, Analysis: a}
+	if s.store != nil {
+		s.storeProfile(prof, sz, fp)
+	}
+	return prof, nil
 }
 
 // CharacterizeAll characterizes the nine BioPerf programs on the

@@ -1,0 +1,257 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"bioperfload/internal/bio"
+	"bioperfload/internal/compiler"
+	"bioperfload/internal/isa"
+	"bioperfload/internal/loadchar"
+	"bioperfload/internal/sim"
+	"bioperfload/internal/store"
+	"bioperfload/internal/trace"
+)
+
+// artifactSchema versions the session's store keying: bump it when the
+// meaning of persisted artifacts changes (compiled-program encoding,
+// profile semantics), so stale entries read as misses.
+const artifactSchema = 1
+
+// Fingerprint identifies a compiled artifact and everything replay
+// fidelity depends on: the artifact schema, the trace format version,
+// the program identity and variant, the compiler configuration, and
+// the full MiniC source text. Two sessions with equal fingerprints
+// produce interchangeable programs and traces.
+func Fingerprint(p *bio.Program, transformed bool, opts compiler.Options) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "schema=%d trace=%d program=%s transformed=%v opts=%+v\n",
+		artifactSchema, trace.FormatVersion, p.Name, transformed && p.Transformable, opts)
+	io.WriteString(h, p.Source(transformed))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func progKey(fp string) string               { return "prog|" + fp }
+func traceKey(fp string, sz bio.Size) string { return "trace|" + fp + "|" + sz.String() }
+func profKey(fp string, sz bio.Size) string  { return "prof|" + fp + "|" + sz.String() }
+
+// encodeProgram serializes a compiled program for the store. Only
+// exported fields travel; the lazy symbol index is rebuilt on load.
+func encodeProgram(prog *isa.Program) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(prog); err != nil {
+		return nil, fmt.Errorf("encode program: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeProgram(data []byte) (*isa.Program, error) {
+	var prog isa.Program
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&prog); err != nil {
+		return nil, fmt.Errorf("decode program: %w", err)
+	}
+	return &prog, nil
+}
+
+// loadCompiled returns the compiled program persisted under fp, if the
+// store holds an intact copy.
+func (s *Session) loadCompiled(fp string) *isa.Program {
+	if s.store == nil {
+		return nil
+	}
+	data, ok := s.store.GetBytes(progKey(fp))
+	if !ok {
+		return nil
+	}
+	prog, err := decodeProgram(data)
+	if err != nil {
+		s.store.Delete(progKey(fp))
+		return nil
+	}
+	return prog
+}
+
+// storeCompiled persists a freshly compiled program. Failures are
+// deliberately silent: the store is a cache, not a dependency.
+func (s *Session) storeCompiled(fp string, prog *isa.Program) {
+	if s.store == nil {
+		return
+	}
+	if data, err := encodeProgram(prog); err == nil {
+		s.store.PutBytes(progKey(fp), data)
+	}
+}
+
+// profileArtifact is the persisted characterization result: the
+// analysis snapshot plus the run's committed-instruction count.
+type profileArtifact struct {
+	Instructions uint64
+	Snap         *loadchar.Snapshot
+}
+
+// loadProfile serves a characterization from a persisted analysis
+// snapshot, the cheapest warm path: no simulation, no replay, no
+// recompilation beyond the memoized program needed for source
+// attribution. Damaged entries are evicted and report a miss.
+func (s *Session) loadProfile(p *bio.Program, sz bio.Size, fp string) (*Profile, bool) {
+	key := profKey(fp, sz)
+	data, ok := s.store.GetBytes(key)
+	if !ok {
+		return nil, false
+	}
+	var art profileArtifact
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&art); err != nil || art.Snap == nil {
+		s.store.Delete(key)
+		return nil, false
+	}
+	prog := s.loadCompiled(fp)
+	if prog == nil {
+		var err error
+		prog, err = s.Compile(p, false, compiler.Default())
+		if err != nil {
+			return nil, false
+		}
+	}
+	a, err := loadchar.FromSnapshot(prog, art.Snap)
+	if err != nil {
+		s.store.Delete(key)
+		return nil, false
+	}
+	return &Profile{Name: p.Name, Instructions: art.Instructions, Analysis: a}, true
+}
+
+// storeProfile persists a characterization result. Like storeCompiled,
+// failures are silent: the store is a cache.
+func (s *Session) storeProfile(prof *Profile, sz bio.Size, fp string) {
+	if s.store == nil || prof == nil || prof.Analysis == nil {
+		return
+	}
+	var buf bytes.Buffer
+	art := profileArtifact{Instructions: prof.Instructions, Snap: prof.Analysis.Snapshot()}
+	if err := gob.NewEncoder(&buf).Encode(&art); err == nil {
+		s.store.PutBytes(profKey(fp, sz), buf.Bytes())
+	}
+}
+
+// storeCharacterize serves a characterization from the persistent
+// store: first from a persisted analysis snapshot, then by replaying
+// the recorded trace (re-persisting the snapshot on the way out). The
+// bool reports whether the request was settled here; false means the
+// caller must simulate cold.
+func (s *Session) storeCharacterize(ctx context.Context, p *bio.Program, sz bio.Size, fp string) (*Profile, error, bool) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", p.Name, err), true
+	}
+	if prof, ok := s.loadProfile(p, sz, fp); ok {
+		s.profileHits.Add(1)
+		return prof, nil, true
+	}
+	prof, err, done := s.replayCharacterize(ctx, p, sz, fp)
+	if done && err == nil {
+		s.storeProfile(prof, sz, fp)
+	}
+	return prof, err, done
+}
+
+// replayCharacterize serves a characterization from a stored trace.
+// The bool reports whether the request was settled here: false means
+// no usable trace (miss or corruption — corrupt entries are evicted)
+// and the caller should simulate cold. Context errors settle the
+// request with the error so cancellation is never misread as
+// corruption.
+func (s *Session) replayCharacterize(ctx context.Context, p *bio.Program, sz bio.Size, fp string) (*Profile, error, bool) {
+	key := traceKey(fp, sz)
+	rc, _, ok := s.store.OpenReader(key)
+	if !ok {
+		return nil, nil, false
+	}
+	defer rc.Close()
+
+	evict := func() (*Profile, error, bool) {
+		s.store.Delete(key)
+		return nil, nil, false
+	}
+	tr, err := trace.NewReader(rc)
+	if err != nil {
+		return evict()
+	}
+	if m := tr.Meta(); m.Program != p.Name || m.Fingerprint != fp {
+		return evict()
+	}
+	prog := s.loadCompiled(fp)
+	if prog == nil {
+		// No persisted binary: compile (memoized) so the trace can be
+		// rebound; the simulation itself is still skipped.
+		prog, err = s.Compile(p, false, compiler.Default())
+		if err != nil {
+			return nil, err, true
+		}
+	}
+	prog.Symbol("") // force the lazy index before goroutines share it
+
+	s.replayRuns.Add(1)
+	var a *loadchar.Analysis
+	if s.jobs > 1 {
+		src := tr.ParallelEvents(prog, 2)
+		a, err = loadchar.AnalyzeParallel(ctx, prog, src)
+		src.Close()
+	} else {
+		a = loadchar.New(prog)
+		_, err = tr.Replay(ctx, prog, a)
+	}
+	if err != nil {
+		if isContextErr(err) || ctx.Err() != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err), true
+		}
+		return evict() // damaged trace: fall back to cold simulation
+	}
+	return &Profile{Name: p.Name, Instructions: tr.TotalEvents(), Analysis: a}, nil, true
+}
+
+// recorder wires a trace writer into a machine when a store is
+// attached. commit finalizes the artifact only for a validated run of
+// the expected length; abort discards it.
+type recorder struct {
+	ew *store.EntryWriter
+	tw *trace.Writer
+}
+
+func (s *Session) startRecording(m *sim.Machine, p *bio.Program, sz bio.Size, fp string) *recorder {
+	if s.store == nil {
+		return nil
+	}
+	ew, err := s.store.Create(traceKey(fp, sz))
+	if err != nil {
+		return nil
+	}
+	tw := trace.NewWriter(ew, trace.Meta{
+		Program:     p.Name,
+		Fingerprint: fp,
+		Size:        sz.String(),
+	})
+	m.AddBatchObserver(tw)
+	return &recorder{ew: ew, tw: tw}
+}
+
+func (r *recorder) abort() {
+	if r == nil {
+		return
+	}
+	r.ew.Abort()
+}
+
+func (r *recorder) commit(instructions uint64) {
+	if r == nil {
+		return
+	}
+	if err := r.tw.Close(); err != nil || r.tw.Events() != instructions {
+		r.ew.Abort()
+		return
+	}
+	r.ew.Commit()
+}

@@ -697,6 +697,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "bioperfd_session_runs %d\n", st.Runs)
 	fmt.Fprintln(w, "# TYPE bioperfd_session_characterize_hits counter")
 	fmt.Fprintf(w, "bioperfd_session_characterize_hits %d\n", st.CharacterizeHits)
+	fmt.Fprintln(w, "# TYPE bioperfd_session_replay_runs counter")
+	fmt.Fprintf(w, "bioperfd_session_replay_runs %d\n", st.ReplayRuns)
+	fmt.Fprintln(w, "# TYPE bioperfd_session_profile_hits counter")
+	fmt.Fprintf(w, "bioperfd_session_profile_hits %d\n", st.ProfileHits)
+	if as := s.session.Store(); as != nil {
+		ss := as.Stats()
+		fmt.Fprintln(w, "# HELP bioperfd_store_counters Persistent artifact store statistics.")
+		fmt.Fprintln(w, "# TYPE bioperfd_store_hits counter")
+		fmt.Fprintf(w, "bioperfd_store_hits %d\n", ss.Hits)
+		fmt.Fprintln(w, "# TYPE bioperfd_store_misses counter")
+		fmt.Fprintf(w, "bioperfd_store_misses %d\n", ss.Misses)
+		fmt.Fprintln(w, "# TYPE bioperfd_store_evictions counter")
+		fmt.Fprintf(w, "bioperfd_store_evictions %d\n", ss.Evictions)
+		fmt.Fprintln(w, "# TYPE bioperfd_store_entries gauge")
+		fmt.Fprintf(w, "bioperfd_store_entries %d\n", ss.Entries)
+		fmt.Fprintln(w, "# TYPE bioperfd_store_bytes_on_disk gauge")
+		fmt.Fprintf(w, "bioperfd_store_bytes_on_disk %d\n", ss.BytesOnDisk)
+	}
 }
 
 // statusWriter captures the status code for metrics and forwards

@@ -1,0 +1,106 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+
+	"bioperfload/internal/runner"
+	"bioperfload/internal/store"
+)
+
+// TestMetricsStoreCounters proves /metrics surfaces the artifact-store
+// statistics next to the session cache counters, and that serving a
+// characterization from a warm store moves the hit counter.
+func TestMetricsStoreCounters(t *testing.T) {
+	dir := t.TempDir()
+
+	// Session 1: characterize cold, populating the store.
+	st1, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess1 := runner.NewSessionWithStore(1, st1)
+	_, ts1 := newTestServer(t, Config{Session: sess1, QueueDepth: 4, Workers: 1})
+	resp, body := postJSON(t, ts1.URL+"/v1/characterize",
+		map[string]any{"program": "hmmsearch", "size": "test", "wait": true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("characterize: HTTP %d: %s", resp.StatusCode, body)
+	}
+	ts1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Session 2: same store directory — the request must be served warm
+	// (from the persisted snapshot) and counted as store hits.
+	st2, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	sess2 := runner.NewSessionWithStore(1, st2)
+	_, ts2 := newTestServer(t, Config{Session: sess2, QueueDepth: 4, Workers: 1})
+	defer ts2.Close()
+	resp, body = postJSON(t, ts2.URL+"/v1/characterize",
+		map[string]any{"program": "hmmsearch", "size": "test", "wait": true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm characterize: HTTP %d: %s", resp.StatusCode, body)
+	}
+
+	getResp, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := io.ReadAll(getResp.Body)
+	getResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(metrics)
+	for _, want := range []string{
+		"bioperfd_store_hits",
+		"bioperfd_store_misses",
+		"bioperfd_store_evictions",
+		"bioperfd_store_entries",
+		"bioperfd_store_bytes_on_disk",
+		"bioperfd_session_profile_hits 1",
+		"bioperfd_session_replay_runs 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+	if regexp.MustCompile(`(?m)^bioperfd_store_hits 0$`).MatchString(text) {
+		t.Fatalf("store hits not counted on warm serve:\n%s", text)
+	}
+	if st := sess2.Stats(); st.Runs != 0 {
+		t.Fatalf("warm serve simulated: %+v", st)
+	}
+}
+
+// TestMetricsWithoutStore keeps the no-store configuration clean: no
+// bioperfd_store_* series are exported when no store is attached.
+func TestMetricsWithoutStore(t *testing.T) {
+	_, ts := newTestServer(t, Config{Session: runner.NewSession(1)})
+	defer ts.Close()
+	getResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := io.ReadAll(getResp.Body)
+	getResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(metrics), "bioperfd_store_") {
+		t.Fatalf("store series exported without a store:\n%s", metrics)
+	}
+	for _, want := range []string{"bioperfd_session_replay_runs", "bioperfd_session_profile_hits"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("%s counter missing:\n%s", want, metrics)
+		}
+	}
+}

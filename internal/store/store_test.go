@@ -1,0 +1,254 @@
+package store
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func open(t *testing.T, dir string, max int64) *Store {
+	t.Helper()
+	s, err := Open(dir, max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	data := []byte("compiled program artifact")
+	if err := s.PutBytes("prog|abc", data); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.GetBytes("prog|abc")
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatalf("GetBytes = %q, %v", got, ok)
+	}
+	if _, ok := s.GetBytes("prog|other"); ok {
+		t.Fatal("missing key reported present")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.BytesOnDisk != int64(len(data)) {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 0)
+	if err := s.PutBytes("k1", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutBytes("k2", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir, 0)
+	got, ok := s2.GetBytes("k1")
+	if !ok || string(got) != "one" {
+		t.Fatalf("k1 after reopen = %q, %v", got, ok)
+	}
+	if st := s2.Stats(); st.Entries != 2 {
+		t.Fatalf("stats after reopen %+v", st)
+	}
+}
+
+func TestStreamingWriterAndReader(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	w, err := s.Create("trace|x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("chunks")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	r, size, ok := s.OpenReader("trace|x")
+	if !ok {
+		t.Fatal("OpenReader miss after commit")
+	}
+	defer r.Close()
+	if size != int64(len("hello chunks")) {
+		t.Fatalf("size %d", size)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil || string(data) != "hello chunks" {
+		t.Fatalf("read %q, %v", data, err)
+	}
+}
+
+func TestAbortLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 0)
+	w, err := s.Create("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write([]byte("partial"))
+	w.Abort()
+	if _, ok := s.GetBytes("k"); ok {
+		t.Fatal("aborted artifact visible")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name() != "objects" && e.Name() != indexName {
+			t.Fatalf("leftover file %s", e.Name())
+		}
+	}
+}
+
+func TestCorruptionDetectedAndEvicted(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 0)
+	if err := s.PutBytes("k", []byte("pristine content")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the object file behind the store's back.
+	var objPath string
+	filepath.WalkDir(filepath.Join(dir, "objects"), func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			objPath = path
+		}
+		return nil
+	})
+	if objPath == "" {
+		t.Fatal("object file not found")
+	}
+	raw, err := os.ReadFile(objPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0xff
+	if err := os.WriteFile(objPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetBytes("k"); ok {
+		t.Fatal("corrupted artifact returned as a hit")
+	}
+	if st := s.Stats(); st.Entries != 0 {
+		t.Fatalf("corrupted entry not evicted: %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s := open(t, t.TempDir(), 30)
+	pay := func(b byte) []byte { return bytes.Repeat([]byte{b}, 10) }
+	for i, k := range []string{"a", "b", "c"} {
+		if err := s.PutBytes(k, pay(byte('0'+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch "a" so "b" is the least recently used, then overflow.
+	if _, ok := s.GetBytes("a"); !ok {
+		t.Fatal("a missing")
+	}
+	if err := s.PutBytes("d", pay('3')); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetBytes("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := s.GetBytes(k); !ok {
+			t.Fatalf("%s evicted unexpectedly", k)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.BytesOnDisk != 30 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestContentDedup(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	data := []byte("shared content")
+	if err := s.PutBytes("k1", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutBytes("k2", data); err != nil {
+		t.Fatal(err)
+	}
+	// Two keys, one object file.
+	var objects int
+	filepath.WalkDir(filepath.Join(s.Dir(), "objects"), func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			objects++
+		}
+		return nil
+	})
+	if objects != 1 {
+		t.Fatalf("%d object files for identical content", objects)
+	}
+	// Deleting one key must keep the shared object alive.
+	s.Delete("k1")
+	if got, ok := s.GetBytes("k2"); !ok || !bytes.Equal(got, data) {
+		t.Fatal("shared object removed with first key")
+	}
+}
+
+func TestOrphanSweepOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 0)
+	if err := s.PutBytes("k", []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	orphan := filepath.Join(dir, "objects", "ff", "ff00")
+	os.MkdirAll(filepath.Dir(orphan), 0o755)
+	os.WriteFile(orphan, []byte("orphan"), 0o644)
+
+	s2 := open(t, dir, 0)
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("orphan object survived reopen")
+	}
+	if _, ok := s2.GetBytes("k"); !ok {
+		t.Fatal("live entry lost during sweep")
+	}
+}
+
+func TestTornIndexRecovered(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 0)
+	if err := s.PutBytes("k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := os.WriteFile(filepath.Join(dir, indexName), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir, 0) // must not fail
+	if _, ok := s2.GetBytes("k"); ok {
+		t.Fatal("entry resurrected from torn index")
+	}
+}
+
+func TestReplaceKey(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	if err := s.PutBytes("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutBytes("k", []byte("value-two")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.GetBytes("k")
+	if !ok || string(got) != "value-two" {
+		t.Fatalf("after replace: %q, %v", got, ok)
+	}
+	if st := s.Stats(); st.Entries != 1 || st.BytesOnDisk != int64(len("value-two")) {
+		t.Fatalf("stats after replace %+v", st)
+	}
+}

@@ -1,0 +1,220 @@
+// Package trace is the durable form of the simulator's
+// committed-instruction event stream: the same record-once /
+// analyze-many discipline ATOM gave the paper, persisted to disk. A
+// Writer rides the sim.BatchObserver slab path and encodes events into
+// self-contained chunks (delta+varint program counters and effective
+// addresses, bitmap-packed branch outcomes, per-chunk compression,
+// CRC-protected length-prefixed framing); a Reader streams the chunks
+// back — sequentially or decoded ahead by a worker pool — and rebinds
+// them to a compiled program so any BatchObserver (loadchar, cache,
+// bpred, pipeline) can replay the run without re-simulating it.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Record is the on-disk form of one committed instruction. It carries
+// exactly the event fields the simulator produces that cannot be
+// re-derived from the program text: the sequence number is implicit
+// (chunk base + index) and the instruction itself is rebound from the
+// program by PC at replay time.
+type Record struct {
+	PC     int32
+	Target int32
+	Addr   uint64
+	Taken  bool
+}
+
+// ChunkEvents is the default number of records per chunk. A chunk is
+// the unit of compression, CRC protection, and parallel decode; 64Ki
+// events strike a balance between per-chunk framing overhead and
+// replay-pipeline granularity.
+const ChunkEvents = 1 << 16
+
+// maxChunkEvents caps the decoded-record allocation a chunk header can
+// request, so a corrupted or hostile count cannot trigger a huge
+// allocation before the payload bounds checks reject it.
+const maxChunkEvents = 1 << 22
+
+// zigzag folds signed deltas into unsigned varint space.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag is the inverse of zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// appendChunk encodes recs (whose first record has sequence number
+// base) onto dst and returns the extended slice. The layout is
+// columnar so each stream stays self-similar for the compressor:
+//
+//	uvarint base          sequence number of recs[0]
+//	uvarint n             record count
+//	n  zigzag varints     PC deltas (previous PC starts at 0)
+//	n  zigzag varints     Target deltas relative to PC+1 (0 = fallthrough)
+//	⌈n/8⌉ bytes           Taken bitmap
+//	⌈n/8⌉ bytes           Addr-present bitmap (bit set ⇔ Addr != 0)
+//	k  zigzag varints     Addr deltas for the k present addresses
+//	                      (previous address starts at 0)
+//
+// Every stream is chunk-local, so chunks decode independently.
+func appendChunk(dst []byte, base uint64, recs []Record) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(u uint64) {
+		n := binary.PutUvarint(tmp[:], u)
+		dst = append(dst, tmp[:n]...)
+	}
+	put(base)
+	put(uint64(len(recs)))
+	prevPC := int64(0)
+	for i := range recs {
+		pc := int64(recs[i].PC)
+		put(zigzag(pc - prevPC))
+		prevPC = pc
+	}
+	for i := range recs {
+		put(zigzag(int64(recs[i].Target) - int64(recs[i].PC) - 1))
+	}
+	nb := (len(recs) + 7) / 8
+	off := len(dst)
+	dst = append(dst, make([]byte, nb)...)
+	for i := range recs {
+		if recs[i].Taken {
+			dst[off+i/8] |= 1 << (i % 8)
+		}
+	}
+	off = len(dst)
+	dst = append(dst, make([]byte, nb)...)
+	for i := range recs {
+		if recs[i].Addr != 0 {
+			dst[off+i/8] |= 1 << (i % 8)
+		}
+	}
+	prevAddr := uint64(0)
+	for i := range recs {
+		if a := recs[i].Addr; a != 0 {
+			put(zigzag(int64(a - prevAddr)))
+			prevAddr = a
+		}
+	}
+	return dst
+}
+
+// chunkDecoder walks an encoded chunk payload with strict bounds
+// checking: every read is validated so arbitrary bytes produce an
+// error, never a panic.
+type chunkDecoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *chunkDecoder) uvarint() (uint64, error) {
+	u, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("trace: truncated or overlong varint at offset %d", d.pos)
+	}
+	d.pos += n
+	return u, nil
+}
+
+func (d *chunkDecoder) bytes(n int) ([]byte, error) {
+	if n < 0 || d.pos+n > len(d.data) {
+		return nil, fmt.Errorf("trace: chunk truncated at offset %d (need %d bytes)", d.pos, n)
+	}
+	b := d.data[d.pos : d.pos+n]
+	d.pos += n
+	return b, nil
+}
+
+// decodeChunk decodes one chunk payload, appending into recs (which
+// may be nil or recycled) and returning the base sequence number and
+// the decoded records. It rejects malformed input with an error.
+func decodeChunk(data []byte, recs []Record) (uint64, []Record, error) {
+	d := &chunkDecoder{data: data}
+	base, err := d.uvarint()
+	if err != nil {
+		return 0, nil, err
+	}
+	n64, err := d.uvarint()
+	if err != nil {
+		return 0, nil, err
+	}
+	if n64 > maxChunkEvents {
+		return 0, nil, fmt.Errorf("trace: chunk claims %d records (max %d)", n64, maxChunkEvents)
+	}
+	n := int(n64)
+	if cap(recs) < n {
+		recs = make([]Record, n)
+	}
+	recs = recs[:n]
+	prevPC := int64(0)
+	for i := 0; i < n; i++ {
+		u, err := d.uvarint()
+		if err != nil {
+			return 0, nil, err
+		}
+		pc := prevPC + unzigzag(u)
+		if pc < -(1<<31) || pc >= 1<<31 {
+			return 0, nil, fmt.Errorf("trace: PC %d out of int32 range", pc)
+		}
+		recs[i] = Record{PC: int32(pc)}
+		prevPC = pc
+	}
+	for i := 0; i < n; i++ {
+		u, err := d.uvarint()
+		if err != nil {
+			return 0, nil, err
+		}
+		t := int64(recs[i].PC) + 1 + unzigzag(u)
+		if t < -(1<<31) || t >= 1<<31 {
+			return 0, nil, fmt.Errorf("trace: target %d out of int32 range", t)
+		}
+		recs[i].Target = int32(t)
+	}
+	nb := (n + 7) / 8
+	taken, err := d.bytes(nb)
+	if err != nil {
+		return 0, nil, err
+	}
+	for i := 0; i < n; i++ {
+		recs[i].Taken = taken[i/8]&(1<<(i%8)) != 0
+	}
+	present, err := d.bytes(nb)
+	if err != nil {
+		return 0, nil, err
+	}
+	// Trailing padding bits of the final bitmap byte must be zero, so
+	// the addr-count below is trustworthy.
+	if n%8 != 0 {
+		if present[nb-1]>>(n%8) != 0 || taken[nb-1]>>(n%8) != 0 {
+			return 0, nil, fmt.Errorf("trace: nonzero padding bits in chunk bitmap")
+		}
+	}
+	k := 0
+	for _, b := range present {
+		k += bits.OnesCount8(b)
+	}
+	prevAddr := uint64(0)
+	got := 0
+	for i := 0; i < n && got < k; i++ {
+		if present[i/8]&(1<<(i%8)) == 0 {
+			continue
+		}
+		u, err := d.uvarint()
+		if err != nil {
+			return 0, nil, err
+		}
+		a := prevAddr + uint64(unzigzag(u))
+		if a == 0 {
+			return 0, nil, fmt.Errorf("trace: zero address marked present at record %d", i)
+		}
+		recs[i].Addr = a
+		prevAddr = a
+		got++
+	}
+	if d.pos != len(data) {
+		return 0, nil, fmt.Errorf("trace: %d trailing bytes after chunk payload", len(data)-d.pos)
+	}
+	return base, recs, nil
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomRecords(r *rand.Rand, n int) []Record {
+	recs := make([]Record, n)
+	pc := int32(0)
+	for i := range recs {
+		// Mostly small forward steps with occasional long jumps, like a
+		// real committed-instruction stream.
+		switch r.Intn(10) {
+		case 0:
+			pc = int32(r.Intn(1 << 20))
+		default:
+			pc += int32(r.Intn(8))
+		}
+		rec := Record{PC: pc, Target: pc + 1}
+		if r.Intn(4) == 0 {
+			rec.Target = int32(r.Intn(1 << 20))
+			rec.Taken = r.Intn(2) == 0
+		}
+		if r.Intn(3) == 0 {
+			rec.Addr = uint64(r.Intn(1 << 30))
+		}
+		recs[i] = rec
+	}
+	return recs
+}
+
+func TestChunkRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	cases := [][]Record{
+		{},
+		{{PC: 0, Target: 1}},
+		{{PC: 5, Target: 6, Addr: 0x1000, Taken: true}},
+		{
+			{PC: math.MaxInt32, Target: math.MinInt32, Addr: math.MaxUint64, Taken: true},
+			{PC: math.MinInt32, Target: math.MaxInt32, Addr: 1},
+		},
+		randomRecords(r, 1),
+		randomRecords(r, 7),
+		randomRecords(r, 8),
+		randomRecords(r, 9),
+		randomRecords(r, 1000),
+		randomRecords(r, ChunkEvents),
+	}
+	for ci, recs := range cases {
+		for _, base := range []uint64{0, 1, 1 << 40} {
+			buf := appendChunk(nil, base, recs)
+			gotBase, got, err := decodeChunk(buf, nil)
+			if err != nil {
+				t.Fatalf("case %d base %d: decode: %v", ci, base, err)
+			}
+			if gotBase != base {
+				t.Fatalf("case %d: base %d, want %d", ci, gotBase, base)
+			}
+			if len(got) != len(recs) {
+				t.Fatalf("case %d: %d records, want %d", ci, len(got), len(recs))
+			}
+			for i := range recs {
+				if got[i] != recs[i] {
+					t.Fatalf("case %d record %d: got %+v want %+v", ci, i, got[i], recs[i])
+				}
+			}
+		}
+	}
+}
+
+func TestChunkDecodeRecyclesBuffer(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	big := randomRecords(r, 500)
+	small := randomRecords(r, 20)
+	buf := appendChunk(nil, 0, big)
+	_, recs, err := decodeChunk(buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf2 := appendChunk(nil, 500, small)
+	_, recs2, err := decodeChunk(buf2, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs2) != len(small) {
+		t.Fatalf("recycled decode returned %d records, want %d", len(recs2), len(small))
+	}
+	for i := range small {
+		if recs2[i] != small[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, recs2[i], small[i])
+		}
+	}
+	if &recs2[0] != &recs[0] {
+		t.Error("decode did not reuse the provided buffer")
+	}
+}
+
+func TestChunkDecodeRejectsCorruption(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	recs := randomRecords(r, 100)
+	buf := appendChunk(nil, 42, recs)
+
+	// Truncation at every prefix length must error, never panic.
+	for n := 0; n < len(buf); n++ {
+		if _, _, err := decodeChunk(buf[:n], nil); err == nil {
+			// A prefix can occasionally decode as a smaller valid chunk
+			// only if every stream happens to terminate; with trailing
+			// bytes rejected that means the count shrank, which the
+			// varint layout cannot produce from a prefix. Treat any
+			// silent success as a bug.
+			t.Fatalf("truncated chunk (%d of %d bytes) decoded without error", n, len(buf))
+		}
+	}
+
+	// Trailing garbage is rejected.
+	if _, _, err := decodeChunk(append(append([]byte{}, buf...), 0), nil); err == nil {
+		t.Error("chunk with trailing byte decoded without error")
+	}
+
+	// A hostile record count cannot cause a huge allocation.
+	hostile := appendChunk(nil, 0, nil)
+	hostile = hostile[:1] // keep base, drop count
+	hostile = append(hostile, 0xff, 0xff, 0xff, 0xff, 0x7f)
+	if _, _, err := decodeChunk(hostile, nil); err == nil {
+		t.Error("hostile record count decoded without error")
+	}
+}

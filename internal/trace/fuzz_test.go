@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"bioperfload/internal/sim"
+)
+
+// FuzzCodec drives both directions of the codec from one input:
+//
+//  1. The raw bytes are decoded as a chunk and as a full trace stream.
+//     Arbitrary input must produce an error or a clean decode — never a
+//     panic, and never an oversized allocation.
+//  2. The bytes are also deterministically reinterpreted as an event
+//     slab, encoded, and decoded again; the round trip must be
+//     lossless.
+func FuzzCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0})
+	f.Add(appendChunk(nil, 0, []Record{{PC: 1, Target: 2, Addr: 64, Taken: true}}))
+	f.Add(appendChunk(nil, 9, []Record{{PC: 3, Target: 4}, {PC: 4, Target: 5, Addr: 8}}))
+	var full bytes.Buffer
+	tw := NewWriter(&full, Meta{Program: "fuzz", ChunkEvents: 2})
+	tw.ObserveBatch(eventsFromBytes([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}))
+	if err := tw.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(full.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Direction 1a: arbitrary bytes as a chunk payload.
+		if base, recs, err := decodeChunk(data, nil); err == nil {
+			// A clean decode must re-encode to an equivalent chunk.
+			re := appendChunk(nil, base, recs)
+			base2, recs2, err := decodeChunk(re, nil)
+			if err != nil {
+				t.Fatalf("re-decode of re-encoded chunk failed: %v", err)
+			}
+			if base2 != base || len(recs2) != len(recs) {
+				t.Fatalf("re-encode changed shape: base %d->%d, n %d->%d", base, base2, len(recs), len(recs2))
+			}
+			for i := range recs {
+				if recs[i] != recs2[i] {
+					t.Fatalf("re-encode changed record %d: %+v -> %+v", i, recs[i], recs2[i])
+				}
+			}
+		}
+
+		// Direction 1b: arbitrary bytes as a full trace stream.
+		if tr, err := NewReader(bytes.NewReader(data)); err == nil {
+			for {
+				fr, err := tr.nextFrame()
+				if err != nil {
+					break
+				}
+				if _, _, err := decodeFrame(fr, nil); err != nil {
+					break
+				}
+			}
+		}
+
+		// Direction 2: bytes -> synthetic slab -> encode -> decode.
+		evs := eventsFromBytes(data)
+		var buf bytes.Buffer
+		w := NewWriter(&buf, Meta{Program: "fuzz", ChunkEvents: 16})
+		w.ObserveBatch(evs)
+		if err := w.Close(); err != nil {
+			t.Fatalf("write synthetic trace: %v", err)
+		}
+		tr, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("read synthetic trace: %v", err)
+		}
+		i := 0
+		for {
+			fr, err := tr.nextFrame()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("synthetic trace frame: %v", err)
+			}
+			_, recs, err := decodeFrame(fr, nil)
+			if err != nil {
+				t.Fatalf("synthetic trace chunk: %v", err)
+			}
+			for _, rec := range recs {
+				want := evs[i]
+				if rec.PC != want.PC || rec.Target != want.Target || rec.Addr != want.Addr || rec.Taken != want.Taken {
+					t.Fatalf("event %d: got %+v want %+v", i, rec, want)
+				}
+				i++
+			}
+		}
+		if i != len(evs) {
+			t.Fatalf("decoded %d events, wrote %d", i, len(evs))
+		}
+	})
+}
+
+// eventsFromBytes deterministically shreds bytes into an event slab so
+// the fuzzer explores the encoder's value space.
+func eventsFromBytes(data []byte) []sim.Event {
+	var evs []sim.Event
+	for len(data) >= 12 {
+		pc := int32(binary.LittleEndian.Uint32(data))
+		target := int32(binary.LittleEndian.Uint32(data[4:]))
+		addr := uint64(binary.LittleEndian.Uint32(data[8:]))
+		evs = append(evs, sim.Event{
+			PC:     pc,
+			Target: target,
+			Addr:   addr,
+			Taken:  data[8]&1 == 1,
+		})
+		data = data[12:]
+	}
+	return evs
+}

@@ -1,0 +1,232 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"bioperfload/internal/isa"
+	"bioperfload/internal/sim"
+)
+
+// Source streams a trace as slabs of simulator events in commit
+// order. Next returns a slab plus a release function; the slab is
+// recycled only after release is called, mirroring the sim.Event slab
+// contract, so a consumer may hold several outstanding slabs (e.g. a
+// pass fan-out) as long as each is eventually released. Next returns
+// io.EOF after the last chunk, once the footer has been validated
+// against the decoded event count.
+//
+// It structurally satisfies loadchar.EventSource.
+type Source struct {
+	next  func() ([]sim.Event, func(), error)
+	close func()
+}
+
+// Next returns the next event slab in commit order.
+func (s *Source) Next() ([]sim.Event, func(), error) { return s.next() }
+
+// Close releases the source's resources (decode workers, buffers). It
+// is safe to call after an error or mid-stream.
+func (s *Source) Close() { s.close() }
+
+// slabPool recycles event slabs between release and the next decode.
+type slabPool struct{ p sync.Pool }
+
+func (sp *slabPool) get() []sim.Event {
+	if e, ok := sp.p.Get().(*[]sim.Event); ok {
+		return *e
+	}
+	return nil
+}
+
+func (sp *slabPool) release(evs []sim.Event) func() {
+	return func() { sp.p.Put(&evs) }
+}
+
+// Events returns a sequential source: chunks are decoded in the
+// caller's goroutine as Next is called.
+func (tr *Reader) Events(prog *isa.Program) *Source {
+	var recs []Record
+	var pool slabPool
+	var decoded uint64
+	next := func() ([]sim.Event, func(), error) {
+		f, err := tr.nextFrame()
+		if err == io.EOF {
+			if decoded != tr.footerEvents {
+				return nil, nil, fmt.Errorf("trace: decoded %d events, footer records %d", decoded, tr.footerEvents)
+			}
+			return nil, nil, io.EOF
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		var base uint64
+		base, recs, err = decodeFrame(f, recs)
+		if err != nil {
+			return nil, nil, err
+		}
+		if base != decoded {
+			return nil, nil, fmt.Errorf("trace: chunk base %d, expected %d", base, decoded)
+		}
+		evs, err := bind(prog, base, recs, pool.get())
+		if err != nil {
+			return nil, nil, err
+		}
+		decoded += uint64(len(evs))
+		return evs, pool.release(evs), nil
+	}
+	return &Source{next: next, close: func() {}}
+}
+
+// parallelResult is one decoded chunk delivered from a decode worker.
+type parallelResult struct {
+	evs     []sim.Event
+	release func()
+	base    uint64
+	err     error
+}
+
+// parallelJob pairs a frame with the channel its decoded result must
+// be delivered on; pushing the channels through an ordered queue keeps
+// delivery in commit order while decode itself runs out of order.
+type parallelJob struct {
+	f   frame
+	out chan parallelResult
+}
+
+// ParallelEvents returns a source whose chunks are decompressed and
+// decoded ahead by a pool of workers, while delivery stays in commit
+// order. workers <= 0 selects 2, which already hides the decode cost
+// behind a replay pipeline's analysis passes.
+func (tr *Reader) ParallelEvents(prog *isa.Program, workers int) *Source {
+	if workers <= 0 {
+		workers = 2
+	}
+	var (
+		pool    slabPool
+		jobs    = make(chan parallelJob, workers)
+		order   = make(chan chan parallelResult, 2*workers)
+		stop    = make(chan struct{})
+		stopped sync.Once
+		wg      sync.WaitGroup
+	)
+
+	// Reader goroutine: pull frames off the stream in order, handing
+	// each to the worker pool with a per-chunk result channel.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(jobs)
+		defer close(order)
+		for {
+			f, err := tr.nextFrame()
+			out := make(chan parallelResult, 1)
+			if err != nil {
+				// io.EOF (footer validated) or a framing error: either
+				// way it terminates the ordered stream.
+				out <- parallelResult{err: err}
+				select {
+				case order <- out:
+				case <-stop:
+				}
+				return
+			}
+			select {
+			case order <- out:
+			case <-stop:
+				return
+			}
+			select {
+			case jobs <- parallelJob{f: f, out: out}:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var recs []Record
+			for job := range jobs {
+				base, decoded, err := decodeFrame(job.f, recs)
+				if err != nil {
+					job.out <- parallelResult{err: err}
+					continue
+				}
+				recs = decoded
+				evs, err := bind(prog, base, recs, pool.get())
+				if err != nil {
+					job.out <- parallelResult{err: err}
+					continue
+				}
+				job.out <- parallelResult{evs: evs, release: pool.release(evs), base: base}
+			}
+		}()
+	}
+
+	var decoded uint64
+	next := func() ([]sim.Event, func(), error) {
+		out, ok := <-order
+		if !ok {
+			return nil, nil, io.EOF
+		}
+		res := <-out
+		if res.err == io.EOF {
+			if decoded != tr.footerEvents {
+				return nil, nil, fmt.Errorf("trace: decoded %d events, footer records %d", decoded, tr.footerEvents)
+			}
+			return nil, nil, io.EOF
+		}
+		if res.err != nil {
+			return nil, nil, res.err
+		}
+		if res.base != decoded {
+			return nil, nil, fmt.Errorf("trace: chunk base %d, expected %d", res.base, decoded)
+		}
+		decoded += uint64(len(res.evs))
+		return res.evs, res.release, nil
+	}
+	closeFn := func() {
+		stopped.Do(func() { close(stop) })
+		// Drain the ordered queue so the reader goroutine is never
+		// blocked sending, then wait the pool out.
+		go func() {
+			for out := range order {
+				select {
+				case <-out:
+				default:
+				}
+			}
+		}()
+		wg.Wait()
+	}
+	return &Source{next: next, close: closeFn}
+}
+
+// Replay streams every event of the trace into bo in commit order,
+// checking ctx between chunks. It returns the number of events
+// replayed.
+func (tr *Reader) Replay(ctx context.Context, prog *isa.Program, bo sim.BatchObserver) (uint64, error) {
+	src := tr.Events(prog)
+	defer src.Close()
+	var n uint64
+	for {
+		if err := ctx.Err(); err != nil {
+			return n, fmt.Errorf("trace: replay %s: %w", prog.Name, err)
+		}
+		evs, release, err := src.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		bo.ObserveBatch(evs)
+		n += uint64(len(evs))
+		release()
+	}
+}

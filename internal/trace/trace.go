@@ -1,0 +1,425 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"bioperfload/internal/isa"
+	"bioperfload/internal/sim"
+)
+
+// FormatVersion is bumped whenever the on-disk layout changes; it is
+// baked into both the header magic and artifact-store fingerprints so
+// stale traces read as misses rather than garbage.
+const FormatVersion = 1
+
+var (
+	headerMagic = [8]byte{'B', 'P', 'T', 'R', 'A', 'C', 'E', '0' + FormatVersion}
+	footerMagic = [8]byte{'B', 'P', 'T', 'R', 'E', 'N', 'D', '0' + FormatVersion}
+)
+
+// Compression kinds recorded per chunk frame.
+const (
+	compressionNone  = 0
+	compressionFlate = 1
+)
+
+// maxFrameBytes caps the compressed-frame allocation a corrupted
+// length prefix can request.
+const maxFrameBytes = 64 << 20
+
+// Meta is the trace header document: enough identity to rebind the
+// stream to the program that produced it, and to reject a replay
+// against the wrong binary.
+type Meta struct {
+	// Program is the program name the trace was recorded from.
+	Program string `json:"program"`
+	// Fingerprint identifies the exact compiled artifact + input
+	// configuration (see runner.Fingerprint); replaying against a
+	// program with a different fingerprint is refused.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Size is the input-size label the run was bound with.
+	Size string `json:"size,omitempty"`
+	// ChunkEvents is the writer's chunk capacity.
+	ChunkEvents int `json:"chunk_events"`
+	// Compression names the per-chunk codec ("flate" or "none").
+	Compression string `json:"compression"`
+}
+
+// Writer encodes a committed-instruction stream to w. It implements
+// sim.BatchObserver, so recording a trace is one AddBatchObserver call
+// on the machine: events accumulate into chunks which are encoded,
+// compressed, CRC-stamped, and framed as they fill. Close flushes the
+// final partial chunk and the footer; it does not close w.
+//
+// I/O and encoding errors inside ObserveBatch are sticky: the first
+// one is retained, further batches are dropped, and Close returns it.
+type Writer struct {
+	w      io.Writer
+	meta   Meta
+	flate  bool
+	recs   []Record
+	base   uint64
+	total  uint64
+	chunks uint64
+	raw    []byte
+	comp   bytes.Buffer
+	fw     *flate.Writer
+	err    error
+	header bool
+	closed bool
+}
+
+// NewWriter creates a trace writer. Zero-valued meta fields are
+// defaulted (ChunkEvents, Compression); the header is written lazily
+// with the first chunk so an aborted recording can leave nothing
+// behind.
+func NewWriter(w io.Writer, meta Meta) *Writer {
+	if meta.ChunkEvents <= 0 {
+		meta.ChunkEvents = ChunkEvents
+	}
+	if meta.Compression == "" {
+		meta.Compression = "flate"
+	}
+	return &Writer{
+		w:     w,
+		meta:  meta,
+		flate: meta.Compression == "flate",
+		recs:  make([]Record, 0, meta.ChunkEvents),
+	}
+}
+
+var _ sim.BatchObserver = (*Writer)(nil)
+
+// ObserveBatch implements sim.BatchObserver: the slab is copied into
+// the writer's chunk buffer immediately (the simulator recycles it the
+// moment this returns) and full chunks are flushed inline.
+func (tw *Writer) ObserveBatch(evs []sim.Event) {
+	if tw.err != nil || tw.closed {
+		return
+	}
+	for i := range evs {
+		tw.recs = append(tw.recs, Record{
+			PC:     evs[i].PC,
+			Target: evs[i].Target,
+			Addr:   evs[i].Addr,
+			Taken:  evs[i].Taken,
+		})
+		if len(tw.recs) == cap(tw.recs) {
+			tw.flush()
+		}
+	}
+}
+
+// Err returns the writer's sticky error.
+func (tw *Writer) Err() error { return tw.err }
+
+// Events returns how many events have been accepted so far.
+func (tw *Writer) Events() uint64 { return tw.total + uint64(len(tw.recs)) }
+
+func (tw *Writer) writeHeader() {
+	if tw.header {
+		return
+	}
+	tw.header = true
+	meta, err := json.Marshal(tw.meta)
+	if err != nil {
+		tw.err = fmt.Errorf("trace: encode meta: %w", err)
+		return
+	}
+	var buf []byte
+	buf = append(buf, headerMagic[:]...)
+	buf = binary.AppendUvarint(buf, uint64(len(meta)))
+	buf = append(buf, meta...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(meta))
+	if _, err := tw.w.Write(buf); err != nil {
+		tw.err = fmt.Errorf("trace: write header: %w", err)
+	}
+}
+
+// flush encodes, compresses, and frames the pending chunk.
+func (tw *Writer) flush() {
+	if tw.err != nil || len(tw.recs) == 0 {
+		return
+	}
+	tw.writeHeader()
+	if tw.err != nil {
+		return
+	}
+	tw.raw = appendChunk(tw.raw[:0], tw.base, tw.recs)
+	payload := tw.raw
+	kind := byte(compressionNone)
+	if tw.flate {
+		tw.comp.Reset()
+		if tw.fw == nil {
+			tw.fw, _ = flate.NewWriter(&tw.comp, flate.BestSpeed)
+		} else {
+			tw.fw.Reset(&tw.comp)
+		}
+		if _, err := tw.fw.Write(tw.raw); err == nil {
+			if err := tw.fw.Close(); err == nil && tw.comp.Len() < len(tw.raw) {
+				payload = tw.comp.Bytes()
+				kind = compressionFlate
+			}
+		}
+	}
+	var frame []byte
+	frame = binary.AppendUvarint(frame, uint64(len(tw.raw)))
+	frame = append(frame, kind)
+	frame = binary.AppendUvarint(frame, uint64(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	if _, err := tw.w.Write(frame); err != nil {
+		tw.err = fmt.Errorf("trace: write frame: %w", err)
+		return
+	}
+	if _, err := tw.w.Write(payload); err != nil {
+		tw.err = fmt.Errorf("trace: write chunk: %w", err)
+		return
+	}
+	tw.base += uint64(len(tw.recs))
+	tw.total = tw.base
+	tw.chunks++
+	tw.recs = tw.recs[:0]
+}
+
+// Close flushes the final partial chunk and writes the terminator and
+// footer (total event and chunk counts, CRC-protected). It returns the
+// writer's sticky error, and does not close the underlying writer.
+func (tw *Writer) Close() error {
+	if tw.closed {
+		return tw.err
+	}
+	tw.closed = true
+	tw.flush()
+	tw.writeHeader() // empty trace still gets a valid header
+	if tw.err != nil {
+		return tw.err
+	}
+	var buf []byte
+	buf = binary.AppendUvarint(buf, 0) // terminator: rawLen 0
+	var counts []byte
+	counts = binary.AppendUvarint(counts, tw.total)
+	counts = binary.AppendUvarint(counts, tw.chunks)
+	buf = append(buf, counts...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(counts))
+	buf = append(buf, footerMagic[:]...)
+	if _, err := tw.w.Write(buf); err != nil {
+		tw.err = fmt.Errorf("trace: write footer: %w", err)
+	}
+	return tw.err
+}
+
+// frame is one undecoded chunk as read from the stream.
+type frame struct {
+	rawLen  int
+	kind    byte
+	payload []byte
+}
+
+// decodeFrame decompresses and decodes one frame. It is safe to call
+// from multiple goroutines on distinct frames (parallel replay).
+func decodeFrame(f frame, recs []Record) (uint64, []Record, error) {
+	raw := f.payload
+	switch f.kind {
+	case compressionNone:
+		if len(raw) != f.rawLen {
+			return 0, nil, fmt.Errorf("trace: frame length %d does not match raw length %d", len(raw), f.rawLen)
+		}
+	case compressionFlate:
+		fr := flate.NewReader(bytes.NewReader(f.payload))
+		buf := make([]byte, f.rawLen)
+		if _, err := io.ReadFull(fr, buf); err != nil {
+			return 0, nil, fmt.Errorf("trace: decompress chunk: %w", err)
+		}
+		// The compressed stream must end exactly at rawLen bytes.
+		var extra [1]byte
+		if n, _ := fr.Read(extra[:]); n != 0 {
+			return 0, nil, fmt.Errorf("trace: chunk decompresses past its declared length %d", f.rawLen)
+		}
+		raw = buf
+	default:
+		return 0, nil, fmt.Errorf("trace: unknown compression kind %d", f.kind)
+	}
+	return decodeChunk(raw, recs)
+}
+
+// Reader decodes a trace stream. NewReader consumes and validates the
+// header; chunks are then read with next/nextFrame until the footer,
+// whose counts are cross-checked against what was actually decoded.
+type Reader struct {
+	br           *bufio.Reader
+	meta         Meta
+	chunks       uint64
+	footerEvents uint64
+	done         bool
+}
+
+// NewReader wraps r and reads the trace header.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: read magic: %w", err)
+	}
+	if magic != headerMagic {
+		return nil, fmt.Errorf("trace: bad magic %q (want %q)", magic[:], headerMagic[:])
+	}
+	metaLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: read meta length: %w", err)
+	}
+	if metaLen > 1<<20 {
+		return nil, fmt.Errorf("trace: meta length %d too large", metaLen)
+	}
+	metaBuf := make([]byte, metaLen)
+	if _, err := io.ReadFull(br, metaBuf); err != nil {
+		return nil, fmt.Errorf("trace: read meta: %w", err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(br, crc[:]); err != nil {
+		return nil, fmt.Errorf("trace: read meta crc: %w", err)
+	}
+	if binary.LittleEndian.Uint32(crc[:]) != crc32.ChecksumIEEE(metaBuf) {
+		return nil, fmt.Errorf("trace: meta checksum mismatch")
+	}
+	var meta Meta
+	if err := json.Unmarshal(metaBuf, &meta); err != nil {
+		return nil, fmt.Errorf("trace: decode meta: %w", err)
+	}
+	return &Reader{br: br, meta: meta}, nil
+}
+
+// Meta returns the header document.
+func (tr *Reader) Meta() Meta { return tr.meta }
+
+// TotalEvents returns the footer's recorded event count; it is valid
+// once the stream has been fully read (the sources return io.EOF).
+func (tr *Reader) TotalEvents() uint64 { return tr.footerEvents }
+
+// nextFrame reads the next chunk frame, or io.EOF after validating the
+// terminator and footer.
+func (tr *Reader) nextFrame() (frame, error) {
+	if tr.done {
+		return frame{}, io.EOF
+	}
+	rawLen, err := binary.ReadUvarint(tr.br)
+	if err != nil {
+		return frame{}, fmt.Errorf("trace: read chunk length (truncated trace?): %w", err)
+	}
+	if rawLen == 0 {
+		return frame{}, tr.readFooter()
+	}
+	if rawLen > maxFrameBytes {
+		return frame{}, fmt.Errorf("trace: chunk raw length %d too large", rawLen)
+	}
+	kind, err := tr.br.ReadByte()
+	if err != nil {
+		return frame{}, fmt.Errorf("trace: read compression kind: %w", err)
+	}
+	compLen, err := binary.ReadUvarint(tr.br)
+	if err != nil {
+		return frame{}, fmt.Errorf("trace: read payload length: %w", err)
+	}
+	if compLen > maxFrameBytes {
+		return frame{}, fmt.Errorf("trace: chunk payload length %d too large", compLen)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(tr.br, crc[:]); err != nil {
+		return frame{}, fmt.Errorf("trace: read chunk crc: %w", err)
+	}
+	payload := make([]byte, compLen)
+	if _, err := io.ReadFull(tr.br, payload); err != nil {
+		return frame{}, fmt.Errorf("trace: read chunk payload: %w", err)
+	}
+	if binary.LittleEndian.Uint32(crc[:]) != crc32.ChecksumIEEE(payload) {
+		return frame{}, fmt.Errorf("trace: chunk %d checksum mismatch", tr.chunks)
+	}
+	tr.chunks++
+	return frame{rawLen: int(rawLen), kind: kind, payload: payload}, nil
+}
+
+// readFooter validates the trailer and returns io.EOF on success.
+func (tr *Reader) readFooter() error {
+	totalBuf := make([]byte, 0, 2*binary.MaxVarintLen64)
+	total, err := tr.readCountedUvarint(&totalBuf)
+	if err != nil {
+		return fmt.Errorf("trace: read footer events: %w", err)
+	}
+	chunks, err := tr.readCountedUvarint(&totalBuf)
+	if err != nil {
+		return fmt.Errorf("trace: read footer chunks: %w", err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(tr.br, crc[:]); err != nil {
+		return fmt.Errorf("trace: read footer crc: %w", err)
+	}
+	if binary.LittleEndian.Uint32(crc[:]) != crc32.ChecksumIEEE(totalBuf) {
+		return fmt.Errorf("trace: footer checksum mismatch")
+	}
+	var magic [8]byte
+	if _, err := io.ReadFull(tr.br, magic[:]); err != nil {
+		return fmt.Errorf("trace: read footer magic: %w", err)
+	}
+	if magic != footerMagic {
+		return fmt.Errorf("trace: bad footer magic %q", magic[:])
+	}
+	if chunks != tr.chunks {
+		return fmt.Errorf("trace: footer records %d chunks, decoded %d", chunks, tr.chunks)
+	}
+	tr.footerEvents = total
+	tr.done = true
+	return io.EOF
+}
+
+// readCountedUvarint reads a uvarint while appending its raw bytes to
+// buf (for the footer CRC).
+func (tr *Reader) readCountedUvarint(buf *[]byte) (uint64, error) {
+	var u uint64
+	for shift := 0; ; shift += 7 {
+		b, err := tr.br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		*buf = append(*buf, b)
+		if shift >= 64 {
+			return 0, fmt.Errorf("uvarint overflow")
+		}
+		u |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return u, nil
+		}
+	}
+}
+
+// bind converts decoded records into simulator events attached to
+// prog, validating every PC against the program bounds.
+func bind(prog *isa.Program, base uint64, recs []Record, evs []sim.Event) ([]sim.Event, error) {
+	n := len(recs)
+	if cap(evs) < n {
+		evs = make([]sim.Event, n)
+	}
+	evs = evs[:n]
+	insts := prog.Insts
+	for i := range recs {
+		pc := recs[i].PC
+		if pc < 0 || int(pc) >= len(insts) {
+			return nil, fmt.Errorf("trace: record %d: pc %d outside program %s (%d insts)",
+				base+uint64(i), pc, prog.Name, len(insts))
+		}
+		evs[i] = sim.Event{
+			Seq:    base + uint64(i),
+			PC:     pc,
+			Inst:   &insts[pc],
+			Addr:   recs[i].Addr,
+			Taken:  recs[i].Taken,
+			Target: recs[i].Target,
+		}
+	}
+	return evs, nil
+}

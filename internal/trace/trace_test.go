@@ -1,0 +1,249 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math/rand"
+	"testing"
+
+	"bioperfload/internal/isa"
+	"bioperfload/internal/sim"
+)
+
+// testProgram builds a synthetic program large enough to bind the
+// random PCs used by the stream tests.
+func testProgram(n int) *isa.Program {
+	insts := make([]isa.Inst, n)
+	return &isa.Program{Name: "synthetic", Insts: insts}
+}
+
+// writeTestTrace records n synthetic events through the BatchObserver
+// path with a small chunk size so multiple chunks are exercised, and
+// returns the encoded bytes plus the events.
+func writeTestTrace(t *testing.T, n, chunk int) ([]byte, []sim.Event, *isa.Program) {
+	t.Helper()
+	prog := testProgram(1 << 12)
+	r := rand.New(rand.NewSource(int64(n)))
+	evs := make([]sim.Event, n)
+	pc := int32(0)
+	for i := range evs {
+		if r.Intn(16) == 0 {
+			pc = int32(r.Intn(len(prog.Insts)))
+		} else if int(pc)+1 < len(prog.Insts) {
+			pc++
+		}
+		evs[i] = sim.Event{
+			Seq:    uint64(i),
+			PC:     pc,
+			Inst:   &prog.Insts[pc],
+			Target: pc + 1,
+		}
+		if r.Intn(3) == 0 {
+			evs[i].Addr = uint64(1 + r.Intn(1<<20))
+		}
+		if r.Intn(5) == 0 {
+			evs[i].Taken = true
+			evs[i].Target = int32(r.Intn(len(prog.Insts)))
+		}
+	}
+	var buf bytes.Buffer
+	tw := NewWriter(&buf, Meta{Program: prog.Name, Size: "test", ChunkEvents: chunk})
+	// Deliver in uneven slabs to exercise partial-chunk accumulation.
+	for lo := 0; lo < n; {
+		hi := lo + 1 + r.Intn(300)
+		if hi > n {
+			hi = n
+		}
+		tw.ObserveBatch(evs[lo:hi])
+		lo = hi
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatalf("close writer: %v", err)
+	}
+	if got := tw.Events(); got != uint64(n) {
+		t.Fatalf("writer accepted %d events, want %d", got, n)
+	}
+	return buf.Bytes(), evs, prog
+}
+
+func drain(t *testing.T, src *Source) []sim.Event {
+	t.Helper()
+	var all []sim.Event
+	for {
+		evs, release, err := src.Next()
+		if err == io.EOF {
+			return all
+		}
+		if err != nil {
+			t.Fatalf("source: %v", err)
+		}
+		all = append(all, evs...)
+		release()
+	}
+}
+
+func checkEvents(t *testing.T, got, want []sim.Event) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 255, 256, 257, 5000} {
+		data, evs, prog := writeTestTrace(t, n, 256)
+		tr, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.Meta().Program != "synthetic" || tr.Meta().Size != "test" {
+			t.Fatalf("n=%d: meta %+v", n, tr.Meta())
+		}
+		src := tr.Events(prog)
+		got := drain(t, src)
+		src.Close()
+		checkEvents(t, got, evs)
+		if tr.TotalEvents() != uint64(n) {
+			t.Fatalf("n=%d: TotalEvents=%d", n, tr.TotalEvents())
+		}
+	}
+}
+
+func TestParallelStreamRoundTrip(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		data, evs, prog := writeTestTrace(t, 10000, 128)
+		tr, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := tr.ParallelEvents(prog, workers)
+		got := drain(t, src)
+		src.Close()
+		checkEvents(t, got, evs)
+	}
+}
+
+func TestParallelSourceEarlyClose(t *testing.T) {
+	data, _, prog := writeTestTrace(t, 20000, 64)
+	tr, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := tr.ParallelEvents(prog, 4)
+	if _, _, err := src.Next(); err != nil {
+		t.Fatal(err)
+	}
+	src.Close() // must not deadlock with most chunks undelivered
+}
+
+type collector struct{ evs []sim.Event }
+
+func (c *collector) ObserveBatch(evs []sim.Event) {
+	c.evs = append(c.evs, evs...)
+}
+
+func TestReplayHelper(t *testing.T) {
+	data, evs, prog := writeTestTrace(t, 3000, 512)
+	tr, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c collector
+	n, err := tr.Replay(context.Background(), prog, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3000 {
+		t.Fatalf("replayed %d events, want 3000", n)
+	}
+	checkEvents(t, c.evs, evs)
+}
+
+func TestReplayCancel(t *testing.T) {
+	data, _, prog := writeTestTrace(t, 3000, 64)
+	tr, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var c collector
+	if _, err := tr.Replay(ctx, prog, &c); err == nil {
+		t.Fatal("replay with canceled context succeeded")
+	}
+}
+
+// replayAll decodes data fully, returning an error instead of failing,
+// for the corruption sweeps.
+func replayAll(data []byte, prog *isa.Program) error {
+	tr, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	src := tr.Events(prog)
+	defer src.Close()
+	for {
+		_, release, err := src.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		release()
+	}
+}
+
+func TestTruncatedTraceRejected(t *testing.T) {
+	data, _, prog := writeTestTrace(t, 2000, 256)
+	if err := replayAll(data, prog); err != nil {
+		t.Fatalf("pristine trace rejected: %v", err)
+	}
+	for n := 0; n < len(data); n++ {
+		if err := replayAll(data[:n], prog); err == nil {
+			t.Fatalf("truncation to %d of %d bytes accepted", n, len(data))
+		}
+	}
+}
+
+func TestBitFlippedTraceRejected(t *testing.T) {
+	data, _, prog := writeTestTrace(t, 2000, 256)
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		mut := append([]byte{}, data...)
+		mut[r.Intn(len(mut))] ^= 1 << r.Intn(8)
+		if bytes.Equal(mut, data) {
+			continue
+		}
+		if err := replayAll(mut, prog); err == nil {
+			t.Fatalf("trial %d: bit-flipped trace accepted", trial)
+		}
+	}
+}
+
+func TestBindRejectsOutOfRangePC(t *testing.T) {
+	data, _, _ := writeTestTrace(t, 100, 64)
+	small := testProgram(1) // every PC > 0 is out of range
+	if err := replayAll(data, small); err == nil {
+		t.Fatal("replay against too-small program accepted")
+	}
+}
+
+func TestReaderRejectsBadHeader(t *testing.T) {
+	for _, data := range [][]byte{
+		nil,
+		[]byte("BOGUSMAG"),
+		[]byte("BPTRACE9"),
+		headerMagic[:],
+	} {
+		if _, err := NewReader(bytes.NewReader(data)); err == nil {
+			t.Fatalf("header %q accepted", data)
+		}
+	}
+}
