@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check vet build test race smoke fuzz-smoke serve-smoke experiments bench bench-service bench-trace
+.PHONY: check fmt-check vet build test race race-concurrent smoke fuzz-smoke serve-smoke experiments bench bench-service bench-trace
 
 # check is the full gate: formatting, static analysis, build, the
 # race-enabled test suite, and an end-to-end experiments smoke run.
@@ -23,6 +23,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-concurrent stresses the concurrency-heavy packages — shard
+# workers and pass merges, decode pools and slab recycling, the job
+# queue and event streams, session singleflight — with repeated runs
+# under the race detector.
+race-concurrent:
+	$(GO) test -race -count 3 ./internal/loadchar ./internal/trace ./internal/service ./internal/runner
 
 # smoke regenerates every table and figure at test size through the
 # parallel session, proving the whole pipeline end to end.

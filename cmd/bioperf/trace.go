@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"bioperfload/internal/bio"
@@ -129,10 +130,13 @@ func cmdTrace(args []string, stderr io.Writer) int {
 
 // cmdReplay re-runs the load characterization from a recorded trace:
 // no compilation beyond rebinding instruction metadata, no simulation.
+// A v2 trace (footer chunk index) replays through the sharded analyzer;
+// v1 traces fall back to the sequential stream, so files recorded
+// before the format bump keep working.
 func cmdReplay(args []string, stderr io.Writer) int {
 	fs := flag.NewFlagSet("bioperf replay", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jobs := fs.Int("j", 1, "replay workers (>1 = component-parallel analysis)")
+	jobs := fs.Int("j", 1, "replay shard workers (0 = GOMAXPROCS)")
 	hot := fs.Int("hot", 6, "hot loads to print")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -144,9 +148,12 @@ func cmdReplay(args []string, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "usage: bioperf replay [-j n] [-hot n] file.trace\n")
 		return 2
 	}
-	if *jobs < 1 {
+	if *jobs < 0 {
 		fmt.Fprintf(stderr, "bioperf replay: -j: invalid worker count %d\n", *jobs)
 		return 2
+	}
+	if *jobs == 0 {
+		*jobs = runtime.GOMAXPROCS(0)
 	}
 	f, err := os.Open(fs.Arg(0))
 	if err != nil {
@@ -154,18 +161,42 @@ func cmdReplay(args []string, stderr io.Writer) int {
 		return 1
 	}
 	defer f.Close()
-	tr, err := trace.NewReader(f)
+	fi, err := f.Stat()
 	if err != nil {
 		fmt.Fprintf(stderr, "bioperf replay: %v\n", err)
 		return 1
 	}
-	meta := tr.Meta()
+
+	// Prefer the indexed footer; anything unindexable (a v1 trace)
+	// streams sequentially. NewIndexedReader reads via ReadAt, so the
+	// file offset is still 0 for the fallback.
+	var (
+		meta    trace.Meta
+		version int
+		ir      *trace.IndexedReader
+		tr      *trace.Reader
+	)
+	if ir, err = trace.NewIndexedReader(f, fi.Size()); err == nil {
+		meta, version = ir.Meta(), ir.Version()
+	} else {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			fmt.Fprintf(stderr, "bioperf replay: %v\n", err)
+			return 1
+		}
+		if tr, err = trace.NewReader(f); err != nil {
+			fmt.Fprintf(stderr, "bioperf replay: %v\n", err)
+			return 1
+		}
+		meta, version = tr.Meta(), tr.Version()
+	}
 	p, err := bio.ByName(meta.Program)
 	if err != nil {
 		fmt.Fprintf(stderr, "bioperf replay: trace program: %v\n", err)
 		return 1
 	}
-	if fp := runner.Fingerprint(p, false, compiler.Default()); meta.Fingerprint != fp {
+	// Hash with the file's own format version so traces recorded before
+	// a format bump still verify against the same program source.
+	if fp := runner.FingerprintAt(p, false, compiler.Default(), version); meta.Fingerprint != fp {
 		fmt.Fprintf(stderr, "bioperf replay: fingerprint mismatch: trace %s was recorded from a different %s build\n",
 			meta.Fingerprint[:12], p.Name)
 		return 1
@@ -177,7 +208,9 @@ func cmdReplay(args []string, stderr io.Writer) int {
 	}
 
 	var a *loadchar.Analysis
-	if *jobs > 1 {
+	if ir != nil {
+		a, err = runner.ReplayAnalyze(context.Background(), prog, ir, *jobs)
+	} else if *jobs > 1 {
 		src := tr.ParallelEvents(prog, *jobs)
 		a, err = loadchar.AnalyzeParallel(context.Background(), prog, src)
 		src.Close()
@@ -198,7 +231,8 @@ func cmdReplay(args []string, stderr io.Writer) int {
 // simulate + analyze + persist) against the same request served warm
 // from the persisted artifacts by a fresh session; the raw replay
 // timings document what trace decoding and re-analysis cost on their
-// own.
+// own. Every duration is the best of Samples runs, so one scheduler
+// hiccup cannot flip a speedup ratio.
 type benchTraceFile struct {
 	Tool                  string  `json:"tool"`
 	Program               string  `json:"program"`
@@ -207,6 +241,7 @@ type benchTraceFile struct {
 	TraceBytes            int64   `json:"trace_bytes"`
 	BitsPerEvent          float64 `json:"bits_per_event"`
 	Workers               int     `json:"workers"`
+	Samples               int     `json:"samples"`
 	ColdCharacterizeMS    float64 `json:"cold_characterize_ms"`
 	WarmCharacterizeMS    float64 `json:"warm_characterize_ms"`
 	CharacterizeSpeedup   float64 `json:"characterize_speedup"`
@@ -220,6 +255,24 @@ type benchTraceFile struct {
 	Generated             string  `json:"generated"`
 }
 
+// bestOf runs f n times and returns the minimum duration. The minimum
+// — not the mean — is the right statistic for a deterministic workload:
+// every sample computes the same thing, so all variance is noise added
+// on top and the fastest run is the closest estimate of the true cost.
+func bestOf(n int, f func() (time.Duration, error)) (time.Duration, error) {
+	best := time.Duration(-1)
+	for i := 0; i < n; i++ {
+		d, err := f()
+		if err != nil {
+			return 0, err
+		}
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
 // cmdBenchTrace measures cold vs store-served characterization (and
 // raw trace replay) and writes the comparison as JSON. With -check N
 // it exits non-zero when the characterize speedup falls below N.
@@ -229,7 +282,8 @@ func cmdBenchTrace(args []string, stderr io.Writer) int {
 	name := fs.String("program", "hmmsearch", "application to benchmark")
 	sizeFlag := fs.String("size", "classB", "input size (test|classB|classC)")
 	jsonPath := fs.String("json", "BENCH_trace.json", "output JSON path")
-	jobs := fs.Int("j", 2, "parallel replay workers")
+	jobs := fs.Int("j", 0, "parallel replay shard workers (0 = GOMAXPROCS)")
+	samples := fs.Int("n", 3, "samples per timing (best-of-N)")
 	check := fs.Float64("check", 0, "fail unless warm characterize speedup >= this (0 = no check)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -241,6 +295,17 @@ func cmdBenchTrace(args []string, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "bioperf bench-trace: unexpected arguments: %v\n", fs.Args())
 		return 2
 	}
+	if *samples < 1 {
+		fmt.Fprintf(stderr, "bioperf bench-trace: -n: invalid sample count %d\n", *samples)
+		return 2
+	}
+	if *jobs < 0 {
+		fmt.Fprintf(stderr, "bioperf bench-trace: -j: invalid worker count %d\n", *jobs)
+		return 2
+	}
+	if *jobs == 0 {
+		*jobs = runtime.GOMAXPROCS(0)
+	}
 	sz, err := parseSize(*sizeFlag)
 	if err != nil {
 		fmt.Fprintf(stderr, "bioperf bench-trace: -size: %v\n", err)
@@ -251,14 +316,14 @@ func cmdBenchTrace(args []string, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "bioperf bench-trace: %v\n", err)
 		return 2
 	}
-	if err := benchTrace(p, sz, *jsonPath, *jobs, *check); err != nil {
+	if err := benchTrace(p, sz, *jsonPath, *jobs, *samples, *check); err != nil {
 		fmt.Fprintf(stderr, "bioperf bench-trace: %v\n", err)
 		return 1
 	}
 	return 0
 }
 
-func benchTrace(p *bio.Program, sz bio.Size, jsonPath string, jobs int, check float64) error {
+func benchTrace(p *bio.Program, sz bio.Size, jsonPath string, jobs, samples int, check float64) error {
 	prog, err := p.Compile(false, compiler.Default())
 	if err != nil {
 		return err
@@ -268,115 +333,165 @@ func benchTrace(p *bio.Program, sz bio.Size, jsonPath string, jobs int, check fl
 
 	// Cold: simulate with the live analyzer attached — the baseline
 	// characterization path.
-	coldStart := time.Now()
-	m, err := sim.New(prog)
+	var (
+		res  *sim.Result
+		want string
+	)
+	cold, err := bestOf(samples, func() (time.Duration, error) {
+		start := time.Now()
+		m, err := sim.New(prog)
+		if err != nil {
+			return 0, err
+		}
+		if err := p.Bind(m, sz); err != nil {
+			return 0, err
+		}
+		live := loadchar.New(prog)
+		m.AddBatchObserver(live)
+		r, err := m.Run()
+		if err != nil {
+			return 0, err
+		}
+		if err := p.Validate(r, sz); err != nil {
+			return 0, err
+		}
+		d := time.Since(start)
+		res = r
+		want = loadchar.RenderProfile(p.Name, sz.String(), live, 10)
+		return d, nil
+	})
 	if err != nil {
 		return err
 	}
-	if err := p.Bind(m, sz); err != nil {
-		return err
-	}
-	live := loadchar.New(prog)
-	m.AddBatchObserver(live)
-	res, err := m.Run()
-	if err != nil {
-		return err
-	}
-	if err := p.Validate(res, sz); err != nil {
-		return err
-	}
-	cold := time.Since(coldStart)
-	want := loadchar.RenderProfile(p.Name, sz.String(), live, 10)
 
-	// Record: simulate again, this time writing the trace file.
+	// Record: simulate again, this time writing the trace file. Each
+	// sample rewrites the file from the start; the last one is the
+	// trace the replay samples read.
 	tf, err := os.CreateTemp("", "bioperf-bench-*.trace")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tf.Name())
 	defer tf.Close()
-	recStart := time.Now()
-	if _, _, err := record(p, prog, sz, fp, tf); err != nil {
+	recDur, err := bestOf(samples, func() (time.Duration, error) {
+		if err := tf.Truncate(0); err != nil {
+			return 0, err
+		}
+		if _, err := tf.Seek(0, io.SeekStart); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		if _, _, err := record(p, prog, sz, fp, tf); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	})
+	if err != nil {
 		return err
 	}
-	recDur := time.Since(recStart)
 	traceSize, err := tf.Seek(0, io.SeekEnd)
 	if err != nil {
 		return err
 	}
 
-	reopen := func() (*trace.Reader, error) {
-		if _, err := tf.Seek(0, io.SeekStart); err != nil {
-			return nil, err
+	// Replay through the footer index — sequential first (one fused
+	// decode-and-analyze loop), then sharded across jobs workers. Each
+	// sample re-parses the index so no decoder state is carried over.
+	var seq, par *loadchar.Analysis
+	seqDur, err := bestOf(samples, func() (time.Duration, error) {
+		ir, err := trace.NewIndexedReader(tf, traceSize)
+		if err != nil {
+			return 0, err
 		}
-		return trace.NewReader(tf)
-	}
-
-	// Sequential replay.
-	tr, err := reopen()
+		start := time.Now()
+		if seq, err = runner.ReplayAnalyze(ctx, prog, ir, 1); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	})
 	if err != nil {
 		return err
 	}
-	seqStart := time.Now()
-	seq := loadchar.New(prog)
-	if _, err := tr.Replay(ctx, prog, seq); err != nil {
-		return err
-	}
-	seqDur := time.Since(seqStart)
-
-	// Component-parallel replay.
-	tr, err = reopen()
+	parDur, err := bestOf(samples, func() (time.Duration, error) {
+		ir, err := trace.NewIndexedReader(tf, traceSize)
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		if par, err = runner.ReplayAnalyze(ctx, prog, ir, jobs); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	})
 	if err != nil {
 		return err
 	}
-	parStart := time.Now()
-	src := tr.ParallelEvents(prog, jobs)
-	par, err := loadchar.AnalyzeParallel(ctx, prog, src)
-	src.Close()
-	if err != nil {
-		return err
-	}
-	parDur := time.Since(parStart)
 
 	// Store-backed serving, the path runner.Session and bioperfd use:
 	// a cold session on an empty store pays the full pipeline (compile
 	// + simulate + analyze + record + persist), then a fresh session on
 	// the same store must serve the identical profile from the
-	// persisted artifacts without simulating.
-	storeDir, err := os.MkdirTemp("", "bioperf-bench-store-")
+	// persisted artifacts without simulating. Every cold sample gets
+	// its own empty store (a second run on a populated store would be
+	// warm); the last one stays on disk for the warm samples.
+	var (
+		coldProf *runner.Profile
+		storeDir string
+	)
+	coldChar, err := bestOf(samples, func() (time.Duration, error) {
+		if storeDir != "" {
+			os.RemoveAll(storeDir)
+		}
+		dir, err := os.MkdirTemp("", "bioperf-bench-store-")
+		if err != nil {
+			return 0, err
+		}
+		storeDir = dir
+		st, err := store.Open(dir, 0)
+		if err != nil {
+			return 0, err
+		}
+		sess := runner.NewSessionWithStore(jobs, st)
+		start := time.Now()
+		prof, err := sess.Characterize(ctx, p, sz)
+		d := time.Since(start)
+		if err != nil {
+			st.Close()
+			return 0, err
+		}
+		coldProf = prof
+		return d, st.Close()
+	})
 	if err != nil {
+		if storeDir != "" {
+			os.RemoveAll(storeDir)
+		}
 		return err
 	}
 	defer os.RemoveAll(storeDir)
-	st1, err := store.Open(storeDir, 0)
-	if err != nil {
-		return err
-	}
-	coldSess := runner.NewSessionWithStore(1, st1)
-	coldCharStart := time.Now()
-	coldProf, err := coldSess.Characterize(ctx, p, sz)
-	coldChar := time.Since(coldCharStart)
-	if err != nil {
-		return err
-	}
-	if err := st1.Close(); err != nil {
-		return err
-	}
 
-	st2, err := store.Open(storeDir, 0)
+	var warmProf *runner.Profile
+	warmChar, err := bestOf(samples, func() (time.Duration, error) {
+		st, err := store.Open(storeDir, 0)
+		if err != nil {
+			return 0, err
+		}
+		defer st.Close()
+		sess := runner.NewSessionWithStore(jobs, st)
+		start := time.Now()
+		prof, err := sess.Characterize(ctx, p, sz)
+		d := time.Since(start)
+		if err != nil {
+			return 0, err
+		}
+		if stats := sess.Stats(); stats.Runs != 0 {
+			return 0, fmt.Errorf("warm characterize re-simulated: %+v", stats)
+		}
+		warmProf = prof
+		return d, nil
+	})
 	if err != nil {
 		return err
-	}
-	defer st2.Close()
-	warmSess := runner.NewSessionWithStore(1, st2)
-	warmCharStart := time.Now()
-	warmProf, err := warmSess.Characterize(ctx, p, sz)
-	warmChar := time.Since(warmCharStart)
-	if err != nil {
-		return err
-	}
-	if stats := warmSess.Stats(); stats.Runs != 0 {
-		return fmt.Errorf("warm characterize re-simulated: %+v", stats)
 	}
 
 	identical := loadchar.RenderProfile(p.Name, sz.String(), seq, 10) == want &&
@@ -395,6 +510,7 @@ func benchTrace(p *bio.Program, sz bio.Size, jsonPath string, jobs int, check fl
 		TraceBytes:            traceSize,
 		BitsPerEvent:          8 * float64(traceSize) / float64(res.Instructions),
 		Workers:               jobs,
+		Samples:               samples,
 		ColdCharacterizeMS:    coldChar.Seconds() * 1e3,
 		WarmCharacterizeMS:    warmChar.Seconds() * 1e3,
 		CharacterizeSpeedup:   coldChar.Seconds() / warmChar.Seconds(),
@@ -414,8 +530,8 @@ func benchTrace(p *bio.Program, sz bio.Size, jsonPath string, jobs int, check fl
 	if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("%s %s: %d instructions, trace %d bytes (%.2f bits/event)\n",
-		p.Name, sz, res.Instructions, traceSize, out.BitsPerEvent)
+	fmt.Printf("%s %s: %d instructions, trace %d bytes (%.2f bits/event), best of %d\n",
+		p.Name, sz, res.Instructions, traceSize, out.BitsPerEvent, samples)
 	fmt.Printf("  cold characterize %8.1f ms\n", out.ColdCharacterizeMS)
 	fmt.Printf("  warm characterize %8.1f ms  (%.2fx, store-served)\n", out.WarmCharacterizeMS, out.CharacterizeSpeedup)
 	fmt.Printf("  cold simulate     %8.1f ms\n", out.ColdMS)

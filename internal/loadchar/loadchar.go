@@ -75,10 +75,10 @@ func New(p *isa.Program) *Analysis {
 // configurations (for ablations).
 func NewWithConfig(p *isa.Program, hc cache.HierarchyConfig, pred bpred.Predictor) *Analysis {
 	a := &Analysis{prog: p}
-	a.mix.init()
-	a.cache.init(hc)
+	a.mix.init(len(p.Insts))
+	a.cache.init(hc, len(p.Insts))
 	a.bp.init(pred)
-	a.dep.init()
+	a.dep.init(len(p.Insts))
 	a.seq.init()
 	return a
 }

@@ -27,6 +27,16 @@ type chunkMsg struct {
 	done func()
 }
 
+// newChunkMsg wraps a slab with a release that fires once all *refs
+// receivers have called done.
+func newChunkMsg(evs []sim.Event, refs *int32, release func()) chunkMsg {
+	return chunkMsg{evs: evs, done: func() {
+		if atomic.AddInt32(refs, -1) == 0 {
+			release()
+		}
+	}}
+}
+
 // AnalyzeParallel runs the full characterization over src with each
 // component pass on its own goroutine: the mix, cache, predictor,
 // dependence, and sequence passes all see every slab in commit order,
@@ -92,12 +102,7 @@ func AnalyzeParallel(ctx context.Context, prog *isa.Program, src EventSource) (*
 				release = func() {}
 			}
 			refs := int32(len(chans))
-			rel := release
-			msg := chunkMsg{evs: evs, done: func() {
-				if atomic.AddInt32(&refs, -1) == 0 {
-					rel()
-				}
-			}}
+			msg := newChunkMsg(evs, &refs, release)
 			// Every channel must receive every chunk unconditionally:
 			// the bitmap handoff pairs the predictor and dependence
 			// passes by chunk ordinal, so a partial fan-out would

@@ -44,11 +44,13 @@ type mixPass struct {
 	fpCount     uint64
 	fpLoads     uint64
 	total       uint64
-	// counts is the dynamic execution count of each static load.
-	counts map[int32]uint64
+	// counts is the dynamic execution count of each static load,
+	// indexed by PC. A dense slice beats a map here: the increment on
+	// every dynamic load is the pass's hot path.
+	counts []uint64
 }
 
-func (p *mixPass) init() { p.counts = make(map[int32]uint64) }
+func (p *mixPass) init(nInsts int) { p.counts = make([]uint64, nInsts) }
 
 func (p *mixPass) observe(evs []sim.Event) {
 	for i := range evs {
@@ -68,17 +70,33 @@ func (p *mixPass) observe(evs []sim.Event) {
 	}
 }
 
+// merge folds another shard's mix state into p. Every field is a pure
+// sum, so the pass is order-insensitive and the merge is exact.
+func (p *mixPass) merge(o *mixPass) {
+	for i := range p.classCounts {
+		p.classCounts[i] += o.classCounts[i]
+	}
+	p.fpCount += o.fpCount
+	p.fpLoads += o.fpLoads
+	p.total += o.total
+	for pc, c := range o.counts {
+		if c != 0 {
+			p.counts[pc] += c
+		}
+	}
+}
+
 // --- cache pass: memory hierarchy + per-static-load L1 misses ---
 
 type cachePass struct {
 	hier *cache.Hierarchy
-	// l1miss is the L1 miss count of each static load.
-	l1miss map[int32]uint64
+	// l1miss is the L1 miss count of each static load, indexed by PC.
+	l1miss []uint64
 }
 
-func (p *cachePass) init(hc cache.HierarchyConfig) {
+func (p *cachePass) init(hc cache.HierarchyConfig, nInsts int) {
 	p.hier = cache.NewHierarchy(hc)
-	p.l1miss = make(map[int32]uint64)
+	p.l1miss = make([]uint64, nInsts)
 }
 
 func (p *cachePass) observe(evs []sim.Event) {
@@ -117,19 +135,25 @@ func (p *bpredPass) observe(evs []sim.Event, bits *misBits) {
 
 type depPass struct {
 	deps [isa.NumIntRegs + isa.NumFPRegs]regDep
-	// toBranch counts, per load PC, dynamic instances feeding a
-	// conditional branch.
-	toBranch map[int32]uint64
+	// toBranch counts, per load PC (dense, indexed by PC), dynamic
+	// instances feeding a conditional branch.
+	toBranch []uint64
 	// fedBranch counts, per load PC and branch PC, how often the load
 	// fed the branch.
 	fedBranch     map[int32]map[int32]uint64
 	fedBranchExec uint64
 	fedBranchMiss uint64
+	// lastLoadPC/lastFB memoize the inner fedBranch map: consecutive
+	// credits overwhelmingly come from the same hot load.
+	lastLoadPC int32
+	lastFB     map[int32]uint64
 }
 
-func (p *depPass) init() {
-	p.toBranch = make(map[int32]uint64)
+func (p *depPass) init(nInsts int) {
+	p.toBranch = make([]uint64, nInsts)
 	p.fedBranch = make(map[int32]map[int32]uint64)
+	p.lastLoadPC = -1
+	p.lastFB = nil
 	for i := range p.deps {
 		p.deps[i].depth = -1
 	}
@@ -137,10 +161,15 @@ func (p *depPass) init() {
 
 func (p *depPass) credit(loadPC, branchPC int32) {
 	p.toBranch[loadPC]++
-	fb := p.fedBranch[loadPC]
-	if fb == nil {
-		fb = make(map[int32]uint64)
-		p.fedBranch[loadPC] = fb
+	fb := p.lastFB
+	if fb == nil || p.lastLoadPC != loadPC {
+		fb = p.fedBranch[loadPC]
+		if fb == nil {
+			fb = make(map[int32]uint64)
+			p.fedBranch[loadPC] = fb
+		}
+		p.lastFB = fb
+		p.lastLoadPC = loadPC
 	}
 	fb[branchPC]++
 }
@@ -276,12 +305,34 @@ type seqPass struct {
 	lastBranchPC  int32
 	lastBranchSeq uint64
 	haveBranch    bool
+	// minSeq mutes counting for consumptions before it. A shard worker
+	// primes the pass with the warm-up window preceding its range (see
+	// AnalyzeSharded); those events rebuild the branch/pending state but
+	// their own consumptions belong to the previous shard and were
+	// already counted there.
+	minSeq uint64
 	// afterBranch counts, per load PC and branch PC, how often the load
 	// (with a tight consumer) executed right after the branch.
 	afterBranch map[int32]map[int32]uint64
 }
 
 func (p *seqPass) init() { p.afterBranch = make(map[int32]map[int32]uint64) }
+
+// merge folds another shard's sequence counts into p. Each count is
+// attributed at consume time, and a shard only counts consumptions
+// inside its own range (minSeq), so summing shard states is exact.
+func (p *seqPass) merge(o *seqPass) {
+	for loadPC, ab := range o.afterBranch {
+		dst := p.afterBranch[loadPC]
+		if dst == nil {
+			dst = make(map[int32]uint64, len(ab))
+			p.afterBranch[loadPC] = dst
+		}
+		for brPC, n := range ab {
+			dst[brPC] += n
+		}
+	}
+}
 
 func (p *seqPass) observe(evs []sim.Event) {
 	for i := range evs {
@@ -331,7 +382,7 @@ func (p *seqPass) consume(in *isa.Inst, seq uint64) {
 			pd.active = false
 			return
 		}
-		if pd.afterBranch >= 0 {
+		if pd.afterBranch >= 0 && seq >= p.minSeq {
 			ab := p.afterBranch[pd.loadPC]
 			if ab == nil {
 				ab = make(map[int32]uint64)

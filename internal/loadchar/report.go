@@ -48,9 +48,12 @@ func (a *Analysis) TotalLoads() uint64 { return a.mix.classCounts[isa.ClassLoad]
 // by the top-k static loads for every k (Figure 2): Coverage()[0] is
 // the hottest load's share, and the curve is non-decreasing to 1.
 func (a *Analysis) Coverage() []float64 {
-	counts := make([]uint64, 0, len(a.mix.counts))
+	var counts []uint64
 	var total uint64
 	for _, c := range a.mix.counts {
+		if c == 0 {
+			continue
+		}
 		counts = append(counts, c)
 		total += c
 	}
@@ -81,7 +84,15 @@ func (a *Analysis) CoverageAt(n int) float64 {
 }
 
 // StaticLoadCount returns how many distinct static loads executed.
-func (a *Analysis) StaticLoadCount() int { return len(a.mix.counts) }
+func (a *Analysis) StaticLoadCount() int {
+	n := 0
+	for _, c := range a.mix.counts {
+		if c != 0 {
+			n++
+		}
+	}
+	return n
+}
 
 // CacheReport returns the Table 2 row.
 func (a *Analysis) CacheReport() cache.Report { return a.cache.hier.LoadReport() }
@@ -157,9 +168,11 @@ func (a *Analysis) HotLoads(n int) []HotLoad {
 		pc    int32
 		count uint64
 	}
-	all := make([]kv, 0, len(a.mix.counts))
+	var all []kv
 	for pc, c := range a.mix.counts {
-		all = append(all, kv{pc, c})
+		if c != 0 {
+			all = append(all, kv{int32(pc), c})
+		}
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].count != all[j].count {

@@ -1,0 +1,234 @@
+package loadchar
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"bioperfload/internal/isa"
+	"bioperfload/internal/sim"
+)
+
+// WarmupEvents is how many trailing events a shard needs from before
+// its range to prime the sequence pass exactly. A consumption counted
+// at sequence t reads a load armed at s ≥ t−proximity, whose
+// after-branch attribution depends on the most recent branch at
+// b ≥ s−proximity — so state within 2·proximity events of the shard
+// boundary fully determines every in-range count.
+const WarmupEvents = 2 * proximity
+
+// Shard describes one worker's slice of a sharded replay: a source
+// over its chunk range plus the warm-up window that makes the
+// order-insensitive passes exact at the boundary.
+type Shard struct {
+	// Source streams the shard's chunk range in commit order.
+	Source EventSource
+	// Start is the sequence number of the shard's first event;
+	// consumptions before it are muted during warm-up.
+	Start uint64
+	// Warmup returns at least the last WarmupEvents events preceding
+	// the range (fewer only if the trace has fewer); nil for the first
+	// shard. It is called on the shard worker's goroutine, so tail
+	// decodes overlap with other shards' work.
+	Warmup func() ([]sim.Event, error)
+}
+
+// shardState is the per-shard private state of the mergeable passes.
+type shardState struct {
+	mix mixPass
+	seq seqPass
+}
+
+// AnalyzeSharded runs the characterization over a chunk-indexed trace
+// with the mergeable passes sharded. The inherently sequential passes
+// — cache hierarchy, branch predictor, and the dependence pass that
+// consumes the predictor's mispredict bits — keep pipelined lanes fed
+// by the dedicated in-order source, while the mix and sequence passes
+// run on shard workers over disjoint chunk ranges and their partial
+// states fold together afterwards. The merged result is exactly — not
+// approximately — the sequential analysis (pinned by golden tests).
+//
+// With no shards (or one), everything collapses into a single fused
+// loop over inorder: all five passes per chunk, one decode, no
+// goroutines — the fastest shape on a single-core host.
+func AnalyzeSharded(ctx context.Context, prog *isa.Program, inorder EventSource, shards []Shard) (*Analysis, error) {
+	a := New(prog)
+	if len(shards) <= 1 {
+		for {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("loadchar: sharded analysis: %w", err)
+			}
+			evs, release, err := inorder.Next()
+			if err == io.EOF {
+				return a, nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			a.ObserveBatch(evs)
+			if release != nil {
+				release()
+			}
+		}
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// In-order lanes for the sequential passes, wired exactly like
+	// AnalyzeParallel: the predictor lane forwards per-chunk mispredict
+	// bitmaps to the dependence lane.
+	const depth = 4
+	cacheC := make(chan chunkMsg, depth)
+	bpC := make(chan chunkMsg, depth)
+	depC := make(chan chunkMsg, depth)
+	chans := []chan chunkMsg{cacheC, bpC, depC}
+	bitsC := make(chan *misBits, depth+2)
+
+	var laneWG sync.WaitGroup
+	lane := func(ch chan chunkMsg, f func(chunkMsg)) {
+		laneWG.Add(1)
+		go func() {
+			defer laneWG.Done()
+			for msg := range ch {
+				f(msg)
+				msg.done()
+			}
+		}()
+	}
+	lane(cacheC, func(m chunkMsg) { a.cache.observe(m.evs) })
+	lane(bpC, func(m chunkMsg) {
+		bits := &misBits{}
+		a.bp.observe(m.evs, bits)
+		bitsC <- bits
+	})
+	lane(depC, func(m chunkMsg) {
+		bits := <-bitsC
+		a.dep.observe(m.evs, bits)
+	})
+
+	// Shard workers: each owns a private mix+seq state over its range.
+	states := make([]*shardState, len(shards))
+	shardErrs := make([]error, len(shards))
+	var shardWG sync.WaitGroup
+	for i := range shards {
+		shardWG.Add(1)
+		go func(i int) {
+			defer shardWG.Done()
+			st := &shardState{}
+			st.mix.init(len(prog.Insts))
+			st.seq.init()
+			st.seq.minSeq = shards[i].Start
+			states[i] = st
+			run := func() error {
+				if shards[i].Warmup != nil {
+					warm, err := shards[i].Warmup()
+					if err != nil {
+						return err
+					}
+					// Warm-up rebuilds branch/pending state only; its
+					// consumptions are muted by minSeq and the mix pass
+					// never sees it.
+					st.seq.observe(warm)
+				}
+				for {
+					if err := cctx.Err(); err != nil {
+						return fmt.Errorf("loadchar: shard %d: %w", i, err)
+					}
+					evs, release, err := shards[i].Source.Next()
+					if err == io.EOF {
+						return nil
+					}
+					if err != nil {
+						return err
+					}
+					st.mix.observe(evs)
+					st.seq.observe(evs)
+					if release != nil {
+						release()
+					}
+				}
+			}
+			if err := run(); err != nil {
+				shardErrs[i] = err
+				cancel()
+			}
+		}(i)
+	}
+
+	// Feed the in-order lanes from this goroutine, refcounting slab
+	// release across the fan-out.
+	feed := func() error {
+		for {
+			if err := cctx.Err(); err != nil {
+				return fmt.Errorf("loadchar: sharded analysis: %w", err)
+			}
+			evs, release, err := inorder.Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			if release == nil {
+				release = func() {}
+			}
+			refs := int32(len(chans))
+			msg := newChunkMsg(evs, &refs, release)
+			// Every lane must receive every chunk unconditionally: the
+			// bitmap handoff pairs the predictor and dependence lanes
+			// by chunk ordinal.
+			for _, ch := range chans {
+				ch <- msg
+			}
+		}
+	}
+	feedErr := feed()
+	if feedErr != nil {
+		cancel() // stop shard workers; their ranges no longer matter
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	laneWG.Wait()
+	shardWG.Wait()
+
+	// Error priority: an external cancellation, then any real decode or
+	// source error, then the cancellation echoes the cancel() above
+	// produced in whichever goroutines lost the race.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("loadchar: sharded analysis: %w", err)
+	}
+	firstErr := feedErr
+	if firstErr == nil || errors.Is(firstErr, context.Canceled) {
+		for _, err := range shardErrs {
+			if err != nil && !errors.Is(err, context.Canceled) {
+				firstErr = err
+				break
+			}
+		}
+	}
+	if firstErr == nil {
+		for _, err := range shardErrs {
+			if err != nil {
+				firstErr = err
+				break
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Fold shard states in shard order. The merges are pure sums, so
+	// the order does not affect the result; fixed order keeps map
+	// iteration the only source of nondeterminism, and the report
+	// methods sort before rendering.
+	for _, st := range states {
+		a.mix.merge(&st.mix)
+		a.seq.merge(&st.seq)
+	}
+	return a, nil
+}

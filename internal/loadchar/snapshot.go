@@ -61,12 +61,29 @@ func copyNested(src map[int32]map[int32]uint64) map[int32]map[int32]uint64 {
 	return out
 }
 
-func copyFlat(src map[int32]uint64) map[int32]uint64 {
-	out := make(map[int32]uint64, len(src))
-	for k, v := range src {
-		out[k] = v
+// denseToMap converts a dense per-PC counter slice to the snapshot's
+// sparse map form (the gob wire shape is unchanged from version 1).
+func denseToMap(src []uint64) map[int32]uint64 {
+	out := make(map[int32]uint64)
+	for pc, v := range src {
+		if v != 0 {
+			out[int32(pc)] = v
+		}
 	}
 	return out
+}
+
+// mapToDense rebuilds a dense per-PC counter slice from the snapshot's
+// map form, rejecting PCs outside the program.
+func mapToDense(src map[int32]uint64, nInsts int) ([]uint64, error) {
+	out := make([]uint64, nInsts)
+	for pc, v := range src {
+		if pc < 0 || int(pc) >= nInsts {
+			return nil, fmt.Errorf("loadchar: snapshot PC %d outside program (%d insts)", pc, nInsts)
+		}
+		out[pc] = v
+	}
+	return out, nil
 }
 
 // Snapshot captures the analysis's report state. The analysis can keep
@@ -78,14 +95,14 @@ func (a *Analysis) Snapshot() *Snapshot {
 		FPCount:       a.mix.fpCount,
 		FPLoads:       a.mix.fpLoads,
 		Total:         a.mix.total,
-		LoadCounts:    copyFlat(a.mix.counts),
+		LoadCounts:    denseToMap(a.mix.counts),
 		CacheConfig:   a.cache.hier.Config(),
 		L1Stats:       a.cache.hier.L1().Stats(),
 		L2Stats:       a.cache.hier.L2().Stats(),
-		L1Miss:        copyFlat(a.cache.l1miss),
+		L1Miss:        denseToMap(a.cache.l1miss),
 		Branches:      a.bp.bp.PerBranch(),
 		BranchTotal:   a.bp.bp.Total(),
-		ToBranch:      copyFlat(a.dep.toBranch),
+		ToBranch:      denseToMap(a.dep.toBranch),
 		FedBranch:     copyNested(a.dep.fedBranch),
 		FedBranchExec: a.dep.fedBranchExec,
 		FedBranchMiss: a.dep.fedBranchMiss,
@@ -107,14 +124,21 @@ func FromSnapshot(prog *isa.Program, s *Snapshot) (*Analysis, error) {
 	a.mix.fpCount = s.FPCount
 	a.mix.fpLoads = s.FPLoads
 	a.mix.total = s.Total
-	a.mix.counts = copyFlat(s.LoadCounts)
+	var err error
+	if a.mix.counts, err = mapToDense(s.LoadCounts, len(prog.Insts)); err != nil {
+		return nil, err
+	}
 	a.cache.hier = cache.NewHierarchy(s.CacheConfig)
 	a.cache.hier.L1().SetStats(s.L1Stats)
 	a.cache.hier.L2().SetStats(s.L2Stats)
-	a.cache.l1miss = copyFlat(s.L1Miss)
+	if a.cache.l1miss, err = mapToDense(s.L1Miss, len(prog.Insts)); err != nil {
+		return nil, err
+	}
 	a.bp.bp = bpred.RestoreTracker(s.Branches, s.BranchTotal)
-	a.dep.init()
-	a.dep.toBranch = copyFlat(s.ToBranch)
+	a.dep.init(len(prog.Insts))
+	if a.dep.toBranch, err = mapToDense(s.ToBranch, len(prog.Insts)); err != nil {
+		return nil, err
+	}
 	a.dep.fedBranch = copyNested(s.FedBranch)
 	a.dep.fedBranchExec = s.FedBranchExec
 	a.dep.fedBranchMiss = s.FedBranchMiss

@@ -1,0 +1,46 @@
+package runner
+
+import (
+	"context"
+
+	"bioperfload/internal/isa"
+	"bioperfload/internal/loadchar"
+	"bioperfload/internal/sim"
+	"bioperfload/internal/trace"
+)
+
+// ReplayAnalyze characterizes prog from a chunk-indexed trace using up
+// to jobs shard workers. The chunk index is split into even,
+// contiguous ranges: each shard worker decodes its range independently
+// and runs the mergeable passes, while one in-order decode stream
+// keeps the sequential cache/predictor/dependence lanes fed (see
+// loadchar.AnalyzeSharded). With jobs <= 1 — or a trace too small to
+// split — everything collapses into a single fused sequential loop,
+// which is the fastest shape on a single-core host.
+func ReplayAnalyze(ctx context.Context, prog *isa.Program, ir *trace.IndexedReader, jobs int) (*loadchar.Analysis, error) {
+	n := ir.Chunks()
+	inorder := ir.Range(prog, 0, n)
+	defer inorder.Close()
+	shardCount := jobs
+	if shardCount > n {
+		shardCount = n
+	}
+	if shardCount <= 1 {
+		return loadchar.AnalyzeSharded(ctx, prog, inorder, nil)
+	}
+	shards := make([]loadchar.Shard, shardCount)
+	for i := range shards {
+		lo := i * n / shardCount
+		hi := (i + 1) * n / shardCount
+		src := ir.Range(prog, lo, hi)
+		defer src.Close()
+		shards[i] = loadchar.Shard{Source: src, Start: ir.Base(lo)}
+		if i > 0 {
+			lo := lo
+			shards[i].Warmup = func() ([]sim.Event, error) {
+				return ir.Tail(prog, lo, loadchar.WarmupEvents)
+			}
+		}
+	}
+	return loadchar.AnalyzeSharded(ctx, prog, inorder, shards)
+}

@@ -1,0 +1,97 @@
+package runner
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"bioperfload/internal/bio"
+	"bioperfload/internal/compiler"
+	"bioperfload/internal/loadchar"
+	"bioperfload/internal/sim"
+	"bioperfload/internal/trace"
+)
+
+// benchRecord compiles p, simulates it once at sz with a trace writer
+// attached, and returns the program plus the recorded trace file.
+func benchRecord(b *testing.B, name string, sz bio.Size) (*bio.Program, *os.File, int64, func() *sim.Machine) {
+	b.Helper()
+	p, err := bio.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := p.Compile(false, compiler.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	newMachine := func() *sim.Machine {
+		m, err := sim.New(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.Bind(m, sz); err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	tf, err := os.CreateTemp(b.TempDir(), "bench-*.trace")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := newMachine()
+	tw := trace.NewWriter(tf, trace.Meta{Program: p.Name, Size: sz.String()})
+	m.AddBatchObserver(tw)
+	if _, err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	size, err := tf.Seek(0, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog.Symbol("")
+	return p, tf, size, newMachine
+}
+
+// BenchmarkReplayAnalyze measures the warm path: indexed decode plus
+// the full analysis, no simulation. Compare against
+// BenchmarkColdCharacterize — the replay_speedup acceptance criterion
+// is exactly this ratio.
+func BenchmarkReplayAnalyze(b *testing.B) {
+	p, tf, size, _ := benchRecord(b, "hmmsearch", bio.SizeTest)
+	prog, err := p.Compile(false, compiler.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ir, err := trace.NewIndexedReader(tf, size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReplayAnalyze(context.Background(), prog, ir, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdCharacterize measures the cold path: simulate with the
+// live analyzer attached.
+func BenchmarkColdCharacterize(b *testing.B) {
+	p, _, _, newMachine := benchRecord(b, "hmmsearch", bio.SizeTest)
+	prog, err := p.Compile(false, compiler.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := newMachine()
+		a := loadchar.New(prog)
+		m.AddBatchObserver(a)
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

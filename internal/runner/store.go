@@ -29,9 +29,18 @@ const artifactSchema = 1
 // the full MiniC source text. Two sessions with equal fingerprints
 // produce interchangeable programs and traces.
 func Fingerprint(p *bio.Program, transformed bool, opts compiler.Options) string {
+	return FingerprintAt(p, transformed, opts, trace.FormatVersion)
+}
+
+// FingerprintAt computes the fingerprint under a specific trace format
+// version. Traces embed the fingerprint they were recorded with, so
+// verifying an old trace file (cmd/bioperf replay) must hash with the
+// file's own version: a v1 trace recorded before a format bump still
+// matches its program.
+func FingerprintAt(p *bio.Program, transformed bool, opts compiler.Options, traceVersion int) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "schema=%d trace=%d program=%s transformed=%v opts=%+v\n",
-		artifactSchema, trace.FormatVersion, p.Name, transformed && p.Transformable, opts)
+		artifactSchema, traceVersion, p.Name, transformed && p.Transformable, opts)
 	io.WriteString(h, p.Source(transformed))
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -166,7 +175,7 @@ func (s *Session) storeCharacterize(ctx context.Context, p *bio.Program, sz bio.
 // corruption.
 func (s *Session) replayCharacterize(ctx context.Context, p *bio.Program, sz bio.Size, fp string) (*Profile, error, bool) {
 	key := traceKey(fp, sz)
-	rc, _, ok := s.store.OpenReader(key)
+	rc, size, ok := s.store.OpenReader(key)
 	if !ok {
 		return nil, nil, false
 	}
@@ -176,6 +185,34 @@ func (s *Session) replayCharacterize(ctx context.Context, p *bio.Program, sz bio
 		s.store.Delete(key)
 		return nil, nil, false
 	}
+
+	// Warm tier: the store hands back the object file, so a v2 trace's
+	// footer index is reachable through io.ReaderAt and replay can run
+	// sharded (ReplayAnalyze sizes workers from the session's jobs,
+	// which default to GOMAXPROCS). Anything unindexable — a legacy
+	// reader, a v1 trace — streams sequentially below; ReadAt leaves
+	// the reader's offset untouched, so the fallback starts clean.
+	if ra, isRA := rc.(io.ReaderAt); isRA {
+		if ir, ierr := trace.NewIndexedReader(ra, size); ierr == nil {
+			if m := ir.Meta(); m.Program != p.Name || m.Fingerprint != fp {
+				return evict()
+			}
+			prog, err := s.replayProgram(p, fp)
+			if err != nil {
+				return nil, err, true
+			}
+			s.replayRuns.Add(1)
+			a, err := ReplayAnalyze(ctx, prog, ir, s.jobs)
+			if err != nil {
+				if isContextErr(err) || ctx.Err() != nil {
+					return nil, fmt.Errorf("%s: %w", p.Name, err), true
+				}
+				return evict() // damaged trace: fall back to cold simulation
+			}
+			return &Profile{Name: p.Name, Instructions: ir.TotalEvents(), Analysis: a}, nil, true
+		}
+	}
+
 	tr, err := trace.NewReader(rc)
 	if err != nil {
 		return evict()
@@ -183,21 +220,15 @@ func (s *Session) replayCharacterize(ctx context.Context, p *bio.Program, sz bio
 	if m := tr.Meta(); m.Program != p.Name || m.Fingerprint != fp {
 		return evict()
 	}
-	prog := s.loadCompiled(fp)
-	if prog == nil {
-		// No persisted binary: compile (memoized) so the trace can be
-		// rebound; the simulation itself is still skipped.
-		prog, err = s.Compile(p, false, compiler.Default())
-		if err != nil {
-			return nil, err, true
-		}
+	prog, err := s.replayProgram(p, fp)
+	if err != nil {
+		return nil, err, true
 	}
-	prog.Symbol("") // force the lazy index before goroutines share it
 
 	s.replayRuns.Add(1)
 	var a *loadchar.Analysis
 	if s.jobs > 1 {
-		src := tr.ParallelEvents(prog, 2)
+		src := tr.ParallelEvents(prog, s.jobs)
 		a, err = loadchar.AnalyzeParallel(ctx, prog, src)
 		src.Close()
 	} else {
@@ -211,6 +242,22 @@ func (s *Session) replayCharacterize(ctx context.Context, p *bio.Program, sz bio
 		return evict() // damaged trace: fall back to cold simulation
 	}
 	return &Profile{Name: p.Name, Instructions: tr.TotalEvents(), Analysis: a}, nil, true
+}
+
+// replayProgram returns the compiled program a trace rebinds to:
+// persisted binary first, memoized compile otherwise. The lazy symbol
+// index is forced before goroutines share the program.
+func (s *Session) replayProgram(p *bio.Program, fp string) (*isa.Program, error) {
+	prog := s.loadCompiled(fp)
+	if prog == nil {
+		var err error
+		prog, err = s.Compile(p, false, compiler.Default())
+		if err != nil {
+			return nil, err
+		}
+	}
+	prog.Symbol("")
+	return prog, nil
 }
 
 // recorder wires a trace writer into a machine when a store is

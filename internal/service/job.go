@@ -51,6 +51,7 @@ type Job struct {
 	finished time.Time
 	done     chan struct{}
 	changed  chan struct{}
+	subs     int
 }
 
 func newJob(id, kind, key string, spec any, timeout time.Duration) *Job {
@@ -116,6 +117,32 @@ func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.status
+}
+
+// Subscribe registers an event-stream consumer. Every Subscribe must
+// be paired with exactly one Unsubscribe — deferred in the streaming
+// handler, so a client hanging up early releases its slot promptly
+// rather than at the terminal event.
+func (j *Job) Subscribe() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.subs++
+}
+
+// Unsubscribe releases a Subscribe registration.
+func (j *Job) Unsubscribe() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.subs--
+}
+
+// Subscribers returns the number of live event-stream consumers; the
+// service exposes the total as a gauge and tests assert it drains to
+// zero after client disconnects.
+func (j *Job) Subscribers() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.subs
 }
 
 // EventsSince returns events[from:], the job's terminal-ness, and a

@@ -96,6 +96,22 @@ func (q *queue) get(id string) *Job {
 // depth returns the number of queued-but-not-started jobs.
 func (q *queue) depth() int { return len(q.jobs) }
 
+// subscribers returns the number of live event-stream consumers
+// across all jobs.
+func (q *queue) subscribers() int {
+	q.mu.Lock()
+	jobs := make([]*Job, 0, len(q.byID))
+	for _, j := range q.byID {
+		jobs = append(jobs, j)
+	}
+	q.mu.Unlock()
+	n := 0
+	for _, j := range jobs {
+		n += j.Subscribers()
+	}
+	return n
+}
+
 func (q *queue) worker() {
 	defer q.wg.Done()
 	for j := range q.jobs {

@@ -632,12 +632,19 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job " + r.PathValue("id")})
 		return
 	}
+	j.Subscribe()
+	defer j.Unsubscribe()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	next := 0
 	for {
+		// A hung-up client must unsubscribe promptly even when events
+		// keep flowing (the select below only runs while waiting).
+		if r.Context().Err() != nil {
+			return
+		}
 		evs, terminal, changed := j.EventsSince(next)
 		for _, ev := range evs {
 			if err := enc.Encode(ev); err != nil {
@@ -688,6 +695,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# HELP bioperfd_queue_depth Jobs admitted but not yet started.")
 	fmt.Fprintln(w, "# TYPE bioperfd_queue_depth gauge")
 	fmt.Fprintf(w, "bioperfd_queue_depth %d\n", s.queue.depth())
+	fmt.Fprintln(w, "# HELP bioperfd_event_subscribers Live NDJSON event-stream consumers.")
+	fmt.Fprintln(w, "# TYPE bioperfd_event_subscribers gauge")
+	fmt.Fprintf(w, "bioperfd_event_subscribers %d\n", s.queue.subscribers())
 	fmt.Fprintln(w, "# HELP bioperfd_session_counters Shared-artifact session cache counters.")
 	fmt.Fprintln(w, "# TYPE bioperfd_session_compiles counter")
 	fmt.Fprintf(w, "bioperfd_session_compiles %d\n", st.Compiles)

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -491,5 +492,77 @@ func TestEvaluateAndSweep(t *testing.T) {
 	}
 	if cell.CyclesOrig != ev.Result.Cycles {
 		t.Fatalf("sweep original cycles %d != evaluate cycles %d", cell.CyclesOrig, ev.Result.Cycles)
+	}
+}
+
+// TestEventsSubscriberDrainOnDisconnect: NDJSON streaming clients that
+// hang up mid-job must release their subscription promptly — while the
+// job is still running — not when the terminal event finally arrives.
+func TestEventsSubscriberDrainOnDisconnect(t *testing.T) {
+	s, ts := newTestServer(t, Config{Session: runner.NewSession(1), Workers: 1, QueueDepth: 4})
+	release := make(chan struct{})
+	s.queue.exec = func(ctx context.Context, j *Job) (any, error) {
+		// Keep the job alive and chatty so the streaming loop is
+		// actively delivering events when clients disconnect.
+		for i := 0; ; i++ {
+			select {
+			case <-release:
+				return "ok", nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(2 * time.Millisecond):
+				j.Event("tick %d", i)
+			}
+		}
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/characterize",
+		map[string]any{"program": "hmmsearch", "size": "test"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	var sub SubmitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	j := s.queue.get(sub.JobID)
+	if j == nil {
+		t.Fatal("submitted job not found")
+	}
+
+	for i := 0; i < 3; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/jobs/"+sub.JobID+"/events", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evResp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Read at least one event so the stream is known-established,
+		// then hang up.
+		if _, err := bufio.NewReader(evResp.Body).ReadString('\n'); err != nil {
+			t.Fatal(err)
+		}
+		cancel()
+		evResp.Body.Close()
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.queue.subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d subscribers still registered after all clients disconnected", s.queue.subscribers())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The drain happened while the job was still running — proving the
+	// handler noticed the disconnect rather than waiting for "done".
+	if st := j.Status(); st != StatusRunning {
+		t.Fatalf("job reached %s before subscribers drained", st)
+	}
+	close(release)
+	waitStatus(t, ts, sub.JobID, StatusDone)
+	if n := s.queue.subscribers(); n != 0 {
+		t.Fatalf("%d subscribers after job completion", n)
 	}
 }

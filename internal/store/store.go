@@ -87,7 +87,7 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.evictLocked()
+	s.evictLocked("")
 	return s, nil
 }
 
@@ -178,8 +178,12 @@ func (s *Store) persistIndexLocked() error {
 }
 
 // evictLocked removes least-recently-used entries until the store fits
-// its byte cap.
-func (s *Store) evictLocked() {
+// its byte cap. pin names a key that is never evicted here — the entry
+// the caller just committed — so storing a single object larger than
+// the cap keeps that object (everything else is evicted and the store
+// temporarily exceeds its cap) instead of silently dropping what the
+// caller was just told persisted.
+func (s *Store) evictLocked(pin string) {
 	if s.maxBytes <= 0 || s.bytes <= s.maxBytes {
 		return
 	}
@@ -195,6 +199,9 @@ func (s *Store) evictLocked() {
 	for _, x := range all {
 		if s.bytes <= s.maxBytes {
 			break
+		}
+		if x.key == pin {
+			continue
 		}
 		s.removeLocked(x.key)
 		s.evictions++
@@ -432,6 +439,6 @@ func (w *EntryWriter) Commit() error {
 	s.clock++
 	s.entries[w.key] = entry{Hash: hash, Size: w.n, CRC: w.crc, Clock: s.clock}
 	s.bytes += w.n
-	s.evictLocked()
+	s.evictLocked(w.key)
 	return s.persistIndexLocked()
 }

@@ -252,3 +252,68 @@ func TestReplaceKey(t *testing.T) {
 		t.Fatalf("stats after replace %+v", st)
 	}
 }
+
+// TestOversizedObjectPinnedOnCommit: committing an object larger than
+// the byte cap must keep THAT object (evicting everything else) rather
+// than deleting what the caller was just told persisted. A later
+// commit may then evict it normally.
+func TestOversizedObjectPinnedOnCommit(t *testing.T) {
+	s := open(t, t.TempDir(), 30)
+	for _, k := range []string{"a", "b"} {
+		if err := s.PutBytes(k, bytes.Repeat([]byte(k), 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	big := bytes.Repeat([]byte{'X'}, 50) // alone exceeds the 30-byte cap
+	if err := s.PutBytes("big", big); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.GetBytes("big")
+	if !ok || !bytes.Equal(got, big) {
+		t.Fatal("just-committed oversized object was evicted")
+	}
+	for _, k := range []string{"a", "b"} {
+		if _, ok := s.GetBytes(k); ok {
+			t.Fatalf("%s survived an over-cap commit", k)
+		}
+	}
+	if st := s.Stats(); st.Entries != 1 || st.BytesOnDisk != 50 {
+		t.Fatalf("stats after oversized commit %+v", st)
+	}
+	// The pin lasts only for the commit that created it: the next
+	// commit sees "big" as ordinary LRU fodder.
+	if err := s.PutBytes("next", bytes.Repeat([]byte{'n'}, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetBytes("big"); ok {
+		t.Fatal("oversized object survived the following commit")
+	}
+	if got, ok := s.GetBytes("next"); !ok || len(got) != 10 {
+		t.Fatal("latest commit missing after eviction")
+	}
+}
+
+// TestEvictionExactCapBoundary: filling the store to exactly its cap
+// must not evict; one byte more must evict exactly one LRU entry.
+func TestEvictionExactCapBoundary(t *testing.T) {
+	s := open(t, t.TempDir(), 30)
+	for _, k := range []string{"a", "b", "c"} {
+		if err := s.PutBytes(k, bytes.Repeat([]byte(k), 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Evictions != 0 || st.Entries != 3 || st.BytesOnDisk != 30 {
+		t.Fatalf("eviction at exactly the cap: %+v", st)
+	}
+	// One more byte tips it over: the oldest entry goes, and only it.
+	if err := s.PutBytes("d", []byte{'d'}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Entries != 3 || st.BytesOnDisk != 21 {
+		t.Fatalf("eviction one byte over the cap: %+v", st)
+	}
+	if _, ok := s.GetBytes("a"); ok {
+		t.Fatal("LRU entry a survived")
+	}
+}

@@ -5,15 +5,22 @@
 // self-contained chunks (delta+varint program counters and effective
 // addresses, bitmap-packed branch outcomes, per-chunk compression,
 // CRC-protected length-prefixed framing); a Reader streams the chunks
-// back — sequentially or decoded ahead by a worker pool — and rebinds
-// them to a compiled program so any BatchObserver (loadchar, cache,
-// bpred, pipeline) can replay the run without re-simulating it.
+// back — sequentially, decoded ahead by a worker pool, or (format v2)
+// by random access through the footer's chunk index — and rebinds them
+// to a compiled program so any BatchObserver (loadchar, cache, bpred,
+// pipeline) can replay the run without re-simulating it.
 package trace
 
 import (
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"math/bits"
+
+	"bioperfload/internal/isa"
+	"bioperfload/internal/sim"
 )
 
 // Record is the on-disk form of one committed instruction. It carries
@@ -29,10 +36,11 @@ type Record struct {
 }
 
 // ChunkEvents is the default number of records per chunk. A chunk is
-// the unit of compression, CRC protection, and parallel decode; 64Ki
-// events strike a balance between per-chunk framing overhead and
-// replay-pipeline granularity.
-const ChunkEvents = 1 << 16
+// the unit of compression, CRC protection, and parallel decode; 16Ki
+// events keep the decoded event slab (~640KB) inside the L2 cache the
+// decode and analysis passes re-stream it through, while still
+// amortizing per-chunk framing overhead.
+const ChunkEvents = 1 << 14
 
 // maxChunkEvents caps the decoded-record allocation a chunk header can
 // request, so a corrupted or hostile count cannot trigger a huge
@@ -47,7 +55,9 @@ func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
 // appendChunk encodes recs (whose first record has sequence number
 // base) onto dst and returns the extended slice. The layout is
-// columnar so each stream stays self-similar for the compressor:
+// columnar so each stream stays self-similar for the compressor.
+//
+// Format v1 (sparse=false):
 //
 //	uvarint base          sequence number of recs[0]
 //	uvarint n             record count
@@ -58,8 +68,30 @@ func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 //	k  zigzag varints     Addr deltas for the k present addresses
 //	                      (previous address starts at 0)
 //
+// Format v2 (sparse=true) stores the PC and target columns sparsely:
+// most events fall through (PC == prev PC + 1, Target == PC+1), so the
+// dense columns are long runs of one-byte varints that still cost a
+// decompress-and-decode step per event. v2 replaces both with
+// exception bitmaps plus deltas for the exceptions only, and moves
+// every bitmap ahead of the varint streams so a decoder knows the run
+// structure before it touches a varint:
+//
+//	uvarint base          sequence number of recs[0]
+//	uvarint n             record count
+//	⌈n/8⌉ bytes           PC-exception bitmap (bit set ⇔ PC != prev PC + 1;
+//	                      the previous PC starts at 0)
+//	⌈n/8⌉ bytes           Taken bitmap
+//	⌈n/8⌉ bytes           Target-present bitmap (bit set ⇔ Target != PC+1)
+//	⌈n/8⌉ bytes           Addr-present bitmap (bit set ⇔ Addr != 0)
+//	k₀ zigzag varints     PC deltas relative to prev PC + 1 for the
+//	                      exceptional PCs (never zero)
+//	k₁ zigzag varints     Target deltas relative to PC+1 for the
+//	                      present targets (never zero)
+//	k₂ zigzag varints     Addr deltas for the present addresses
+//	                      (previous address starts at 0)
+//
 // Every stream is chunk-local, so chunks decode independently.
-func appendChunk(dst []byte, base uint64, recs []Record) []byte {
+func appendChunk(dst []byte, base uint64, recs []Record, sparse bool) []byte {
 	var tmp [binary.MaxVarintLen64]byte
 	put := func(u uint64) {
 		n := binary.PutUvarint(tmp[:], u)
@@ -67,28 +99,65 @@ func appendChunk(dst []byte, base uint64, recs []Record) []byte {
 	}
 	put(base)
 	put(uint64(len(recs)))
-	prevPC := int64(0)
-	for i := range recs {
-		pc := int64(recs[i].PC)
-		put(zigzag(pc - prevPC))
-		prevPC = pc
-	}
-	for i := range recs {
-		put(zigzag(int64(recs[i].Target) - int64(recs[i].PC) - 1))
-	}
 	nb := (len(recs) + 7) / 8
-	off := len(dst)
-	dst = append(dst, make([]byte, nb)...)
-	for i := range recs {
-		if recs[i].Taken {
-			dst[off+i/8] |= 1 << (i % 8)
+	if !sparse {
+		prevPC := int64(0)
+		for i := range recs {
+			pc := int64(recs[i].PC)
+			put(zigzag(pc - prevPC))
+			prevPC = pc
 		}
-	}
-	off = len(dst)
-	dst = append(dst, make([]byte, nb)...)
-	for i := range recs {
-		if recs[i].Addr != 0 {
-			dst[off+i/8] |= 1 << (i % 8)
+		for i := range recs {
+			put(zigzag(int64(recs[i].Target) - int64(recs[i].PC) - 1))
+		}
+		off := len(dst)
+		dst = append(dst, make([]byte, nb)...)
+		for i := range recs {
+			if recs[i].Taken {
+				dst[off+i/8] |= 1 << (i % 8)
+			}
+		}
+		off = len(dst)
+		dst = append(dst, make([]byte, nb)...)
+		for i := range recs {
+			if recs[i].Addr != 0 {
+				dst[off+i/8] |= 1 << (i % 8)
+			}
+		}
+	} else {
+		off := len(dst)
+		dst = append(dst, make([]byte, 4*nb)...)
+		pcex, taken := dst[off:off+nb], dst[off+nb:off+2*nb]
+		tpresent, present := dst[off+2*nb:off+3*nb], dst[off+3*nb:off+4*nb]
+		prevPC := int64(0)
+		for i := range recs {
+			pc := int64(recs[i].PC)
+			if pc != prevPC+1 {
+				pcex[i/8] |= 1 << (i % 8)
+			}
+			prevPC = pc
+			if recs[i].Taken {
+				taken[i/8] |= 1 << (i % 8)
+			}
+			if int64(recs[i].Target) != pc+1 {
+				tpresent[i/8] |= 1 << (i % 8)
+			}
+			if recs[i].Addr != 0 {
+				present[i/8] |= 1 << (i % 8)
+			}
+		}
+		prevPC = 0
+		for i := range recs {
+			pc := int64(recs[i].PC)
+			if pc != prevPC+1 {
+				put(zigzag(pc - prevPC - 1))
+			}
+			prevPC = pc
+		}
+		for i := range recs {
+			if d := int64(recs[i].Target) - int64(recs[i].PC) - 1; d != 0 {
+				put(zigzag(d))
+			}
 		}
 	}
 	prevAddr := uint64(0)
@@ -99,6 +168,22 @@ func appendChunk(dst []byte, base uint64, recs []Record) []byte {
 		}
 	}
 	return dst
+}
+
+// errTruncatedVarint is the shared truncation error for the inlined
+// varint fast path; the offset detail is folded in by the caller's
+// wrapper when decoding fails.
+var errTruncatedVarint = fmt.Errorf("trace: truncated or overlong varint in chunk")
+
+// uvarintAt decodes a uvarint from data at pos, returning the value
+// and the new position. It is the slow path behind the inlined
+// single-byte fast path in the decode loops.
+func uvarintAt(data []byte, pos int) (uint64, int, error) {
+	u, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return 0, pos, errTruncatedVarint
+	}
+	return u, pos + n, nil
 }
 
 // chunkDecoder walks an encoded chunk payload with strict bounds
@@ -130,7 +215,11 @@ func (d *chunkDecoder) bytes(n int) ([]byte, error) {
 // decodeChunk decodes one chunk payload, appending into recs (which
 // may be nil or recycled) and returning the base sequence number and
 // the decoded records. It rejects malformed input with an error.
-func decodeChunk(data []byte, recs []Record) (uint64, []Record, error) {
+//
+// This is the reference decoder, kept for the fuzzer and round-trip
+// tests; the replay hot path uses decodeChunkEvents, which binds
+// events in the same pass.
+func decodeChunk(data []byte, recs []Record, sparse bool) (uint64, []Record, error) {
 	d := &chunkDecoder{data: data}
 	base, err := d.uvarint()
 	if err != nil {
@@ -148,48 +237,103 @@ func decodeChunk(data []byte, recs []Record) (uint64, []Record, error) {
 		recs = make([]Record, n)
 	}
 	recs = recs[:n]
-	prevPC := int64(0)
-	for i := 0; i < n; i++ {
-		u, err := d.uvarint()
-		if err != nil {
-			return 0, nil, err
-		}
-		pc := prevPC + unzigzag(u)
-		if pc < -(1<<31) || pc >= 1<<31 {
-			return 0, nil, fmt.Errorf("trace: PC %d out of int32 range", pc)
-		}
-		recs[i] = Record{PC: int32(pc)}
-		prevPC = pc
-	}
-	for i := 0; i < n; i++ {
-		u, err := d.uvarint()
-		if err != nil {
-			return 0, nil, err
-		}
-		t := int64(recs[i].PC) + 1 + unzigzag(u)
-		if t < -(1<<31) || t >= 1<<31 {
-			return 0, nil, fmt.Errorf("trace: target %d out of int32 range", t)
-		}
-		recs[i].Target = int32(t)
-	}
 	nb := (n + 7) / 8
-	taken, err := d.bytes(nb)
-	if err != nil {
-		return 0, nil, err
+	var pcex, taken, tpresent, present []byte
+	if !sparse {
+		prevPC := int64(0)
+		for i := 0; i < n; i++ {
+			u, err := d.uvarint()
+			if err != nil {
+				return 0, nil, err
+			}
+			pc := prevPC + unzigzag(u)
+			if pc < -(1<<31) || pc >= 1<<31 {
+				return 0, nil, fmt.Errorf("trace: PC %d out of int32 range", pc)
+			}
+			recs[i] = Record{PC: int32(pc)}
+			prevPC = pc
+		}
+		for i := 0; i < n; i++ {
+			u, err := d.uvarint()
+			if err != nil {
+				return 0, nil, err
+			}
+			t := int64(recs[i].PC) + 1 + unzigzag(u)
+			if t < -(1<<31) || t >= 1<<31 {
+				return 0, nil, fmt.Errorf("trace: target %d out of int32 range", t)
+			}
+			recs[i].Target = int32(t)
+		}
+		if taken, err = d.bytes(nb); err != nil {
+			return 0, nil, err
+		}
+		if present, err = d.bytes(nb); err != nil {
+			return 0, nil, err
+		}
+	} else {
+		if pcex, err = d.bytes(nb); err != nil {
+			return 0, nil, err
+		}
+		if taken, err = d.bytes(nb); err != nil {
+			return 0, nil, err
+		}
+		if tpresent, err = d.bytes(nb); err != nil {
+			return 0, nil, err
+		}
+		if present, err = d.bytes(nb); err != nil {
+			return 0, nil, err
+		}
 	}
-	for i := 0; i < n; i++ {
-		recs[i].Taken = taken[i/8]&(1<<(i%8)) != 0
-	}
-	present, err := d.bytes(nb)
-	if err != nil {
-		return 0, nil, err
-	}
-	// Trailing padding bits of the final bitmap byte must be zero, so
-	// the addr-count below is trustworthy.
+	// Trailing padding bits of the final bitmap bytes must be zero, so
+	// the presence counts below are trustworthy.
 	if n%8 != 0 {
 		if present[nb-1]>>(n%8) != 0 || taken[nb-1]>>(n%8) != 0 {
 			return 0, nil, fmt.Errorf("trace: nonzero padding bits in chunk bitmap")
 		}
+		if sparse && (pcex[nb-1]>>(n%8) != 0 || tpresent[nb-1]>>(n%8) != 0) {
+			return 0, nil, fmt.Errorf("trace: nonzero padding bits in chunk bitmap")
+		}
+	}
+	if sparse {
+		prevPC := int64(0)
+		for i := 0; i < n; i++ {
+			pc := prevPC + 1
+			if pcex[i/8]&(1<<(i%8)) != 0 {
+				u, err := d.uvarint()
+				if err != nil {
+					return 0, nil, err
+				}
+				if u == 0 {
+					return 0, nil, fmt.Errorf("trace: sequential PC marked exceptional at record %d", i)
+				}
+				pc += unzigzag(u)
+			}
+			if pc < -(1<<31) || pc >= 1<<31 {
+				return 0, nil, fmt.Errorf("trace: PC %d out of int32 range", pc)
+			}
+			recs[i] = Record{PC: int32(pc)}
+			prevPC = pc
+		}
+		for i := 0; i < n; i++ {
+			t := int64(recs[i].PC) + 1
+			if tpresent[i/8]&(1<<(i%8)) != 0 {
+				u, err := d.uvarint()
+				if err != nil {
+					return 0, nil, err
+				}
+				if u == 0 {
+					return 0, nil, fmt.Errorf("trace: fallthrough target marked present at record %d", i)
+				}
+				t += unzigzag(u)
+			}
+			if t < -(1<<31) || t >= 1<<31 {
+				return 0, nil, fmt.Errorf("trace: target %d out of int32 range", t)
+			}
+			recs[i].Target = int32(t)
+		}
+	}
+	for i := 0; i < n; i++ {
+		recs[i].Taken = taken[i/8]&(1<<(i%8)) != 0
 	}
 	k := 0
 	for _, b := range present {
@@ -217,4 +361,312 @@ func decodeChunk(data []byte, recs []Record) (uint64, []Record, error) {
 		return 0, nil, fmt.Errorf("trace: %d trailing bytes after chunk payload", len(data)-d.pos)
 	}
 	return base, recs, nil
+}
+
+// decodeChunkEvents decodes one chunk payload straight into simulator
+// events bound to prog, fusing what used to be two passes (decode to
+// Record, then rebind to Event) into one. The slab evs is recycled
+// when its capacity suffices. Every validation of the reference
+// decoder is preserved — bounds-checked varints, bitmap padding,
+// zero-address and trailing-byte checks — plus the PC-in-program
+// check the old bind step performed.
+func decodeChunkEvents(data []byte, prog *isa.Program, evs []sim.Event, sparse bool) (uint64, []sim.Event, error) {
+	pos := 0
+	base, pos, err := uvarintAt(data, pos)
+	if err != nil {
+		return 0, nil, err
+	}
+	n64, pos, err := uvarintAt(data, pos)
+	if err != nil {
+		return 0, nil, err
+	}
+	if n64 > maxChunkEvents {
+		return 0, nil, fmt.Errorf("trace: chunk claims %d records (max %d)", n64, maxChunkEvents)
+	}
+	n := int(n64)
+	if cap(evs) < n {
+		evs = make([]sim.Event, n)
+	}
+	evs = evs[:n]
+	insts := prog.Insts
+	ni := int64(len(insts))
+	nb := (n + 7) / 8
+	var pcex, taken, tpresent, present []byte
+	if !sparse {
+		prevPC := int64(0)
+		for i := 0; i < n; i++ {
+			// Inlined uvarint fast paths: PC deltas are almost always
+			// one byte (straight-line code) and two cover every
+			// realistic branch span, so the slow path is effectively
+			// never taken.
+			if uint(pos) >= uint(len(data)) {
+				return 0, nil, errTruncatedVarint
+			}
+			u := uint64(data[pos])
+			pos++
+			if u >= 0x80 {
+				if uint(pos) < uint(len(data)) && data[pos] < 0x80 {
+					u = u&0x7f | uint64(data[pos])<<7
+					pos++
+				} else if u, pos, err = uvarintAt(data, pos-1); err != nil {
+					return 0, nil, err
+				}
+			}
+			pc := prevPC + unzigzag(u)
+			if pc < 0 || pc >= ni {
+				return 0, nil, fmt.Errorf("trace: record %d: pc %d outside program %s (%d insts)",
+					base+uint64(i), pc, prog.Name, len(insts))
+			}
+			prevPC = pc
+			// The whole-struct write zeroes Addr/Taken in a recycled
+			// slab; the dense target pass below overwrites Target for
+			// every event.
+			evs[i] = sim.Event{Seq: base + uint64(i), PC: int32(pc), Target: int32(pc) + 1, Inst: &insts[pc]}
+		}
+		for i := 0; i < n; i++ {
+			if uint(pos) >= uint(len(data)) {
+				return 0, nil, errTruncatedVarint
+			}
+			u := uint64(data[pos])
+			pos++
+			if u >= 0x80 {
+				if uint(pos) < uint(len(data)) && data[pos] < 0x80 {
+					u = u&0x7f | uint64(data[pos])<<7
+					pos++
+				} else if u, pos, err = uvarintAt(data, pos-1); err != nil {
+					return 0, nil, err
+				}
+			}
+			t := int64(evs[i].PC) + 1 + unzigzag(u)
+			if t < -(1<<31) || t >= 1<<31 {
+				return 0, nil, fmt.Errorf("trace: target %d out of int32 range", t)
+			}
+			evs[i].Target = int32(t)
+		}
+		if pos+2*nb > len(data) {
+			return 0, nil, fmt.Errorf("trace: chunk truncated at offset %d (need %d bytes)", pos, 2*nb)
+		}
+		taken = data[pos : pos+nb]
+		present = data[pos+nb : pos+2*nb]
+		pos += 2 * nb
+	} else {
+		if pos+4*nb > len(data) {
+			return 0, nil, fmt.Errorf("trace: chunk truncated at offset %d (need %d bytes)", pos, 4*nb)
+		}
+		pcex = data[pos : pos+nb]
+		taken = data[pos+nb : pos+2*nb]
+		tpresent = data[pos+2*nb : pos+3*nb]
+		present = data[pos+3*nb : pos+4*nb]
+		pos += 4 * nb
+	}
+	// Padding bits must be rejected before the bit-scan loops below:
+	// a set padding bit would otherwise index past evs[:n].
+	if n%8 != 0 {
+		if present[nb-1]>>(n%8) != 0 || taken[nb-1]>>(n%8) != 0 {
+			return 0, nil, fmt.Errorf("trace: nonzero padding bits in chunk bitmap")
+		}
+		if sparse && (pcex[nb-1]>>(n%8) != 0 || tpresent[nb-1]>>(n%8) != 0) {
+			return 0, nil, fmt.Errorf("trace: nonzero padding bits in chunk bitmap")
+		}
+	}
+	if sparse {
+		// PC column: between exception bits the stream is straight-line
+		// code, so whole runs need one bounds check and then only the
+		// struct write per event — no varint, no per-event range test.
+		// The whole-struct write zeroes Addr/Taken in a recycled slab
+		// and plants the fallthrough target; the sparse columns below
+		// fill in the exceptions.
+		pc := int64(0)
+		i := 0
+		for bi, b := range pcex {
+			for b != 0 {
+				j := bi<<3 + bits.TrailingZeros8(b)
+				b &= b - 1
+				if pc+int64(j-i) >= ni {
+					return 0, nil, fmt.Errorf("trace: record %d: pc %d outside program %s (%d insts)",
+						base+uint64(j), pc+int64(j-i), prog.Name, len(insts))
+				}
+				for ; i < j; i++ {
+					pc++
+					evs[i] = sim.Event{Seq: base + uint64(i), PC: int32(pc), Target: int32(pc) + 1, Inst: &insts[pc]}
+				}
+				if uint(pos) >= uint(len(data)) {
+					return 0, nil, errTruncatedVarint
+				}
+				u := uint64(data[pos])
+				pos++
+				if u >= 0x80 {
+					if uint(pos) < uint(len(data)) && data[pos] < 0x80 {
+						u = u&0x7f | uint64(data[pos])<<7
+						pos++
+					} else if u, pos, err = uvarintAt(data, pos-1); err != nil {
+						return 0, nil, err
+					}
+				}
+				if u == 0 {
+					return 0, nil, fmt.Errorf("trace: sequential PC marked exceptional at record %d", i)
+				}
+				pc += 1 + unzigzag(u)
+				if pc < 0 || pc >= ni {
+					return 0, nil, fmt.Errorf("trace: record %d: pc %d outside program %s (%d insts)",
+						base+uint64(i), pc, prog.Name, len(insts))
+				}
+				evs[i] = sim.Event{Seq: base + uint64(i), PC: int32(pc), Target: int32(pc) + 1, Inst: &insts[pc]}
+				i++
+			}
+		}
+		if i < n {
+			if pc+int64(n-i) >= ni {
+				return 0, nil, fmt.Errorf("trace: record %d: pc %d outside program %s (%d insts)",
+					base+uint64(n-1), pc+int64(n-i), prog.Name, len(insts))
+			}
+			for ; i < n; i++ {
+				pc++
+				evs[i] = sim.Event{Seq: base + uint64(i), PC: int32(pc), Target: int32(pc) + 1, Inst: &insts[pc]}
+			}
+		}
+	}
+	// Bit-scan the sparse bitmaps instead of testing every event: with
+	// taken branches a small fraction of the stream, iterating set bits
+	// replaces n predictable-but-paid tests with popcount work.
+	for bi, b := range taken {
+		for b != 0 {
+			evs[bi<<3+bits.TrailingZeros8(b)].Taken = true
+			b &= b - 1
+		}
+	}
+	for bi, b := range tpresent {
+		for b != 0 {
+			i := bi<<3 + bits.TrailingZeros8(b)
+			b &= b - 1
+			if uint(pos) >= uint(len(data)) {
+				return 0, nil, errTruncatedVarint
+			}
+			u := uint64(data[pos])
+			pos++
+			if u >= 0x80 {
+				if uint(pos) < uint(len(data)) && data[pos] < 0x80 {
+					u = u&0x7f | uint64(data[pos])<<7
+					pos++
+				} else if u, pos, err = uvarintAt(data, pos-1); err != nil {
+					return 0, nil, err
+				}
+			}
+			if u == 0 {
+				return 0, nil, fmt.Errorf("trace: fallthrough target marked present at record %d", i)
+			}
+			t := int64(evs[i].PC) + 1 + unzigzag(u)
+			if t < -(1<<31) || t >= 1<<31 {
+				return 0, nil, fmt.Errorf("trace: target %d out of int32 range", t)
+			}
+			evs[i].Target = int32(t)
+		}
+	}
+	prevAddr := uint64(0)
+	for bi, b := range present {
+		for b != 0 {
+			i := bi<<3 + bits.TrailingZeros8(b)
+			b &= b - 1
+			if uint(pos) >= uint(len(data)) {
+				return 0, nil, errTruncatedVarint
+			}
+			u := uint64(data[pos])
+			pos++
+			if u >= 0x80 {
+				if uint(pos) < uint(len(data)) && data[pos] < 0x80 {
+					u = u&0x7f | uint64(data[pos])<<7
+					pos++
+				} else if u, pos, err = uvarintAt(data, pos-1); err != nil {
+					return 0, nil, err
+				}
+			}
+			a := prevAddr + uint64(unzigzag(u))
+			if a == 0 {
+				return 0, nil, fmt.Errorf("trace: zero address marked present at record %d", i)
+			}
+			evs[i].Addr = a
+			prevAddr = a
+		}
+	}
+	if pos != len(data) {
+		return 0, nil, fmt.Errorf("trace: %d trailing bytes after chunk payload", len(data)-pos)
+	}
+	return base, evs, nil
+}
+
+// decoder owns the reusable buffers of one decode stream: the flate
+// reader (reset per frame instead of reallocating its window), the
+// decompression buffer, and a bytes.Reader over the frame payload.
+// Each sequential source, parallel worker, and shard owns exactly one.
+type decoder struct {
+	br  bytes.Reader
+	fr  io.ReadCloser
+	raw []byte
+	// sparse selects the chunk layout (true for format v2's sparse
+	// target column); set once at construction from the trace version.
+	sparse bool
+}
+
+// frameBytes returns the decompressed chunk payload of f, valid until
+// the next call on this decoder.
+func (d *decoder) frameBytes(f frame) ([]byte, error) {
+	switch f.kind {
+	case compressionNone:
+		if len(f.payload) != f.rawLen {
+			return nil, fmt.Errorf("trace: frame length %d does not match raw length %d", len(f.payload), f.rawLen)
+		}
+		return f.payload, nil
+	case compressionFlate:
+		d.br.Reset(f.payload)
+		if d.fr == nil {
+			d.fr = flate.NewReader(&d.br)
+		} else if err := d.fr.(flate.Resetter).Reset(&d.br, nil); err != nil {
+			return nil, fmt.Errorf("trace: reset flate reader: %w", err)
+		}
+		if cap(d.raw) < f.rawLen {
+			d.raw = make([]byte, f.rawLen)
+		}
+		buf := d.raw[:f.rawLen]
+		if _, err := io.ReadFull(d.fr, buf); err != nil {
+			return nil, fmt.Errorf("trace: decompress chunk: %w", err)
+		}
+		// The compressed stream must end exactly at rawLen bytes.
+		var extra [1]byte
+		if n, _ := d.fr.Read(extra[:]); n != 0 {
+			return nil, fmt.Errorf("trace: chunk decompresses past its declared length %d", f.rawLen)
+		}
+		return buf, nil
+	default:
+		return nil, fmt.Errorf("trace: unknown compression kind %d", f.kind)
+	}
+}
+
+// release drops the decoder's buffers so a closed source does not pin
+// them.
+func (d *decoder) release() {
+	d.fr = nil
+	d.raw = nil
+	d.br.Reset(nil)
+}
+
+// decodeFrameEvents decompresses one frame and decodes it directly
+// into bound simulator events using the decoder's recycled buffers.
+func (d *decoder) decodeFrameEvents(f frame, prog *isa.Program, evs []sim.Event) (uint64, []sim.Event, error) {
+	raw, err := d.frameBytes(f)
+	if err != nil {
+		return 0, nil, err
+	}
+	return decodeChunkEvents(raw, prog, evs, d.sparse)
+}
+
+// decodeFrame decompresses and decodes one frame into records. It is
+// the reference path used by the fuzzer; it allocates per call and is
+// safe from multiple goroutines on distinct frames.
+func decodeFrame(f frame, recs []Record, sparse bool) (uint64, []Record, error) {
+	d := decoder{sparse: sparse}
+	raw, err := d.frameBytes(f)
+	if err != nil {
+		return 0, nil, err
+	}
+	return decodeChunk(raw, recs, d.sparse)
 }

@@ -49,21 +49,23 @@ func TestChunkRoundTrip(t *testing.T) {
 		randomRecords(r, ChunkEvents),
 	}
 	for ci, recs := range cases {
-		for _, base := range []uint64{0, 1, 1 << 40} {
-			buf := appendChunk(nil, base, recs)
-			gotBase, got, err := decodeChunk(buf, nil)
-			if err != nil {
-				t.Fatalf("case %d base %d: decode: %v", ci, base, err)
-			}
-			if gotBase != base {
-				t.Fatalf("case %d: base %d, want %d", ci, gotBase, base)
-			}
-			if len(got) != len(recs) {
-				t.Fatalf("case %d: %d records, want %d", ci, len(got), len(recs))
-			}
-			for i := range recs {
-				if got[i] != recs[i] {
-					t.Fatalf("case %d record %d: got %+v want %+v", ci, i, got[i], recs[i])
+		for _, sparse := range []bool{false, true} {
+			for _, base := range []uint64{0, 1, 1 << 40} {
+				buf := appendChunk(nil, base, recs, sparse)
+				gotBase, got, err := decodeChunk(buf, nil, sparse)
+				if err != nil {
+					t.Fatalf("case %d sparse=%v base %d: decode: %v", ci, sparse, base, err)
+				}
+				if gotBase != base {
+					t.Fatalf("case %d: base %d, want %d", ci, gotBase, base)
+				}
+				if len(got) != len(recs) {
+					t.Fatalf("case %d: %d records, want %d", ci, len(got), len(recs))
+				}
+				for i := range recs {
+					if got[i] != recs[i] {
+						t.Fatalf("case %d record %d: got %+v want %+v", ci, i, got[i], recs[i])
+					}
 				}
 			}
 		}
@@ -74,13 +76,13 @@ func TestChunkDecodeRecyclesBuffer(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
 	big := randomRecords(r, 500)
 	small := randomRecords(r, 20)
-	buf := appendChunk(nil, 0, big)
-	_, recs, err := decodeChunk(buf, nil)
+	buf := appendChunk(nil, 0, big, true)
+	_, recs, err := decodeChunk(buf, nil, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	buf2 := appendChunk(nil, 500, small)
-	_, recs2, err := decodeChunk(buf2, recs)
+	buf2 := appendChunk(nil, 500, small, true)
+	_, recs2, err := decodeChunk(buf2, recs, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,30 +102,32 @@ func TestChunkDecodeRecyclesBuffer(t *testing.T) {
 func TestChunkDecodeRejectsCorruption(t *testing.T) {
 	r := rand.New(rand.NewSource(11))
 	recs := randomRecords(r, 100)
-	buf := appendChunk(nil, 42, recs)
+	for _, sparse := range []bool{false, true} {
+		buf := appendChunk(nil, 42, recs, sparse)
 
-	// Truncation at every prefix length must error, never panic.
-	for n := 0; n < len(buf); n++ {
-		if _, _, err := decodeChunk(buf[:n], nil); err == nil {
-			// A prefix can occasionally decode as a smaller valid chunk
-			// only if every stream happens to terminate; with trailing
-			// bytes rejected that means the count shrank, which the
-			// varint layout cannot produce from a prefix. Treat any
-			// silent success as a bug.
-			t.Fatalf("truncated chunk (%d of %d bytes) decoded without error", n, len(buf))
+		// Truncation at every prefix length must error, never panic.
+		for n := 0; n < len(buf); n++ {
+			if _, _, err := decodeChunk(buf[:n], nil, sparse); err == nil {
+				// A prefix can occasionally decode as a smaller valid chunk
+				// only if every stream happens to terminate; with trailing
+				// bytes rejected that means the count shrank, which the
+				// varint layout cannot produce from a prefix. Treat any
+				// silent success as a bug.
+				t.Fatalf("sparse=%v: truncated chunk (%d of %d bytes) decoded without error", sparse, n, len(buf))
+			}
 		}
-	}
 
-	// Trailing garbage is rejected.
-	if _, _, err := decodeChunk(append(append([]byte{}, buf...), 0), nil); err == nil {
-		t.Error("chunk with trailing byte decoded without error")
-	}
+		// Trailing garbage is rejected.
+		if _, _, err := decodeChunk(append(append([]byte{}, buf...), 0), nil, sparse); err == nil {
+			t.Errorf("sparse=%v: chunk with trailing byte decoded without error", sparse)
+		}
 
-	// A hostile record count cannot cause a huge allocation.
-	hostile := appendChunk(nil, 0, nil)
-	hostile = hostile[:1] // keep base, drop count
-	hostile = append(hostile, 0xff, 0xff, 0xff, 0xff, 0x7f)
-	if _, _, err := decodeChunk(hostile, nil); err == nil {
-		t.Error("hostile record count decoded without error")
+		// A hostile record count cannot cause a huge allocation.
+		hostile := appendChunk(nil, 0, nil, sparse)
+		hostile = hostile[:1] // keep base, drop count
+		hostile = append(hostile, 0xff, 0xff, 0xff, 0xff, 0x7f)
+		if _, _, err := decodeChunk(hostile, nil, sparse); err == nil {
+			t.Errorf("sparse=%v: hostile record count decoded without error", sparse)
+		}
 	}
 }

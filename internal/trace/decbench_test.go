@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"testing"
+
+	"bioperfload/internal/sim"
+)
+
+func BenchmarkDecodeChunkEvents(b *testing.B) {
+	prog := testProgram(1 << 12)
+	recs := make([]Record, ChunkEvents)
+	pc := int32(100)
+	for i := range recs {
+		recs[i] = Record{PC: pc, Target: pc + 1}
+		if i%4 == 0 {
+			recs[i].Addr = uint64(0x1000 + i*8)
+		}
+		if i%7 == 0 {
+			recs[i].Taken = true
+			recs[i].Target = pc - 50
+		}
+		pc++
+		if pc > 300 {
+			pc = 100
+		}
+	}
+	data := appendChunk(nil, 0, recs, true)
+	evs := make([]sim.Event, 0, ChunkEvents)
+	b.SetBytes(int64(len(recs)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, out, err := decodeChunkEvents(data, prog, evs, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		evs = out[:0]
+	}
+}

@@ -20,8 +20,8 @@ import (
 func FuzzCodec(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 0})
-	f.Add(appendChunk(nil, 0, []Record{{PC: 1, Target: 2, Addr: 64, Taken: true}}))
-	f.Add(appendChunk(nil, 9, []Record{{PC: 3, Target: 4}, {PC: 4, Target: 5, Addr: 8}}))
+	f.Add(appendChunk(nil, 0, []Record{{PC: 1, Target: 2, Addr: 64, Taken: true}}, false))
+	f.Add(appendChunk(nil, 9, []Record{{PC: 3, Target: 4}, {PC: 4, Target: 5, Addr: 8}}, true))
 	var full bytes.Buffer
 	tw := NewWriter(&full, Meta{Program: "fuzz", ChunkEvents: 2})
 	tw.ObserveBatch(eventsFromBytes([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}))
@@ -31,32 +31,70 @@ func FuzzCodec(f *testing.F) {
 	f.Add(full.Bytes())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		// Direction 1a: arbitrary bytes as a chunk payload.
-		if base, recs, err := decodeChunk(data, nil); err == nil {
-			// A clean decode must re-encode to an equivalent chunk.
-			re := appendChunk(nil, base, recs)
-			base2, recs2, err := decodeChunk(re, nil)
-			if err != nil {
-				t.Fatalf("re-decode of re-encoded chunk failed: %v", err)
-			}
-			if base2 != base || len(recs2) != len(recs) {
-				t.Fatalf("re-encode changed shape: base %d->%d, n %d->%d", base, base2, len(recs), len(recs2))
-			}
-			for i := range recs {
-				if recs[i] != recs2[i] {
-					t.Fatalf("re-encode changed record %d: %+v -> %+v", i, recs[i], recs2[i])
+		// Direction 1a: arbitrary bytes as a chunk payload under both
+		// encodings, decoded by both the reference decoder and the fused
+		// event decoder; the fused path must accept exactly the chunks
+		// the reference does (minus PCs outside the binding program) and
+		// agree on every field.
+		prog := testProgram(1 << 12)
+		for _, sparse := range []bool{false, true} {
+			base, recs, err := decodeChunk(data, nil, sparse)
+			baseE, evsE, errE := decodeChunkEvents(data, prog, nil, sparse)
+			if err == nil {
+				// A clean decode must re-encode to an equivalent chunk.
+				re := appendChunk(nil, base, recs, sparse)
+				base2, recs2, err := decodeChunk(re, nil, sparse)
+				if err != nil {
+					t.Fatalf("sparse=%v: re-decode of re-encoded chunk failed: %v", sparse, err)
 				}
+				if base2 != base || len(recs2) != len(recs) {
+					t.Fatalf("sparse=%v: re-encode changed shape: base %d->%d, n %d->%d", sparse, base, base2, len(recs), len(recs2))
+				}
+				for i := range recs {
+					if recs[i] != recs2[i] {
+						t.Fatalf("sparse=%v: re-encode changed record %d: %+v -> %+v", sparse, i, recs[i], recs2[i])
+					}
+				}
+				if errE != nil {
+					// The fused decoder may only add the PC-in-program check.
+					inRange := true
+					for _, r := range recs {
+						if r.PC < 0 || int(r.PC) >= len(prog.Insts) {
+							inRange = false
+							break
+						}
+					}
+					if inRange {
+						t.Fatalf("sparse=%v: fused decoder rejected a reference-valid chunk: %v", sparse, errE)
+					}
+				} else {
+					if baseE != base || len(evsE) != len(recs) {
+						t.Fatalf("sparse=%v: fused decode shape: base %d->%d, n %d->%d", sparse, base, baseE, len(recs), len(evsE))
+					}
+					for i := range recs {
+						ev := evsE[i]
+						if ev.PC != recs[i].PC || ev.Target != recs[i].Target ||
+							ev.Addr != recs[i].Addr || ev.Taken != recs[i].Taken {
+							t.Fatalf("sparse=%v: fused decode record %d: got %+v want %+v", sparse, i, ev, recs[i])
+						}
+						if ev.Seq != base+uint64(i) || ev.Inst != &prog.Insts[ev.PC] {
+							t.Fatalf("sparse=%v: fused decode record %d: bad binding %+v", sparse, i, ev)
+						}
+					}
+				}
+			} else if errE == nil {
+				t.Fatalf("sparse=%v: fused decoder accepted a chunk the reference rejects: %v", sparse, err)
 			}
 		}
 
 		// Direction 1b: arbitrary bytes as a full trace stream.
 		if tr, err := NewReader(bytes.NewReader(data)); err == nil {
 			for {
-				fr, err := tr.nextFrame()
+				fr, err := tr.nextFrame(false)
 				if err != nil {
 					break
 				}
-				if _, _, err := decodeFrame(fr, nil); err != nil {
+				if _, _, err := decodeFrame(fr, nil, tr.version >= 2); err != nil {
 					break
 				}
 			}
@@ -76,14 +114,14 @@ func FuzzCodec(f *testing.F) {
 		}
 		i := 0
 		for {
-			fr, err := tr.nextFrame()
+			fr, err := tr.nextFrame(false)
 			if err == io.EOF {
 				break
 			}
 			if err != nil {
 				t.Fatalf("synthetic trace frame: %v", err)
 			}
-			_, recs, err := decodeFrame(fr, nil)
+			_, recs, err := decodeFrame(fr, nil, tr.version >= 2)
 			if err != nil {
 				t.Fatalf("synthetic trace chunk: %v", err)
 			}

@@ -1,0 +1,320 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"runtime"
+
+	"bioperfload/internal/isa"
+	"bioperfload/internal/sim"
+)
+
+// ErrNoIndex reports that a trace has no random-access chunk index
+// (a v1 trace): callers fall back to sequential streaming.
+var ErrNoIndex = errors.New("trace: format has no chunk index")
+
+// defaultDecodeWorkers sizes decode pools from the machine rather
+// than a fixed fan-out.
+func defaultDecodeWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 4 {
+		w = 4
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// IndexedReader opens a v2 trace through an io.ReaderAt and exposes
+// its footer chunk index, so disjoint chunk ranges can be decoded
+// concurrently by shard workers. It performs three reads up front
+// (header, fixed footer tail, index payload) and validates every CRC;
+// Range then serves bounds-checked sections of the file.
+type IndexedReader struct {
+	ra      io.ReaderAt
+	meta    Meta
+	version int
+	chunks  []chunkInfo
+	bases   []uint64 // sequence number of each chunk's first event
+	total   uint64
+	dataEnd int64 // offset one past the last frame (the terminator byte)
+}
+
+// NewIndexedReader parses the header and footer index of a trace of
+// the given size. A structurally valid v1 trace returns ErrNoIndex.
+func NewIndexedReader(ra io.ReaderAt, size int64) (*IndexedReader, error) {
+	hr, err := NewReader(io.NewSectionReader(ra, 0, size))
+	if err != nil {
+		return nil, err
+	}
+	if hr.version < 2 {
+		return nil, ErrNoIndex
+	}
+	if size < hr.off+1+tailFixedLen {
+		return nil, fmt.Errorf("trace: file size %d too small for a v%d trailer", size, hr.version)
+	}
+	var fixed [tailFixedLen]byte
+	if _, err := ra.ReadAt(fixed[:], size-tailFixedLen); err != nil {
+		return nil, fmt.Errorf("trace: read footer tail: %w", err)
+	}
+	var magic [8]byte
+	copy(magic[:], fixed[tailLen+4:])
+	if magic != footerMagic(hr.version) {
+		return nil, fmt.Errorf("trace: bad footer magic %q", magic[:])
+	}
+	if binary.LittleEndian.Uint32(fixed[tailLen:tailLen+4]) != crc32.ChecksumIEEE(fixed[:tailLen]) {
+		return nil, fmt.Errorf("trace: footer tail checksum mismatch")
+	}
+	indexLen := binary.LittleEndian.Uint64(fixed[0:8])
+	total := binary.LittleEndian.Uint64(fixed[8:16])
+	count := binary.LittleEndian.Uint64(fixed[16:24])
+	if count > maxIndexChunks {
+		return nil, fmt.Errorf("trace: index claims %d chunks (max %d)", count, maxIndexChunks)
+	}
+	idxStart := size - tailFixedLen - 4 - int64(indexLen)
+	// The index sits between the terminator byte and its CRC.
+	if indexLen > uint64(size) || idxStart < hr.off+1 {
+		return nil, fmt.Errorf("trace: index length %d does not fit the file", indexLen)
+	}
+	// The terminator byte sits just before the index. The sequential
+	// reader validates it on the way through; check it here too so the
+	// indexed path rejects the same corruptions.
+	var term [1]byte
+	if _, err := ra.ReadAt(term[:], idxStart-1); err != nil {
+		return nil, fmt.Errorf("trace: read terminator: %w", err)
+	}
+	if term[0] != 0 {
+		return nil, fmt.Errorf("trace: bad terminator byte %#x before index", term[0])
+	}
+	buf := make([]byte, indexLen+4)
+	if _, err := ra.ReadAt(buf, idxStart); err != nil {
+		return nil, fmt.Errorf("trace: read chunk index: %w", err)
+	}
+	idx := buf[:indexLen]
+	if binary.LittleEndian.Uint32(buf[indexLen:]) != crc32.ChecksumIEEE(idx) {
+		return nil, fmt.Errorf("trace: index checksum mismatch")
+	}
+	pos := 0
+	uvarint := func() (uint64, error) {
+		u, n := binary.Uvarint(idx[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("trace: truncated index varint at offset %d", pos)
+		}
+		pos += n
+		return u, nil
+	}
+	gotCount, err := uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if gotCount != count {
+		return nil, fmt.Errorf("trace: index records %d chunks, footer tail %d", gotCount, count)
+	}
+	chunks := make([]chunkInfo, count)
+	bases := make([]uint64, count)
+	prevOff := int64(0)
+	var events uint64
+	for i := range chunks {
+		delta, err := uvarint()
+		if err != nil {
+			return nil, err
+		}
+		ev, err := uvarint()
+		if err != nil {
+			return nil, err
+		}
+		off := prevOff + int64(delta)
+		if off < hr.off || off >= idxStart-1 {
+			return nil, fmt.Errorf("trace: index offset %d for chunk %d outside the data section", off, i)
+		}
+		if i > 0 && off <= chunks[i-1].offset {
+			return nil, fmt.Errorf("trace: index offsets not increasing at chunk %d", i)
+		}
+		if ev == 0 || ev > maxChunkEvents {
+			return nil, fmt.Errorf("trace: index records %d events for chunk %d", ev, i)
+		}
+		chunks[i] = chunkInfo{offset: off, events: ev}
+		bases[i] = events
+		events += ev
+		prevOff = off
+	}
+	if pos != len(idx) {
+		return nil, fmt.Errorf("trace: %d trailing bytes after chunk index", len(idx)-pos)
+	}
+	if events != total {
+		return nil, fmt.Errorf("trace: index sums to %d events, footer records %d", events, total)
+	}
+	if count > 0 && chunks[0].offset != hr.off {
+		return nil, fmt.Errorf("trace: first chunk at offset %d, data section starts at %d", chunks[0].offset, hr.off)
+	}
+	return &IndexedReader{
+		ra:      ra,
+		meta:    hr.meta,
+		version: hr.version,
+		chunks:  chunks,
+		bases:   bases,
+		total:   total,
+		dataEnd: idxStart - 1,
+	}, nil
+}
+
+// Meta returns the header document.
+func (ir *IndexedReader) Meta() Meta { return ir.meta }
+
+// Version returns the format version found in the header.
+func (ir *IndexedReader) Version() int { return ir.version }
+
+// Chunks returns the number of chunks in the trace.
+func (ir *IndexedReader) Chunks() int { return len(ir.chunks) }
+
+// TotalEvents returns the footer's event count.
+func (ir *IndexedReader) TotalEvents() uint64 { return ir.total }
+
+// Base returns the sequence number of chunk i's first event.
+func (ir *IndexedReader) Base(i int) uint64 { return ir.bases[i] }
+
+// rangeEnd returns the file offset one past chunk hi-1's frame.
+func (ir *IndexedReader) rangeEnd(hi int) int64 {
+	if hi < len(ir.chunks) {
+		return ir.chunks[hi].offset
+	}
+	return ir.dataEnd
+}
+
+// Range returns a sequential source over chunks [lo, hi), decoding in
+// the caller's goroutine with the same fused hot path as
+// Reader.Events. The underlying section reader is created lazily on
+// the first Next, so building many shard sources costs nothing until
+// their workers start.
+func (ir *IndexedReader) Range(prog *isa.Program, lo, hi int) *Source {
+	if lo < 0 || hi > len(ir.chunks) || lo > hi {
+		panic(fmt.Sprintf("trace: Range [%d,%d) outside %d chunks", lo, hi, len(ir.chunks)))
+	}
+	dec := &decoder{sparse: ir.version >= 2}
+	var (
+		pool       slabPool
+		br         *bufio.Reader
+		payloadBuf []byte
+		chunk      = lo
+		expect     uint64
+	)
+	if lo < len(ir.chunks) {
+		expect = ir.bases[lo]
+	}
+	next := func() ([]sim.Event, func(), error) {
+		if chunk >= hi {
+			return nil, nil, io.EOF
+		}
+		if br == nil {
+			start := ir.chunks[lo].offset
+			br = bufio.NewReaderSize(io.NewSectionReader(ir.ra, start, ir.rangeEnd(hi)-start), 1<<16)
+		}
+		f, err := readFrame(br, &payloadBuf)
+		if err != nil {
+			return nil, nil, fmt.Errorf("trace: chunk %d: %w", chunk, err)
+		}
+		base, evs, err := dec.decodeFrameEvents(f, prog, pool.get())
+		if err != nil {
+			return nil, nil, err
+		}
+		if base != expect {
+			return nil, nil, fmt.Errorf("trace: chunk %d base %d, expected %d", chunk, base, expect)
+		}
+		if uint64(len(evs)) != ir.chunks[chunk].events {
+			return nil, nil, fmt.Errorf("trace: chunk %d decoded %d events, index records %d",
+				chunk, len(evs), ir.chunks[chunk].events)
+		}
+		expect += uint64(len(evs))
+		chunk++
+		return evs, pool.release(evs), nil
+	}
+	closeFn := func() {
+		dec.release()
+		payloadBuf = nil
+		br = nil
+	}
+	return &Source{next: next, close: closeFn}
+}
+
+// Tail decodes the last k events strictly before chunk `before`,
+// walking backward over as many chunks as needed (tiny test-sized
+// chunks can be smaller than k). It returns fewer than k events only
+// when the trace has fewer before that point. The returned slice is
+// freshly allocated — shard warm-up windows outlive the decode
+// buffers.
+func (ir *IndexedReader) Tail(prog *isa.Program, before, k int) ([]sim.Event, error) {
+	if before <= 0 || k <= 0 {
+		return nil, nil
+	}
+	lo := before
+	var have uint64
+	for lo > 0 && have < uint64(k) {
+		lo--
+		have += ir.chunks[lo].events
+	}
+	src := ir.Range(prog, lo, before)
+	defer src.Close()
+	var tail []sim.Event
+	for {
+		evs, release, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		tail = append(tail, evs...)
+		release()
+		if len(tail) > k {
+			tail = tail[len(tail)-k:]
+		}
+	}
+	out := make([]sim.Event, len(tail))
+	copy(out, tail)
+	return out, nil
+}
+
+// readFrame reads one chunk frame from br into *payloadBuf (grown as
+// needed and reused across calls). It is the section-reader analogue
+// of Reader.nextFrame; the terminator never appears because Range
+// sections end at the last frame boundary.
+func readFrame(br *bufio.Reader, payloadBuf *[]byte) (frame, error) {
+	rawLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return frame{}, fmt.Errorf("read chunk length: %w", err)
+	}
+	if rawLen == 0 || rawLen > maxFrameBytes {
+		return frame{}, fmt.Errorf("bad chunk raw length %d", rawLen)
+	}
+	kind, err := br.ReadByte()
+	if err != nil {
+		return frame{}, fmt.Errorf("read compression kind: %w", err)
+	}
+	compLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return frame{}, fmt.Errorf("read payload length: %w", err)
+	}
+	if compLen > maxFrameBytes {
+		return frame{}, fmt.Errorf("chunk payload length %d too large", compLen)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(br, crc[:]); err != nil {
+		return frame{}, fmt.Errorf("read chunk crc: %w", err)
+	}
+	if cap(*payloadBuf) < int(compLen) {
+		*payloadBuf = make([]byte, compLen)
+	}
+	payload := (*payloadBuf)[:compLen]
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return frame{}, fmt.Errorf("read chunk payload: %w", err)
+	}
+	if binary.LittleEndian.Uint32(crc[:]) != crc32.ChecksumIEEE(payload) {
+		return frame{}, fmt.Errorf("chunk checksum mismatch")
+	}
+	return frame{rawLen: int(rawLen), kind: kind, payload: payload}, nil
+}

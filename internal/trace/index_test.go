@@ -1,0 +1,240 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestIndexedReaderRoundTrip opens a multi-chunk v2 trace through the
+// footer index and checks that every chunk range decodes to exactly the
+// events the index promises, including single-chunk and full-file
+// ranges.
+func TestIndexedReaderRoundTrip(t *testing.T) {
+	const n, chunk = 10000, 256
+	data, evs, prog := writeTestTrace(t, n, chunk)
+	ir, err := NewIndexedReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.Version() != FormatVersion {
+		t.Fatalf("Version=%d, want %d", ir.Version(), FormatVersion)
+	}
+	if ir.Meta().Program != "synthetic" {
+		t.Fatalf("meta %+v", ir.Meta())
+	}
+	if ir.TotalEvents() != n {
+		t.Fatalf("TotalEvents=%d, want %d", ir.TotalEvents(), n)
+	}
+	wantChunks := (n + chunk - 1) / chunk
+	if ir.Chunks() != wantChunks {
+		t.Fatalf("Chunks=%d, want %d", ir.Chunks(), wantChunks)
+	}
+	// Full-file range reproduces the stream.
+	src := ir.Range(prog, 0, ir.Chunks())
+	got := drain(t, src)
+	src.Close()
+	checkEvents(t, got, evs)
+	// Disjoint sub-ranges cover the trace without overlap or gaps.
+	for _, split := range []int{1, 7, ir.Chunks() - 1} {
+		lo := ir.Base(split)
+		s1 := ir.Range(prog, 0, split)
+		s2 := ir.Range(prog, split, ir.Chunks())
+		g1 := drain(t, s1)
+		g2 := drain(t, s2)
+		s1.Close()
+		s2.Close()
+		checkEvents(t, g1, evs[:lo])
+		checkEvents(t, g2, evs[lo:])
+	}
+}
+
+// TestIndexedReaderTail checks the backward warm-up window decode,
+// including windows larger than one chunk and larger than the prefix.
+func TestIndexedReaderTail(t *testing.T) {
+	data, evs, prog := writeTestTrace(t, 1000, 64)
+	ir, err := NewIndexedReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ before, k int }{
+		{0, 8},           // nothing before chunk 0
+		{1, 8},           // within one chunk
+		{3, 200},         // window spans multiple chunks, capped at the prefix
+		{ir.Chunks(), 5}, // from the very end
+	} {
+		tail, err := ir.Tail(prog, tc.before, tc.k)
+		if err != nil {
+			t.Fatalf("Tail(%d,%d): %v", tc.before, tc.k, err)
+		}
+		end := len(evs)
+		if tc.before < ir.Chunks() {
+			end = int(ir.Base(tc.before))
+		}
+		if tc.before <= 0 {
+			end = 0
+		}
+		wantLen := tc.k
+		if end < wantLen {
+			wantLen = end
+		}
+		if len(tail) != wantLen {
+			t.Fatalf("Tail(%d,%d) returned %d events, want %d", tc.before, tc.k, len(tail), wantLen)
+		}
+		checkEvents(t, tail, evs[end-wantLen:end])
+	}
+}
+
+// TestIndexedReaderRejectsCorruptFooter flips bits across the footer
+// region and truncates the file; every mutation must be detected at
+// open or at decode, never silently accepted.
+func TestIndexedReaderRejectsCorruptFooter(t *testing.T) {
+	data, _, prog := writeTestTrace(t, 2000, 256)
+	openAndDrain := func(b []byte) error {
+		ir, err := NewIndexedReader(bytes.NewReader(b), int64(len(b)))
+		if err != nil {
+			return err
+		}
+		src := ir.Range(prog, 0, ir.Chunks())
+		defer src.Close()
+		total := uint64(0)
+		for {
+			evs, release, err := src.Next()
+			if err == io.EOF {
+				if total != ir.TotalEvents() {
+					t.Fatalf("drained %d events, index records %d", total, ir.TotalEvents())
+				}
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			total += uint64(len(evs))
+			release()
+		}
+	}
+	if err := openAndDrain(data); err != nil {
+		t.Fatalf("pristine trace rejected: %v", err)
+	}
+	// The footer (terminator + index + tail) is everything after the
+	// last frame; flipping any single bit in it must fail validation.
+	footerStart := len(data) - tailFixedLen - 80
+	if footerStart < 0 {
+		footerStart = 0
+	}
+	for off := footerStart; off < len(data); off++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte{}, data...)
+			mut[off] ^= 1 << bit
+			if err := openAndDrain(mut); err == nil {
+				t.Fatalf("bit flip at offset %d bit %d accepted", off, bit)
+			}
+		}
+	}
+	for cut := 1; cut <= tailFixedLen+8; cut++ {
+		if err := openAndDrain(data[:len(data)-cut]); err == nil {
+			t.Fatalf("truncation by %d bytes accepted", cut)
+		}
+	}
+}
+
+// TestIndexedReaderV1ErrNoIndex: a v1 trace has no footer index — the
+// indexed open must fail with ErrNoIndex so callers take the
+// sequential fallback, and the sequential reader must still decode it.
+func TestIndexedReaderV1ErrNoIndex(t *testing.T) {
+	data, evs, prog := writeTestTraceVersion(t, 3000, 256, 1)
+	if _, err := NewIndexedReader(bytes.NewReader(data), int64(len(data))); !errors.Is(err, ErrNoIndex) {
+		t.Fatalf("indexed open of v1 trace: err=%v, want ErrNoIndex", err)
+	}
+	tr, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Version() != 1 {
+		t.Fatalf("Version=%d, want 1", tr.Version())
+	}
+	src := tr.Events(prog)
+	got := drain(t, src)
+	src.Close()
+	checkEvents(t, got, evs)
+}
+
+// TestChunkBoundaryGoldens pins the writer/reader behavior at the
+// awkward sizes: an event count that is an exact multiple of the chunk
+// capacity (no partial final chunk), a single full chunk, and the
+// empty trace.
+func TestChunkBoundaryGoldens(t *testing.T) {
+	for _, tc := range []struct {
+		n, chunk   int
+		wantChunks int
+	}{
+		{256, 256, 1},  // exactly one full chunk
+		{1024, 256, 4}, // exact multiple, no partial tail chunk
+		{0, 256, 0},    // empty trace: header + footer only
+	} {
+		data, evs, prog := writeTestTrace(t, tc.n, tc.chunk)
+		tr, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("n=%d: %v", tc.n, err)
+		}
+		src := tr.Events(prog)
+		got := drain(t, src)
+		src.Close()
+		checkEvents(t, got, evs)
+		if tr.TotalEvents() != uint64(tc.n) {
+			t.Fatalf("n=%d: TotalEvents=%d", tc.n, tr.TotalEvents())
+		}
+		ir, err := NewIndexedReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			t.Fatalf("n=%d: indexed open: %v", tc.n, err)
+		}
+		if ir.Chunks() != tc.wantChunks {
+			t.Fatalf("n=%d chunk=%d: Chunks=%d, want %d", tc.n, tc.chunk, ir.Chunks(), tc.wantChunks)
+		}
+		isrc := ir.Range(prog, 0, ir.Chunks())
+		igot := drain(t, isrc)
+		isrc.Close()
+		checkEvents(t, igot, evs)
+		tail, err := ir.Tail(prog, ir.Chunks(), 8)
+		if err != nil {
+			t.Fatalf("n=%d: Tail: %v", tc.n, err)
+		}
+		wantTail := 8
+		if tc.n < wantTail {
+			wantTail = tc.n
+		}
+		if len(tail) != wantTail {
+			t.Fatalf("n=%d: Tail returned %d events, want %d", tc.n, len(tail), wantTail)
+		}
+	}
+}
+
+// TestSourceCloseMidStream: Close with chunks still undelivered must
+// make every later Next fail with ErrClosed — sticky, for both the
+// sequential and the parallel source — rather than read through a
+// released reader or recycled buffers.
+func TestSourceCloseMidStream(t *testing.T) {
+	data, _, prog := writeTestTrace(t, 5000, 64)
+	sources := map[string]func(*Reader) *Source{
+		"sequential": func(tr *Reader) *Source { return tr.Events(prog) },
+		"parallel":   func(tr *Reader) *Source { return tr.ParallelEvents(prog, 2) },
+	}
+	for name, open := range sources {
+		tr, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := open(tr)
+		if _, _, err := src.Next(); err != nil {
+			t.Fatalf("%s: first Next: %v", name, err)
+		}
+		src.Close()
+		for i := 0; i < 3; i++ {
+			if _, _, err := src.Next(); !errors.Is(err, ErrClosed) {
+				t.Fatalf("%s: Next after Close (call %d): err=%v, want ErrClosed", name, i, err)
+			}
+		}
+		src.Close() // double Close must be safe
+	}
+}

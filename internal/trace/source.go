@@ -2,6 +2,7 @@ package trace
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -9,6 +10,11 @@ import (
 	"bioperfload/internal/isa"
 	"bioperfload/internal/sim"
 )
+
+// ErrClosed is returned by Source.Next after Close: a closed source is
+// sticky-dead rather than reading from a released reader or recycled
+// buffers.
+var ErrClosed = errors.New("trace: source closed")
 
 // Source streams a trace as slabs of simulator events in commit
 // order. Next returns a slab plus a release function; the slab is
@@ -22,14 +28,36 @@ import (
 type Source struct {
 	next  func() ([]sim.Event, func(), error)
 	close func()
+
+	mu     sync.Mutex
+	closed bool
 }
 
-// Next returns the next event slab in commit order.
-func (s *Source) Next() ([]sim.Event, func(), error) { return s.next() }
+// Next returns the next event slab in commit order. After Close it
+// returns ErrClosed.
+func (s *Source) Next() ([]sim.Event, func(), error) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, nil, ErrClosed
+	}
+	return s.next()
+}
 
-// Close releases the source's resources (decode workers, buffers). It
-// is safe to call after an error or mid-stream.
-func (s *Source) Close() { s.close() }
+// Close releases the source's resources (decode workers, buffers) and
+// makes further Next calls fail with ErrClosed. It is safe to call
+// after an error, mid-stream, or more than once.
+func (s *Source) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.close()
+}
 
 // slabPool recycles event slabs between release and the next decode.
 type slabPool struct{ p sync.Pool }
@@ -46,13 +74,15 @@ func (sp *slabPool) release(evs []sim.Event) func() {
 }
 
 // Events returns a sequential source: chunks are decoded in the
-// caller's goroutine as Next is called.
+// caller's goroutine as Next is called, straight into recycled event
+// slabs through the fused decoder (no intermediate Record pass), with
+// the frame payload and decompression buffers reused across chunks.
 func (tr *Reader) Events(prog *isa.Program) *Source {
-	var recs []Record
+	dec := &decoder{sparse: tr.version >= 2}
 	var pool slabPool
 	var decoded uint64
 	next := func() ([]sim.Event, func(), error) {
-		f, err := tr.nextFrame()
+		f, err := tr.nextFrame(true)
 		if err == io.EOF {
 			if decoded != tr.footerEvents {
 				return nil, nil, fmt.Errorf("trace: decoded %d events, footer records %d", decoded, tr.footerEvents)
@@ -62,22 +92,21 @@ func (tr *Reader) Events(prog *isa.Program) *Source {
 		if err != nil {
 			return nil, nil, err
 		}
-		var base uint64
-		base, recs, err = decodeFrame(f, recs)
+		base, evs, err := dec.decodeFrameEvents(f, prog, pool.get())
 		if err != nil {
 			return nil, nil, err
 		}
 		if base != decoded {
 			return nil, nil, fmt.Errorf("trace: chunk base %d, expected %d", base, decoded)
 		}
-		evs, err := bind(prog, base, recs, pool.get())
-		if err != nil {
-			return nil, nil, err
-		}
 		decoded += uint64(len(evs))
 		return evs, pool.release(evs), nil
 	}
-	return &Source{next: next, close: func() {}}
+	closeFn := func() {
+		dec.release()
+		tr.payloadBuf = nil
+	}
+	return &Source{next: next, close: closeFn}
 }
 
 // parallelResult is one decoded chunk delivered from a decode worker.
@@ -98,11 +127,12 @@ type parallelJob struct {
 
 // ParallelEvents returns a source whose chunks are decompressed and
 // decoded ahead by a pool of workers, while delivery stays in commit
-// order. workers <= 0 selects 2, which already hides the decode cost
-// behind a replay pipeline's analysis passes.
+// order. workers <= 0 sizes the pool from GOMAXPROCS (capped at 4:
+// decode-ahead only needs to hide the decode cost behind the consumer,
+// not saturate the machine).
 func (tr *Reader) ParallelEvents(prog *isa.Program, workers int) *Source {
 	if workers <= 0 {
-		workers = 2
+		workers = defaultDecodeWorkers()
 	}
 	var (
 		pool    slabPool
@@ -121,7 +151,7 @@ func (tr *Reader) ParallelEvents(prog *isa.Program, workers int) *Source {
 		defer close(jobs)
 		defer close(order)
 		for {
-			f, err := tr.nextFrame()
+			f, err := tr.nextFrame(false)
 			out := make(chan parallelResult, 1)
 			if err != nil {
 				// io.EOF (footer validated) or a framing error: either
@@ -150,15 +180,9 @@ func (tr *Reader) ParallelEvents(prog *isa.Program, workers int) *Source {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var recs []Record
+			dec := &decoder{sparse: tr.version >= 2}
 			for job := range jobs {
-				base, decoded, err := decodeFrame(job.f, recs)
-				if err != nil {
-					job.out <- parallelResult{err: err}
-					continue
-				}
-				recs = decoded
-				evs, err := bind(prog, base, recs, pool.get())
+				base, evs, err := dec.decodeFrameEvents(job.f, prog, pool.get())
 				if err != nil {
 					job.out <- parallelResult{err: err}
 					continue

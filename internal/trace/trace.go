@@ -10,19 +10,38 @@ import (
 	"hash/crc32"
 	"io"
 
-	"bioperfload/internal/isa"
 	"bioperfload/internal/sim"
 )
 
 // FormatVersion is bumped whenever the on-disk layout changes; it is
 // baked into both the header magic and artifact-store fingerprints so
 // stale traces read as misses rather than garbage.
-const FormatVersion = 1
+//
+// Version history:
+//
+//	1  chunked columnar stream, counts-only footer
+//	2  adds a per-chunk offset index to the footer so a reader with
+//	   random access (io.ReaderAt) can hand disjoint chunk ranges to
+//	   shard workers, and switches the chunk PC and target columns to
+//	   sparse encodings (exception bitmaps + deltas for non-sequential
+//	   PCs and non-fallthrough targets only) — see appendChunk
+//
+// Readers accept both versions; writers emit the current one unless a
+// test pins an older version.
+const FormatVersion = 2
 
-var (
-	headerMagic = [8]byte{'B', 'P', 'T', 'R', 'A', 'C', 'E', '0' + FormatVersion}
-	footerMagic = [8]byte{'B', 'P', 'T', 'R', 'E', 'N', 'D', '0' + FormatVersion}
-)
+// minFormatVersion is the oldest version readers still accept.
+const minFormatVersion = 1
+
+// headerMagic returns the header magic for a format version.
+func headerMagic(version int) [8]byte {
+	return [8]byte{'B', 'P', 'T', 'R', 'A', 'C', 'E', '0' + byte(version)}
+}
+
+// footerMagic returns the footer magic for a format version.
+func footerMagic(version int) [8]byte {
+	return [8]byte{'B', 'P', 'T', 'R', 'E', 'N', 'D', '0' + byte(version)}
+}
 
 // Compression kinds recorded per chunk frame.
 const (
@@ -33,6 +52,34 @@ const (
 // maxFrameBytes caps the compressed-frame allocation a corrupted
 // length prefix can request.
 const maxFrameBytes = 64 << 20
+
+// maxIndexChunks caps the chunk-index allocation a corrupted footer
+// can request (a real trace at the default chunk size would need
+// ~275G events to hit it).
+const maxIndexChunks = 1 << 22
+
+// v2 footer geometry. After the terminator byte the v2 trailer is:
+//
+//	index payload:
+//	    uvarint chunkCount
+//	    chunkCount × { uvarint offsetDelta, uvarint events }
+//	        offsetDelta: frame-start file offset, delta-coded against
+//	        the previous frame start (first entry is absolute)
+//	uint32 LE   CRC-32 (IEEE) of the index payload
+//	fixed tail (tailLen bytes):
+//	    uint64 LE indexLen     length of the index payload in bytes
+//	    uint64 LE totalEvents
+//	    uint64 LE chunkCount
+//	uint32 LE   CRC-32 (IEEE) of the fixed tail
+//	[8]byte     footer magic "BPTREND2"
+//
+// The fixed-size suffix (tail + tailCRC + magic = tailFixedLen bytes)
+// lets an io.ReaderAt locate the index from the end of the file, while
+// a sequential reader parses the same trailer forward.
+const (
+	tailLen      = 24
+	tailFixedLen = tailLen + 4 + 8
+)
 
 // Meta is the trace header document: enough identity to rebind the
 // stream to the program that produced it, and to reject a replay
@@ -52,6 +99,14 @@ type Meta struct {
 	Compression string `json:"compression"`
 }
 
+// chunkInfo is one entry of the v2 footer index: where a chunk's frame
+// starts and how many events it decodes to. Base sequence numbers are
+// recovered by prefix-summing the event counts.
+type chunkInfo struct {
+	offset int64
+	events uint64
+}
+
 // Writer encodes a committed-instruction stream to w. It implements
 // sim.BatchObserver, so recording a trace is one AddBatchObserver call
 // on the machine: events accumulate into chunks which are encoded,
@@ -61,19 +116,21 @@ type Meta struct {
 // I/O and encoding errors inside ObserveBatch are sticky: the first
 // one is retained, further batches are dropped, and Close returns it.
 type Writer struct {
-	w      io.Writer
-	meta   Meta
-	flate  bool
-	recs   []Record
-	base   uint64
-	total  uint64
-	chunks uint64
-	raw    []byte
-	comp   bytes.Buffer
-	fw     *flate.Writer
-	err    error
-	header bool
-	closed bool
+	w       io.Writer
+	meta    Meta
+	version int
+	flate   bool
+	recs    []Record
+	base    uint64
+	total   uint64
+	off     int64 // bytes written so far; next frame starts here
+	index   []chunkInfo
+	raw     []byte
+	comp    bytes.Buffer
+	fw      *flate.Writer
+	err     error
+	header  bool
+	closed  bool
 }
 
 // NewWriter creates a trace writer. Zero-valued meta fields are
@@ -81,6 +138,12 @@ type Writer struct {
 // with the first chunk so an aborted recording can leave nothing
 // behind.
 func NewWriter(w io.Writer, meta Meta) *Writer {
+	return newWriterVersion(w, meta, FormatVersion)
+}
+
+// newWriterVersion pins the output format version; tests use it to
+// produce v1 traces for back-compat coverage.
+func newWriterVersion(w io.Writer, meta Meta, version int) *Writer {
 	if meta.ChunkEvents <= 0 {
 		meta.ChunkEvents = ChunkEvents
 	}
@@ -88,10 +151,11 @@ func NewWriter(w io.Writer, meta Meta) *Writer {
 		meta.Compression = "flate"
 	}
 	return &Writer{
-		w:     w,
-		meta:  meta,
-		flate: meta.Compression == "flate",
-		recs:  make([]Record, 0, meta.ChunkEvents),
+		w:       w,
+		meta:    meta,
+		version: version,
+		flate:   meta.Compression == "flate",
+		recs:    make([]Record, 0, meta.ChunkEvents),
 	}
 }
 
@@ -134,13 +198,16 @@ func (tw *Writer) writeHeader() {
 		return
 	}
 	var buf []byte
-	buf = append(buf, headerMagic[:]...)
+	magic := headerMagic(tw.version)
+	buf = append(buf, magic[:]...)
 	buf = binary.AppendUvarint(buf, uint64(len(meta)))
 	buf = append(buf, meta...)
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(meta))
 	if _, err := tw.w.Write(buf); err != nil {
 		tw.err = fmt.Errorf("trace: write header: %w", err)
+		return
 	}
+	tw.off += int64(len(buf))
 }
 
 // flush encodes, compresses, and frames the pending chunk.
@@ -152,7 +219,7 @@ func (tw *Writer) flush() {
 	if tw.err != nil {
 		return
 	}
-	tw.raw = appendChunk(tw.raw[:0], tw.base, tw.recs)
+	tw.raw = appendChunk(tw.raw[:0], tw.base, tw.recs, tw.version >= 2)
 	payload := tw.raw
 	kind := byte(compressionNone)
 	if tw.flate {
@@ -182,15 +249,19 @@ func (tw *Writer) flush() {
 		tw.err = fmt.Errorf("trace: write chunk: %w", err)
 		return
 	}
+	tw.index = append(tw.index, chunkInfo{offset: tw.off, events: uint64(len(tw.recs))})
+	tw.off += int64(len(frame)) + int64(len(payload))
 	tw.base += uint64(len(tw.recs))
 	tw.total = tw.base
-	tw.chunks++
 	tw.recs = tw.recs[:0]
 }
 
 // Close flushes the final partial chunk and writes the terminator and
-// footer (total event and chunk counts, CRC-protected). It returns the
-// writer's sticky error, and does not close the underlying writer.
+// footer. A v2 footer carries the CRC-protected per-chunk offset index
+// plus a fixed-size tail so both sequential readers and io.ReaderAt
+// consumers can validate it; a v1 footer carries counts only. Close
+// returns the writer's sticky error, and does not close the underlying
+// writer.
 func (tw *Writer) Close() error {
 	if tw.closed {
 		return tw.err
@@ -203,12 +274,33 @@ func (tw *Writer) Close() error {
 	}
 	var buf []byte
 	buf = binary.AppendUvarint(buf, 0) // terminator: rawLen 0
-	var counts []byte
-	counts = binary.AppendUvarint(counts, tw.total)
-	counts = binary.AppendUvarint(counts, tw.chunks)
-	buf = append(buf, counts...)
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(counts))
-	buf = append(buf, footerMagic[:]...)
+	magic := footerMagic(tw.version)
+	if tw.version == 1 {
+		var counts []byte
+		counts = binary.AppendUvarint(counts, tw.total)
+		counts = binary.AppendUvarint(counts, uint64(len(tw.index)))
+		buf = append(buf, counts...)
+		buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(counts))
+		buf = append(buf, magic[:]...)
+	} else {
+		var idx []byte
+		idx = binary.AppendUvarint(idx, uint64(len(tw.index)))
+		prev := int64(0)
+		for _, ci := range tw.index {
+			idx = binary.AppendUvarint(idx, uint64(ci.offset-prev))
+			idx = binary.AppendUvarint(idx, ci.events)
+			prev = ci.offset
+		}
+		buf = append(buf, idx...)
+		buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(idx))
+		var tail [tailLen]byte
+		binary.LittleEndian.PutUint64(tail[0:8], uint64(len(idx)))
+		binary.LittleEndian.PutUint64(tail[8:16], tw.total)
+		binary.LittleEndian.PutUint64(tail[16:24], uint64(len(tw.index)))
+		buf = append(buf, tail[:]...)
+		buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(tail[:]))
+		buf = append(buf, magic[:]...)
+	}
 	if _, err := tw.w.Write(buf); err != nil {
 		tw.err = fmt.Errorf("trace: write footer: %w", err)
 	}
@@ -222,53 +314,40 @@ type frame struct {
 	payload []byte
 }
 
-// decodeFrame decompresses and decodes one frame. It is safe to call
-// from multiple goroutines on distinct frames (parallel replay).
-func decodeFrame(f frame, recs []Record) (uint64, []Record, error) {
-	raw := f.payload
-	switch f.kind {
-	case compressionNone:
-		if len(raw) != f.rawLen {
-			return 0, nil, fmt.Errorf("trace: frame length %d does not match raw length %d", len(raw), f.rawLen)
-		}
-	case compressionFlate:
-		fr := flate.NewReader(bytes.NewReader(f.payload))
-		buf := make([]byte, f.rawLen)
-		if _, err := io.ReadFull(fr, buf); err != nil {
-			return 0, nil, fmt.Errorf("trace: decompress chunk: %w", err)
-		}
-		// The compressed stream must end exactly at rawLen bytes.
-		var extra [1]byte
-		if n, _ := fr.Read(extra[:]); n != 0 {
-			return 0, nil, fmt.Errorf("trace: chunk decompresses past its declared length %d", f.rawLen)
-		}
-		raw = buf
-	default:
-		return 0, nil, fmt.Errorf("trace: unknown compression kind %d", f.kind)
-	}
-	return decodeChunk(raw, recs)
-}
-
 // Reader decodes a trace stream. NewReader consumes and validates the
-// header; chunks are then read with next/nextFrame until the footer,
-// whose counts are cross-checked against what was actually decoded.
+// header; chunks are then read with nextFrame until the footer, whose
+// counts — and, for v2, chunk offsets — are cross-checked against what
+// was actually decoded.
 type Reader struct {
 	br           *bufio.Reader
 	meta         Meta
+	version      int
 	chunks       uint64
+	off          int64 // stream offset of the next frame
+	offsets      []int64
+	payloadBuf   []byte
 	footerEvents uint64
 	done         bool
 }
 
-// NewReader wraps r and reads the trace header.
+// NewReader wraps r and reads the trace header. Both current and v1
+// traces are accepted; Version reports which was found.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("trace: read magic: %w", err)
 	}
-	if magic != headerMagic {
-		return nil, fmt.Errorf("trace: bad magic %q (want %q)", magic[:], headerMagic[:])
+	version := 0
+	for v := minFormatVersion; v <= FormatVersion; v++ {
+		if magic == headerMagic(v) {
+			version = v
+			break
+		}
+	}
+	if version == 0 {
+		return nil, fmt.Errorf("trace: bad magic %q (want %q..%q)",
+			magic[:], headerMagic(minFormatVersion), headerMagic(FormatVersion))
 	}
 	metaLen, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -292,22 +371,40 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if err := json.Unmarshal(metaBuf, &meta); err != nil {
 		return nil, fmt.Errorf("trace: decode meta: %w", err)
 	}
-	return &Reader{br: br, meta: meta}, nil
+	off := int64(8) + int64(uvarintLen(metaLen)) + int64(metaLen) + 4
+	return &Reader{br: br, meta: meta, version: version, off: off}, nil
+}
+
+// uvarintLen returns the encoded size of u.
+func uvarintLen(u uint64) int {
+	n := 1
+	for u >= 0x80 {
+		u >>= 7
+		n++
+	}
+	return n
 }
 
 // Meta returns the header document.
 func (tr *Reader) Meta() Meta { return tr.meta }
+
+// Version returns the format version found in the header.
+func (tr *Reader) Version() int { return tr.version }
 
 // TotalEvents returns the footer's recorded event count; it is valid
 // once the stream has been fully read (the sources return io.EOF).
 func (tr *Reader) TotalEvents() uint64 { return tr.footerEvents }
 
 // nextFrame reads the next chunk frame, or io.EOF after validating the
-// terminator and footer.
-func (tr *Reader) nextFrame() (frame, error) {
+// terminator and footer. If reuse is true the payload is read into a
+// buffer owned by the Reader and is only valid until the next call —
+// the sequential source uses this to avoid a per-chunk allocation,
+// while the parallel source keeps distinct payloads in flight.
+func (tr *Reader) nextFrame(reuse bool) (frame, error) {
 	if tr.done {
 		return frame{}, io.EOF
 	}
+	frameOff := tr.off
 	rawLen, err := binary.ReadUvarint(tr.br)
 	if err != nil {
 		return frame{}, fmt.Errorf("trace: read chunk length (truncated trace?): %w", err)
@@ -333,7 +430,15 @@ func (tr *Reader) nextFrame() (frame, error) {
 	if _, err := io.ReadFull(tr.br, crc[:]); err != nil {
 		return frame{}, fmt.Errorf("trace: read chunk crc: %w", err)
 	}
-	payload := make([]byte, compLen)
+	var payload []byte
+	if reuse {
+		if cap(tr.payloadBuf) < int(compLen) {
+			tr.payloadBuf = make([]byte, compLen)
+		}
+		payload = tr.payloadBuf[:compLen]
+	} else {
+		payload = make([]byte, compLen)
+	}
 	if _, err := io.ReadFull(tr.br, payload); err != nil {
 		return frame{}, fmt.Errorf("trace: read chunk payload: %w", err)
 	}
@@ -341,17 +446,27 @@ func (tr *Reader) nextFrame() (frame, error) {
 		return frame{}, fmt.Errorf("trace: chunk %d checksum mismatch", tr.chunks)
 	}
 	tr.chunks++
+	tr.offsets = append(tr.offsets, frameOff)
+	tr.off += int64(uvarintLen(rawLen)) + 1 + int64(uvarintLen(compLen)) + 4 + int64(compLen)
 	return frame{rawLen: int(rawLen), kind: kind, payload: payload}, nil
 }
 
 // readFooter validates the trailer and returns io.EOF on success.
 func (tr *Reader) readFooter() error {
-	totalBuf := make([]byte, 0, 2*binary.MaxVarintLen64)
-	total, err := tr.readCountedUvarint(&totalBuf)
+	if tr.version == 1 {
+		return tr.readFooterV1()
+	}
+	return tr.readFooterV2()
+}
+
+// readFooterV1 parses the counts-only v1 trailer.
+func (tr *Reader) readFooterV1() error {
+	countsBuf := make([]byte, 0, 2*binary.MaxVarintLen64)
+	total, err := tr.readCountedUvarint(&countsBuf)
 	if err != nil {
 		return fmt.Errorf("trace: read footer events: %w", err)
 	}
-	chunks, err := tr.readCountedUvarint(&totalBuf)
+	chunks, err := tr.readCountedUvarint(&countsBuf)
 	if err != nil {
 		return fmt.Errorf("trace: read footer chunks: %w", err)
 	}
@@ -359,18 +474,92 @@ func (tr *Reader) readFooter() error {
 	if _, err := io.ReadFull(tr.br, crc[:]); err != nil {
 		return fmt.Errorf("trace: read footer crc: %w", err)
 	}
-	if binary.LittleEndian.Uint32(crc[:]) != crc32.ChecksumIEEE(totalBuf) {
+	if binary.LittleEndian.Uint32(crc[:]) != crc32.ChecksumIEEE(countsBuf) {
 		return fmt.Errorf("trace: footer checksum mismatch")
 	}
 	var magic [8]byte
 	if _, err := io.ReadFull(tr.br, magic[:]); err != nil {
 		return fmt.Errorf("trace: read footer magic: %w", err)
 	}
-	if magic != footerMagic {
+	if magic != footerMagic(1) {
 		return fmt.Errorf("trace: bad footer magic %q", magic[:])
 	}
 	if chunks != tr.chunks {
 		return fmt.Errorf("trace: footer records %d chunks, decoded %d", chunks, tr.chunks)
+	}
+	tr.footerEvents = total
+	tr.done = true
+	return io.EOF
+}
+
+// readFooterV2 parses the indexed v2 trailer forward, cross-checking
+// the chunk offsets it recorded while streaming against the index.
+func (tr *Reader) readFooterV2() error {
+	var idxBuf []byte
+	count, err := tr.readCountedUvarint(&idxBuf)
+	if err != nil {
+		return fmt.Errorf("trace: read index chunk count: %w", err)
+	}
+	if count > maxIndexChunks {
+		return fmt.Errorf("trace: index claims %d chunks (max %d)", count, maxIndexChunks)
+	}
+	if count != tr.chunks {
+		return fmt.Errorf("trace: index records %d chunks, decoded %d", count, tr.chunks)
+	}
+	prev := int64(0)
+	var events uint64
+	for i := uint64(0); i < count; i++ {
+		delta, err := tr.readCountedUvarint(&idxBuf)
+		if err != nil {
+			return fmt.Errorf("trace: read index entry %d: %w", i, err)
+		}
+		ev, err := tr.readCountedUvarint(&idxBuf)
+		if err != nil {
+			return fmt.Errorf("trace: read index entry %d: %w", i, err)
+		}
+		off := prev + int64(delta)
+		if off != tr.offsets[i] {
+			return fmt.Errorf("trace: index offset %d for chunk %d, frame was at %d", off, i, tr.offsets[i])
+		}
+		prev = off
+		events += ev
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(tr.br, crc[:]); err != nil {
+		return fmt.Errorf("trace: read index crc: %w", err)
+	}
+	if binary.LittleEndian.Uint32(crc[:]) != crc32.ChecksumIEEE(idxBuf) {
+		return fmt.Errorf("trace: index checksum mismatch")
+	}
+	var tail [tailLen]byte
+	if _, err := io.ReadFull(tr.br, tail[:]); err != nil {
+		return fmt.Errorf("trace: read footer tail: %w", err)
+	}
+	var tailCRC [4]byte
+	if _, err := io.ReadFull(tr.br, tailCRC[:]); err != nil {
+		return fmt.Errorf("trace: read footer tail crc: %w", err)
+	}
+	if binary.LittleEndian.Uint32(tailCRC[:]) != crc32.ChecksumIEEE(tail[:]) {
+		return fmt.Errorf("trace: footer tail checksum mismatch")
+	}
+	var magic [8]byte
+	if _, err := io.ReadFull(tr.br, magic[:]); err != nil {
+		return fmt.Errorf("trace: read footer magic: %w", err)
+	}
+	if magic != footerMagic(tr.version) {
+		return fmt.Errorf("trace: bad footer magic %q", magic[:])
+	}
+	indexLen := binary.LittleEndian.Uint64(tail[0:8])
+	total := binary.LittleEndian.Uint64(tail[8:16])
+	tailChunks := binary.LittleEndian.Uint64(tail[16:24])
+	if indexLen != uint64(len(idxBuf)) {
+		return fmt.Errorf("trace: footer tail records index length %d, parsed %d", indexLen, len(idxBuf))
+	}
+	if tailChunks != tr.chunks {
+		return fmt.Errorf("trace: footer records %d chunks, decoded %d", tailChunks, tr.chunks)
+	}
+	if events != total {
+		return fmt.Errorf("trace: index sums to %d events, footer records %d", events, total)
 	}
 	tr.footerEvents = total
 	tr.done = true
@@ -395,31 +584,4 @@ func (tr *Reader) readCountedUvarint(buf *[]byte) (uint64, error) {
 			return u, nil
 		}
 	}
-}
-
-// bind converts decoded records into simulator events attached to
-// prog, validating every PC against the program bounds.
-func bind(prog *isa.Program, base uint64, recs []Record, evs []sim.Event) ([]sim.Event, error) {
-	n := len(recs)
-	if cap(evs) < n {
-		evs = make([]sim.Event, n)
-	}
-	evs = evs[:n]
-	insts := prog.Insts
-	for i := range recs {
-		pc := recs[i].PC
-		if pc < 0 || int(pc) >= len(insts) {
-			return nil, fmt.Errorf("trace: record %d: pc %d outside program %s (%d insts)",
-				base+uint64(i), pc, prog.Name, len(insts))
-		}
-		evs[i] = sim.Event{
-			Seq:    base + uint64(i),
-			PC:     pc,
-			Inst:   &insts[pc],
-			Addr:   recs[i].Addr,
-			Taken:  recs[i].Taken,
-			Target: recs[i].Target,
-		}
-	}
-	return evs, nil
 }

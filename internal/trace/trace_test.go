@@ -23,6 +23,13 @@ func testProgram(n int) *isa.Program {
 // returns the encoded bytes plus the events.
 func writeTestTrace(t *testing.T, n, chunk int) ([]byte, []sim.Event, *isa.Program) {
 	t.Helper()
+	return writeTestTraceVersion(t, n, chunk, FormatVersion)
+}
+
+// writeTestTraceVersion is writeTestTrace with a pinned format version,
+// so back-compat tests can produce v1 streams with today's writer.
+func writeTestTraceVersion(t *testing.T, n, chunk, version int) ([]byte, []sim.Event, *isa.Program) {
+	t.Helper()
 	prog := testProgram(1 << 12)
 	r := rand.New(rand.NewSource(int64(n)))
 	evs := make([]sim.Event, n)
@@ -48,7 +55,7 @@ func writeTestTrace(t *testing.T, n, chunk int) ([]byte, []sim.Event, *isa.Progr
 		}
 	}
 	var buf bytes.Buffer
-	tw := NewWriter(&buf, Meta{Program: prog.Name, Size: "test", ChunkEvents: chunk})
+	tw := newWriterVersion(&buf, Meta{Program: prog.Name, Size: "test", ChunkEvents: chunk}, version)
 	// Deliver in uneven slabs to exercise partial-chunk accumulation.
 	for lo := 0; lo < n; {
 		hi := lo + 1 + r.Intn(300)
@@ -227,7 +234,7 @@ func TestBitFlippedTraceRejected(t *testing.T) {
 	}
 }
 
-func TestBindRejectsOutOfRangePC(t *testing.T) {
+func TestDecodeRejectsOutOfRangePC(t *testing.T) {
 	data, _, _ := writeTestTrace(t, 100, 64)
 	small := testProgram(1) // every PC > 0 is out of range
 	if err := replayAll(data, small); err == nil {
@@ -236,11 +243,13 @@ func TestBindRejectsOutOfRangePC(t *testing.T) {
 }
 
 func TestReaderRejectsBadHeader(t *testing.T) {
+	hm := headerMagic(FormatVersion)
 	for _, data := range [][]byte{
 		nil,
 		[]byte("BOGUSMAG"),
 		[]byte("BPTRACE9"),
-		headerMagic[:],
+		[]byte("BPTRACE0"),
+		hm[:],
 	} {
 		if _, err := NewReader(bytes.NewReader(data)); err == nil {
 			t.Fatalf("header %q accepted", data)
