@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check vet build test race race-concurrent smoke fuzz-smoke serve-smoke experiments bench bench-service bench-trace
+.PHONY: check fmt-check vet build test race race-concurrent smoke fuzz-smoke serve-smoke experiments bench bench-service bench-trace validate-timing sweep-smoke
 
 # check is the full gate: formatting, static analysis, build, the
 # race-enabled test suite, and an end-to-end experiments smoke run.
@@ -41,11 +41,27 @@ smoke:
 fuzz-smoke:
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzCodec -fuzztime 10s
 
+# validate-timing asserts the fast scoreboard tier reproduces the full
+# model's speedup and cross-platform ratios within the checked-in
+# per-program tolerances (internal/scoreboard/validate). Runs at test
+# size by default; VALIDATE_SIZE=classB is the paper-scale check.
+VALIDATE_SIZE ?= test
+validate-timing:
+	$(GO) run ./cmd/bioperf validate-timing -size $(VALIDATE_SIZE)
+
+# sweep-smoke runs the platform-parameter sweep grid end to end at
+# test size on the fast tier.
+sweep-smoke:
+	$(GO) run ./cmd/experiments -size test -timing test -only sweep > /dev/null
+
 # experiments reproduces the paper-scale artifacts and records the
-# perf trajectory in BENCH_experiments.json.
+# perf trajectory in BENCH_experiments.json. The canonical tables use
+# the full-tier model (byte-identical to the paper reproduction); the
+# bench file additionally records fast-tier best-of-N timings, and the
+# sweep grid and causal ablations are appended to the text artifact.
 experiments:
-	$(GO) run ./cmd/experiments -size classB -timing classB \
-		-bench-json BENCH_experiments.json > experiments_classB.txt
+	$(GO) run ./cmd/experiments -size classB -timing classB -fidelity full \
+		-sweep -ablations -bench-json BENCH_experiments.json > experiments_classB.txt
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
@@ -71,8 +87,22 @@ serve-smoke:
 		-d '{"program":"hmmsearch","size":"test","wait":true}' \
 		| grep -q '"status": "done"' \
 		|| { echo "serve-smoke: characterize did not finish" >&2; exit 1; }; \
+	curl -sf -X POST http://$(SMOKE_ADDR)/v1/evaluate \
+		-d '{"program":"hmmsearch","platform":"alpha21264","size":"test","wait":true}' \
+		| grep -q '"fidelity": "fast"' \
+		|| { echo "serve-smoke: fast-tier evaluate did not finish" >&2; exit 1; }; \
+	curl -sf -X POST http://$(SMOKE_ADDR)/v1/evaluate \
+		-d '{"program":"hmmsearch","platform":"alpha21264","size":"test","fidelity":"full","wait":true}' \
+		| grep -q '"fidelity": "full"' \
+		|| { echo "serve-smoke: full-tier evaluate did not finish" >&2; exit 1; }; \
 	curl -sf http://$(SMOKE_ADDR)/metrics | grep -q bioperfd_http_requests_total \
 		|| { echo "serve-smoke: metrics missing" >&2; exit 1; }; \
+	curl -sf http://$(SMOKE_ADDR)/metrics \
+		| grep -q 'bioperfd_timing_requests_total{kind="evaluate",fidelity="fast"} 1' \
+		|| { echo "serve-smoke: fast-tier counter missing" >&2; exit 1; }; \
+	curl -sf http://$(SMOKE_ADDR)/metrics \
+		| grep -q 'bioperfd_timing_requests_total{kind="evaluate",fidelity="full"} 1' \
+		|| { echo "serve-smoke: full-tier counter missing" >&2; exit 1; }; \
 	kill -TERM $$pid; wait $$pid; \
 	./bioperfd.smoke -addr $(SMOKE_ADDR) -store $$store & pid=$$!; \
 	ok=; for i in $$(seq 1 100); do \

@@ -67,6 +67,11 @@ type (
 	Session = runner.Session
 	// Profile is one program's shared characterization run.
 	Profile = runner.Profile
+	// Fidelity selects the timing tier: FidelityFull is the
+	// cycle-level paper-reproduction model, FidelityFast the
+	// scoreboard approximation (about an order of magnitude faster,
+	// validated on speedup ratios — see internal/scoreboard).
+	Fidelity = pipeline.Fidelity
 	// SessionStats reports a session's cache counters.
 	SessionStats = runner.Stats
 )
@@ -77,6 +82,15 @@ const (
 	SizeB    = bio.SizeB
 	SizeC    = bio.SizeC
 )
+
+// Timing tiers. Select with Platform.WithFidelity before Evaluate.
+const (
+	FidelityFull = pipeline.FidelityFull
+	FidelityFast = pipeline.FidelityFast
+)
+
+// ParseFidelity parses "full" or "fast" (empty defaults to full).
+func ParseFidelity(s string) (Fidelity, error) { return pipeline.ParseFidelity(s) }
 
 // Programs returns the nine BioPerf applications in the paper's order.
 func Programs() []*BenchProgram { return bio.All() }

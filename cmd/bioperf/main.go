@@ -5,11 +5,13 @@
 //	bioperf -program hmmsearch -size classB -profile
 //	bioperf -program hmmsearch -size classB -platform alpha21264 -transformed
 //
-// Subcommands record and replay committed-instruction traces:
+// Subcommands record and replay committed-instruction traces, and
+// validate the fast timing tier against the full model:
 //
 //	bioperf trace -program hmmsearch -size classB -o hmm.trace
 //	bioperf replay -j 2 hmm.trace
 //	bioperf bench-trace -size classB -json BENCH_trace.json
+//	bioperf validate-timing -size test
 package main
 
 import (
@@ -31,6 +33,8 @@ func main() {
 			os.Exit(cmdReplay(os.Args[2:], os.Stderr))
 		case "bench-trace":
 			os.Exit(cmdBenchTrace(os.Args[2:], os.Stderr))
+		case "validate-timing":
+			os.Exit(cmdValidateTiming(os.Args[2:], os.Stderr))
 		}
 	}
 	list := flag.Bool("list", false, "list the applications and platforms")
@@ -38,6 +42,7 @@ func main() {
 	sizeFlag := flag.String("size", "test", "input size (test|classB|classC)")
 	profile := flag.Bool("profile", false, "run the load characterization")
 	platName := flag.String("platform", "", "run the timing model for this platform")
+	fidelity := flag.String("fidelity", "full", "timing tier for -platform (full|fast)")
 	transformed := flag.Bool("transformed", false, "use the load-transformed sources")
 	hot := flag.Int("hot", 6, "hot loads to print with -profile")
 	flag.Parse()
@@ -88,6 +93,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		fid, err := bioperfload.ParseFidelity(*fidelity)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plat = plat.WithFidelity(fid)
 		st, err := bioperfload.Evaluate(p, plat, sz, *transformed)
 		if err != nil {
 			log.Fatal(err)
@@ -96,7 +106,7 @@ func main() {
 		if *transformed {
 			kind = "load-transformed"
 		}
-		fmt.Printf("%s (%s, %s) on %s:\n", p.Name, kind, sz, plat.Name)
+		fmt.Printf("%s (%s, %s, %s tier) on %s:\n", p.Name, kind, sz, fid, plat.Name)
 		fmt.Printf("  %d instructions, %d cycles (IPC %.2f)\n", st.Instructions, st.Cycles, st.IPC())
 		fmt.Printf("  %d cond branches, %.2f%% mispredicted\n", st.CondBranches, 100*st.MispredictRate())
 		fmt.Printf("  %d loads, AMAT %.2f cycles (L1 %d / L2 %d / mem %d)\n",

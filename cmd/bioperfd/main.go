@@ -6,6 +6,13 @@
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/characterize \
 //	    -d '{"program":"hmmsearch","size":"classB","wait":true}'
+//	curl -s -X POST localhost:8080/v1/evaluate \
+//	    -d '{"program":"hmmsearch","platform":"alpha21264","fidelity":"full","wait":true}'
+//
+// Timing endpoints (/v1/evaluate, evaluate sweeps) default to the
+// fast scoreboard tier; pass "fidelity":"full" for the exact
+// paper-reproduction model. Per-tier request counters appear on
+// /metrics as bioperfd_timing_requests_total.
 //
 // With -store DIR the session is backed by a persistent artifact
 // store: cold characterizations record their event traces, and a

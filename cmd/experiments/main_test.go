@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"bioperfload/internal/bio"
+	"bioperfload/internal/pipeline"
 )
 
 func TestParseArgsValid(t *testing.T) {
@@ -22,6 +23,22 @@ func TestParseArgsValid(t *testing.T) {
 	}
 }
 
+func TestParseArgsTimingFlags(t *testing.T) {
+	cfg, err := parseArgs([]string{"-fidelity", "full", "-sweep", "-bench-samples", "5"}, &strings.Builder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.fidelity != pipeline.FidelityFull {
+		t.Fatalf("fidelity = %v, want full", cfg.fidelity)
+	}
+	if !cfg.sweep {
+		t.Fatal("sweep flag not set")
+	}
+	if cfg.benchSamples != 5 {
+		t.Fatalf("benchSamples = %d, want 5", cfg.benchSamples)
+	}
+}
+
 func TestParseArgsDefaults(t *testing.T) {
 	cfg, err := parseArgs(nil, &strings.Builder{})
 	if err != nil {
@@ -29,6 +46,10 @@ func TestParseArgsDefaults(t *testing.T) {
 	}
 	if cfg.size != bio.SizeB || cfg.timing != bio.SizeB || cfg.jobs != 0 || cfg.only != "" {
 		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+	if cfg.fidelity != pipeline.FidelityFast || cfg.sweep || cfg.benchSamples != 3 {
+		t.Fatalf("unexpected timing defaults: fidelity=%v sweep=%v samples=%d",
+			cfg.fidelity, cfg.sweep, cfg.benchSamples)
 	}
 }
 
@@ -46,6 +67,8 @@ func TestParseArgsRejects(t *testing.T) {
 		{"bad size", []string{"-size", "classZ"}, "-size"},
 		{"bad timing size", []string{"-timing", "huge"}, "-timing"},
 		{"unknown experiment", []string{"-only", "tab99"}, "unknown experiment"},
+		{"bad fidelity", []string{"-fidelity", "approximate"}, "-fidelity"},
+		{"zero bench samples", []string{"-bench-samples", "0"}, "invalid sample count 0"},
 		{"stray positional args", []string{"tab5"}, "unexpected arguments"},
 	}
 	for _, tc := range cases {

@@ -52,11 +52,66 @@ type ablationVariant struct {
 }
 
 // runVariants measures every variant's original/transformed cycle
-// pair on the session's worker pool, preserving variant order. Each
-// variant is two independent timing runs, so a sweep of v variants
-// fans out into 2v jobs; compiles dedupe through the session cache.
-func runVariants(ctx context.Context, s *runner.Session, p *bio.Program, variants []ablationVariant, sz bio.Size) ([]AblationResult, error) {
+// pair on the session's worker pool, preserving variant order. On the
+// full tier each variant is two independent timing runs, so a sweep of
+// v variants fans out into 2v jobs; compiles dedupe through the
+// session cache. On the fast tier, variants sharing compiler options
+// share one functional run per variant set and direction — their
+// scoreboards all observe the same sampled stream.
+func runVariants(ctx context.Context, s *runner.Session, p *bio.Program, variants []ablationVariant, sz bio.Size, fid pipeline.Fidelity) ([]AblationResult, error) {
 	out := make([]AblationResult, len(variants))
+	for i, v := range variants {
+		out[i].Variant = v.name
+	}
+	if fid == pipeline.FidelityFast {
+		// Group variants by compiler options; one grouped run per
+		// (options bucket, direction).
+		var groups []struct {
+			opts compiler.Options
+			idx  []int
+		}
+		for i, v := range variants {
+			found := false
+			for gi := range groups {
+				if groups[gi].opts == v.opts {
+					groups[gi].idx = append(groups[gi].idx, i)
+					found = true
+					break
+				}
+			}
+			if !found {
+				groups = append(groups, struct {
+					opts compiler.Options
+					idx  []int
+				}{opts: v.opts, idx: []int{i}})
+			}
+		}
+		err := s.ForEach(ctx, len(groups)*2, func(k int) error {
+			g, transformed := groups[k/2], k%2 == 1
+			cfgs := make([]pipeline.Config, len(g.idx))
+			for x, i := range g.idx {
+				c := variants[i].cfg
+				c.Fidelity = pipeline.FidelityFast
+				cfgs[x] = c
+			}
+			sts, err := s.EvaluateGroup(ctx, p, cfgs, g.opts, sz, transformed)
+			if err != nil {
+				return err
+			}
+			for x, i := range g.idx {
+				if transformed {
+					out[i].CyclesTrans = sts[x].Cycles
+				} else {
+					out[i].CyclesOrig = sts[x].Cycles
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	err := s.ForEach(ctx, len(variants)*2, func(k int) error {
 		i, transformed := k/2, k%2 == 1
 		v := variants[i]
@@ -64,7 +119,6 @@ func runVariants(ctx context.Context, s *runner.Session, p *bio.Program, variant
 		if err != nil {
 			return err
 		}
-		out[i].Variant = v.name
 		if transformed {
 			out[i].CyclesTrans = st.Cycles
 		} else {
@@ -80,7 +134,7 @@ func runVariants(ctx context.Context, s *runner.Session, p *bio.Program, variant
 
 // AblateL1Latency measures the program on Alpha-like machines whose
 // L1 load-to-use latency sweeps over the given values.
-func AblateL1Latency(ctx context.Context, s *runner.Session, progName string, sz bio.Size, latencies []int) ([]AblationResult, error) {
+func AblateL1Latency(ctx context.Context, s *runner.Session, progName string, sz bio.Size, latencies []int, fid pipeline.Fidelity) ([]AblationResult, error) {
 	p, err := bio.ByName(progName)
 	if err != nil {
 		return nil, err
@@ -94,12 +148,12 @@ func AblateL1Latency(ctx context.Context, s *runner.Session, progName string, sz
 			name: fmt.Sprintf("L1=%dcyc", lat), cfg: cfg, opts: compiler.Default(),
 		})
 	}
-	return runVariants(ctx, s, p, variants, sz)
+	return runVariants(ctx, s, p, variants, sz, fid)
 }
 
 // AblatePredictor measures the program on the Alpha model under
 // different branch predictors.
-func AblatePredictor(ctx context.Context, s *runner.Session, progName string, sz bio.Size) ([]AblationResult, error) {
+func AblatePredictor(ctx context.Context, s *runner.Session, progName string, sz bio.Size, fid pipeline.Fidelity) ([]AblationResult, error) {
 	p, err := bio.ByName(progName)
 	if err != nil {
 		return nil, err
@@ -119,13 +173,13 @@ func AblatePredictor(ctx context.Context, s *runner.Session, progName string, sz
 		cfg.Predictor = v.mk
 		variants = append(variants, ablationVariant{name: v.name, cfg: cfg, opts: compiler.Default()})
 	}
-	return runVariants(ctx, s, p, variants, sz)
+	return runVariants(ctx, s, p, variants, sz, fid)
 }
 
 // AblatePasses measures the program with compiler passes selectively
 // disabled (always on the Alpha model), isolating the contribution of
 // if-conversion and of the local scheduler.
-func AblatePasses(ctx context.Context, s *runner.Session, progName string, sz bio.Size) ([]AblationResult, error) {
+func AblatePasses(ctx context.Context, s *runner.Session, progName string, sz bio.Size, fid pipeline.Fidelity) ([]AblationResult, error) {
 	p, err := bio.ByName(progName)
 	if err != nil {
 		return nil, err
@@ -159,7 +213,7 @@ func AblatePasses(ctx context.Context, s *runner.Session, progName string, sz bi
 	for _, v := range passVariants {
 		variants = append(variants, ablationVariant{name: v.name, cfg: cfg, opts: v.opts})
 	}
-	return runVariants(ctx, s, p, variants, sz)
+	return runVariants(ctx, s, p, variants, sz, fid)
 }
 
 // RenderAblation renders one ablation series.
@@ -181,7 +235,7 @@ func RenderAblation(title string, rows []AblationResult) string {
 // and the hand-transformed sources. The paper reports that on the
 // Itanium the restrict baseline and the hand-transformed code perform
 // similarly.
-func AblateRestrict(ctx context.Context, s *runner.Session, progName, platName string, sz bio.Size) ([]AblationResult, error) {
+func AblateRestrict(ctx context.Context, s *runner.Session, progName, platName string, sz bio.Size, fid pipeline.Fidelity) ([]AblationResult, error) {
 	p, err := bio.ByName(progName)
 	if err != nil {
 		return nil, err
@@ -190,6 +244,7 @@ func AblateRestrict(ctx context.Context, s *runner.Session, progName, platName s
 	if err != nil {
 		return nil, err
 	}
+	plat.Pipeline.Fidelity = fid
 	opts := compiler.Options{
 		Opt:          compiler.Default().Opt,
 		AllocIntRegs: plat.AllocIntRegs,

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"bioperfload/internal/bio"
+	"bioperfload/internal/pipeline"
 	"bioperfload/internal/runner"
 )
 
@@ -14,7 +15,7 @@ import (
 // multicycle L1 hit latency, so on a hypothetical single-cycle-L1
 // machine the speedup must shrink.
 func TestL1LatencyAblation(t *testing.T) {
-	rows, err := AblateL1Latency(context.Background(), runner.NewSession(0), "hmmsearch", bio.SizeTest, []int{1, 3, 5})
+	rows, err := AblateL1Latency(context.Background(), runner.NewSession(0), "hmmsearch", bio.SizeTest, []int{1, 3, 5}, pipeline.FidelityFull)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestL1LatencyAblation(t *testing.T) {
 // multiply and the branchy original suffers more, so the
 // transformation gains more.
 func TestPredictorAblation(t *testing.T) {
-	rows, err := AblatePredictor(context.Background(), runner.NewSession(0), "hmmsearch", bio.SizeTest)
+	rows, err := AblatePredictor(context.Background(), runner.NewSession(0), "hmmsearch", bio.SizeTest, pipeline.FidelityFull)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestPredictorAblation(t *testing.T) {
 // win), and the ORIGINAL code must be essentially unaffected by
 // if-conversion (its guarded stores cannot convert).
 func TestPassAblation(t *testing.T) {
-	rows, err := AblatePasses(context.Background(), runner.NewSession(0), "hmmsearch", bio.SizeTest)
+	rows, err := AblatePasses(context.Background(), runner.NewSession(0), "hmmsearch", bio.SizeTest, pipeline.FidelityFull)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestPassAblation(t *testing.T) {
 func TestRestrictAblation(t *testing.T) {
 	s := runner.NewSession(0)
 	measure := func(plat string) (base, restr, trans uint64) {
-		rows, err := AblateRestrict(context.Background(), s, "hmmsearch", plat, bio.SizeTest)
+		rows, err := AblateRestrict(context.Background(), s, "hmmsearch", plat, bio.SizeTest, pipeline.FidelityFull)
 		if err != nil {
 			t.Fatal(err)
 		}

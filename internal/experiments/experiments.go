@@ -385,26 +385,43 @@ func Table8(sz bio.Size) ([]Table8Cell, error) {
 // the sequential path; compiles are deduplicated per (program,
 // variant, register budget) by the session's compile cache.
 func Table8Session(ctx context.Context, s *runner.Session, sz bio.Size) ([]Table8Cell, error) {
+	return Table8SessionFidelity(ctx, s, sz, pipeline.FidelityFull)
+}
+
+// Table8SessionFidelity is Table8Session with an explicit timing tier.
+// The full tier runs each of the 48 cells as its own simulation and is
+// byte-identical to the historical output. The fast tier restructures
+// the work around runner.EvaluateGroup: platforms that share a
+// register budget (Alpha and PowerPC compile identically) share one
+// functional run per (program, variant), every platform's scoreboard
+// rides that run as a sampled observer, and cells are scattered back
+// into the same program-major, platform-minor order.
+func Table8SessionFidelity(ctx context.Context, s *runner.Session, sz bio.Size, fid pipeline.Fidelity) ([]Table8Cell, error) {
 	progs := bio.Transformed()
 	plats := platform.All()
 	nCells := len(progs) * len(plats)
 	statsOrig := make([]pipeline.Stats, nCells)
 	statsTrans := make([]pipeline.Stats, nCells)
-	err := s.ForEach(ctx, nCells*2, func(k int) error {
-		i, transformed := k/2, k%2 == 1
-		p := progs[i/len(plats)]
-		plat := plats[i%len(plats)]
-		st, err := s.Evaluate(ctx, p, plat, sz, transformed)
-		if err != nil {
-			return err
-		}
-		if transformed {
-			statsTrans[i] = st
-		} else {
-			statsOrig[i] = st
-		}
-		return nil
-	})
+	var err error
+	if fid == pipeline.FidelityFast {
+		err = table8Fast(ctx, s, sz, progs, plats, statsOrig, statsTrans)
+	} else {
+		err = s.ForEach(ctx, nCells*2, func(k int) error {
+			i, transformed := k/2, k%2 == 1
+			p := progs[i/len(plats)]
+			plat := plats[i%len(plats)]
+			st, err := s.Evaluate(ctx, p, plat, sz, transformed)
+			if err != nil {
+				return err
+			}
+			if transformed {
+				statsTrans[i] = st
+			} else {
+				statsOrig[i] = st
+			}
+			return nil
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -422,6 +439,76 @@ func Table8Session(ctx context.Context, s *runner.Session, sz bio.Size) ([]Table
 		out = append(out, cell)
 	}
 	return out, nil
+}
+
+// platGroup is a set of platform indices sharing one compiled stream.
+type platGroup struct {
+	opts    compiler.Options
+	platIdx []int
+}
+
+// groupPlatforms buckets platforms by their compiler options: within a
+// bucket the compiled program — and therefore the committed stream —
+// is identical, so one functional run can feed every bucket member.
+func groupPlatforms(plats []platform.Platform) []platGroup {
+	var groups []platGroup
+	for j, pl := range plats {
+		opts := pl.EvalOptions()
+		found := false
+		for gi := range groups {
+			if groups[gi].opts == opts {
+				groups[gi].platIdx = append(groups[gi].platIdx, j)
+				found = true
+				break
+			}
+		}
+		if !found {
+			groups = append(groups, platGroup{opts: opts, platIdx: []int{j}})
+		}
+	}
+	return groups
+}
+
+// table8Fast measures every cell on the scoreboard tier: one grouped
+// run per (program, variant, register budget).
+func table8Fast(ctx context.Context, s *runner.Session, sz bio.Size, progs []*bio.Program, plats []platform.Platform, statsOrig, statsTrans []pipeline.Stats) error {
+	groups := groupPlatforms(plats)
+	type unit struct {
+		prog        int
+		transformed bool
+		group       int
+	}
+	var units []unit
+	for i := range progs {
+		for _, tr := range []bool{false, true} {
+			for g := range groups {
+				units = append(units, unit{prog: i, transformed: tr, group: g})
+			}
+		}
+	}
+	return s.ForEach(ctx, len(units), func(k int) error {
+		u := units[k]
+		g := groups[u.group]
+		cfgs := make([]pipeline.Config, len(g.platIdx))
+		for x, j := range g.platIdx {
+			c := plats[j].Pipeline
+			c.Fidelity = pipeline.FidelityFast
+			cfgs[x] = c
+		}
+		sts, err := s.EvaluateGroup(ctx, progs[u.prog], cfgs, g.opts, sz, u.transformed)
+		if err != nil {
+			return err
+		}
+		for x, j := range g.platIdx {
+			idx := u.prog*len(plats) + j
+			if u.transformed {
+				statsTrans[idx] = sts[x]
+			} else {
+				statsOrig[idx] = sts[x]
+			}
+		}
+		return nil
+	})
 }
 
 // RenderTable8 renders the cycle counts.

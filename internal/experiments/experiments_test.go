@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"context"
+	"os"
 	"strings"
 	"testing"
 
 	"bioperfload/internal/bio"
+	"bioperfload/internal/pipeline"
 	"bioperfload/internal/runner"
 )
 
@@ -261,5 +263,57 @@ func TestTable8AndFig9(t *testing.T) {
 	out := RenderTable8(cells) + RenderFig9(Fig9(cells))
 	if !strings.Contains(out, "speedup") || !strings.Contains(out, "hmean") {
 		t.Error("rendering broken")
+	}
+}
+
+// TestTable8FullGoldenAndCrossTier pins the full tier's Table 8 at
+// test size to a checked-in golden (the fast tier must never perturb
+// the paper-reproduction numbers) and checks the cross-tier contract:
+// both tiers report the exact functional instruction count for every
+// cell, because the fast tier's sampling extrapolates cycles but
+// takes instruction counts from the functional run.
+func TestTable8FullGoldenAndCrossTier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep")
+	}
+	ctx := context.Background()
+	s := runner.NewSession(0)
+	full, err := Table8SessionFidelity(ctx, s, bio.SizeTest, pipeline.FidelityFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := os.ReadFile("testdata/table8_full_test.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RenderTable8(full); got != string(want) {
+		t.Errorf("full-tier Table 8 at test size diverged from testdata/table8_full_test.golden:\n%s", got)
+	}
+
+	fast, err := Table8SessionFidelity(ctx, s, bio.SizeTest, pipeline.FidelityFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fast) != len(full) {
+		t.Fatalf("fast tier returned %d cells, full %d", len(fast), len(full))
+	}
+	for i := range full {
+		fu, fa := full[i], fast[i]
+		if fu.Program != fa.Program || fu.Platform != fa.Platform {
+			t.Fatalf("cell %d order mismatch: full %s/%s, fast %s/%s",
+				i, fu.Program, fu.Platform, fa.Program, fa.Platform)
+		}
+		if fa.StatsOrig.Instructions != fu.StatsOrig.Instructions {
+			t.Errorf("%s/%s original: fast tier counted %d instructions, full %d",
+				fa.Program, fa.Platform, fa.StatsOrig.Instructions, fu.StatsOrig.Instructions)
+		}
+		if fa.StatsTrans.Instructions != fu.StatsTrans.Instructions {
+			t.Errorf("%s/%s transformed: fast tier counted %d instructions, full %d",
+				fa.Program, fa.Platform, fa.StatsTrans.Instructions, fu.StatsTrans.Instructions)
+		}
+		if fa.CyclesOrig == 0 || fa.CyclesTrans == 0 {
+			t.Errorf("%s/%s: fast tier produced zero cycles", fa.Program, fa.Platform)
+		}
 	}
 }

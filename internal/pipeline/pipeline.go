@@ -20,15 +20,62 @@
 package pipeline
 
 import (
+	"fmt"
+
 	"bioperfload/internal/bpred"
 	"bioperfload/internal/cache"
 	"bioperfload/internal/isa"
 	"bioperfload/internal/sim"
 )
 
+// Fidelity selects the timing backend tier for a Config. The zero
+// value is the full cycle-level model, so existing configurations keep
+// their meaning; FidelityFast routes to the scoreboard latency model
+// (internal/scoreboard), which trades per-slot resource modeling for
+// an order-of-magnitude lower cost per instruction.
+type Fidelity uint8
+
+const (
+	// FidelityFull is the out-of-order dependence-graph Model in this
+	// package: per-slot issue search, window occupancy, load ports,
+	// store-to-load forwarding. The paper-reproduction tier.
+	FidelityFull Fidelity = iota
+	// FidelityFast is the reg-ready-time scoreboard tier: one ready
+	// time per register, width-adjusted issue cursor, branch predictor
+	// and cache hierarchy, sampled observation. Validated against the
+	// full tier by internal/scoreboard/validate.
+	FidelityFast
+)
+
+// String returns the flag spelling ("full" or "fast").
+func (f Fidelity) String() string {
+	if f == FidelityFast {
+		return "fast"
+	}
+	return "full"
+}
+
+// ParseFidelity parses a tier name. The empty string means full, so
+// absent JSON/flag values keep the paper-exact behavior unless the
+// caller chooses a different default.
+func ParseFidelity(s string) (Fidelity, error) {
+	switch s {
+	case "", "full":
+		return FidelityFull, nil
+	case "fast":
+		return FidelityFast, nil
+	}
+	return FidelityFull, fmt.Errorf("pipeline: unknown fidelity %q (full|fast)", s)
+}
+
 // Config parameterizes one modeled machine.
 type Config struct {
 	Name string
+
+	// Fidelity selects the timing backend tier; the zero value is the
+	// full model. Routing happens in runner.Session — NewModel in this
+	// package always builds the full model.
+	Fidelity Fidelity
 
 	// InOrder selects in-order issue (Itanium-style). Out-of-order
 	// issue otherwise.
@@ -158,29 +205,37 @@ type Model struct {
 	maxComplete int64
 }
 
+// Normalized returns cfg with unset structural and latency fields
+// replaced by the defaults NewModel has always applied, so both timing
+// tiers (and any code reading ExecLatency) see the same machine.
+func (c Config) Normalized() Config {
+	if c.FetchWidth <= 0 {
+		c.FetchWidth = 4
+	}
+	if c.IssueWidth <= 0 {
+		c.IssueWidth = 4
+	}
+	if c.RetireWidth <= 0 {
+		c.RetireWidth = c.FetchWidth
+	}
+	if c.WindowSize <= 0 {
+		c.WindowSize = 64
+	}
+	if c.LoadPorts <= 0 {
+		c.LoadPorts = 2
+	}
+	if c.BranchLat <= 0 {
+		c.BranchLat = 1
+	}
+	if c.IntALULat <= 0 {
+		c.IntALULat = 1
+	}
+	return c
+}
+
 // NewModel builds a timing model for cfg.
 func NewModel(cfg Config) *Model {
-	if cfg.FetchWidth <= 0 {
-		cfg.FetchWidth = 4
-	}
-	if cfg.IssueWidth <= 0 {
-		cfg.IssueWidth = 4
-	}
-	if cfg.RetireWidth <= 0 {
-		cfg.RetireWidth = cfg.FetchWidth
-	}
-	if cfg.WindowSize <= 0 {
-		cfg.WindowSize = 64
-	}
-	if cfg.LoadPorts <= 0 {
-		cfg.LoadPorts = 2
-	}
-	if cfg.BranchLat <= 0 {
-		cfg.BranchLat = 1
-	}
-	if cfg.IntALULat <= 0 {
-		cfg.IntALULat = 1
-	}
+	cfg = cfg.Normalized()
 	newPred := cfg.Predictor
 	if newPred == nil {
 		newPred = func() bpred.Predictor { return bpred.NewPaperHybrid() }
@@ -261,7 +316,7 @@ func (m *Model) Observe(ev *sim.Event) {
 	// ---- Operand readiness.
 	ready := dispatch
 	var srcs [3]int16
-	n, dst := deps(in, &srcs)
+	n, dst := Deps(in, &srcs)
 	for i := 0; i < n; i++ {
 		if t := m.regReady[srcs[i]]; t > ready {
 			ready = t
@@ -301,7 +356,7 @@ func (m *Model) Observe(ev *sim.Event) {
 	}
 
 	// ---- Execute.
-	lat := int64(m.execLatency(in.Op))
+	lat := int64(m.cfg.ExecLatency(in.Op))
 	if isLoad || isStore {
 		lvl, clat := m.hier.Access(ev.Addr, isStore)
 		if isLoad {
@@ -425,31 +480,35 @@ func (m *Model) advanceRing(dispatch int64) {
 	m.ringFloor = target
 }
 
-func (m *Model) execLatency(op isa.Op) int {
+// ExecLatency returns the functional-unit latency for op under this
+// configuration. Both timing tiers read latencies through here; call
+// it on a Normalized config, or unset latency fields come back 0.
+func (c *Config) ExecLatency(op isa.Op) int {
 	switch op {
 	case isa.OpMul:
-		return m.cfg.IntMulLat
+		return c.IntMulLat
 	case isa.OpDiv, isa.OpRem:
-		return m.cfg.IntDivLat
+		return c.IntDivLat
 	case isa.OpAddt, isa.OpSubt, isa.OpCmpTeq, isa.OpCmpTlt, isa.OpCmpTle,
 		isa.OpCvtQT, isa.OpCvtTQ, isa.OpFMov, isa.OpFNeg:
-		return m.cfg.FPALULat
+		return c.FPALULat
 	case isa.OpMult:
-		return m.cfg.FPMulLat
+		return c.FPMulLat
 	case isa.OpDivt:
-		return m.cfg.FPDivLat
+		return c.FPDivLat
 	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBle, isa.OpBgt, isa.OpBge:
-		return m.cfg.BranchLat
+		return c.BranchLat
 	default:
-		return m.cfg.IntALULat
+		return c.IntALULat
 	}
 }
 
-// deps fills srcs with the register-file indices (int regs 0..31, FP
+// Deps fills srcs with the register-file indices (int regs 0..31, FP
 // regs 32..63) the instruction reads, and returns the count and the
 // destination index (-1 if none). The hard-wired zero registers are
-// never reported: they are always ready and never written.
-func deps(in *isa.Inst, srcs *[3]int16) (n int, dst int) {
+// never reported: they are always ready and never written. Both timing
+// tiers share this dependence extraction.
+func Deps(in *isa.Inst, srcs *[3]int16) (n int, dst int) {
 	dst = -1
 	addSrc := func(r int16) {
 		if r == isa.RZero || r == fpBase+isa.FZero {

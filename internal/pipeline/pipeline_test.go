@@ -406,6 +406,25 @@ func TestZeroValueStatsHelpers(t *testing.T) {
 	if s.IPC() != 0 || s.MispredictRate() != 0 || s.AMAT() != 0 {
 		t.Error("zero stats helpers should be 0")
 	}
+	// Each helper guards its own denominator independently: a numerator
+	// without its denominator must not divide by zero, and the other
+	// helpers must be unaffected.
+	s = Stats{Instructions: 100, Mispredicts: 5, LoadLatencySum: 300}
+	if s.IPC() != 0 || s.MispredictRate() != 0 || s.AMAT() != 0 {
+		t.Errorf("numerators without denominators: IPC %v, rate %v, AMAT %v, want 0",
+			s.IPC(), s.MispredictRate(), s.AMAT())
+	}
+	s = Stats{Instructions: 100, Cycles: 50, CondBranches: 20, Mispredicts: 5,
+		Loads: 10, LoadLatencySum: 30}
+	if got := s.IPC(); got != 2 {
+		t.Errorf("IPC = %v, want 2", got)
+	}
+	if got := s.MispredictRate(); got != 0.25 {
+		t.Errorf("MispredictRate = %v, want 0.25", got)
+	}
+	if got := s.AMAT(); got != 3 {
+		t.Errorf("AMAT = %v, want 3", got)
+	}
 }
 
 func BenchmarkModelThroughput(b *testing.B) {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"bioperfload/internal/cache"
+	"bioperfload/internal/compiler"
 	"bioperfload/internal/pipeline"
 )
 
@@ -128,6 +129,27 @@ func Itanium2() Platform {
 		IntRegs: 128, FPRegs: 128, AllocIntRegs: 48, AllocFPRegs: 48,
 		Description: "Itanium 2, 1.6 GHz, 16KB 4-way L1D (1-cycle), in-order 6-issue, 128 GPR/128 FPR",
 	}
+}
+
+// EvalOptions returns the compiler options a timing evaluation uses
+// on this platform: the default optimization level under the
+// platform's allocatable-register budget. Platforms with equal
+// EvalOptions compile to identical programs, which is what lets the
+// fast tier share one functional run across them.
+func (p Platform) EvalOptions() compiler.Options {
+	return compiler.Options{
+		Opt:          compiler.Default().Opt,
+		AllocIntRegs: p.AllocIntRegs,
+		AllocFPRegs:  p.AllocFPRegs,
+	}
+}
+
+// WithFidelity returns a copy of the platform with the timing tier
+// set — the tier-selection hook callers (service, CLIs) use to route
+// a platform's evaluations to the fast scoreboard or the full model.
+func (p Platform) WithFidelity(f pipeline.Fidelity) Platform {
+	p.Pipeline.Fidelity = f
+	return p
 }
 
 // All returns the four platforms in the paper's Table 7/8 order.

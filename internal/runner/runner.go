@@ -37,6 +37,7 @@ import (
 	"bioperfload/internal/loadchar"
 	"bioperfload/internal/pipeline"
 	"bioperfload/internal/platform"
+	"bioperfload/internal/scoreboard"
 	"bioperfload/internal/sim"
 	"bioperfload/internal/store"
 )
@@ -297,39 +298,86 @@ func (s *Session) CharacterizeAll(ctx context.Context, sz bio.Size) ([]*Profile,
 // the compile cache, and returns the cycle-level statistics. The
 // timing run itself is never cached: each call trains a fresh model.
 func (s *Session) Evaluate(ctx context.Context, p *bio.Program, plat platform.Platform, sz bio.Size, transformed bool) (pipeline.Stats, error) {
-	opts := compiler.Options{
-		Opt:          compiler.Default().Opt,
-		AllocIntRegs: plat.AllocIntRegs,
-		AllocFPRegs:  plat.AllocFPRegs,
-	}
-	return s.EvaluateOpts(ctx, p, plat.Pipeline, opts, sz, transformed)
+	return s.EvaluateOpts(ctx, p, plat.Pipeline, plat.EvalOptions(), sz, transformed)
 }
 
 // EvaluateOpts is Evaluate with an explicit pipeline configuration
-// and compiler options (the ablations sweep both).
+// and compiler options (the ablations sweep both). cfg.Fidelity
+// selects the timing tier: the full out-of-order model, or the fast
+// scoreboard tier with sampled observation.
 func (s *Session) EvaluateOpts(ctx context.Context, p *bio.Program, cfg pipeline.Config, opts compiler.Options, sz bio.Size, transformed bool) (pipeline.Stats, error) {
+	sts, err := s.EvaluateGroup(ctx, p, []pipeline.Config{cfg}, opts, sz, transformed)
+	if err != nil {
+		return pipeline.Stats{}, err
+	}
+	return sts[0], nil
+}
+
+// timingModel is the contract both timing tiers satisfy: slab-batched
+// event delivery plus end-of-run statistics.
+type timingModel interface {
+	sim.BatchObserver
+	Stats() pipeline.Stats
+}
+
+// EvaluateGroup runs several timing models over ONE functional
+// simulation of (program, variant, opts): every config's model is
+// attached to the same machine and fed the same committed-instruction
+// stream, so a group of k machine configs costs one functional run
+// plus k model updates instead of k full simulations. This is what
+// makes fast-tier Table 8 and the platform sweeps cheap — platforms
+// sharing a register budget share the stream.
+//
+// Each config routes by its Fidelity. When every config selects the
+// fast tier, the machine samples the stream (scoreboard.SampleObserve
+// of every SamplePeriod instructions) and each scoreboard extrapolates
+// via Finalize; if any config needs the full model, the whole group
+// observes the complete stream. Results are returned in cfg order.
+func (s *Session) EvaluateGroup(ctx context.Context, p *bio.Program, cfgs []pipeline.Config, opts compiler.Options, sz bio.Size, transformed bool) ([]pipeline.Stats, error) {
+	if len(cfgs) == 0 {
+		return nil, nil
+	}
 	prog, err := s.Compile(p, transformed, opts)
 	if err != nil {
-		return pipeline.Stats{}, fmt.Errorf("%s: %w", p.Name, err)
+		return nil, fmt.Errorf("%s: %w", p.Name, err)
 	}
 	m, err := sim.New(prog)
 	if err != nil {
-		return pipeline.Stats{}, err
+		return nil, err
 	}
 	if err := p.Bind(m, sz); err != nil {
-		return pipeline.Stats{}, fmt.Errorf("%s: bind: %w", p.Name, err)
+		return nil, fmt.Errorf("%s: bind: %w", p.Name, err)
 	}
-	model := pipeline.NewModel(cfg)
-	m.AddObserver(model)
+	models := make([]timingModel, len(cfgs))
+	allFast := true
+	for i, cfg := range cfgs {
+		if cfg.Fidelity == pipeline.FidelityFast {
+			models[i] = scoreboard.NewModel(cfg)
+		} else {
+			allFast = false
+			models[i] = pipeline.NewModel(cfg)
+		}
+		m.AddBatchObserver(models[i])
+	}
+	if allFast {
+		m.SetSampling(scoreboard.SampleObserve, scoreboard.SamplePeriod)
+	}
 	s.runs.Add(1)
 	res, err := m.RunContext(ctx)
 	if err != nil {
-		return pipeline.Stats{}, fmt.Errorf("%s: %w", p.Name, err)
+		return nil, fmt.Errorf("%s: %w", p.Name, err)
 	}
 	if err := p.Validate(res, sz); err != nil {
-		return pipeline.Stats{}, err
+		return nil, err
 	}
-	return model.Stats(), nil
+	out := make([]pipeline.Stats, len(cfgs))
+	for i, md := range models {
+		if sb, ok := md.(*scoreboard.Model); ok {
+			sb.Finalize(res.Instructions)
+		}
+		out[i] = md.Stats()
+	}
+	return out, nil
 }
 
 // ForEach invokes fn(i) for every i in [0, n), fanning the calls out

@@ -1,0 +1,94 @@
+package scoreboard
+
+import "bioperfload/internal/bpred"
+
+// densePredictor is the scoreboard's default branch predictor: the
+// same McFarling-style hybrid as bpred.Hybrid (per-static-branch local
+// history and pattern table, shared gshare, per-branch choice
+// counter), but with the per-branch state in a PC-indexed slice
+// instead of a map. Branch PCs are small static instruction indices,
+// so direct indexing removes the map lookup that dominates the hybrid
+// predictor's cost at fast-tier event rates. TestDenseMatchesHybrid
+// pins prediction-for-prediction equivalence with bpred.NewPaperHybrid.
+type densePredictor struct {
+	lmask uint64
+	gmask uint64
+	ghist uint64
+
+	gshare   []uint8
+	branches []branchState
+}
+
+// branchState is one static branch's local predictor. The pattern
+// table is allocated on first execution; a nil pattern marks a branch
+// never seen, matching the lazily-created map entries of bpred.Hybrid.
+type branchState struct {
+	hist    uint64
+	pattern []uint8
+	choice  uint8 // 0,1 favor global; 2,3 favor local
+}
+
+func newDensePredictor(cfg bpred.HybridConfig) *densePredictor {
+	return &densePredictor{
+		lmask:  (1 << cfg.LocalHistoryBits) - 1,
+		gmask:  (1 << cfg.GlobalHistoryBits) - 1,
+		gshare: make([]uint8, 1<<cfg.GlobalHistoryBits),
+	}
+}
+
+// observe predicts, trains, and reports whether the branch was
+// mispredicted, with update rules identical to bpred.Hybrid.
+func (d *densePredictor) observe(pc int32, taken bool) bool {
+	i := int(pc)
+	if i >= len(d.branches) {
+		grown := make([]branchState, i+i/2+16)
+		copy(grown, d.branches)
+		d.branches = grown
+	}
+	b := &d.branches[i]
+	if b.pattern == nil {
+		b.pattern = make([]uint8, d.lmask+1)
+		for j := range b.pattern {
+			b.pattern[j] = 2 // weakly taken
+		}
+		b.choice = 2 // weakly favor local
+	}
+	li := b.hist & d.lmask
+	gi := (uint64(uint32(pc)) ^ d.ghist) & d.gmask
+	localPred := b.pattern[li] >= 2
+	globalPred := d.gshare[gi] >= 2
+	pred := globalPred
+	if b.choice >= 2 {
+		pred = localPred
+	}
+
+	// Train the choice counter toward whichever component was right
+	// when they disagree.
+	if localPred != globalPred {
+		b.choice = train(b.choice, localPred == taken)
+	}
+	b.pattern[li] = train(b.pattern[li], taken)
+	d.gshare[gi] = train(d.gshare[gi], taken)
+
+	var bit uint64
+	if taken {
+		bit = 1
+	}
+	b.hist = (b.hist << 1) | bit
+	d.ghist = (d.ghist << 1) | bit
+	return pred != taken
+}
+
+// train advances a saturating 2-bit counter.
+func train(c uint8, taken bool) uint8 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}

@@ -43,6 +43,7 @@ type Metrics struct {
 	mu       sync.Mutex
 	requests map[string]uint64     // "route|code" -> count
 	jobs     map[string]uint64     // "kind|status" -> count
+	timing   map[string]uint64     // "kind|fidelity" -> count
 	latency  map[string]*histogram // route -> request latency
 	jobTime  map[string]*histogram // kind -> job queue-to-finish time
 }
@@ -52,6 +53,7 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		requests: make(map[string]uint64),
 		jobs:     make(map[string]uint64),
+		timing:   make(map[string]uint64),
 		latency:  make(map[string]*histogram),
 		jobTime:  make(map[string]*histogram),
 	}
@@ -69,6 +71,15 @@ func (m *Metrics) ObserveRequest(route string, code int, d time.Duration) {
 		m.latency[route] = h
 	}
 	h.observe(d.Seconds())
+}
+
+// ObserveTiming records one admitted timing job's kind and fidelity
+// tier, so operators can see which tier (fast scoreboard vs full
+// pipeline model) is actually serving traffic.
+func (m *Metrics) ObserveTiming(kind, fidelity string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.timing[kind+"|"+fidelity]++
 }
 
 // ObserveJob records one finished job's kind, terminal status, and
@@ -107,6 +118,13 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	for _, k := range sortedKeys(m.jobs) {
 		kind, status := splitKey(k)
 		fmt.Fprintf(w, "bioperfd_jobs_total{kind=%q,status=%q} %d\n", kind, status, m.jobs[k])
+	}
+
+	fmt.Fprintln(w, "# HELP bioperfd_timing_requests_total Admitted timing jobs by kind and fidelity tier.")
+	fmt.Fprintln(w, "# TYPE bioperfd_timing_requests_total counter")
+	for _, k := range sortedKeys(m.timing) {
+		kind, fid := splitKey(k)
+		fmt.Fprintf(w, "bioperfd_timing_requests_total{kind=%q,fidelity=%q} %d\n", kind, fid, m.timing[k])
 	}
 
 	fmt.Fprintln(w, "# HELP bioperfd_job_duration_seconds Job queue-to-finish time.")

@@ -17,8 +17,13 @@
 // Endpoints:
 //
 //	POST /v1/characterize   {program, size, hot?, timeout_ms?, wait?}
-//	POST /v1/evaluate       {program, platform, size, transformed?, timeout_ms?, wait?}
-//	POST /v1/sweep          {kind, programs?, platforms?, size, hot?, timeout_ms?, wait?}
+//	POST /v1/evaluate       {program, platform, size, transformed?, fidelity?, timeout_ms?, wait?}
+//	POST /v1/sweep          {kind, programs?, platforms?, size, hot?, fidelity?, timeout_ms?, wait?}
+//
+// Timing requests (evaluate, evaluate sweeps) accept a fidelity tier:
+// "fast" (default) answers from the validated scoreboard model,
+// "full" from the exact paper-reproduction pipeline model.
+//
 //	GET  /v1/jobs/{id}      job status + result
 //	GET  /v1/jobs/{id}/events   NDJSON progress stream
 //	GET  /healthz           liveness + queue/session snapshot
@@ -136,8 +141,12 @@ type EvaluateRequest struct {
 	Platform    string `json:"platform"`
 	Size        string `json:"size,omitempty"`
 	Transformed bool   `json:"transformed,omitempty"`
-	TimeoutMS   int64  `json:"timeout_ms,omitempty"`
-	Wait        bool   `json:"wait,omitempty"`
+	// Fidelity selects the timing tier: "fast" (default — the
+	// validated scoreboard approximation) or "full" (the exact
+	// paper-reproduction pipeline model, about 10x slower).
+	Fidelity  string `json:"fidelity,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	Wait      bool   `json:"wait,omitempty"`
 }
 
 // SweepRequest is the POST /v1/sweep body: one job that fans a
@@ -149,6 +158,7 @@ type SweepRequest struct {
 	Platforms []string `json:"platforms,omitempty"` // evaluate only; default: all four
 	Size      string   `json:"size,omitempty"`
 	Hot       int      `json:"hot,omitempty"`
+	Fidelity  string   `json:"fidelity,omitempty"` // evaluate only; fast (default) | full
 	TimeoutMS int64    `json:"timeout_ms,omitempty"`
 	Wait      bool     `json:"wait,omitempty"`
 }
@@ -219,6 +229,7 @@ type EvaluateResult struct {
 	Platform      string  `json:"platform"`
 	Size          string  `json:"size"`
 	Transformed   bool    `json:"transformed"`
+	Fidelity      string  `json:"fidelity"`
 	Instructions  uint64  `json:"instructions"`
 	Cycles        uint64  `json:"cycles"`
 	IPC           float64 `json:"ipc"`
@@ -245,6 +256,7 @@ type SweepEvaluateItem struct {
 type SweepResult struct {
 	Kind         string               `json:"kind"`
 	Size         string               `json:"size"`
+	Fidelity     string               `json:"fidelity,omitempty"` // evaluate sweeps only
 	Characterize []CharacterizeResult `json:"characterize,omitempty"`
 	Evaluate     []SweepEvaluateItem  `json:"evaluate,omitempty"`
 }
@@ -262,6 +274,7 @@ type evalSpec struct {
 	plat        platform.Platform
 	sz          bio.Size
 	transformed bool
+	fid         pipeline.Fidelity
 }
 
 type sweepSpec struct {
@@ -270,6 +283,7 @@ type sweepSpec struct {
 	plats []platform.Platform
 	sz    bio.Size
 	hot   int
+	fid   pipeline.Fidelity
 }
 
 func parseSizeDefault(s string) (bio.Size, error) {
@@ -282,6 +296,19 @@ func parseSizeDefault(s string) (bio.Size, error) {
 		return bio.SizeC, nil
 	}
 	return 0, fmt.Errorf("unknown size %q (test|classB|classC)", s)
+}
+
+// parseFidelityDefault resolves a request's fidelity field. Unlike
+// pipeline.ParseFidelity (where empty means the zero value, full), an
+// absent field here selects the FAST tier: the service exists to
+// answer interactively, and the scoreboard's validated ratios are the
+// product it serves; callers wanting the exact paper numbers opt in
+// with "full".
+func parseFidelityDefault(s string) (pipeline.Fidelity, error) {
+	if s == "" {
+		return pipeline.FidelityFast, nil
+	}
+	return pipeline.ParseFidelity(s)
 }
 
 // --- executors ---
@@ -347,9 +374,9 @@ func characterizeResult(prof *runner.Profile, sz bio.Size, hot int) Characterize
 }
 
 func (s *Server) runEvaluate(ctx context.Context, j *Job, spec evalSpec) (any, error) {
-	j.Event("timing %s (transformed=%v) on %s at %s",
-		spec.prog.Name, spec.transformed, spec.plat.Name, spec.sz)
-	st, err := s.session.Evaluate(ctx, spec.prog, spec.plat, spec.sz, spec.transformed)
+	j.Event("timing %s (transformed=%v) on %s at %s, %s tier",
+		spec.prog.Name, spec.transformed, spec.plat.Name, spec.sz, spec.fid)
+	st, err := s.session.Evaluate(ctx, spec.prog, spec.plat.WithFidelity(spec.fid), spec.sz, spec.transformed)
 	if err != nil {
 		return nil, err
 	}
@@ -361,6 +388,7 @@ func evaluateResult(spec evalSpec, st pipeline.Stats) EvaluateResult {
 	return EvaluateResult{
 		Program: spec.prog.Name, Platform: spec.plat.Name,
 		Size: spec.sz.String(), Transformed: spec.transformed,
+		Fidelity:     spec.fid.String(),
 		Instructions: st.Instructions, Cycles: st.Cycles, IPC: st.IPC(),
 		CondBranches: st.CondBranches, MispredictPct: 100 * st.MispredictRate(),
 		Loads: st.Loads, AMAT: st.AMAT(),
@@ -389,16 +417,17 @@ func (s *Server) runSweep(ctx context.Context, j *Job, spec sweepSpec) (any, err
 		}
 		out.Characterize = results
 	case "evaluate":
+		out.Fidelity = spec.fid.String()
 		nCells := len(spec.progs) * len(spec.plats)
-		j.Event("sweeping %d programs x %d platforms (original and transformed) at %s",
-			len(spec.progs), len(spec.plats), spec.sz)
+		j.Event("sweeping %d programs x %d platforms (original and transformed) at %s, %s tier",
+			len(spec.progs), len(spec.plats), spec.sz, spec.fid)
 		orig := make([]uint64, nCells)
 		trans := make([]uint64, nCells)
 		err := s.session.ForEach(ctx, nCells*2, func(k int) error {
 			i, transformed := k/2, k%2 == 1
 			p := spec.progs[i/len(spec.plats)]
 			plat := spec.plats[i%len(spec.plats)]
-			st, err := s.session.Evaluate(ctx, p, plat, spec.sz, transformed)
+			st, err := s.session.Evaluate(ctx, p, plat.WithFidelity(spec.fid), spec.sz, transformed)
 			if err != nil {
 				return err
 			}
@@ -450,6 +479,12 @@ func decodeBody(r *http.Request, v any) error {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("invalid request body: %w", err)
+	}
+	// One JSON document per request: trailing data is a malformed
+	// request (a concatenated second document would silently be
+	// ignored otherwise).
+	if dec.More() {
+		return fmt.Errorf("invalid request body: unexpected data after JSON document")
 	}
 	return nil
 }
@@ -531,8 +566,14 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
-	key := fmt.Sprintf("evaluate|%s|%s|%s|transformed=%v", prog.Name, plat.Name, sz, req.Transformed)
-	spec := evalSpec{prog: prog, plat: plat, sz: sz, transformed: req.Transformed}
+	fid, err := parseFidelityDefault(req.Fidelity)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	s.metrics.ObserveTiming("evaluate", fid.String())
+	key := fmt.Sprintf("evaluate|%s|%s|%s|transformed=%v|fid=%s", prog.Name, plat.Name, sz, req.Transformed, fid)
+	spec := evalSpec{prog: prog, plat: plat, sz: sz, transformed: req.Transformed, fid: fid}
 	s.submit(w, r, "evaluate", key, spec, req.TimeoutMS, req.Wait)
 }
 
@@ -553,9 +594,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	switch req.Kind {
 	case "characterize":
+		if req.Fidelity != "" {
+			err = fmt.Errorf("fidelity applies to evaluate sweeps only")
+			break
+		}
 		spec.progs, err = resolvePrograms(req.Programs, bio.All())
 	case "evaluate":
-		spec.progs, err = resolvePrograms(req.Programs, bio.Transformed())
+		spec.fid, err = parseFidelityDefault(req.Fidelity)
+		if err == nil {
+			spec.progs, err = resolvePrograms(req.Programs, bio.Transformed())
+		}
 		if err == nil {
 			spec.plats, err = resolvePlatforms(req.Platforms)
 		}
@@ -566,6 +614,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
+	if req.Kind == "evaluate" {
+		s.metrics.ObserveTiming("sweep", spec.fid.String())
+	}
 	names := make([]string, len(spec.progs))
 	for i, p := range spec.progs {
 		names[i] = p.Name
@@ -574,8 +625,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for i, p := range spec.plats {
 		platNames[i] = p.Name
 	}
-	key := fmt.Sprintf("sweep|%s|%s|hot=%d|progs=%s|plats=%s",
-		req.Kind, sz, spec.hot, strings.Join(names, ","), strings.Join(platNames, ","))
+	key := fmt.Sprintf("sweep|%s|%s|hot=%d|fid=%s|progs=%s|plats=%s",
+		req.Kind, sz, spec.hot, spec.fid, strings.Join(names, ","), strings.Join(platNames, ","))
 	s.submit(w, r, "sweep", key, spec, req.TimeoutMS, req.Wait)
 }
 

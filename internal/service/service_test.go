@@ -566,3 +566,108 @@ func TestEventsSubscriberDrainOnDisconnect(t *testing.T) {
 		t.Fatalf("%d subscribers after job completion", n)
 	}
 }
+
+// TestFidelityRoutingAndStrictDecode covers the timing-tier plumbing:
+// the fidelity field routes to the right model (default fast), bad
+// tiers and misplaced fields are rejected, a request body with
+// trailing data is rejected, and the per-tier counter shows up in
+// /metrics.
+func TestFidelityRoutingAndStrictDecode(t *testing.T) {
+	_, ts := newTestServer(t, Config{Session: runner.NewSession(1)})
+
+	eval := func(extra map[string]any) EvaluateResult {
+		t.Helper()
+		req := map[string]any{
+			"program": "hmmsearch", "platform": "alpha21264", "size": "test", "wait": true,
+		}
+		for k, v := range extra {
+			req[k] = v
+		}
+		resp, body := postJSON(t, ts.URL+"/v1/evaluate", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("evaluate %v: HTTP %d: %s", extra, resp.StatusCode, body)
+		}
+		var ev struct {
+			Status Status         `json:"status"`
+			Result EvaluateResult `json:"result"`
+		}
+		if err := json.Unmarshal(body, &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Status != StatusDone {
+			t.Fatalf("evaluate %v: %s", extra, body)
+		}
+		return ev.Result
+	}
+
+	def := eval(nil)
+	if def.Fidelity != "fast" {
+		t.Errorf("default fidelity = %q, want fast", def.Fidelity)
+	}
+	fast := eval(map[string]any{"fidelity": "fast"})
+	full := eval(map[string]any{"fidelity": "full"})
+	if fast.Fidelity != "fast" || full.Fidelity != "full" {
+		t.Errorf("fidelity echoes: fast=%q full=%q", fast.Fidelity, full.Fidelity)
+	}
+	if fast.Cycles != def.Cycles {
+		t.Errorf("explicit fast (%d cycles) differs from default (%d)", fast.Cycles, def.Cycles)
+	}
+	// Both tiers ride the same functional run: identical instruction
+	// counts, different cycle estimates.
+	if fast.Instructions != full.Instructions {
+		t.Errorf("fast counted %d instructions, full %d", fast.Instructions, full.Instructions)
+	}
+	if fast.Cycles == full.Cycles {
+		t.Errorf("fast and full both report %d cycles; tiers are not being routed", fast.Cycles)
+	}
+
+	// Rejection table: every malformed timing request must 400.
+	rejects := []struct {
+		name string
+		url  string
+		req  map[string]any
+	}{
+		{"bad evaluate fidelity", "/v1/evaluate",
+			map[string]any{"program": "hmmsearch", "platform": "alpha21264", "fidelity": "approximate"}},
+		{"bad sweep fidelity", "/v1/sweep",
+			map[string]any{"kind": "evaluate", "fidelity": "approximate"}},
+		{"fidelity on characterize sweep", "/v1/sweep",
+			map[string]any{"kind": "characterize", "fidelity": "fast"}},
+		{"unknown evaluate field", "/v1/evaluate",
+			map[string]any{"program": "hmmsearch", "platform": "alpha21264", "fidelty": "fast"}},
+	}
+	for _, rc := range rejects {
+		resp, body := postJSON(t, ts.URL+rc.url, rc.req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d: %s", rc.name, resp.StatusCode, body)
+		}
+	}
+
+	// Trailing data after the JSON document is malformed.
+	resp, err := http.Post(ts.URL+"/v1/evaluate", "application/json",
+		strings.NewReader(`{"program":"hmmsearch","platform":"alpha21264"}{"again":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trailBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("trailing JSON: HTTP %d: %s", resp.StatusCode, trailBody)
+	}
+
+	// The per-tier counters must appear in /metrics.
+	mResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mResp.Body)
+	mResp.Body.Close()
+	for _, want := range []string{
+		`bioperfd_timing_requests_total{kind="evaluate",fidelity="fast"} 2`,
+		`bioperfd_timing_requests_total{kind="evaluate",fidelity="full"} 1`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

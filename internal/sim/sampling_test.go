@@ -1,0 +1,97 @@
+package sim
+
+import "testing"
+
+// seqRecorder records the Seq of every delivered event.
+type seqRecorder struct {
+	seqs []uint64
+}
+
+func (r *seqRecorder) ObserveBatch(evs []Event) {
+	for i := range evs {
+		r.seqs = append(r.seqs, evs[i].Seq)
+	}
+}
+
+// TestSamplingWindows checks SetSampling's contract: only the first
+// `observe` committed instructions of every `period`-sized window are
+// delivered, windows are aligned to the committed-instruction count,
+// and the functional result is unaffected.
+func TestSamplingWindows(t *testing.T) {
+	const observe, period = 4, 16
+
+	full, err := New(sumProgram(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := full.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := New(sumProgram(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &seqRecorder{}
+	m.AddBatchObserver(rec)
+	m.SetSampling(observe, period)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Instructions != ref.Instructions {
+		t.Errorf("sampled run committed %d instructions, unsampled %d",
+			res.Instructions, ref.Instructions)
+	}
+	if len(res.IntOutput) != 1 || res.IntOutput[0] != ref.IntOutput[0] {
+		t.Errorf("sampled output %v, unsampled %v", res.IntOutput, ref.IntOutput)
+	}
+
+	// Exactly the in-window events, in order.
+	var want []uint64
+	for seq := uint64(0); seq < ref.Instructions; seq++ {
+		if seq%period < observe {
+			want = append(want, seq)
+		}
+	}
+	if len(rec.seqs) != len(want) {
+		t.Fatalf("observed %d events, want %d", len(rec.seqs), len(want))
+	}
+	for i := range want {
+		if rec.seqs[i] != want[i] {
+			t.Fatalf("event %d has Seq %d, want %d", i, rec.seqs[i], want[i])
+		}
+	}
+}
+
+// TestSamplingDisabled checks the degenerate parameter cases: zero
+// observe/period or observe >= period turn sampling off, delivering
+// the complete stream.
+func TestSamplingDisabled(t *testing.T) {
+	cases := []struct{ observe, period uint64 }{
+		{0, 0},
+		{0, 16},
+		{16, 0},
+		{16, 16},
+		{32, 16},
+	}
+	for _, c := range cases {
+		m, err := New(sumProgram(50))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := &seqRecorder{}
+		m.AddBatchObserver(rec)
+		m.SetSampling(c.observe, c.period)
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uint64(len(rec.seqs)) != res.Instructions {
+			t.Errorf("SetSampling(%d, %d): observed %d of %d events, want all",
+				c.observe, c.period, len(rec.seqs), res.Instructions)
+		}
+	}
+}

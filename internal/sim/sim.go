@@ -104,6 +104,12 @@ type Machine struct {
 
 	observers []BatchObserver
 	slab      []Event // recycled event slab shared by all observers
+
+	// Sampling window (SetSampling): when smpPeriod > 0, only the
+	// first smpObserve committed instructions of every smpPeriod-sized
+	// window are delivered to observers.
+	smpObserve uint64
+	smpPeriod  uint64
 }
 
 // DefaultFuel bounds runaway programs (10 billion instructions).
@@ -207,6 +213,26 @@ func (m *Machine) Run() (*Result, error) {
 	return m.RunContext(context.Background())
 }
 
+// SetSampling restricts observer delivery to the first observe
+// committed instructions of every period-instruction window, aligned
+// to the committed-instruction count. The gate toggles only at window
+// boundaries of the chunked execution loop, so the skipped stretches
+// run at bare functional speed with zero per-instruction cost — this
+// is what lets a sampled timing model ride a full-length functional
+// run. Result.Instructions still counts every committed instruction.
+//
+// Sampling silently drops events, so it must never be combined with
+// observers that need the complete stream (characterization analyses,
+// trace recording); only sampling-aware timing models opt in.
+// observe == 0, period == 0, or observe >= period disables sampling.
+func (m *Machine) SetSampling(observe, period uint64) {
+	if observe == 0 || period == 0 || observe >= period {
+		m.smpObserve, m.smpPeriod = 0, 0
+		return
+	}
+	m.smpObserve, m.smpPeriod = observe, period
+}
+
 // CancelCheckInterval is how many instructions execute between
 // context-cancellation checks in RunContext. The check lives outside
 // the per-instruction hot loop — execution proceeds in chunks of this
@@ -251,9 +277,32 @@ func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 	}
 
 	for {
+		// obs gates event delivery for this chunk. With sampling
+		// active, the chunk is additionally clipped to the current
+		// observe/skip window boundary so the gate only toggles here,
+		// never inside the hot loop.
+		obs := hasObs
 		stop := res.Instructions + CancelCheckInterval
+		if obs && m.smpPeriod > 0 {
+			pos := res.Instructions % m.smpPeriod
+			var boundary uint64
+			if pos < m.smpObserve {
+				boundary = res.Instructions + (m.smpObserve - pos)
+			} else {
+				obs = false
+				boundary = res.Instructions + (m.smpPeriod - pos)
+			}
+			if stop > boundary {
+				stop = boundary
+			}
+		}
 		if stop > fuel {
 			stop = fuel
+		}
+		if !obs {
+			// Entering a skip window: hand observers the tail of the
+			// previous observed window first, in order.
+			flush()
 		}
 		for res.Instructions < stop {
 			pc := m.PC
@@ -422,16 +471,16 @@ func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 			case isa.OpHalt:
 				res.Instructions++
 				res.ExitCode = m.R[0]
-				if hasObs {
+				if obs {
 					m.slab = append(m.slab, Event{Seq: res.Instructions - 1, PC: pc, Inst: in, Target: next})
-					flush()
 				}
+				flush()
 				return res, nil
 			default:
 				return fail(&Trap{PC: pc, Msg: "illegal opcode " + in.Op.String()})
 			}
 
-			if hasObs {
+			if obs {
 				m.slab = append(m.slab, Event{
 					Seq: res.Instructions, PC: pc, Inst: in,
 					Addr: addr, Taken: taken, Target: next,
