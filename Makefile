@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check vet build test race race-concurrent smoke fuzz-smoke serve-smoke experiments bench bench-service bench-trace validate-timing sweep-smoke
+.PHONY: check fmt-check vet build test race race-concurrent smoke fuzz-smoke serve-smoke cluster-smoke experiments bench bench-service bench-trace validate-timing sweep-smoke
 
 # check is the full gate: formatting, static analysis, build, the
 # race-enabled test suite, and an end-to-end experiments smoke run.
@@ -29,7 +29,7 @@ race:
 # queue and event streams, session singleflight — with repeated runs
 # under the race detector.
 race-concurrent:
-	$(GO) test -race -count 3 ./internal/loadchar ./internal/trace ./internal/service ./internal/runner
+	$(GO) test -race -count 3 ./internal/loadchar ./internal/trace ./internal/service ./internal/runner ./internal/cluster
 
 # smoke regenerates every table and figure at test size through the
 # parallel session, proving the whole pipeline end to end.
@@ -120,6 +120,57 @@ serve-smoke:
 		|| { echo "serve-smoke: warm characterize was not served from the store" >&2; exit 1; }; \
 	kill -TERM $$pid; wait $$pid; \
 	echo "serve-smoke: OK (cold boot + warm restart from store)"
+
+# cluster-smoke proves the fleet end to end: boot three daemons with
+# separate stores joined by -peers, compute one characterization cold
+# on node 1, then show nodes 2 and 3 answer the same request with ZERO
+# simulations of their own — served through the peer artifact tier (or
+# a replicated snapshot), asserted on each node's /metrics counters.
+# -replicas 0 keeps at most one pushed copy, so at least one of the
+# two warm nodes must fetch from a peer.
+CLUSTER_ADDR1 ?= 127.0.0.1:18981
+CLUSTER_ADDR2 ?= 127.0.0.1:18982
+CLUSTER_ADDR3 ?= 127.0.0.1:18983
+cluster-smoke:
+	$(GO) build -o bioperfd.cluster ./cmd/bioperfd
+	@set -e; s1=$$(mktemp -d); s2=$$(mktemp -d); s3=$$(mktemp -d); \
+	u1=http://$(CLUSTER_ADDR1); u2=http://$(CLUSTER_ADDR2); u3=http://$(CLUSTER_ADDR3); \
+	./bioperfd.cluster -addr $(CLUSTER_ADDR1) -store $$s1 -self $$u1 -peers $$u2,$$u3 -replicas 0 & p1=$$!; \
+	./bioperfd.cluster -addr $(CLUSTER_ADDR2) -store $$s2 -self $$u2 -peers $$u1,$$u3 -replicas 0 & p2=$$!; \
+	./bioperfd.cluster -addr $(CLUSTER_ADDR3) -store $$s3 -self $$u3 -peers $$u1,$$u2 -replicas 0 & p3=$$!; \
+	trap 'kill $$p1 $$p2 $$p3 2>/dev/null || true; rm -rf bioperfd.cluster "$$s1" "$$s2" "$$s3"' EXIT; \
+	for u in $$u1 $$u2 $$u3; do \
+		ok=; for i in $$(seq 1 100); do \
+			curl -sf $$u/healthz >/dev/null 2>&1 && ok=1 && break; \
+			sleep 0.1; \
+		done; \
+		test -n "$$ok" || { echo "cluster-smoke: $$u never became healthy" >&2; exit 1; }; \
+	done; \
+	curl -sf -X POST $$u1/v1/characterize \
+		-d '{"program":"hmmsearch","size":"test","wait":true}' \
+		| grep -q '"status": "done"' \
+		|| { echo "cluster-smoke: cold characterize on node 1 failed" >&2; exit 1; }; \
+	curl -sf $$u1/metrics | grep -q 'bioperfd_serve_source_total{source="cold"} 1' \
+		|| { echo "cluster-smoke: node 1 did not count a cold characterize" >&2; exit 1; }; \
+	peer=0; \
+	for u in $$u2 $$u3; do \
+		curl -sf -X POST $$u/v1/characterize \
+			-d '{"program":"hmmsearch","size":"test","wait":true}' \
+			| grep -q '"status": "done"' \
+			|| { echo "cluster-smoke: warm characterize on $$u failed" >&2; exit 1; }; \
+		curl -sf $$u/metrics | grep -q 'bioperfd_serve_source_total{source="cold"} 0' \
+			|| { echo "cluster-smoke: $$u re-simulated instead of serving warm" >&2; exit 1; }; \
+		curl -sf $$u/metrics | grep -q 'bioperfd_session_runs 0' \
+			|| { echo "cluster-smoke: $$u ran a simulation" >&2; exit 1; }; \
+		n=$$(curl -sf $$u/metrics | sed -n 's/^bioperfd_serve_source_total{source="peer"} //p'); \
+		peer=$$((peer+n)); \
+	done; \
+	test "$$peer" -ge 1 \
+		|| { echo "cluster-smoke: no node served from the peer tier" >&2; exit 1; }; \
+	curl -sf $$u2/healthz | grep -q '"cluster"' \
+		|| { echo "cluster-smoke: healthz lacks the cluster section" >&2; exit 1; }; \
+	kill -TERM $$p1 $$p2 $$p3; wait $$p1 $$p2 $$p3 || true; \
+	echo "cluster-smoke: OK (cold on node 1, peer-served on nodes 2 and 3, $$peer peer fetches)"
 
 # bench-service records the daemon's cold vs cached characterize
 # latency over the loopback API at paper scale.

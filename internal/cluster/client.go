@@ -1,0 +1,318 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Artifact transfer headers. Every peer response (and replication
+// push) carries the content's SHA-256 and CRC32 so the receiver can
+// verify the body before trusting it; the store recomputes both again
+// on admission. A peer whose headers disagree with its body — bit
+// flips, truncation, or a lying peer — is treated as corrupt.
+const (
+	HeaderSHA256 = "X-Bioperf-Sha256"
+	HeaderCRC32  = "X-Bioperf-Crc32"
+)
+
+// ErrNotFound reports a peer that answered authoritatively that it
+// does not hold the artifact. It is not a peer failure: the peer is
+// healthy, it just never computed this key.
+var ErrNotFound = errors.New("cluster: artifact not found on peer")
+
+// ErrCorrupt reports a response whose body failed verification
+// against its own headers (or against the requested object hash).
+// Corrupt responses are never retried on the same peer — the caller
+// moves to the next replica.
+var ErrCorrupt = errors.New("cluster: peer response failed verification")
+
+// ClientConfig tunes the peer client.
+type ClientConfig struct {
+	// Timeout bounds one HTTP attempt against one peer. Default 5s.
+	Timeout time.Duration
+	// Retries is the number of additional attempts after a transport
+	// or 5xx failure (404 and verification failures never retry).
+	// Default 1.
+	Retries int
+	// Backoff is the delay before the first retry, doubling per
+	// attempt. Default 50ms.
+	Backoff time.Duration
+	// FailureThreshold marks a peer down after this many consecutive
+	// failed operations. Default 3.
+	FailureThreshold int
+	// Cooloff is how long a down peer is skipped before being probed
+	// again. Default 10s.
+	Cooloff time.Duration
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 1
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 50 * time.Millisecond
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.Cooloff <= 0 {
+		c.Cooloff = 10 * time.Second
+	}
+	return c
+}
+
+// peerHealth is one peer's failure-marking view: consecutive failures
+// and, once the threshold trips, the time the peer becomes eligible
+// for another probe.
+type peerHealth struct {
+	failures  int
+	downUntil time.Time
+}
+
+// PeerState is one peer's health snapshot for /healthz and tests.
+type PeerState struct {
+	Peer      string `json:"peer"`
+	Failures  int    `json:"consecutive_failures"`
+	Available bool   `json:"available"`
+}
+
+// Client is the peer-to-peer HTTP client: bounded per-peer timeout,
+// limited retry with exponential backoff, body verification against
+// the transfer headers, and a health view that stops hammering a
+// down peer. Safe for concurrent use.
+type Client struct {
+	cfg ClientConfig
+	hc  *http.Client
+	now func() time.Time // injectable for cooloff tests
+
+	mu     sync.Mutex
+	health map[string]*peerHealth
+}
+
+// NewClient creates a peer client.
+func NewClient(cfg ClientConfig) *Client {
+	cfg = cfg.withDefaults()
+	return &Client{
+		cfg:    cfg,
+		hc:     &http.Client{Timeout: cfg.Timeout},
+		now:    time.Now,
+		health: make(map[string]*peerHealth),
+	}
+}
+
+// Available reports whether the peer is currently eligible for
+// requests (not marked down, or its cooloff has expired).
+func (c *Client) Available(peer string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.health[peer]
+	return h == nil || h.failures < c.cfg.FailureThreshold || !c.now().Before(h.downUntil)
+}
+
+// Peers returns the health snapshot of every peer the client has
+// talked to, in no particular order.
+func (c *Client) Peers() []PeerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]PeerState, 0, len(c.health))
+	for p, h := range c.health {
+		out = append(out, PeerState{
+			Peer:      p,
+			Failures:  h.failures,
+			Available: h.failures < c.cfg.FailureThreshold || !c.now().Before(h.downUntil),
+		})
+	}
+	return out
+}
+
+func (c *Client) markSuccess(peer string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.health, peer)
+}
+
+func (c *Client) markFailure(peer string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.health[peer]
+	if h == nil {
+		h = &peerHealth{}
+		c.health[peer] = h
+	}
+	h.failures++
+	if h.failures >= c.cfg.FailureThreshold {
+		h.downUntil = c.now().Add(c.cfg.Cooloff)
+	}
+}
+
+// SnapshotPath returns the URL path serving the store key (the key is
+// escaped so '|' and '/' survive routing).
+func SnapshotPath(key string) string { return "/v1/snapshots/" + url.PathEscape(key) }
+
+// ObjectPath returns the URL path serving a raw object by hash.
+func ObjectPath(hash string) string { return "/v1/objects/" + url.PathEscape(hash) }
+
+// FetchSnapshot retrieves the artifact stored under key on peer,
+// verifying the body against the response's hash and CRC headers.
+// ErrNotFound means the peer is healthy but lacks the key; ErrCorrupt
+// means the body failed verification.
+func (c *Client) FetchSnapshot(ctx context.Context, peer, key string) ([]byte, error) {
+	return c.fetch(ctx, peer, SnapshotPath(key), "")
+}
+
+// FetchObject retrieves the raw object with the given content hash
+// from peer. On top of header verification, the body's SHA-256 must
+// equal the hash that addressed it.
+func (c *Client) FetchObject(ctx context.Context, peer, hash string) ([]byte, error) {
+	return c.fetch(ctx, peer, ObjectPath(hash), hash)
+}
+
+func (c *Client) fetch(ctx context.Context, peer, path, wantHash string) ([]byte, error) {
+	var lastErr error
+	backoff := c.cfg.Backoff
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			backoff *= 2
+		}
+		data, retryable, err := c.fetchOnce(ctx, peer, path, wantHash)
+		if err == nil {
+			c.markSuccess(peer)
+			return data, nil
+		}
+		if errors.Is(err, ErrNotFound) {
+			// Authoritative miss: the peer is fine, stop here.
+			c.markSuccess(peer)
+			return nil, err
+		}
+		c.markFailure(peer)
+		lastErr = err
+		if !retryable || ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// fetchOnce performs one GET and full verification. retryable reports
+// whether another attempt against the same peer could help (transport
+// errors and 5xx: yes; corruption: no — same bytes would come back).
+func (c *Client) fetchOnce(ctx context.Context, peer, path, wantHash string) (data []byte, retryable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+path, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, true, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return nil, false, ErrNotFound
+	case resp.StatusCode != http.StatusOK:
+		return nil, resp.StatusCode >= 500, fmt.Errorf("cluster: peer %s: HTTP %d", peer, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, true, fmt.Errorf("cluster: peer %s: read body: %w", peer, err)
+	}
+	if err := verifyBody(body, resp.Header, wantHash); err != nil {
+		return nil, false, err
+	}
+	return body, false, nil
+}
+
+// verifyBody checks the body against the transfer headers (and, when
+// the request was hash-addressed, against that hash). Missing headers
+// are corruption too: an honest bioperfd peer always sends them.
+func verifyBody(body []byte, h http.Header, wantHash string) error {
+	sum := sha256.Sum256(body)
+	gotHash := hex.EncodeToString(sum[:])
+	hdrHash := h.Get(HeaderSHA256)
+	if hdrHash == "" || gotHash != hdrHash {
+		return fmt.Errorf("%w: sha256 %s, header %q", ErrCorrupt, gotHash, hdrHash)
+	}
+	if wantHash != "" && gotHash != wantHash {
+		return fmt.Errorf("%w: object hash %s, requested %s", ErrCorrupt, gotHash, wantHash)
+	}
+	hdrCRC := h.Get(HeaderCRC32)
+	crc, err := strconv.ParseUint(hdrCRC, 10, 32)
+	if err != nil {
+		return fmt.Errorf("%w: bad CRC header %q", ErrCorrupt, hdrCRC)
+	}
+	if crc32.ChecksumIEEE(body) != uint32(crc) {
+		return fmt.Errorf("%w: crc mismatch", ErrCorrupt)
+	}
+	return nil
+}
+
+// PushSnapshot replicates an artifact to peer under key (write-through
+// replication of a freshly computed snapshot). The receiver verifies
+// the body against the headers before admitting it.
+func (c *Client) PushSnapshot(ctx context.Context, peer, key string, data []byte) error {
+	var lastErr error
+	backoff := c.cfg.Backoff
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			backoff *= 2
+		}
+		retryable, err := c.pushOnce(ctx, peer, key, data)
+		if err == nil {
+			c.markSuccess(peer)
+			return nil
+		}
+		c.markFailure(peer)
+		lastErr = err
+		if !retryable || ctx.Err() != nil {
+			break
+		}
+	}
+	return lastErr
+}
+
+func (c *Client) pushOnce(ctx context.Context, peer, key string, data []byte) (retryable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, peer+SnapshotPath(key), bytes.NewReader(data))
+	if err != nil {
+		return false, err
+	}
+	sum := sha256.Sum256(data)
+	req.Header.Set(HeaderSHA256, hex.EncodeToString(sum[:]))
+	req.Header.Set(HeaderCRC32, strconv.FormatUint(uint64(crc32.ChecksumIEEE(data)), 10))
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return true, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+		return resp.StatusCode >= 500, fmt.Errorf("cluster: push to %s: HTTP %d", peer, resp.StatusCode)
+	}
+	return false, nil
+}

@@ -85,13 +85,32 @@ type Stats struct {
 	CharacterizeHits uint64 `json:"characterize_hits"` // characterization-cache hits
 	ReplayRuns       uint64 `json:"replay_runs"`       // characterizations served by trace replay
 	ProfileHits      uint64 `json:"profile_hits"`      // characterizations served from persisted snapshots
+	PeerHits         uint64 `json:"peer_hits"`         // characterizations served from a fleet peer's artifact
+	ColdChars        uint64 `json:"cold_chars"`        // characterizations that had to simulate cold
+}
+
+// RemoteTier is the fleet hook: when a Session misses its local
+// snapshot and trace tiers, it asks the remote tier for the artifact
+// before paying for a cold simulation, and pushes freshly computed
+// snapshots back out. internal/cluster implements it; the interface
+// lives here so the runner stays ignorant of HTTP and ring layout.
+type RemoteTier interface {
+	// Fetch returns the verified artifact stored under key on some
+	// peer, or ok=false. verify is called on candidate bytes before
+	// they are accepted (a peer serving transfer-consistent but
+	// semantically wrong content must be skipped, not trusted).
+	Fetch(ctx context.Context, key string, verify func([]byte) error) (data []byte, ok bool)
+	// Replicate pushes a freshly persisted artifact toward the nodes
+	// responsible for key. It must not block on peers.
+	Replicate(key string, data []byte)
 }
 
 // Session owns the caches and the worker pool. Create with
 // NewSession; a Session is safe for concurrent use.
 type Session struct {
-	jobs  int
-	store *store.Store
+	jobs   int
+	store  *store.Store
+	remote RemoteTier
 
 	mu       sync.Mutex
 	compiled map[CompileKey]*compileEntry
@@ -103,6 +122,8 @@ type Session struct {
 	charHits    atomic.Uint64
 	replayRuns  atomic.Uint64
 	profileHits atomic.Uint64
+	peerHits    atomic.Uint64
+	coldChars   atomic.Uint64
 }
 
 // NewSession creates a session whose worker pool runs up to jobs
@@ -138,6 +159,16 @@ func (s *Session) Jobs() int { return s.jobs }
 // Store returns the session's artifact store, or nil.
 func (s *Session) Store() *store.Store { return s.store }
 
+// SetRemote attaches the fleet tier. It requires a local store (the
+// remote tier admits fetched artifacts there) and must be called
+// before the session starts serving.
+func (s *Session) SetRemote(rt RemoteTier) {
+	if s.store == nil {
+		panic("runner: SetRemote requires a session with a store")
+	}
+	s.remote = rt
+}
+
 // Stats returns the session's cache counters.
 func (s *Session) Stats() Stats {
 	return Stats{
@@ -147,6 +178,8 @@ func (s *Session) Stats() Stats {
 		CharacterizeHits: s.charHits.Load(),
 		ReplayRuns:       s.replayRuns.Load(),
 		ProfileHits:      s.profileHits.Load(),
+		PeerHits:         s.peerHits.Load(),
+		ColdChars:        s.coldChars.Load(),
 	}
 }
 
@@ -258,6 +291,7 @@ func (s *Session) characterize(ctx context.Context, p *bio.Program, sz bio.Size)
 	m.AddObserver(a)
 	rec := s.startRecording(m, p, sz, fp)
 	s.runs.Add(1)
+	s.coldChars.Add(1)
 	res, err := m.RunContext(ctx)
 	if err != nil {
 		rec.abort()

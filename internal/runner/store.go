@@ -21,7 +21,11 @@ import (
 // artifactSchema versions the session's store keying: bump it when the
 // meaning of persisted artifacts changes (compiled-program encoding,
 // profile semantics), so stale entries read as misses.
-const artifactSchema = 1
+//
+// v2: profileArtifact carries the fingerprint it was computed under,
+// verified on load — required once snapshots can arrive from fleet
+// peers rather than only from this node's own simulations.
+const artifactSchema = 2
 
 // Fingerprint identifies a compiled artifact and everything replay
 // fidelity depends on: the artifact schema, the trace format version,
@@ -98,9 +102,32 @@ func (s *Session) storeCompiled(fp string, prog *isa.Program) {
 
 // profileArtifact is the persisted characterization result: the
 // analysis snapshot plus the run's committed-instruction count.
+// Fingerprint names the compiled artifact the snapshot was derived
+// from; loads (local or peer-fetched) reject an artifact whose
+// fingerprint disagrees with the requested one, so a snapshot can
+// never be served for the wrong program, variant, or source text.
 type profileArtifact struct {
+	Fingerprint  string
 	Instructions uint64
 	Snap         *loadchar.Snapshot
+}
+
+// decodeProfileArtifact decodes and structurally validates a
+// persisted snapshot against the fingerprint it is supposed to
+// satisfy. Shared by the local snapshot tier and the peer-fetch
+// verification callback.
+func decodeProfileArtifact(data []byte, fp string) (*profileArtifact, error) {
+	var art profileArtifact
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&art); err != nil {
+		return nil, fmt.Errorf("decode profile artifact: %w", err)
+	}
+	if art.Snap == nil {
+		return nil, fmt.Errorf("profile artifact missing snapshot")
+	}
+	if art.Fingerprint != fp {
+		return nil, fmt.Errorf("profile artifact fingerprint %.12s != requested %.12s", art.Fingerprint, fp)
+	}
+	return &art, nil
 }
 
 // loadProfile serves a characterization from a persisted analysis
@@ -113,8 +140,8 @@ func (s *Session) loadProfile(p *bio.Program, sz bio.Size, fp string) (*Profile,
 	if !ok {
 		return nil, false
 	}
-	var art profileArtifact
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&art); err != nil || art.Snap == nil {
+	art, err := decodeProfileArtifact(data, fp)
+	if err != nil {
 		s.store.Delete(key)
 		return nil, false
 	}
@@ -135,22 +162,33 @@ func (s *Session) loadProfile(p *bio.Program, sz bio.Size, fp string) (*Profile,
 }
 
 // storeProfile persists a characterization result. Like storeCompiled,
-// failures are silent: the store is a cache.
+// failures are silent: the store is a cache. With a remote tier
+// attached, the freshly persisted snapshot is also replicated
+// write-through to the fingerprint's successor nodes, so the fleet
+// converges on R+1 copies without waiting for pull-on-read.
 func (s *Session) storeProfile(prof *Profile, sz bio.Size, fp string) {
 	if s.store == nil || prof == nil || prof.Analysis == nil {
 		return
 	}
 	var buf bytes.Buffer
-	art := profileArtifact{Instructions: prof.Instructions, Snap: prof.Analysis.Snapshot()}
-	if err := gob.NewEncoder(&buf).Encode(&art); err == nil {
-		s.store.PutBytes(profKey(fp, sz), buf.Bytes())
+	art := profileArtifact{Fingerprint: fp, Instructions: prof.Instructions, Snap: prof.Analysis.Snapshot()}
+	if err := gob.NewEncoder(&buf).Encode(&art); err != nil {
+		return
+	}
+	key := profKey(fp, sz)
+	if err := s.store.PutBytes(key, buf.Bytes()); err != nil {
+		return
+	}
+	if s.remote != nil {
+		s.remote.Replicate(key, buf.Bytes())
 	}
 }
 
 // storeCharacterize serves a characterization from the persistent
 // store: first from a persisted analysis snapshot, then by replaying
-// the recorded trace (re-persisting the snapshot on the way out). The
-// bool reports whether the request was settled here; false means the
+// the recorded trace (re-persisting the snapshot on the way out),
+// then — with a fleet attached — from a peer's store. The bool
+// reports whether the request was settled here; false means the
 // caller must simulate cold.
 func (s *Session) storeCharacterize(ctx context.Context, p *bio.Program, sz bio.Size, fp string) (*Profile, error, bool) {
 	if err := ctx.Err(); err != nil {
@@ -164,7 +202,44 @@ func (s *Session) storeCharacterize(ctx context.Context, p *bio.Program, sz bio.
 	if done && err == nil {
 		s.storeProfile(prof, sz, fp)
 	}
-	return prof, err, done
+	if done {
+		return prof, err, done
+	}
+	if prof, ok := s.remoteCharacterize(ctx, p, sz, fp); ok {
+		return prof, nil, true
+	}
+	return nil, nil, false
+}
+
+// remoteCharacterize is the peer tier: ask the fleet for the
+// snapshot, verify it (transfer checksums in the cluster client,
+// fingerprint and structure here), admit it to the local store
+// (pull-on-read: the next identical request on this node is a plain
+// snapshot hit), and serve it. ok=false sends the caller to cold
+// simulation.
+func (s *Session) remoteCharacterize(ctx context.Context, p *bio.Program, sz bio.Size, fp string) (*Profile, bool) {
+	if s.remote == nil || ctx.Err() != nil {
+		return nil, false
+	}
+	key := profKey(fp, sz)
+	data, ok := s.remote.Fetch(ctx, key, func(b []byte) error {
+		_, err := decodeProfileArtifact(b, fp)
+		return err
+	})
+	if !ok {
+		return nil, false
+	}
+	// Admission happens only after verification; PutBytes recomputes
+	// the store's own hash and CRC from the verified bytes.
+	if err := s.store.PutBytes(key, data); err != nil {
+		return nil, false
+	}
+	prof, ok := s.loadProfile(p, sz, fp)
+	if !ok {
+		return nil, false
+	}
+	s.peerHits.Add(1)
+	return prof, true
 }
 
 // replayCharacterize serves a characterization from a stored trace.

@@ -1,0 +1,253 @@
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"bioperfload/internal/cluster"
+)
+
+// Fleet HTTP headers. Forwarded marks a request already proxied once
+// (so an overloaded primary never proxies it again); ForwardedTo and
+// Degraded mark the response so clients and tests can see which rung
+// of the overload ladder answered.
+const (
+	HeaderForwarded   = "X-Bioperfd-Forwarded"
+	HeaderForwardedTo = "X-Bioperfd-Forwarded-To"
+	HeaderDegraded    = "X-Bioperfd-Degraded"
+)
+
+// maxPeerArtifact bounds a replication push's body: characterization
+// snapshots are tens of kilobytes; anything near this limit is not
+// one of ours.
+const maxPeerArtifact = 256 << 20
+
+// ShedPolicy selects which rungs of the overload ladder are active
+// when the local queue is saturated. The order is fixed: forward to
+// the key's primary, then degrade full-fidelity timing work to the
+// fast tier on the shed reserve, then 429.
+type ShedPolicy struct {
+	Forward bool
+	Degrade bool
+}
+
+// ParseShedPolicy parses the -shed-policy flag: a comma-separated
+// subset of "forward" and "degrade", or "none". The empty string
+// enables the full ladder.
+func ParseShedPolicy(s string) (ShedPolicy, error) {
+	switch s {
+	case "":
+		return ShedPolicy{Forward: true, Degrade: true}, nil
+	case "none":
+		return ShedPolicy{}, nil
+	}
+	var p ShedPolicy
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "forward":
+			p.Forward = true
+		case "degrade":
+			p.Degrade = true
+		default:
+			return ShedPolicy{}, fmt.Errorf("unknown shed policy %q (forward|degrade|none)", part)
+		}
+	}
+	return p, nil
+}
+
+func (p ShedPolicy) String() string {
+	switch {
+	case p.Forward && p.Degrade:
+		return "forward,degrade"
+	case p.Forward:
+		return "forward"
+	case p.Degrade:
+		return "degrade"
+	}
+	return "none"
+}
+
+// --- peer artifact protocol ---
+
+// registerPeerRoutes installs the artifact wire protocol. The routes
+// exist whenever the session has a store — a storeless node has
+// nothing to serve and nothing to admit.
+func (s *Server) registerPeerRoutes() {
+	s.mux.Handle("GET /v1/objects/{hash}", s.instrument("objects", s.handlePeerObject))
+	s.mux.Handle("GET /v1/snapshots/{key}", s.instrument("snapshots", s.handlePeerSnapshot))
+	s.mux.Handle("PUT /v1/snapshots/{key}", s.instrument("snapshots", s.handlePeerPut))
+}
+
+// writeObject streams one stored object to a peer with the transfer
+// headers the receiving side verifies against.
+func (s *Server) writeObject(w http.ResponseWriter, hash string) {
+	st := s.session.Store()
+	rc, info, ok := st.OpenObject(hash)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown object " + hash})
+		return
+	}
+	defer rc.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(info.Size, 10))
+	w.Header().Set(cluster.HeaderSHA256, info.Hash)
+	w.Header().Set(cluster.HeaderCRC32, strconv.FormatUint(uint64(info.CRC), 10))
+	io.Copy(w, rc)
+}
+
+// handlePeerObject serves GET /v1/objects/{hash}: the raw
+// content-addressed object, streaming from disk.
+func (s *Server) handlePeerObject(w http.ResponseWriter, r *http.Request) {
+	if s.session.Store() == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no artifact store attached"})
+		return
+	}
+	s.writeObject(w, r.PathValue("hash"))
+}
+
+// handlePeerSnapshot serves GET /v1/snapshots/{key}: the artifact a
+// store key points at (the key travels path-escaped; PathValue
+// decodes it).
+func (s *Server) handlePeerSnapshot(w http.ResponseWriter, r *http.Request) {
+	st := s.session.Store()
+	if st == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no artifact store attached"})
+		return
+	}
+	key := r.PathValue("key")
+	info, ok := st.Lookup(key)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown artifact key"})
+		return
+	}
+	s.writeObject(w, info.Hash)
+}
+
+// handlePeerPut admits a replicated artifact: PUT /v1/snapshots/{key}
+// with the body verified against its transfer headers before it may
+// touch the store. A push whose checksums disagree is rejected with
+// 400 — the sender counts it and gives up; nothing corrupt is
+// admitted.
+func (s *Server) handlePeerPut(w http.ResponseWriter, r *http.Request) {
+	st := s.session.Store()
+	if st == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no artifact store attached"})
+		return
+	}
+	key := r.PathValue("key")
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxPeerArtifact+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "read body: " + err.Error()})
+		return
+	}
+	if len(body) > maxPeerArtifact {
+		writeJSON(w, http.StatusRequestEntityTooLarge, apiError{Error: "artifact exceeds size limit"})
+		return
+	}
+	sum := sha256.Sum256(body)
+	if got, want := hex.EncodeToString(sum[:]), r.Header.Get(cluster.HeaderSHA256); want == "" || got != want {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "sha256 mismatch on replicated artifact"})
+		return
+	}
+	crc, err := strconv.ParseUint(r.Header.Get(cluster.HeaderCRC32), 10, 32)
+	if err != nil || crc32.ChecksumIEEE(body) != uint32(crc) {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "crc mismatch on replicated artifact"})
+		return
+	}
+	if err := st.PutBytes(key, body); err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- overload ladder ---
+
+// shedForward proxies the original request to the key's primary node.
+// It reports true only when the primary produced a usable answer
+// (anything but a 5xx/429/transport failure), in which case the
+// response has already been written. Requests that were themselves
+// forwarded are never forwarded again.
+func (s *Server) shedForward(w http.ResponseWriter, r *http.Request, key string, body []byte) bool {
+	c := s.cfg.Cluster
+	if c == nil || !s.cfg.Shed.Forward || r.Header.Get(HeaderForwarded) != "" {
+		return false
+	}
+	primary := c.Primary(key)
+	if primary == "" || primary == c.Self() || !c.Client().Available(primary) {
+		return false
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, primary+r.URL.Path, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderForwarded, c.Self())
+	resp, err := s.forwardClient.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+		// The primary is as hot as we are; fall down the ladder.
+		io.Copy(io.Discard, resp.Body)
+		return false
+	}
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return false
+	}
+	s.metrics.ObserveShed("forward")
+	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	w.Header().Set(HeaderForwardedTo, primary)
+	if d := resp.Header.Get(HeaderDegraded); d != "" {
+		w.Header().Set(HeaderDegraded, d)
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(out)
+	return true
+}
+
+// ClusterHealth is the fleet slice of the /healthz document.
+type ClusterHealth struct {
+	Self     string              `json:"self"`
+	Members  []string            `json:"members"`
+	Replicas int                 `json:"replicas"`
+	Shed     string              `json:"shed_policy"`
+	Peers    []cluster.PeerState `json:"peers,omitempty"`
+	Stats    cluster.Stats       `json:"stats"`
+}
+
+func (s *Server) clusterHealth() *ClusterHealth {
+	c := s.cfg.Cluster
+	if c == nil {
+		return nil
+	}
+	return &ClusterHealth{
+		Self:     c.Self(),
+		Members:  c.Members(),
+		Replicas: c.Replicas(),
+		Shed:     s.cfg.Shed.String(),
+		Peers:    c.Client().Peers(),
+		Stats:    c.Stats(),
+	}
+}
+
+// serveSources maps the session's tier counters onto the canonical
+// serve-source breakdown: snapshot | replay | peer | cold.
+func (s *Server) serveSources() map[string]uint64 {
+	st := s.session.Stats()
+	return map[string]uint64{
+		"snapshot": st.ProfileHits,
+		"replay":   st.ReplayRuns,
+		"peer":     st.PeerHits,
+		"cold":     st.ColdChars,
+	}
+}

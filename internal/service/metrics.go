@@ -44,6 +44,7 @@ type Metrics struct {
 	requests map[string]uint64     // "route|code" -> count
 	jobs     map[string]uint64     // "kind|status" -> count
 	timing   map[string]uint64     // "kind|fidelity" -> count
+	shed     map[string]uint64     // overload-ladder action -> count
 	latency  map[string]*histogram // route -> request latency
 	jobTime  map[string]*histogram // kind -> job queue-to-finish time
 }
@@ -54,9 +55,19 @@ func NewMetrics() *Metrics {
 		requests: make(map[string]uint64),
 		jobs:     make(map[string]uint64),
 		timing:   make(map[string]uint64),
+		shed:     make(map[string]uint64),
 		latency:  make(map[string]*histogram),
 		jobTime:  make(map[string]*histogram),
 	}
+}
+
+// ObserveShed records one overload-ladder step: "forward" (request
+// proxied to the key's primary), "degrade" (answered from the fast
+// tier via the shed reserve), or "reject" (429, the last resort).
+func (m *Metrics) ObserveShed(action string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shed[action]++
 }
 
 // ObserveRequest records one HTTP request's route, status code, and
@@ -125,6 +136,12 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	for _, k := range sortedKeys(m.timing) {
 		kind, fid := splitKey(k)
 		fmt.Fprintf(w, "bioperfd_timing_requests_total{kind=%q,fidelity=%q} %d\n", kind, fid, m.timing[k])
+	}
+
+	fmt.Fprintln(w, "# HELP bioperfd_shed_total Overload-ladder actions (forward to primary, degrade to fast tier, reject 429).")
+	fmt.Fprintln(w, "# TYPE bioperfd_shed_total counter")
+	for _, k := range sortedKeys(m.shed) {
+		fmt.Fprintf(w, "bioperfd_shed_total{action=%q} %d\n", k, m.shed[k])
 	}
 
 	fmt.Fprintln(w, "# HELP bioperfd_job_duration_seconds Job queue-to-finish time.")

@@ -28,6 +28,8 @@ type queue struct {
 	baseCtx context.Context
 	cancel  context.CancelFunc
 	timeout time.Duration // server-wide per-job cap (0 = none)
+	limit   int           // normal admission cap (queued jobs)
+	reserve int           // extra slots only shed-degraded jobs may use
 
 	// exec runs one job's work; swapped in tests to control timing.
 	exec func(ctx context.Context, j *Job) (any, error)
@@ -36,19 +38,22 @@ type queue struct {
 
 	mu       sync.Mutex
 	closed   bool
+	queued   int // admitted but not yet started
 	byID     map[string]*Job
 	inflight map[string]*Job // key -> queued or running job
 	nextID   uint64
 }
 
-func newQueue(depth, workers int, timeout time.Duration,
+func newQueue(depth, reserve, workers int, timeout time.Duration,
 	exec func(ctx context.Context, j *Job) (any, error), onDone func(j *Job)) *queue {
 	ctx, cancel := context.WithCancel(context.Background())
 	q := &queue{
-		jobs:     make(chan *Job, depth),
+		jobs:     make(chan *Job, depth+reserve),
 		baseCtx:  ctx,
 		cancel:   cancel,
 		timeout:  timeout,
+		limit:    depth,
+		reserve:  reserve,
 		exec:     exec,
 		onDone:   onDone,
 		byID:     make(map[string]*Job),
@@ -65,7 +70,13 @@ func newQueue(depth, workers int, timeout time.Duration,
 // in-flight job with the same key (singleflight; deduped=true). The
 // per-request timeout rides on the job; when requests dedupe, the
 // first request's timeout governs the shared run.
-func (q *queue) submit(kind, key string, spec any, timeout time.Duration) (j *Job, deduped bool, err error) {
+//
+// Normal admissions stop at the queue depth. shed=true admissions —
+// fast-tier jobs the overload ladder degraded to — may additionally
+// use the reserve slots: a saturated queue full of slow full-fidelity
+// work still leaves room to serve cheap degraded answers instead of
+// 429ing.
+func (q *queue) submit(kind, key string, spec any, timeout time.Duration, shed bool) (j *Job, deduped bool, err error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
@@ -74,13 +85,23 @@ func (q *queue) submit(kind, key string, spec any, timeout time.Duration) (j *Jo
 	if exist := q.inflight[key]; exist != nil {
 		return exist, true, nil
 	}
+	limit := q.limit
+	if shed {
+		limit += q.reserve
+	}
+	if q.queued >= limit {
+		return nil, false, ErrQueueFull
+	}
 	q.nextID++
 	j = newJob(fmt.Sprintf("j%06d", q.nextID), kind, key, spec, timeout)
 	select {
 	case q.jobs <- j:
 	default:
+		// The channel holds limit+reserve slots, so this only trips if
+		// accounting and capacity disagree — treat it as full.
 		return nil, false, ErrQueueFull
 	}
+	q.queued++
 	q.byID[j.ID] = j
 	q.inflight[key] = j
 	return j, false, nil
@@ -94,7 +115,11 @@ func (q *queue) get(id string) *Job {
 }
 
 // depth returns the number of queued-but-not-started jobs.
-func (q *queue) depth() int { return len(q.jobs) }
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.queued
+}
 
 // subscribers returns the number of live event-stream consumers
 // across all jobs.
@@ -120,6 +145,9 @@ func (q *queue) worker() {
 }
 
 func (q *queue) runJob(j *Job) {
+	q.mu.Lock()
+	q.queued--
+	q.mu.Unlock()
 	ctx := q.baseCtx
 	timeout := j.timeout
 	if q.timeout > 0 && (timeout <= 0 || timeout > q.timeout) {

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"bioperfload/internal/bio"
+	"bioperfload/internal/cluster"
 	"bioperfload/internal/loadchar"
 	"bioperfload/internal/pipeline"
 	"bioperfload/internal/platform"
@@ -54,25 +55,39 @@ type Config struct {
 	// creates a fresh GOMAXPROCS-wide session.
 	Session *runner.Session
 	// QueueDepth bounds the number of admitted-but-not-started jobs;
-	// a full queue rejects with 429. Default 64.
+	// a full queue engages the overload ladder (forward, degrade,
+	// then 429). Default 64.
 	QueueDepth int
+	// ShedReserve is the extra queue capacity only shed-degraded
+	// fast-tier jobs may use. Default QueueDepth/4 (min 1).
+	ShedReserve int
 	// Workers is the job-executor pool width. Jobs themselves fan out
 	// further through the Session's simulation pool. Default 4.
 	Workers int
 	// JobTimeout caps any single job's run time; requests may ask for
 	// less via timeout_ms but never more. 0 = no server-wide cap.
 	JobTimeout time.Duration
+	// Cluster is this node's fleet view (nil = single node). Wiring
+	// the same cluster into the Session (SetRemote) is the caller's
+	// job; the service only uses it for forwarding, peer health, and
+	// metrics.
+	Cluster *cluster.Cluster
+	// Shed selects the active overload-ladder rungs. The zero value
+	// disables both (plain 429 on saturation); cmd/bioperfd parses
+	// -shed-policy and defaults to the full ladder.
+	Shed ShedPolicy
 }
 
 // Server owns the queue, the metrics registry, and the HTTP routes.
 // Create with New, serve via Handler, stop with Shutdown.
 type Server struct {
-	cfg     Config
-	session *runner.Session
-	queue   *queue
-	metrics *Metrics
-	mux     *http.ServeMux
-	started time.Time
+	cfg           Config
+	session       *runner.Session
+	queue         *queue
+	metrics       *Metrics
+	mux           *http.ServeMux
+	started       time.Time
+	forwardClient *http.Client
 }
 
 // New creates a Server and starts its worker pool.
@@ -83,6 +98,12 @@ func New(cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
+	if cfg.ShedReserve <= 0 {
+		cfg.ShedReserve = cfg.QueueDepth / 4
+		if cfg.ShedReserve < 1 {
+			cfg.ShedReserve = 1
+		}
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
 	}
@@ -92,9 +113,16 @@ func New(cfg Config) *Server {
 		metrics: NewMetrics(),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
+		// Forwarded requests may legitimately wait on a cold
+		// simulation; the caller's request context, not a client
+		// timeout, bounds them.
+		forwardClient: &http.Client{},
 	}
-	s.queue = newQueue(cfg.QueueDepth, cfg.Workers, cfg.JobTimeout, s.exec, s.jobDone)
+	s.queue = newQueue(cfg.QueueDepth, cfg.ShedReserve, cfg.Workers, cfg.JobTimeout, s.exec, s.jobDone)
 
+	if s.session.Store() != nil {
+		s.registerPeerRoutes()
+	}
 	s.mux.Handle("POST /v1/characterize", s.instrument("characterize", s.handleCharacterize))
 	s.mux.Handle("POST /v1/evaluate", s.instrument("evaluate", s.handleEvaluate))
 	s.mux.Handle("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
@@ -489,17 +517,41 @@ func decodeBody(r *http.Request, v any) error {
 	return nil
 }
 
+// submission carries everything the admission path needs: the job
+// itself, the original request document (re-marshaled when the
+// overload ladder forwards to the key's primary), and an optional
+// degrade rewrite producing the fast-tier equivalent of a
+// full-fidelity timing job.
+type submission struct {
+	kind      string
+	key       string
+	spec      any
+	timeoutMS int64
+	wait      bool
+	body      any                  // original request document, for forwarding
+	degrade   func() (string, any) // fast-tier (key, spec); nil = not degradable
+}
+
 // submit runs the shared admission path: enqueue (or dedupe), then
 // either acknowledge with 202 or, for wait=true, block until the job
-// finishes and return its full document.
-func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind, key string, spec any, timeoutMS int64, wait bool) {
+// finishes and return its full document. A saturated queue walks the
+// overload ladder (forward to primary, degrade to the fast tier on
+// the shed reserve, then 429) instead of rejecting outright.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, sub submission) {
 	var timeout time.Duration
-	if timeoutMS > 0 {
-		timeout = time.Duration(timeoutMS) * time.Millisecond
+	if sub.timeoutMS > 0 {
+		timeout = time.Duration(sub.timeoutMS) * time.Millisecond
 	}
-	job, deduped, err := s.queue.submit(kind, key, spec, timeout)
+	job, deduped, err := s.queue.submit(sub.kind, sub.key, sub.spec, timeout, false)
+	if errors.Is(err, ErrQueueFull) {
+		job, deduped, err = s.shed(w, r, sub, timeout)
+		if job == nil && err == nil {
+			return // forwarded; response already written
+		}
+	}
 	switch {
 	case errors.Is(err, ErrQueueFull):
+		s.metrics.ObserveShed("reject")
 		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
 		return
 	case errors.Is(err, ErrShuttingDown):
@@ -509,6 +561,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind, key string
 		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 		return
 	}
+	wait := sub.wait
 	if !wait {
 		writeJSON(w, http.StatusAccepted, SubmitResponse{JobID: job.ID, Status: job.Status(), Deduped: deduped})
 		return
@@ -519,6 +572,32 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind, key string
 	case <-r.Context().Done():
 		// Client went away; the job keeps running for other waiters.
 	}
+}
+
+// shed walks the overload ladder for a submission the queue refused.
+// Rung 1 proxies to the key's primary (a nil job with nil error means
+// the forward answered and the response is already written). Rung 2
+// re-admits a degraded fast-tier variant using the shed reserve,
+// marking the response with HeaderDegraded. Falling off the ladder
+// returns ErrQueueFull and the caller 429s.
+func (s *Server) shed(w http.ResponseWriter, r *http.Request, sub submission, timeout time.Duration) (*Job, bool, error) {
+	if sub.body != nil {
+		if body, err := json.Marshal(sub.body); err == nil {
+			if s.shedForward(w, r, sub.key, body) {
+				return nil, false, nil
+			}
+		}
+	}
+	if s.cfg.Shed.Degrade && sub.degrade != nil {
+		key, spec := sub.degrade()
+		job, deduped, err := s.queue.submit(sub.kind, key, spec, timeout, true)
+		if err == nil {
+			s.metrics.ObserveShed("degrade")
+			w.Header().Set(HeaderDegraded, "fast")
+			return job, deduped, nil
+		}
+	}
+	return nil, false, ErrQueueFull
 }
 
 func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
@@ -542,7 +621,11 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		hot = 6
 	}
 	key := fmt.Sprintf("characterize|%s|%s|hot=%d", prog.Name, sz, hot)
-	s.submit(w, r, "characterize", key, charSpec{prog: prog, sz: sz, hot: hot}, req.TimeoutMS, req.Wait)
+	s.submit(w, r, submission{
+		kind: "characterize", key: key,
+		spec:      charSpec{prog: prog, sz: sz, hot: hot},
+		timeoutMS: req.TimeoutMS, wait: req.Wait, body: req,
+	})
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
@@ -572,9 +655,26 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.ObserveTiming("evaluate", fid.String())
-	key := fmt.Sprintf("evaluate|%s|%s|%s|transformed=%v|fid=%s", prog.Name, plat.Name, sz, req.Transformed, fid)
 	spec := evalSpec{prog: prog, plat: plat, sz: sz, transformed: req.Transformed, fid: fid}
-	s.submit(w, r, "evaluate", key, spec, req.TimeoutMS, req.Wait)
+	sub := submission{
+		kind: "evaluate", key: evalKey(spec), spec: spec,
+		timeoutMS: req.TimeoutMS, wait: req.Wait, body: req,
+	}
+	if spec.fid == pipeline.FidelityFull {
+		sub.degrade = func() (string, any) {
+			fast := spec
+			fast.fid = pipeline.FidelityFast
+			return evalKey(fast), fast
+		}
+	}
+	s.submit(w, r, sub)
+}
+
+// evalKey is the canonical singleflight key for a resolved evaluate
+// spec — also the key the cluster ring hashes when picking a primary.
+func evalKey(spec evalSpec) string {
+	return fmt.Sprintf("evaluate|%s|%s|%s|transformed=%v|fid=%s",
+		spec.prog.Name, spec.plat.Name, spec.sz, spec.transformed, spec.fid)
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -617,6 +717,23 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if req.Kind == "evaluate" {
 		s.metrics.ObserveTiming("sweep", spec.fid.String())
 	}
+	sub := submission{
+		kind: "sweep", key: sweepKey(spec), spec: spec,
+		timeoutMS: req.TimeoutMS, wait: req.Wait, body: req,
+	}
+	if req.Kind == "evaluate" && spec.fid == pipeline.FidelityFull {
+		sub.degrade = func() (string, any) {
+			fast := spec
+			fast.fid = pipeline.FidelityFast
+			return sweepKey(fast), fast
+		}
+	}
+	s.submit(w, r, sub)
+}
+
+// sweepKey is the canonical singleflight key for a resolved sweep
+// spec — also the key the cluster ring hashes when picking a primary.
+func sweepKey(spec sweepSpec) string {
 	names := make([]string, len(spec.progs))
 	for i, p := range spec.progs {
 		names[i] = p.Name
@@ -625,9 +742,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for i, p := range spec.plats {
 		platNames[i] = p.Name
 	}
-	key := fmt.Sprintf("sweep|%s|%s|hot=%d|fid=%s|progs=%s|plats=%s",
-		req.Kind, sz, spec.hot, spec.fid, strings.Join(names, ","), strings.Join(platNames, ","))
-	s.submit(w, r, "sweep", key, spec, req.TimeoutMS, req.Wait)
+	return fmt.Sprintf("sweep|%s|%s|hot=%d|fid=%s|progs=%s|plats=%s",
+		spec.kind, spec.sz, spec.hot, spec.fid, strings.Join(names, ","), strings.Join(platNames, ","))
 }
 
 // resolvePrograms maps names to programs, defaulting to def and
@@ -724,10 +840,12 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 
 // HealthResponse is the GET /healthz document.
 type HealthResponse struct {
-	Status        string       `json:"status"`
-	UptimeSeconds float64      `json:"uptime_seconds"`
-	QueueDepth    int          `json:"queue_depth"`
-	Session       runner.Stats `json:"session"`
+	Status        string            `json:"status"`
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	QueueDepth    int               `json:"queue_depth"`
+	Session       runner.Stats      `json:"session"`
+	ServeSources  map[string]uint64 `json:"serve_sources"`
+	Cluster       *ClusterHealth    `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -736,6 +854,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		QueueDepth:    s.queue.depth(),
 		Session:       s.session.Stats(),
+		ServeSources:  s.serveSources(),
+		Cluster:       s.clusterHealth(),
 	})
 }
 
@@ -762,6 +882,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "bioperfd_session_replay_runs %d\n", st.ReplayRuns)
 	fmt.Fprintln(w, "# TYPE bioperfd_session_profile_hits counter")
 	fmt.Fprintf(w, "bioperfd_session_profile_hits %d\n", st.ProfileHits)
+	fmt.Fprintln(w, "# TYPE bioperfd_session_peer_hits counter")
+	fmt.Fprintf(w, "bioperfd_session_peer_hits %d\n", st.PeerHits)
+	sources := s.serveSources()
+	fmt.Fprintln(w, "# HELP bioperfd_serve_source_total Characterizations answered, by serving tier.")
+	fmt.Fprintln(w, "# TYPE bioperfd_serve_source_total counter")
+	for _, src := range []string{"cold", "peer", "replay", "snapshot"} {
+		fmt.Fprintf(w, "bioperfd_serve_source_total{source=%q} %d\n", src, sources[src])
+	}
+	if c := s.cfg.Cluster; c != nil {
+		cs := c.Stats()
+		fmt.Fprintln(w, "# HELP bioperfd_peer_fetch_total Peer artifact fetch attempts by outcome.")
+		fmt.Fprintln(w, "# TYPE bioperfd_peer_fetch_total counter")
+		fmt.Fprintf(w, "bioperfd_peer_fetch_total{result=\"hit\"} %d\n", cs.FetchHits)
+		fmt.Fprintf(w, "bioperfd_peer_fetch_total{result=\"miss\"} %d\n", cs.FetchMisses)
+		fmt.Fprintf(w, "bioperfd_peer_fetch_total{result=\"error\"} %d\n", cs.FetchErrors)
+		fmt.Fprintf(w, "bioperfd_peer_fetch_total{result=\"corrupt\"} %d\n", cs.FetchCorrupt)
+		fmt.Fprintln(w, "# HELP bioperfd_replicate_total Write-through replication pushes by outcome.")
+		fmt.Fprintln(w, "# TYPE bioperfd_replicate_total counter")
+		fmt.Fprintf(w, "bioperfd_replicate_total{result=\"ok\"} %d\n", cs.Replicated)
+		fmt.Fprintf(w, "bioperfd_replicate_total{result=\"error\"} %d\n", cs.ReplicateError)
+	}
 	if as := s.session.Store(); as != nil {
 		ss := as.Stats()
 		fmt.Fprintln(w, "# HELP bioperfd_store_counters Persistent artifact store statistics.")

@@ -299,6 +299,55 @@ func (s *Store) OpenReader(key string) (io.ReadCloser, int64, bool) {
 	return f, e.Size, true
 }
 
+// ObjectInfo describes one stored artifact for wire serving: the
+// content hash that addresses it, its byte length, and the CRC32 the
+// store verified it against. Peers re-verify received bodies against
+// all three.
+type ObjectInfo struct {
+	Hash string
+	Size int64
+	CRC  uint32
+}
+
+// Lookup returns the object metadata for key without reading the
+// content. Unlike GetBytes it does not bump the LRU clock — peers
+// probing for artifacts should not keep them artificially hot.
+func (s *Store) Lookup(key string) (ObjectInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		return ObjectInfo{}, false
+	}
+	return ObjectInfo{Hash: e.Hash, Size: e.Size, CRC: e.CRC}, true
+}
+
+// OpenObject opens the object with the given content hash for
+// streaming (the peer-serving wire path: the HTTP handler copies the
+// file straight to the response). Any key referencing the hash
+// supplies the metadata; a hash no entry references is a miss.
+func (s *Store) OpenObject(hash string) (io.ReadCloser, ObjectInfo, bool) {
+	s.mu.Lock()
+	var info ObjectInfo
+	found := false
+	for _, e := range s.entries {
+		if e.Hash == hash {
+			info = ObjectInfo{Hash: e.Hash, Size: e.Size, CRC: e.CRC}
+			found = true
+			break
+		}
+	}
+	s.mu.Unlock()
+	if !found {
+		return nil, ObjectInfo{}, false
+	}
+	f, err := os.Open(s.objectPath(hash))
+	if err != nil {
+		return nil, ObjectInfo{}, false
+	}
+	return f, info, true
+}
+
 // PutBytes stores data under key, replacing any previous artifact.
 func (s *Store) PutBytes(key string, data []byte) error {
 	w, err := s.Create(key)

@@ -317,3 +317,45 @@ func TestEvictionExactCapBoundary(t *testing.T) {
 		t.Fatal("LRU entry a survived")
 	}
 }
+
+// TestLookupAndOpenObject covers the wire-serving surface: Lookup
+// reports metadata without touching LRU state, and OpenObject streams
+// the content for any referenced hash.
+func TestLookupAndOpenObject(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	data := []byte("snapshot artifact for the wire")
+	if err := s.PutBytes("prof|fp|classB", data); err != nil {
+		t.Fatal(err)
+	}
+	info, ok := s.Lookup("prof|fp|classB")
+	if !ok || info.Size != int64(len(data)) || info.Hash == "" {
+		t.Fatalf("Lookup = %+v, %v", info, ok)
+	}
+	if _, ok := s.Lookup("prof|missing"); ok {
+		t.Fatal("missing key looked up")
+	}
+
+	rc, got, ok := s.OpenObject(info.Hash)
+	if !ok {
+		t.Fatal("OpenObject missed a referenced hash")
+	}
+	defer rc.Close()
+	if got != info {
+		t.Fatalf("OpenObject info %+v != Lookup info %+v", got, info)
+	}
+	body, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, data) {
+		t.Fatalf("OpenObject body %q", body)
+	}
+	if _, _, ok := s.OpenObject("0000000000000000000000000000000000000000000000000000000000000000"); ok {
+		t.Fatal("unreferenced hash opened")
+	}
+	// Neither Lookup nor OpenObject is a Get: hit/miss counters and
+	// LRU clocks must be unaffected.
+	if st := s.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("wire reads moved cache counters: %+v", st)
+	}
+}
