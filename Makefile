@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check vet build test race race-concurrent smoke fuzz-smoke serve-smoke cluster-smoke experiments bench bench-service bench-trace validate-timing sweep-smoke
+.PHONY: check fmt-check vet build test race race-concurrent smoke fuzz-smoke serve-smoke cluster-smoke experiments bench bench-service bench-trace validate-timing sweep-smoke sample-smoke bench-sampling
 
 # check is the full gate: formatting, static analysis, build, the
 # race-enabled test suite, and an end-to-end experiments smoke run.
@@ -29,7 +29,7 @@ race:
 # queue and event streams, session singleflight — with repeated runs
 # under the race detector.
 race-concurrent:
-	$(GO) test -race -count 3 ./internal/loadchar ./internal/trace ./internal/service ./internal/runner ./internal/cluster
+	$(GO) test -race -count 3 ./internal/loadchar ./internal/trace ./internal/service ./internal/runner ./internal/cluster ./internal/simpoint
 
 # smoke regenerates every table and figure at test size through the
 # parallel session, proving the whole pipeline end to end.
@@ -171,6 +171,22 @@ cluster-smoke:
 		|| { echo "cluster-smoke: healthz lacks the cluster section" >&2; exit 1; }; \
 	kill -TERM $$p1 $$p2 $$p3; wait $$p1 $$p2 $$p3 || true; \
 	echo "cluster-smoke: OK (cold on node 1, peer-served on nodes 2 and 3, $$peer peer fetches)"
+
+# sample-smoke proves the sampled characterization path end to end at
+# test size: tiny intervals force real clustering (the default 1Mi
+# intervals would degrade every test-size trace to exact), and the
+# accuracy/speedup JSON goes to a scratch path.
+sample-smoke:
+	$(GO) run ./cmd/bioperf bench-sampling -programs hmmsearch,predator \
+		-sizes test -interval 16384 -n 1 -json /tmp/BENCH_sampling_smoke.json
+
+# bench-sampling records sampled-vs-exact accuracy and speedup:
+# classB rows must land within the checked-in per-program tolerances
+# (internal/simpoint/tolerances_classB.json) and classC rows must beat
+# exact replay by at least 5x, or the target fails.
+bench-sampling:
+	$(GO) run ./cmd/bioperf bench-sampling -n 3 -check-errors -check-speedup 5 \
+		-json BENCH_sampling.json
 
 # bench-service records the daemon's cold vs cached characterize
 # latency over the loopback API at paper scale.

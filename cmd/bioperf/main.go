@@ -12,15 +12,25 @@
 //	bioperf replay -j 2 hmm.trace
 //	bioperf bench-trace -size classB -json BENCH_trace.json
 //	bioperf validate-timing -size test
+//
+// Phase analysis: inspect the SimPoint-style sampling plan and compare
+// sampled characterization against exact replay:
+//
+//	bioperf -program hmmsearch -size classC -profile -accuracy sampled
+//	bioperf phases -program hmmsearch -size classB
+//	bioperf bench-sampling -sizes classB,classC -json BENCH_sampling.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"bioperfload"
+	"bioperfload/internal/runner"
 )
 
 func main() {
@@ -35,6 +45,10 @@ func main() {
 			os.Exit(cmdBenchTrace(os.Args[2:], os.Stderr))
 		case "validate-timing":
 			os.Exit(cmdValidateTiming(os.Args[2:], os.Stderr))
+		case "phases":
+			os.Exit(cmdPhases(os.Args[2:], os.Stderr))
+		case "bench-sampling":
+			os.Exit(cmdBenchSampling(os.Args[2:], os.Stderr))
 		}
 	}
 	list := flag.Bool("list", false, "list the applications and platforms")
@@ -45,6 +59,7 @@ func main() {
 	fidelity := flag.String("fidelity", "full", "timing tier for -platform (full|fast)")
 	transformed := flag.Bool("transformed", false, "use the load-transformed sources")
 	hot := flag.Int("hot", 6, "hot loads to print with -profile")
+	accuracy := flag.String("accuracy", "exact", "characterization tier for -profile (exact|sampled)")
 	flag.Parse()
 
 	if *list {
@@ -82,11 +97,16 @@ func main() {
 
 	switch {
 	case *profile:
-		a, err := bioperfload.Characterize(p, sz)
+		acc, err := runner.ParseAccuracy(*accuracy)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Print(bioperfload.RenderProfile(p.Name, sz.String(), a, *hot))
+		sess := runner.NewSession(runtime.GOMAXPROCS(0))
+		prof, err := sess.CharacterizeAccuracy(context.Background(), p, sz, acc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(bioperfload.RenderProfile(p.Name, sz.String(), prof.Analysis, *hot))
 
 	case *platName != "":
 		plat, err := bioperfload.PlatformByName(*platName)

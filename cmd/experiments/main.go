@@ -67,6 +67,7 @@ type config struct {
 	benchJSON    string
 	benchSamples int
 	fidelity     pipeline.Fidelity
+	accuracy     runner.Accuracy
 }
 
 // parseArgs parses and validates the command line. Unknown flags,
@@ -85,6 +86,7 @@ func parseArgs(args []string, stderr io.Writer) (*config, error) {
 	benchJSON := fs.String("bench-json", "", "write per-experiment wall-time and instruction counts to this file")
 	benchSamples := fs.Int("bench-samples", 3, "fast-tier timing samples per experiment when -bench-json is set (best-of-N)")
 	fidelity := fs.String("fidelity", "fast", "timing tier for Table 8/Figure 9 and ablations (fast|full)")
+	accuracy := fs.String("accuracy", "exact", "characterization tier for Figure 1 / Tables 1-4 (exact|sampled)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -104,6 +106,9 @@ func parseArgs(args []string, stderr io.Writer) (*config, error) {
 	}
 	if cfg.fidelity, err = pipeline.ParseFidelity(*fidelity); err != nil {
 		return nil, fmt.Errorf("-fidelity: %w", err)
+	}
+	if cfg.accuracy, err = runner.ParseAccuracy(*accuracy); err != nil {
+		return nil, fmt.Errorf("-accuracy: %w", err)
 	}
 	if cfg.jobs < 0 {
 		return nil, fmt.Errorf("-j: invalid worker count %d (must be >= 0; 0 = GOMAXPROCS)", cfg.jobs)
@@ -196,10 +201,10 @@ func run(ctx context.Context, cfg *config, out io.Writer) error {
 	var profiles []*experiments.ProgramProfile
 	needProfiles := want("fig1") || want("tab1") || want("tab2") || want("tab4")
 	if needProfiles {
-		log.Printf("characterizing the nine applications at %s (j=%d)...", sz, s.Jobs())
+		log.Printf("characterizing the nine applications at %s (%s, j=%d)...", sz, cfg.accuracy, s.Jobs())
 		began := time.Now()
 		var err error
-		profiles, err = experiments.CharacterizeSession(ctx, s, sz)
+		profiles, err = experiments.CharacterizeSessionAccuracy(ctx, s, sz, cfg.accuracy)
 		if err != nil {
 			return err
 		}

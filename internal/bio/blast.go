@@ -23,7 +23,7 @@ int DL = 0;
 int xdrop = 12;
 int cutoff2 = 35;
 char q[256];
-char db[262144];
+char db[1048576];
 int wfirst[8000];
 int wnext[256];
 int smat[400];
@@ -96,7 +96,7 @@ func blastDims(sz Size) (ql, dl int) {
 	case SizeB:
 		return 150, 140000
 	default:
-		return 220, 260000
+		return 220, 716000
 	}
 }
 

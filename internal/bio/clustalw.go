@@ -146,7 +146,7 @@ func clustalwDims(sz Size) (nseq, l int) {
 	case SizeB:
 		return 8, 110
 	default:
-		return 12, 150
+		return 12, 234
 	}
 }
 

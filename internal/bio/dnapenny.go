@@ -18,7 +18,7 @@ const dnapennyMaxSites = 128
 
 const dnapennyDecls = `
 int nsites = 0;
-char pat[1024];
+char pat[8192];
 int used[8];
 int perm[8];
 int best = 99999999;
@@ -142,7 +142,7 @@ func dnapennyDims(sz Size) int {
 	case SizeB:
 		return 48
 	default:
-		return 96
+		return 500
 	}
 }
 

@@ -12,7 +12,7 @@ import (
 
 const (
 	fastaMaxQ  = 512
-	fastaMaxDB = 131072
+	fastaMaxDB = 1048576
 )
 
 const fastaSource = `
@@ -20,10 +20,10 @@ int QL = 0;
 int DL = 0;
 int NQ = 0;
 char q[2048];
-char db[131072];
+char db[1048576];
 int first2[256];
 int nextp[512];
-int diag[132096];
+int diag[1050624];
 int hh[513];
 int smat2[16];
 
@@ -109,7 +109,7 @@ func fastaDims(sz Size) (nq, ql, dl int) {
 	case SizeB:
 		return 3, 200, 90000
 	default:
-		return 4, 320, 130000
+		return 4, 320, 615000
 	}
 }
 

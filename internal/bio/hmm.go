@@ -190,7 +190,7 @@ func hmmsearchDims(sz Size) (m, nseq, l int) {
 	case SizeB:
 		return 40, 32, 120
 	default:
-		return 48, 72, 160
+		return 48, 200, 160
 	}
 }
 

@@ -103,7 +103,7 @@ func hmmpfamDims(sz Size) (nmod, baseM, nseq, l int) {
 	case SizeB:
 		return 6, 36, 3, 100
 	default:
-		return 8, 44, 5, 128
+		return 8, 44, 15, 128
 	}
 }
 
@@ -289,7 +289,7 @@ func hmmcalibrateDims(sz Size) (m, nsample, l int) {
 	case SizeB:
 		return 40, 36, 110
 	default:
-		return 48, 80, 150
+		return 48, 220, 150
 	}
 }
 

@@ -20,9 +20,9 @@ const predatorDecls = `
 int N = 0;
 int n_align = 0;
 int npass = 0;
-char seq[8192];
+char seq[16384];
 double ph[512]; double ps[512]; double pc2[512];
-int struct_[8192];
+int struct_[16384];
 int rowh[256];
 int colz[2048]; int nxt[2048];
 int va[256];
@@ -148,7 +148,7 @@ func predatorDims(sz Size) (n, nAlign, npass int) {
 	case SizeB:
 		return 2600, 100, 5
 	default:
-		return 5200, 160, 9
+		return 13000, 250, 10
 	}
 }
 

@@ -88,7 +88,7 @@ func promlkDims(sz Size) (nsites, nrounds int) {
 	case SizeB:
 		return 2400, 2
 	default:
-		return 4000, 4
+		return 4000, 12
 	}
 }
 

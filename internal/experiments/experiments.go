@@ -43,6 +43,24 @@ func CharacterizeSession(ctx context.Context, s *runner.Session, sz bio.Size) ([
 	return s.CharacterizeAll(ctx, sz)
 }
 
+// CharacterizeSessionAccuracy is CharacterizeSession at an explicit
+// accuracy tier: exact reproduces the historical tables byte for byte;
+// sampled trades bounded per-metric error for phase-sampled speed at
+// 100x-scale inputs.
+func CharacterizeSessionAccuracy(ctx context.Context, s *runner.Session, sz bio.Size, acc runner.Accuracy) ([]*ProgramProfile, error) {
+	progs := bio.All()
+	out := make([]*ProgramProfile, len(progs))
+	err := s.ForEach(ctx, len(progs), func(i int) error {
+		p, err := s.CharacterizeAccuracy(ctx, progs[i], sz, acc)
+		out[i] = p
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // --- Figure 1 / Table 1 ---
 
 // Fig1Row is one bar group of Figure 1.

@@ -39,6 +39,7 @@ import (
 	"bioperfload/internal/platform"
 	"bioperfload/internal/scoreboard"
 	"bioperfload/internal/sim"
+	"bioperfload/internal/simpoint"
 	"bioperfload/internal/store"
 )
 
@@ -56,9 +57,36 @@ type compileEntry struct {
 	err  error
 }
 
+// Accuracy selects a characterization tier: exact (every event
+// analyzed) or sampled (SimPoint-style phase analysis: representative
+// intervals analyzed, counts extrapolated by cluster weight).
+type Accuracy string
+
+const (
+	// AccuracyExact is the default full-stream characterization.
+	AccuracyExact Accuracy = "exact"
+	// AccuracySampled characterizes representative intervals only and
+	// extrapolates; it degrades to exact when the trace is too small.
+	AccuracySampled Accuracy = "sampled"
+)
+
+// ParseAccuracy maps user-facing accuracy spellings to the tier; the
+// empty string selects exact.
+func ParseAccuracy(s string) (Accuracy, error) {
+	switch s {
+	case "", "exact":
+		return AccuracyExact, nil
+	case "sampled":
+		return AccuracySampled, nil
+	default:
+		return "", fmt.Errorf("unknown accuracy %q (want exact or sampled)", s)
+	}
+}
+
 type charKey struct {
 	program string
 	size    bio.Size
+	acc     Accuracy
 }
 
 type charEntry struct {
@@ -69,11 +97,13 @@ type charEntry struct {
 
 // Profile is one program's shared characterization run: the dynamic
 // instruction count and the single-pass analysis every table and
-// figure reads from.
+// figure reads from. Source records which serve tier produced it
+// ("cold", "snapshot", "replay", "peer", or "sampled").
 type Profile struct {
 	Name         string
 	Instructions uint64
 	Analysis     *loadchar.Analysis
+	Source       string
 }
 
 // Stats reports a session's cache effectiveness, for tests and for
@@ -87,6 +117,9 @@ type Stats struct {
 	ProfileHits      uint64 `json:"profile_hits"`      // characterizations served from persisted snapshots
 	PeerHits         uint64 `json:"peer_hits"`         // characterizations served from a fleet peer's artifact
 	ColdChars        uint64 `json:"cold_chars"`        // characterizations that had to simulate cold
+	SampledChars     uint64 `json:"sampled_chars"`     // sampled characterizations computed from a phase plan
+	SampledHits      uint64 `json:"sampled_hits"`      // sampled characterizations served from persisted snapshots
+	SampledDegrades  uint64 `json:"sampled_degrades"`  // sampled requests degraded to the exact path
 }
 
 // RemoteTier is the fleet hook: when a Session misses its local
@@ -116,14 +149,19 @@ type Session struct {
 	compiled map[CompileKey]*compileEntry
 	chars    map[charKey]*charEntry
 
-	compiles    atomic.Uint64
-	compileHits atomic.Uint64
-	runs        atomic.Uint64
-	charHits    atomic.Uint64
-	replayRuns  atomic.Uint64
-	profileHits atomic.Uint64
-	peerHits    atomic.Uint64
-	coldChars   atomic.Uint64
+	simpointCfg simpoint.Config
+
+	compiles        atomic.Uint64
+	compileHits     atomic.Uint64
+	runs            atomic.Uint64
+	charHits        atomic.Uint64
+	replayRuns      atomic.Uint64
+	profileHits     atomic.Uint64
+	peerHits        atomic.Uint64
+	coldChars       atomic.Uint64
+	sampledChars    atomic.Uint64
+	sampledHits     atomic.Uint64
+	sampledDegrades atomic.Uint64
 }
 
 // NewSession creates a session whose worker pool runs up to jobs
@@ -169,6 +207,17 @@ func (s *Session) SetRemote(rt RemoteTier) {
 	s.remote = rt
 }
 
+// SetSimPoint overrides the sampling configuration used by
+// AccuracySampled characterizations. Must be called before the session
+// starts serving; the zero config selects every simpoint default.
+// Tests shrink IntervalSize so test-size runs span enough intervals to
+// cluster.
+func (s *Session) SetSimPoint(cfg simpoint.Config) { s.simpointCfg = cfg }
+
+// SimPoint returns the session's sampling configuration with defaults
+// applied.
+func (s *Session) SimPoint() simpoint.Config { return s.simpointCfg.WithDefaults() }
+
 // Stats returns the session's cache counters.
 func (s *Session) Stats() Stats {
 	return Stats{
@@ -180,6 +229,9 @@ func (s *Session) Stats() Stats {
 		ProfileHits:      s.profileHits.Load(),
 		PeerHits:         s.peerHits.Load(),
 		ColdChars:        s.coldChars.Load(),
+		SampledChars:     s.sampledChars.Load(),
+		SampledHits:      s.sampledHits.Load(),
+		SampledDegrades:  s.sampledDegrades.Load(),
 	}
 }
 
@@ -238,7 +290,15 @@ func (s *Session) Compile(p *bio.Program, transformed bool, opts compiler.Option
 // entry is evicted so a later request simply retries — because a
 // caller-imposed timeout says nothing about the next caller's budget.
 func (s *Session) Characterize(ctx context.Context, p *bio.Program, sz bio.Size) (*Profile, error) {
-	key := charKey{program: p.Name, size: sz}
+	return s.CharacterizeAccuracy(ctx, p, sz, AccuracyExact)
+}
+
+// CharacterizeAccuracy is Characterize with an explicit accuracy tier.
+// Sampled and exact results are memoized under separate keys: a
+// sampled profile is an approximation and must never be served to an
+// exact request (or vice versa).
+func (s *Session) CharacterizeAccuracy(ctx context.Context, p *bio.Program, sz bio.Size, acc Accuracy) (*Profile, error) {
+	key := charKey{program: p.Name, size: sz, acc: acc}
 	s.mu.Lock()
 	e, ok := s.chars[key]
 	if !ok {
@@ -249,7 +309,11 @@ func (s *Session) Characterize(ctx context.Context, p *bio.Program, sz bio.Size)
 	miss := false
 	e.once.Do(func() {
 		miss = true
-		e.prof, e.err = s.characterize(ctx, p, sz)
+		if acc == AccuracySampled {
+			e.prof, e.err = s.characterizeSampled(ctx, p, sz)
+		} else {
+			e.prof, e.err = s.characterize(ctx, p, sz)
+		}
 	})
 	if !miss {
 		s.charHits.Add(1)
@@ -304,7 +368,7 @@ func (s *Session) characterize(ctx context.Context, p *bio.Program, sz bio.Size)
 	// The trace is committed only for a validated, complete run, and
 	// only when the writer saw exactly the committed-instruction count.
 	rec.commit(res.Instructions)
-	prof := &Profile{Name: p.Name, Instructions: res.Instructions, Analysis: a}
+	prof := &Profile{Name: p.Name, Instructions: res.Instructions, Analysis: a, Source: "cold"}
 	if s.store != nil {
 		s.storeProfile(prof, sz, fp)
 	}

@@ -1,0 +1,421 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"bioperfload/internal/bio"
+	"bioperfload/internal/compiler"
+	"bioperfload/internal/isa"
+	"bioperfload/internal/loadchar"
+	"bioperfload/internal/sim"
+	"bioperfload/internal/simpoint"
+	"bioperfload/internal/trace"
+)
+
+// sampledProfKey extends the exact profile key with the sampling
+// tier and the full sampling configuration: a sampled snapshot is an
+// approximation and is only interchangeable with requests sharing
+// every knob that shaped it.
+func sampledProfKey(fp string, sz bio.Size, cfg simpoint.Config) string {
+	return profKey(fp, sz) + "|sampled|" + cfg.Fingerprint()
+}
+
+// characterizeSampled is the AccuracySampled serve path: snapshot tier
+// first, then phase analysis over the recorded trace (recording one
+// cold if the store has none), degrading to the exact path whenever
+// the trace or program is too small to sample.
+func (s *Session) characterizeSampled(ctx context.Context, p *bio.Program, sz bio.Size) (*Profile, error) {
+	cfg := s.SimPoint()
+	degrade := func(reason string) (*Profile, error) {
+		s.sampledDegrades.Add(1)
+		log.Printf("runner: %s/%s: sampled characterization degraded to exact: %s", p.Name, sz, reason)
+		return s.Characterize(ctx, p, sz)
+	}
+
+	var fp string
+	if s.store != nil {
+		fp = Fingerprint(p, false, compiler.Default())
+		if prof, ok := s.loadSampledProfile(p, sz, fp, cfg); ok {
+			s.sampledHits.Add(1)
+			return prof, nil
+		}
+	}
+
+	prog, err := s.Compile(p, false, compiler.Default())
+	if err != nil {
+		return nil, err
+	}
+	if simpoint.BlockMap(prog).NumBlocks() <= 1 {
+		return degrade("program has a single basic block")
+	}
+
+	ir, cleanup, err := s.sampledTrace(ctx, p, sz, fp, prog)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	a, _, err := SampledAnalyze(ctx, prog, ir, cfg, s.jobs)
+	var de *simpoint.DegradeError
+	if errors.As(err, &de) {
+		return degrade(de.Reason)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	prof := &Profile{Name: p.Name, Instructions: ir.TotalEvents(), Analysis: a, Source: "sampled"}
+	s.sampledChars.Add(1)
+	if s.store != nil {
+		s.storeSampledProfile(prof, sz, fp, cfg)
+	}
+	return prof, nil
+}
+
+// SampledAnalyze runs the whole sampled pipeline over an indexed
+// trace: interval collection, clustering, representative replay with
+// warmup, and weighted extrapolation into one analysis. It is the
+// engine under the session's sampled tier and `bioperf bench-sampling`.
+// A *simpoint.DegradeError means the trace is too small to sample.
+// The representative replays fan out perfectly — each owns a private
+// analysis — so jobs bounds both the collection scan and the replays.
+func SampledAnalyze(ctx context.Context, prog *isa.Program, ir *trace.IndexedReader, cfg simpoint.Config, jobs int) (*loadchar.Analysis, *simpoint.Plan, error) {
+	cfg = cfg.WithDefaults()
+	intervals, err := simpoint.CollectTrace(ctx, prog, ir, cfg, jobs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("collect intervals: %w", err)
+	}
+	plan, err := simpoint.BuildPlan(intervals, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	deltas := make([]*loadchar.Snapshot, len(plan.Clusters))
+	err = parallelEach(ctx, jobs, len(plan.Clusters), func(i int) error {
+		c := plan.Clusters[i]
+		snap, err := replayInterval(ctx, prog, ir, c.Start, c.End, plan.Config.WarmupEvents)
+		if err != nil {
+			return fmt.Errorf("replay interval [%d,%d): %w", c.Start, c.End, err)
+		}
+		snap.Scale(c.Weight)
+		deltas[i] = snap
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	merged := deltas[0]
+	for _, d := range deltas[1:] {
+		if err := merged.Merge(d); err != nil {
+			return nil, nil, fmt.Errorf("merge cluster snapshots: %w", err)
+		}
+	}
+	a, err := loadchar.FromSnapshot(prog, merged)
+	if err != nil {
+		return nil, nil, fmt.Errorf("restore sampled snapshot: %w", err)
+	}
+	return a, plan, nil
+}
+
+// parallelEach is ForEach without a session: run fn for every index on
+// up to jobs goroutines, returning the first error.
+func parallelEach(ctx context.Context, jobs, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayInterval characterizes exactly the events in [start, end) with
+// warmed microarchitectural state: a fresh analysis replays from a
+// chunk boundary at least warm events before start, a snapshot taken
+// right as the stream crosses start is subtracted from the final one,
+// and the difference is the interval's exact counts under the warmed
+// cache and predictor. Both prefixes are deterministic, so the
+// subtraction is exact, not approximate.
+func replayInterval(ctx context.Context, prog *isa.Program, ir *trace.IndexedReader, start, end, warm uint64) (*loadchar.Snapshot, error) {
+	warmStart := uint64(0)
+	if start > warm {
+		warmStart = start - warm
+	}
+	n := ir.Chunks()
+	lo := sort.Search(n, func(i int) bool { return ir.Base(i) > warmStart }) - 1
+	if lo < 0 {
+		lo = 0
+	}
+	hi := sort.Search(n, func(i int) bool { return ir.Base(i) >= end })
+
+	a := loadchar.New(prog)
+	var pre *loadchar.Snapshot
+	src := ir.Range(prog, lo, hi)
+	defer src.Close()
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		evs, release, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		base := evs[0].Seq
+		if base >= end {
+			release()
+			break
+		}
+		if base+uint64(len(evs)) > end {
+			evs = evs[:end-base]
+		}
+		if pre == nil {
+			if base >= start {
+				pre = a.Snapshot()
+			} else if base+uint64(len(evs)) > start {
+				cut := start - base
+				a.ObserveBatch(evs[:cut])
+				pre = a.Snapshot()
+				evs = evs[cut:]
+			}
+		}
+		if len(evs) > 0 {
+			a.ObserveBatch(evs)
+		}
+		last := base + uint64(len(evs))
+		release()
+		if last >= end {
+			break
+		}
+	}
+	if pre == nil {
+		return nil, fmt.Errorf("trace ended before interval start %d", start)
+	}
+	final := a.Snapshot()
+	if err := final.Sub(pre); err != nil {
+		return nil, err
+	}
+	return final, nil
+}
+
+// sampledTrace opens an indexed reader over the trace for (p, sz),
+// producing one if necessary. With a store the trace is recorded
+// through it (and reused by every later request, exact or sampled);
+// without one the trace lives in memory for the duration of the call.
+func (s *Session) sampledTrace(ctx context.Context, p *bio.Program, sz bio.Size, fp string, prog *isa.Program) (*trace.IndexedReader, func(), error) {
+	noop := func() {}
+	if s.store != nil {
+		if ir, cleanup, ok := s.openTrace(p, sz, fp); ok {
+			return ir, cleanup, nil
+		}
+		// Record a fresh trace cold — the run carries no analysis, so it
+		// is much cheaper than a cold exact characterization.
+		if err := s.recordTrace(ctx, p, sz, fp, prog, nil); err != nil {
+			return nil, noop, err
+		}
+		if ir, cleanup, ok := s.openTrace(p, sz, fp); ok {
+			return ir, cleanup, nil
+		}
+		return nil, noop, fmt.Errorf("%s: trace unreadable immediately after recording", p.Name)
+	}
+	var buf bytes.Buffer
+	if err := s.recordTrace(ctx, p, sz, fp, prog, &buf); err != nil {
+		return nil, noop, err
+	}
+	ir, err := trace.NewIndexedReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		return nil, noop, fmt.Errorf("%s: index in-memory trace: %w", p.Name, err)
+	}
+	return ir, noop, nil
+}
+
+// openTrace opens the stored trace as an indexed reader, evicting
+// anything unindexable or mismatched.
+func (s *Session) openTrace(p *bio.Program, sz bio.Size, fp string) (*trace.IndexedReader, func(), bool) {
+	key := traceKey(fp, sz)
+	rc, size, ok := s.store.OpenReader(key)
+	if !ok {
+		return nil, nil, false
+	}
+	ra, isRA := rc.(io.ReaderAt)
+	if !isRA {
+		rc.Close()
+		return nil, nil, false
+	}
+	ir, err := trace.NewIndexedReader(ra, size)
+	if err != nil {
+		rc.Close()
+		s.store.Delete(key)
+		return nil, nil, false
+	}
+	if m := ir.Meta(); m.Program != p.Name || m.Fingerprint != fp {
+		rc.Close()
+		s.store.Delete(key)
+		return nil, nil, false
+	}
+	return ir, func() { rc.Close() }, true
+}
+
+// recordTrace runs the program once with only a trace writer attached.
+// With w == nil the trace is committed to the store; otherwise it is
+// written to w.
+func (s *Session) recordTrace(ctx context.Context, p *bio.Program, sz bio.Size, fp string, prog *isa.Program, w *bytes.Buffer) error {
+	m, err := sim.New(prog)
+	if err != nil {
+		return err
+	}
+	if err := p.Bind(m, sz); err != nil {
+		return fmt.Errorf("%s: bind: %w", p.Name, err)
+	}
+	var rec *recorder
+	var tw *trace.Writer
+	if w != nil {
+		tw = trace.NewWriter(w, trace.Meta{Program: p.Name, Fingerprint: fp, Size: sz.String()})
+		m.AddBatchObserver(tw)
+	} else {
+		rec = s.startRecording(m, p, sz, fp)
+		if rec == nil {
+			return fmt.Errorf("%s: store rejected trace recording", p.Name)
+		}
+	}
+	s.runs.Add(1)
+	res, err := m.RunContext(ctx)
+	if err != nil {
+		rec.abort()
+		return fmt.Errorf("%s: %w", p.Name, err)
+	}
+	if err := p.Validate(res, sz); err != nil {
+		rec.abort()
+		return err
+	}
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			return fmt.Errorf("%s: close trace: %w", p.Name, err)
+		}
+		if tw.Events() != res.Instructions {
+			return fmt.Errorf("%s: trace recorded %d events, run committed %d", p.Name, tw.Events(), res.Instructions)
+		}
+		return nil
+	}
+	rec.commit(res.Instructions)
+	return nil
+}
+
+// PhasePlan exposes the sampling decision for one (program, size): the
+// interval timeline and clustering the sampled path would use. It is
+// what `bioperf phases` renders. A *simpoint.DegradeError reports a
+// trace too small to sample.
+func (s *Session) PhasePlan(ctx context.Context, p *bio.Program, sz bio.Size) (*simpoint.Plan, error) {
+	cfg := s.SimPoint()
+	prog, err := s.Compile(p, false, compiler.Default())
+	if err != nil {
+		return nil, err
+	}
+	if simpoint.BlockMap(prog).NumBlocks() <= 1 {
+		return nil, &simpoint.DegradeError{Reason: "program has a single basic block"}
+	}
+	var fp string
+	if s.store != nil {
+		fp = Fingerprint(p, false, compiler.Default())
+	}
+	ir, cleanup, err := s.sampledTrace(ctx, p, sz, fp, prog)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	intervals, err := simpoint.CollectTrace(ctx, prog, ir, cfg, s.jobs)
+	if err != nil {
+		return nil, fmt.Errorf("%s: collect intervals: %w", p.Name, err)
+	}
+	return simpoint.BuildPlan(intervals, cfg)
+}
+
+// loadSampledProfile serves a sampled characterization from its
+// persisted snapshot; the artifact format is identical to the exact
+// one, only the key differs.
+func (s *Session) loadSampledProfile(p *bio.Program, sz bio.Size, fp string, cfg simpoint.Config) (*Profile, bool) {
+	key := sampledProfKey(fp, sz, cfg)
+	data, ok := s.store.GetBytes(key)
+	if !ok {
+		return nil, false
+	}
+	art, err := decodeProfileArtifact(data, fp)
+	if err != nil {
+		s.store.Delete(key)
+		return nil, false
+	}
+	prog, err := s.Compile(p, false, compiler.Default())
+	if err != nil {
+		return nil, false
+	}
+	a, err := loadchar.FromSnapshot(prog, art.Snap)
+	if err != nil {
+		s.store.Delete(key)
+		return nil, false
+	}
+	return &Profile{Name: p.Name, Instructions: art.Instructions, Analysis: a, Source: "sampled"}, true
+}
+
+func (s *Session) storeSampledProfile(prof *Profile, sz bio.Size, fp string, cfg simpoint.Config) {
+	if prof == nil || prof.Analysis == nil {
+		return
+	}
+	var buf bytes.Buffer
+	art := profileArtifact{Fingerprint: fp, Instructions: prof.Instructions, Snap: prof.Analysis.Snapshot()}
+	if err := gob.NewEncoder(&buf).Encode(&art); err != nil {
+		return
+	}
+	key := sampledProfKey(fp, sz, cfg)
+	if err := s.store.PutBytes(key, buf.Bytes()); err != nil {
+		return
+	}
+	if s.remote != nil {
+		s.remote.Replicate(key, buf.Bytes())
+	}
+}

@@ -1,0 +1,48 @@
+package runner
+
+import (
+	"context"
+	"testing"
+
+	"bioperfload/internal/bio"
+	"bioperfload/internal/simpoint"
+)
+
+// TestSampledClassBWithinTolerance pins each program's classB sampled
+// error to its checked-in budget (internal/simpoint/
+// tolerances_classB.json). classB is the regime the tolerances are
+// tuned for: default 256Ki-event intervals give every program enough
+// intervals to cluster, so a regression here means the phase analysis
+// itself drifted, not that the input was too small.
+func TestSampledClassBWithinTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("classB characterization is too slow for -short")
+	}
+	ctx := context.Background()
+	for _, p := range bio.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			tol, ok := simpoint.ToleranceClassB(p.Name)
+			if !ok {
+				t.Fatalf("no classB tolerance checked in for %s", p.Name)
+			}
+			s := NewSession(2)
+			exact, err := s.Characterize(ctx, p, bio.SizeB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sampled, err := s.CharacterizeAccuracy(ctx, p, bio.SizeB, AccuracySampled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sampled.Source != "sampled" {
+				t.Fatalf("Source = %q, want sampled (degraded at classB?)", sampled.Source)
+			}
+			diffs, max := simpoint.ProfileError(exact.Analysis, sampled.Analysis)
+			if max > tol {
+				t.Errorf("sampled error %.2f pp exceeds the %.2f pp classB budget: %v", max, tol, diffs)
+			}
+		})
+	}
+}

@@ -158,7 +158,7 @@ func (s *Session) loadProfile(p *bio.Program, sz bio.Size, fp string) (*Profile,
 		s.store.Delete(key)
 		return nil, false
 	}
-	return &Profile{Name: p.Name, Instructions: art.Instructions, Analysis: a}, true
+	return &Profile{Name: p.Name, Instructions: art.Instructions, Analysis: a, Source: "snapshot"}, true
 }
 
 // storeProfile persists a characterization result. Like storeCompiled,
@@ -239,6 +239,7 @@ func (s *Session) remoteCharacterize(ctx context.Context, p *bio.Program, sz bio
 		return nil, false
 	}
 	s.peerHits.Add(1)
+	prof.Source = "peer"
 	return prof, true
 }
 
@@ -284,7 +285,7 @@ func (s *Session) replayCharacterize(ctx context.Context, p *bio.Program, sz bio
 				}
 				return evict() // damaged trace: fall back to cold simulation
 			}
-			return &Profile{Name: p.Name, Instructions: ir.TotalEvents(), Analysis: a}, nil, true
+			return &Profile{Name: p.Name, Instructions: ir.TotalEvents(), Analysis: a, Source: "replay"}, nil, true
 		}
 	}
 
@@ -316,7 +317,7 @@ func (s *Session) replayCharacterize(ctx context.Context, p *bio.Program, sz bio
 		}
 		return evict() // damaged trace: fall back to cold simulation
 	}
-	return &Profile{Name: p.Name, Instructions: tr.TotalEvents(), Analysis: a}, nil, true
+	return &Profile{Name: p.Name, Instructions: tr.TotalEvents(), Analysis: a, Source: "replay"}, nil, true
 }
 
 // replayProgram returns the compiled program a trace rebinds to:

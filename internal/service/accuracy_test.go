@@ -1,0 +1,181 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"bioperfload/internal/runner"
+	"bioperfload/internal/simpoint"
+)
+
+// testSimPoint shrinks phase intervals so test-size runs span enough of
+// them to cluster instead of degrading to exact.
+var testSimPoint = simpoint.Config{IntervalSize: 16384, WarmupEvents: 4096}
+
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d: %s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestAccuracyValidation: malformed accuracy values are rejected with
+// 400 before any job is admitted, and evaluate sweeps refuse the field
+// outright (it only shapes characterizations).
+func TestAccuracyValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Session: runner.NewSession(1)})
+	cases := []struct {
+		url  string
+		req  map[string]any
+		want string
+	}{
+		{"/v1/characterize", map[string]any{"program": "hmmsearch", "size": "test", "accuracy": "turbo"}, "unknown accuracy"},
+		{"/v1/sweep", map[string]any{"kind": "characterize", "size": "test", "accuracy": "turbo"}, "unknown accuracy"},
+		{"/v1/sweep", map[string]any{"kind": "evaluate", "size": "test", "accuracy": "sampled"}, "accuracy applies to characterize sweeps only"},
+	}
+	for _, c := range cases {
+		resp, body := postJSON(t, ts.URL+c.url, c.req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s %v: HTTP %d, want 400: %s", c.url, c.req, resp.StatusCode, body)
+		}
+		if !strings.Contains(string(body), c.want) {
+			t.Errorf("%s %v: body %s missing %q", c.url, c.req, body, c.want)
+		}
+	}
+}
+
+// TestSampledCharacterizeServes drives a sampled characterization
+// end-to-end through the HTTP surface and checks every observability
+// hook it is supposed to trip: the result document carries the
+// accuracy and serving tier, /healthz lists the key among the hottest,
+// and /metrics exports the accuracy, hot-key, and sampled-tier
+// counters.
+func TestSampledCharacterizeServes(t *testing.T) {
+	sess := runner.NewSession(2)
+	sess.SetSimPoint(testSimPoint)
+	_, ts := newTestServer(t, Config{Session: sess, QueueDepth: 8, Workers: 2})
+
+	var v struct {
+		Status Status             `json:"status"`
+		Result CharacterizeResult `json:"result"`
+	}
+	for i := 0; i < 2; i++ { // second request serves from the session memo
+		resp, body := postJSON(t, ts.URL+"/v1/characterize",
+			map[string]any{"program": "hmmsearch", "size": "test", "accuracy": "sampled", "wait": true})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Status != StatusDone {
+			t.Fatalf("status %s: %s", v.Status, body)
+		}
+	}
+	if v.Result.Accuracy != "sampled" || v.Result.Source != "sampled" {
+		t.Errorf("result accuracy=%q source=%q, want sampled/sampled", v.Result.Accuracy, v.Result.Source)
+	}
+	// An exact request for contrast: defaults to accuracy=exact.
+	resp, body := postJSON(t, ts.URL+"/v1/characterize",
+		map[string]any{"program": "hmmsearch", "size": "test", "wait": true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	var ev struct {
+		Result CharacterizeResult `json:"result"`
+	}
+	if err := json.Unmarshal(body, &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Result.Accuracy != "exact" || ev.Result.Source != "cold" {
+		t.Errorf("exact result accuracy=%q source=%q, want exact/cold", ev.Result.Accuracy, ev.Result.Source)
+	}
+
+	var health HealthResponse
+	if err := json.Unmarshal(getBody(t, ts.URL+"/healthz"), &health); err != nil {
+		t.Fatal(err)
+	}
+	// One sampled computation; the repeat was a session-memo hit, which
+	// counts as a characterize hit rather than a store-snapshot load.
+	if health.Session.SampledChars != 1 || health.Session.CharacterizeHits != 1 {
+		t.Errorf("session sampled counters %+v", health.Session)
+	}
+	if len(health.HotKeys) != 2 {
+		t.Fatalf("hot keys = %+v, want 2 entries", health.HotKeys)
+	}
+	top := health.HotKeys[0]
+	if top.Key != "hmmsearch|test|sampled" || top.Serves != 2 || top.LastSource != "sampled" {
+		t.Errorf("hottest key %+v, want hmmsearch|test|sampled served twice from sampled", top)
+	}
+	if health.ServeSources["sampled"] != 1 {
+		t.Errorf("serve_sources = %v, want sampled=1", health.ServeSources)
+	}
+
+	metrics := string(getBody(t, ts.URL+"/metrics"))
+	for _, want := range []string{
+		`bioperfd_accuracy_requests_total{kind="characterize",accuracy="sampled"} 2`,
+		`bioperfd_accuracy_requests_total{kind="characterize",accuracy="exact"} 1`,
+		`bioperfd_hot_key_serves_total{key="hmmsearch|test|sampled"} 2`,
+		`bioperfd_hot_key_serves_total{key="hmmsearch|test|exact"} 1`,
+		`bioperfd_serve_source_total{source="sampled"} 1`,
+		"bioperfd_session_sampled_chars 1",
+		"bioperfd_session_sampled_hits 0",
+		"bioperfd_session_sampled_degrades 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestSampledSweepAccuracy runs a two-program characterize sweep at
+// accuracy=sampled and verifies the per-program results carry the tier
+// through, plus the sweep-kind accuracy counter.
+func TestSampledSweepAccuracy(t *testing.T) {
+	sess := runner.NewSession(2)
+	sess.SetSimPoint(testSimPoint)
+	_, ts := newTestServer(t, Config{Session: sess, QueueDepth: 8, Workers: 2})
+
+	resp, body := postJSON(t, ts.URL+"/v1/sweep", map[string]any{
+		"kind": "characterize", "size": "test", "accuracy": "sampled",
+		"programs": []string{"hmmsearch", "predator"}, "wait": true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	var v struct {
+		Status Status      `json:"status"`
+		Result SweepResult `json:"result"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != StatusDone {
+		t.Fatalf("status %s: %s", v.Status, body)
+	}
+	if v.Result.Accuracy != "sampled" || len(v.Result.Characterize) != 2 {
+		t.Fatalf("sweep result accuracy=%q with %d programs: %s", v.Result.Accuracy, len(v.Result.Characterize), body)
+	}
+	for _, r := range v.Result.Characterize {
+		if r.Accuracy != "sampled" || r.Source != "sampled" {
+			t.Errorf("%s: accuracy=%q source=%q, want sampled/sampled", r.Program, r.Accuracy, r.Source)
+		}
+	}
+	metrics := string(getBody(t, ts.URL+"/metrics"))
+	if want := `bioperfd_accuracy_requests_total{kind="sweep",accuracy="sampled"} 1`; !strings.Contains(metrics, want) {
+		t.Errorf("metrics missing %q", want)
+	}
+}

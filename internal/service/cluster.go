@@ -241,7 +241,7 @@ func (s *Server) clusterHealth() *ClusterHealth {
 }
 
 // serveSources maps the session's tier counters onto the canonical
-// serve-source breakdown: snapshot | replay | peer | cold.
+// serve-source breakdown: snapshot | replay | peer | cold | sampled.
 func (s *Server) serveSources() map[string]uint64 {
 	st := s.session.Stats()
 	return map[string]uint64{
@@ -249,5 +249,6 @@ func (s *Server) serveSources() map[string]uint64 {
 		"replay":   st.ReplayRuns,
 		"peer":     st.PeerHits,
 		"cold":     st.ColdChars,
+		"sampled":  st.SampledChars + st.SampledHits,
 	}
 }

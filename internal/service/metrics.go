@@ -44,7 +44,9 @@ type Metrics struct {
 	requests map[string]uint64     // "route|code" -> count
 	jobs     map[string]uint64     // "kind|status" -> count
 	timing   map[string]uint64     // "kind|fidelity" -> count
+	accuracy map[string]uint64     // "kind|accuracy" -> count
 	shed     map[string]uint64     // overload-ladder action -> count
+	hot      map[string]*hotEntry  // canonical characterize key -> serve stats
 	latency  map[string]*histogram // route -> request latency
 	jobTime  map[string]*histogram // kind -> job queue-to-finish time
 }
@@ -55,7 +57,9 @@ func NewMetrics() *Metrics {
 		requests: make(map[string]uint64),
 		jobs:     make(map[string]uint64),
 		timing:   make(map[string]uint64),
+		accuracy: make(map[string]uint64),
 		shed:     make(map[string]uint64),
+		hot:      make(map[string]*hotEntry),
 		latency:  make(map[string]*histogram),
 		jobTime:  make(map[string]*histogram),
 	}
@@ -91,6 +95,65 @@ func (m *Metrics) ObserveTiming(kind, fidelity string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.timing[kind+"|"+fidelity]++
+}
+
+// ObserveAccuracy records one admitted characterization's kind and
+// accuracy tier (exact full-stream vs sampled phase analysis), the
+// characterization twin of ObserveTiming.
+func (m *Metrics) ObserveAccuracy(kind, accuracy string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.accuracy[kind+"|"+accuracy]++
+}
+
+// hotEntry tracks one canonical characterization key's serve count and
+// the tier that answered it most recently.
+type hotEntry struct {
+	serves     uint64
+	lastSource string
+}
+
+// HotKeyView is one row of the /healthz hot-key report.
+type HotKeyView struct {
+	Key        string `json:"key"`
+	Serves     uint64 `json:"serves"`
+	LastSource string `json:"last_source"`
+}
+
+// ObserveServe records one successfully served characterization under
+// its canonical key, remembering which tier (cold, snapshot, replay,
+// peer, sampled) produced the answer.
+func (m *Metrics) ObserveServe(key, source string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.hot[key]
+	if e == nil {
+		e = &hotEntry{}
+		m.hot[key] = e
+	}
+	e.serves++
+	e.lastSource = source
+}
+
+// HotKeys returns the k most-served canonical keys, most popular
+// first; ties break on key order so the report is deterministic.
+func (m *Metrics) HotKeys(k int) []HotKeyView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]HotKeyView, 0, len(m.hot))
+	for key, e := range m.hot {
+		out = append(out, HotKeyView{Key: key, Serves: e.serves, LastSource: e.lastSource})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Serves != out[j].Serves {
+			return out[i].Serves > out[j].Serves
+		}
+		return out[i].Key < out[j].Key
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
 }
 
 // ObserveJob records one finished job's kind, terminal status, and
@@ -136,6 +199,24 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	for _, k := range sortedKeys(m.timing) {
 		kind, fid := splitKey(k)
 		fmt.Fprintf(w, "bioperfd_timing_requests_total{kind=%q,fidelity=%q} %d\n", kind, fid, m.timing[k])
+	}
+
+	fmt.Fprintln(w, "# HELP bioperfd_accuracy_requests_total Admitted characterizations by kind and accuracy tier.")
+	fmt.Fprintln(w, "# TYPE bioperfd_accuracy_requests_total counter")
+	for _, k := range sortedKeys(m.accuracy) {
+		kind, acc := splitKey(k)
+		fmt.Fprintf(w, "bioperfd_accuracy_requests_total{kind=%q,accuracy=%q} %d\n", kind, acc, m.accuracy[k])
+	}
+
+	hotKeys := make([]string, 0, len(m.hot))
+	for k := range m.hot {
+		hotKeys = append(hotKeys, k)
+	}
+	sort.Strings(hotKeys)
+	fmt.Fprintln(w, "# HELP bioperfd_hot_key_serves_total Characterizations served per canonical key.")
+	fmt.Fprintln(w, "# TYPE bioperfd_hot_key_serves_total counter")
+	for _, k := range hotKeys {
+		fmt.Fprintf(w, "bioperfd_hot_key_serves_total{key=%q} %d\n", k, m.hot[k].serves)
 	}
 
 	fmt.Fprintln(w, "# HELP bioperfd_shed_total Overload-ladder actions (forward to primary, degrade to fast tier, reject 429).")

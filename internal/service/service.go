@@ -156,9 +156,14 @@ func (s *Server) jobDone(j *Job) {
 
 // CharacterizeRequest is the POST /v1/characterize body.
 type CharacterizeRequest struct {
-	Program   string `json:"program"`
-	Size      string `json:"size,omitempty"`       // test|classB|classC (default classB)
-	Hot       int    `json:"hot,omitempty"`        // hot loads in the report (default 6)
+	Program string `json:"program"`
+	Size    string `json:"size,omitempty"` // test|classB|classC (default classB)
+	Hot     int    `json:"hot,omitempty"`  // hot loads in the report (default 6)
+	// Accuracy selects the characterization tier: "exact" (default —
+	// the full committed stream) or "sampled" (SimPoint-style phase
+	// analysis: cluster fixed-size intervals, simulate one
+	// representative per phase, extrapolate by cluster weight).
+	Accuracy  string `json:"accuracy,omitempty"`
 	TimeoutMS int64  `json:"timeout_ms,omitempty"` // per-job timeout
 	Wait      bool   `json:"wait,omitempty"`       // block until the job finishes
 }
@@ -187,6 +192,7 @@ type SweepRequest struct {
 	Size      string   `json:"size,omitempty"`
 	Hot       int      `json:"hot,omitempty"`
 	Fidelity  string   `json:"fidelity,omitempty"` // evaluate only; fast (default) | full
+	Accuracy  string   `json:"accuracy,omitempty"` // characterize only; exact (default) | sampled
 	TimeoutMS int64    `json:"timeout_ms,omitempty"`
 	Wait      bool     `json:"wait,omitempty"`
 }
@@ -241,6 +247,8 @@ type HotLoadView struct {
 type CharacterizeResult struct {
 	Program       string        `json:"program"`
 	Size          string        `json:"size"`
+	Accuracy      string        `json:"accuracy,omitempty"` // exact | sampled
+	Source        string        `json:"source,omitempty"`   // serving tier (cold|snapshot|replay|peer|sampled)
 	Instructions  uint64        `json:"instructions"`
 	Mix           MixView       `json:"mix"`
 	StaticLoads   int           `json:"static_loads"`
@@ -285,6 +293,7 @@ type SweepResult struct {
 	Kind         string               `json:"kind"`
 	Size         string               `json:"size"`
 	Fidelity     string               `json:"fidelity,omitempty"` // evaluate sweeps only
+	Accuracy     string               `json:"accuracy,omitempty"` // characterize sweeps only
 	Characterize []CharacterizeResult `json:"characterize,omitempty"`
 	Evaluate     []SweepEvaluateItem  `json:"evaluate,omitempty"`
 }
@@ -295,6 +304,7 @@ type charSpec struct {
 	prog *bio.Program
 	sz   bio.Size
 	hot  int
+	acc  runner.Accuracy
 }
 
 type evalSpec struct {
@@ -312,6 +322,7 @@ type sweepSpec struct {
 	sz    bio.Size
 	hot   int
 	fid   pipeline.Fidelity
+	acc   runner.Accuracy
 }
 
 func parseSizeDefault(s string) (bio.Size, error) {
@@ -354,16 +365,24 @@ func (s *Server) exec(ctx context.Context, j *Job) (any, error) {
 }
 
 func (s *Server) runCharacterize(ctx context.Context, j *Job, spec charSpec) (any, error) {
-	j.Event("characterizing %s at %s", spec.prog.Name, spec.sz)
-	prof, err := s.session.Characterize(ctx, spec.prog, spec.sz)
+	j.Event("characterizing %s at %s (%s)", spec.prog.Name, spec.sz, spec.acc)
+	prof, err := s.session.CharacterizeAccuracy(ctx, spec.prog, spec.sz, spec.acc)
 	if err != nil {
 		return nil, err
 	}
 	j.Event("simulated %d instructions", prof.Instructions)
-	return characterizeResult(prof, spec.sz, spec.hot), nil
+	s.metrics.ObserveServe(canonicalCharKey(spec.prog.Name, spec.sz, spec.acc), prof.Source)
+	return characterizeResult(prof, spec.sz, spec.hot, spec.acc), nil
 }
 
-func characterizeResult(prof *runner.Profile, sz bio.Size, hot int) CharacterizeResult {
+// canonicalCharKey names one characterization independent of report
+// options (hot count, wait, timeout) — the identity the hot-key
+// tracker aggregates serves under.
+func canonicalCharKey(prog string, sz bio.Size, acc runner.Accuracy) string {
+	return fmt.Sprintf("%s|%s|%s", prog, sz, acc)
+}
+
+func characterizeResult(prof *runner.Profile, sz bio.Size, hot int, acc runner.Accuracy) CharacterizeResult {
 	a := prof.Analysis
 	m := a.Mix()
 	c := a.CacheReport()
@@ -371,6 +390,8 @@ func characterizeResult(prof *runner.Profile, sz bio.Size, hot int) Characterize
 	res := CharacterizeResult{
 		Program:      prof.Name,
 		Size:         sz.String(),
+		Accuracy:     string(acc),
+		Source:       prof.Source,
 		Instructions: prof.Instructions,
 		Mix: MixView{
 			LoadPct: m.LoadPct, StorePct: m.StorePct,
@@ -426,17 +447,21 @@ func evaluateResult(spec evalSpec, st pipeline.Stats) EvaluateResult {
 
 func (s *Server) runSweep(ctx context.Context, j *Job, spec sweepSpec) (any, error) {
 	out := SweepResult{Kind: spec.kind, Size: spec.sz.String()}
+	if spec.kind == "characterize" {
+		out.Accuracy = string(spec.acc)
+	}
 	var completed atomic.Int64
 	switch spec.kind {
 	case "characterize":
-		j.Event("sweeping characterization across %d programs at %s", len(spec.progs), spec.sz)
+		j.Event("sweeping characterization across %d programs at %s (%s)", len(spec.progs), spec.sz, spec.acc)
 		results := make([]CharacterizeResult, len(spec.progs))
 		err := s.session.ForEach(ctx, len(spec.progs), func(i int) error {
-			prof, err := s.session.Characterize(ctx, spec.progs[i], spec.sz)
+			prof, err := s.session.CharacterizeAccuracy(ctx, spec.progs[i], spec.sz, spec.acc)
 			if err != nil {
 				return err
 			}
-			results[i] = characterizeResult(prof, spec.sz, spec.hot)
+			s.metrics.ObserveServe(canonicalCharKey(prof.Name, spec.sz, spec.acc), prof.Source)
+			results[i] = characterizeResult(prof, spec.sz, spec.hot, spec.acc)
 			j.Event("%d/%d: %s done", completed.Add(1), len(spec.progs), prof.Name)
 			return nil
 		})
@@ -616,14 +641,20 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
+	acc, err := runner.ParseAccuracy(req.Accuracy)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
 	hot := req.Hot
 	if hot <= 0 {
 		hot = 6
 	}
-	key := fmt.Sprintf("characterize|%s|%s|hot=%d", prog.Name, sz, hot)
+	s.metrics.ObserveAccuracy("characterize", string(acc))
+	key := fmt.Sprintf("characterize|%s|%s|hot=%d|acc=%s", prog.Name, sz, hot, acc)
 	s.submit(w, r, submission{
 		kind: "characterize", key: key,
-		spec:      charSpec{prog: prog, sz: sz, hot: hot},
+		spec:      charSpec{prog: prog, sz: sz, hot: hot, acc: acc},
 		timeoutMS: req.TimeoutMS, wait: req.Wait, body: req,
 	})
 }
@@ -698,8 +729,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			err = fmt.Errorf("fidelity applies to evaluate sweeps only")
 			break
 		}
-		spec.progs, err = resolvePrograms(req.Programs, bio.All())
+		spec.acc, err = runner.ParseAccuracy(req.Accuracy)
+		if err == nil {
+			spec.progs, err = resolvePrograms(req.Programs, bio.All())
+		}
 	case "evaluate":
+		if req.Accuracy != "" {
+			err = fmt.Errorf("accuracy applies to characterize sweeps only")
+			break
+		}
 		spec.fid, err = parseFidelityDefault(req.Fidelity)
 		if err == nil {
 			spec.progs, err = resolvePrograms(req.Programs, bio.Transformed())
@@ -716,6 +754,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Kind == "evaluate" {
 		s.metrics.ObserveTiming("sweep", spec.fid.String())
+	} else {
+		s.metrics.ObserveAccuracy("sweep", string(spec.acc))
 	}
 	sub := submission{
 		kind: "sweep", key: sweepKey(spec), spec: spec,
@@ -742,8 +782,8 @@ func sweepKey(spec sweepSpec) string {
 	for i, p := range spec.plats {
 		platNames[i] = p.Name
 	}
-	return fmt.Sprintf("sweep|%s|%s|hot=%d|fid=%s|progs=%s|plats=%s",
-		spec.kind, spec.sz, spec.hot, spec.fid, strings.Join(names, ","), strings.Join(platNames, ","))
+	return fmt.Sprintf("sweep|%s|%s|hot=%d|fid=%s|acc=%s|progs=%s|plats=%s",
+		spec.kind, spec.sz, spec.hot, spec.fid, spec.acc, strings.Join(names, ","), strings.Join(platNames, ","))
 }
 
 // resolvePrograms maps names to programs, defaulting to def and
@@ -845,6 +885,7 @@ type HealthResponse struct {
 	QueueDepth    int               `json:"queue_depth"`
 	Session       runner.Stats      `json:"session"`
 	ServeSources  map[string]uint64 `json:"serve_sources"`
+	HotKeys       []HotKeyView      `json:"hot_keys,omitempty"` // top-10 most-served characterizations
 	Cluster       *ClusterHealth    `json:"cluster,omitempty"`
 }
 
@@ -855,6 +896,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		QueueDepth:    s.queue.depth(),
 		Session:       s.session.Stats(),
 		ServeSources:  s.serveSources(),
+		HotKeys:       s.metrics.HotKeys(10),
 		Cluster:       s.clusterHealth(),
 	})
 }
@@ -884,10 +926,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "bioperfd_session_profile_hits %d\n", st.ProfileHits)
 	fmt.Fprintln(w, "# TYPE bioperfd_session_peer_hits counter")
 	fmt.Fprintf(w, "bioperfd_session_peer_hits %d\n", st.PeerHits)
+	fmt.Fprintln(w, "# TYPE bioperfd_session_sampled_chars counter")
+	fmt.Fprintf(w, "bioperfd_session_sampled_chars %d\n", st.SampledChars)
+	fmt.Fprintln(w, "# TYPE bioperfd_session_sampled_hits counter")
+	fmt.Fprintf(w, "bioperfd_session_sampled_hits %d\n", st.SampledHits)
+	fmt.Fprintln(w, "# TYPE bioperfd_session_sampled_degrades counter")
+	fmt.Fprintf(w, "bioperfd_session_sampled_degrades %d\n", st.SampledDegrades)
 	sources := s.serveSources()
 	fmt.Fprintln(w, "# HELP bioperfd_serve_source_total Characterizations answered, by serving tier.")
 	fmt.Fprintln(w, "# TYPE bioperfd_serve_source_total counter")
-	for _, src := range []string{"cold", "peer", "replay", "snapshot"} {
+	for _, src := range []string{"cold", "peer", "replay", "sampled", "snapshot"} {
 		fmt.Fprintf(w, "bioperfd_serve_source_total{source=%q} %d\n", src, sources[src])
 	}
 	if c := s.cfg.Cluster; c != nil {

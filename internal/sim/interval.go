@@ -1,0 +1,87 @@
+package sim
+
+// IntervalFunc is invoked at every fixed-size committed-instruction
+// interval boundary of a split stream: index is the interval that just
+// completed (0-based) and end is the sequence number one past its last
+// event.
+type IntervalFunc func(index int, end uint64)
+
+// IntervalSplitter is a BatchObserver that cuts the committed stream
+// into fixed-size intervals. Slabs are forwarded to the inner observer
+// in segments that never straddle an interval edge, and the boundary
+// callback fires between segments — so the inner observer can treat
+// "everything since the last callback" as exactly one interval's
+// events. It is how the sampling subsystem collects basic-block
+// vectors both live (attached to a Machine) and from trace replay
+// (fed decoded slabs).
+//
+// The splitter assumes events arrive in commit order starting at the
+// sequence number given to NewIntervalSplitter. It is not safe for
+// concurrent use; each decode lane owns its own splitter.
+type IntervalSplitter struct {
+	size     uint64
+	inner    BatchObserver
+	boundary IntervalFunc
+	next     uint64 // sequence number of the next boundary
+	index    int    // interval currently being filled
+}
+
+// NewIntervalSplitter creates a splitter over intervals of the given
+// size (events per interval, must be > 0), starting at sequence number
+// start. start must lie on an interval edge (start%size == 0): the
+// splitter derives the current interval index from it.
+func NewIntervalSplitter(size uint64, start uint64, inner BatchObserver, boundary IntervalFunc) *IntervalSplitter {
+	if size == 0 {
+		panic("sim: interval size must be > 0")
+	}
+	if start%size != 0 {
+		panic("sim: interval start must be a multiple of the interval size")
+	}
+	return &IntervalSplitter{
+		size:     size,
+		inner:    inner,
+		boundary: boundary,
+		next:     start + size,
+		index:    int(start / size),
+	}
+}
+
+// ObserveBatch forwards evs to the inner observer, splitting at every
+// interval boundary and firing the boundary callback in between.
+func (s *IntervalSplitter) ObserveBatch(evs []Event) {
+	for len(evs) > 0 {
+		base := evs[0].Seq
+		// Events within a slab are contiguous in sequence, so the cut
+		// point is a simple offset from the slab base.
+		if base+uint64(len(evs)) <= s.next {
+			s.inner.ObserveBatch(evs)
+			if base+uint64(len(evs)) == s.next {
+				s.fire()
+			}
+			return
+		}
+		cut := s.next - base
+		s.inner.ObserveBatch(evs[:cut])
+		s.fire()
+		evs = evs[cut:]
+	}
+}
+
+// Flush fires the boundary callback for a trailing partial interval
+// (one that ended before reaching the full size). end is the sequence
+// number one past the stream's last event; a stream that ended exactly
+// on a boundary flushes nothing.
+func (s *IntervalSplitter) Flush(end uint64) {
+	if end+s.size != s.next && s.boundary != nil {
+		s.boundary(s.index, end)
+		s.index++
+	}
+}
+
+func (s *IntervalSplitter) fire() {
+	if s.boundary != nil {
+		s.boundary(s.index, s.next)
+	}
+	s.index++
+	s.next += s.size
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+type segmentRecorder struct {
+	segs  [][2]uint64 // [start seq, one past end seq] per forwarded segment
+	edges []uint64    // boundary end seqs, in firing order
+	idxs  []int
+}
+
+func (r *segmentRecorder) ObserveBatch(evs []Event) {
+	r.segs = append(r.segs, [2]uint64{evs[0].Seq, evs[len(evs)-1].Seq + 1})
+}
+
+func seqEvents(start, n uint64) []Event {
+	evs := make([]Event, n)
+	for i := range evs {
+		evs[i].Seq = start + uint64(i)
+	}
+	return evs
+}
+
+// TestIntervalSplitter checks the two contracts: forwarded segments
+// never straddle an interval edge, and the boundary callback fires
+// exactly once per completed interval with the right index and end.
+func TestIntervalSplitter(t *testing.T) {
+	const size = 32
+	for _, total := range []uint64{0, 1, size - 1, size, size + 1, 3 * size, 3*size + 7} {
+		rec := &segmentRecorder{}
+		s := NewIntervalSplitter(size, 0, rec, func(idx int, end uint64) {
+			rec.idxs = append(rec.idxs, idx)
+			rec.edges = append(rec.edges, end)
+		})
+		// Deliver in uneven slabs, including ones spanning several edges.
+		for lo := uint64(0); lo < total; {
+			n := uint64(13)
+			if lo%3 == 0 {
+				n = 2*size + 5
+			}
+			if lo+n > total {
+				n = total - lo
+			}
+			s.ObserveBatch(seqEvents(lo, n))
+			lo += n
+		}
+		s.Flush(total)
+
+		for _, seg := range rec.segs {
+			if seg[0]/size != (seg[1]-1)/size {
+				t.Errorf("total=%d: segment [%d,%d) straddles an edge", total, seg[0], seg[1])
+			}
+		}
+		var wantEdges []uint64
+		var wantIdxs []int
+		for e, i := uint64(size), 0; e < total; e, i = e+size, i+1 {
+			wantEdges, wantIdxs = append(wantEdges, e), append(wantIdxs, i)
+		}
+		if total > 0 {
+			wantEdges = append(wantEdges, total)
+			wantIdxs = append(wantIdxs, len(wantIdxs))
+		}
+		if !reflect.DeepEqual(rec.edges, wantEdges) || !reflect.DeepEqual(rec.idxs, wantIdxs) {
+			t.Errorf("total=%d: boundaries %v idx %v, want %v idx %v",
+				total, rec.edges, rec.idxs, wantEdges, wantIdxs)
+		}
+	}
+}
+
+// TestIntervalSplitterAlignedStart: a splitter starting mid-stream on
+// an interval edge numbers its intervals from that offset.
+func TestIntervalSplitterAlignedStart(t *testing.T) {
+	const size = 16
+	rec := &segmentRecorder{}
+	s := NewIntervalSplitter(size, 4*size, rec, func(idx int, end uint64) {
+		rec.idxs = append(rec.idxs, idx)
+		rec.edges = append(rec.edges, end)
+	})
+	s.ObserveBatch(seqEvents(4*size, 2*size+3))
+	s.Flush(6*size + 3)
+	if want := []int{4, 5, 6}; !reflect.DeepEqual(rec.idxs, want) {
+		t.Errorf("indices %v, want %v", rec.idxs, want)
+	}
+	if want := []uint64{5 * size, 6 * size, 6*size + 3}; !reflect.DeepEqual(rec.edges, want) {
+		t.Errorf("edges %v, want %v", rec.edges, want)
+	}
+}
+
+func TestIntervalSplitterPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero size":       func() { NewIntervalSplitter(0, 0, nil, nil) },
+		"unaligned start": func() { NewIntervalSplitter(16, 8, nil, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

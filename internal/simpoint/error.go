@@ -1,0 +1,38 @@
+package simpoint
+
+import (
+	"math"
+
+	"bioperfload/internal/loadchar"
+)
+
+// ProfileError compares a sampled profile against the exact one over
+// the headline metrics of every report table, each expressed in
+// percentage points so one tolerance scale covers them all. It returns
+// the per-metric absolute differences and their maximum — the number
+// checked against the per-program tolerance file.
+func ProfileError(exact, sampled *loadchar.Analysis) (map[string]float64, float64) {
+	em, sm := exact.Mix(), sampled.Mix()
+	ec, sc := exact.CacheReport(), sampled.CacheReport()
+	es, ss := exact.Sequences(), sampled.Sequences()
+	diffs := map[string]float64{
+		"mix.load_pct":               math.Abs(em.LoadPct - sm.LoadPct),
+		"mix.store_pct":              math.Abs(em.StorePct - sm.StorePct),
+		"mix.branch_pct":             math.Abs(em.BranchPct - sm.BranchPct),
+		"mix.fp_pct":                 100 * math.Abs(em.FPFraction-sm.FPFraction),
+		"coverage.top80":             100 * math.Abs(exact.CoverageAt(80)-sampled.CoverageAt(80)),
+		"cache.l1_local":             100 * math.Abs(ec.L1Local-sc.L1Local),
+		"cache.overall":              100 * math.Abs(ec.Overall-sc.Overall),
+		"bpred.overall_mispredict":   100 * math.Abs(es.OverallMispredictRate-ss.OverallMispredictRate),
+		"seq.load_to_branch":         math.Abs(es.LoadToBranchPct - ss.LoadToBranchPct),
+		"seq.fed_branch_mispredict":  100 * math.Abs(es.FedBranchMispredictRate-ss.FedBranchMispredictRate),
+		"seq.load_after_hard_branch": math.Abs(es.LoadAfterHardBranchPct - ss.LoadAfterHardBranchPct),
+	}
+	var max float64
+	for _, d := range diffs {
+		if d > max {
+			max = d
+		}
+	}
+	return diffs, max
+}

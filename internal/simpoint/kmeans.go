@@ -1,0 +1,206 @@
+package simpoint
+
+import "math"
+
+// rng is a splitmix64 stream: deterministic, seedable, and cheap. The
+// clustering must be reproducible across runs and machines, so it
+// never touches math/rand global state.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	return mix64(r.state)
+}
+
+func (r *rng) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func dist2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+const lloydMaxIters = 64
+
+// kmeans clusters vecs into k groups: k-means++ seeding from the given
+// seed, then Lloyd iterations until assignments stabilize (or the
+// iteration cap). Empty clusters are reseeded to the point farthest
+// from its current centroid, so every returned cluster is non-empty
+// whenever k <= len(vecs).
+func kmeans(vecs [][]float64, k int, seed uint64) (assign []int, cents [][]float64, sse float64) {
+	n := len(vecs)
+	d := len(vecs[0])
+	r := newRNG(seed)
+
+	// k-means++ seeding: first centroid uniform, the rest D²-weighted.
+	cents = make([][]float64, 1, k)
+	cents[0] = append([]float64(nil), vecs[r.intn(n)]...)
+	minD2 := make([]float64, n)
+	for i := range vecs {
+		minD2[i] = dist2(vecs[i], cents[0])
+	}
+	for len(cents) < k {
+		var total float64
+		for _, v := range minD2 {
+			total += v
+		}
+		idx := n - 1
+		if total <= 0 {
+			// All points coincide with a centroid; any choice works.
+			idx = r.intn(n)
+		} else {
+			target := r.float64() * total
+			var acc float64
+			for i, v := range minD2 {
+				acc += v
+				if acc >= target {
+					idx = i
+					break
+				}
+			}
+		}
+		c := append([]float64(nil), vecs[idx]...)
+		cents = append(cents, c)
+		for i := range vecs {
+			if v := dist2(vecs[i], c); v < minD2[i] {
+				minD2[i] = v
+			}
+		}
+	}
+
+	assign = make([]int, n)
+	assignStep := func() bool {
+		changed := false
+		for i, v := range vecs {
+			best, bd := 0, dist2(v, cents[0])
+			for j := 1; j < k; j++ {
+				if dj := dist2(v, cents[j]); dj < bd {
+					best, bd = j, dj
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		return changed
+	}
+
+	assignStep()
+	for iter := 0; iter < lloydMaxIters; iter++ {
+		// Update step: recompute centroids as member means.
+		counts := make([]int, k)
+		next := make([][]float64, k)
+		for j := range next {
+			next[j] = make([]float64, d)
+		}
+		for i, v := range vecs {
+			j := assign[i]
+			counts[j]++
+			for di := range v {
+				next[j][di] += v[di]
+			}
+		}
+		reseeded := false
+		for j := range next {
+			if counts[j] == 0 {
+				// Reseed an empty cluster to the point farthest from its
+				// current centroid; it captures that point next pass.
+				far, fd := 0, -1.0
+				for i, v := range vecs {
+					if dv := dist2(v, cents[assign[i]]); dv > fd {
+						far, fd = i, dv
+					}
+				}
+				copy(next[j], vecs[far])
+				reseeded = true
+				continue
+			}
+			inv := 1 / float64(counts[j])
+			for di := range next[j] {
+				next[j][di] *= inv
+			}
+		}
+		cents = next
+		if !assignStep() && !reseeded {
+			break
+		}
+	}
+
+	for i, v := range vecs {
+		sse += dist2(v, cents[assign[i]])
+	}
+	return assign, cents, sse
+}
+
+// bicScore is the X-means BIC approximation for a spherical-Gaussian
+// mixture fit: log-likelihood of the clustering minus a complexity
+// penalty of half the free parameter count times log n. Higher is
+// better.
+func bicScore(n, d, k int, sse float64, assign []int) float64 {
+	counts := make([]int, k)
+	for _, j := range assign {
+		counts[j]++
+	}
+	variance := 0.0
+	if n > k {
+		variance = sse / float64(d*(n-k))
+	}
+	if variance < 1e-12 {
+		// A perfect fit (k == n, or genuinely identical vectors) would
+		// send log(σ²) to -inf; clamping keeps scores finite and still
+		// strongly favors the tight clustering.
+		variance = 1e-12
+	}
+	nn := float64(n)
+	ll := 0.0
+	for _, ni := range counts {
+		if ni > 0 {
+			ll += float64(ni) * math.Log(float64(ni))
+		}
+	}
+	ll -= nn * math.Log(nn)
+	ll -= nn * float64(d) / 2 * math.Log(2*math.Pi*variance)
+	ll -= float64(d) * float64(n-k) / 2
+	params := float64(k * (d + 1))
+	return ll - params/2*math.Log(nn)
+}
+
+// cluster runs kmeans for every k in 1..maxK and picks the smallest k
+// whose BIC score lands within frac of the best, rescaled to the
+// observed score range — the SimPoint heuristic that prefers fewer
+// simulation points when the fit is nearly as good.
+func cluster(vecs [][]float64, maxK int, seed uint64, frac float64) (k int, assign []int, cents [][]float64) {
+	n := len(vecs)
+	if maxK > n {
+		maxK = n
+	}
+	type result struct {
+		assign []int
+		cents  [][]float64
+		bic    float64
+	}
+	results := make([]result, maxK+1)
+	minB, maxB := math.Inf(1), math.Inf(-1)
+	for kk := 1; kk <= maxK; kk++ {
+		a, c, sse := kmeans(vecs, kk, seed+uint64(kk))
+		b := bicScore(n, len(vecs[0]), kk, sse, a)
+		results[kk] = result{assign: a, cents: c, bic: b}
+		minB = math.Min(minB, b)
+		maxB = math.Max(maxB, b)
+	}
+	span := maxB - minB
+	for kk := 1; kk <= maxK; kk++ {
+		if span <= 0 || results[kk].bic-minB >= frac*span {
+			return kk, results[kk].assign, results[kk].cents
+		}
+	}
+	return maxK, results[maxK].assign, results[maxK].cents
+}

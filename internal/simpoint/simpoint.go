@@ -1,0 +1,108 @@
+// Package simpoint is the sampled-characterization subsystem: a
+// SimPoint-style phase analysis that makes 100x-scale inputs
+// affordable to characterize. The committed instruction stream is cut
+// into fixed-size intervals; each interval is summarized by a
+// basic-block vector (how many instructions executed in each static
+// basic block, the classic phase signature); the vectors are
+// random-projected to a few dimensions and clustered with k-means
+// (deterministic seeding, BIC-style selection of k); and one
+// representative interval per cluster is characterized exactly, its
+// counts scaled by the cluster population and merged into a full-run
+// profile (loadchar.Snapshot arithmetic). The result is a profile
+// whose cost is proportional to k intervals plus one cheap decode
+// scan, instead of the full run — with the sampled-vs-exact error
+// measured at classB, where ground truth is cheap, and recorded in
+// BENCH_sampling.json.
+package simpoint
+
+import "fmt"
+
+// Defaults for Config. The interval size is a multiple of the trace
+// chunk size (16Ki events), so interval edges coincide with chunk
+// edges and representative replay never decodes partial chunks.
+const (
+	DefaultIntervalSize = 1 << 18   // events per interval (256Ki)
+	DefaultDims         = 16        // random-projection dimensions
+	DefaultMaxK         = 16        // k-means upper bound before clamping
+	DefaultSeed         = 0x51A9017 // deterministic projection + seeding
+	DefaultMinIntervals = 4         // fewer intervals degrade to exact
+	DefaultBICFraction  = 0.9       // smallest k within this fraction of the best BIC
+	DefaultWarmup       = 1 << 16   // warm-up events replayed before each representative
+)
+
+// Config parameterizes the sampling pipeline. The zero value selects
+// every default; tests shrink IntervalSize to exercise clustering on
+// tiny traces.
+type Config struct {
+	// IntervalSize is the number of committed instructions per
+	// interval.
+	IntervalSize uint64
+	// Dims is the dimensionality BBVs are randomly projected down to
+	// before clustering.
+	Dims int
+	// MaxK bounds the k-means search; it is clamped to the number of
+	// intervals.
+	MaxK int
+	// Seed drives the deterministic random projection and the k-means++
+	// seeding. Identical configs produce identical plans.
+	Seed uint64
+	// MinIntervals is the fewest intervals worth sampling; traces
+	// shorter than this degrade to exact characterization.
+	MinIntervals int
+	// BICFraction selects k: the smallest k whose BIC score is within
+	// this fraction of the best score across 1..MaxK.
+	BICFraction float64
+	// WarmupEvents is how many events are replayed (and subtracted
+	// back out) before each representative interval to warm the cache
+	// and predictor state.
+	WarmupEvents uint64
+}
+
+// WithDefaults returns c with every zero field replaced by its
+// default.
+func (c Config) WithDefaults() Config {
+	if c.IntervalSize == 0 {
+		c.IntervalSize = DefaultIntervalSize
+	}
+	if c.Dims <= 0 {
+		c.Dims = DefaultDims
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = DefaultMaxK
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+	if c.MinIntervals <= 0 {
+		c.MinIntervals = DefaultMinIntervals
+	}
+	if c.BICFraction <= 0 || c.BICFraction > 1 {
+		c.BICFraction = DefaultBICFraction
+	}
+	if c.WarmupEvents == 0 {
+		c.WarmupEvents = DefaultWarmup
+	}
+	return c
+}
+
+// Fingerprint names everything a sampled profile depends on beyond
+// the program fingerprint: a stored sampled snapshot keyed under it is
+// only served back to requests with an identical sampling
+// configuration.
+func (c Config) Fingerprint() string {
+	c = c.WithDefaults()
+	return fmt.Sprintf("simpoint|iv=%d|dims=%d|maxk=%d|seed=%x|min=%d|bic=%g|warm=%d",
+		c.IntervalSize, c.Dims, c.MaxK, c.Seed, c.MinIntervals, c.BICFraction, c.WarmupEvents)
+}
+
+// DegradeError reports that sampling is not applicable to this trace
+// or program and the caller should serve the exact characterization
+// instead. It is a routing signal, never a failure: every degrade
+// carries a human-readable reason that the runner logs.
+type DegradeError struct {
+	Reason string
+}
+
+func (e *DegradeError) Error() string {
+	return "simpoint: degrading to exact characterization: " + e.Reason
+}

@@ -90,8 +90,26 @@ func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 //	k₂ zigzag varints     Addr deltas for the present addresses
 //	                      (previous address starts at 0)
 //
+// Format v3 keeps v2's sparse encodings but front-loads the PC
+// column: only the PC-exception bitmap precedes the PC deltas, and
+// the remaining bitmaps move between the PC and target streams:
+//
+//	uvarint base          sequence number of recs[0]
+//	uvarint n             record count
+//	⌈n/8⌉ bytes           PC-exception bitmap
+//	k₀ zigzag varints     PC deltas for the exceptional PCs
+//	⌈n/8⌉ bytes           Taken bitmap
+//	⌈n/8⌉ bytes           Target-present bitmap
+//	⌈n/8⌉ bytes           Addr-present bitmap
+//	k₁ zigzag varints     Target deltas for the present targets
+//	k₂ zigzag varints     Addr deltas for the present addresses
+//
+// A PC-only consumer (the phase-analysis scan) can therefore stop
+// decompressing a chunk right after the PC deltas — a few percent of
+// the payload — instead of inflating the whole thing.
+//
 // Every stream is chunk-local, so chunks decode independently.
-func appendChunk(dst []byte, base uint64, recs []Record, sparse bool) []byte {
+func appendChunk(dst []byte, base uint64, recs []Record, version int) []byte {
 	var tmp [binary.MaxVarintLen64]byte
 	put := func(u uint64) {
 		n := binary.PutUvarint(tmp[:], u)
@@ -100,7 +118,7 @@ func appendChunk(dst []byte, base uint64, recs []Record, sparse bool) []byte {
 	put(base)
 	put(uint64(len(recs)))
 	nb := (len(recs) + 7) / 8
-	if !sparse {
+	if version < 2 {
 		prevPC := int64(0)
 		for i := range recs {
 			pc := int64(recs[i].PC)
@@ -124,7 +142,7 @@ func appendChunk(dst []byte, base uint64, recs []Record, sparse bool) []byte {
 				dst[off+i/8] |= 1 << (i % 8)
 			}
 		}
-	} else {
+	} else if version == 2 {
 		off := len(dst)
 		dst = append(dst, make([]byte, 4*nb)...)
 		pcex, taken := dst[off:off+nb], dst[off+nb:off+2*nb]
@@ -153,6 +171,48 @@ func appendChunk(dst []byte, base uint64, recs []Record, sparse bool) []byte {
 				put(zigzag(pc - prevPC - 1))
 			}
 			prevPC = pc
+		}
+		for i := range recs {
+			if d := int64(recs[i].Target) - int64(recs[i].PC) - 1; d != 0 {
+				put(zigzag(d))
+			}
+		}
+	} else {
+		// v3: PC column first. Each bitmap area must be fully written
+		// before the next varint append can grow (and so move) dst.
+		off := len(dst)
+		dst = append(dst, make([]byte, nb)...)
+		pcex := dst[off : off+nb]
+		prevPC := int64(0)
+		for i := range recs {
+			if int64(recs[i].PC) != prevPC+1 {
+				pcex[i/8] |= 1 << (i % 8)
+			}
+			prevPC = int64(recs[i].PC)
+		}
+		prevPC = 0
+		for i := range recs {
+			pc := int64(recs[i].PC)
+			if pc != prevPC+1 {
+				put(zigzag(pc - prevPC - 1))
+			}
+			prevPC = pc
+		}
+		off = len(dst)
+		dst = append(dst, make([]byte, 3*nb)...)
+		taken, tpresent := dst[off:off+nb], dst[off+nb:off+2*nb]
+		present := dst[off+2*nb : off+3*nb]
+		for i := range recs {
+			pc := int64(recs[i].PC)
+			if recs[i].Taken {
+				taken[i/8] |= 1 << (i % 8)
+			}
+			if int64(recs[i].Target) != pc+1 {
+				tpresent[i/8] |= 1 << (i % 8)
+			}
+			if recs[i].Addr != 0 {
+				present[i/8] |= 1 << (i % 8)
+			}
 		}
 		for i := range recs {
 			if d := int64(recs[i].Target) - int64(recs[i].PC) - 1; d != 0 {
@@ -219,7 +279,7 @@ func (d *chunkDecoder) bytes(n int) ([]byte, error) {
 // This is the reference decoder, kept for the fuzzer and round-trip
 // tests; the replay hot path uses decodeChunkEvents, which binds
 // events in the same pass.
-func decodeChunk(data []byte, recs []Record, sparse bool) (uint64, []Record, error) {
+func decodeChunk(data []byte, recs []Record, version int) (uint64, []Record, error) {
 	d := &chunkDecoder{data: data}
 	base, err := d.uvarint()
 	if err != nil {
@@ -238,8 +298,34 @@ func decodeChunk(data []byte, recs []Record, sparse bool) (uint64, []Record, err
 	}
 	recs = recs[:n]
 	nb := (n + 7) / 8
+	// Trailing padding bits of every bitmap must be zero before its
+	// bit-scan, so the presence counts below are trustworthy.
+	padOK := func(bm []byte) bool { return n%8 == 0 || bm[nb-1]>>(n%8) == 0 }
+	// decodePCs consumes the sparse PC column (v2 and v3 layouts).
+	decodePCs := func(pcex []byte) error {
+		prevPC := int64(0)
+		for i := 0; i < n; i++ {
+			pc := prevPC + 1
+			if pcex[i/8]&(1<<(i%8)) != 0 {
+				u, err := d.uvarint()
+				if err != nil {
+					return err
+				}
+				if u == 0 {
+					return fmt.Errorf("trace: sequential PC marked exceptional at record %d", i)
+				}
+				pc += unzigzag(u)
+			}
+			if pc < -(1<<31) || pc >= 1<<31 {
+				return fmt.Errorf("trace: PC %d out of int32 range", pc)
+			}
+			recs[i] = Record{PC: int32(pc)}
+			prevPC = pc
+		}
+		return nil
+	}
 	var pcex, taken, tpresent, present []byte
-	if !sparse {
+	if version < 2 {
 		prevPC := int64(0)
 		for i := 0; i < n; i++ {
 			u, err := d.uvarint()
@@ -270,7 +356,7 @@ func decodeChunk(data []byte, recs []Record, sparse bool) (uint64, []Record, err
 		if present, err = d.bytes(nb); err != nil {
 			return 0, nil, err
 		}
-	} else {
+	} else if version == 2 {
 		if pcex, err = d.bytes(nb); err != nil {
 			return 0, nil, err
 		}
@@ -283,37 +369,37 @@ func decodeChunk(data []byte, recs []Record, sparse bool) (uint64, []Record, err
 		if present, err = d.bytes(nb); err != nil {
 			return 0, nil, err
 		}
-	}
-	// Trailing padding bits of the final bitmap bytes must be zero, so
-	// the presence counts below are trustworthy.
-	if n%8 != 0 {
-		if present[nb-1]>>(n%8) != 0 || taken[nb-1]>>(n%8) != 0 {
+		if !padOK(pcex) {
 			return 0, nil, fmt.Errorf("trace: nonzero padding bits in chunk bitmap")
 		}
-		if sparse && (pcex[nb-1]>>(n%8) != 0 || tpresent[nb-1]>>(n%8) != 0) {
+		if err := decodePCs(pcex); err != nil {
+			return 0, nil, err
+		}
+	} else {
+		// v3: the PC column comes first, then the remaining bitmaps.
+		if pcex, err = d.bytes(nb); err != nil {
+			return 0, nil, err
+		}
+		if !padOK(pcex) {
 			return 0, nil, fmt.Errorf("trace: nonzero padding bits in chunk bitmap")
 		}
-	}
-	if sparse {
-		prevPC := int64(0)
-		for i := 0; i < n; i++ {
-			pc := prevPC + 1
-			if pcex[i/8]&(1<<(i%8)) != 0 {
-				u, err := d.uvarint()
-				if err != nil {
-					return 0, nil, err
-				}
-				if u == 0 {
-					return 0, nil, fmt.Errorf("trace: sequential PC marked exceptional at record %d", i)
-				}
-				pc += unzigzag(u)
-			}
-			if pc < -(1<<31) || pc >= 1<<31 {
-				return 0, nil, fmt.Errorf("trace: PC %d out of int32 range", pc)
-			}
-			recs[i] = Record{PC: int32(pc)}
-			prevPC = pc
+		if err := decodePCs(pcex); err != nil {
+			return 0, nil, err
 		}
+		if taken, err = d.bytes(nb); err != nil {
+			return 0, nil, err
+		}
+		if tpresent, err = d.bytes(nb); err != nil {
+			return 0, nil, err
+		}
+		if present, err = d.bytes(nb); err != nil {
+			return 0, nil, err
+		}
+	}
+	if !padOK(taken) || !padOK(present) || (version >= 2 && !padOK(tpresent)) {
+		return 0, nil, fmt.Errorf("trace: nonzero padding bits in chunk bitmap")
+	}
+	if version >= 2 {
 		for i := 0; i < n; i++ {
 			t := int64(recs[i].PC) + 1
 			if tpresent[i/8]&(1<<(i%8)) != 0 {
@@ -370,7 +456,7 @@ func decodeChunk(data []byte, recs []Record, sparse bool) (uint64, []Record, err
 // decoder is preserved — bounds-checked varints, bitmap padding,
 // zero-address and trailing-byte checks — plus the PC-in-program
 // check the old bind step performed.
-func decodeChunkEvents(data []byte, prog *isa.Program, evs []sim.Event, sparse bool) (uint64, []sim.Event, error) {
+func decodeChunkEvents(data []byte, prog *isa.Program, evs []sim.Event, version int) (uint64, []sim.Event, error) {
 	pos := 0
 	base, pos, err := uvarintAt(data, pos)
 	if err != nil {
@@ -391,8 +477,11 @@ func decodeChunkEvents(data []byte, prog *isa.Program, evs []sim.Event, sparse b
 	insts := prog.Insts
 	ni := int64(len(insts))
 	nb := (n + 7) / 8
+	// A set padding bit in any bitmap would index past evs[:n] in the
+	// bit-scan loops, so each bitmap is checked as soon as it is sliced.
+	padOK := func(bm []byte) bool { return n%8 == 0 || bm[nb-1]>>(n%8) == 0 }
 	var pcex, taken, tpresent, present []byte
-	if !sparse {
+	if version < 2 {
 		prevPC := int64(0)
 		for i := 0; i < n; i++ {
 			// Inlined uvarint fast paths: PC deltas are almost always
@@ -449,7 +538,10 @@ func decodeChunkEvents(data []byte, prog *isa.Program, evs []sim.Event, sparse b
 		taken = data[pos : pos+nb]
 		present = data[pos+nb : pos+2*nb]
 		pos += 2 * nb
-	} else {
+		if !padOK(taken) || !padOK(present) {
+			return 0, nil, fmt.Errorf("trace: nonzero padding bits in chunk bitmap")
+		}
+	} else if version == 2 {
 		if pos+4*nb > len(data) {
 			return 0, nil, fmt.Errorf("trace: chunk truncated at offset %d (need %d bytes)", pos, 4*nb)
 		}
@@ -458,18 +550,22 @@ func decodeChunkEvents(data []byte, prog *isa.Program, evs []sim.Event, sparse b
 		tpresent = data[pos+2*nb : pos+3*nb]
 		present = data[pos+3*nb : pos+4*nb]
 		pos += 4 * nb
-	}
-	// Padding bits must be rejected before the bit-scan loops below:
-	// a set padding bit would otherwise index past evs[:n].
-	if n%8 != 0 {
-		if present[nb-1]>>(n%8) != 0 || taken[nb-1]>>(n%8) != 0 {
+		if !padOK(pcex) || !padOK(taken) || !padOK(tpresent) || !padOK(present) {
 			return 0, nil, fmt.Errorf("trace: nonzero padding bits in chunk bitmap")
 		}
-		if sparse && (pcex[nb-1]>>(n%8) != 0 || tpresent[nb-1]>>(n%8) != 0) {
+	} else {
+		// v3 front-loads the PC column: only its exception bitmap
+		// precedes the PC deltas; the remaining bitmaps follow them.
+		if pos+nb > len(data) {
+			return 0, nil, fmt.Errorf("trace: chunk truncated at offset %d (need %d bytes)", pos, nb)
+		}
+		pcex = data[pos : pos+nb]
+		pos += nb
+		if !padOK(pcex) {
 			return 0, nil, fmt.Errorf("trace: nonzero padding bits in chunk bitmap")
 		}
 	}
-	if sparse {
+	if version >= 2 {
 		// PC column: between exception bits the stream is straight-line
 		// code, so whole runs need one bounds check and then only the
 		// struct write per event — no varint, no per-event range test.
@@ -524,6 +620,18 @@ func decodeChunkEvents(data []byte, prog *isa.Program, evs []sim.Event, sparse b
 				pc++
 				evs[i] = sim.Event{Seq: base + uint64(i), PC: int32(pc), Target: int32(pc) + 1, Inst: &insts[pc]}
 			}
+		}
+	}
+	if version >= 3 {
+		if pos+3*nb > len(data) {
+			return 0, nil, fmt.Errorf("trace: chunk truncated at offset %d (need %d bytes)", pos, 3*nb)
+		}
+		taken = data[pos : pos+nb]
+		tpresent = data[pos+nb : pos+2*nb]
+		present = data[pos+2*nb : pos+3*nb]
+		pos += 3 * nb
+		if !padOK(taken) || !padOK(tpresent) || !padOK(present) {
+			return 0, nil, fmt.Errorf("trace: nonzero padding bits in chunk bitmap")
 		}
 	}
 	// Bit-scan the sparse bitmaps instead of testing every event: with
@@ -594,6 +702,112 @@ func decodeChunkEvents(data []byte, prog *isa.Program, evs []sim.Event, sparse b
 	return base, evs, nil
 }
 
+// scanChunkPCRuns decodes only the program-counter column of a
+// sparse-layout chunk, reporting the committed stream as maximal
+// straight-line runs: run(pc, n) covers n events whose PCs are pc,
+// pc+1, ..., pc+n-1, in commit order. The header, bitmap, and PC
+// column checks match decodeChunkEvents; the taken, target, and
+// address columns are never touched — and with a split-compressed
+// frame, never even decompressed. Skipping their varint work and the
+// per-event struct writes is the point. data need only extend through
+// the PC column (framePCColumn's contract). Returns the chunk's base
+// sequence number and event count.
+func scanChunkPCRuns(data []byte, version int, ni int64, run func(pc, n int32)) (uint64, int, error) {
+	pos := 0
+	base, pos, err := uvarintAt(data, pos)
+	if err != nil {
+		return 0, 0, err
+	}
+	n64, pos, err := uvarintAt(data, pos)
+	if err != nil {
+		return 0, 0, err
+	}
+	if n64 > maxChunkEvents {
+		return 0, 0, fmt.Errorf("trace: chunk claims %d records (max %d)", n64, maxChunkEvents)
+	}
+	n := int(n64)
+	nb := (n + 7) / 8
+	// v3 places only the PC-exception bitmap ahead of the PC deltas;
+	// v2 interleaves all four bitmaps there, so its scan must inflate
+	// through them.
+	ahead := nb
+	if version < 3 {
+		ahead = 4 * nb
+	}
+	if pos+ahead > len(data) {
+		return 0, 0, fmt.Errorf("trace: chunk truncated at offset %d (need %d bytes)", pos, ahead)
+	}
+	pcex := data[pos : pos+nb]
+	pos += ahead
+	if n%8 != 0 && pcex[nb-1]>>(n%8) != 0 {
+		return 0, 0, fmt.Errorf("trace: nonzero padding bits in chunk bitmap")
+	}
+	pc := int64(0)
+	i := 0
+	runStart := int64(0)
+	runLen := int32(0)
+	for bi, b := range pcex {
+		for b != 0 {
+			j := bi<<3 + bits.TrailingZeros8(b)
+			b &= b - 1
+			if j > i {
+				// Straight-line events i..j-1 extend the current run.
+				if pc+int64(j-i) >= ni {
+					return 0, 0, fmt.Errorf("trace: record %d: pc %d outside program (%d insts)",
+						base+uint64(j-1), pc+int64(j-i), ni)
+				}
+				if runLen == 0 {
+					runStart = pc + 1
+				}
+				runLen += int32(j - i)
+				pc += int64(j - i)
+				i = j
+			}
+			if uint(pos) >= uint(len(data)) {
+				return 0, 0, errTruncatedVarint
+			}
+			u := uint64(data[pos])
+			pos++
+			if u >= 0x80 {
+				if uint(pos) < uint(len(data)) && data[pos] < 0x80 {
+					u = u&0x7f | uint64(data[pos])<<7
+					pos++
+				} else if u, pos, err = uvarintAt(data, pos-1); err != nil {
+					return 0, 0, err
+				}
+			}
+			if u == 0 {
+				return 0, 0, fmt.Errorf("trace: sequential PC marked exceptional at record %d", i)
+			}
+			if runLen > 0 {
+				run(int32(runStart), runLen)
+			}
+			pc += 1 + unzigzag(u)
+			if pc < 0 || pc >= ni {
+				return 0, 0, fmt.Errorf("trace: record %d: pc %d outside program (%d insts)",
+					base+uint64(i), pc, ni)
+			}
+			runStart = pc
+			runLen = 1
+			i++
+		}
+	}
+	if i < n {
+		if pc+int64(n-i) >= ni {
+			return 0, 0, fmt.Errorf("trace: record %d: pc %d outside program (%d insts)",
+				base+uint64(n-1), pc+int64(n-i), ni)
+		}
+		if runLen == 0 {
+			runStart = pc + 1
+		}
+		runLen += int32(n - i)
+	}
+	if runLen > 0 {
+		run(int32(runStart), runLen)
+	}
+	return base, n, nil
+}
+
 // decoder owns the reusable buffers of one decode stream: the flate
 // reader (reset per frame instead of reallocating its window), the
 // decompression buffer, and a bytes.Reader over the frame payload.
@@ -602,9 +816,10 @@ type decoder struct {
 	br  bytes.Reader
 	fr  io.ReadCloser
 	raw []byte
-	// sparse selects the chunk layout (true for format v2's sparse
-	// target column); set once at construction from the trace version.
-	sparse bool
+	// version selects the chunk layout (dense v1, sparse v2,
+	// front-loaded-PC v3); set once at construction from the trace
+	// header.
+	version int
 }
 
 // frameBytes returns the decompressed chunk payload of f, valid until
@@ -617,28 +832,131 @@ func (d *decoder) frameBytes(f frame) ([]byte, error) {
 		}
 		return f.payload, nil
 	case compressionFlate:
-		d.br.Reset(f.payload)
-		if d.fr == nil {
-			d.fr = flate.NewReader(&d.br)
-		} else if err := d.fr.(flate.Resetter).Reset(&d.br, nil); err != nil {
-			return nil, fmt.Errorf("trace: reset flate reader: %w", err)
+		if cap(d.raw) < f.rawLen {
+			d.raw = make([]byte, f.rawLen)
+		}
+		buf := d.raw[:f.rawLen]
+		if err := d.inflateExact(f.payload, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	case compressionSplit:
+		raw1, s1, s2, err := splitParts(f)
+		if err != nil {
+			return nil, err
 		}
 		if cap(d.raw) < f.rawLen {
 			d.raw = make([]byte, f.rawLen)
 		}
 		buf := d.raw[:f.rawLen]
-		if _, err := io.ReadFull(d.fr, buf); err != nil {
-			return nil, fmt.Errorf("trace: decompress chunk: %w", err)
+		if err := d.inflateExact(s1, buf[:raw1]); err != nil {
+			return nil, err
 		}
-		// The compressed stream must end exactly at rawLen bytes.
-		var extra [1]byte
-		if n, _ := d.fr.Read(extra[:]); n != 0 {
-			return nil, fmt.Errorf("trace: chunk decompresses past its declared length %d", f.rawLen)
+		if err := d.inflateExact(s2, buf[raw1:]); err != nil {
+			return nil, err
 		}
 		return buf, nil
 	default:
 		return nil, fmt.Errorf("trace: unknown compression kind %d", f.kind)
 	}
+}
+
+// inflateExact decompresses src into dst, reusing the decoder's flate
+// state, and requires the stream to end exactly at len(dst) bytes.
+func (d *decoder) inflateExact(src, dst []byte) error {
+	d.br.Reset(src)
+	if d.fr == nil {
+		d.fr = flate.NewReader(&d.br)
+	} else if err := d.fr.(flate.Resetter).Reset(&d.br, nil); err != nil {
+		return fmt.Errorf("trace: reset flate reader: %w", err)
+	}
+	if _, err := io.ReadFull(d.fr, dst); err != nil {
+		return fmt.Errorf("trace: decompress chunk: %w", err)
+	}
+	var extra [1]byte
+	if n, _ := d.fr.Read(extra[:]); n != 0 {
+		return fmt.Errorf("trace: chunk decompresses past its declared length %d", len(dst))
+	}
+	return nil
+}
+
+// splitParts parses a compressionSplit payload: uvarint raw length of
+// the first (PC-column) stream, uvarint stored length of that stream,
+// then the two flate streams back to back.
+func splitParts(f frame) (raw1 int, s1, s2 []byte, err error) {
+	u1, k1 := binary.Uvarint(f.payload)
+	if k1 <= 0 {
+		return 0, nil, nil, fmt.Errorf("trace: bad split chunk header")
+	}
+	u2, k2 := binary.Uvarint(f.payload[k1:])
+	if k2 <= 0 {
+		return 0, nil, nil, fmt.Errorf("trace: bad split chunk header")
+	}
+	rest := f.payload[k1+k2:]
+	if u1 == 0 || u1 > uint64(f.rawLen) || u2 > uint64(len(rest)) {
+		return 0, nil, nil, fmt.Errorf("trace: split chunk lengths out of range")
+	}
+	return int(u1), rest[:u2], rest[u2:], nil
+}
+
+// pcColumnEnd returns the offset just past the v3 PC column — chunk
+// header, exception bitmap, and PC-delta varints — in an encoded v3
+// chunk. The writer splits compression here so scans inflate the PC
+// column alone.
+func pcColumnEnd(data []byte) (int, error) {
+	_, k0 := binary.Uvarint(data)
+	if k0 <= 0 {
+		return 0, fmt.Errorf("trace: bad chunk header")
+	}
+	n64, k1 := binary.Uvarint(data[k0:])
+	if k1 <= 0 || n64 > maxChunkEvents {
+		return 0, fmt.Errorf("trace: bad chunk header")
+	}
+	pos := k0 + k1
+	nb := (int(n64) + 7) / 8
+	if pos+nb > len(data) {
+		return 0, fmt.Errorf("trace: chunk truncated in bitmap")
+	}
+	exc := 0
+	for _, b := range data[pos : pos+nb] {
+		exc += bits.OnesCount8(b)
+	}
+	pos += nb
+	for i := 0; i < exc; i++ {
+		_, k := binary.Uvarint(data[pos:])
+		if k <= 0 {
+			return 0, fmt.Errorf("trace: chunk truncated in PC column")
+		}
+		pos += k
+	}
+	return pos, nil
+}
+
+// framePCColumn returns a decoded prefix of f's payload that covers
+// at least the full PC column of a v2/v3 chunk, reusing the decoder's
+// buffers. For split-compressed frames only the first stream — the PC
+// column itself — is inflated; the taken, target, and address
+// streams, the bulk of the payload, stay compressed. Other kinds
+// decode fully (Go's inflater decodes whole 32KiB windows, so a
+// partial read of a single stream saves nothing). Frame integrity is
+// guaranteed by the CRC over the stored payload, which readFrame
+// verified before any of it is decoded.
+func (d *decoder) framePCColumn(f frame) ([]byte, error) {
+	if f.kind != compressionSplit {
+		return d.frameBytes(f)
+	}
+	raw1, s1, _, err := splitParts(f)
+	if err != nil {
+		return nil, err
+	}
+	if cap(d.raw) < raw1 {
+		d.raw = make([]byte, raw1)
+	}
+	buf := d.raw[:raw1]
+	if err := d.inflateExact(s1, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
 }
 
 // release drops the decoder's buffers so a closed source does not pin
@@ -656,17 +974,17 @@ func (d *decoder) decodeFrameEvents(f frame, prog *isa.Program, evs []sim.Event)
 	if err != nil {
 		return 0, nil, err
 	}
-	return decodeChunkEvents(raw, prog, evs, d.sparse)
+	return decodeChunkEvents(raw, prog, evs, d.version)
 }
 
 // decodeFrame decompresses and decodes one frame into records. It is
 // the reference path used by the fuzzer; it allocates per call and is
 // safe from multiple goroutines on distinct frames.
-func decodeFrame(f frame, recs []Record, sparse bool) (uint64, []Record, error) {
-	d := decoder{sparse: sparse}
+func decodeFrame(f frame, recs []Record, version int) (uint64, []Record, error) {
+	d := decoder{version: version}
 	raw, err := d.frameBytes(f)
 	if err != nil {
 		return 0, nil, err
 	}
-	return decodeChunk(raw, recs, d.sparse)
+	return decodeChunk(raw, recs, d.version)
 }

@@ -49,12 +49,12 @@ func TestChunkRoundTrip(t *testing.T) {
 		randomRecords(r, ChunkEvents),
 	}
 	for ci, recs := range cases {
-		for _, sparse := range []bool{false, true} {
+		for version := 1; version <= FormatVersion; version++ {
 			for _, base := range []uint64{0, 1, 1 << 40} {
-				buf := appendChunk(nil, base, recs, sparse)
-				gotBase, got, err := decodeChunk(buf, nil, sparse)
+				buf := appendChunk(nil, base, recs, version)
+				gotBase, got, err := decodeChunk(buf, nil, version)
 				if err != nil {
-					t.Fatalf("case %d sparse=%v base %d: decode: %v", ci, sparse, base, err)
+					t.Fatalf("case %d v%d base %d: decode: %v", ci, version, base, err)
 				}
 				if gotBase != base {
 					t.Fatalf("case %d: base %d, want %d", ci, gotBase, base)
@@ -76,13 +76,13 @@ func TestChunkDecodeRecyclesBuffer(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
 	big := randomRecords(r, 500)
 	small := randomRecords(r, 20)
-	buf := appendChunk(nil, 0, big, true)
-	_, recs, err := decodeChunk(buf, nil, true)
+	buf := appendChunk(nil, 0, big, FormatVersion)
+	_, recs, err := decodeChunk(buf, nil, FormatVersion)
 	if err != nil {
 		t.Fatal(err)
 	}
-	buf2 := appendChunk(nil, 500, small, true)
-	_, recs2, err := decodeChunk(buf2, recs, true)
+	buf2 := appendChunk(nil, 500, small, FormatVersion)
+	_, recs2, err := decodeChunk(buf2, recs, FormatVersion)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,32 +102,32 @@ func TestChunkDecodeRecyclesBuffer(t *testing.T) {
 func TestChunkDecodeRejectsCorruption(t *testing.T) {
 	r := rand.New(rand.NewSource(11))
 	recs := randomRecords(r, 100)
-	for _, sparse := range []bool{false, true} {
-		buf := appendChunk(nil, 42, recs, sparse)
+	for version := 1; version <= FormatVersion; version++ {
+		buf := appendChunk(nil, 42, recs, version)
 
 		// Truncation at every prefix length must error, never panic.
 		for n := 0; n < len(buf); n++ {
-			if _, _, err := decodeChunk(buf[:n], nil, sparse); err == nil {
+			if _, _, err := decodeChunk(buf[:n], nil, version); err == nil {
 				// A prefix can occasionally decode as a smaller valid chunk
 				// only if every stream happens to terminate; with trailing
 				// bytes rejected that means the count shrank, which the
 				// varint layout cannot produce from a prefix. Treat any
 				// silent success as a bug.
-				t.Fatalf("sparse=%v: truncated chunk (%d of %d bytes) decoded without error", sparse, n, len(buf))
+				t.Fatalf("v%d: truncated chunk (%d of %d bytes) decoded without error", version, n, len(buf))
 			}
 		}
 
 		// Trailing garbage is rejected.
-		if _, _, err := decodeChunk(append(append([]byte{}, buf...), 0), nil, sparse); err == nil {
-			t.Errorf("sparse=%v: chunk with trailing byte decoded without error", sparse)
+		if _, _, err := decodeChunk(append(append([]byte{}, buf...), 0), nil, version); err == nil {
+			t.Errorf("v%d: chunk with trailing byte decoded without error", version)
 		}
 
 		// A hostile record count cannot cause a huge allocation.
-		hostile := appendChunk(nil, 0, nil, sparse)
+		hostile := appendChunk(nil, 0, nil, version)
 		hostile = hostile[:1] // keep base, drop count
 		hostile = append(hostile, 0xff, 0xff, 0xff, 0xff, 0x7f)
-		if _, _, err := decodeChunk(hostile, nil, sparse); err == nil {
-			t.Errorf("sparse=%v: hostile record count decoded without error", sparse)
+		if _, _, err := decodeChunk(hostile, nil, version); err == nil {
+			t.Errorf("v%d: hostile record count decoded without error", version)
 		}
 	}
 }

@@ -24,12 +24,12 @@ func BenchmarkDecodeChunkEvents(b *testing.B) {
 			pc = 100
 		}
 	}
-	data := appendChunk(nil, 0, recs, true)
+	data := appendChunk(nil, 0, recs, FormatVersion)
 	evs := make([]sim.Event, 0, ChunkEvents)
 	b.SetBytes(int64(len(recs)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, out, err := decodeChunkEvents(data, prog, evs, true)
+		_, out, err := decodeChunkEvents(data, prog, evs, FormatVersion)
 		if err != nil {
 			b.Fatal(err)
 		}

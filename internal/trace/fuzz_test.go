@@ -20,8 +20,9 @@ import (
 func FuzzCodec(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 0})
-	f.Add(appendChunk(nil, 0, []Record{{PC: 1, Target: 2, Addr: 64, Taken: true}}, false))
-	f.Add(appendChunk(nil, 9, []Record{{PC: 3, Target: 4}, {PC: 4, Target: 5, Addr: 8}}, true))
+	f.Add(appendChunk(nil, 0, []Record{{PC: 1, Target: 2, Addr: 64, Taken: true}}, 1))
+	f.Add(appendChunk(nil, 9, []Record{{PC: 3, Target: 4}, {PC: 4, Target: 5, Addr: 8}}, 2))
+	f.Add(appendChunk(nil, 9, []Record{{PC: 3, Target: 4}, {PC: 4, Target: 5, Addr: 8}}, 3))
 	var full bytes.Buffer
 	tw := NewWriter(&full, Meta{Program: "fuzz", ChunkEvents: 2})
 	tw.ObserveBatch(eventsFromBytes([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}))
@@ -37,22 +38,22 @@ func FuzzCodec(f *testing.F) {
 		// the reference does (minus PCs outside the binding program) and
 		// agree on every field.
 		prog := testProgram(1 << 12)
-		for _, sparse := range []bool{false, true} {
-			base, recs, err := decodeChunk(data, nil, sparse)
-			baseE, evsE, errE := decodeChunkEvents(data, prog, nil, sparse)
+		for version := 1; version <= FormatVersion; version++ {
+			base, recs, err := decodeChunk(data, nil, version)
+			baseE, evsE, errE := decodeChunkEvents(data, prog, nil, version)
 			if err == nil {
 				// A clean decode must re-encode to an equivalent chunk.
-				re := appendChunk(nil, base, recs, sparse)
-				base2, recs2, err := decodeChunk(re, nil, sparse)
+				re := appendChunk(nil, base, recs, version)
+				base2, recs2, err := decodeChunk(re, nil, version)
 				if err != nil {
-					t.Fatalf("sparse=%v: re-decode of re-encoded chunk failed: %v", sparse, err)
+					t.Fatalf("v%d: re-decode of re-encoded chunk failed: %v", version, err)
 				}
 				if base2 != base || len(recs2) != len(recs) {
-					t.Fatalf("sparse=%v: re-encode changed shape: base %d->%d, n %d->%d", sparse, base, base2, len(recs), len(recs2))
+					t.Fatalf("v%d: re-encode changed shape: base %d->%d, n %d->%d", version, base, base2, len(recs), len(recs2))
 				}
 				for i := range recs {
 					if recs[i] != recs2[i] {
-						t.Fatalf("sparse=%v: re-encode changed record %d: %+v -> %+v", sparse, i, recs[i], recs2[i])
+						t.Fatalf("v%d: re-encode changed record %d: %+v -> %+v", version, i, recs[i], recs2[i])
 					}
 				}
 				if errE != nil {
@@ -65,25 +66,25 @@ func FuzzCodec(f *testing.F) {
 						}
 					}
 					if inRange {
-						t.Fatalf("sparse=%v: fused decoder rejected a reference-valid chunk: %v", sparse, errE)
+						t.Fatalf("v%d: fused decoder rejected a reference-valid chunk: %v", version, errE)
 					}
 				} else {
 					if baseE != base || len(evsE) != len(recs) {
-						t.Fatalf("sparse=%v: fused decode shape: base %d->%d, n %d->%d", sparse, base, baseE, len(recs), len(evsE))
+						t.Fatalf("v%d: fused decode shape: base %d->%d, n %d->%d", version, base, baseE, len(recs), len(evsE))
 					}
 					for i := range recs {
 						ev := evsE[i]
 						if ev.PC != recs[i].PC || ev.Target != recs[i].Target ||
 							ev.Addr != recs[i].Addr || ev.Taken != recs[i].Taken {
-							t.Fatalf("sparse=%v: fused decode record %d: got %+v want %+v", sparse, i, ev, recs[i])
+							t.Fatalf("v%d: fused decode record %d: got %+v want %+v", version, i, ev, recs[i])
 						}
 						if ev.Seq != base+uint64(i) || ev.Inst != &prog.Insts[ev.PC] {
-							t.Fatalf("sparse=%v: fused decode record %d: bad binding %+v", sparse, i, ev)
+							t.Fatalf("v%d: fused decode record %d: bad binding %+v", version, i, ev)
 						}
 					}
 				}
 			} else if errE == nil {
-				t.Fatalf("sparse=%v: fused decoder accepted a chunk the reference rejects: %v", sparse, err)
+				t.Fatalf("v%d: fused decoder accepted a chunk the reference rejects: %v", version, err)
 			}
 		}
 
@@ -94,7 +95,7 @@ func FuzzCodec(f *testing.F) {
 				if err != nil {
 					break
 				}
-				if _, _, err := decodeFrame(fr, nil, tr.version >= 2); err != nil {
+				if _, _, err := decodeFrame(fr, nil, tr.version); err != nil {
 					break
 				}
 			}
@@ -121,7 +122,7 @@ func FuzzCodec(f *testing.F) {
 			if err != nil {
 				t.Fatalf("synthetic trace frame: %v", err)
 			}
-			_, recs, err := decodeFrame(fr, nil, tr.version >= 2)
+			_, recs, err := decodeFrame(fr, nil, tr.version)
 			if err != nil {
 				t.Fatalf("synthetic trace chunk: %v", err)
 			}

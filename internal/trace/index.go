@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -195,7 +196,7 @@ func (ir *IndexedReader) Range(prog *isa.Program, lo, hi int) *Source {
 	if lo < 0 || hi > len(ir.chunks) || lo > hi {
 		panic(fmt.Sprintf("trace: Range [%d,%d) outside %d chunks", lo, hi, len(ir.chunks)))
 	}
-	dec := &decoder{sparse: ir.version >= 2}
+	dec := &decoder{version: ir.version}
 	var (
 		pool       slabPool
 		br         *bufio.Reader
@@ -239,6 +240,57 @@ func (ir *IndexedReader) Range(prog *isa.Program, lo, hi int) *Source {
 		br = nil
 	}
 	return &Source{next: next, close: closeFn}
+}
+
+// ScanPCRuns decodes only the program-counter column of chunks
+// [lo, hi), reporting the committed stream as maximal straight-line
+// runs: run(pc, n) covers n events whose PCs are pc, pc+1, ...,
+// pc+n-1, in commit order; concatenated, the runs reproduce exactly
+// the PC sequence Range would decode. No slabs are filled and the
+// taken/target/address columns are never decoded, which makes a
+// phase-vector scan several times cheaper than event decode. Frames
+// still pass CRC validation, and the PC column gets the full
+// decoder's structural checks. The context is checked once per chunk.
+func (ir *IndexedReader) ScanPCRuns(ctx context.Context, prog *isa.Program, lo, hi int, run func(pc, n int32)) error {
+	if lo < 0 || hi > len(ir.chunks) || lo > hi {
+		panic(fmt.Sprintf("trace: ScanPCRuns [%d,%d) outside %d chunks", lo, hi, len(ir.chunks)))
+	}
+	if lo == hi {
+		return nil
+	}
+	dec := &decoder{version: ir.version}
+	defer dec.release()
+	start := ir.chunks[lo].offset
+	br := bufio.NewReaderSize(io.NewSectionReader(ir.ra, start, ir.rangeEnd(hi)-start), 1<<16)
+	var payloadBuf []byte
+	ni := int64(len(prog.Insts))
+	expect := ir.bases[lo]
+	for chunk := lo; chunk < hi; chunk++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		f, err := readFrame(br, &payloadBuf)
+		if err != nil {
+			return fmt.Errorf("trace: chunk %d: %w", chunk, err)
+		}
+		col, err := dec.framePCColumn(f)
+		if err != nil {
+			return err
+		}
+		base, n, err := scanChunkPCRuns(col, ir.version, ni, run)
+		if err != nil {
+			return err
+		}
+		if base != expect {
+			return fmt.Errorf("trace: chunk %d base %d, expected %d", chunk, base, expect)
+		}
+		if uint64(n) != ir.chunks[chunk].events {
+			return fmt.Errorf("trace: chunk %d decoded %d events, index records %d",
+				chunk, n, ir.chunks[chunk].events)
+		}
+		expect += uint64(n)
+	}
+	return nil
 }
 
 // Tail decodes the last k events strictly before chunk `before`,

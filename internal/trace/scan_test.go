@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"io"
+	"testing"
+
+	"bioperfload/internal/sim"
+)
+
+// TestScanPCRunsMatchesRange pins the fast PC-only scan to the full
+// decoder: expanding the runs ScanPCRuns reports must reproduce, event
+// for event, the PC sequence Range decodes — over the whole file and
+// over sub-ranges that start and end mid-stream.
+func TestScanPCRunsMatchesRange(t *testing.T) {
+	const n, chunk = 10000, 256
+	data, evs, prog := writeTestTrace(t, n, chunk)
+	ir, err := NewIndexedReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, rng := range [][2]int{
+		{0, ir.Chunks()},
+		{0, 1},
+		{3, 9},
+		{ir.Chunks() - 1, ir.Chunks()},
+		{5, 5},
+	} {
+		lo, hi := rng[0], rng[1]
+		var got []int32
+		err := ir.ScanPCRuns(ctx, prog, lo, hi, func(pc, n int32) {
+			if n <= 0 {
+				t.Fatalf("ScanPCRuns(%d,%d): empty run at pc %d", lo, hi, pc)
+			}
+			for i := int32(0); i < n; i++ {
+				got = append(got, pc+i)
+			}
+		})
+		if err != nil {
+			t.Fatalf("ScanPCRuns(%d,%d): %v", lo, hi, err)
+		}
+		start, end := int(ir.Base(lo)), n
+		if hi < ir.Chunks() {
+			end = int(ir.Base(hi))
+		}
+		if lo == hi {
+			end = start
+		}
+		want := evs[start:end]
+		if len(got) != len(want) {
+			t.Fatalf("ScanPCRuns(%d,%d): %d events, want %d", lo, hi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i].PC {
+				t.Fatalf("ScanPCRuns(%d,%d): event %d PC=%d, want %d", lo, hi, i, got[i], want[i].PC)
+			}
+		}
+	}
+}
+
+// TestScanPCRunsV2BackCompat pins the scan on a format-v2 stream,
+// where all four bitmaps precede the PC deltas: today's writer emits
+// v3, but stored v2 artifacts must keep scanning correctly.
+func TestScanPCRunsV2BackCompat(t *testing.T) {
+	const n, chunk = 5000, 256
+	data, evs, prog := writeTestTraceVersion(t, n, chunk, 2)
+	ir, err := NewIndexedReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.Version() != 2 {
+		t.Fatalf("Version=%d, want 2", ir.Version())
+	}
+	var got []int32
+	err = ir.ScanPCRuns(context.Background(), prog, 0, ir.Chunks(), func(pc, n int32) {
+		for i := int32(0); i < n; i++ {
+			got = append(got, pc+i)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("scanned %d events, want %d", len(got), n)
+	}
+	for i := range evs {
+		if got[i] != evs[i].PC {
+			t.Fatalf("event %d: PC=%d, want %d", i, got[i], evs[i].PC)
+		}
+	}
+}
+
+// TestWriterEmitsSplitFrames pins the frame kind a v3 writer
+// produces: when compression wins, chunks must use the split encoding
+// (PC column as its own flate stream), since that is what lets
+// ScanPCRuns skip decompressing the taken/target/address columns. A
+// silent fallback to whole-chunk flate would keep every test green
+// but forfeit the scan speedup. The recorded stream is loopy, like
+// real kernels, so its chunks genuinely compress; tiny high-entropy
+// test chunks legitimately store as compressionNone instead.
+func TestWriterEmitsSplitFrames(t *testing.T) {
+	prog := testProgram(256)
+	var buf bytes.Buffer
+	tw := NewWriter(&buf, Meta{Program: prog.Name, Size: "test"})
+	batch := make([]sim.Event, 512)
+	seq := uint64(0)
+	for rep := 0; rep < 80; rep++ { // ~40k events, 2+ full-size chunks
+		for i := range batch {
+			pc := int32(i % 128)
+			batch[i] = sim.Event{Seq: seq, PC: pc, Inst: &prog.Insts[pc], Target: pc + 1}
+			seq++
+		}
+		tw.ObserveBatch(batch)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	ir, err := NewIndexedReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payloadBuf []byte
+	split := 0
+	for chunk := 0; chunk < ir.Chunks(); chunk++ {
+		start := ir.chunks[chunk].offset
+		br := bufio.NewReader(io.NewSectionReader(ir.ra, start, ir.rangeEnd(chunk+1)-start))
+		f, err := readFrame(br, &payloadBuf)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		switch f.kind {
+		case compressionSplit:
+			split++
+		case compressionFlate:
+			t.Errorf("chunk %d: v3 writer emitted whole-chunk flate; want split or none", chunk)
+		}
+	}
+	if split == 0 {
+		t.Errorf("no chunk of a loopy %d-event trace used split compression", seq)
+	}
+}
+
+// TestScanPCRunsCancellation checks that a cancelled context stops the
+// scan with the context's error.
+func TestScanPCRunsCancellation(t *testing.T) {
+	data, _, prog := writeTestTrace(t, 2000, 64)
+	ir, err := NewIndexedReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = ir.ScanPCRuns(ctx, prog, 0, ir.Chunks(), func(pc, n int32) {
+		t.Fatal("run delivered after cancellation")
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestScanPCRunsRejectsCorruption flips a bit in every byte position
+// of the trace and requires the scan to either fail or produce exactly
+// the reference PC stream — corruption must never silently skew a
+// phase vector.
+func TestScanPCRunsRejectsCorruption(t *testing.T) {
+	data, evs, prog := writeTestTrace(t, 600, 64)
+	want := make([]int32, len(evs))
+	for i := range evs {
+		want[i] = evs[i].PC
+	}
+	ctx := context.Background()
+	for pos := 0; pos < len(data); pos += 7 {
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0x10
+		ir, err := NewIndexedReader(bytes.NewReader(mut), int64(len(mut)))
+		if err != nil {
+			continue // corruption caught at open
+		}
+		var got []int32
+		err = ir.ScanPCRuns(ctx, prog, 0, ir.Chunks(), func(pc, n int32) {
+			for i := int32(0); i < n; i++ {
+				got = append(got, pc+i)
+			}
+		})
+		if err != nil {
+			continue // corruption caught during the scan
+		}
+		if len(got) != len(want) {
+			t.Fatalf("byte %d: silent corruption changed event count %d -> %d", pos, len(want), len(got))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("byte %d: silent corruption changed PC[%d] %d -> %d", pos, i, want[i], got[i])
+			}
+		}
+	}
+}

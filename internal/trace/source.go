@@ -78,7 +78,7 @@ func (sp *slabPool) release(evs []sim.Event) func() {
 // slabs through the fused decoder (no intermediate Record pass), with
 // the frame payload and decompression buffers reused across chunks.
 func (tr *Reader) Events(prog *isa.Program) *Source {
-	dec := &decoder{sparse: tr.version >= 2}
+	dec := &decoder{version: tr.version}
 	var pool slabPool
 	var decoded uint64
 	next := func() ([]sim.Event, func(), error) {
@@ -180,7 +180,7 @@ func (tr *Reader) ParallelEvents(prog *isa.Program, workers int) *Source {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			dec := &decoder{sparse: tr.version >= 2}
+			dec := &decoder{version: tr.version}
 			for job := range jobs {
 				base, evs, err := dec.decodeFrameEvents(job.f, prog, pool.get())
 				if err != nil {

@@ -25,10 +25,15 @@ import (
 //	   shard workers, and switches the chunk PC and target columns to
 //	   sparse encodings (exception bitmaps + deltas for non-sequential
 //	   PCs and non-fallthrough targets only) — see appendChunk
+//	3  front-loads the PC column inside each chunk (exception bitmap +
+//	   deltas before everything else) and compresses it as its own
+//	   flate stream (compressionSplit) so a PC-only scan — the phase
+//	   analysis BBV pass — decompresses only a few percent of each
+//	   chunk's payload
 //
-// Readers accept both versions; writers emit the current one unless a
-// test pins an older version.
-const FormatVersion = 2
+// Readers accept every listed version; writers emit the current one
+// unless a test pins an older version.
+const FormatVersion = 3
 
 // minFormatVersion is the oldest version readers still accept.
 const minFormatVersion = 1
@@ -47,6 +52,12 @@ func footerMagic(version int) [8]byte {
 const (
 	compressionNone  = 0
 	compressionFlate = 1
+	// compressionSplit compresses the chunk as two independent flate
+	// streams cut at the end of the v3 PC column, so a PC-only scan
+	// inflates just the first. (Go's inflater decodes a whole 32KiB
+	// window before returning any byte, so a partial read of a single
+	// stream cannot skip work — only a separate stream can.)
+	compressionSplit = 2
 )
 
 // maxFrameBytes caps the compressed-frame allocation a corrupted
@@ -127,6 +138,7 @@ type Writer struct {
 	index   []chunkInfo
 	raw     []byte
 	comp    bytes.Buffer
+	split   []byte
 	fw      *flate.Writer
 	err     error
 	header  bool
@@ -219,7 +231,7 @@ func (tw *Writer) flush() {
 	if tw.err != nil {
 		return
 	}
-	tw.raw = appendChunk(tw.raw[:0], tw.base, tw.recs, tw.version >= 2)
+	tw.raw = appendChunk(tw.raw[:0], tw.base, tw.recs, tw.version)
 	payload := tw.raw
 	kind := byte(compressionNone)
 	if tw.flate {
@@ -229,7 +241,30 @@ func (tw *Writer) flush() {
 		} else {
 			tw.fw.Reset(&tw.comp)
 		}
-		if _, err := tw.fw.Write(tw.raw); err == nil {
+		cut := 0
+		if tw.version >= 3 {
+			cut, _ = pcColumnEnd(tw.raw) // 0 (whole-chunk stream) if unparseable
+		}
+		if cut > 0 && cut < len(tw.raw) {
+			// Two streams: [0,cut) is the PC column, [cut,len) the rest.
+			len1 := -1
+			if _, err := tw.fw.Write(tw.raw[:cut]); err == nil && tw.fw.Close() == nil {
+				len1 = tw.comp.Len()
+				tw.fw.Reset(&tw.comp)
+				if _, err := tw.fw.Write(tw.raw[cut:]); err != nil || tw.fw.Close() != nil {
+					len1 = -1
+				}
+			}
+			if len1 >= 0 {
+				tw.split = binary.AppendUvarint(tw.split[:0], uint64(cut))
+				tw.split = binary.AppendUvarint(tw.split, uint64(len1))
+				tw.split = append(tw.split, tw.comp.Bytes()...)
+				if len(tw.split) < len(tw.raw) {
+					payload = tw.split
+					kind = compressionSplit
+				}
+			}
+		} else if _, err := tw.fw.Write(tw.raw); err == nil {
 			if err := tw.fw.Close(); err == nil && tw.comp.Len() < len(tw.raw) {
 				payload = tw.comp.Bytes()
 				kind = compressionFlate
