@@ -35,7 +35,7 @@ func parseSize(s string) (bio.Size, error) {
 // record simulates p at sz with a trace writer attached and returns
 // the validated result. The trace is written to w and is only complete
 // (footer present) if record returns nil error.
-func record(p *bio.Program, prog *isa.Program, sz bio.Size, fp string, w io.Writer) (*sim.Result, *trace.Writer, error) {
+func record(p *bio.Program, prog *isa.Program, sz bio.Size, fp string, w io.Writer, compression string) (*sim.Result, *trace.Writer, error) {
 	m, err := sim.New(prog)
 	if err != nil {
 		return nil, nil, err
@@ -47,6 +47,7 @@ func record(p *bio.Program, prog *isa.Program, sz bio.Size, fp string, w io.Writ
 		Program:     p.Name,
 		Fingerprint: fp,
 		Size:        sz.String(),
+		Compression: compression,
 	})
 	m.AddBatchObserver(tw)
 	res, err := m.Run()
@@ -74,6 +75,7 @@ func cmdTrace(args []string, stderr io.Writer) int {
 	name := fs.String("program", "hmmsearch", "application to record")
 	sizeFlag := fs.String("size", "test", "input size (test|classB|classC)")
 	out := fs.String("o", "", "output path (default <program>-<size>.trace)")
+	comp := fs.String("compression", "flate", "chunk codec: flate (smallest) or none (fastest replay)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -109,8 +111,12 @@ func cmdTrace(args []string, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "bioperf trace: %v\n", err)
 		return 1
 	}
+	if *comp != "flate" && *comp != "none" {
+		fmt.Fprintf(stderr, "bioperf trace: -compression: unknown codec %q (flate|none)\n", *comp)
+		return 2
+	}
 	fp := runner.Fingerprint(p, false, compiler.Default())
-	res, tw, err := record(p, prog, sz, fp, f)
+	res, tw, err := record(p, prog, sz, fp, f, *comp)
 	if err != nil {
 		f.Close()
 		os.Remove(path)
@@ -222,6 +228,13 @@ func cmdReplay(args []string, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "bioperf replay: %v\n", err)
 		return 1
 	}
+	if tr != nil {
+		// The legacy stream path never touches the sharded engine.
+		a.Exec = loadchar.Execution{RequestedWorkers: *jobs, Workers: 1, SerialReason: loadchar.SerialReasonNoIndex}
+	}
+	if e := a.Exec; e.RequestedWorkers > 1 && !e.Parallel() {
+		fmt.Fprintf(stderr, "bioperf replay: note: %d workers requested, ran serial (%s)\n", e.RequestedWorkers, e.SerialReason)
+	}
 	fmt.Print(loadchar.RenderProfile(p.Name, meta.Size, a, *hot))
 	return 0
 }
@@ -234,25 +247,44 @@ func cmdReplay(args []string, stderr io.Writer) int {
 // own. Every duration is the best of Samples runs, so one scheduler
 // hiccup cannot flip a speedup ratio.
 type benchTraceFile struct {
-	Tool                  string  `json:"tool"`
-	Program               string  `json:"program"`
-	Size                  string  `json:"size"`
-	Instructions          uint64  `json:"instructions"`
-	TraceBytes            int64   `json:"trace_bytes"`
-	BitsPerEvent          float64 `json:"bits_per_event"`
-	Workers               int     `json:"workers"`
-	Samples               int     `json:"samples"`
-	ColdCharacterizeMS    float64 `json:"cold_characterize_ms"`
-	WarmCharacterizeMS    float64 `json:"warm_characterize_ms"`
-	CharacterizeSpeedup   float64 `json:"characterize_speedup"`
-	ColdMS                float64 `json:"cold_ms"`
-	RecordMS              float64 `json:"record_ms"`
-	ReplayMS              float64 `json:"replay_ms"`
-	ParallelReplayMS      float64 `json:"parallel_replay_ms"`
-	ReplaySpeedup         float64 `json:"replay_speedup"`
-	ParallelReplaySpeedup float64 `json:"parallel_replay_speedup"`
-	ProfilesIdentical     bool    `json:"profiles_identical"`
-	Generated             string  `json:"generated"`
+	Tool         string  `json:"tool"`
+	Program      string  `json:"program"`
+	Size         string  `json:"size"`
+	Instructions uint64  `json:"instructions"`
+	TraceBytes   int64   `json:"trace_bytes"`
+	BitsPerEvent float64 `json:"bits_per_event"`
+	Compression  string  `json:"compression"`
+	Samples      int     `json:"samples"`
+
+	ColdCharacterizeMS  float64 `json:"cold_characterize_ms"`
+	WarmCharacterizeMS  float64 `json:"warm_characterize_ms"`
+	CharacterizeSpeedup float64 `json:"characterize_speedup"`
+	ColdMS              float64 `json:"cold_ms"`
+	RecordMS            float64 `json:"record_ms"`
+
+	// Replay timings carry the Execution each measurement actually ran
+	// with (the old schema recorded a single top-level "workers" that
+	// did not describe any measurement).
+	ReplayMS              float64            `json:"replay_ms"`
+	ReplayExec            loadchar.Execution `json:"replay_exec"`
+	ParallelReplayMS      float64            `json:"parallel_replay_ms"`
+	ParallelReplayExec    loadchar.Execution `json:"parallel_replay_exec"`
+	ReplaySpeedup         float64            `json:"replay_speedup"`
+	ParallelReplaySpeedup float64            `json:"parallel_replay_speedup"`
+
+	// Scaling is the worker-scaling table: one replay measurement per
+	// requested worker count, each tagged with its actual execution.
+	Scaling []benchScalingPoint `json:"replay_scaling"`
+
+	ProfilesIdentical bool   `json:"profiles_identical"`
+	Generated         string `json:"generated"`
+}
+
+// benchScalingPoint is one row of the worker-scaling table.
+type benchScalingPoint struct {
+	Exec    loadchar.Execution `json:"exec"`
+	MS      float64            `json:"ms"`
+	Speedup float64            `json:"speedup"`
 }
 
 // bestOf runs f n times and returns the minimum duration. The minimum
@@ -285,6 +317,8 @@ func cmdBenchTrace(args []string, stderr io.Writer) int {
 	jobs := fs.Int("j", 0, "parallel replay shard workers (0 = GOMAXPROCS)")
 	samples := fs.Int("n", 3, "samples per timing (best-of-N)")
 	check := fs.Float64("check", 0, "fail unless warm characterize speedup >= this (0 = no check)")
+	minPar := fs.Float64("min-parallel-speedup", 0, "fail unless parallel replay speedup >= this (0 = no check)")
+	comp := fs.String("compression", "none", "trace codec for the replay benchmark (none|flate); none keeps inflate off the replay critical path")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -316,14 +350,18 @@ func cmdBenchTrace(args []string, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "bioperf bench-trace: %v\n", err)
 		return 2
 	}
-	if err := benchTrace(p, sz, *jsonPath, *jobs, *samples, *check); err != nil {
+	if *comp != "flate" && *comp != "none" {
+		fmt.Fprintf(stderr, "bioperf bench-trace: -compression: unknown codec %q (flate|none)\n", *comp)
+		return 2
+	}
+	if err := benchTrace(p, sz, *jsonPath, *jobs, *samples, *check, *minPar, *comp); err != nil {
 		fmt.Fprintf(stderr, "bioperf bench-trace: %v\n", err)
 		return 1
 	}
 	return 0
 }
 
-func benchTrace(p *bio.Program, sz bio.Size, jsonPath string, jobs, samples int, check float64) error {
+func benchTrace(p *bio.Program, sz bio.Size, jsonPath string, jobs, samples int, check, minPar float64, comp string) error {
 	prog, err := p.Compile(false, compiler.Default())
 	if err != nil {
 		return err
@@ -381,7 +419,7 @@ func benchTrace(p *bio.Program, sz bio.Size, jsonPath string, jobs, samples int,
 			return 0, err
 		}
 		start := time.Now()
-		if _, _, err := record(p, prog, sz, fp, tf); err != nil {
+		if _, _, err := record(p, prog, sz, fp, tf, comp); err != nil {
 			return 0, err
 		}
 		return time.Since(start), nil
@@ -425,6 +463,36 @@ func benchTrace(p *bio.Program, sz bio.Size, jsonPath string, jobs, samples int,
 	})
 	if err != nil {
 		return err
+	}
+
+	// Worker-scaling table: the same replay at fixed requested counts,
+	// each row tagged with the execution it actually got (clamps to
+	// GOMAXPROCS show up here as workers < requested, not as silence).
+	var scaling []benchScalingPoint
+	for _, w := range []int{1, 2, 4, 8} {
+		var sa *loadchar.Analysis
+		d, err := bestOf(samples, func() (time.Duration, error) {
+			ir, err := trace.NewIndexedReader(tf, traceSize)
+			if err != nil {
+				return 0, err
+			}
+			start := time.Now()
+			if sa, err = runner.ReplayAnalyze(ctx, prog, ir, w); err != nil {
+				return 0, err
+			}
+			return time.Since(start), nil
+		})
+		if err != nil {
+			return err
+		}
+		if got := loadchar.RenderProfile(p.Name, sz.String(), sa, 10); got != want {
+			return fmt.Errorf("replay at %d workers produced a different profile", w)
+		}
+		scaling = append(scaling, benchScalingPoint{
+			Exec:    sa.Exec,
+			MS:      d.Seconds() * 1e3,
+			Speedup: cold.Seconds() / d.Seconds(),
+		})
 	}
 
 	// Store-backed serving, the path runner.Session and bioperfd use:
@@ -509,7 +577,7 @@ func benchTrace(p *bio.Program, sz bio.Size, jsonPath string, jobs, samples int,
 		Instructions:          res.Instructions,
 		TraceBytes:            traceSize,
 		BitsPerEvent:          8 * float64(traceSize) / float64(res.Instructions),
-		Workers:               jobs,
+		Compression:           comp,
 		Samples:               samples,
 		ColdCharacterizeMS:    coldChar.Seconds() * 1e3,
 		WarmCharacterizeMS:    warmChar.Seconds() * 1e3,
@@ -517,9 +585,12 @@ func benchTrace(p *bio.Program, sz bio.Size, jsonPath string, jobs, samples int,
 		ColdMS:                cold.Seconds() * 1e3,
 		RecordMS:              recDur.Seconds() * 1e3,
 		ReplayMS:              seqDur.Seconds() * 1e3,
+		ReplayExec:            seq.Exec,
 		ParallelReplayMS:      parDur.Seconds() * 1e3,
+		ParallelReplayExec:    par.Exec,
 		ReplaySpeedup:         cold.Seconds() / seqDur.Seconds(),
 		ParallelReplaySpeedup: cold.Seconds() / parDur.Seconds(),
+		Scaling:               scaling,
 		ProfilesIdentical:     identical,
 		Generated:             time.Now().UTC().Format(time.RFC3339),
 	}
@@ -537,10 +608,22 @@ func benchTrace(p *bio.Program, sz bio.Size, jsonPath string, jobs, samples int,
 	fmt.Printf("  cold simulate     %8.1f ms\n", out.ColdMS)
 	fmt.Printf("  record            %8.1f ms\n", out.RecordMS)
 	fmt.Printf("  replay            %8.1f ms  (%.2fx)\n", out.ReplayMS, out.ReplaySpeedup)
-	fmt.Printf("  parallel replay   %8.1f ms  (%.2fx, j=%d)\n", out.ParallelReplayMS, out.ParallelReplaySpeedup, jobs)
+	fmt.Printf("  parallel replay   %8.1f ms  (%.2fx, j=%d requested, ran %d)\n",
+		out.ParallelReplayMS, out.ParallelReplaySpeedup, jobs, par.Exec.Workers)
+	for _, pt := range scaling {
+		note := ""
+		if pt.Exec.SerialReason != "" && pt.Exec.Workers < pt.Exec.RequestedWorkers {
+			note = fmt.Sprintf(" [%s]", pt.Exec.SerialReason)
+		}
+		fmt.Printf("  scaling j=%d       %8.1f ms  (%.2fx, ran %d%s)\n",
+			pt.Exec.RequestedWorkers, pt.MS, pt.Speedup, pt.Exec.Workers, note)
+	}
 	fmt.Printf("  wrote %s\n", jsonPath)
 	if check > 0 && out.CharacterizeSpeedup < check {
 		return fmt.Errorf("warm characterize speedup %.2fx below required %.2fx", out.CharacterizeSpeedup, check)
+	}
+	if minPar > 0 && out.ParallelReplaySpeedup < minPar {
+		return fmt.Errorf("parallel replay speedup %.2fx below required %.2fx", out.ParallelReplaySpeedup, minPar)
 	}
 	return nil
 }

@@ -1,0 +1,98 @@
+package bpred
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// branchStream generates a correlated random branch trace over nPCs
+// static branches: loop-like branches mostly taken, data-dependent
+// ones alternating, so both predictor components get exercised.
+func branchStream(n, nPCs int, seed int64) ([]int32, []bool) {
+	r := rand.New(rand.NewSource(seed))
+	pcs := make([]int32, n)
+	taken := make([]bool, n)
+	for i := range pcs {
+		pc := int32(r.Intn(nPCs))
+		pcs[i] = pc
+		switch pc % 3 {
+		case 0:
+			taken[i] = r.Intn(10) != 0 // loop back-edge
+		case 1:
+			taken[i] = i%2 == 0 // alternating
+		default:
+			taken[i] = r.Intn(2) == 0 // noise
+		}
+	}
+	return pcs, taken
+}
+
+// TestDenseShardMatchesTracker pins the exactness argument in the
+// DenseShard doc comment: partition the PCs across shards, feed every
+// shard the full branch stream (Observe when owned, TrainGlobal when
+// not), and require the merged statistics to equal a serial
+// Tracker(NewPaperHybrid) byte-for-byte.
+func TestDenseShardMatchesTracker(t *testing.T) {
+	for _, nShards := range []int{1, 2, 4, 7} {
+		pcs, taken := branchStream(20000, 97, int64(nShards))
+
+		ref := NewTracker(NewPaperHybrid())
+		for i, pc := range pcs {
+			ref.Observe(pc, taken[i])
+		}
+
+		shards := make([]*DenseShard, nShards)
+		for s := range shards {
+			shards[s] = NewPaperDenseShard()
+		}
+		for i, pc := range pcs {
+			owner := int(pc) % nShards
+			for s, sh := range shards {
+				if s == owner {
+					sh.Observe(pc, taken[i])
+				} else {
+					sh.TrainGlobal(pc, taken[i])
+				}
+			}
+		}
+
+		per := make(map[int32]BranchStats)
+		var total BranchStats
+		for _, sh := range shards {
+			sh.MergeInto(per, &total)
+		}
+		if total != ref.Total() {
+			t.Fatalf("%d shards: total %+v, want %+v", nShards, total, ref.Total())
+		}
+		if !reflect.DeepEqual(per, ref.PerBranch()) {
+			t.Fatalf("%d shards: per-branch tables diverge", nShards)
+		}
+		if pb := shards[0].PerBranch(); nShards > 1 && len(pb) >= len(per) {
+			t.Fatalf("shard 0 owns %d branches of %d total — partition not applied", len(pb), len(per))
+		}
+	}
+}
+
+// TestDenseShardRestores checks the merged statistics round-trip
+// through RestoreTracker the way the replay engine rebuilds its final
+// Analysis.
+func TestDenseShardRestores(t *testing.T) {
+	pcs, taken := branchStream(5000, 31, 5)
+	sh := NewPaperDenseShard()
+	for i, pc := range pcs {
+		sh.Observe(pc, taken[i])
+	}
+	per := make(map[int32]BranchStats)
+	var total BranchStats
+	sh.MergeInto(per, &total)
+	tr := RestoreTracker(per, total)
+	if tr.Total() != sh.Total() {
+		t.Fatalf("restored total %+v, want %+v", tr.Total(), sh.Total())
+	}
+	for pc, s := range sh.PerBranch() {
+		if tr.Stats(pc) != s {
+			t.Fatalf("pc %d: restored %+v, want %+v", pc, tr.Stats(pc), s)
+		}
+	}
+}

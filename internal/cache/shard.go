@@ -1,0 +1,64 @@
+package cache
+
+// Add accumulates o into s. Shard hierarchies own disjoint set
+// partitions, so summing their per-level stats reproduces the serial
+// hierarchy's counters exactly.
+func (s *Stats) Add(o Stats) {
+	s.Accesses += o.Accesses
+	s.LoadHits += o.LoadHits
+	s.LoadMisses += o.LoadMisses
+	s.StoreHits += o.StoreHits
+	s.StoreMisses += o.StoreMisses
+	s.Writebacks += o.Writebacks
+}
+
+// ShardCount returns the number of address-partition shards (a power
+// of two, at most limit) across which replay can simulate hc's
+// hierarchy in parallel with results identical to a single serial
+// hierarchy.
+//
+// The partition keys on low block-number bits: shard(addr) =
+// (addr/Block) & (n-1). Correctness needs every access that can touch
+// a given cache set — including L2 accesses induced by L1 misses and
+// dirty-victim writebacks — to land in the set's shard:
+//
+//   - With n ≤ sets at a level, the shard bits are the low bits of
+//     that level's set index, so each shard owns a disjoint group of
+//     sets and no line ever migrates between shards.
+//   - L1 victims come from the set being filled, hence share its shard;
+//     the writeback's L2 access stays in-shard because both levels key
+//     the shard off the same block-number bits — which requires equal
+//     block sizes at both levels.
+//
+// Within a shard, accesses keep their relative commit order, so LRU
+// decisions per set are unchanged (each Cache's private tick counter
+// advances differently than in the serial run, but LRU compares ages
+// only within one set, where order is preserved). Hence n =
+// min(2^⌊log2(limit)⌋, L1 sets, L2 sets), or 1 when the block sizes
+// differ or any configuration is invalid.
+func ShardCount(hc HierarchyConfig, limit int) int {
+	if limit < 1 {
+		return 1
+	}
+	if hc.L1.Validate() != nil || hc.L2.Validate() != nil || hc.L1.Block != hc.L2.Block {
+		return 1
+	}
+	n := 1
+	for n*2 <= limit {
+		n *= 2
+	}
+	if s := int(hc.L1.Size / (uint64(hc.L1.Assoc) * hc.L1.Block)); n > s {
+		n = s
+	}
+	if s := int(hc.L2.Size / (uint64(hc.L2.Assoc) * hc.L2.Block)); n > s {
+		n = s
+	}
+	return n
+}
+
+// ShardOf returns the shard owning addr under an n-way partition
+// produced by ShardCount for a hierarchy with the given block size.
+// n must be a power of two.
+func ShardOf(addr uint64, block uint64, n int) int {
+	return int((addr / block) & uint64(n-1))
+}

@@ -63,6 +63,10 @@ type Analysis struct {
 	// restored marks an analysis rebuilt from a Snapshot: reports work,
 	// observation does not (the transient pass state is gone).
 	restored bool
+
+	// Exec records how a replay analysis actually ran (worker count and
+	// any serial-collapse reason). Zero for live analyses.
+	Exec Execution
 }
 
 // New creates an analysis for the given program, using the paper's

@@ -147,6 +147,13 @@ type depPass struct {
 	// credits overwhelmingly come from the same hot load.
 	lastLoadPC int32
 	lastFB     map[int32]uint64
+	// rec, when non-nil, puts the pass in recording mode: every
+	// conditional branch is reported to the hook instead of the pass's
+	// own counters, and the mispredict bitmap is not consulted (the
+	// block-characterized replay joins fed flags with mispredicts in
+	// its predictor lane). The register dependence state machine is
+	// unaffected, so recorded transitions are exact.
+	rec func(branchPC int32, fed bool, srcA, srcB int32)
 }
 
 func (p *depPass) init(nInsts int) {
@@ -194,10 +201,15 @@ func (p *depPass) observe(evs []sim.Event, bits *misBits) {
 			}
 		case cls == isa.ClassStore:
 		case cls == isa.ClassCondBranch:
+			d := p.deps[in.Ra]
+			fed := in.Ra != isa.RZero && d.depth >= 0
+			if p.rec != nil {
+				p.rec(evs[i].PC, fed, d.srcA, d.srcB)
+				continue
+			}
 			mis := bits.at(br)
 			br++
-			d := p.deps[in.Ra]
-			if in.Ra != isa.RZero && d.depth >= 0 {
+			if fed {
 				p.fedBranchExec++
 				if mis {
 					p.fedBranchMiss++
@@ -314,6 +326,10 @@ type seqPass struct {
 	// afterBranch counts, per load PC and branch PC, how often the load
 	// (with a tight consumer) executed right after the branch.
 	afterBranch map[int32]map[int32]uint64
+	// rec, when non-nil, puts the pass in recording mode: completed
+	// branch-to-load sequences are reported to the hook instead of the
+	// afterBranch table. The pending/branch state machine is unaffected.
+	rec func(loadPC, branchPC int32)
 }
 
 func (p *seqPass) init() { p.afterBranch = make(map[int32]map[int32]uint64) }
@@ -383,12 +399,16 @@ func (p *seqPass) consume(in *isa.Inst, seq uint64) {
 			return
 		}
 		if pd.afterBranch >= 0 && seq >= p.minSeq {
-			ab := p.afterBranch[pd.loadPC]
-			if ab == nil {
-				ab = make(map[int32]uint64)
-				p.afterBranch[pd.loadPC] = ab
+			if p.rec != nil {
+				p.rec(pd.loadPC, pd.afterBranch)
+			} else {
+				ab := p.afterBranch[pd.loadPC]
+				if ab == nil {
+					ab = make(map[int32]uint64)
+					p.afterBranch[pd.loadPC] = ab
+				}
+				ab[pd.afterBranch]++
 			}
-			ab[pd.afterBranch]++
 		}
 		pd.active = false
 	}

@@ -1,0 +1,486 @@
+package loadchar
+
+import (
+	"encoding/binary"
+
+	"bioperfload/internal/isa"
+	"bioperfload/internal/runstream"
+	"bioperfload/internal/sim"
+)
+
+// The run lane is the spine of the block-characterized replay: it
+// consumes the PC-run stream in commit order and drives the dependence
+// and sequence state machines — the only two passes whose per-event
+// state survives across events. Instead of stepping them per event, it
+// memoizes (state, run) → (deltas, next state): both machines are
+// oblivious to branch outcomes and addresses (depPass reads only
+// PC/Inst; the mispredict join happens in the predictor lane via the
+// recorded fed flags; seqPass reads only PC/Inst/Seq with sequence
+// numbers entering solely as bounded ages), so identical machine state
+// at the start of an identical run yields identical deltas and
+// identical next state. Hot runs — the overwhelming majority in loop
+// programs — reduce to one hash probe and a handful of counter
+// increments.
+
+// nDepRegs is the register-file footprint of the dep/seq machines.
+const nDepRegs = isa.NumIntRegs + isa.NumFPRegs
+
+// evalBase is the synthetic sequence number of a memo evaluation's
+// first event. It exceeds proximity so seeded ages never underflow.
+const evalBase = uint64(proximity) + 2
+
+// savedPending is the canonical form of one pending-load slot: age is
+// the distance from its arming to the next run's first event, 1..
+// proximity; 0 marks an inactive (or expired, which is behaviorally
+// identical) slot.
+type savedPending struct {
+	loadPC      int32
+	afterBranch int32
+	age         uint8
+}
+
+// savedState is the canonical dep+seq machine state between runs.
+// Canonicalization collapses behaviorally identical raw states:
+// depth<0 register slots normalize their sources to -1, and pending
+// loads or branches older than proximity normalize to absent.
+type savedState struct {
+	deps          [nDepRegs]regDep
+	pending       [nDepRegs]savedPending
+	lastBranchPC  int32
+	lastBranchAge uint8 // 0 = none within proximity
+}
+
+// credit is one (load, branch) attribution with its multiplicity
+// within a single run evaluation.
+type credit struct {
+	loadPC   int32
+	branchPC int32
+	n        uint32
+}
+
+// transition is the memoized effect of one run on one starting state.
+type transition struct {
+	next       uint32   // next state ID
+	fedMask    []uint64 // fed flags over the run's cond-branch ordinals; nil if none fed
+	fedCount   uint32   // fed branch instances per execution
+	depCredits []credit
+	seqCredits []credit
+	occ        uint64 // times this (state, run) pair occurred
+}
+
+// chunkAnn is the run lane's per-chunk annotation for the shard lanes:
+// the interned run of every PC run in the chunk, and the fed-flag
+// bitmap over the chunk's conditional-branch ordinals (bit i set ⇔ the
+// chunk's i-th dynamic conditional branch consumed a load-derived
+// value, joining with the predictor lane's mispredict outcomes to
+// produce fedBranchMiss). Immutable once the run lane publishes it.
+type chunkAnn struct {
+	infos []*runInfo
+	fed   []uint64
+	nBr   int
+}
+
+func (a *chunkAnn) fedAt(i int) bool { return a.fed[i>>6]&(1<<(i&63)) != 0 }
+
+// memoTable is an open-addressing hash from (state, pc, n) to
+// transition index+1 (0 = empty). Bounded: past maxMemoEntries,
+// lookups keep working and misses evaluate without inserting.
+type memoTable struct {
+	keys []memoKey
+	vals []uint32
+	used int
+}
+
+type memoKey struct {
+	state uint32
+	pc    int32
+	n     int32
+}
+
+const maxMemoEntries = 1 << 20
+
+func mixKey(k memoKey) uint64 {
+	h := uint64(k.state)*0x9e3779b97f4a7c15 ^
+		uint64(uint32(k.pc))*0xc2b2ae3d27d4eb4f ^
+		uint64(uint32(k.n))*0x165667b19e3779f9
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h
+}
+
+func newMemoTable() *memoTable {
+	const initSize = 1 << 14
+	return &memoTable{keys: make([]memoKey, initSize), vals: make([]uint32, initSize)}
+}
+
+// lookup returns the stored transition index+1, or 0 on miss.
+func (m *memoTable) lookup(k memoKey) uint32 {
+	mask := uint64(len(m.keys) - 1)
+	for i := mixKey(k) & mask; ; i = (i + 1) & mask {
+		v := m.vals[i]
+		if v == 0 {
+			return 0
+		}
+		if m.keys[i] == k {
+			return v
+		}
+	}
+}
+
+// insert stores k → transIdx+1 unless the table is at its entry cap.
+func (m *memoTable) insert(k memoKey, val uint32) {
+	if m.used >= maxMemoEntries {
+		return
+	}
+	if (m.used+1)*10 > len(m.keys)*7 {
+		m.grow()
+	}
+	mask := uint64(len(m.keys) - 1)
+	for i := mixKey(k) & mask; ; i = (i + 1) & mask {
+		if m.vals[i] == 0 {
+			m.keys[i] = k
+			m.vals[i] = val
+			m.used++
+			return
+		}
+	}
+}
+
+func (m *memoTable) grow() {
+	old := *m
+	m.keys = make([]memoKey, len(old.keys)*2)
+	m.vals = make([]uint32, len(old.vals)*2)
+	mask := uint64(len(m.keys) - 1)
+	for i, v := range old.vals {
+		if v == 0 {
+			continue
+		}
+		k := old.keys[i]
+		for j := mixKey(k) & mask; ; j = (j + 1) & mask {
+			if m.vals[j] == 0 {
+				m.keys[j] = k
+				m.vals[j] = v
+				break
+			}
+		}
+	}
+}
+
+// runEngine is the run lane's full state: interned runs and machine
+// states, the transition memo, and the private eval machines.
+type runEngine struct {
+	prog *isa.Program
+	bt   *blockTable
+
+	runs     map[uint64]*runInfo
+	stateIDs map[string]uint32
+	states   []savedState
+	scratch  []byte
+
+	memo  *memoTable
+	trans []transition
+	cur   uint32 // current state ID; chains across runs and chunks
+
+	evalDep depPass
+	evalSeq seqPass
+	evalEvs []sim.Event
+
+	capFed    []uint64
+	capBrOrd  int32
+	capFedCnt uint32
+	capDep    []credit
+	capSeq    []credit
+}
+
+func newRunEngine(prog *isa.Program) *runEngine {
+	e := &runEngine{
+		prog:     prog,
+		bt:       newBlockTable(prog),
+		runs:     make(map[uint64]*runInfo),
+		stateIDs: make(map[string]uint32),
+		memo:     newMemoTable(),
+	}
+	// State 0 is the canonical empty state (fresh machines).
+	var empty savedState
+	for i := range empty.deps {
+		empty.deps[i] = regDep{depth: -1, srcA: -1, srcB: -1}
+	}
+	e.states = append(e.states, empty)
+	e.stateIDs[string(e.stateKey(&empty))] = 0
+
+	// The eval machines run in recording mode only. evalDep skips
+	// depPass.init on purpose: credit() is never reached, so the
+	// toBranch/fedBranch tables stay nil and untouched.
+	for i := range e.evalDep.deps {
+		e.evalDep.deps[i].depth = -1
+	}
+	e.evalDep.rec = func(branchPC int32, fed bool, srcA, srcB int32) {
+		k := e.capBrOrd
+		e.capBrOrd++
+		if !fed {
+			return
+		}
+		e.capFed[k>>6] |= 1 << (k & 63)
+		e.capFedCnt++
+		e.addDepCredit(srcA, branchPC)
+		if srcB >= 0 && srcB != srcA {
+			e.addDepCredit(srcB, branchPC)
+		}
+	}
+	e.evalSeq.rec = func(loadPC, branchPC int32) {
+		e.capSeq = addCredit(e.capSeq, loadPC, branchPC)
+	}
+	return e
+}
+
+func (e *runEngine) addDepCredit(loadPC, branchPC int32) {
+	e.capDep = addCredit(e.capDep, loadPC, branchPC)
+}
+
+// addCredit bumps the matching (load, branch) pair or appends a new
+// one; runs are short, so the linear scan beats a map.
+func addCredit(cs []credit, loadPC, branchPC int32) []credit {
+	for i := range cs {
+		if cs[i].loadPC == loadPC && cs[i].branchPC == branchPC {
+			cs[i].n++
+			return cs
+		}
+	}
+	return append(cs, credit{loadPC: loadPC, branchPC: branchPC, n: 1})
+}
+
+// stateKey serializes st's canonical sparse form into the engine's
+// scratch buffer. Register indices (< nDepRegs = 128) never collide
+// with the 0xff section separators.
+func (e *runEngine) stateKey(st *savedState) []byte {
+	b := e.scratch[:0]
+	for i := range st.deps {
+		d := &st.deps[i]
+		if d.depth >= 0 {
+			b = append(b, byte(i), byte(d.depth))
+			b = binary.LittleEndian.AppendUint32(b, uint32(d.srcA))
+			b = binary.LittleEndian.AppendUint32(b, uint32(d.srcB))
+		}
+	}
+	b = append(b, 0xff)
+	for i := range st.pending {
+		p := &st.pending[i]
+		if p.age != 0 {
+			b = append(b, byte(i), p.age)
+			b = binary.LittleEndian.AppendUint32(b, uint32(p.loadPC))
+			b = binary.LittleEndian.AppendUint32(b, uint32(p.afterBranch))
+		}
+	}
+	b = append(b, 0xff, st.lastBranchAge)
+	if st.lastBranchAge != 0 {
+		b = binary.LittleEndian.AppendUint32(b, uint32(st.lastBranchPC))
+	}
+	e.scratch = b
+	return b
+}
+
+func (e *runEngine) internState(st *savedState) uint32 {
+	key := e.stateKey(st)
+	if id, ok := e.stateIDs[string(key)]; ok {
+		return id
+	}
+	id := uint32(len(e.states))
+	e.states = append(e.states, *st)
+	e.stateIDs[string(key)] = id
+	return id
+}
+
+// runFor interns the static characterization of run (pc, n).
+func (e *runEngine) runFor(pc, n int32) *runInfo {
+	key := uint64(uint32(pc))<<32 | uint64(uint32(n))
+	if ri := e.runs[key]; ri != nil {
+		return ri
+	}
+	ri := e.bt.makeRun(pc, n)
+	e.runs[key] = ri
+	return ri
+}
+
+// eval runs the dep and seq machines over run ri from state stateID,
+// capturing deltas via the recording hooks, and returns the index of
+// the freshly appended transition.
+func (e *runEngine) eval(stateID uint32, ri *runInfo) uint32 {
+	st := &e.states[stateID]
+
+	// Seed the machines from the canonical state.
+	e.evalDep.deps = st.deps
+	for i := range st.pending {
+		sp := &st.pending[i]
+		if sp.age != 0 {
+			e.evalSeq.pending[i] = pendingLoad{
+				active: true, loadPC: sp.loadPC,
+				afterBranch: sp.afterBranch, seq: evalBase - uint64(sp.age),
+			}
+		} else {
+			e.evalSeq.pending[i] = pendingLoad{}
+		}
+	}
+	e.evalSeq.haveBranch = st.lastBranchAge != 0
+	e.evalSeq.lastBranchPC = st.lastBranchPC
+	e.evalSeq.lastBranchSeq = evalBase - uint64(st.lastBranchAge)
+
+	// Synthetic events: only PC/Seq/Inst are read in recording mode
+	// (branch outcomes and addresses join in the shard lanes).
+	n := int(ri.n)
+	if cap(e.evalEvs) < n {
+		e.evalEvs = make([]sim.Event, n+n/2+16)
+	}
+	evs := e.evalEvs[:n]
+	for t := 0; t < n; t++ {
+		pc := ri.pc + int32(t)
+		evs[t] = sim.Event{PC: pc, Seq: evalBase + uint64(t), Inst: &e.prog.Insts[pc]}
+	}
+
+	// Reset capture buffers.
+	nbrWords := (len(ri.brs) + 63) / 64
+	if cap(e.capFed) < nbrWords {
+		e.capFed = make([]uint64, nbrWords+4)
+	}
+	for i := 0; i < nbrWords; i++ {
+		e.capFed[i] = 0
+	}
+	e.capBrOrd = 0
+	e.capFedCnt = 0
+	e.capDep = e.capDep[:0]
+	e.capSeq = e.capSeq[:0]
+
+	e.evalDep.observe(evs, nil)
+	e.evalSeq.observe(evs)
+
+	// Capture and canonicalize the resulting state.
+	var next savedState
+	next.deps = e.evalDep.deps
+	for i := range next.deps {
+		if next.deps[i].depth < 0 {
+			next.deps[i] = regDep{depth: -1, srcA: -1, srcB: -1}
+		}
+	}
+	endSeq := evalBase + uint64(n)
+	for i := range e.evalSeq.pending {
+		pd := &e.evalSeq.pending[i]
+		if pd.active {
+			if age := endSeq - pd.seq; age <= proximity {
+				next.pending[i] = savedPending{loadPC: pd.loadPC, afterBranch: pd.afterBranch, age: uint8(age)}
+			}
+		}
+	}
+	if e.evalSeq.haveBranch {
+		if age := endSeq - e.evalSeq.lastBranchSeq; age <= proximity {
+			next.lastBranchAge = uint8(age)
+			next.lastBranchPC = e.evalSeq.lastBranchPC
+		}
+	}
+
+	tr := transition{next: e.internState(&next), fedCount: e.capFedCnt}
+	if e.capFedCnt != 0 {
+		tr.fedMask = append([]uint64(nil), e.capFed[:nbrWords]...)
+	}
+	if len(e.capDep) != 0 {
+		tr.depCredits = append([]credit(nil), e.capDep...)
+	}
+	if len(e.capSeq) != 0 {
+		tr.seqCredits = append([]credit(nil), e.capSeq...)
+	}
+	e.trans = append(e.trans, tr)
+	return uint32(len(e.trans) - 1)
+}
+
+// orBitsAt ORs the low nbits of src into dst starting at bit offset
+// off. dst must already span off+nbits bits.
+func orBitsAt(dst []uint64, off int, src []uint64, nbits int) {
+	w, s := off>>6, uint(off&63)
+	for i := 0; nbits > 0; i++ {
+		v := src[i]
+		dst[w+i] |= v << s
+		if s != 0 && nbits > int(64-s) {
+			dst[w+i+1] |= v >> (64 - s)
+		}
+		nbits -= 64
+	}
+}
+
+// processChunk advances the engine over one chunk's run stream and
+// fills ann for the shard lanes.
+func (e *runEngine) processChunk(ch *runstream.Chunk, ann *chunkAnn) {
+	ann.infos = ann.infos[:0]
+	nWords := (ch.N + 63) / 64 // upper bound on cond-branch count
+	if cap(ann.fed) < nWords {
+		ann.fed = make([]uint64, nWords)
+	}
+	ann.fed = ann.fed[:nWords]
+	for i := range ann.fed {
+		ann.fed[i] = 0
+	}
+	brOff := 0
+	for _, r := range ch.Runs {
+		ri := e.runFor(r.PC, r.N)
+		ri.occ++
+		key := memoKey{state: e.cur, pc: r.PC, n: r.N}
+		ti := e.memo.lookup(key)
+		if ti == 0 {
+			ti = e.eval(e.cur, ri) + 1
+			e.memo.insert(key, ti)
+		}
+		tr := &e.trans[ti-1]
+		tr.occ++
+		if tr.fedMask != nil {
+			orBitsAt(ann.fed, brOff, tr.fedMask, len(ri.brs))
+		}
+		brOff += len(ri.brs)
+		e.cur = tr.next
+		ann.infos = append(ann.infos, ri)
+	}
+	ann.nBr = brOff
+}
+
+// finish multiplies the interned characterizations by their occurrence
+// counts into a's mix, dependence, and sequence tables. a must have
+// mix/dep/seq initialized for the engine's program.
+func (e *runEngine) finish(a *Analysis) {
+	for _, ri := range e.runs {
+		occ := ri.occ
+		if occ == 0 {
+			continue
+		}
+		a.mix.total += uint64(ri.n) * occ
+		for c := range ri.classCounts {
+			a.mix.classCounts[c] += uint64(ri.classCounts[c]) * occ
+		}
+		a.mix.fpCount += uint64(ri.fp) * occ
+		a.mix.fpLoads += uint64(ri.fpLoads) * occ
+		for _, off := range ri.loads {
+			a.mix.counts[ri.pc+off] += occ
+		}
+	}
+	for i := range e.trans {
+		tr := &e.trans[i]
+		if tr.occ == 0 {
+			continue
+		}
+		a.dep.fedBranchExec += uint64(tr.fedCount) * tr.occ
+		for _, c := range tr.depCredits {
+			n := uint64(c.n) * tr.occ
+			a.dep.toBranch[c.loadPC] += n
+			fb := a.dep.fedBranch[c.loadPC]
+			if fb == nil {
+				fb = make(map[int32]uint64)
+				a.dep.fedBranch[c.loadPC] = fb
+			}
+			fb[c.branchPC] += n
+		}
+		for _, c := range tr.seqCredits {
+			ab := a.seq.afterBranch[c.loadPC]
+			if ab == nil {
+				ab = make(map[int32]uint64)
+				a.seq.afterBranch[c.loadPC] = ab
+			}
+			ab[c.branchPC] += uint64(c.n) * tr.occ
+		}
+	}
+}

@@ -55,7 +55,10 @@ type shardState struct {
 // goroutines — the fastest shape on a single-core host.
 func AnalyzeSharded(ctx context.Context, prog *isa.Program, inorder EventSource, shards []Shard) (*Analysis, error) {
 	a := New(prog)
+	a.Exec = Execution{RequestedWorkers: len(shards), Workers: len(shards)}
 	if len(shards) <= 1 {
+		a.Exec.Workers = 1
+		a.Exec.SerialReason = SerialReasonRequested
 		for {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("loadchar: sharded analysis: %w", err)

@@ -2,45 +2,53 @@ package runner
 
 import (
 	"context"
+	"runtime"
 
 	"bioperfload/internal/isa"
 	"bioperfload/internal/loadchar"
-	"bioperfload/internal/sim"
 	"bioperfload/internal/trace"
 )
 
-// ReplayAnalyze characterizes prog from a chunk-indexed trace using up
-// to jobs shard workers. The chunk index is split into even,
-// contiguous ranges: each shard worker decodes its range independently
-// and runs the mergeable passes, while one in-order decode stream
-// keeps the sequential cache/predictor/dependence lanes fed (see
-// loadchar.AnalyzeSharded). With jobs <= 1 — or a trace too small to
-// split — everything collapses into a single fused sequential loop,
-// which is the fastest shape on a single-core host.
+// ReplayAnalyze characterizes prog from a chunk-indexed trace through
+// the block-characterized replay engine: the trace's column streams
+// (PC runs, taken bits, addresses) feed loadchar.AnalyzeRuns, which
+// memoizes the order-insensitive passes over (state, run) pairs and
+// shards the predictor and cache lanes when workers are available. The
+// profile is byte-identical to a live characterization (pinned by
+// golden tests).
+//
+// jobs is a request, not a promise: the worker count is clamped to
+// GOMAXPROCS (lanes beyond schedulable CPUs only add handoff cost) and
+// collapses to the fused single-lane loop on single-chunk traces. The
+// returned Analysis' Exec field records the requested count, the count
+// actually used, and the clamp reason, so callers — and the /metrics
+// surface — can tell "ran parallel" from "parallel requested, ran
+// serial" instead of inferring it from identical results.
 func ReplayAnalyze(ctx context.Context, prog *isa.Program, ir *trace.IndexedReader, jobs int) (*loadchar.Analysis, error) {
 	n := ir.Chunks()
-	inorder := ir.Range(prog, 0, n)
-	defer inorder.Close()
-	shardCount := jobs
-	if shardCount > n {
-		shardCount = n
+	effective := jobs
+	if effective < 1 {
+		effective = 1
 	}
-	if shardCount <= 1 {
-		return loadchar.AnalyzeSharded(ctx, prog, inorder, nil)
+	reason := ""
+	if g := runtime.GOMAXPROCS(0); effective > g {
+		effective, reason = g, loadchar.SerialReasonGOMAXPROCS
 	}
-	shards := make([]loadchar.Shard, shardCount)
-	for i := range shards {
-		lo := i * n / shardCount
-		hi := (i + 1) * n / shardCount
-		src := ir.Range(prog, lo, hi)
-		defer src.Close()
-		shards[i] = loadchar.Shard{Source: src, Start: ir.Base(lo)}
-		if i > 0 {
-			lo := lo
-			shards[i].Warmup = func() ([]sim.Event, error) {
-				return ir.Tail(prog, lo, loadchar.WarmupEvents)
-			}
-		}
+	if n < 2 && effective > 1 {
+		effective, reason = 1, loadchar.SerialReasonSingleChunk
 	}
-	return loadchar.AnalyzeSharded(ctx, prog, inorder, shards)
+
+	// Decode workers are the column source's own pipeline (striped chunk
+	// ranges); they scale with the same clamp as the analysis lanes.
+	src := ir.Columns(ctx, prog, 0, n, effective)
+	defer src.Close()
+	a, err := loadchar.AnalyzeRuns(ctx, prog, src, effective)
+	if err != nil {
+		return nil, err
+	}
+	a.Exec.RequestedWorkers = jobs
+	if reason != "" {
+		a.Exec.SerialReason = reason
+	}
+	return a, nil
 }

@@ -109,17 +109,18 @@ type Profile struct {
 // Stats reports a session's cache effectiveness, for tests and for
 // the -bench-json perf record.
 type Stats struct {
-	Compiles         uint64 `json:"compiles"`          // compile-cache misses (actual compilations)
-	CompileHits      uint64 `json:"compile_hits"`      // compile-cache hits
-	Runs             uint64 `json:"runs"`              // sim.Machine.Run invocations
-	CharacterizeHits uint64 `json:"characterize_hits"` // characterization-cache hits
-	ReplayRuns       uint64 `json:"replay_runs"`       // characterizations served by trace replay
-	ProfileHits      uint64 `json:"profile_hits"`      // characterizations served from persisted snapshots
-	PeerHits         uint64 `json:"peer_hits"`         // characterizations served from a fleet peer's artifact
-	ColdChars        uint64 `json:"cold_chars"`        // characterizations that had to simulate cold
-	SampledChars     uint64 `json:"sampled_chars"`     // sampled characterizations computed from a phase plan
-	SampledHits      uint64 `json:"sampled_hits"`      // sampled characterizations served from persisted snapshots
-	SampledDegrades  uint64 `json:"sampled_degrades"`  // sampled requests degraded to the exact path
+	Compiles              uint64 `json:"compiles"`                // compile-cache misses (actual compilations)
+	CompileHits           uint64 `json:"compile_hits"`            // compile-cache hits
+	Runs                  uint64 `json:"runs"`                    // sim.Machine.Run invocations
+	CharacterizeHits      uint64 `json:"characterize_hits"`       // characterization-cache hits
+	ReplayRuns            uint64 `json:"replay_runs"`             // characterizations served by trace replay
+	ReplaySerialFallbacks uint64 `json:"replay_serial_fallbacks"` // replays that requested parallelism but ran serial
+	ProfileHits           uint64 `json:"profile_hits"`            // characterizations served from persisted snapshots
+	PeerHits              uint64 `json:"peer_hits"`               // characterizations served from a fleet peer's artifact
+	ColdChars             uint64 `json:"cold_chars"`              // characterizations that had to simulate cold
+	SampledChars          uint64 `json:"sampled_chars"`           // sampled characterizations computed from a phase plan
+	SampledHits           uint64 `json:"sampled_hits"`            // sampled characterizations served from persisted snapshots
+	SampledDegrades       uint64 `json:"sampled_degrades"`        // sampled requests degraded to the exact path
 }
 
 // RemoteTier is the fleet hook: when a Session misses its local
@@ -156,6 +157,7 @@ type Session struct {
 	runs            atomic.Uint64
 	charHits        atomic.Uint64
 	replayRuns      atomic.Uint64
+	replaySerial    atomic.Uint64
 	profileHits     atomic.Uint64
 	peerHits        atomic.Uint64
 	coldChars       atomic.Uint64
@@ -221,17 +223,18 @@ func (s *Session) SimPoint() simpoint.Config { return s.simpointCfg.WithDefaults
 // Stats returns the session's cache counters.
 func (s *Session) Stats() Stats {
 	return Stats{
-		Compiles:         s.compiles.Load(),
-		CompileHits:      s.compileHits.Load(),
-		Runs:             s.runs.Load(),
-		CharacterizeHits: s.charHits.Load(),
-		ReplayRuns:       s.replayRuns.Load(),
-		ProfileHits:      s.profileHits.Load(),
-		PeerHits:         s.peerHits.Load(),
-		ColdChars:        s.coldChars.Load(),
-		SampledChars:     s.sampledChars.Load(),
-		SampledHits:      s.sampledHits.Load(),
-		SampledDegrades:  s.sampledDegrades.Load(),
+		Compiles:              s.compiles.Load(),
+		CompileHits:           s.compileHits.Load(),
+		Runs:                  s.runs.Load(),
+		CharacterizeHits:      s.charHits.Load(),
+		ReplayRuns:            s.replayRuns.Load(),
+		ReplaySerialFallbacks: s.replaySerial.Load(),
+		ProfileHits:           s.profileHits.Load(),
+		PeerHits:              s.peerHits.Load(),
+		ColdChars:             s.coldChars.Load(),
+		SampledChars:          s.sampledChars.Load(),
+		SampledHits:           s.sampledHits.Load(),
+		SampledDegrades:       s.sampledDegrades.Load(),
 	}
 }
 

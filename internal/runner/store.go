@@ -285,6 +285,9 @@ func (s *Session) replayCharacterize(ctx context.Context, p *bio.Program, sz bio
 				}
 				return evict() // damaged trace: fall back to cold simulation
 			}
+			if s.jobs > 1 && !a.Exec.Parallel() {
+				s.replaySerial.Add(1)
+			}
 			return &Profile{Name: p.Name, Instructions: ir.TotalEvents(), Analysis: a, Source: "replay"}, nil, true
 		}
 	}
@@ -316,6 +319,12 @@ func (s *Session) replayCharacterize(ctx context.Context, p *bio.Program, sz bio
 			return nil, fmt.Errorf("%s: %w", p.Name, err), true
 		}
 		return evict() // damaged trace: fall back to cold simulation
+	}
+	// A trace without a seekable chunk index cannot feed the sharded
+	// replay engine; record the serial collapse instead of hiding it.
+	a.Exec = loadchar.Execution{RequestedWorkers: s.jobs, Workers: 1, SerialReason: loadchar.SerialReasonNoIndex}
+	if s.jobs > 1 {
+		s.replaySerial.Add(1)
 	}
 	return &Profile{Name: p.Name, Instructions: tr.TotalEvents(), Analysis: a, Source: "replay"}, nil, true
 }

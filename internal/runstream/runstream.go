@@ -1,0 +1,59 @@
+// Package runstream defines the column-oriented chunk stream the
+// block-characterized replay engine consumes: straight-line PC runs
+// plus the taken and address columns of one trace chunk, without the
+// per-event record materialization of a full decode. The trace package
+// produces it (trace.IndexedReader.Columns) and loadchar consumes it
+// (loadchar.AnalyzeRuns); keeping the types here breaks what would
+// otherwise be an import cycle between the two.
+package runstream
+
+// Run is one maximal straight-line PC run: N events whose PCs are
+// PC, PC+1, ..., PC+N-1, in commit order.
+type Run struct {
+	PC int32
+	N  int32
+}
+
+// Chunk is the column view of one trace chunk. Concatenating the runs
+// reproduces exactly the PC sequence a full event decode yields.
+type Chunk struct {
+	// Base is the sequence number of the chunk's first event.
+	Base uint64
+	// N is the event count.
+	N int
+	// Runs is the chunk's PC sequence as maximal straight-line runs.
+	Runs []Run
+	// Taken is the branch-outcome bitmap, one bit per event
+	// (bit i set ⇔ event i's Taken flag was set).
+	Taken []byte
+	// Present is the address-present bitmap, one bit per event
+	// (bit i set ⇔ event i recorded a nonzero effective address).
+	Present []byte
+	// Addrs holds the effective addresses of the chunk's memory-class
+	// (load/store) events in commit order, one entry per memory event
+	// whose Present bit is set. Present bits on non-memory events (which
+	// a hostile trace may contain) only advanced the decoder's delta
+	// chain; their values are not memory references and are dropped. A
+	// memory event with a clear Present bit has address 0, matching the
+	// event-decode semantics.
+	Addrs []uint64
+}
+
+// TakenAt reports event i's taken bit.
+func (c *Chunk) TakenAt(i int32) bool {
+	return c.Taken[i>>3]&(1<<(i&7)) != 0
+}
+
+// PresentAt reports event i's address-present bit.
+func (c *Chunk) PresentAt(i int32) bool {
+	return c.Present[i>>3]&(1<<(i&7)) != 0
+}
+
+// Source streams Chunks in commit order. Next returns the next chunk
+// and a release function that recycles its buffers; it returns io.EOF
+// after the final chunk. Close releases underlying resources and may
+// be called at any time, including before EOF.
+type Source interface {
+	Next() (*Chunk, func(), error)
+	Close()
+}

@@ -922,6 +922,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "bioperfd_session_characterize_hits %d\n", st.CharacterizeHits)
 	fmt.Fprintln(w, "# TYPE bioperfd_session_replay_runs counter")
 	fmt.Fprintf(w, "bioperfd_session_replay_runs %d\n", st.ReplayRuns)
+	fmt.Fprintln(w, "# TYPE bioperfd_session_replay_serial_fallbacks counter")
+	fmt.Fprintf(w, "bioperfd_session_replay_serial_fallbacks %d\n", st.ReplaySerialFallbacks)
 	fmt.Fprintln(w, "# TYPE bioperfd_session_profile_hits counter")
 	fmt.Fprintf(w, "bioperfd_session_profile_hits %d\n", st.ProfileHits)
 	fmt.Fprintln(w, "# TYPE bioperfd_session_peer_hits counter")

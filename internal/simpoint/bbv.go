@@ -91,8 +91,8 @@ func (c *Collector) ObserveRun(pc, n int32) {
 // and one add per block executed, however long the block is.
 func (c *Collector) countRun(pc, n int32) {
 	for n > 0 {
-		b := c.blocks.of[pc]
-		take := c.blocks.next[pc] - pc
+		b := c.blocks.Of(pc)
+		take := c.blocks.NextLeader(pc) - pc
 		if take > n {
 			take = n
 		}

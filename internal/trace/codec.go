@@ -711,19 +711,21 @@ func decodeChunkEvents(data []byte, prog *isa.Program, evs []sim.Event, version 
 // frame, never even decompressed. Skipping their varint work and the
 // per-event struct writes is the point. data need only extend through
 // the PC column (framePCColumn's contract). Returns the chunk's base
-// sequence number and event count.
-func scanChunkPCRuns(data []byte, version int, ni int64, run func(pc, n int32)) (uint64, int, error) {
+// sequence number, event count, and the offset just past the PC
+// deltas (where the remaining columns start in a fully inflated v3
+// payload — the column decoder resumes there).
+func scanChunkPCRuns(data []byte, version int, ni int64, run func(pc, n int32)) (uint64, int, int, error) {
 	pos := 0
 	base, pos, err := uvarintAt(data, pos)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	n64, pos, err := uvarintAt(data, pos)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	if n64 > maxChunkEvents {
-		return 0, 0, fmt.Errorf("trace: chunk claims %d records (max %d)", n64, maxChunkEvents)
+		return 0, 0, 0, fmt.Errorf("trace: chunk claims %d records (max %d)", n64, maxChunkEvents)
 	}
 	n := int(n64)
 	nb := (n + 7) / 8
@@ -735,12 +737,12 @@ func scanChunkPCRuns(data []byte, version int, ni int64, run func(pc, n int32)) 
 		ahead = 4 * nb
 	}
 	if pos+ahead > len(data) {
-		return 0, 0, fmt.Errorf("trace: chunk truncated at offset %d (need %d bytes)", pos, ahead)
+		return 0, 0, 0, fmt.Errorf("trace: chunk truncated at offset %d (need %d bytes)", pos, ahead)
 	}
 	pcex := data[pos : pos+nb]
 	pos += ahead
 	if n%8 != 0 && pcex[nb-1]>>(n%8) != 0 {
-		return 0, 0, fmt.Errorf("trace: nonzero padding bits in chunk bitmap")
+		return 0, 0, 0, fmt.Errorf("trace: nonzero padding bits in chunk bitmap")
 	}
 	pc := int64(0)
 	i := 0
@@ -753,7 +755,7 @@ func scanChunkPCRuns(data []byte, version int, ni int64, run func(pc, n int32)) 
 			if j > i {
 				// Straight-line events i..j-1 extend the current run.
 				if pc+int64(j-i) >= ni {
-					return 0, 0, fmt.Errorf("trace: record %d: pc %d outside program (%d insts)",
+					return 0, 0, 0, fmt.Errorf("trace: record %d: pc %d outside program (%d insts)",
 						base+uint64(j-1), pc+int64(j-i), ni)
 				}
 				if runLen == 0 {
@@ -764,7 +766,7 @@ func scanChunkPCRuns(data []byte, version int, ni int64, run func(pc, n int32)) 
 				i = j
 			}
 			if uint(pos) >= uint(len(data)) {
-				return 0, 0, errTruncatedVarint
+				return 0, 0, 0, errTruncatedVarint
 			}
 			u := uint64(data[pos])
 			pos++
@@ -773,18 +775,18 @@ func scanChunkPCRuns(data []byte, version int, ni int64, run func(pc, n int32)) 
 					u = u&0x7f | uint64(data[pos])<<7
 					pos++
 				} else if u, pos, err = uvarintAt(data, pos-1); err != nil {
-					return 0, 0, err
+					return 0, 0, 0, err
 				}
 			}
 			if u == 0 {
-				return 0, 0, fmt.Errorf("trace: sequential PC marked exceptional at record %d", i)
+				return 0, 0, 0, fmt.Errorf("trace: sequential PC marked exceptional at record %d", i)
 			}
 			if runLen > 0 {
 				run(int32(runStart), runLen)
 			}
 			pc += 1 + unzigzag(u)
 			if pc < 0 || pc >= ni {
-				return 0, 0, fmt.Errorf("trace: record %d: pc %d outside program (%d insts)",
+				return 0, 0, 0, fmt.Errorf("trace: record %d: pc %d outside program (%d insts)",
 					base+uint64(i), pc, ni)
 			}
 			runStart = pc
@@ -794,7 +796,7 @@ func scanChunkPCRuns(data []byte, version int, ni int64, run func(pc, n int32)) 
 	}
 	if i < n {
 		if pc+int64(n-i) >= ni {
-			return 0, 0, fmt.Errorf("trace: record %d: pc %d outside program (%d insts)",
+			return 0, 0, 0, fmt.Errorf("trace: record %d: pc %d outside program (%d insts)",
 				base+uint64(n-1), pc+int64(n-i), ni)
 		}
 		if runLen == 0 {
@@ -805,7 +807,7 @@ func scanChunkPCRuns(data []byte, version int, ni int64, run func(pc, n int32)) 
 	if runLen > 0 {
 		run(int32(runStart), runLen)
 	}
-	return base, n, nil
+	return base, n, pos, nil
 }
 
 // decoder owns the reusable buffers of one decode stream: the flate

@@ -1,0 +1,337 @@
+package trace
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math/bits"
+	"sync"
+
+	"bioperfload/internal/isa"
+	"bioperfload/internal/runstream"
+)
+
+// decodeChunkColumns decodes a sparse-layout (v2/v3) chunk payload into
+// the column form the block-characterized replay engine consumes: PC
+// runs, the taken and address-present bitmaps, and the effective
+// addresses of memory-class events — without materializing per-event
+// records. isMem marks, per static PC, the load/store instructions.
+//
+// Structural validation matches decodeChunkEvents — bounds-checked
+// varints, bitmap padding, PC-in-program, zero-address, zero-target
+// and trailing-byte checks — except that target values are skipped
+// rather than range-checked (this path never materializes them; the
+// event decoder still rejects out-of-range targets on full decodes).
+func decodeChunkColumns(data []byte, version int, isMem []bool, ch *runstream.Chunk) error {
+	if version < 2 {
+		return fmt.Errorf("trace: column decode requires the sparse layout (v2+), got v%d", version)
+	}
+	ch.Runs = ch.Runs[:0]
+	ch.Addrs = ch.Addrs[:0]
+	base, n, pos, err := scanChunkPCRuns(data, version, int64(len(isMem)), func(pc, cnt int32) {
+		ch.Runs = append(ch.Runs, runstream.Run{PC: pc, N: cnt})
+	})
+	if err != nil {
+		return err
+	}
+	ch.Base = base
+	ch.N = n
+	nb := (n + 7) / 8
+	padOK := func(bm []byte) bool { return n%8 == 0 || bm[nb-1]>>(n%8) == 0 }
+	var taken, tpresent, present []byte
+	if version == 2 {
+		// v2 groups all four bitmaps ahead of the varint streams; the
+		// run scan already validated the region's bounds.
+		off := uvarintLen(base) + uvarintLen(uint64(n)) + nb
+		taken = data[off : off+nb]
+		tpresent = data[off+nb : off+2*nb]
+		present = data[off+2*nb : off+3*nb]
+	} else {
+		// v3 places them between the PC deltas and the target stream.
+		if pos+3*nb > len(data) {
+			return fmt.Errorf("trace: chunk truncated at offset %d (need %d bytes)", pos, 3*nb)
+		}
+		taken = data[pos : pos+nb]
+		tpresent = data[pos+nb : pos+2*nb]
+		present = data[pos+2*nb : pos+3*nb]
+		pos += 3 * nb
+	}
+	if !padOK(taken) || !padOK(tpresent) || !padOK(present) {
+		return fmt.Errorf("trace: nonzero padding bits in chunk bitmap")
+	}
+	if cap(ch.Taken) < nb {
+		ch.Taken = make([]byte, nb, nb+nb/2)
+		ch.Present = make([]byte, nb, nb+nb/2)
+	}
+	ch.Taken = ch.Taken[:nb]
+	ch.Present = ch.Present[:nb]
+	copy(ch.Taken, taken)
+	copy(ch.Present, present)
+
+	// Skip the target stream: one varint per set tpresent bit, each
+	// validated as nonzero (a zero delta would mean a fallthrough target
+	// marked present, which the writer never emits).
+	for _, b := range tpresent {
+		for k := bits.OnesCount8(b); k > 0; k-- {
+			if uint(pos) >= uint(len(data)) {
+				return errTruncatedVarint
+			}
+			u := uint64(data[pos])
+			pos++
+			if u >= 0x80 {
+				if uint(pos) < uint(len(data)) && data[pos] < 0x80 {
+					u = u&0x7f | uint64(data[pos])<<7
+					pos++
+				} else if u, pos, err = uvarintAt(data, pos-1); err != nil {
+					return err
+				}
+			}
+			if u == 0 {
+				return fmt.Errorf("trace: fallthrough target marked present in chunk at base %d", base)
+			}
+		}
+	}
+
+	// Address stream: the delta chain covers every set present bit, in
+	// event order, but only memory-class events contribute addresses to
+	// the column (a present bit on a non-memory event — possible only in
+	// a hostile trace — advances the chain and is dropped). Classifying
+	// event i needs its PC, recovered by merge-walking the runs.
+	runIdx := 0
+	runStart := int32(0) // event index where ch.Runs[runIdx] begins
+	prevAddr := uint64(0)
+	for bi, b := range present {
+		for b != 0 {
+			i := int32(bi<<3 + bits.TrailingZeros8(b))
+			b &= b - 1
+			for i >= runStart+ch.Runs[runIdx].N {
+				runStart += ch.Runs[runIdx].N
+				runIdx++
+			}
+			if uint(pos) >= uint(len(data)) {
+				return errTruncatedVarint
+			}
+			u := uint64(data[pos])
+			pos++
+			if u >= 0x80 {
+				if uint(pos) < uint(len(data)) && data[pos] < 0x80 {
+					u = u&0x7f | uint64(data[pos])<<7
+					pos++
+				} else if u, pos, err = uvarintAt(data, pos-1); err != nil {
+					return err
+				}
+			}
+			a := prevAddr + uint64(unzigzag(u))
+			if a == 0 {
+				return fmt.Errorf("trace: zero address marked present at record %d", i)
+			}
+			prevAddr = a
+			if isMem[ch.Runs[runIdx].PC+(i-runStart)] {
+				ch.Addrs = append(ch.Addrs, a)
+			}
+		}
+	}
+	if pos != len(data) {
+		return fmt.Errorf("trace: %d trailing bytes after chunk payload", len(data)-pos)
+	}
+	return nil
+}
+
+// parseFrameBytes parses one chunk frame from an in-memory byte span
+// (the ReaderAt analogue of readFrame): length prefixes, compression
+// kind, CRC over the stored payload, and exact consumption of the
+// span.
+func parseFrameBytes(buf []byte) (frame, error) {
+	pos := 0
+	rawLen, pos, err := uvarintAt(buf, pos)
+	if err != nil {
+		return frame{}, fmt.Errorf("read chunk length: %w", err)
+	}
+	if rawLen == 0 || rawLen > maxFrameBytes {
+		return frame{}, fmt.Errorf("bad chunk raw length %d", rawLen)
+	}
+	if pos >= len(buf) {
+		return frame{}, fmt.Errorf("read compression kind: %w", io.ErrUnexpectedEOF)
+	}
+	kind := buf[pos]
+	pos++
+	compLen, pos, err := uvarintAt(buf, pos)
+	if err != nil {
+		return frame{}, fmt.Errorf("read payload length: %w", err)
+	}
+	if compLen > maxFrameBytes {
+		return frame{}, fmt.Errorf("chunk payload length %d too large", compLen)
+	}
+	if pos+4+int(compLen) != len(buf) {
+		return frame{}, fmt.Errorf("chunk frame spans %d bytes, index records %d", pos+4+int(compLen), len(buf))
+	}
+	crc := binary.LittleEndian.Uint32(buf[pos:])
+	payload := buf[pos+4:]
+	if crc != crc32.ChecksumIEEE(payload) {
+		return frame{}, fmt.Errorf("chunk checksum mismatch")
+	}
+	return frame{rawLen: int(rawLen), kind: kind, payload: payload}, nil
+}
+
+// columnSource streams decoded column chunks from striped decode
+// workers: worker w owns chunks lo+w, lo+w+W, ..., each delivering in
+// order on its own channel, so the consumer's round-robin receive
+// yields chunks in global commit order with no reorder buffer.
+type columnSource struct {
+	outs []chan colMsg
+	free []chan *runstream.Chunk
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+	lo   int
+	hi   int
+	next int
+	err  error
+}
+
+type colMsg struct {
+	ch  *runstream.Chunk
+	err error
+}
+
+// chunksPerWorker bounds how many decoded chunks one worker keeps in
+// flight (being decoded, queued, or held by the consumer) before it
+// blocks waiting for a release.
+const chunksPerWorker = 3
+
+// Columns returns a column source over chunks [lo, hi), decoded by the
+// given number of striped workers (clamped to at least 1). Chunks are
+// read directly at their indexed offsets, so workers share nothing but
+// the ReaderAt; per-chunk validation matches Range (frame CRC, base
+// and event-count cross-checks against the index). The context is
+// checked once per chunk.
+func (ir *IndexedReader) Columns(ctx context.Context, prog *isa.Program, lo, hi, workers int) runstream.Source {
+	if lo < 0 || hi > len(ir.chunks) || lo > hi {
+		panic(fmt.Sprintf("trace: Columns [%d,%d) outside %d chunks", lo, hi, len(ir.chunks)))
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > hi-lo {
+		workers = hi - lo
+	}
+	s := &columnSource{stop: make(chan struct{}), lo: lo, hi: hi, next: lo}
+	if workers == 0 {
+		return s // empty range: Next returns io.EOF immediately
+	}
+	isMem := make([]bool, len(prog.Insts))
+	for pc := range prog.Insts {
+		cls := isa.ClassOf(prog.Insts[pc].Op)
+		isMem[pc] = cls == isa.ClassLoad || cls == isa.ClassStore
+	}
+	s.outs = make([]chan colMsg, workers)
+	s.free = make([]chan *runstream.Chunk, workers)
+	for w := 0; w < workers; w++ {
+		s.outs[w] = make(chan colMsg, chunksPerWorker)
+		s.free[w] = make(chan *runstream.Chunk, chunksPerWorker)
+		for i := 0; i < chunksPerWorker; i++ {
+			s.free[w] <- &runstream.Chunk{}
+		}
+		s.wg.Add(1)
+		go s.worker(ctx, ir, isMem, w, workers)
+	}
+	return s
+}
+
+func (s *columnSource) worker(ctx context.Context, ir *IndexedReader, isMem []bool, w, stride int) {
+	defer s.wg.Done()
+	dec := &decoder{version: ir.version}
+	var buf []byte
+	fail := func(err error) {
+		select {
+		case s.outs[w] <- colMsg{err: err}:
+		case <-s.stop:
+		}
+	}
+	for c := s.lo + w; c < s.hi; c += stride {
+		if err := ctx.Err(); err != nil {
+			fail(fmt.Errorf("trace: columns: %w", err))
+			return
+		}
+		var ch *runstream.Chunk
+		select {
+		case ch = <-s.free[w]:
+		case <-s.stop:
+			return
+		}
+		off := ir.chunks[c].offset
+		flen := ir.rangeEnd(c+1) - off
+		if cap(buf) < int(flen) {
+			buf = make([]byte, flen)
+		}
+		buf = buf[:flen]
+		if _, err := ir.ra.ReadAt(buf, off); err != nil {
+			fail(fmt.Errorf("trace: chunk %d: read frame: %w", c, err))
+			return
+		}
+		f, err := parseFrameBytes(buf)
+		if err != nil {
+			fail(fmt.Errorf("trace: chunk %d: %w", c, err))
+			return
+		}
+		raw, err := dec.frameBytes(f)
+		if err != nil {
+			fail(err)
+			return
+		}
+		if err := decodeChunkColumns(raw, ir.version, isMem, ch); err != nil {
+			fail(err)
+			return
+		}
+		if ch.Base != ir.bases[c] {
+			fail(fmt.Errorf("trace: chunk %d base %d, expected %d", c, ch.Base, ir.bases[c]))
+			return
+		}
+		if uint64(ch.N) != ir.chunks[c].events {
+			fail(fmt.Errorf("trace: chunk %d decoded %d events, index records %d", c, ch.N, ir.chunks[c].events))
+			return
+		}
+		select {
+		case s.outs[w] <- colMsg{ch: ch}:
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Next implements runstream.Source.
+func (s *columnSource) Next() (*runstream.Chunk, func(), error) {
+	if s.err != nil {
+		return nil, nil, s.err
+	}
+	if s.next >= s.hi {
+		return nil, nil, io.EOF
+	}
+	w := (s.next - s.lo) % len(s.outs)
+	msg := <-s.outs[w]
+	if msg.err != nil {
+		s.err = msg.err
+		s.once.Do(func() { close(s.stop) })
+		return nil, nil, msg.err
+	}
+	s.next++
+	free := s.free[w]
+	ch := msg.ch
+	release := func() {
+		select {
+		case free <- ch:
+		default:
+		}
+	}
+	return ch, release, nil
+}
+
+// Close implements runstream.Source, stopping the decode workers. It
+// is safe to call at any time; in-flight chunks stay valid until their
+// release functions run.
+func (s *columnSource) Close() {
+	s.once.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}

@@ -277,7 +277,7 @@ func (ir *IndexedReader) ScanPCRuns(ctx context.Context, prog *isa.Program, lo, 
 		if err != nil {
 			return err
 		}
-		base, n, err := scanChunkPCRuns(col, ir.version, ni, run)
+		base, n, _, err := scanChunkPCRuns(col, ir.version, ni, run)
 		if err != nil {
 			return err
 		}
