@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"syscall"
 	"time"
 
 	"bioperfload/internal/bio"
@@ -33,9 +34,10 @@ func parseSize(s string) (bio.Size, error) {
 }
 
 // record simulates p at sz with a trace writer attached and returns
-// the validated result. The trace is written to w and is only complete
-// (footer present) if record returns nil error.
-func record(p *bio.Program, prog *isa.Program, sz bio.Size, fp string, w io.Writer, compression string) (*sim.Result, *trace.Writer, error) {
+// the validated result. The trace is written to w at the requested
+// format version and is only complete (footer present) if record
+// returns nil error.
+func record(p *bio.Program, prog *isa.Program, sz bio.Size, fp string, w io.Writer, compression string, version int) (*sim.Result, *trace.Writer, error) {
 	m, err := sim.New(prog)
 	if err != nil {
 		return nil, nil, err
@@ -43,12 +45,12 @@ func record(p *bio.Program, prog *isa.Program, sz bio.Size, fp string, w io.Writ
 	if err := p.Bind(m, sz); err != nil {
 		return nil, nil, fmt.Errorf("%s: bind: %w", p.Name, err)
 	}
-	tw := trace.NewWriter(w, trace.Meta{
+	tw := trace.NewWriterVersion(w, trace.Meta{
 		Program:     p.Name,
 		Fingerprint: fp,
 		Size:        sz.String(),
 		Compression: compression,
-	})
+	}, prog, version)
 	m.AddBatchObserver(tw)
 	res, err := m.Run()
 	if err != nil {
@@ -76,6 +78,8 @@ func cmdTrace(args []string, stderr io.Writer) int {
 	sizeFlag := fs.String("size", "test", "input size (test|classB|classC)")
 	out := fs.String("o", "", "output path (default <program>-<size>.trace)")
 	comp := fs.String("compression", "flate", "chunk codec: flate (smallest) or none (fastest replay)")
+	ver := fs.Int("trace-version", trace.FormatVersion,
+		fmt.Sprintf("trace format version to write (1-%d); older versions interoperate with pre-upgrade readers", trace.FormatVersion))
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -115,8 +119,14 @@ func cmdTrace(args []string, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "bioperf trace: -compression: unknown codec %q (flate|none)\n", *comp)
 		return 2
 	}
-	fp := runner.Fingerprint(p, false, compiler.Default())
-	res, tw, err := record(p, prog, sz, fp, f, *comp)
+	if *ver < 1 || *ver > trace.FormatVersion {
+		fmt.Fprintf(stderr, "bioperf trace: -trace-version: %d out of range (1-%d)\n", *ver, trace.FormatVersion)
+		return 2
+	}
+	// Hash with the version being written so the file's own fingerprint
+	// matches what replay recomputes for that version.
+	fp := runner.FingerprintAt(p, false, compiler.Default(), *ver)
+	res, tw, err := record(p, prog, sz, fp, f, *comp, *ver)
 	if err != nil {
 		f.Close()
 		os.Remove(path)
@@ -254,7 +264,10 @@ type benchTraceFile struct {
 	TraceBytes   int64   `json:"trace_bytes"`
 	BitsPerEvent float64 `json:"bits_per_event"`
 	Compression  string  `json:"compression"`
+	TraceVersion int     `json:"trace_version"`
 	Samples      int     `json:"samples"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	NumCPU       int     `json:"num_cpu"`
 
 	ColdCharacterizeMS  float64 `json:"cold_characterize_ms"`
 	WarmCharacterizeMS  float64 `json:"warm_characterize_ms"`
@@ -267,30 +280,109 @@ type benchTraceFile struct {
 	// did not describe any measurement).
 	ReplayMS              float64            `json:"replay_ms"`
 	ReplayExec            loadchar.Execution `json:"replay_exec"`
+	ReplayMem             benchMem           `json:"replay_mem"`
 	ParallelReplayMS      float64            `json:"parallel_replay_ms"`
 	ParallelReplayExec    loadchar.Execution `json:"parallel_replay_exec"`
+	ParallelReplayMem     benchMem           `json:"parallel_replay_mem"`
 	ReplaySpeedup         float64            `json:"replay_speedup"`
 	ParallelReplaySpeedup float64            `json:"parallel_replay_speedup"`
 
-	// Scaling is the worker-scaling table: one replay measurement per
-	// requested worker count, each tagged with its actual execution.
+	// Scaling is the wall-clock scaling table: one replay per
+	// GOMAXPROCS setting with a matching worker count, each row
+	// reporting wall time, CPU time (user-equivalent work — the wall
+	// savings must come from spreading roughly constant CPU work
+	// across cores, not from doing less of it), and allocation stats
+	// from the decode-slab pools.
 	Scaling []benchScalingPoint `json:"replay_scaling"`
+
+	// CrossVersion is the back-compat matrix: the same run recorded at
+	// every readable format version, each decoded and re-analyzed
+	// against the live profile.
+	CrossVersion []benchVersionPoint `json:"cross_version"`
 
 	ProfilesIdentical bool   `json:"profiles_identical"`
 	Generated         string `json:"generated"`
 }
 
-// benchScalingPoint is one row of the worker-scaling table.
-type benchScalingPoint struct {
-	Exec    loadchar.Execution `json:"exec"`
-	MS      float64            `json:"ms"`
-	Speedup float64            `json:"speedup"`
+// benchMem is the allocation delta across one measured region, read
+// from runtime.MemStats. A healthy slab-recycling decode path keeps
+// Mallocs near-flat between samples of the same measurement.
+type benchMem struct {
+	Mallocs    uint64 `json:"mallocs"`
+	AllocBytes uint64 `json:"alloc_bytes"`
 }
 
-// bestOf runs f n times and returns the minimum duration. The minimum
-// — not the mean — is the right statistic for a deterministic workload:
-// every sample computes the same thing, so all variance is noise added
-// on top and the fastest run is the closest estimate of the true cost.
+// benchScalingPoint is one row of the wall-clock scaling table.
+type benchScalingPoint struct {
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	Exec        loadchar.Execution `json:"exec"`
+	WallMS      float64            `json:"wall_ms"`
+	CPUMS       float64            `json:"cpu_ms"`
+	Speedup     float64            `json:"speedup"`      // cold simulate / this wall
+	WallScaling float64            `json:"wall_scaling"` // 1-worker wall / this wall
+	Mem         benchMem           `json:"mem"`
+}
+
+// benchVersionPoint is one row of the cross-version matrix.
+type benchVersionPoint struct {
+	Version           int     `json:"version"`
+	TraceBytes        int64   `json:"trace_bytes"`
+	BitsPerEvent      float64 `json:"bits_per_event"`
+	DecodeNSPerEvent  float64 `json:"decode_ns_per_event"`
+	ProfilesIdentical bool    `json:"profiles_identical"`
+}
+
+// measurement is one timed region: wall clock, process CPU time
+// (user+system, from getrusage — on a multi-core run CPU stays near
+// the 1-worker wall while wall drops), and the allocation delta.
+type measurement struct {
+	Wall time.Duration
+	CPU  time.Duration
+	Mem  benchMem
+}
+
+func (m measurement) WallMS() float64 { return m.Wall.Seconds() * 1e3 }
+
+// cpuTime returns the process's cumulative user+system CPU time.
+func cpuTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}
+
+// measureBest runs f n times and returns the sample with the minimum
+// wall time. The minimum — not the mean — is the right statistic for a
+// deterministic workload: every sample computes the same thing, so all
+// variance is noise added on top and the fastest run is the closest
+// estimate of the true cost. CPU and allocation stats come from that
+// same fastest sample so the row is internally consistent.
+func measureBest(n int, f func() error) (measurement, error) {
+	best := measurement{Wall: -1}
+	for i := 0; i < n; i++ {
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		c0 := cpuTime()
+		start := time.Now()
+		if err := f(); err != nil {
+			return measurement{}, err
+		}
+		wall := time.Since(start)
+		c1 := cpuTime()
+		runtime.ReadMemStats(&m1)
+		if best.Wall < 0 || wall < best.Wall {
+			best = measurement{
+				Wall: wall,
+				CPU:  c1 - c0,
+				Mem:  benchMem{Mallocs: m1.Mallocs - m0.Mallocs, AllocBytes: m1.TotalAlloc - m0.TotalAlloc},
+			}
+		}
+	}
+	return best, nil
+}
+
+// bestOf runs f n times and returns the minimum duration.
 func bestOf(n int, f func() (time.Duration, error)) (time.Duration, error) {
 	best := time.Duration(-1)
 	for i := 0; i < n; i++ {
@@ -318,7 +410,11 @@ func cmdBenchTrace(args []string, stderr io.Writer) int {
 	samples := fs.Int("n", 3, "samples per timing (best-of-N)")
 	check := fs.Float64("check", 0, "fail unless warm characterize speedup >= this (0 = no check)")
 	minPar := fs.Float64("min-parallel-speedup", 0, "fail unless parallel replay speedup >= this (0 = no check)")
+	minWall := fs.Float64("min-wall-scaling", 0,
+		"fail unless the GOMAXPROCS=4 replay wall time beats 1-worker by >= this factor (0 = no check; skipped with a note when the host has fewer than 4 CPUs)")
 	comp := fs.String("compression", "none", "trace codec for the replay benchmark (none|flate); none keeps inflate off the replay critical path")
+	ver := fs.Int("trace-version", trace.FormatVersion,
+		fmt.Sprintf("trace format version for the replay benchmark (1-%d)", trace.FormatVersion))
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -354,19 +450,23 @@ func cmdBenchTrace(args []string, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "bioperf bench-trace: -compression: unknown codec %q (flate|none)\n", *comp)
 		return 2
 	}
-	if err := benchTrace(p, sz, *jsonPath, *jobs, *samples, *check, *minPar, *comp); err != nil {
+	if *ver < 1 || *ver > trace.FormatVersion {
+		fmt.Fprintf(stderr, "bioperf bench-trace: -trace-version: %d out of range (1-%d)\n", *ver, trace.FormatVersion)
+		return 2
+	}
+	if err := benchTrace(p, sz, *jsonPath, *jobs, *samples, *check, *minPar, *minWall, *comp, *ver); err != nil {
 		fmt.Fprintf(stderr, "bioperf bench-trace: %v\n", err)
 		return 1
 	}
 	return 0
 }
 
-func benchTrace(p *bio.Program, sz bio.Size, jsonPath string, jobs, samples int, check, minPar float64, comp string) error {
+func benchTrace(p *bio.Program, sz bio.Size, jsonPath string, jobs, samples int, check, minPar, minWall float64, comp string, version int) error {
 	prog, err := p.Compile(false, compiler.Default())
 	if err != nil {
 		return err
 	}
-	fp := runner.Fingerprint(p, false, compiler.Default())
+	fp := runner.FingerprintAt(p, false, compiler.Default(), version)
 	ctx := context.Background()
 
 	// Cold: simulate with the live analyzer attached — the baseline
@@ -419,7 +519,7 @@ func benchTrace(p *bio.Program, sz bio.Size, jsonPath string, jobs, samples int,
 			return 0, err
 		}
 		start := time.Now()
-		if _, _, err := record(p, prog, sz, fp, tf, comp); err != nil {
+		if _, _, err := record(p, prog, sz, fp, tf, comp, version); err != nil {
 			return 0, err
 		}
 		return time.Since(start), nil
@@ -436,63 +536,77 @@ func benchTrace(p *bio.Program, sz bio.Size, jsonPath string, jobs, samples int,
 	// decode-and-analyze loop), then sharded across jobs workers. Each
 	// sample re-parses the index so no decoder state is carried over.
 	var seq, par *loadchar.Analysis
-	seqDur, err := bestOf(samples, func() (time.Duration, error) {
+	seqM, err := measureBest(samples, func() error {
 		ir, err := trace.NewIndexedReader(tf, traceSize)
 		if err != nil {
-			return 0, err
+			return err
 		}
-		start := time.Now()
-		if seq, err = runner.ReplayAnalyze(ctx, prog, ir, 1); err != nil {
-			return 0, err
-		}
-		return time.Since(start), nil
+		seq, err = runner.ReplayAnalyze(ctx, prog, ir, 1)
+		return err
 	})
 	if err != nil {
 		return err
 	}
-	parDur, err := bestOf(samples, func() (time.Duration, error) {
+	parM, err := measureBest(samples, func() error {
 		ir, err := trace.NewIndexedReader(tf, traceSize)
 		if err != nil {
-			return 0, err
+			return err
 		}
-		start := time.Now()
-		if par, err = runner.ReplayAnalyze(ctx, prog, ir, jobs); err != nil {
-			return 0, err
-		}
-		return time.Since(start), nil
+		par, err = runner.ReplayAnalyze(ctx, prog, ir, jobs)
+		return err
 	})
 	if err != nil {
 		return err
 	}
 
-	// Worker-scaling table: the same replay at fixed requested counts,
-	// each row tagged with the execution it actually got (clamps to
-	// GOMAXPROCS show up here as workers < requested, not as silence).
+	// Wall-clock scaling table: the same replay with GOMAXPROCS pinned
+	// to the worker count, so each row is what a w-core machine would
+	// measure on the wall rather than w goroutines timeslicing the
+	// cores the host happens to have. CPU time per row is the
+	// user-equivalent work: near-constant CPU with falling wall is
+	// real scaling, falling CPU would mean the rows computed less.
+	prevProcs := runtime.GOMAXPROCS(0)
 	var scaling []benchScalingPoint
 	for _, w := range []int{1, 2, 4, 8} {
+		runtime.GOMAXPROCS(w)
 		var sa *loadchar.Analysis
-		d, err := bestOf(samples, func() (time.Duration, error) {
+		m, err := measureBest(samples, func() error {
 			ir, err := trace.NewIndexedReader(tf, traceSize)
 			if err != nil {
-				return 0, err
+				return err
 			}
-			start := time.Now()
-			if sa, err = runner.ReplayAnalyze(ctx, prog, ir, w); err != nil {
-				return 0, err
-			}
-			return time.Since(start), nil
+			sa, err = runner.ReplayAnalyze(ctx, prog, ir, w)
+			return err
 		})
 		if err != nil {
+			runtime.GOMAXPROCS(prevProcs)
 			return err
 		}
 		if got := loadchar.RenderProfile(p.Name, sz.String(), sa, 10); got != want {
+			runtime.GOMAXPROCS(prevProcs)
 			return fmt.Errorf("replay at %d workers produced a different profile", w)
 		}
 		scaling = append(scaling, benchScalingPoint{
-			Exec:    sa.Exec,
-			MS:      d.Seconds() * 1e3,
-			Speedup: cold.Seconds() / d.Seconds(),
+			GOMAXPROCS: w,
+			Exec:       sa.Exec,
+			WallMS:     m.WallMS(),
+			CPUMS:      m.CPU.Seconds() * 1e3,
+			Speedup:    cold.Seconds() / m.Wall.Seconds(),
+			Mem:        m.Mem,
 		})
+	}
+	runtime.GOMAXPROCS(prevProcs)
+	for i := range scaling {
+		scaling[i].WallScaling = scaling[0].WallMS / scaling[i].WallMS
+	}
+
+	// Cross-version matrix: the same simulation recorded once at every
+	// readable format version, then each file decoded (ns/event, no
+	// analysis) and re-analyzed back to the live profile. v1 has no
+	// footer index, so it streams through the sequential reader.
+	crossVersion, crossOK, err := benchCrossVersion(ctx, p, prog, sz, samples, comp, want)
+	if err != nil {
+		return err
 	}
 
 	// Store-backed serving, the path runner.Session and bioperfd use:
@@ -562,7 +676,8 @@ func benchTrace(p *bio.Program, sz bio.Size, jsonPath string, jobs, samples int,
 		return err
 	}
 
-	identical := loadchar.RenderProfile(p.Name, sz.String(), seq, 10) == want &&
+	identical := crossOK &&
+		loadchar.RenderProfile(p.Name, sz.String(), seq, 10) == want &&
 		loadchar.RenderProfile(p.Name, sz.String(), par, 10) == want &&
 		loadchar.RenderProfile(p.Name, sz.String(), coldProf.Analysis, 10) == want &&
 		loadchar.RenderProfile(p.Name, sz.String(), warmProf.Analysis, 10) == want
@@ -578,19 +693,25 @@ func benchTrace(p *bio.Program, sz bio.Size, jsonPath string, jobs, samples int,
 		TraceBytes:            traceSize,
 		BitsPerEvent:          8 * float64(traceSize) / float64(res.Instructions),
 		Compression:           comp,
+		TraceVersion:          version,
 		Samples:               samples,
+		GOMAXPROCS:            runtime.GOMAXPROCS(0),
+		NumCPU:                runtime.NumCPU(),
 		ColdCharacterizeMS:    coldChar.Seconds() * 1e3,
 		WarmCharacterizeMS:    warmChar.Seconds() * 1e3,
 		CharacterizeSpeedup:   coldChar.Seconds() / warmChar.Seconds(),
 		ColdMS:                cold.Seconds() * 1e3,
 		RecordMS:              recDur.Seconds() * 1e3,
-		ReplayMS:              seqDur.Seconds() * 1e3,
+		ReplayMS:              seqM.WallMS(),
 		ReplayExec:            seq.Exec,
-		ParallelReplayMS:      parDur.Seconds() * 1e3,
+		ReplayMem:             seqM.Mem,
+		ParallelReplayMS:      parM.WallMS(),
 		ParallelReplayExec:    par.Exec,
-		ReplaySpeedup:         cold.Seconds() / seqDur.Seconds(),
-		ParallelReplaySpeedup: cold.Seconds() / parDur.Seconds(),
+		ParallelReplayMem:     parM.Mem,
+		ReplaySpeedup:         cold.Seconds() / seqM.Wall.Seconds(),
+		ParallelReplaySpeedup: cold.Seconds() / parM.Wall.Seconds(),
 		Scaling:               scaling,
+		CrossVersion:          crossVersion,
 		ProfilesIdentical:     identical,
 		Generated:             time.Now().UTC().Format(time.RFC3339),
 	}
@@ -601,8 +722,8 @@ func benchTrace(p *bio.Program, sz bio.Size, jsonPath string, jobs, samples int,
 	if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("%s %s: %d instructions, trace %d bytes (%.2f bits/event), best of %d\n",
-		p.Name, sz, res.Instructions, traceSize, out.BitsPerEvent, samples)
+	fmt.Printf("%s %s: %d instructions, trace v%d %d bytes (%.2f bits/event), best of %d, %d cpus\n",
+		p.Name, sz, res.Instructions, version, traceSize, out.BitsPerEvent, samples, out.NumCPU)
 	fmt.Printf("  cold characterize %8.1f ms\n", out.ColdCharacterizeMS)
 	fmt.Printf("  warm characterize %8.1f ms  (%.2fx, store-served)\n", out.WarmCharacterizeMS, out.CharacterizeSpeedup)
 	fmt.Printf("  cold simulate     %8.1f ms\n", out.ColdMS)
@@ -615,8 +736,12 @@ func benchTrace(p *bio.Program, sz bio.Size, jsonPath string, jobs, samples int,
 		if pt.Exec.SerialReason != "" && pt.Exec.Workers < pt.Exec.RequestedWorkers {
 			note = fmt.Sprintf(" [%s]", pt.Exec.SerialReason)
 		}
-		fmt.Printf("  scaling j=%d       %8.1f ms  (%.2fx, ran %d%s)\n",
-			pt.Exec.RequestedWorkers, pt.MS, pt.Speedup, pt.Exec.Workers, note)
+		fmt.Printf("  scaling p=%d       wall %8.1f ms  cpu %8.1f ms  (%.2fx wall vs 1 worker, ran %d%s)\n",
+			pt.GOMAXPROCS, pt.WallMS, pt.CPUMS, pt.WallScaling, pt.Exec.Workers, note)
+	}
+	for _, cv := range crossVersion {
+		fmt.Printf("  decode v%d         %8.2f ns/event  (%d bytes, %.2f bits/event)\n",
+			cv.Version, cv.DecodeNSPerEvent, cv.TraceBytes, cv.BitsPerEvent)
 	}
 	fmt.Printf("  wrote %s\n", jsonPath)
 	if check > 0 && out.CharacterizeSpeedup < check {
@@ -625,5 +750,159 @@ func benchTrace(p *bio.Program, sz bio.Size, jsonPath string, jobs, samples int,
 	if minPar > 0 && out.ParallelReplaySpeedup < minPar {
 		return fmt.Errorf("parallel replay speedup %.2fx below required %.2fx", out.ParallelReplaySpeedup, minPar)
 	}
+	if minWall > 0 {
+		if runtime.NumCPU() < 4 {
+			fmt.Printf("  note: wall-scaling gate (>= %.2fx at GOMAXPROCS=4) skipped: host has %d CPUs\n",
+				minWall, runtime.NumCPU())
+		} else {
+			var got float64
+			for _, pt := range scaling {
+				if pt.GOMAXPROCS == 4 {
+					got = pt.WallScaling
+				}
+			}
+			if got < minWall {
+				return fmt.Errorf("wall scaling at GOMAXPROCS=4 is %.2fx, below required %.2fx", got, minWall)
+			}
+		}
+	}
 	return nil
+}
+
+// benchCrossVersion records one simulation simultaneously at every
+// readable trace format version, then measures each file's pure decode
+// cost and checks that every version re-analyzes to the live profile —
+// v1 through the sequential reader, v2+ through the indexed engine at
+// several worker counts. It returns one matrix row per version and
+// whether every profile matched.
+func benchCrossVersion(ctx context.Context, p *bio.Program, prog *isa.Program, sz bio.Size, samples int, comp string, want string) ([]benchVersionPoint, bool, error) {
+	files := make([]*os.File, trace.FormatVersion)
+	for v := 1; v <= trace.FormatVersion; v++ {
+		f, err := os.CreateTemp("", fmt.Sprintf("bioperf-bench-v%d-*.trace", v))
+		if err != nil {
+			return nil, false, err
+		}
+		defer os.Remove(f.Name())
+		defer f.Close()
+		files[v-1] = f
+	}
+	m, err := sim.New(prog)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := p.Bind(m, sz); err != nil {
+		return nil, false, err
+	}
+	tws := make([]*trace.Writer, trace.FormatVersion)
+	for v := 1; v <= trace.FormatVersion; v++ {
+		fp := runner.FingerprintAt(p, false, compiler.Default(), v)
+		tws[v-1] = trace.NewWriterVersion(files[v-1], trace.Meta{
+			Program: p.Name, Fingerprint: fp, Size: sz.String(), Compression: comp,
+		}, prog, v)
+		m.AddBatchObserver(tws[v-1])
+	}
+	if _, err := m.Run(); err != nil {
+		return nil, false, err
+	}
+	events := uint64(0)
+	for v, tw := range tws {
+		if err := tw.Close(); err != nil {
+			return nil, false, fmt.Errorf("v%d: close: %v", v+1, err)
+		}
+		events = tw.Events()
+	}
+
+	allOK := true
+	rows := make([]benchVersionPoint, 0, trace.FormatVersion)
+	for v := 1; v <= trace.FormatVersion; v++ {
+		f := files[v-1]
+		size, err := f.Seek(0, io.SeekEnd)
+		if err != nil {
+			return nil, false, err
+		}
+		// Pure decode with no analysis attached, so the row isolates
+		// the codec from the characterization passes. Indexed versions
+		// decode through the column path the replay analyzer actually
+		// consumes — for v4 that is dictionary-token lookup with zero
+		// per-event varint work, which is the whole point of the
+		// format; v1 has no index and streams materialized events.
+		var decoded uint64
+		dec, err := measureBest(samples, func() error {
+			decoded = 0
+			if v == 1 {
+				if _, err := f.Seek(0, io.SeekStart); err != nil {
+					return err
+				}
+				tr, err := trace.NewReader(f)
+				if err != nil {
+					return err
+				}
+				n, err := tr.Replay(ctx, prog, sim.BatchObserverFunc(func(evs []sim.Event) {}))
+				decoded = n
+				return err
+			}
+			ir, err := trace.NewIndexedReader(f, size)
+			if err != nil {
+				return err
+			}
+			src := ir.Columns(ctx, prog, 0, ir.Chunks(), 1)
+			defer src.Close()
+			for {
+				ch, release, err := src.Next()
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				decoded += uint64(ch.N)
+				release()
+			}
+		})
+		if err != nil {
+			return nil, false, fmt.Errorf("v%d: decode: %v", v, err)
+		}
+		if decoded != events {
+			return nil, false, fmt.Errorf("v%d: decoded %d of %d events", v, decoded, events)
+		}
+
+		ok := true
+		if v == 1 {
+			if _, err := f.Seek(0, io.SeekStart); err != nil {
+				return nil, false, err
+			}
+			tr, err := trace.NewReader(f)
+			if err != nil {
+				return nil, false, err
+			}
+			a := loadchar.New(prog)
+			if _, err := tr.Replay(ctx, prog, a); err != nil {
+				return nil, false, fmt.Errorf("v1: replay: %v", err)
+			}
+			ok = loadchar.RenderProfile(p.Name, sz.String(), a, 10) == want
+		} else {
+			for _, jobs := range []int{1, 4, 8} {
+				ir, err := trace.NewIndexedReader(f, size)
+				if err != nil {
+					return nil, false, err
+				}
+				a, err := runner.ReplayAnalyze(ctx, prog, ir, jobs)
+				if err != nil {
+					return nil, false, fmt.Errorf("v%d jobs=%d: %v", v, jobs, err)
+				}
+				if loadchar.RenderProfile(p.Name, sz.String(), a, 10) != want {
+					ok = false
+				}
+			}
+		}
+		allOK = allOK && ok
+		rows = append(rows, benchVersionPoint{
+			Version:           v,
+			TraceBytes:        size,
+			BitsPerEvent:      8 * float64(size) / float64(events),
+			DecodeNSPerEvent:  float64(dec.Wall.Nanoseconds()) / float64(events),
+			ProfilesIdentical: ok,
+		})
+	}
+	return rows, allOK, nil
 }

@@ -59,9 +59,33 @@ func newBpLane(nShards, mine int) *bpLane {
 }
 
 func (l *bpLane) chunk(ch *runstream.Chunk, ann *chunkAnn) {
+	if ch.Dict != nil {
+		// Dictionary-backed chunk: BrTaken carries one bit per dynamic
+		// conditional branch, in the same ordinal space as the fed
+		// bitmap, so a single cursor serves both.
+		br := 0
+		for _, tk := range ann.toks {
+			for rep := int32(0); rep < tk.rep; rep++ {
+				for _, off := range tk.ri.brs {
+					pc := tk.ri.pc + off
+					taken := ch.BrTaken[br>>3]&(1<<(br&7)) != 0
+					if l.nShards == 1 || int(pc)%l.nShards == l.mine {
+						if l.sh.Observe(pc, taken) && ann.fedAt(br) {
+							l.fedMiss++
+						}
+					} else {
+						l.sh.TrainGlobal(pc, taken)
+					}
+					br++
+				}
+			}
+		}
+		return
+	}
 	evBase := int32(0)
 	ord := 0
-	for _, ri := range ann.infos {
+	for _, tk := range ann.toks {
+		ri := tk.ri
 		for _, off := range ri.brs {
 			pc := ri.pc + off
 			taken := ch.TakenAt(evBase + off)
@@ -101,9 +125,33 @@ func newMemLane(hcfg cache.HierarchyConfig, nInsts, nShards, mine int) *memLane 
 }
 
 func (l *memLane) chunk(ch *runstream.Chunk, ann *chunkAnn) {
+	if ch.Dict != nil {
+		// Dictionary-backed chunk: Addrs carries one entry per memory
+		// instance (zeros included), so the column is a flat cursor with
+		// no per-event presence bitmap to consult.
+		cur := 0
+		for _, tk := range ann.toks {
+			for rep := int32(0); rep < tk.rep; rep++ {
+				for _, m := range tk.ri.mems {
+					addr := ch.Addrs[cur]
+					cur++
+					if l.nShards != 1 && cache.ShardOf(addr, l.block, l.nShards) != l.mine {
+						continue
+					}
+					if m&storeBit != 0 {
+						l.hier.Access(addr, true)
+					} else if lvl, _ := l.hier.Access(addr, false); lvl != cache.LevelL1 {
+						l.l1miss[tk.ri.pc+(m&^storeBit)]++
+					}
+				}
+			}
+		}
+		return
+	}
 	evBase := int32(0)
 	cur := 0
-	for _, ri := range ann.infos {
+	for _, tk := range ann.toks {
+		ri := tk.ri
 		for _, m := range ri.mems {
 			off := m &^ storeBit
 			idx := evBase + off

@@ -68,16 +68,25 @@ type transition struct {
 	occ        uint64 // times this (state, run) pair occurred
 }
 
+// runTok is one token of a chunk's run stream as the shard lanes see
+// it: the interned run plus its repeat count (always 1 for legacy
+// chunks, taken from the dictionary token stream for v4).
+type runTok struct {
+	ri  *runInfo
+	rep int32
+}
+
 // chunkAnn is the run lane's per-chunk annotation for the shard lanes:
-// the interned run of every PC run in the chunk, and the fed-flag
-// bitmap over the chunk's conditional-branch ordinals (bit i set ⇔ the
-// chunk's i-th dynamic conditional branch consumed a load-derived
-// value, joining with the predictor lane's mispredict outcomes to
-// produce fedBranchMiss). Immutable once the run lane publishes it.
+// the interned (run, repeat) token of every PC run in the chunk, and
+// the fed-flag bitmap over the chunk's conditional-branch ordinals
+// (bit i set ⇔ the chunk's i-th dynamic conditional branch consumed a
+// load-derived value, joining with the predictor lane's mispredict
+// outcomes to produce fedBranchMiss). Immutable once the run lane
+// publishes it.
 type chunkAnn struct {
-	infos []*runInfo
-	fed   []uint64
-	nBr   int
+	toks []runTok
+	fed  []uint64
+	nBr  int
 }
 
 func (a *chunkAnn) fedAt(i int) bool { return a.fed[i>>6]&(1<<(i&63)) != 0 }
@@ -181,6 +190,13 @@ type runEngine struct {
 	memo  *memoTable
 	trans []transition
 	cur   uint32 // current state ID; chains across runs and chunks
+
+	// dictRuns maps dictionary run ids to interned runs for v4
+	// dictionary-backed chunks; dict pins the dictionary the mapping
+	// was built against (the shared dictionary only ever grows, so ids
+	// stay stable and the sync is an append).
+	dictRuns []*runInfo
+	dict     *runstream.Dict
 
 	evalDep depPass
 	evalSeq seqPass
@@ -406,9 +422,13 @@ func orBitsAt(dst []uint64, off int, src []uint64, nbits int) {
 }
 
 // processChunk advances the engine over one chunk's run stream and
-// fills ann for the shard lanes.
+// fills ann for the shard lanes. Legacy chunks carry one run per
+// entry; v4 dictionary-backed chunks carry (run-id, repeat) tokens,
+// where a state fixed point (the run maps the machine state to
+// itself — every steady loop iteration after the first) collapses the
+// remaining repeats into counter adds without further memo probes.
 func (e *runEngine) processChunk(ch *runstream.Chunk, ann *chunkAnn) {
-	ann.infos = ann.infos[:0]
+	ann.toks = ann.toks[:0]
 	nWords := (ch.N + 63) / 64 // upper bound on cond-branch count
 	if cap(ann.fed) < nWords {
 		ann.fed = make([]uint64, nWords)
@@ -418,10 +438,42 @@ func (e *runEngine) processChunk(ch *runstream.Chunk, ann *chunkAnn) {
 		ann.fed[i] = 0
 	}
 	brOff := 0
-	for _, r := range ch.Runs {
-		ri := e.runFor(r.PC, r.N)
+	if ch.Dict != nil {
+		e.syncDict(ch.Dict)
+		for _, tok := range ch.Tokens {
+			ri := e.dictRuns[tok.ID]
+			brOff = e.step(ann, ri, tok.Rep, brOff)
+			ann.toks = append(ann.toks, runTok{ri: ri, rep: tok.Rep})
+		}
+	} else {
+		for _, r := range ch.Runs {
+			ri := e.runFor(r.PC, r.N)
+			brOff = e.step(ann, ri, 1, brOff)
+			ann.toks = append(ann.toks, runTok{ri: ri, rep: 1})
+		}
+	}
+	ann.nBr = brOff
+}
+
+// syncDict extends dictRuns to cover dict, interning any new runs.
+func (e *runEngine) syncDict(dict *runstream.Dict) {
+	if e.dict != dict {
+		e.dictRuns = e.dictRuns[:0]
+		e.dict = dict
+	}
+	for len(e.dictRuns) < len(dict.Runs) {
+		r := dict.Runs[len(e.dictRuns)]
+		e.dictRuns = append(e.dictRuns, e.runFor(r.PC, r.N))
+	}
+}
+
+// step advances the machine state over rep executions of ri starting
+// at brOff in the chunk's cond-branch ordinal space, and returns the
+// new brOff.
+func (e *runEngine) step(ann *chunkAnn, ri *runInfo, rep int32, brOff int) int {
+	for rep > 0 {
 		ri.occ++
-		key := memoKey{state: e.cur, pc: r.PC, n: r.N}
+		key := memoKey{state: e.cur, pc: ri.pc, n: ri.n}
 		ti := e.memo.lookup(key)
 		if ti == 0 {
 			ti = e.eval(e.cur, ri) + 1
@@ -434,9 +486,24 @@ func (e *runEngine) processChunk(ch *runstream.Chunk, ann *chunkAnn) {
 		}
 		brOff += len(ri.brs)
 		e.cur = tr.next
-		ann.infos = append(ann.infos, ri)
+		rep--
+		if rep > 0 && tr.next == key.state {
+			// Fixed point: the remaining repeats all take this same
+			// transition. Fed bits still land at distinct ordinals.
+			tr.occ += uint64(rep)
+			ri.occ += uint64(rep)
+			if tr.fedMask != nil {
+				for ; rep > 0; rep-- {
+					orBitsAt(ann.fed, brOff, tr.fedMask, len(ri.brs))
+					brOff += len(ri.brs)
+				}
+			} else {
+				brOff += int(rep) * len(ri.brs)
+				rep = 0
+			}
+		}
 	}
-	ann.nBr = brOff
+	return brOff
 }
 
 // finish multiplies the interned characterizations by their occurrence

@@ -7,16 +7,17 @@ import (
 	"reflect"
 	"testing"
 
+	"bioperfload/internal/isa"
 	"bioperfload/internal/sim"
 	"bioperfload/internal/trace"
 )
 
 // recordTrace writes captured slabs into an in-memory trace and opens
 // it indexed, mirroring the runner's record-then-replay path.
-func recordTrace(t *testing.T, name string, slabs [][]sim.Event, chunkEvents int) *trace.IndexedReader {
+func recordTrace(t *testing.T, name string, prog *isa.Program, slabs [][]sim.Event, chunkEvents int) *trace.IndexedReader {
 	t.Helper()
 	var buf bytes.Buffer
-	tw := trace.NewWriter(&buf, trace.Meta{Program: name, Size: "test", ChunkEvents: chunkEvents})
+	tw := trace.NewWriter(&buf, trace.Meta{Program: name, Size: "test", ChunkEvents: chunkEvents}, prog)
 	for _, evs := range slabs {
 		tw.ObserveBatch(evs)
 	}
@@ -41,7 +42,7 @@ func TestAnalyzeRunsMatchesLive(t *testing.T) {
 		prog, live, slabs := captureSlabs(t, name)
 		want := live.Snapshot()
 		wantProf := RenderProfile(name, "test", live, 10)
-		ir := recordTrace(t, name, slabs, 1<<12)
+		ir := recordTrace(t, name, prog, slabs, 1<<12)
 
 		for _, workers := range []int{1, 4, 8} {
 			src := ir.Columns(context.Background(), prog, 0, ir.Chunks(), 2)
@@ -73,7 +74,7 @@ func TestAnalyzeRunsMatchesLive(t *testing.T) {
 // and the sharded orchestration without deadlocking.
 func TestAnalyzeRunsCancel(t *testing.T) {
 	prog, _, slabs := captureSlabs(t, "hmmsearch")
-	ir := recordTrace(t, "hmmsearch", slabs, 1<<12)
+	ir := recordTrace(t, "hmmsearch", prog, slabs, 1<<12)
 	for _, workers := range []int{1, 4} {
 		ctx, cancel := context.WithCancel(context.Background())
 		cancel()

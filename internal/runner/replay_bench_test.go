@@ -39,7 +39,7 @@ func benchRecord(b *testing.B, name string, sz bio.Size) (*bio.Program, *os.File
 		b.Fatal(err)
 	}
 	m := newMachine()
-	tw := trace.NewWriter(tf, trace.Meta{Program: p.Name, Size: sz.String()})
+	tw := trace.NewWriter(tf, trace.Meta{Program: p.Name, Size: sz.String()}, prog)
 	m.AddBatchObserver(tw)
 	if _, err := m.Run(); err != nil {
 		b.Fatal(err)

@@ -316,10 +316,10 @@ func (s *Session) recordTrace(ctx context.Context, p *bio.Program, sz bio.Size, 
 	var rec *recorder
 	var tw *trace.Writer
 	if w != nil {
-		tw = trace.NewWriter(w, trace.Meta{Program: p.Name, Fingerprint: fp, Size: sz.String()})
+		tw = trace.NewWriter(w, trace.Meta{Program: p.Name, Fingerprint: fp, Size: sz.String()}, prog)
 		m.AddBatchObserver(tw)
 	} else {
-		rec = s.startRecording(m, p, sz, fp)
+		rec = s.startRecording(m, p, sz, fp, prog)
 		if rec == nil {
 			return fmt.Errorf("%s: store rejected trace recording", p.Name)
 		}

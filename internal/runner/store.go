@@ -25,7 +25,13 @@ import (
 // v2: profileArtifact carries the fingerprint it was computed under,
 // verified on load — required once snapshots can arrive from fleet
 // peers rather than only from this node's own simulations.
-const artifactSchema = 2
+//
+// v3: traces record in the run-native v4 format. The fingerprint also
+// hashes trace.FormatVersion, but the schema bump guarantees that
+// every pre-v4 artifact — including snapshots, whose encoding did not
+// change — re-derives under the new trace pipeline rather than mixing
+// tiers across the format boundary.
+const artifactSchema = 3
 
 // Fingerprint identifies a compiled artifact and everything replay
 // fidelity depends on: the artifact schema, the trace format version,
@@ -277,7 +283,7 @@ func (s *Session) replayCharacterize(ctx context.Context, p *bio.Program, sz bio
 			if err != nil {
 				return nil, err, true
 			}
-			s.replayRuns.Add(1)
+			s.countReplay(ir.Version())
 			a, err := ReplayAnalyze(ctx, prog, ir, s.jobs)
 			if err != nil {
 				if isContextErr(err) || ctx.Err() != nil {
@@ -304,7 +310,7 @@ func (s *Session) replayCharacterize(ctx context.Context, p *bio.Program, sz bio
 		return nil, err, true
 	}
 
-	s.replayRuns.Add(1)
+	s.countReplay(tr.Version())
 	var a *loadchar.Analysis
 	if s.jobs > 1 {
 		src := tr.ParallelEvents(prog, s.jobs)
@@ -353,7 +359,7 @@ type recorder struct {
 	tw *trace.Writer
 }
 
-func (s *Session) startRecording(m *sim.Machine, p *bio.Program, sz bio.Size, fp string) *recorder {
+func (s *Session) startRecording(m *sim.Machine, p *bio.Program, sz bio.Size, fp string, prog *isa.Program) *recorder {
 	if s.store == nil {
 		return nil
 	}
@@ -365,7 +371,7 @@ func (s *Session) startRecording(m *sim.Machine, p *bio.Program, sz bio.Size, fp
 		Program:     p.Name,
 		Fingerprint: fp,
 		Size:        sz.String(),
-	})
+	}, prog)
 	m.AddBatchObserver(tw)
 	return &recorder{ew: ew, tw: tw}
 }

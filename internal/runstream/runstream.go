@@ -14,8 +14,36 @@ type Run struct {
 	N  int32
 }
 
+// Token is one run-dictionary reference in a v4 chunk's token stream:
+// the run Dict.Runs[ID] executed Rep times back to back. Adjacent
+// tokens never share an ID (the encoder merges them), so Rep > 1 is
+// exactly the tight-loop case the block-characterized engine turns
+// into counter multiplies.
+type Token struct {
+	ID  int32
+	Rep int32
+}
+
+// Dict is the static run dictionary of a v4 trace: the deduplicated
+// vocabulary of straight-line PC runs its token streams reference. It
+// is immutable once published and shared by every chunk of one trace.
+type Dict struct {
+	Runs []Run
+}
+
 // Chunk is the column view of one trace chunk. Concatenating the runs
-// reproduces exactly the PC sequence a full event decode yields.
+// (or, for a dictionary-backed chunk, expanding the tokens against the
+// dictionary) reproduces exactly the PC sequence a full event decode
+// yields.
+//
+// A chunk comes in one of two shapes:
+//
+//   - legacy (trace v2/v3): Runs, Taken, Present, and Addrs are set;
+//     Dict, Tokens, and BrTaken are nil.
+//   - dictionary-backed (trace v4): Dict, Tokens, BrTaken, and Addrs
+//     are set; Runs, Taken, and Present are nil. Addrs then holds one
+//     entry per memory-class event (including zero addresses), and
+//     BrTaken one bit per conditional-branch event.
 type Chunk struct {
 	// Base is the sequence number of the chunk's first event.
 	Base uint64
@@ -23,6 +51,17 @@ type Chunk struct {
 	N int
 	// Runs is the chunk's PC sequence as maximal straight-line runs.
 	Runs []Run
+	// Dict is the trace-wide run dictionary of a dictionary-backed
+	// chunk (nil for legacy chunks). It is shared across chunks and
+	// must not be mutated.
+	Dict *Dict
+	// Tokens is the chunk's PC sequence as dictionary references;
+	// expanding each token Rep times reproduces the Runs view.
+	Tokens []Token
+	// BrTaken is the dictionary-backed chunk's branch-outcome bitmap:
+	// one bit per conditional-branch event, in commit order (bit i set
+	// ⇔ the chunk's i-th dynamic conditional branch was taken).
+	BrTaken []byte
 	// Taken is the branch-outcome bitmap, one bit per event
 	// (bit i set ⇔ event i's Taken flag was set).
 	Taken []byte
@@ -30,12 +69,14 @@ type Chunk struct {
 	// (bit i set ⇔ event i recorded a nonzero effective address).
 	Present []byte
 	// Addrs holds the effective addresses of the chunk's memory-class
-	// (load/store) events in commit order, one entry per memory event
-	// whose Present bit is set. Present bits on non-memory events (which
-	// a hostile trace may contain) only advanced the decoder's delta
-	// chain; their values are not memory references and are dropped. A
-	// memory event with a clear Present bit has address 0, matching the
-	// event-decode semantics.
+	// (load/store) events in commit order. In a legacy chunk there is
+	// one entry per memory event whose Present bit is set (Present bits
+	// on non-memory events — possible only in a hostile trace — only
+	// advanced the decoder's delta chain; their values are dropped, and
+	// a memory event with a clear Present bit has address 0). In a
+	// dictionary-backed chunk there is one entry per memory event,
+	// zero addresses included, so a cursor advances once per ri.mems
+	// offset with no bitmap test.
 	Addrs []uint64
 }
 

@@ -87,9 +87,43 @@ func (c *Collector) ObserveRun(pc, n int32) {
 	}
 }
 
+// ObserveRunRepeat counts rep back-to-back executions of the run
+// (pc, n), the form trace.IndexedReader.ScanRunTokens emits for v4
+// traces. Repetitions that fit entirely inside the current interval
+// are counted in bulk — one block walk scaled by the repeat count —
+// so a loop that spins millions of times inside one interval costs
+// one pass over its blocks, not one per iteration.
+func (c *Collector) ObserveRunRepeat(pc, n int32, rep int64) {
+	c.runMode = true
+	for rep > 0 {
+		room := c.runNext - c.end
+		if whole := int64(room / uint64(n)); whole > 1 {
+			if whole > rep {
+				whole = rep
+			}
+			c.countRunScaled(pc, n, uint64(whole))
+			c.end += uint64(whole) * uint64(n)
+			rep -= whole
+			if c.end == c.runNext {
+				c.boundary(int(c.start/c.cfg.IntervalSize), c.end)
+				c.runNext += c.cfg.IntervalSize
+			}
+			continue
+		}
+		// The next repetition straddles (or exactly fills) the interval
+		// edge: take the split path.
+		c.ObserveRun(pc, n)
+		rep--
+	}
+}
+
 // countRun splits a straight-line run at block boundaries: one lookup
 // and one add per block executed, however long the block is.
-func (c *Collector) countRun(pc, n int32) {
+func (c *Collector) countRun(pc, n int32) { c.countRunScaled(pc, n, 1) }
+
+// countRunScaled is countRun with every block's contribution
+// multiplied by times.
+func (c *Collector) countRunScaled(pc, n int32, times uint64) {
 	for n > 0 {
 		b := c.blocks.Of(pc)
 		take := c.blocks.NextLeader(pc) - pc
@@ -99,7 +133,7 @@ func (c *Collector) countRun(pc, n int32) {
 		if c.counts[b] == 0 {
 			c.touched = append(c.touched, b)
 		}
-		c.counts[b] += uint64(take)
+		c.counts[b] += uint64(take) * times
 		pc += take
 		n -= take
 	}

@@ -90,27 +90,54 @@ func scanRange(ctx context.Context, prog *isa.Program, blocks *Blocks, ir *trace
 	col := NewCollectorAt(prog, blocks, cfg, start)
 	// Chunk lo may begin before start and chunk hi-1 may extend past
 	// end (interval edges need not align with chunk edges), so clip the
-	// run stream: skip events before start, stop counting at end.
+	// token stream: skip events before start, stop counting at end.
+	// Tokens from v4 traces carry whole repeat counts, so the clipping
+	// drops or truncates whole repetitions where it can and splits at
+	// most one repetition at each edge.
 	skip := start - ir.Base(lo)
 	limit := end - start
-	err := ir.ScanPCRuns(ctx, prog, lo, hi, func(pc, n int32) {
-		if limit == 0 {
+	err := ir.ScanRunTokens(ctx, prog, lo, hi, func(pc, n int32, rep int64) {
+		span := uint64(n)
+		if skip > 0 {
+			if drop := int64(skip / span); drop >= rep {
+				skip -= span * uint64(rep)
+				return
+			} else if drop > 0 {
+				rep -= drop
+				skip -= uint64(drop) * span
+			}
+			if skip > 0 {
+				// Leading repetition split by the range start.
+				head, hn := pc+int32(skip), n-int32(skip)
+				skip = 0
+				rep--
+				take := uint64(hn)
+				if take > limit {
+					take = limit
+				}
+				if take > 0 {
+					col.ObserveRun(head, int32(take))
+					limit -= take
+				}
+			}
+		}
+		if limit == 0 || rep == 0 {
 			return
 		}
-		if skip > 0 {
-			if uint64(n) <= skip {
-				skip -= uint64(n)
-				return
+		if whole := int64(limit / span); whole < rep {
+			if whole > 0 {
+				col.ObserveRunRepeat(pc, n, whole)
+				limit -= uint64(whole) * span
 			}
-			pc += int32(skip)
-			n -= int32(skip)
-			skip = 0
+			if limit > 0 {
+				// Trailing repetition split by the range end.
+				col.ObserveRun(pc, int32(limit))
+				limit = 0
+			}
+			return
 		}
-		if uint64(n) > limit {
-			n = int32(limit)
-		}
-		limit -= uint64(n)
-		col.ObserveRun(pc, n)
+		col.ObserveRunRepeat(pc, n, rep)
+		limit -= uint64(rep) * span
 	})
 	if err != nil {
 		return nil, err

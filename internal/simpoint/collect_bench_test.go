@@ -20,7 +20,7 @@ func benchTrace(b *testing.B, n int) (*trace.IndexedReader, *isa.Program) {
 	prog := branchyProgram(1 << 10)
 	r := rand.New(rand.NewSource(7))
 	var buf bytes.Buffer
-	tw := trace.NewWriter(&buf, trace.Meta{Program: prog.Name, Size: "bench"})
+	tw := trace.NewWriter(&buf, trace.Meta{Program: prog.Name, Size: "bench"}, nil)
 	evs := make([]sim.Event, 4096)
 	pc := int32(0)
 	for seq := 0; seq < n; {

@@ -819,9 +819,16 @@ type decoder struct {
 	fr  io.ReadCloser
 	raw []byte
 	// version selects the chunk layout (dense v1, sparse v2,
-	// front-loaded-PC v3); set once at construction from the trace
-	// header.
+	// front-loaded-PC v3, run-native v4); set once at construction
+	// from the trace header.
 	version int
+	// v4 state: the run dictionary (shared with the reader that owns
+	// it), whether this decoder grows it (sequential, commit order) or
+	// verifies chunks against a footer-loaded copy, and the private
+	// per-chunk scratch.
+	dict *v4Dict
+	grow bool
+	sc   v4Scratch
 }
 
 // frameBytes returns the decompressed chunk payload of f, valid until
@@ -975,6 +982,9 @@ func (d *decoder) decodeFrameEvents(f frame, prog *isa.Program, evs []sim.Event)
 	raw, err := d.frameBytes(f)
 	if err != nil {
 		return 0, nil, err
+	}
+	if d.version >= 4 {
+		return decodeChunkEventsV4(raw, prog, d.dict, d.grow, evs, &d.sc)
 	}
 	return decodeChunkEvents(raw, prog, evs, d.version)
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"bioperfload/internal/isa"
 	"bioperfload/internal/runstream"
@@ -175,20 +176,35 @@ func parseFrameBytes(buf []byte) (frame, error) {
 	return frame{rawLen: int(rawLen), kind: kind, payload: payload}, nil
 }
 
-// columnSource streams decoded column chunks from striped decode
-// workers: worker w owns chunks lo+w, lo+w+W, ..., each delivering in
-// order on its own channel, so the consumer's round-robin receive
-// yields chunks in global commit order with no reorder buffer.
+// columnSource streams decoded column chunks from a work-claiming
+// worker pool: each worker atomically claims the next undecoded chunk,
+// so a worker that lands on a cheap chunk immediately claims another
+// instead of idling behind a fixed stripe (the failure mode of striped
+// ownership when chunk decode costs are skewed — exactly the shape a
+// v4 trace has, where a loop-dominated chunk is a handful of tokens
+// and a branchy one is thousands). Commit order is restored by a slot
+// ring: chunk c is delivered through slot (c-lo) mod window, and the
+// slot's gate admits a claimant only after the chunk one window
+// earlier has been consumed, which simultaneously bounds decoded
+// chunks in flight. Decode slabs are recycled through a sync.Pool,
+// so steady-state decoding allocates nothing.
 type columnSource struct {
-	outs []chan colMsg
-	free []chan *runstream.Chunk
-	stop chan struct{}
-	once sync.Once
-	wg   sync.WaitGroup
-	lo   int
-	hi   int
-	next int
-	err  error
+	slots []colSlot
+	claim atomic.Int64
+	pool  sync.Pool // *runstream.Chunk decode slabs
+	stop  chan struct{}
+	once  sync.Once
+	wg    sync.WaitGroup
+	lo    int
+	hi    int
+	next  int
+	err   error
+}
+
+// colSlot is one position of the delivery ring.
+type colSlot struct {
+	gate chan struct{} // cap 1, seeded: admits the slot's next claimant
+	msg  chan colMsg   // cap 1: the slot's decoded chunk or error
 }
 
 type colMsg struct {
@@ -196,17 +212,18 @@ type colMsg struct {
 	err error
 }
 
-// chunksPerWorker bounds how many decoded chunks one worker keeps in
-// flight (being decoded, queued, or held by the consumer) before it
-// blocks waiting for a release.
+// chunksPerWorker sizes the delivery ring per worker: how many decoded
+// chunks may sit between the claim frontier and the consumer before
+// claimants block on their slot gates.
 const chunksPerWorker = 3
 
-// Columns returns a column source over chunks [lo, hi), decoded by the
-// given number of striped workers (clamped to at least 1). Chunks are
+// Columns returns a column source over chunks [lo, hi), decoded by a
+// pool of work-claiming workers (clamped to at least 1). Chunks are
 // read directly at their indexed offsets, so workers share nothing but
-// the ReaderAt; per-chunk validation matches Range (frame CRC, base
-// and event-count cross-checks against the index). The context is
-// checked once per chunk.
+// the ReaderAt (and, for v4, the immutable bound dictionary);
+// per-chunk validation matches Range (frame CRC, base and event-count
+// cross-checks against the index). The context is checked once per
+// chunk.
 func (ir *IndexedReader) Columns(ctx context.Context, prog *isa.Program, lo, hi, workers int) runstream.Source {
 	if lo < 0 || hi > len(ir.chunks) || lo > hi {
 		panic(fmt.Sprintf("trace: Columns [%d,%d) outside %d chunks", lo, hi, len(ir.chunks)))
@@ -218,87 +235,116 @@ func (ir *IndexedReader) Columns(ctx context.Context, prog *isa.Program, lo, hi,
 		workers = hi - lo
 	}
 	s := &columnSource{stop: make(chan struct{}), lo: lo, hi: hi, next: lo}
+	s.claim.Store(int64(lo))
 	if workers == 0 {
 		return s // empty range: Next returns io.EOF immediately
 	}
-	isMem := make([]bool, len(prog.Insts))
-	for pc := range prog.Insts {
-		cls := isa.ClassOf(prog.Insts[pc].Op)
-		isMem[pc] = cls == isa.ClassLoad || cls == isa.ClassStore
-	}
-	s.outs = make([]chan colMsg, workers)
-	s.free = make([]chan *runstream.Chunk, workers)
-	for w := 0; w < workers; w++ {
-		s.outs[w] = make(chan colMsg, chunksPerWorker)
-		s.free[w] = make(chan *runstream.Chunk, chunksPerWorker)
-		for i := 0; i < chunksPerWorker; i++ {
-			s.free[w] <- &runstream.Chunk{}
+	var isMem []bool
+	if ir.version >= 4 {
+		// Bind the dictionary to prog once, up front: workers then
+		// share its per-run class offsets read-only.
+		if err := ir.dict.bindShared(prog); err != nil {
+			s.err = err
+			return s
 		}
+	} else {
+		isMem = make([]bool, len(prog.Insts))
+		for pc := range prog.Insts {
+			cls := isa.ClassOf(prog.Insts[pc].Op)
+			isMem[pc] = cls == isa.ClassLoad || cls == isa.ClassStore
+		}
+	}
+	window := workers * chunksPerWorker
+	if window > hi-lo {
+		window = hi - lo
+	}
+	s.slots = make([]colSlot, window)
+	for i := range s.slots {
+		s.slots[i] = colSlot{gate: make(chan struct{}, 1), msg: make(chan colMsg, 1)}
+		s.slots[i].gate <- struct{}{}
+	}
+	for w := 0; w < workers; w++ {
 		s.wg.Add(1)
-		go s.worker(ctx, ir, isMem, w, workers)
+		go s.worker(ctx, ir, isMem)
 	}
 	return s
 }
 
-func (s *columnSource) worker(ctx context.Context, ir *IndexedReader, isMem []bool, w, stride int) {
+func (s *columnSource) worker(ctx context.Context, ir *IndexedReader, isMem []bool) {
 	defer s.wg.Done()
-	dec := &decoder{version: ir.version}
+	dec := &decoder{version: ir.version, dict: ir.dict}
 	var buf []byte
-	fail := func(err error) {
-		select {
-		case s.outs[w] <- colMsg{err: err}:
-		case <-s.stop:
-		}
-	}
-	for c := s.lo + w; c < s.hi; c += stride {
-		if err := ctx.Err(); err != nil {
-			fail(fmt.Errorf("trace: columns: %w", err))
+	for {
+		c := int(s.claim.Add(1)) - 1
+		if c >= s.hi {
 			return
 		}
-		var ch *runstream.Chunk
+		slot := &s.slots[(c-s.lo)%len(s.slots)]
 		select {
-		case ch = <-s.free[w]:
+		case <-slot.gate:
 		case <-s.stop:
 			return
 		}
-		off := ir.chunks[c].offset
-		flen := ir.rangeEnd(c+1) - off
-		if cap(buf) < int(flen) {
-			buf = make([]byte, flen)
-		}
-		buf = buf[:flen]
-		if _, err := ir.ra.ReadAt(buf, off); err != nil {
-			fail(fmt.Errorf("trace: chunk %d: read frame: %w", c, err))
-			return
-		}
-		f, err := parseFrameBytes(buf)
-		if err != nil {
-			fail(fmt.Errorf("trace: chunk %d: %w", c, err))
-			return
-		}
-		raw, err := dec.frameBytes(f)
-		if err != nil {
-			fail(err)
-			return
-		}
-		if err := decodeChunkColumns(raw, ir.version, isMem, ch); err != nil {
-			fail(err)
-			return
-		}
-		if ch.Base != ir.bases[c] {
-			fail(fmt.Errorf("trace: chunk %d base %d, expected %d", c, ch.Base, ir.bases[c]))
-			return
-		}
-		if uint64(ch.N) != ir.chunks[c].events {
-			fail(fmt.Errorf("trace: chunk %d decoded %d events, index records %d", c, ch.N, ir.chunks[c].events))
-			return
-		}
+		var msg colMsg
+		msg.ch, msg.err = s.decodeChunk(ctx, ir, dec, isMem, &buf, c)
 		select {
-		case s.outs[w] <- colMsg{ch: ch}:
+		case slot.msg <- msg:
 		case <-s.stop:
+			return
+		}
+		if msg.err != nil {
+			// The consumer sees the error at this chunk's ordered
+			// position and closes stop; don't claim past it.
 			return
 		}
 	}
+}
+
+// decodeChunk reads, validates, and column-decodes chunk c into a
+// pooled chunk.
+func (s *columnSource) decodeChunk(ctx context.Context, ir *IndexedReader, dec *decoder, isMem []bool, buf *[]byte, c int) (*runstream.Chunk, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("trace: columns: %w", err)
+	}
+	off := ir.chunks[c].offset
+	flen := ir.rangeEnd(c+1) - off
+	if cap(*buf) < int(flen) {
+		*buf = make([]byte, flen)
+	}
+	b := (*buf)[:flen]
+	if _, err := ir.ra.ReadAt(b, off); err != nil {
+		return nil, fmt.Errorf("trace: chunk %d: read frame: %w", c, err)
+	}
+	f, err := parseFrameBytes(b)
+	if err != nil {
+		return nil, fmt.Errorf("trace: chunk %d: %w", c, err)
+	}
+	raw, err := dec.frameBytes(f)
+	if err != nil {
+		return nil, err
+	}
+	ch, _ := s.pool.Get().(*runstream.Chunk)
+	if ch == nil {
+		ch = &runstream.Chunk{}
+	}
+	if ir.version >= 4 {
+		err = decodeChunkColumnsV4(raw, ir.dict, ch, &dec.sc)
+	} else {
+		err = decodeChunkColumns(raw, ir.version, isMem, ch)
+	}
+	if err != nil {
+		s.pool.Put(ch)
+		return nil, err
+	}
+	if ch.Base != ir.bases[c] {
+		s.pool.Put(ch)
+		return nil, fmt.Errorf("trace: chunk %d base %d, expected %d", c, ch.Base, ir.bases[c])
+	}
+	if uint64(ch.N) != ir.chunks[c].events {
+		s.pool.Put(ch)
+		return nil, fmt.Errorf("trace: chunk %d decoded %d events, index records %d", c, ch.N, ir.chunks[c].events)
+	}
+	return ch, nil
 }
 
 // Next implements runstream.Source.
@@ -309,22 +355,17 @@ func (s *columnSource) Next() (*runstream.Chunk, func(), error) {
 	if s.next >= s.hi {
 		return nil, nil, io.EOF
 	}
-	w := (s.next - s.lo) % len(s.outs)
-	msg := <-s.outs[w]
+	slot := &s.slots[(s.next-s.lo)%len(s.slots)]
+	msg := <-slot.msg
 	if msg.err != nil {
 		s.err = msg.err
 		s.once.Do(func() { close(s.stop) })
 		return nil, nil, msg.err
 	}
 	s.next++
-	free := s.free[w]
+	slot.gate <- struct{}{} // admit the chunk one window later
 	ch := msg.ch
-	release := func() {
-		select {
-		case free <- ch:
-		default:
-		}
-	}
+	release := func() { s.pool.Put(ch) }
 	return ch, release, nil
 }
 

@@ -59,7 +59,8 @@ func writeMemTestTrace(t *testing.T, n, chunk, version int) ([]byte, []sim.Event
 }
 
 // checkColumns drains a column source and verifies every column against
-// the original event stream.
+// the original event stream, handling both the legacy and the
+// dictionary-backed chunk shapes.
 func checkColumns(t *testing.T, src runstream.Source, evs []sim.Event, prog *isa.Program) {
 	t.Helper()
 	defer src.Close()
@@ -75,44 +76,101 @@ func checkColumns(t *testing.T, src runstream.Source, evs []sim.Event, prog *isa
 		if want := evs[0].Seq + uint64(i); ch.Base != want {
 			t.Fatalf("chunk base %d, want %d", ch.Base, want)
 		}
-		var addrs []uint64
-		ci := int32(0)
-		for _, run := range ch.Runs {
-			for k := int32(0); k < run.N; k++ {
-				ev := evs[i]
-				if run.PC+k != ev.PC {
-					t.Fatalf("event %d: pc %d, want %d", i, run.PC+k, ev.PC)
-				}
-				if ch.TakenAt(ci) != ev.Taken {
-					t.Fatalf("event %d: taken %v, want %v", i, ch.TakenAt(ci), ev.Taken)
-				}
-				if ch.PresentAt(ci) != (ev.Addr != 0) {
-					t.Fatalf("event %d: present %v, want %v", i, ch.PresentAt(ci), ev.Addr != 0)
-				}
-				cls := isa.ClassOf(prog.Insts[ev.PC].Op)
-				if (cls == isa.ClassLoad || cls == isa.ClassStore) && ev.Addr != 0 {
-					addrs = append(addrs, ev.Addr)
-				}
-				i++
-				ci++
-			}
-		}
-		if int(ci) != ch.N {
-			t.Fatalf("chunk runs cover %d events, header says %d", ci, ch.N)
-		}
-		if len(addrs) != len(ch.Addrs) {
-			t.Fatalf("chunk at %d: %d addrs, want %d", ch.Base, len(ch.Addrs), len(addrs))
-		}
-		for k := range addrs {
-			if ch.Addrs[k] != addrs[k] {
-				t.Fatalf("chunk at %d: addr %d = %#x, want %#x", ch.Base, k, ch.Addrs[k], addrs[k])
-			}
+		if ch.Dict != nil {
+			i = checkChunkV4(t, ch, evs, i, prog)
+		} else {
+			i = checkChunkLegacy(t, ch, evs, i, prog)
 		}
 		release()
 	}
 	if i != len(evs) {
 		t.Fatalf("columns covered %d events, want %d", i, len(evs))
 	}
+}
+
+// checkChunkLegacy verifies one legacy (v2/v3) chunk starting at event
+// i and returns the index past it.
+func checkChunkLegacy(t *testing.T, ch *runstream.Chunk, evs []sim.Event, i int, prog *isa.Program) int {
+	t.Helper()
+	var addrs []uint64
+	ci := int32(0)
+	for _, run := range ch.Runs {
+		for k := int32(0); k < run.N; k++ {
+			ev := evs[i]
+			if run.PC+k != ev.PC {
+				t.Fatalf("event %d: pc %d, want %d", i, run.PC+k, ev.PC)
+			}
+			if ch.TakenAt(ci) != ev.Taken {
+				t.Fatalf("event %d: taken %v, want %v", i, ch.TakenAt(ci), ev.Taken)
+			}
+			if ch.PresentAt(ci) != (ev.Addr != 0) {
+				t.Fatalf("event %d: present %v, want %v", i, ch.PresentAt(ci), ev.Addr != 0)
+			}
+			cls := isa.ClassOf(prog.Insts[ev.PC].Op)
+			if (cls == isa.ClassLoad || cls == isa.ClassStore) && ev.Addr != 0 {
+				addrs = append(addrs, ev.Addr)
+			}
+			i++
+			ci++
+		}
+	}
+	if int(ci) != ch.N {
+		t.Fatalf("chunk runs cover %d events, header says %d", ci, ch.N)
+	}
+	if len(addrs) != len(ch.Addrs) {
+		t.Fatalf("chunk at %d: %d addrs, want %d", ch.Base, len(ch.Addrs), len(addrs))
+	}
+	for k := range addrs {
+		if ch.Addrs[k] != addrs[k] {
+			t.Fatalf("chunk at %d: addr %d = %#x, want %#x", ch.Base, k, ch.Addrs[k], addrs[k])
+		}
+	}
+	return i
+}
+
+// checkChunkV4 verifies one dictionary-backed chunk starting at event
+// i and returns the index past it: tokens expand against the shared
+// dictionary, BrTaken carries one bit per conditional branch, and
+// Addrs one entry per memory event, zero addresses included.
+func checkChunkV4(t *testing.T, ch *runstream.Chunk, evs []sim.Event, i int, prog *isa.Program) int {
+	t.Helper()
+	n, br, mem := 0, 0, 0
+	for _, tok := range ch.Tokens {
+		run := ch.Dict.Runs[tok.ID]
+		for rep := int32(0); rep < tok.Rep; rep++ {
+			for k := int32(0); k < run.N; k++ {
+				ev := evs[i]
+				if run.PC+k != ev.PC {
+					t.Fatalf("event %d: pc %d, want %d", i, run.PC+k, ev.PC)
+				}
+				switch isa.ClassOf(prog.Insts[ev.PC].Op) {
+				case isa.ClassCondBranch:
+					if taken := ch.BrTaken[br>>3]&(1<<(br&7)) != 0; taken != ev.Taken {
+						t.Fatalf("event %d: taken %v, want %v", i, taken, ev.Taken)
+					}
+					br++
+				case isa.ClassUncondBranch:
+					if !ev.Taken {
+						t.Fatalf("event %d: unconditional branch recorded not-taken", i)
+					}
+				case isa.ClassLoad, isa.ClassStore:
+					if ch.Addrs[mem] != ev.Addr {
+						t.Fatalf("event %d: addr %#x, want %#x", i, ch.Addrs[mem], ev.Addr)
+					}
+					mem++
+				}
+				i++
+				n++
+			}
+		}
+	}
+	if n != ch.N {
+		t.Fatalf("chunk tokens cover %d events, header says %d", n, ch.N)
+	}
+	if mem != len(ch.Addrs) {
+		t.Fatalf("chunk at %d: %d addrs, want %d", ch.Base, len(ch.Addrs), mem)
+	}
+	return i
 }
 
 func TestColumnsMatchEvents(t *testing.T) {
@@ -127,13 +185,25 @@ func TestColumnsMatchEvents(t *testing.T) {
 			checkColumns(t, src, evs, prog)
 		}
 	}
+	// v4: dictionary-backed chunks, at several worker counts including
+	// more workers than the claim scheduler's ring would otherwise see.
+	for _, workers := range []int{1, 3, 8} {
+		data, evs, prog := writeTestTraceVersion(t, 5000, 256, 4)
+		ir, err := NewIndexedReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			t.Fatalf("v4: %v", err)
+		}
+		src := ir.Columns(context.Background(), prog, 0, ir.Chunks(), workers)
+		checkColumns(t, src, evs, prog)
+	}
 }
 
-// TestColumnsHostilePresent feeds the all-NOP stream test program —
-// where the generator stamps addresses on non-memory events — and
-// checks the decoder consumes the delta chain without keeping any.
+// TestColumnsHostilePresent feeds a v3 stream where the generator
+// stamps addresses on non-memory events (hostile relative to the
+// simulator, legal per the sparse format) and checks the decoder
+// consumes the delta chain without keeping any.
 func TestColumnsHostilePresent(t *testing.T) {
-	data, evs, prog := writeTestTrace(t, 3000, 256)
+	data, evs, prog := writeMemTestTrace(t, 3000, 256, 3)
 	ir, err := NewIndexedReader(bytes.NewReader(data), int64(len(data)))
 	if err != nil {
 		t.Fatal(err)
@@ -143,7 +213,7 @@ func TestColumnsHostilePresent(t *testing.T) {
 }
 
 func TestColumnsSubrangeAndCancel(t *testing.T) {
-	data, evs, prog := writeMemTestTrace(t, 5000, 256, FormatVersion)
+	data, evs, prog := writeTestTraceVersion(t, 5000, 256, FormatVersion)
 	ir, err := NewIndexedReader(bytes.NewReader(data), int64(len(data)))
 	if err != nil {
 		t.Fatal(err)
@@ -190,7 +260,7 @@ func TestColumnsRejectsV1(t *testing.T) {
 // as the pristine trace (CRC collisions aside, a flip must never be
 // silently absorbed into different data).
 func TestColumnsCorruptionDetected(t *testing.T) {
-	data, evs, prog := writeMemTestTrace(t, 2000, 256, FormatVersion)
+	data, evs, prog := writeTestTraceVersion(t, 2000, 256, FormatVersion)
 	ir, err := NewIndexedReader(bytes.NewReader(data), int64(len(data)))
 	if err != nil {
 		t.Fatal(err)

@@ -6,6 +6,7 @@ import (
 	"io"
 	"testing"
 
+	"bioperfload/internal/isa"
 	"bioperfload/internal/sim"
 )
 
@@ -24,21 +25,41 @@ func FuzzCodec(f *testing.F) {
 	f.Add(appendChunk(nil, 9, []Record{{PC: 3, Target: 4}, {PC: 4, Target: 5, Addr: 8}}, 2))
 	f.Add(appendChunk(nil, 9, []Record{{PC: 3, Target: 4}, {PC: 4, Target: 5, Addr: 8}}, 3))
 	var full bytes.Buffer
-	tw := NewWriter(&full, Meta{Program: "fuzz", ChunkEvents: 2})
+	tw := NewWriter(&full, Meta{Program: "fuzz", ChunkEvents: 2}, nil)
 	tw.ObserveBatch(eventsFromBytes([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}))
 	if err := tw.Close(); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(full.Bytes())
+	// v4 seeds: a full run-native trace (footer dictionary included)
+	// and one bare v4 chunk payload, so the fuzzer starts with valid
+	// dictionary structure to mutate.
+	progMix := testProgramMixed(1 << 12)
+	seedEvs := simEventsFromBytes(progMix, seedStreamBytes())
+	var fullV4 bytes.Buffer
+	twV4 := NewWriterVersion(&fullV4, Meta{Program: "fuzz", ChunkEvents: 8}, progMix, 4)
+	twV4.ObserveBatch(seedEvs)
+	if err := twV4.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(fullV4.Bytes())
+	{
+		vw := newV4Writer(progMix)
+		chunk, _, err := vw.appendChunk(nil, 0, recordsOf(seedEvs))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(chunk)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Direction 1a: arbitrary bytes as a chunk payload under both
-		// encodings, decoded by both the reference decoder and the fused
-		// event decoder; the fused path must accept exactly the chunks
-		// the reference does (minus PCs outside the binding program) and
-		// agree on every field.
+		// sparse encodings, decoded by both the reference decoder and the
+		// fused event decoder; the fused path must accept exactly the
+		// chunks the reference does (minus PCs outside the binding
+		// program) and agree on every field.
 		prog := testProgram(1 << 12)
-		for version := 1; version <= FormatVersion; version++ {
+		for version := 1; version <= 3; version++ {
 			base, recs, err := decodeChunk(data, nil, version)
 			baseE, evsE, errE := decodeChunkEvents(data, prog, nil, version)
 			if err == nil {
@@ -88,14 +109,52 @@ func FuzzCodec(f *testing.F) {
 			}
 		}
 
-		// Direction 1b: arbitrary bytes as a full trace stream.
+		// Direction 1c: arbitrary bytes as a v4 chunk payload, decoded
+		// against a fresh growing dictionary, must error or decode
+		// cleanly — never panic. A clean decode must re-encode (with a
+		// fresh dictionary) and decode back to the same events.
+		{
+			dict := newV4Dict()
+			var sc v4Scratch
+			base4, evs4, err := decodeChunkEventsV4(data, progMix, dict, true, nil, &sc)
+			if err == nil {
+				vw := newV4Writer(progMix)
+				re, _, err := vw.appendChunk(nil, base4, recordsOf(evs4))
+				if err != nil {
+					t.Fatalf("v4: re-encode of decoded chunk failed: %v", err)
+				}
+				dict2 := newV4Dict()
+				var sc2 v4Scratch
+				base2, evs2, err := decodeChunkEventsV4(re, progMix, dict2, true, nil, &sc2)
+				if err != nil {
+					t.Fatalf("v4: re-decode of re-encoded chunk failed: %v", err)
+				}
+				if base2 != base4 || len(evs2) != len(evs4) {
+					t.Fatalf("v4: re-encode changed shape: base %d->%d, n %d->%d", base4, base2, len(evs4), len(evs2))
+				}
+				for i := range evs4 {
+					if evs4[i] != evs2[i] {
+						t.Fatalf("v4: re-encode changed event %d: %+v -> %+v", i, evs4[i], evs2[i])
+					}
+				}
+			}
+		}
+
+		// Direction 1b: arbitrary bytes as a full trace stream. A v4
+		// stream threads the reader's growing dictionary through the
+		// fused decoder; older versions use the reference decoder.
 		if tr, err := NewReader(bytes.NewReader(data)); err == nil {
+			dec := &decoder{version: tr.version, dict: tr.dict, grow: true}
 			for {
 				fr, err := tr.nextFrame(false)
 				if err != nil {
 					break
 				}
-				if _, _, err := decodeFrame(fr, nil, tr.version); err != nil {
+				if tr.version >= 4 {
+					if _, _, err := dec.decodeFrameEvents(fr, progMix, nil); err != nil {
+						break
+					}
+				} else if _, _, err := decodeFrame(fr, nil, tr.version); err != nil {
 					break
 				}
 			}
@@ -104,7 +163,7 @@ func FuzzCodec(f *testing.F) {
 		// Direction 2: bytes -> synthetic slab -> encode -> decode.
 		evs := eventsFromBytes(data)
 		var buf bytes.Buffer
-		w := NewWriter(&buf, Meta{Program: "fuzz", ChunkEvents: 16})
+		w := NewWriter(&buf, Meta{Program: "fuzz", ChunkEvents: 16}, nil)
 		w.ObserveBatch(evs)
 		if err := w.Close(); err != nil {
 			t.Fatalf("write synthetic trace: %v", err)
@@ -137,7 +196,95 @@ func FuzzCodec(f *testing.F) {
 		if i != len(evs) {
 			t.Fatalf("decoded %d events, wrote %d", i, len(evs))
 		}
+
+		// Direction 2b: bytes -> run-representable slab -> v4 encode ->
+		// decode; the round trip must be lossless.
+		evsR := simEventsFromBytes(progMix, data)
+		var bufV4 bytes.Buffer
+		w4 := NewWriterVersion(&bufV4, Meta{Program: "fuzz", ChunkEvents: 16}, progMix, 4)
+		w4.ObserveBatch(evsR)
+		if err := w4.Close(); err != nil {
+			t.Fatalf("write v4 trace: %v", err)
+		}
+		tr4, err := NewReader(bytes.NewReader(bufV4.Bytes()))
+		if err != nil {
+			t.Fatalf("read v4 trace: %v", err)
+		}
+		src := tr4.Events(progMix)
+		j := 0
+		for {
+			got, release, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("v4 trace chunk: %v", err)
+			}
+			for _, ev := range got {
+				if ev != evsR[j] {
+					t.Fatalf("v4 event %d: got %+v want %+v", j, ev, evsR[j])
+				}
+				j++
+			}
+			release()
+		}
+		src.Close()
+		if j != len(evsR) {
+			t.Fatalf("v4 decoded %d events, wrote %d", j, len(evsR))
+		}
 	})
+}
+
+// seedStreamBytes is a fixed byte string long enough for
+// simEventsFromBytes to cross several chunk boundaries in the v4 fuzz
+// seeds.
+func seedStreamBytes() []byte {
+	b := make([]byte, 120)
+	for i := range b {
+		b[i] = byte(i*37 + 11)
+	}
+	return b
+}
+
+// recordsOf converts decoded events back to writer records.
+func recordsOf(evs []sim.Event) []Record {
+	recs := make([]Record, len(evs))
+	for i, ev := range evs {
+		recs[i] = Record{PC: ev.PC, Target: ev.Target, Addr: ev.Addr, Taken: ev.Taken}
+	}
+	return recs
+}
+
+// simEventsFromBytes deterministically shreds bytes into a
+// run-representable event stream bound to prog: every non-final target
+// names the next committed PC, and the taken and address fields
+// respect each PC's class, so the slab is encodable at every format
+// version including v4.
+func simEventsFromBytes(prog *isa.Program, data []byte) []sim.Event {
+	var evs []sim.Event
+	ni := int32(len(prog.Insts))
+	pc := int32(0)
+	for i := 0; len(data) >= 3; i++ {
+		b0, b1, b2 := data[0], data[1], data[2]
+		data = data[3:]
+		ev := sim.Event{Seq: uint64(i), PC: pc, Inst: &prog.Insts[pc]}
+		switch isa.ClassOf(prog.Insts[pc].Op) {
+		case isa.ClassLoad, isa.ClassStore:
+			ev.Addr = uint64(b1)<<8 | uint64(b2)
+		case isa.ClassCondBranch:
+			ev.Taken = b1&1 == 1
+		case isa.ClassUncondBranch:
+			ev.Taken = true
+		}
+		next := pc + 1
+		if b0&7 == 0 || next >= ni {
+			next = int32(uint32(b1)<<8|uint32(b2)) % ni
+		}
+		ev.Target = next
+		evs = append(evs, ev)
+		pc = next
+	}
+	return evs
 }
 
 // eventsFromBytes deterministically shreds bytes into an event slab so

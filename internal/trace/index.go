@@ -44,6 +44,11 @@ type IndexedReader struct {
 	bases   []uint64 // sequence number of each chunk's first event
 	total   uint64
 	dataEnd int64 // offset one past the last frame (the terminator byte)
+	// dict is the footer's run dictionary of a v4 trace (nil below v4).
+	// Indexed consumers decode chunks in verify mode against it, so any
+	// chunk range can be served without replaying the prefix that grew
+	// the dictionary.
+	dict *v4Dict
 }
 
 // NewIndexedReader parses the header and footer index of a trace of
@@ -56,19 +61,23 @@ func NewIndexedReader(ra io.ReaderAt, size int64) (*IndexedReader, error) {
 	if hr.version < 2 {
 		return nil, ErrNoIndex
 	}
-	if size < hr.off+1+tailFixedLen {
+	tl, tfl := tailLen, int64(tailFixedLen)
+	if hr.version >= 4 {
+		tl, tfl = tailLenV4, int64(tailFixedLenV4)
+	}
+	if size < hr.off+1+tfl {
 		return nil, fmt.Errorf("trace: file size %d too small for a v%d trailer", size, hr.version)
 	}
-	var fixed [tailFixedLen]byte
-	if _, err := ra.ReadAt(fixed[:], size-tailFixedLen); err != nil {
+	fixed := make([]byte, tfl)
+	if _, err := ra.ReadAt(fixed, size-tfl); err != nil {
 		return nil, fmt.Errorf("trace: read footer tail: %w", err)
 	}
 	var magic [8]byte
-	copy(magic[:], fixed[tailLen+4:])
+	copy(magic[:], fixed[tl+4:])
 	if magic != footerMagic(hr.version) {
 		return nil, fmt.Errorf("trace: bad footer magic %q", magic[:])
 	}
-	if binary.LittleEndian.Uint32(fixed[tailLen:tailLen+4]) != crc32.ChecksumIEEE(fixed[:tailLen]) {
+	if binary.LittleEndian.Uint32(fixed[tl:tl+4]) != crc32.ChecksumIEEE(fixed[:tl]) {
 		return nil, fmt.Errorf("trace: footer tail checksum mismatch")
 	}
 	indexLen := binary.LittleEndian.Uint64(fixed[0:8])
@@ -77,20 +86,44 @@ func NewIndexedReader(ra io.ReaderAt, size int64) (*IndexedReader, error) {
 	if count > maxIndexChunks {
 		return nil, fmt.Errorf("trace: index claims %d chunks (max %d)", count, maxIndexChunks)
 	}
-	idxStart := size - tailFixedLen - 4 - int64(indexLen)
-	// The index sits between the terminator byte and its CRC.
-	if indexLen > uint64(size) || idxStart < hr.off+1 {
+	idxStart := size - tfl - 4 - int64(indexLen)
+	// The index sits just before its CRC and the fixed tail. In a v4
+	// trace the CRC-guarded run dictionary sits between the terminator
+	// byte and the index; below v4 the terminator abuts the index.
+	dataEnd := idxStart - 1
+	var dictLen uint64
+	if hr.version >= 4 {
+		dictLen = binary.LittleEndian.Uint64(fixed[24:32])
+		if dictLen > uint64(size) {
+			return nil, fmt.Errorf("trace: dictionary length %d does not fit the file", dictLen)
+		}
+		dataEnd = idxStart - 4 - int64(dictLen) - 1
+	}
+	if indexLen > uint64(size) || dataEnd < hr.off {
 		return nil, fmt.Errorf("trace: index length %d does not fit the file", indexLen)
 	}
-	// The terminator byte sits just before the index. The sequential
-	// reader validates it on the way through; check it here too so the
-	// indexed path rejects the same corruptions.
+	var dict *v4Dict
+	if hr.version >= 4 {
+		dbuf := make([]byte, dictLen+4)
+		if _, err := ra.ReadAt(dbuf, dataEnd+1); err != nil {
+			return nil, fmt.Errorf("trace: read run dictionary: %w", err)
+		}
+		if binary.LittleEndian.Uint32(dbuf[dictLen:]) != crc32.ChecksumIEEE(dbuf[:dictLen]) {
+			return nil, fmt.Errorf("trace: dictionary checksum mismatch")
+		}
+		if dict, err = parseDictPayload(dbuf[:dictLen]); err != nil {
+			return nil, err
+		}
+	}
+	// The terminator byte ends the data section. The sequential reader
+	// validates it on the way through; check it here too so the indexed
+	// path rejects the same corruptions.
 	var term [1]byte
-	if _, err := ra.ReadAt(term[:], idxStart-1); err != nil {
+	if _, err := ra.ReadAt(term[:], dataEnd); err != nil {
 		return nil, fmt.Errorf("trace: read terminator: %w", err)
 	}
 	if term[0] != 0 {
-		return nil, fmt.Errorf("trace: bad terminator byte %#x before index", term[0])
+		return nil, fmt.Errorf("trace: bad terminator byte %#x before footer", term[0])
 	}
 	buf := make([]byte, indexLen+4)
 	if _, err := ra.ReadAt(buf, idxStart); err != nil {
@@ -130,7 +163,7 @@ func NewIndexedReader(ra io.ReaderAt, size int64) (*IndexedReader, error) {
 			return nil, err
 		}
 		off := prevOff + int64(delta)
-		if off < hr.off || off >= idxStart-1 {
+		if off < hr.off || off >= dataEnd {
 			return nil, fmt.Errorf("trace: index offset %d for chunk %d outside the data section", off, i)
 		}
 		if i > 0 && off <= chunks[i-1].offset {
@@ -160,7 +193,8 @@ func NewIndexedReader(ra io.ReaderAt, size int64) (*IndexedReader, error) {
 		chunks:  chunks,
 		bases:   bases,
 		total:   total,
-		dataEnd: idxStart - 1,
+		dataEnd: dataEnd,
+		dict:    dict,
 	}, nil
 }
 
@@ -196,7 +230,7 @@ func (ir *IndexedReader) Range(prog *isa.Program, lo, hi int) *Source {
 	if lo < 0 || hi > len(ir.chunks) || lo > hi {
 		panic(fmt.Sprintf("trace: Range [%d,%d) outside %d chunks", lo, hi, len(ir.chunks)))
 	}
-	dec := &decoder{version: ir.version}
+	dec := &decoder{version: ir.version, dict: ir.dict}
 	var (
 		pool       slabPool
 		br         *bufio.Reader
@@ -252,14 +286,40 @@ func (ir *IndexedReader) Range(prog *isa.Program, lo, hi int) *Source {
 // still pass CRC validation, and the PC column gets the full
 // decoder's structural checks. The context is checked once per chunk.
 func (ir *IndexedReader) ScanPCRuns(ctx context.Context, prog *isa.Program, lo, hi int, run func(pc, n int32)) error {
+	return ir.ScanRunTokens(ctx, prog, lo, hi, func(pc, n int32, rep int64) {
+		for ; rep > 0; rep-- {
+			run(pc, n)
+		}
+	})
+}
+
+// ScanRunTokens is ScanPCRuns in repeat-compressed form: instead of
+// reporting a back-to-back repeated run once per repetition, it
+// reports run(pc, n, rep) — rep consecutive executions of the n-event
+// straight-line run starting at pc. On a v4 trace the repeats come
+// straight off the token stream without expansion, so a tight loop
+// that dominates a phase costs one callback; on v2/v3 every run
+// reports rep == 1. Expanding each callback rep times reproduces the
+// exact ScanPCRuns sequence (adjacent callbacks may still repeat the
+// same run: only v4 guarantees token-level merging, and even there
+// chunk boundaries can split a repeat).
+func (ir *IndexedReader) ScanRunTokens(ctx context.Context, prog *isa.Program, lo, hi int, run func(pc, n int32, rep int64)) error {
 	if lo < 0 || hi > len(ir.chunks) || lo > hi {
-		panic(fmt.Sprintf("trace: ScanPCRuns [%d,%d) outside %d chunks", lo, hi, len(ir.chunks)))
+		panic(fmt.Sprintf("trace: ScanRunTokens [%d,%d) outside %d chunks", lo, hi, len(ir.chunks)))
 	}
 	if lo == hi {
 		return nil
 	}
-	dec := &decoder{version: ir.version}
+	dec := &decoder{version: ir.version, dict: ir.dict}
 	defer dec.release()
+	if ir.version >= 4 {
+		// Binding validates every dictionary run against prog's
+		// instruction count, the same pc+n guarantee the v2/v3 scanner
+		// enforces per run.
+		if err := ir.dict.bindShared(prog); err != nil {
+			return err
+		}
+	}
 	start := ir.chunks[lo].offset
 	br := bufio.NewReaderSize(io.NewSectionReader(ir.ra, start, ir.rangeEnd(hi)-start), 1<<16)
 	var payloadBuf []byte
@@ -277,7 +337,13 @@ func (ir *IndexedReader) ScanPCRuns(ctx context.Context, prog *isa.Program, lo, 
 		if err != nil {
 			return err
 		}
-		base, n, _, err := scanChunkPCRuns(col, ir.version, ni, run)
+		var base uint64
+		var n int
+		if ir.version >= 4 {
+			base, n, err = scanChunkTokensV4(col, ir.dict, &dec.sc, run)
+		} else {
+			base, n, _, err = scanChunkPCRuns(col, ir.version, ni, func(pc, rn int32) { run(pc, rn, 1) })
+		}
 		if err != nil {
 			return err
 		}

@@ -37,7 +37,7 @@ func recordRun(t *testing.T, name string) (*isa.Program, string, []byte, uint64)
 	live := loadchar.New(prog)
 	m.AddObserver(live)
 	var buf bytes.Buffer
-	tw := trace.NewWriter(&buf, trace.Meta{Program: name, Size: "test"})
+	tw := trace.NewWriter(&buf, trace.Meta{Program: name, Size: "test"}, prog)
 	m.AddBatchObserver(tw)
 	res, err := m.Run()
 	if err != nil {

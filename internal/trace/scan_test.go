@@ -7,6 +7,7 @@ import (
 	"io"
 	"testing"
 
+	"bioperfload/internal/isa"
 	"bioperfload/internal/sim"
 )
 
@@ -93,54 +94,68 @@ func TestScanPCRunsV2BackCompat(t *testing.T) {
 	}
 }
 
-// TestWriterEmitsSplitFrames pins the frame kind a v3 writer
-// produces: when compression wins, chunks must use the split encoding
-// (PC column as its own flate stream), since that is what lets
-// ScanPCRuns skip decompressing the taken/target/address columns. A
-// silent fallback to whole-chunk flate would keep every test green
-// but forfeit the scan speedup. The recorded stream is loopy, like
-// real kernels, so its chunks genuinely compress; tiny high-entropy
-// test chunks legitimately store as compressionNone instead.
+// TestWriterEmitsSplitFrames pins the frame kind the writer produces:
+// when compression wins, chunks must use the split encoding (the PC
+// column — or, for v4, the token stream — as its own flate stream),
+// since that is what lets ScanPCRuns and ScanRunTokens skip
+// decompressing the taken/target/address columns. A silent fallback to
+// whole-chunk flate would keep every test green but forfeit the scan
+// speedup. The recorded stream is loopy, like real kernels, so its
+// chunks genuinely compress; tiny high-entropy test chunks
+// legitimately store as compressionNone instead.
 func TestWriterEmitsSplitFrames(t *testing.T) {
-	prog := testProgram(256)
-	var buf bytes.Buffer
-	tw := NewWriter(&buf, Meta{Program: prog.Name, Size: "test"})
-	batch := make([]sim.Event, 512)
-	seq := uint64(0)
-	for rep := 0; rep < 80; rep++ { // ~40k events, 2+ full-size chunks
-		for i := range batch {
-			pc := int32(i % 128)
-			batch[i] = sim.Event{Seq: seq, PC: pc, Inst: &prog.Insts[pc], Target: pc + 1}
-			seq++
+	for _, version := range []int{3, 4} {
+		prog := testProgramMixed(256)
+		var buf bytes.Buffer
+		tw := NewWriterVersion(&buf, Meta{Program: prog.Name, Size: "test"}, prog, version)
+		batch := make([]sim.Event, 512)
+		seq := uint64(0)
+		for rep := 0; rep < 80; rep++ { // ~40k events, 2+ full-size chunks
+			for i := range batch {
+				pc := int32(i % 128)
+				ev := sim.Event{Seq: seq, PC: pc, Inst: &prog.Insts[pc], Target: (pc + 1) % 128}
+				switch isa.ClassOf(prog.Insts[pc].Op) {
+				case isa.ClassLoad, isa.ClassStore:
+					// Strided addresses: per-site deltas repeat, so the
+					// address column genuinely compresses.
+					ev.Addr = uint64(0x10000 + int(pc)<<4 + (rep%16)<<10)
+				case isa.ClassCondBranch:
+					ev.Taken = rep%3 == 0
+				case isa.ClassUncondBranch:
+					ev.Taken = true
+				}
+				batch[i] = ev
+				seq++
+			}
+			tw.ObserveBatch(batch)
 		}
-		tw.ObserveBatch(batch)
-	}
-	if err := tw.Close(); err != nil {
-		t.Fatal(err)
-	}
-	data := buf.Bytes()
-	ir, err := NewIndexedReader(bytes.NewReader(data), int64(len(data)))
-	if err != nil {
-		t.Fatal(err)
-	}
-	var payloadBuf []byte
-	split := 0
-	for chunk := 0; chunk < ir.Chunks(); chunk++ {
-		start := ir.chunks[chunk].offset
-		br := bufio.NewReader(io.NewSectionReader(ir.ra, start, ir.rangeEnd(chunk+1)-start))
-		f, err := readFrame(br, &payloadBuf)
+		if err := tw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data := buf.Bytes()
+		ir, err := NewIndexedReader(bytes.NewReader(data), int64(len(data)))
 		if err != nil {
-			t.Fatalf("chunk %d: %v", chunk, err)
+			t.Fatal(err)
 		}
-		switch f.kind {
-		case compressionSplit:
-			split++
-		case compressionFlate:
-			t.Errorf("chunk %d: v3 writer emitted whole-chunk flate; want split or none", chunk)
+		var payloadBuf []byte
+		split := 0
+		for chunk := 0; chunk < ir.Chunks(); chunk++ {
+			start := ir.chunks[chunk].offset
+			br := bufio.NewReader(io.NewSectionReader(ir.ra, start, ir.rangeEnd(chunk+1)-start))
+			f, err := readFrame(br, &payloadBuf)
+			if err != nil {
+				t.Fatalf("v%d chunk %d: %v", version, chunk, err)
+			}
+			switch f.kind {
+			case compressionSplit:
+				split++
+			case compressionFlate:
+				t.Errorf("v%d chunk %d: writer emitted whole-chunk flate; want split or none", version, chunk)
+			}
 		}
-	}
-	if split == 0 {
-		t.Errorf("no chunk of a loopy %d-event trace used split compression", seq)
+		if split == 0 {
+			t.Errorf("v%d: no chunk of a loopy %d-event trace used split compression", version, seq)
+		}
 	}
 }
 

@@ -78,7 +78,7 @@ func (sp *slabPool) release(evs []sim.Event) func() {
 // slabs through the fused decoder (no intermediate Record pass), with
 // the frame payload and decompression buffers reused across chunks.
 func (tr *Reader) Events(prog *isa.Program) *Source {
-	dec := &decoder{version: tr.version}
+	dec := &decoder{version: tr.version, dict: tr.dict, grow: true}
 	var pool slabPool
 	var decoded uint64
 	next := func() ([]sim.Event, func(), error) {
@@ -86,6 +86,9 @@ func (tr *Reader) Events(prog *isa.Program) *Source {
 		if err == io.EOF {
 			if decoded != tr.footerEvents {
 				return nil, nil, fmt.Errorf("trace: decoded %d events, footer records %d", decoded, tr.footerEvents)
+			}
+			if err := tr.verifyFooterDict(); err != nil {
+				return nil, nil, err
 			}
 			return nil, nil, io.EOF
 		}
@@ -134,6 +137,12 @@ func (tr *Reader) ParallelEvents(prog *isa.Program, workers int) *Source {
 	if workers <= 0 {
 		workers = defaultDecodeWorkers()
 	}
+	if tr.version >= 4 {
+		// The v4 run dictionary grows in commit order; out-of-order
+		// chunk decode would race it. One worker still decodes ahead
+		// of the consumer.
+		workers = 1
+	}
 	var (
 		pool    slabPool
 		jobs    = make(chan parallelJob, workers)
@@ -180,7 +189,7 @@ func (tr *Reader) ParallelEvents(prog *isa.Program, workers int) *Source {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			dec := &decoder{version: tr.version}
+			dec := &decoder{version: tr.version, dict: tr.dict, grow: true}
 			for job := range jobs {
 				base, evs, err := dec.decodeFrameEvents(job.f, prog, pool.get())
 				if err != nil {
@@ -202,6 +211,9 @@ func (tr *Reader) ParallelEvents(prog *isa.Program, workers int) *Source {
 		if res.err == io.EOF {
 			if decoded != tr.footerEvents {
 				return nil, nil, fmt.Errorf("trace: decoded %d events, footer records %d", decoded, tr.footerEvents)
+			}
+			if err := tr.verifyFooterDict(); err != nil {
+				return nil, nil, err
 			}
 			return nil, nil, io.EOF
 		}

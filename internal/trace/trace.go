@@ -10,6 +10,7 @@ import (
 	"hash/crc32"
 	"io"
 
+	"bioperfload/internal/isa"
 	"bioperfload/internal/sim"
 )
 
@@ -30,10 +31,17 @@ import (
 //	   flate stream (compressionSplit) so a PC-only scan — the phase
 //	   analysis BBV pass — decompresses only a few percent of each
 //	   chunk's payload
+//	4  run-native encoding: a trace-wide dictionary of straight-line
+//	   PC runs (grown chunk by chunk, repeated CRC-guarded in the
+//	   footer) turns each chunk into a stream of (run-id, repeat)
+//	   tokens plus a conditional-branch taken bitmap and a per-static-
+//	   site delta-coded address column — see codecv4.go. Requires the
+//	   program at write time (NewWriter's prog) so the encoder can
+//	   verify the stream is run-representable.
 //
 // Readers accept every listed version; writers emit the current one
 // unless a test pins an older version.
-const FormatVersion = 3
+const FormatVersion = 4
 
 // minFormatVersion is the oldest version readers still accept.
 const minFormatVersion = 1
@@ -140,6 +148,7 @@ type Writer struct {
 	comp    bytes.Buffer
 	split   []byte
 	fw      *flate.Writer
+	v4      *v4Writer // run-native encoder state (format v4 only)
 	err     error
 	header  bool
 	closed  bool
@@ -149,12 +158,40 @@ type Writer struct {
 // defaulted (ChunkEvents, Compression); the header is written lazily
 // with the first chunk so an aborted recording can leave nothing
 // behind.
-func NewWriter(w io.Writer, meta Meta) *Writer {
-	return newWriterVersion(w, meta, FormatVersion)
+//
+// prog is the program the stream is recorded from; the v4 run-native
+// encoder needs it to build the run dictionary and verify the stream
+// is run-representable. A nil prog falls back to format v3, which
+// encodes any event stream — synthetic test streams whose targets are
+// not the next committed PC, for example, have no v4 form.
+func NewWriter(w io.Writer, meta Meta, prog *isa.Program) *Writer {
+	if prog == nil {
+		return newWriterVersion(w, meta, 3)
+	}
+	return NewWriterVersion(w, meta, prog, FormatVersion)
 }
 
-// newWriterVersion pins the output format version; tests use it to
-// produce v1 traces for back-compat coverage.
+// NewWriterVersion pins the output format version — the trace CLI's
+// -trace-version flag and the cross-version compatibility tests use
+// it. Version 4 requires prog (the run-native encoding cannot be
+// produced without the program text); earlier versions ignore it.
+func NewWriterVersion(w io.Writer, meta Meta, prog *isa.Program, version int) *Writer {
+	if version < minFormatVersion || version > FormatVersion {
+		panic(fmt.Sprintf("trace: unsupported format version %d", version))
+	}
+	tw := newWriterVersion(w, meta, version)
+	if version >= 4 {
+		if prog == nil {
+			panic("trace: format v4 requires the program")
+		}
+		tw.v4 = newV4Writer(prog)
+	}
+	return tw
+}
+
+// newWriterVersion pins the output format version without the v4
+// encoder; tests use it to produce v1–v3 traces for back-compat
+// coverage.
 func newWriterVersion(w io.Writer, meta Meta, version int) *Writer {
 	if meta.ChunkEvents <= 0 {
 		meta.ChunkEvents = ChunkEvents
@@ -231,7 +268,21 @@ func (tw *Writer) flush() {
 	if tw.err != nil {
 		return
 	}
-	tw.raw = appendChunk(tw.raw[:0], tw.base, tw.recs, tw.version)
+	v4cut := 0
+	if tw.version >= 4 {
+		if tw.v4 == nil {
+			tw.err = fmt.Errorf("trace: v4 writer constructed without a program")
+			return
+		}
+		var err error
+		tw.raw, v4cut, err = tw.v4.appendChunk(tw.raw[:0], tw.base, tw.recs)
+		if err != nil {
+			tw.err = err
+			return
+		}
+	} else {
+		tw.raw = appendChunk(tw.raw[:0], tw.base, tw.recs, tw.version)
+	}
 	payload := tw.raw
 	kind := byte(compressionNone)
 	if tw.flate {
@@ -241,8 +292,8 @@ func (tw *Writer) flush() {
 		} else {
 			tw.fw.Reset(&tw.comp)
 		}
-		cut := 0
-		if tw.version >= 3 {
+		cut := v4cut
+		if tw.version == 3 {
 			cut, _ = pcColumnEnd(tw.raw) // 0 (whole-chunk stream) if unparseable
 		}
 		if cut > 0 && cut < len(tw.raw) {
@@ -318,6 +369,16 @@ func (tw *Writer) Close() error {
 		buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(counts))
 		buf = append(buf, magic[:]...)
 	} else {
+		dictLen := 0
+		if tw.version >= 4 {
+			// The full run dictionary precedes the index so a random-
+			// access reader can decode any chunk without replaying the
+			// prefix that grew it.
+			dict := appendDictPayload(nil, tw.v4.dict.runs)
+			dictLen = len(dict)
+			buf = append(buf, dict...)
+			buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(dict))
+		}
 		var idx []byte
 		idx = binary.AppendUvarint(idx, uint64(len(tw.index)))
 		prev := int64(0)
@@ -328,12 +389,22 @@ func (tw *Writer) Close() error {
 		}
 		buf = append(buf, idx...)
 		buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(idx))
-		var tail [tailLen]byte
-		binary.LittleEndian.PutUint64(tail[0:8], uint64(len(idx)))
-		binary.LittleEndian.PutUint64(tail[8:16], tw.total)
-		binary.LittleEndian.PutUint64(tail[16:24], uint64(len(tw.index)))
-		buf = append(buf, tail[:]...)
-		buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(tail[:]))
+		if tw.version >= 4 {
+			var tail [tailLenV4]byte
+			binary.LittleEndian.PutUint64(tail[0:8], uint64(len(idx)))
+			binary.LittleEndian.PutUint64(tail[8:16], tw.total)
+			binary.LittleEndian.PutUint64(tail[16:24], uint64(len(tw.index)))
+			binary.LittleEndian.PutUint64(tail[24:32], uint64(dictLen))
+			buf = append(buf, tail[:]...)
+			buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(tail[:]))
+		} else {
+			var tail [tailLen]byte
+			binary.LittleEndian.PutUint64(tail[0:8], uint64(len(idx)))
+			binary.LittleEndian.PutUint64(tail[8:16], tw.total)
+			binary.LittleEndian.PutUint64(tail[16:24], uint64(len(tw.index)))
+			buf = append(buf, tail[:]...)
+			buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(tail[:]))
+		}
 		buf = append(buf, magic[:]...)
 	}
 	if _, err := tw.w.Write(buf); err != nil {
@@ -363,6 +434,13 @@ type Reader struct {
 	payloadBuf   []byte
 	footerEvents uint64
 	done         bool
+	// dict is the v4 run dictionary, grown in commit order as chunks
+	// are decoded and cross-checked against the footer's copy. Decode
+	// order is the dictionary's consistency invariant, which is why
+	// ParallelEvents clamps v4 to one decode worker.
+	dict        *v4Dict
+	footerDict  []dictRun // the footer's dictionary copy, checked at EOF
+	dictPayload int       // bytes of the footer dictionary payload (v4)
 }
 
 // NewReader wraps r and reads the trace header. Both current and v1
@@ -407,7 +485,11 @@ func NewReader(r io.Reader) (*Reader, error) {
 		return nil, fmt.Errorf("trace: decode meta: %w", err)
 	}
 	off := int64(8) + int64(uvarintLen(metaLen)) + int64(metaLen) + 4
-	return &Reader{br: br, meta: meta, version: version, off: off}, nil
+	tr := &Reader{br: br, meta: meta, version: version, off: off}
+	if version >= 4 {
+		tr.dict = newV4Dict()
+	}
+	return tr, nil
 }
 
 // uvarintLen returns the encoded size of u.
@@ -491,7 +573,78 @@ func (tr *Reader) readFooter() error {
 	if tr.version == 1 {
 		return tr.readFooterV1()
 	}
+	if tr.version >= 4 {
+		if err := tr.readFooterDict(); err != nil {
+			return err
+		}
+	}
 	return tr.readFooterV2()
+}
+
+// readFooterDict parses the v4 footer's run-dictionary payload and
+// cross-checks it against the dictionary the reader grew while
+// decoding chunks (skipped when no chunk was decoded through this
+// reader — frame-level consumers validate structure only).
+func (tr *Reader) readFooterDict() error {
+	var dictBuf []byte
+	count, err := tr.readCountedUvarint(&dictBuf)
+	if err != nil {
+		return fmt.Errorf("trace: read footer dictionary count: %w", err)
+	}
+	if count > maxDictRuns {
+		return fmt.Errorf("trace: dictionary claims %d runs (max %d)", count, maxDictRuns)
+	}
+	footer := newV4Dict()
+	prev := int64(0)
+	for i := uint64(0); i < count; i++ {
+		u, err := tr.readCountedUvarint(&dictBuf)
+		if err != nil {
+			return fmt.Errorf("trace: read footer dictionary entry %d: %w", i, err)
+		}
+		pc := prev + unzigzag(u)
+		n, err := tr.readCountedUvarint(&dictBuf)
+		if err != nil {
+			return fmt.Errorf("trace: read footer dictionary entry %d: %w", i, err)
+		}
+		if pc < 0 || pc >= 1<<31 {
+			return fmt.Errorf("trace: dictionary run PC %d out of range", pc)
+		}
+		if err := footer.add(int32(pc), int64(n)); err != nil {
+			return err
+		}
+		prev = pc
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(tr.br, crc[:]); err != nil {
+		return fmt.Errorf("trace: read footer dictionary crc: %w", err)
+	}
+	if binary.LittleEndian.Uint32(crc[:]) != crc32.ChecksumIEEE(dictBuf) {
+		return fmt.Errorf("trace: footer dictionary checksum mismatch")
+	}
+	tr.dictPayload = len(dictBuf)
+	tr.footerDict = footer.runs
+	return nil
+}
+
+// verifyFooterDict cross-checks the dictionary the chunks grew against
+// the footer's copy. It runs at EOF — not when the footer is parsed —
+// because a parallel consumer's reader goroutine reaches the footer
+// while chunks are still being decoded; the EOF delivery orders after
+// the last chunk's decode, so the grown dictionary is complete (and
+// safe to read) exactly there.
+func (tr *Reader) verifyFooterDict() error {
+	if tr.version < 4 {
+		return nil
+	}
+	if len(tr.dict.runs) != len(tr.footerDict) {
+		return fmt.Errorf("trace: footer dictionary has %d runs, chunks defined %d", len(tr.footerDict), len(tr.dict.runs))
+	}
+	for i, r := range tr.footerDict {
+		if tr.dict.runs[i] != r {
+			return fmt.Errorf("trace: footer dictionary run %d disagrees with chunk stream", i)
+		}
+	}
+	return nil
 }
 
 // readFooterV1 parses the counts-only v1 trailer.
@@ -566,15 +719,19 @@ func (tr *Reader) readFooterV2() error {
 	if binary.LittleEndian.Uint32(crc[:]) != crc32.ChecksumIEEE(idxBuf) {
 		return fmt.Errorf("trace: index checksum mismatch")
 	}
-	var tail [tailLen]byte
-	if _, err := io.ReadFull(tr.br, tail[:]); err != nil {
+	tl := tailLen
+	if tr.version >= 4 {
+		tl = tailLenV4 // v4 appends the dictionary payload length
+	}
+	tail := make([]byte, tl)
+	if _, err := io.ReadFull(tr.br, tail); err != nil {
 		return fmt.Errorf("trace: read footer tail: %w", err)
 	}
 	var tailCRC [4]byte
 	if _, err := io.ReadFull(tr.br, tailCRC[:]); err != nil {
 		return fmt.Errorf("trace: read footer tail crc: %w", err)
 	}
-	if binary.LittleEndian.Uint32(tailCRC[:]) != crc32.ChecksumIEEE(tail[:]) {
+	if binary.LittleEndian.Uint32(tailCRC[:]) != crc32.ChecksumIEEE(tail) {
 		return fmt.Errorf("trace: footer tail checksum mismatch")
 	}
 	var magic [8]byte
@@ -589,6 +746,11 @@ func (tr *Reader) readFooterV2() error {
 	tailChunks := binary.LittleEndian.Uint64(tail[16:24])
 	if indexLen != uint64(len(idxBuf)) {
 		return fmt.Errorf("trace: footer tail records index length %d, parsed %d", indexLen, len(idxBuf))
+	}
+	if tr.version >= 4 {
+		if dictLen := binary.LittleEndian.Uint64(tail[24:32]); dictLen != uint64(tr.dictPayload) {
+			return fmt.Errorf("trace: footer tail records dictionary length %d, parsed %d", dictLen, tr.dictPayload)
+		}
 	}
 	if tailChunks != tr.chunks {
 		return fmt.Errorf("trace: footer records %d chunks, decoded %d", tailChunks, tr.chunks)

@@ -12,9 +12,33 @@ import (
 )
 
 // testProgram builds a synthetic program large enough to bind the
-// random PCs used by the stream tests.
+// random PCs used by the stream tests. Every instruction is class
+// Other; the fuzz reference paths use it where classes don't matter.
 func testProgram(n int) *isa.Program {
 	insts := make([]isa.Inst, n)
+	return &isa.Program{Name: "synthetic", Insts: insts}
+}
+
+// testProgramMixed builds a program with a deterministic mix of
+// instruction classes keyed by PC — loads, stores, conditional and
+// unconditional branches among the ALU filler — so recorded streams
+// exercise the v4 writer's class-split columns.
+func testProgramMixed(n int) *isa.Program {
+	insts := make([]isa.Inst, n)
+	for pc := range insts {
+		switch {
+		case pc%7 == 1:
+			insts[pc].Op = isa.OpLdq
+		case pc%7 == 5:
+			insts[pc].Op = isa.OpStq
+		case pc%7 == 3:
+			insts[pc].Op = isa.OpBeq
+		case pc%21 == 6:
+			insts[pc].Op = isa.OpBr
+		default:
+			insts[pc].Op = isa.OpAdd
+		}
+	}
 	return &isa.Program{Name: "synthetic", Insts: insts}
 }
 
@@ -27,35 +51,17 @@ func writeTestTrace(t *testing.T, n, chunk int) ([]byte, []sim.Event, *isa.Progr
 }
 
 // writeTestTraceVersion is writeTestTrace with a pinned format version,
-// so back-compat tests can produce v1 streams with today's writer.
+// so back-compat tests can produce v1 streams with today's writer. The
+// generated stream is run-representable — targets name the next
+// committed PC and the taken and address fields respect each PC's
+// class — so the same generator serves every version including v4.
 func writeTestTraceVersion(t *testing.T, n, chunk, version int) ([]byte, []sim.Event, *isa.Program) {
 	t.Helper()
-	prog := testProgram(1 << 12)
-	r := rand.New(rand.NewSource(int64(n)))
-	evs := make([]sim.Event, n)
-	pc := int32(0)
-	for i := range evs {
-		if r.Intn(16) == 0 {
-			pc = int32(r.Intn(len(prog.Insts)))
-		} else if int(pc)+1 < len(prog.Insts) {
-			pc++
-		}
-		evs[i] = sim.Event{
-			Seq:    uint64(i),
-			PC:     pc,
-			Inst:   &prog.Insts[pc],
-			Target: pc + 1,
-		}
-		if r.Intn(3) == 0 {
-			evs[i].Addr = uint64(1 + r.Intn(1<<20))
-		}
-		if r.Intn(5) == 0 {
-			evs[i].Taken = true
-			evs[i].Target = int32(r.Intn(len(prog.Insts)))
-		}
-	}
+	prog := testProgramMixed(1 << 12)
+	evs := testEventStream(n, prog)
 	var buf bytes.Buffer
-	tw := newWriterVersion(&buf, Meta{Program: prog.Name, Size: "test", ChunkEvents: chunk}, version)
+	r := rand.New(rand.NewSource(int64(n) + 1))
+	tw := NewWriterVersion(&buf, Meta{Program: prog.Name, Size: "test", ChunkEvents: chunk}, prog, version)
 	// Deliver in uneven slabs to exercise partial-chunk accumulation.
 	for lo := 0; lo < n; {
 		hi := lo + 1 + r.Intn(300)
@@ -72,6 +78,37 @@ func writeTestTraceVersion(t *testing.T, n, chunk, version int) ([]byte, []sim.E
 		t.Fatalf("writer accepted %d events, want %d", got, n)
 	}
 	return buf.Bytes(), evs, prog
+}
+
+// testEventStream walks prog pseudo-randomly — mostly fallthrough with
+// occasional jumps, loads and stores carrying addresses (sometimes
+// zero), conditional branches with mixed outcomes — producing a
+// run-representable commit stream.
+func testEventStream(n int, prog *isa.Program) []sim.Event {
+	r := rand.New(rand.NewSource(int64(n)))
+	evs := make([]sim.Event, n)
+	pc := int32(0)
+	for i := range evs {
+		ev := sim.Event{Seq: uint64(i), PC: pc, Inst: &prog.Insts[pc]}
+		switch isa.ClassOf(prog.Insts[pc].Op) {
+		case isa.ClassLoad, isa.ClassStore:
+			if r.Intn(8) != 0 {
+				ev.Addr = uint64(1 + r.Intn(1<<20))
+			}
+		case isa.ClassCondBranch:
+			ev.Taken = r.Intn(2) == 0
+		case isa.ClassUncondBranch:
+			ev.Taken = true
+		}
+		next := pc + 1
+		if r.Intn(16) == 0 || int(next) >= len(prog.Insts) {
+			next = int32(r.Intn(len(prog.Insts)))
+		}
+		ev.Target = next
+		evs[i] = ev
+		pc = next
+	}
+	return evs
 }
 
 func drain(t *testing.T, src *Source) []sim.Event {
